@@ -1,0 +1,485 @@
+(** Experiment drivers: one per table / figure of the paper's evaluation.
+
+    Every experiment runs the real pipeline (compile -> tune -> execute on
+    the simulated device) with fixed seeds; latencies are the simulated
+    milliseconds described in DESIGN.md. Paper reference numbers are
+    embedded so the output prints measured-vs-paper side by side; the goal
+    is matching {e shape} (who wins, rough factors), not absolute values. *)
+
+open Acrobat
+module P = Profiler
+
+type run = { latency_ms : float; profiler : P.t; flushes : int }
+
+let run_framework ?(batch = 8) ?(seed = 1) ?iters ~(kind : Frameworks.kind)
+    (model : Model.t) : run =
+  let compiled, weights = compile_model ~framework:kind ?iters model ~batch ~seed in
+  let instances = gen_batch model ~batch ~seed:(seed + 100) in
+  let r = run compiled ~weights ~instances () in
+  {
+    latency_ms = r.Driver.stats.latency_ms;
+    profiler = r.Driver.stats.profiler;
+    flushes = r.Driver.stats.flushes;
+  }
+
+(** DyNet's best of its two scheduling schemes (paper footnote 7). *)
+let run_dynet_best ?batch ?seed ?(improved = false) (model : Model.t) : run =
+  let agenda =
+    run_framework ?batch ?seed
+      ~kind:(Frameworks.Dynet { improved; scheduler = Config.Agenda })
+      model
+  in
+  let depth =
+    run_framework ?batch ?seed
+      ~kind:(Frameworks.Dynet { improved; scheduler = Config.Runtime_depth })
+      model
+  in
+  if agenda.latency_ms <= depth.latency_ms then agenda else depth
+
+let run_acrobat ?batch ?seed ?(config = Config.acrobat) (model : Model.t) : run =
+  run_framework ?batch ?seed ~kind:(Frameworks.Acrobat config) model
+
+(* --- Table 4: DyNet vs ACROBAT across all models --- *)
+
+type t4_row = {
+  t4_model : string;
+  t4_size : Model.size;
+  t4_batch : int;
+  t4_dynet : float;
+  t4_acrobat : float;
+  t4_paper_dynet : float option;  (** None: the paper's run OOMed. *)
+  t4_paper_acrobat : float;
+}
+
+let paper_table4 =
+  (* model, size, batch, DyNet ms (None = OOM), ACROBAT ms *)
+  [
+    "treelstm", Model.Small, 8, Some 4.31, 1.48;
+    "treelstm", Model.Small, 64, Some 26.18, 5.81;
+    "treelstm", Model.Large, 8, Some 4.58, 2.4;
+    "treelstm", Model.Large, 64, Some 26.53, 11.44;
+    "mvrnn", Model.Small, 8, Some 2.11, 0.54;
+    "mvrnn", Model.Small, 64, Some 12.45, 1.48;
+    "mvrnn", Model.Large, 8, Some 2.27, 1.04;
+    "mvrnn", Model.Large, 64, Some 13.89, 4.46;
+    "birnn", Model.Small, 8, Some 3.13, 2.16;
+    "birnn", Model.Small, 64, Some 12.04, 4.86;
+    "birnn", Model.Large, 8, Some 3.95, 4.43;
+    "birnn", Model.Large, 64, Some 12.11, 13.11;
+    "nestedrnn", Model.Small, 8, Some 29.38, 31.01;
+    "nestedrnn", Model.Small, 64, Some 84.55, 65.73;
+    "nestedrnn", Model.Large, 8, Some 46.03, 35.61;
+    "nestedrnn", Model.Large, 64, Some 94.97, 100.17;
+    "drnn", Model.Small, 8, Some 6.7, 1.74;
+    "drnn", Model.Small, 64, Some 25.3, 5.24;
+    "drnn", Model.Large, 8, Some 8.44, 2.45;
+    "drnn", Model.Large, 64, Some 26.5, 9.99;
+    "berxit", Model.Small, 8, Some 63.54, 38.49;
+    "berxit", Model.Small, 64, None, 204.54;
+    "berxit", Model.Large, 8, Some 113.18, 64.49;
+    "berxit", Model.Large, 64, None, 335.3;
+    "stackrnn", Model.Small, 8, Some 47.78, 22.69;
+    "stackrnn", Model.Small, 64, Some 213.98, 39.06;
+    "stackrnn", Model.Large, 8, Some 64.67, 43.75;
+    "stackrnn", Model.Large, 64, Some 230.74, 86.82;
+  ]
+
+let table4 ?(models = List.map (fun (e : Models.entry) -> e.Models.id) Models.all)
+    ?(batches = [ 8; 64 ]) ?(sizes = [ Model.Small; Model.Large ]) () : t4_row list =
+  List.concat_map
+    (fun id ->
+      let entry = Models.find id in
+      List.concat_map
+        (fun size ->
+          let model = entry.Models.make size in
+          List.map
+            (fun batch ->
+              let dynet = run_dynet_best ~batch model in
+              let acro = run_acrobat ~batch model in
+              let paper_dynet, paper_acrobat =
+                match
+                  List.find_opt (fun (m, s, b, _, _) -> m = id && s = size && b = batch)
+                    paper_table4
+                with
+                | Some (_, _, _, d, a) -> d, a
+                | None -> None, nan
+              in
+              {
+                t4_model = id;
+                t4_size = size;
+                t4_batch = batch;
+                t4_dynet = dynet.latency_ms;
+                t4_acrobat = acro.latency_ms;
+                t4_paper_dynet = paper_dynet;
+                t4_paper_acrobat = paper_acrobat;
+              })
+            batches)
+        sizes)
+    models
+
+(* --- Table 5: activity breakdown --- *)
+
+type t5_cell = {
+  t5_dfg : float;
+  t5_sched : float;
+  t5_mem : float;
+  t5_kernel : float;
+  t5_kernel_calls : int;
+  t5_api : float;
+}
+
+let activity_cell (r : run) : t5_cell =
+  let ms a = P.time_us r.profiler a /. 1000.0 in
+  {
+    t5_dfg = ms P.Dfg_construction;
+    t5_sched = ms P.Scheduling;
+    t5_mem = ms P.Mem_transfer;
+    t5_kernel = ms P.Kernel_exec;
+    t5_kernel_calls = r.profiler.P.kernel_calls;
+    t5_api = ms P.Api_overhead;
+  }
+
+(** (config label, DyNet cell, ACROBAT cell) for TreeLSTM-small and
+    BiRNN-large at batch size 64. *)
+let table5 () =
+  let one id size =
+    let model = (Models.find id).Models.make size in
+    let dynet = run_dynet_best ~batch:64 model in
+    let acro = run_acrobat ~batch:64 model in
+    Fmt.str "%s, %s" id (Model.size_name size), activity_cell dynet, activity_cell acro
+  in
+  [ one "treelstm" Model.Small; one "birnn" Model.Large ]
+
+(* --- Table 6: Cortex vs ACROBAT --- *)
+
+let paper_table6 =
+  [
+    (* model, size, batch, cortex, acrobat *)
+    "treelstm", Model.Small, 8, 0.79, 1.48;
+    "treelstm", Model.Small, 64, 3.62, 5.81;
+    "treelstm", Model.Large, 8, 1.84, 2.4;
+    "treelstm", Model.Large, 64, 10.23, 11.44;
+    "mvrnn", Model.Small, 8, 1.14, 0.54;
+    "mvrnn", Model.Small, 64, 6.92, 1.48;
+    "mvrnn", Model.Large, 8, 5.3, 1.04;
+    "mvrnn", Model.Large, 64, 41.15, 4.46;
+    "birnn", Model.Small, 8, 1.28, 2.16;
+    "birnn", Model.Small, 64, 3.48, 4.86;
+    "birnn", Model.Large, 8, 2.47, 4.43;
+    "birnn", Model.Large, 64, 10.74, 13.11;
+  ]
+
+(* Cortex consumes raw workload structures; the generators are seeded
+   identically to the model instance generators (gen_batch with
+   seed + 100), so both frameworks see the same trees/sentences. *)
+let cortex_latency id size batch =
+  let seed = 1 + 100 in
+  let rng = Rng.create seed in
+  match id with
+  | "treelstm" ->
+    let hidden = match size with Model.Small -> 256 | Model.Large -> 512 in
+    let trees = List.init batch (fun _ -> Workloads.Trees.sample rng) in
+    (Cortex.run_treelstm ~hidden trees).Cortex.latency_ms
+  | "mvrnn" ->
+    let hidden = match size with Model.Small -> 64 | Model.Large -> 128 in
+    let trees = List.init batch (fun _ -> Workloads.Trees.sample rng) in
+    (Cortex.run_mvrnn ~hidden trees).Cortex.latency_ms
+  | "birnn" ->
+    let hidden = match size with Model.Small -> 256 | Model.Large -> 512 in
+    let sentences = List.init batch (fun _ -> Workloads.Sentences.sample rng) in
+    (Cortex.run_birnn ~hidden ~classes:16 sentences).Cortex.latency_ms
+  | other -> Fmt.invalid_arg "Cortex does not support %s (recursive models only)" other
+
+type t6_row = {
+  t6_model : string;
+  t6_size : Model.size;
+  t6_batch : int;
+  t6_cortex : float;
+  t6_acrobat : float;
+  t6_paper_cortex : float;
+  t6_paper_acrobat : float;
+}
+
+let table6 () : t6_row list =
+  List.map
+    (fun (id, size, batch, pc, pa) ->
+      let model = (Models.find id).Models.make size in
+      let acro = run_acrobat ~batch model in
+      {
+        t6_model = id;
+        t6_size = size;
+        t6_batch = batch;
+        t6_cortex = cortex_latency id size batch;
+        t6_acrobat = acro.latency_ms;
+        t6_paper_cortex = pc;
+        t6_paper_acrobat = pa;
+      })
+    paper_table6
+
+(* --- Table 7: Relay VM vs AOT compilation --- *)
+
+let paper_table7 =
+  [
+    "treelstm", Model.Small, 8, 30.68, 2.66;
+    "treelstm", Model.Small, 64, 28.94, 9.47;
+    "treelstm", Model.Large, 8, 31.64, 3.85;
+    "treelstm", Model.Large, 64, 29.49, 15.9;
+    "mvrnn", Model.Small, 8, 4.0, 0.55;
+    "mvrnn", Model.Small, 64, 3.91, 1.63;
+    "mvrnn", Model.Large, 8, 4.34, 1.06;
+    "mvrnn", Model.Large, 64, 4.36, 4.6;
+    "birnn", Model.Small, 8, 29.88, 2.23;
+    "birnn", Model.Small, 64, 28.88, 5.47;
+    "birnn", Model.Large, 8, 32.04, 4.82;
+    "birnn", Model.Large, 64, 30.43, 13.72;
+  ]
+
+type t7_row = {
+  t7_model : string;
+  t7_size : Model.size;
+  t7_batch : int;
+  t7_vm : float;
+  t7_aot : float;
+  t7_paper_vm : float;
+  t7_paper_aot : float;
+}
+
+let run_mode ~mode ?(batch = 8) ?(seed = 1) (model : Model.t) : run =
+  let compiled, weights = compile_model ~framework:(Frameworks.Acrobat Config.acrobat) model ~batch ~seed in
+  let instances = gen_batch model ~batch ~seed:(seed + 100) in
+  let r =
+    Driver.run ~mode ~policy:Policy.acrobat_policy ~quality:compiled.quality
+      ~lprog:compiled.lprog ~weights ~instances ()
+  in
+  {
+    latency_ms = r.Driver.stats.latency_ms;
+    profiler = r.Driver.stats.profiler;
+    flushes = r.Driver.stats.flushes;
+  }
+
+let table7 () : t7_row list =
+  List.map
+    (fun (id, size, batch, pvm, paot) ->
+      let model = (Models.find id).Models.make size in
+      let vm = run_mode ~mode:Driver.Vm_mode ~batch model in
+      let aot = run_mode ~mode:Driver.Aot_mode ~batch model in
+      {
+        t7_model = id;
+        t7_size = size;
+        t7_batch = batch;
+        t7_vm = vm.latency_ms;
+        t7_aot = aot.latency_ms;
+        t7_paper_vm = pvm;
+        t7_paper_aot = paot;
+      })
+    paper_table7
+
+(* --- Table 8: DyNet vs DyNet++ (improved heuristics) vs ACROBAT --- *)
+
+let paper_table8 =
+  [
+    "treelstm", Model.Small, 8, 4.31, 3.8, 1.48;
+    "treelstm", Model.Small, 64, 26.18, 22.69, 5.81;
+    "treelstm", Model.Large, 8, 4.58, 4.14, 2.4;
+    "treelstm", Model.Large, 64, 26.53, 24.09, 11.44;
+    "mvrnn", Model.Small, 8, 2.11, 1.05, 0.54;
+    "mvrnn", Model.Small, 64, 12.45, 3.15, 1.48;
+    "mvrnn", Model.Large, 8, 2.27, 1.83, 1.04;
+    "mvrnn", Model.Large, 64, 13.89, 10.47, 4.46;
+    "drnn", Model.Small, 8, 6.7, 3.29, 1.74;
+    "drnn", Model.Small, 64, 25.3, 18.51, 5.24;
+    "drnn", Model.Large, 8, 8.44, 3.82, 2.45;
+    "drnn", Model.Large, 64, 26.5, 18.86, 9.99;
+  ]
+
+type t8_row = {
+  t8_model : string;
+  t8_size : Model.size;
+  t8_batch : int;
+  t8_dn : float;
+  t8_dnpp : float;
+  t8_ab : float;
+  t8_paper : float * float * float;
+}
+
+let table8 () : t8_row list =
+  List.map
+    (fun (id, size, batch, pdn, pdnpp, pab) ->
+      let model = (Models.find id).Models.make size in
+      let dn = run_dynet_best ~batch model in
+      let dnpp = run_dynet_best ~improved:true ~batch model in
+      let ab = run_acrobat ~batch model in
+      {
+        t8_model = id;
+        t8_size = size;
+        t8_batch = batch;
+        t8_dn = dn.latency_ms;
+        t8_dnpp = dnpp.latency_ms;
+        t8_ab = ab.latency_ms;
+        t8_paper = pdn, pdnpp, pab;
+      })
+    paper_table8
+
+(* --- Table 9: PGO benefit in auto-scheduling (NestedRNN small, bs 8) --- *)
+
+let paper_table9 =
+  [ 100, 41.08, 42.49; 250, 34.58, 30.88; 500, 31.61, 24.4; 750, 27.33, 23.72; 1000, 25.63, 24.34 ]
+
+type t9_row = {
+  t9_iters : int;
+  t9_nopgo : float;
+  t9_pgo : float;
+  t9_paper_nopgo : float;
+  t9_paper_pgo : float;
+}
+
+(* One NestedRNN run at a given budget/PGO setting and search seed. The
+   paper averages 10 auto-scheduler runs (footnote 13): the search is
+   stochastic. *)
+let table9_one ~iters ~pgo ~search_seed =
+  let model = (Models.find "nestedrnn").Models.make Model.Small in
+  let config = { Config.acrobat with autosched_iters = iters; pgo } in
+  let compiled, weights =
+    compile_model ~framework:(Frameworks.Acrobat config) model ~batch:8 ~seed:1
+  in
+  let compiled = tune ~iters ~search_seed compiled ~weights ~calibration:(gen_batch model ~batch:8 ~seed:2) in
+  let instances = gen_batch model ~batch:8 ~seed:101 in
+  (run compiled ~weights ~instances ()).Driver.stats.latency_ms
+
+let table9 ?(runs = 10) () : t9_row list =
+  let mean f = List.init runs f |> List.fold_left ( +. ) 0.0 |> fun s -> s /. float_of_int runs in
+  List.map
+    (fun (iters, pno, pyes) ->
+      {
+        t9_iters = iters;
+        t9_nopgo = mean (fun seed -> table9_one ~iters ~pgo:false ~search_seed:seed);
+        t9_pgo = mean (fun seed -> table9_one ~iters ~pgo:true ~search_seed:seed);
+        t9_paper_nopgo = pno;
+        t9_paper_pgo = pyes;
+      })
+    paper_table9
+
+(* --- Figure 5: ablation ladder (large size, batch 64) --- *)
+
+let ablation_ladder : (string * Config.t) list =
+  let base =
+    {
+      Config.acrobat with
+      kernel_fusion = false;
+      horizontal_fusion = false;
+      grain_coarsening = false;
+      scheduler = Config.Runtime_depth;
+      ghost_ops = false;
+      program_phases = false;
+      gather_fusion = false;
+      hoisting = false;
+    }
+  in
+  let plus_fusion = { base with kernel_fusion = true; horizontal_fusion = true } in
+  let plus_coarsen = { plus_fusion with grain_coarsening = true } in
+  let plus_inline = { plus_coarsen with scheduler = Config.Inline_depth; hoisting = true } in
+  let plus_phases = { plus_inline with program_phases = true; ghost_ops = true } in
+  let full = { plus_phases with gather_fusion = true } in
+  [
+    "no-opt", base;
+    "+fusion", plus_fusion;
+    "+coarsening", plus_coarsen;
+    "+inline-depth", plus_inline;
+    "+phases/ghost", plus_phases;
+    "+gather-fusion", full;
+  ]
+
+type fig5_row = { f5_model : string; f5_steps : (string * float) list }
+
+let fig5 ?(models = List.map (fun (e : Models.entry) -> e.Models.id) Models.all) () :
+    fig5_row list =
+  List.map
+    (fun id ->
+      let model = (Models.find id).Models.make Model.Large in
+      let steps =
+        List.map
+          (fun (label, config) ->
+            let r = run_acrobat ~batch:64 ~config model in
+            label, r.latency_ms)
+          ablation_ladder
+      in
+      { f5_model = id; f5_steps = steps })
+    models
+
+(* --- Figure 9: speedups over PyTorch --- *)
+
+type fig9_row = {
+  f9_model : string;
+  f9_size : Model.size;
+  f9_batch : int;
+  f9_pytorch : float;
+  f9_acrobat : float;
+}
+
+(* PyTorch runs eagerly through the interpreter, except BiRNN which uses
+   TorchScript in the paper (footnote 12) — compiled but still unbatched. *)
+let run_pytorch ?(batch = 8) ?(seed = 1) ~(model_id : string) (model : Model.t) : run =
+  let kind = Frameworks.Pytorch in
+  let compiled, weights = compile_model ~framework:kind model ~batch ~seed in
+  let instances = gen_batch model ~batch ~seed:(seed + 100) in
+  let mode = if model_id = "birnn" then Driver.Aot_mode else Driver.Vm_mode in
+  let r =
+    Driver.run ~mode ~policy:(Frameworks.policy kind) ~quality:compiled.quality
+      ~lprog:compiled.lprog ~weights ~instances ()
+  in
+  {
+    latency_ms = r.Driver.stats.latency_ms;
+    profiler = r.Driver.stats.profiler;
+    flushes = r.Driver.stats.flushes;
+  }
+
+let fig9 ?(batches = [ 8; 64 ]) () : fig9_row list =
+  List.concat_map
+    (fun id ->
+      List.concat_map
+        (fun size ->
+          let model = (Models.find id).Models.make size in
+          List.map
+            (fun batch ->
+              let pt = run_pytorch ~batch ~model_id:id model in
+              let ab = run_acrobat ~batch model in
+              {
+                f9_model = id;
+                f9_size = size;
+                f9_batch = batch;
+                f9_pytorch = pt.latency_ms;
+                f9_acrobat = ab.latency_ms;
+              })
+            batches)
+        [ Model.Small; Model.Large ])
+    [ "treelstm"; "mvrnn"; "birnn" ]
+
+(* --- Extras: ablations called out in DESIGN.md §6 --- *)
+
+(** Scheduler ablation: identical DFGs under the three schedulers. *)
+let ablation_scheduler () =
+  List.concat_map
+    (fun id ->
+      let model = (Models.find id).Models.make Model.Small in
+      List.map
+        (fun sched ->
+          let r = run_acrobat ~batch:64 ~config:{ Config.acrobat with scheduler = sched } model in
+          ( id,
+            Config.scheduler_name sched,
+            r.latency_ms,
+            P.time_us r.profiler P.Scheduling /. 1000.0,
+            r.profiler.P.batches_executed ))
+        [ Config.Inline_depth; Config.Runtime_depth; Config.Agenda ])
+    [ "treelstm"; "birnn" ]
+
+(** Context-sensitivity ablation: BiRNN loses parameter-reuse knowledge
+    without it, forcing weight gathers. *)
+let ablation_context () =
+  List.map
+    (fun ctx ->
+      let model = (Models.find "birnn").Models.make Model.Small in
+      let r =
+        run_acrobat ~batch:64 ~config:{ Config.acrobat with context_sensitive = ctx } model
+      in
+      ctx, r.latency_ms, r.profiler.P.gather_bytes, r.profiler.P.gather_kernels)
+    [ true; false ]

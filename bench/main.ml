@@ -1,0 +1,172 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (`all`), or one at a time; `micro` runs the bechamel
+    micro-benchmark suite over the runtime hot paths.
+
+    Latencies are simulated milliseconds from the device cost model
+    (DESIGN.md §2): counts are real, unit costs are calibrated constants.
+    Compare shapes, not absolute values, against the embedded paper
+    numbers. *)
+
+open Acrobat
+module E = Experiments
+
+let pf = Printf.printf
+
+let size_str = function Model.Small -> "small" | Model.Large -> "large"
+
+let hr title =
+  pf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let table4 () =
+  hr "Table 4: DyNet vs ACROBAT inference latency (ms)";
+  pf "%-10s %-6s %5s | %10s %10s %8s | %10s %10s %8s\n" "model" "size" "batch" "dynet"
+    "acrobat" "speedup" "paper-dy" "paper-ab" "paper-sp";
+  let rows = E.table4 () in
+  List.iter
+    (fun (r : E.t4_row) ->
+      let paper_dy, paper_sp =
+        match r.t4_paper_dynet with
+        | Some d -> Printf.sprintf "%10.2f" d, Printf.sprintf "%8.2f" (d /. r.t4_paper_acrobat)
+        | None -> "       OOM", "       -"
+      in
+      pf "%-10s %-6s %5d | %10.2f %10.2f %8.2f | %s %10.2f %s\n" r.t4_model
+        (size_str r.t4_size) r.t4_batch r.t4_dynet r.t4_acrobat
+        (r.t4_dynet /. r.t4_acrobat) paper_dy r.t4_paper_acrobat paper_sp)
+    rows;
+  let geo =
+    let logs = List.map (fun (r : E.t4_row) -> log (r.t4_dynet /. r.t4_acrobat)) rows in
+    exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs))
+  in
+  pf "geometric-mean speedup over DyNet: %.2fx (paper: 2.3x overall)\n" geo
+
+let table5 () =
+  hr "Table 5: activity breakdown at batch size 64 (ms)";
+  List.iter
+    (fun (label, (dy : E.t5_cell), (ab : E.t5_cell)) ->
+      pf "\n-- %s --\n" label;
+      pf "%-18s %10s %10s\n" "activity" "dynet" "acrobat";
+      pf "%-18s %10.2f %10.2f\n" "DFG construction" dy.t5_dfg ab.t5_dfg;
+      pf "%-18s %10.2f %10.2f\n" "Scheduling" dy.t5_sched ab.t5_sched;
+      pf "%-18s %10.2f %10.2f\n" "Mem. copy time" dy.t5_mem ab.t5_mem;
+      pf "%-18s %10.2f %10.2f\n" "GPU kernel time" dy.t5_kernel ab.t5_kernel;
+      pf "%-18s %10d %10d\n" "#Kernel calls" dy.t5_kernel_calls ab.t5_kernel_calls;
+      pf "%-18s %10.2f %10.2f\n" "CUDA API time" dy.t5_api ab.t5_api)
+    (E.table5 ());
+  pf "\npaper (TreeLSTM small): DFG 8.8/1.5, sched 9.7/0.4, mem 3.1/0.1, kernel 6.1/4.0, calls 1653/183, API 16.5/3.9\n";
+  pf "paper (BiRNN large):    DFG 4.5/1.0, sched 3.3/0.4, mem 2.3/0.2, kernel 6.6/11.2, calls 580/380, API 12.0/11.1\n"
+
+let table6 () =
+  hr "Table 6: Cortex vs ACROBAT inference latency (ms)";
+  pf "%-10s %-6s %5s | %10s %10s | %10s %10s\n" "model" "size" "batch" "cortex" "acrobat"
+    "paper-cx" "paper-ab";
+  List.iter
+    (fun (r : E.t6_row) ->
+      pf "%-10s %-6s %5d | %10.2f %10.2f | %10.2f %10.2f\n" r.t6_model (size_str r.t6_size)
+        r.t6_batch r.t6_cortex r.t6_acrobat r.t6_paper_cortex r.t6_paper_acrobat)
+    (E.table6 ())
+
+let table7 () =
+  hr "Table 7: Relay VM vs AOT compilation (ms)";
+  pf "%-10s %-6s %5s | %10s %10s %8s | %10s %10s\n" "model" "size" "batch" "vm" "aot"
+    "speedup" "paper-vm" "paper-aot";
+  List.iter
+    (fun (r : E.t7_row) ->
+      pf "%-10s %-6s %5d | %10.2f %10.2f %8.2f | %10.2f %10.2f\n" r.t7_model
+        (size_str r.t7_size) r.t7_batch r.t7_vm r.t7_aot (r.t7_vm /. r.t7_aot) r.t7_paper_vm
+        r.t7_paper_aot)
+    (E.table7 ())
+
+let table8 () =
+  hr "Table 8: DyNet vs DyNet++ (improved heuristics) vs ACROBAT (ms)";
+  pf "%-10s %-6s %5s | %8s %8s %8s | %8s %8s %8s\n" "model" "size" "batch" "DN" "DN++" "AB"
+    "p-DN" "p-DN++" "p-AB";
+  List.iter
+    (fun (r : E.t8_row) ->
+      let pdn, pdnpp, pab = r.t8_paper in
+      pf "%-10s %-6s %5d | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n" r.t8_model
+        (size_str r.t8_size) r.t8_batch r.t8_dn r.t8_dnpp r.t8_ab pdn pdnpp pab)
+    (E.table8 ())
+
+let table9 () =
+  hr "Table 9: PGO benefit during auto-scheduling (NestedRNN small, batch 8; ms)";
+  pf "%8s | %10s %10s | %10s %10s\n" "iters" "no-PGO" "PGO" "paper-no" "paper-PGO";
+  List.iter
+    (fun (r : E.t9_row) ->
+      pf "%8d | %10.2f %10.2f | %10.2f %10.2f\n" r.t9_iters r.t9_nopgo r.t9_pgo
+        r.t9_paper_nopgo r.t9_paper_pgo)
+    (E.table9 ())
+
+let fig5 () =
+  hr "Figure 5: benefit of each optimization (large, batch 64; ms)";
+  let rows = E.fig5 () in
+  let labels = List.map fst E.ablation_ladder in
+  pf "%-10s" "model";
+  List.iter (fun l -> pf " %14s" l) labels;
+  pf "\n";
+  List.iter
+    (fun (r : E.fig5_row) ->
+      pf "%-10s" r.f5_model;
+      List.iter (fun (_, ms) -> pf " %14.2f" ms) r.f5_steps;
+      pf "\n")
+    rows;
+  pf "(expected shape: monotone improvement; gather fusion may hurt iterative low-parallelism models, cf. paper 7.3)\n"
+
+let fig9 () =
+  hr "Figure 9: speedup over PyTorch";
+  pf "%-10s %-6s %5s | %10s %10s %8s\n" "model" "size" "batch" "pytorch" "acrobat" "speedup";
+  List.iter
+    (fun (r : E.fig9_row) ->
+      pf "%-10s %-6s %5d | %10.2f %10.2f %8.2f\n" r.f9_model (size_str r.f9_size) r.f9_batch
+        r.f9_pytorch r.f9_acrobat (r.f9_pytorch /. r.f9_acrobat))
+    (E.fig9 ());
+  pf "(paper: all speedups > 1; larger for small model sizes; BiRNN lowest, MV-RNN highest)\n"
+
+let extras () =
+  hr "Extra ablation: scheduler comparison (batch 64)";
+  pf "%-10s %-14s %10s %12s %8s\n" "model" "scheduler" "latency" "sched-ms" "batches";
+  List.iter
+    (fun (id, sched, lat, sched_ms, batches) ->
+      pf "%-10s %-14s %10.2f %12.3f %8d\n" id sched lat sched_ms batches)
+    (E.ablation_scheduler ());
+  hr "Extra ablation: context sensitivity (BiRNN small, batch 64)";
+  pf "%-8s %10s %14s %10s\n" "ctx" "latency" "gather-bytes" "gathers";
+  List.iter
+    (fun (ctx, lat, bytes, gathers) -> pf "%-8b %10.2f %14d %10d\n" ctx lat bytes gathers)
+    (E.ablation_context ())
+
+(* --- bechamel micro-benchmarks over runtime hot paths --- *)
+
+let micro () =
+  hr "bechamel micro-benchmarks (real wall time of hot paths)";
+  Micro.run ()
+
+let experiments =
+  [
+    "table4", table4;
+    "table5", table5;
+    "table6", table6;
+    "table7", table7;
+    "table8", table8;
+    "table9", table9;
+    "fig5", fig5;
+    "fig9", fig9;
+    "extras", extras;
+    "micro", micro;
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] | [ "all" ] -> List.map fst experiments
+    | names -> names
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        pf "unknown experiment %S; available: %s all\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    selected

@@ -1,0 +1,79 @@
+(** Bechamel micro-benchmarks: real wall-clock time of the hot paths behind
+    each table's experiment — one [Test.make] per table/figure exercising a
+    miniature version of its workload, plus the core runtime primitives
+    (schedulers, AOT vs VM dispatch, parser, kernel execution). *)
+
+open Bechamel
+open Toolkit
+open Acrobat
+
+let tiny id = Models.tiny id
+
+let run_tiny ?(batch = 4) ~kind id =
+  let model = tiny id in
+  let compiled = compile ~framework:kind ~inputs:model.Model.inputs model.Model.source in
+  let weights = model.Model.gen_weights 1 in
+  let instances = gen_batch model ~batch ~seed:3 in
+  fun () -> ignore (run compiled ~weights ~instances ())
+
+let run_tiny_mode ~mode id =
+  let model = tiny id in
+  let compiled = compile ~inputs:model.Model.inputs model.Model.source in
+  let weights = model.Model.gen_weights 1 in
+  let instances = gen_batch model ~batch:4 ~seed:3 in
+  fun () ->
+    ignore
+      (Driver.run ~mode ~policy:Policy.acrobat_policy ~quality:compiled.quality
+         ~lprog:compiled.lprog ~weights ~instances ())
+
+let acrobat_kind = Frameworks.Acrobat Config.acrobat
+let dynet_kind = Frameworks.Dynet { improved = false; scheduler = Config.Agenda }
+
+let tests () =
+  let model = tiny "rnn" in
+  let parse_src = model.Model.source in
+  [
+    (* One per table/figure: a miniature of its hot path. *)
+    Test.make ~name:"table4:treelstm-acrobat" (Staged.stage (run_tiny ~kind:acrobat_kind "treelstm"));
+    Test.make ~name:"table4:treelstm-dynet" (Staged.stage (run_tiny ~kind:dynet_kind "treelstm"));
+    Test.make ~name:"table5:birnn-breakdown" (Staged.stage (run_tiny ~kind:acrobat_kind "birnn"));
+    Test.make ~name:"table6:mvrnn-acrobat" (Staged.stage (run_tiny ~kind:acrobat_kind "mvrnn"));
+    Test.make ~name:"table7:rnn-vm" (Staged.stage (run_tiny_mode ~mode:Driver.Vm_mode "rnn"));
+    Test.make ~name:"table7:rnn-aot" (Staged.stage (run_tiny_mode ~mode:Driver.Aot_mode "rnn"));
+    Test.make ~name:"table8:mvrnn-dynet" (Staged.stage (run_tiny ~kind:dynet_kind "mvrnn"));
+    Test.make ~name:"table9:autosched-500"
+      (Staged.stage (fun () ->
+           ignore
+             (Autosched.search ~id:7 ~flops:1.0e6 ~iters:500 ())));
+    Test.make ~name:"fig5:drnn-ablated"
+      (Staged.stage
+         (run_tiny ~kind:(Frameworks.Acrobat { Config.acrobat with gather_fusion = false }) "drnn"));
+    Test.make ~name:"fig9:stackrnn-pytorch" (Staged.stage (run_tiny ~kind:Frameworks.Pytorch "stackrnn"));
+    (* Core primitives. *)
+    Test.make ~name:"prim:parse+typecheck"
+      (Staged.stage (fun () -> ignore (Ir.Typecheck.parse_and_check parse_src)));
+    Test.make ~name:"prim:compile-pipeline"
+      (Staged.stage (fun () ->
+           ignore (Lower.compile ~inputs:model.Model.inputs model.Model.source)));
+    Test.make ~name:"prim:matmul-64"
+      (let rng = Rng.create 5 in
+       let a = Tensor.random rng [ 64; 64 ] and b = Tensor.random rng [ 64; 64 ] in
+       Staged.stage (fun () -> ignore (Ops.matmul a b)));
+  ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"acrobat" (tests ())) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name o acc -> (name, Analyze.OLS.estimates o) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some [ ns ] -> Printf.printf "%-28s %12.1f ns/run (%.3f ms)\n" name ns (ns /. 1.0e6)
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    rows

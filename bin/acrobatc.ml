@@ -1,0 +1,210 @@
+(** [acrobatc]: the ACROBAT compiler driver.
+
+    Subcommands:
+    - [check FILE]   — parse and type check a program.
+    - [lower FILE]   — compile and print the lowered program structure
+                       (specializations, kernels, depths, phases, ghosts).
+    - [run FILE]     — compile and execute a program on random inputs,
+                       printing outputs and the runtime activity profile.
+    - [bench FILE]   — compare frameworks (acrobat / dynet / pytorch) on
+                       the same program.
+
+    Per-instance inputs are named with [-i]; weights are materialized with
+    seeded random values. Example:
+
+    {v acrobatc run examples/rnn.acro -i inps --batch 8 --framework dynet v}
+*)
+
+open Cmdliner
+open Acrobat
+module L = Lowered
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- shared arguments --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input program.")
+
+let inputs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "i"; "input" ] ~docv:"NAME"
+        ~doc:"@main parameter that varies per batch instance (repeatable).")
+
+let batch_arg =
+  Arg.(value & opt int 4 & info [ "batch" ] ~docv:"N" ~doc:"Batch size.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let framework_arg =
+  let fw_conv =
+    Arg.enum
+      [
+        "acrobat", Frameworks.Acrobat Config.acrobat;
+        "dynet", Frameworks.Dynet { improved = false; scheduler = Config.Agenda };
+        "dynet++", Frameworks.Dynet { improved = true; scheduler = Config.Agenda };
+        "pytorch", Frameworks.Pytorch;
+      ]
+  in
+  Arg.(
+    value
+    & opt fw_conv (Frameworks.Acrobat Config.acrobat)
+    & info [ "framework" ] ~docv:"FW" ~doc:"Execution framework.")
+
+(* Random instance generation from @main's declared input types. *)
+let rec hval_of_ty rng (ty : Ir.Ty.t) : Driver.hval =
+  match ty with
+  | Ir.Ty.Tensor shape -> Driver.Htensor (Tensor.random rng shape)
+  | Ir.Ty.Int -> Driver.Hint (Rng.int rng 10)
+  | Ir.Ty.Bool -> Driver.Hbool (Rng.bool rng)
+  | Ir.Ty.Float -> Driver.Hfloat (Rng.float rng)
+  | Ir.Ty.List t ->
+    Driver.Hlist (List.init (Rng.int_in rng 3 9) (fun _ -> hval_of_ty rng t))
+  | Ir.Ty.Tree t ->
+    let rec tree depth =
+      if depth = 0 || Rng.bool rng then Driver.Hleaf (hval_of_ty rng t)
+      else Driver.Hnode (tree (depth - 1), tree (depth - 1))
+    in
+    tree 4
+  | Ir.Ty.Tup ts -> Driver.Htuple (List.map (hval_of_ty rng) ts)
+  | Ir.Ty.Fn _ -> Fmt.invalid_arg "cannot generate a function-typed input"
+
+let gen_setup source ~inputs ~batch ~seed =
+  let program = Ir.Typecheck.parse_and_check source in
+  let main = Ir.Ast.main_def program in
+  let rng = Rng.create seed in
+  let weights =
+    List.filter_map
+      (fun (name, ty) ->
+        if List.mem name inputs then None
+        else
+          match ty with
+          | Ir.Ty.Tensor shape -> Some (name, Tensor.random rng shape)
+          | _ -> Fmt.invalid_arg "weight %%%s must be a tensor (or pass -i %s)" name name)
+      main.Ir.Ast.params
+  in
+  let instances =
+    List.init batch (fun _ ->
+        List.filter_map
+          (fun (name, ty) ->
+            if List.mem name inputs then Some (name, hval_of_ty rng ty) else None)
+          main.Ir.Ast.params)
+  in
+  weights, instances
+
+(* --- check --- *)
+
+(* Uniform error reporting for commands that execute programs. *)
+let guarded f =
+  match f () with
+  | rc -> rc
+  | exception Ir.Lexer.Error m
+  | (exception Ir.Parser.Error m)
+  | (exception Ir.Typecheck.Type_error m) ->
+    Fmt.epr "error: %s@." m;
+    1
+  | exception Invalid_argument m ->
+    Fmt.epr "error: %s@." m;
+    1
+  | exception Value.Runtime_error m ->
+    Fmt.epr "runtime error: %s@." m;
+    1
+
+let check_cmd =
+  let run file =
+    match Ir.Typecheck.parse_and_check (read_file file) with
+    | p ->
+      Fmt.pr "%s: %d definitions OK@." file (List.length p.Ir.Ast.defs);
+      0
+    | exception Ir.Lexer.Error m | (exception Ir.Parser.Error m)
+    | (exception Ir.Typecheck.Type_error m) ->
+      Fmt.epr "%s: %s@." file m;
+      1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and type check a program.")
+    Term.(const run $ file_arg)
+
+(* --- lower --- *)
+
+let print_lowered (lp : L.t) =
+  Fmt.pr "specializations:@.";
+  Hashtbl.iter (fun name _ -> Fmt.pr "  %s@." name) lp.L.defs;
+  Fmt.pr "kernels:@.";
+  List.iter (fun k -> Fmt.pr "  %a@." Kernel.pp k) (Kernel.all_kernels lp.L.registry);
+  Fmt.pr "max static depth: %d    tensor-dependent control flow: %b@." lp.L.max_static_depth
+    lp.L.has_tdc
+
+let lower_cmd =
+  let run file inputs =
+    match Lower.compile ~inputs (read_file file) with
+    | lp ->
+      print_lowered lp;
+      0
+    | exception Ir.Lexer.Error m | (exception Ir.Parser.Error m)
+    | (exception Ir.Typecheck.Type_error m) ->
+      Fmt.epr "%s: %s@." file m;
+      1
+  in
+  Cmd.v
+    (Cmd.info "lower" ~doc:"Compile and print the lowered program.")
+    Term.(const run $ file_arg $ inputs_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let run file inputs batch seed framework values =
+    guarded @@ fun () ->
+    let source = read_file file in
+    let weights, instances = gen_setup source ~inputs ~batch ~seed in
+    let compiled = compile ~framework ~inputs source in
+    let compiled = tune compiled ~weights ~calibration:instances in
+    let r = run ~compute_values:values ~seed compiled ~weights ~instances () in
+    if values then
+      List.iteri (fun i v -> Fmt.pr "instance %d: %a@." i Value.pp v) r.Driver.outputs;
+    Fmt.pr "@.%a@." Profiler.pp r.Driver.stats.profiler;
+    0
+  in
+  let values_arg =
+    Arg.(value & flag & info [ "values" ] ~doc:"Compute and print real tensor values.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a program on random inputs.")
+    Term.(const run $ file_arg $ inputs_arg $ batch_arg $ seed_arg $ framework_arg $ values_arg)
+
+(* --- bench --- *)
+
+let bench_cmd =
+  let run file inputs batch seed =
+    guarded @@ fun () ->
+    let source = read_file file in
+    let weights, instances = gen_setup source ~inputs ~batch ~seed in
+    Fmt.pr "%-10s %10s %8s %8s %8s@." "framework" "latency" "nodes" "batches" "launches";
+    List.iter
+      (fun (name, framework) ->
+        let compiled = compile ~framework ~inputs source in
+        let compiled = tune compiled ~weights ~calibration:instances in
+        let r = run ~seed compiled ~weights ~instances () in
+        let p = r.Driver.stats.profiler in
+        Fmt.pr "%-10s %8.3fms %8d %8d %8d@." name r.Driver.stats.latency_ms
+          p.Profiler.nodes_created p.Profiler.batches_executed p.Profiler.kernel_calls)
+      [
+        "acrobat", Frameworks.Acrobat Config.acrobat;
+        "dynet", Frameworks.Dynet { improved = false; scheduler = Config.Agenda };
+        "pytorch", Frameworks.Pytorch;
+      ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Compare frameworks on the same program.")
+    Term.(const run $ file_arg $ inputs_arg $ batch_arg $ seed_arg)
+
+let () =
+  let info = Cmd.info "acrobatc" ~version:"1.0" ~doc:"The ACROBAT compiler driver." in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; lower_cmd; run_cmd; bench_cmd ]))

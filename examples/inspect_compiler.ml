@@ -1,0 +1,55 @@
+(** Compiler introspection: show what each analysis decides for a model —
+    specializations (code duplication), kernels with argument roles,
+    hoisted blocks, program phases — for the BiRNN, the model that
+    exercises them all.
+
+    Run with: [dune exec examples/inspect_compiler.exe] *)
+
+open Acrobat
+module L = Lowered
+
+let () =
+  let model = Acrobat_models.Birnn.make ~hidden:8 ~classes:4 Model.Small in
+  let lp = Lower.compile ~inputs:model.Model.inputs model.Model.source in
+
+  Fmt.pr "=== specialized definitions (1-context code duplication, paper C.1) ===@.";
+  Hashtbl.iter (fun name (_ : L.ldef) -> Fmt.pr "  %s@." name) lp.L.defs;
+
+  Fmt.pr "@.=== generated batched kernels (S = shared argument, B = batched) ===@.";
+  List.iter (fun k -> Fmt.pr "  %a@." Kernel.pp k) (Kernel.all_kernels lp.L.registry);
+
+  Fmt.pr "@.=== scheduling structure ===@.";
+  let rec walk indent (e : L.lexpr) =
+    match e with
+    | L.Lblock (b, cont) ->
+      Fmt.pr "%sblock %-28s depth=%s outs=[%s]@." indent b.L.kernel.Kernel.name
+        (match b.L.depth with L.Static d -> "static " ^ string_of_int d | L.Dynamic -> "dynamic")
+        (String.concat ", " b.L.outs);
+      walk indent cont
+    | L.Lphase (k, cont) ->
+      Fmt.pr "%s-- phase %d --@." indent k;
+      walk indent cont
+    | L.Lghost (n, cont) ->
+      Fmt.pr "%sghost x%d@." indent n;
+      walk indent cont
+    | L.Llet (_, rhs, cont) ->
+      walk indent rhs;
+      walk indent cont
+    | L.Lmatch (_, cases) -> List.iter (fun (_, e) -> walk (indent ^ "  ") e) cases
+    | L.Lif (_, a, b) ->
+      walk (indent ^ "  ") a;
+      walk (indent ^ "  ") b
+    | L.Lmap (f, _) -> walk (indent ^ "  ") f
+    | L.Lfn (_, b) -> walk indent b
+    | L.Lcons (a, b) ->
+      walk indent a;
+      walk indent b
+    | _ -> ()
+  in
+  Hashtbl.iter
+    (fun name (d : L.ldef) ->
+      Fmt.pr "@.def %s:@." name;
+      walk "  " d.L.lbody)
+    lp.L.defs;
+  Fmt.pr "@.max static depth: %d   tensor-dependent control flow: %b@." lp.L.max_static_depth
+    lp.L.has_tdc

@@ -1,0 +1,96 @@
+(** Optimization configuration.
+
+    One flag per optimization the paper ablates (Fig. 5) or discusses, so the
+    benchmark harness can progressively enable them. [acrobat] is the full
+    configuration used for the headline numbers; [baseline] disables
+    everything (pure dynamic batching, DyNet-style granularity). *)
+
+type scheduler =
+  | Inline_depth
+      (** ACROBAT: depths computed inline during DFG construction (§4.1);
+          scheduling is an O(1) bucket push per node. *)
+  | Runtime_depth
+      (** Depths computed by a graph traversal at flush time (what ACROBAT
+          falls back to when inline depth computation is disabled). *)
+  | Agenda
+      (** DyNet's agenda-based scheme (Neubig et al. 2017b): maintain the
+          ready set and repeatedly launch the most numerous compatible
+          group. *)
+
+let scheduler_name = function
+  | Inline_depth -> "inline-depth"
+  | Runtime_depth -> "runtime-depth"
+  | Agenda -> "agenda"
+
+type t = {
+  kernel_fusion : bool;  (** Standard (vertical) kernel fusion, §7.3. *)
+  horizontal_fusion : bool;  (** Fuse sibling ops sharing an input, §C.1. *)
+  grain_coarsening : bool;  (** Schedule at static-block granularity, §B.2. *)
+  scheduler : scheduler;
+  ghost_ops : bool;  (** Pad conditional branches, §4.1/§B.3. *)
+  program_phases : bool;  (** Barriers between semantic stages, §4.1/§B.3. *)
+  gather_fusion : bool;  (** Fuse memory gathers into batched kernels, §5.2. *)
+  hoisting : bool;  (** Static operator hoisting out of recursion, §B.1. *)
+  context_sensitive : bool;
+      (** 1-context-sensitive taint analysis + code duplication (§5.1, §C.1).
+          Off = context-insensitive: functions reused with different
+          parameters lose parameter-reuse knowledge. *)
+  parameter_reuse : bool;
+      (** Static shared-argument inference. Off = all arguments treated as
+          per-instance (batched), as a fully dynamic system would without
+          its heuristics. *)
+  constant_reuse : bool;  (** Materialize constant tensors once, §E.4. *)
+  fibers : bool;
+      (** Concurrent execution of instances (and forked instance
+          parallelism) under tensor-dependent control flow, §4.2. *)
+  autosched_iters : int;  (** Auto-scheduler iteration budget (§D.1). *)
+  pgo : bool;  (** Profile-guided kernel priorities for the auto-scheduler. *)
+}
+
+let acrobat =
+  {
+    kernel_fusion = true;
+    horizontal_fusion = true;
+    grain_coarsening = true;
+    scheduler = Inline_depth;
+    ghost_ops = true;
+    program_phases = true;
+    gather_fusion = true;
+    hoisting = true;
+    context_sensitive = true;
+    parameter_reuse = true;
+    constant_reuse = true;
+    fibers = true;
+    autosched_iters = 1000;
+    pgo = true;
+  }
+
+(** Everything off: per-operator scheduling, explicit gathers, runtime depth
+    computation. The starting bar of Fig. 5. *)
+let baseline =
+  {
+    kernel_fusion = false;
+    horizontal_fusion = false;
+    grain_coarsening = false;
+    scheduler = Runtime_depth;
+    ghost_ops = false;
+    program_phases = false;
+    gather_fusion = false;
+    hoisting = false;
+    context_sensitive = true;
+    parameter_reuse = true;
+    constant_reuse = true;
+    fibers = true;
+    autosched_iters = 1000;
+    pgo = true;
+  }
+
+let pp ppf t =
+  let b = Fmt.bool in
+  Fmt.pf ppf
+    "@[<v>fusion=%a horiz=%a coarsen=%a sched=%s ghost=%a phases=%a gather_fusion=%a \
+     hoist=%a ctx=%a reuse=%a const=%a fibers=%a iters=%d pgo=%a@]"
+    b t.kernel_fusion b t.horizontal_fusion b t.grain_coarsening
+    (scheduler_name t.scheduler) b t.ghost_ops b t.program_phases b t.gather_fusion b
+    t.hoisting b t.context_sensitive b t.parameter_reuse b t.constant_reuse b t.fibers
+    t.autosched_iters b t.pgo

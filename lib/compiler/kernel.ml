@@ -1,0 +1,283 @@
+(** Batched-kernel descriptors.
+
+    A kernel is the unit the runtime batches over: the tensor ops of one
+    static block (one op when grain coarsening is off), partitioned into
+    {e groups} — each group is one device launch (the partition is what
+    standard + horizontal kernel fusion decide). Each argument carries a
+    role from the taint analysis: [Shared] arguments are a single tensor
+    (model parameter / constant) reused by every instance in a batch;
+    [Batched] arguments differ per instance and may need a memory gather.
+
+    Kernels are deduplicated structurally: two blocks with identical ops,
+    roles and shared-parameter bindings share one kernel and therefore batch
+    together; blocks that differ only in which parameters they bind —
+    e.g. the forward and backward RNN cells of a BiRNN after code
+    duplication — get distinct kernels (§C.1). *)
+
+open Acrobat_ir
+open Acrobat_tensor
+
+type role = Shared | Batched
+
+type shared_bind =
+  | Bparam of string  (** A @main weight parameter. *)
+  | Bconst of { shape : Shape.t; value : float }  (** A constant tensor. *)
+
+type src = Arg of int | Tmp of int
+
+type instr = { op : Op.t; srcs : src list; dst : int }
+
+type group = { instrs : instr list }
+
+type t = {
+  id : int;
+  name : string;
+  nargs : int;
+  roles : role array;
+  shared_binds : (int * shared_bind) list;  (** arg index -> binding *)
+  groups : group list;
+  ntmps : int;
+  out_tmps : int array;
+}
+
+let out_arity t = Array.length t.out_tmps
+
+(** Number of device launches one batch of this kernel issues. *)
+let launches t = List.length t.groups
+
+(* --- Shape/flops propagation (shapes are per-node at runtime) --- *)
+
+(** Shapes of all temporaries given argument shapes. *)
+let tmp_shapes t (arg_shapes : Shape.t array) : Shape.t array =
+  let tmps = Array.make t.ntmps [] in
+  let shape_of = function Arg i -> arg_shapes.(i) | Tmp j -> tmps.(j) in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun i -> tmps.(i.dst) <- Op.out_shape i.op (List.map shape_of i.srcs))
+        g.instrs)
+    t.groups;
+  tmps
+
+let out_shapes t arg_shapes =
+  let tmps = tmp_shapes t arg_shapes in
+  Array.map (fun i -> tmps.(i)) t.out_tmps
+
+(** Per-instance FLOPs of each group. *)
+let group_flops t (arg_shapes : Shape.t array) : float list =
+  let tmps = Array.make t.ntmps [] in
+  let shape_of = function Arg i -> arg_shapes.(i) | Tmp j -> tmps.(j) in
+  List.map
+    (fun g ->
+      List.fold_left
+        (fun acc i ->
+          let shapes = List.map shape_of i.srcs in
+          tmps.(i.dst) <- Op.out_shape i.op shapes;
+          acc +. Op.flops i.op shapes)
+        0.0 g.instrs)
+    t.groups
+
+(** Per-instance {e internal} memory traffic (bytes) of each group: every
+    instruction output plus every cross-group temporary read. Temporaries
+    consumed within their own group stay in registers/shared memory — this
+    is the data-movement saving kernel fusion buys. Reads of kernel
+    {e arguments} are excluded here: the executor attributes them per batch
+    (once for shared weights, per instance for batched inputs). *)
+let group_traffic t (arg_shapes : Shape.t array) : float list =
+  let tmps = Array.make t.ntmps [] in
+  let group_of_tmp = Hashtbl.create 16 in
+  List.iteri
+    (fun gi g -> List.iter (fun i -> Hashtbl.replace group_of_tmp i.dst gi) g.instrs)
+    t.groups;
+  let shape_of = function Arg i -> arg_shapes.(i) | Tmp j -> tmps.(j) in
+  let bytes_per = 4.0 in
+  List.mapi
+    (fun gi g ->
+      List.fold_left
+        (fun acc i ->
+          let shapes = List.map shape_of i.srcs in
+          let out = Op.out_shape i.op shapes in
+          tmps.(i.dst) <- out;
+          let reads =
+            List.fold_left2
+              (fun acc src shape ->
+                match src with
+                | Arg _ -> acc
+                | Tmp j -> if Hashtbl.find group_of_tmp j <> gi then acc + Shape.numel shape else acc)
+              0 i.srcs shapes
+          in
+          acc +. (bytes_per *. float_of_int (reads + Shape.numel out)))
+        0.0 g.instrs)
+    t.groups
+
+(** Per group, the (deduplicated) kernel-argument indices it reads. *)
+let group_arg_reads t : int list list =
+  List.map
+    (fun g ->
+      List.concat_map
+        (fun i -> List.filter_map (function Arg a -> Some a | Tmp _ -> None) i.srcs)
+        g.instrs
+      |> List.sort_uniq compare)
+    t.groups
+
+(** Execute the kernel body for one instance on concrete tensors. *)
+let execute ?rand t (args : Tensor.t array) : Tensor.t array =
+  let tmps = Array.make t.ntmps (Tensor.scalar 0.0) in
+  let value_of = function Arg i -> args.(i) | Tmp j -> tmps.(j) in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun i -> tmps.(i.dst) <- Op.eval ?rand i.op (List.map value_of i.srcs))
+        g.instrs)
+    t.groups;
+  Array.map (fun i -> tmps.(i)) t.out_tmps
+
+(* --- Construction --- *)
+
+type builder = { mutable instrs : instr list; mutable next_tmp : int }
+
+let builder () = { instrs = []; next_tmp = 0 }
+
+let add_instr b op srcs =
+  let dst = b.next_tmp in
+  b.next_tmp <- b.next_tmp + 1;
+  b.instrs <- { op; srcs; dst } :: b.instrs;
+  dst
+
+(* Vertical (standard) fusion: partition instructions into launch groups.
+   Non-elementwise ops anchor a new group; an elementwise op joins the
+   group of its latest temporary operand (the producer's group), which is
+   exactly "fuse elementwise consumers into their producers". *)
+let vertical_groups ~fusion instrs =
+  if not fusion then List.map (fun i -> [ i ]) instrs
+  else begin
+    (* Group k holds a reversed instruction list; [group_of_tmp] maps each
+       temporary to the index of the group that produces it. *)
+    let groups : instr list ref array ref = ref [||] in
+    let group_of_tmp = Hashtbl.create 16 in
+    let new_group i =
+      let idx = Array.length !groups in
+      groups := Array.append !groups [| ref [ i ] |];
+      idx
+    in
+    List.iter
+      (fun i ->
+        let producer_groups =
+          List.filter_map
+            (function Tmp j -> Hashtbl.find_opt group_of_tmp j | Arg _ -> None)
+            i.srcs
+        in
+        let idx =
+          (* Fusing into the *latest* producer group is always legal: all of
+             the instruction's dependencies live in that group or earlier
+             ones, and groups launch in creation order. *)
+          if Op.is_elementwise i.op && producer_groups <> [] then begin
+            let g = List.fold_left max 0 producer_groups in
+            !groups.(g) := i :: !(!groups.(g));
+            g
+          end
+          else new_group i
+        in
+        Hashtbl.replace group_of_tmp i.dst idx)
+      instrs;
+    Array.to_list (Array.map (fun g -> List.rev !g) !groups)
+  end
+
+(* Horizontal fusion: merge adjacent groups anchored by matmuls that share
+   their first operand (e.g. the four gate projections of an LSTM cell all
+   multiplying the same input), when the later group does not consume any
+   temporary of the earlier one. *)
+let horizontal_merge ~horizontal groups =
+  if not horizontal then groups
+  else begin
+    let anchor_src g =
+      match g with
+      | { op = Op.Matmul; srcs = s0 :: _; _ } :: _ -> Some s0
+      | _ -> None
+    in
+    let produces g = List.map (fun i -> i.dst) g in
+    let consumes g =
+      List.concat_map (fun i -> List.filter_map (function Tmp j -> Some j | Arg _ -> None) i.srcs) g
+    in
+    let rec merge = function
+      | [] -> []
+      | g :: rest -> begin
+        match rest with
+        | g2 :: rest2
+          when (match anchor_src g, anchor_src g2 with
+               | Some (Arg a), Some (Arg b) -> a = b
+               | _ -> false)
+               && not (List.exists (fun d -> List.mem d (consumes g2)) (produces g)) ->
+          merge ((g @ g2) :: rest2)
+        | _ -> g :: merge rest
+      end
+    in
+    merge groups
+  end
+
+(* Structural key for deduplication. *)
+let canonical_key ~roles ~shared_binds ~outs instrs =
+  let src_str = function Arg i -> Fmt.str "a%d" i | Tmp j -> Fmt.str "t%d" j in
+  let instr_str i =
+    Fmt.str "%s(%a)>%d" (Op.name i.op) Fmt.(list ~sep:(any ",") string)
+      (List.map src_str i.srcs) i.dst
+  in
+  let bind_str = function
+    | i, Bparam p -> Fmt.str "%d=p:%s" i p
+    | i, Bconst { shape; value } -> Fmt.str "%d=c:%a:%g" i Shape.pp shape value
+  in
+  Fmt.str "%a|%a|%a|%a"
+    Fmt.(list ~sep:(any ";") string)
+    (List.map instr_str instrs)
+    Fmt.(array ~sep:(any ",") (fmt "%s"))
+    (Array.map (function Shared -> "S" | Batched -> "B") roles)
+    Fmt.(list ~sep:(any ",") string)
+    (List.map bind_str shared_binds)
+    Fmt.(array ~sep:(any ",") int)
+    outs
+
+(** A registry deduplicates kernels within one compilation. *)
+type registry = { table : (string, t) Hashtbl.t; mutable next_id : int }
+
+let registry () = { table = Hashtbl.create 64; next_id = 0 }
+
+let all_kernels r = Hashtbl.fold (fun _ k acc -> k :: acc) r.table [] |> List.sort compare
+
+(** Finalize a builder into a (deduplicated) kernel. *)
+let finish (r : registry) (b : builder) ~(name : string) ~(nargs : int)
+    ~(roles : role array) ~(shared_binds : (int * shared_bind) list)
+    ~(out_tmps : int array) ~(fusion : bool) ~(horizontal : bool) : t =
+  let instrs = List.rev b.instrs in
+  let key =
+    Fmt.str "%s#f%b#h%b" (canonical_key ~roles ~shared_binds ~outs:out_tmps instrs) fusion
+      horizontal
+  in
+  match Hashtbl.find_opt r.table key with
+  | Some k -> k
+  | None ->
+    let groups =
+      vertical_groups ~fusion instrs
+      |> horizontal_merge ~horizontal
+      |> List.map (fun instrs -> { instrs })
+    in
+    let k =
+      {
+        id = r.next_id;
+        name;
+        nargs;
+        roles;
+        shared_binds;
+        groups;
+        ntmps = b.next_tmp;
+        out_tmps;
+      }
+    in
+    r.next_id <- r.next_id + 1;
+    Hashtbl.replace r.table key k;
+    k
+
+let pp ppf t =
+  Fmt.pf ppf "kernel %d %s: %d args (%a), %d groups, %d outs" t.id t.name t.nargs
+    Fmt.(array ~sep:(any "") (fmt "%s"))
+    (Array.map (function Shared -> "S" | Batched -> "B") t.roles)
+    (List.length t.groups) (Array.length t.out_tmps)

@@ -1,0 +1,29 @@
+(** Stable identities for syntactic sites (operator applications, calls,
+    maps) of an ANF program.
+
+    Passes after ANF (taint analysis, lowering) must agree on which site is
+    which; we number sub-expressions by physical identity in one traversal
+    over the shared in-memory AST. *)
+
+open Acrobat_ir
+
+type t = { ids : (Obj.t * int) list ref; next : int ref }
+
+let create () = { ids = ref []; next = ref 0 }
+
+let rec assq_phys k = function
+  | [] -> None
+  | (k', v) :: rest -> if k == k' then Some v else assq_phys k rest
+
+(** The unique id of expression [e], assigning one on first sight. *)
+let id t (e : Ast.expr) : int =
+  let key = Obj.repr e in
+  match assq_phys key !(t.ids) with
+  | Some i -> i
+  | None ->
+    let i = !(t.next) in
+    incr t.next;
+    t.ids := (key, i) :: !(t.ids);
+    i
+
+let count t = !(t.next)

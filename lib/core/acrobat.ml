@@ -1,0 +1,120 @@
+(** ACROBAT: compile-time optimized auto-batching for dynamic deep learning.
+
+    The top-level API. A typical session:
+
+    {[
+      let compiled = Acrobat.compile ~inputs:[ "inps" ] source in
+      let compiled = Acrobat.tune compiled ~weights ~calibration in
+      let result = Acrobat.run compiled ~weights ~instances () in
+      ...
+    ]}
+
+    [compile] parses, type checks and lowers the input program under a
+    framework configuration (ACROBAT by default; the DyNet / PyTorch
+    baselines are selected through [framework]); [tune] runs the
+    auto-scheduler with PGO-derived kernel priorities; [run] executes a
+    mini-batch on the simulated accelerator and reports outputs plus the
+    full activity profile. *)
+
+module Tensor = Acrobat_tensor.Tensor
+module Shape = Acrobat_tensor.Shape
+module Rng = Acrobat_tensor.Rng
+module Ops = Acrobat_tensor.Ops
+module Ir = Acrobat_ir
+module Config = Acrobat_compiler.Config
+module Lower = Acrobat_compiler.Lower
+module Lowered = Acrobat_compiler.Lowered
+module Kernel = Acrobat_compiler.Kernel
+module Autosched = Acrobat_compiler.Autosched
+module Device = Acrobat_device.Device
+module Cost_model = Acrobat_device.Cost_model
+module Profiler = Acrobat_device.Profiler
+module Value = Acrobat_runtime.Value
+module Driver = Acrobat_engines.Driver
+module Policy = Acrobat_engines.Policy
+module Frameworks = Acrobat_engines.Frameworks
+module Cortex = Acrobat_engines.Cortex
+module Model = Acrobat_models.Model
+module Models = Acrobat_models.Catalog
+module Workloads = Acrobat_workloads
+
+type compiled = {
+  lprog : Lowered.t;
+  framework : Frameworks.kind;
+  quality : int -> float;  (** Kernel schedule quality (auto-scheduled). *)
+}
+
+(** Parse, type check, analyze and lower [source]. [inputs] names the
+    @main parameters that vary per batch instance (everything else is a
+    model weight). *)
+let compile ?(framework = Frameworks.Acrobat Config.acrobat) ~(inputs : string list)
+    (source : string) : compiled =
+  let lprog = Lower.compile ~config:(Frameworks.config framework) ~inputs source in
+  let quality =
+    match framework with
+    | Frameworks.Acrobat _ ->
+      (* Untuned: every kernel at the search floor until [tune] runs. *)
+      fun _ -> Autosched.sample_floor
+    | Frameworks.Dynet _ | Frameworks.Pytorch ->
+      fun id -> Autosched.quality Frameworks.vendor_quality id
+  in
+  { lprog; framework; quality }
+
+(** Execute a mini-batch. [compute_values] makes kernels produce real
+    tensors (needed to inspect outputs; large benchmark configurations run
+    accounting-only, cf. DESIGN.md). *)
+let run ?compute_values ?seed (c : compiled) ~(weights : (string * Tensor.t) list)
+    ~(instances : (string * Driver.hval) list list) () : Driver.result =
+  Driver.run ?compute_values ?seed ~mode:(Frameworks.mode c.framework)
+    ~policy:(Frameworks.policy c.framework) ~quality:c.quality ~lprog:c.lprog ~weights
+    ~instances ()
+
+(** Auto-schedule the generated kernels (§D.1): a profiling run on
+    [calibration] collects per-kernel invocation counts and representative
+    FLOPs; the iteration budget is then split by estimated cost — PGO
+    counts when enabled, else the static nesting-depth heuristic — and the
+    search runs per kernel. Baseline frameworks use vendor kernels and are
+    returned unchanged. *)
+let tune ?iters ?(search_seed = 0) (c : compiled) ~(weights : (string * Tensor.t) list)
+    ~(calibration : (string * Driver.hval) list list) : compiled =
+  match c.framework with
+  | Frameworks.Dynet _ | Frameworks.Pytorch -> c
+  | Frameworks.Acrobat cfg ->
+    let iters = Option.value ~default:cfg.Config.autosched_iters iters in
+    let profile_run = run c ~weights ~instances:calibration () in
+    let profile = profile_run.Driver.profile in
+    let lookup id = List.find_opt (fun (k, _, _, _) -> k = id) profile in
+    let flops id =
+      match lookup id with Some (_, _, mean_flops, _) -> mean_flops | None -> 1.0e6
+    in
+    let weight_elems id = match lookup id with Some (_, _, _, se) -> se | None -> 0 in
+    let priority id =
+      if cfg.Config.pgo then begin
+        (* Exact execution cost: measured invocation count x measured work. *)
+        match lookup id with Some (_, count, _, _) -> count *. flops id | None -> 1.0
+      end
+      else
+        (* Static estimate: the nesting-depth frequency heuristic, with no
+           knowledge of per-kernel work (SS D.1). *)
+        Option.value ~default:1.0 (Hashtbl.find_opt c.lprog.Lowered.kernel_hints id)
+    in
+    let table =
+      Autosched.tune ~seed:search_seed ~registry:c.lprog.Lowered.registry ~iters ~priority
+        ~flops ~weight_elems ()
+    in
+    { c with quality = Autosched.quality table }
+
+(** Convenience: compile and tune a catalog model for a framework. *)
+let compile_model ?framework ?iters (model : Model.t) ~(batch : int) ~(seed : int) :
+    compiled * (string * Tensor.t) list =
+  let c = compile ?framework ~inputs:model.Model.inputs model.Model.source in
+  let weights = model.Model.gen_weights seed in
+  let rng = Rng.create (seed + 1) in
+  let calibration = List.init (min 8 batch) (fun _ -> model.Model.gen_instance rng) in
+  let c = tune ?iters c ~weights ~calibration in
+  c, weights
+
+(** Generate a seeded batch of instances for a model. *)
+let gen_batch (model : Model.t) ~batch ~seed =
+  let rng = Rng.create seed in
+  List.init batch (fun _ -> model.Model.gen_instance rng)

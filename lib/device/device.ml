@@ -1,0 +1,93 @@
+(** The simulated accelerator.
+
+    Engines drive this module instead of a CUDA runtime. Each call performs
+    the real bookkeeping (arena allocation, contiguity checks, counters) and
+    charges the {!Cost_model} for the simulated time; tensor values themselves
+    are computed by the caller on the CPU. See DESIGN.md §2 for why this
+    substitution preserves the paper's evaluation. *)
+
+type t = {
+  cost : Cost_model.t;
+  memory : Memory.t;
+  profiler : Profiler.t;
+}
+
+let create ?(cost = Cost_model.default) () =
+  { cost; memory = Memory.create (); profiler = Profiler.create () }
+
+let profiler t = t.profiler
+let cost_model t = t.cost
+let memory t = t.memory
+
+let reset t =
+  Memory.reset t.memory;
+  Profiler.reset t.profiler
+
+(** Reserve device memory for [elems] elements. *)
+let alloc t ~elems = Memory.alloc t.memory ~elems
+
+(** Launch one compute kernel performing [flops] of work.
+
+    [scattered_inputs] indicates the kernel reads its batched inputs through
+    an index array (gather fusion with non-contiguous inputs); it is charged
+    the indirection penalty. [quality] is the auto-scheduler's schedule
+    quality in (0, 1]; 1.0 is the best schedule found at the full iteration
+    budget (§D.1). *)
+let launch_kernel ?(quality = 1.0) ?(scattered_inputs = false) ?(bytes = 0.0) t ~flops =
+  assert (quality > 0.0 && quality <= 1.0);
+  let base = Cost_model.kernel_time t.cost ~flops ~bytes in
+  let penalty = if scattered_inputs then 1.0 +. t.cost.indirection_penalty else 1.0 in
+  let time = base *. penalty /. quality in
+  t.profiler.kernel_calls <- t.profiler.kernel_calls + 1;
+  Profiler.charge t.profiler Kernel_exec time;
+  Profiler.charge t.profiler Api_overhead t.cost.api_call_us
+
+(** Launch an explicit memory-gather kernel copying [bytes] into a fresh
+    contiguous slab; returns the slab's base address. *)
+let launch_gather t ~bytes ~elems =
+  let time = Cost_model.gather_time t.cost ~bytes in
+  t.profiler.kernel_calls <- t.profiler.kernel_calls + 1;
+  t.profiler.gather_kernels <- t.profiler.gather_kernels + 1;
+  t.profiler.gather_bytes <- t.profiler.gather_bytes + bytes;
+  Profiler.charge t.profiler Kernel_exec time;
+  Profiler.charge t.profiler Api_overhead t.cost.api_call_us;
+  Memory.alloc t.memory ~elems
+
+(** One host->device (or device->host) transfer of [bytes]. *)
+let memcpy t ~bytes =
+  t.profiler.memcpy_calls <- t.profiler.memcpy_calls + 1;
+  Profiler.charge t.profiler Mem_transfer (Cost_model.memcpy_time t.cost ~bytes);
+  Profiler.charge t.profiler Api_overhead t.cost.api_call_us
+
+(** Upload a tensor, returning its device address. *)
+let upload t tensor =
+  let elems = Acrobat_tensor.Tensor.numel tensor in
+  memcpy t ~bytes:(elems * Cost_model.bytes_per_elem);
+  alloc t ~elems
+
+(* --- Host-side accounting helpers; engines call these as they work. --- *)
+
+let charge_dfg_node t =
+  t.profiler.nodes_created <- t.profiler.nodes_created + 1;
+  Profiler.charge t.profiler Dfg_construction t.cost.dfg_node_us
+
+let charge_heap_op t = Profiler.charge t.profiler Scheduling t.cost.heap_op_us
+
+let charge_signature_hash t =
+  Profiler.charge t.profiler Scheduling t.cost.signature_hash_us
+
+let charge_bucket_push t = Profiler.charge t.profiler Scheduling t.cost.bucket_push_us
+
+let charge_scheduling t us = Profiler.charge t.profiler Scheduling us
+
+let charge_vm_dispatch t = Profiler.charge t.profiler Vm_overhead t.cost.vm_dispatch_us
+
+let charge_fiber_switch t =
+  t.profiler.fiber_switches <- t.profiler.fiber_switches + 1;
+  Profiler.charge t.profiler Fiber_overhead t.cost.fiber_switch_us
+
+let note_batch t = t.profiler.batches_executed <- t.profiler.batches_executed + 1
+let note_unbatched t = t.profiler.unbatched_ops <- t.profiler.unbatched_ops + 1
+
+(** Simulated elapsed time so far, in milliseconds. *)
+let elapsed_ms t = Profiler.total_ms t.profiler

@@ -1,0 +1,48 @@
+(** Simulated device memory: a bump-pointer arena.
+
+    ACROBAT and DyNet both use arena allocation on the device (§D.3). We track
+    only addresses and extents — actual values live in host {!Acrobat_tensor}
+    buffers — because the one property batching cares about is whether the
+    inputs of a batch are *contiguous* (§5.2): contiguous inputs need no
+    memory gather; scattered inputs need either an explicit gather kernel or
+    a gather-fused kernel. *)
+
+type address = int
+
+type t = {
+  mutable cursor : address;
+  mutable allocations : int;
+  mutable peak : address;
+}
+
+let create () = { cursor = 0; allocations = 0; peak = 0 }
+
+let reset t =
+  t.cursor <- 0;
+  t.allocations <- 0
+
+(** [alloc t ~elems] reserves [elems] contiguous elements, returning the
+    base address. *)
+let alloc t ~elems =
+  assert (elems >= 0);
+  let addr = t.cursor in
+  t.cursor <- t.cursor + elems;
+  t.allocations <- t.allocations + 1;
+  if t.cursor > t.peak then t.peak <- t.cursor;
+  addr
+
+let allocations t = t.allocations
+let used_elems t = t.cursor
+let peak_elems t = t.peak
+
+(** [contiguous chunks] is true when the [(address, elems)] chunks lie
+    back-to-back in order, i.e. a batched kernel can read them as one slab. *)
+let contiguous chunks =
+  match chunks with
+  | [] -> true
+  | (first, first_sz) :: rest ->
+    let rec go expected = function
+      | [] -> true
+      | (addr, sz) :: tl -> addr = expected && go (addr + sz) tl
+    in
+    go (first + first_sz) rest

@@ -1,0 +1,102 @@
+(** Activity accounting, mirroring the categories of the paper's Table 5. *)
+
+type activity =
+  | Dfg_construction  (** Building DFG nodes during lazy execution. *)
+  | Scheduling  (** Finding batching opportunities / ordering nodes. *)
+  | Mem_transfer  (** Host <-> device copies. *)
+  | Kernel_exec  (** Device time of compute + gather kernels. *)
+  | Api_overhead  (** Host-side CUDA-API call costs. *)
+  | Vm_overhead  (** Interpreter dispatch (Relay VM only). *)
+  | Fiber_overhead  (** Cooperative context switches. *)
+
+let activity_name = function
+  | Dfg_construction -> "DFG construction"
+  | Scheduling -> "Scheduling"
+  | Mem_transfer -> "Mem. copy time"
+  | Kernel_exec -> "GPU kernel time"
+  | Api_overhead -> "CUDA API time"
+  | Vm_overhead -> "VM overhead"
+  | Fiber_overhead -> "Fiber overhead"
+
+let all_activities =
+  [
+    Dfg_construction;
+    Scheduling;
+    Mem_transfer;
+    Kernel_exec;
+    Api_overhead;
+    Vm_overhead;
+    Fiber_overhead;
+  ]
+
+type t = {
+  mutable times_us : (activity * float) list;
+  mutable kernel_calls : int;  (** Device kernel launches (incl. gathers). *)
+  mutable gather_kernels : int;
+  mutable gather_bytes : int;
+  mutable memcpy_calls : int;
+  mutable nodes_created : int;
+  mutable batches_executed : int;
+  mutable unbatched_ops : int;
+      (** Ops executed one-by-one because the framework could not batch
+          them (e.g. DyNet's unsupported operators, §E.4). *)
+  mutable fiber_switches : int;
+}
+
+let create () =
+  {
+    times_us = List.map (fun a -> a, 0.0) all_activities;
+    kernel_calls = 0;
+    gather_kernels = 0;
+    gather_bytes = 0;
+    memcpy_calls = 0;
+    nodes_created = 0;
+    batches_executed = 0;
+    unbatched_ops = 0;
+    fiber_switches = 0;
+  }
+
+let reset t =
+  t.times_us <- List.map (fun a -> a, 0.0) all_activities;
+  t.kernel_calls <- 0;
+  t.gather_kernels <- 0;
+  t.gather_bytes <- 0;
+  t.memcpy_calls <- 0;
+  t.nodes_created <- 0;
+  t.batches_executed <- 0;
+  t.unbatched_ops <- 0;
+  t.fiber_switches <- 0
+
+let charge t activity us =
+  t.times_us <-
+    List.map (fun (a, v) -> if a = activity then a, v +. us else a, v) t.times_us
+
+let time_us t activity = List.assoc activity t.times_us
+
+(** Total simulated latency in microseconds. *)
+let total_us t = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 t.times_us
+
+let total_ms t = total_us t /. 1000.0
+
+let merge ~into src =
+  List.iter (fun (a, v) -> charge into a v) src.times_us;
+  into.kernel_calls <- into.kernel_calls + src.kernel_calls;
+  into.gather_kernels <- into.gather_kernels + src.gather_kernels;
+  into.gather_bytes <- into.gather_bytes + src.gather_bytes;
+  into.memcpy_calls <- into.memcpy_calls + src.memcpy_calls;
+  into.nodes_created <- into.nodes_created + src.nodes_created;
+  into.batches_executed <- into.batches_executed + src.batches_executed;
+  into.unbatched_ops <- into.unbatched_ops + src.unbatched_ops;
+  into.fiber_switches <- into.fiber_switches + src.fiber_switches
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (a, v) ->
+      if v > 0.0 then Fmt.pf ppf "%-18s %8.2f ms@," (activity_name a) (v /. 1000.0))
+    t.times_us;
+  Fmt.pf ppf "#Kernel calls      %8d@," t.kernel_calls;
+  Fmt.pf ppf "#Gather kernels    %8d@," t.gather_kernels;
+  Fmt.pf ppf "#DFG nodes         %8d@," t.nodes_created;
+  Fmt.pf ppf "#Batches           %8d@," t.batches_executed;
+  Fmt.pf ppf "Total              %8.2f ms@]" (total_ms t)

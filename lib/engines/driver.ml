@@ -1,0 +1,151 @@
+(** End-to-end runs: upload inputs, execute all batch instances (as fibers
+    under tensor-dependent control flow), flush, download, report stats. *)
+
+open Acrobat_tensor
+open Acrobat_compiler
+open Acrobat_runtime
+open Value
+module Device = Acrobat_device.Device
+module Profiler = Acrobat_device.Profiler
+module L = Lowered
+
+(** Host-side input values, before upload. *)
+type hval =
+  | Htensor of Tensor.t
+  | Hint of int
+  | Hbool of bool
+  | Hfloat of float
+  | Hlist of hval list
+  | Hleaf of hval
+  | Hnode of hval * hval
+  | Htuple of hval list
+
+let rec hval_tensors acc = function
+  | Htensor t -> t :: acc
+  | Hint _ | Hbool _ | Hfloat _ -> acc
+  | Hlist vs | Htuple vs -> List.fold_left hval_tensors acc vs
+  | Hleaf v -> hval_tensors acc v
+  | Hnode (a, b) -> hval_tensors (hval_tensors acc a) b
+
+(* Rebuild a runtime value, consuming uploaded handles in order. *)
+let rec hval_to_value (next : unit -> handle) = function
+  | Htensor _ -> Vtensor (next ())
+  | Hint n -> Vint n
+  | Hbool b -> Vbool b
+  | Hfloat f -> Vfloat f
+  | Hlist vs -> of_list (List.map (hval_to_value next) vs)
+  | Hleaf v -> Vleaf (hval_to_value next v)
+  | Hnode (a, b) ->
+    let av = hval_to_value next a in
+    Vnode (av, hval_to_value next b)
+  | Htuple vs -> Vtuple (Array.of_list (List.map (hval_to_value next) vs))
+
+type mode = Aot_mode | Vm_mode
+
+let mode_name = function Aot_mode -> "aot" | Vm_mode -> "vm"
+
+type stats = {
+  latency_ms : float;
+  profiler : Profiler.t;
+  flushes : int;
+}
+
+type result = {
+  outputs : value list;  (** @main's result per instance. *)
+  stats : stats;
+  profile : (int * float * float * int) list;
+      (** PGO: kernel, count, mean flops, max shared-arg elems. *)
+}
+
+(** Run a lowered program on a mini-batch.
+
+    [instances] supplies, per batch instance, the values of @main's input
+    parameters by name; [weights] the model parameters. [quality] is the
+    auto-scheduled kernel quality ({!Acrobat_compiler.Autosched}). *)
+let run ?(compute_values = false) ?(seed = 2024) ~(mode : mode) ~(policy : Policy.t)
+    ~(quality : int -> float) ~(lprog : L.t) ~(weights : (string * Tensor.t) list)
+    ~(instances : (string * hval) list list) () : result =
+  let device = Device.create () in
+  let exec_policy =
+    {
+      Executor.gather_fusion = lprog.L.config.gather_fusion;
+      quality;
+      compute_values;
+      detect_dynamic_sharing = policy.Policy.detect_dynamic_sharing;
+    }
+  in
+  let n_instances = List.length instances in
+  let rt =
+    Runtime.create ~device ~scheduler:lprog.L.config.scheduler ~policy:exec_policy ~seed
+      ~instances:n_instances
+  in
+  List.iter (fun (name, tensor) -> Runtime.set_weight rt name tensor) weights;
+  let fibers = lprog.L.has_tdc && lprog.L.config.fibers in
+  (* Upload all per-instance inputs (batched into one transfer for ACROBAT,
+     one call per tensor for the dynamic baselines). *)
+  let all_tensors =
+    List.concat_map (fun inputs -> List.concat_map (fun (_, hv) -> List.rev (hval_tensors [] hv)) inputs) instances
+  in
+  let handles = ref (Runtime.upload_inputs rt ~batched:policy.Policy.batched_io all_tensors) in
+  let next_handle () =
+    match !handles with
+    | h :: rest ->
+      handles := rest;
+      h
+    | [] -> fail "input handle underflow"
+  in
+  let entry = L.entry_def lprog in
+  let instance_args =
+    List.map
+      (fun inputs ->
+        List.map
+          (fun pname ->
+            if List.mem pname lprog.L.weight_params then Vtensor (Runtime.weight rt pname)
+            else
+              match List.assoc_opt pname inputs with
+              | Some hv -> hval_to_value next_handle hv
+              | None -> fail "missing input %S for an instance" pname)
+          entry.L.lparams)
+      instances
+  in
+  (* Execute. *)
+  let outputs = Array.make n_instances Vnil in
+  (match mode with
+  | Aot_mode ->
+    let eng = Aot.create ~rt ~policy ~fibers lprog in
+    if fibers then begin
+      let tasks =
+        List.mapi (fun i args () -> outputs.(i) <- Aot.run_main eng ~instance:i args) instance_args
+      in
+      ignore (Fiber.run ~on_stall:(fun () -> Runtime.flush rt) tasks)
+    end
+    else
+      List.iteri (fun i args -> outputs.(i) <- Aot.run_main eng ~instance:i args) instance_args
+  | Vm_mode ->
+    let eng = Vm.create ~rt ~policy ~fibers lprog in
+    if fibers then begin
+      let tasks =
+        List.mapi (fun i args () -> outputs.(i) <- Vm.run_main eng ~instance:i args) instance_args
+      in
+      ignore (Fiber.run ~on_stall:(fun () -> Runtime.flush rt) tasks)
+    end
+    else
+      List.iteri (fun i args -> outputs.(i) <- Vm.run_main eng ~instance:i args) instance_args);
+  (* Final flush and download of results. *)
+  Runtime.flush rt;
+  let out_handles = Array.fold_left Value.handles [] outputs in
+  List.iter
+    (fun h -> if not (handle_ready h) then fail "output handle still pending after final flush")
+    out_handles;
+  Runtime.download rt ~batched:true out_handles;
+  {
+    outputs = Array.to_list outputs;
+    stats =
+      {
+        latency_ms = Profiler.total_ms (Device.profiler device);
+        profiler = Device.profiler device;
+        flushes = Runtime.flush_count rt;
+      };
+    profile = Runtime.profile rt;
+  }
+

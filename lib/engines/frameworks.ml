@@ -1,0 +1,63 @@
+(** Framework presets: the configurations and policies that realize each
+    evaluated system on the shared substrate (see DESIGN.md §2).
+
+    - {b ACROBAT}: all static optimizations ({!Acrobat_compiler.Config.acrobat}),
+      inline-depth scheduling, auto-scheduled kernels, AOT closures.
+    - {b DyNet}: no static analysis; composite vendor kernels (an
+      [affine_transform]-style vertical fusion only — what cuDNN/Eigen give
+      it); agenda or runtime-depth scheduling; explicit gathers; brittle
+      batching heuristics; per-tensor transfers. [improved] is the paper's
+      DN++ (§E.4 fixes).
+    - {b PyTorch}: same granularity, but eager (one launch per op, no
+      batching) and interpreted. *)
+
+open Acrobat_compiler
+
+let dynet_config ?(improved = false) ?(scheduler = Config.Agenda) () : Config.t =
+  {
+    kernel_fusion = true;
+    horizontal_fusion = false;
+    grain_coarsening = false;
+    scheduler;
+    ghost_ops = false;
+    program_phases = false;
+    gather_fusion = false;
+    hoisting = false;
+    context_sensitive = false;
+    parameter_reuse = false;
+    constant_reuse = improved;
+    fibers = true;
+    autosched_iters = 0;
+    pgo = false;
+  }
+
+let pytorch_config : Config.t =
+  { (dynet_config ()) with kernel_fusion = false; fibers = false }
+
+(** Vendor-library kernel quality (cuDNN/cuBLAS-backed). *)
+let vendor_quality = Autosched.vendor
+
+type kind =
+  | Acrobat of Config.t  (** Possibly an ablated configuration. *)
+  | Dynet of { improved : bool; scheduler : Config.scheduler }
+  | Pytorch
+
+let name = function
+  | Acrobat _ -> "acrobat"
+  | Dynet { improved; _ } -> if improved then "dynet++" else "dynet"
+  | Pytorch -> "pytorch"
+
+let config = function
+  | Acrobat c -> c
+  | Dynet { improved; scheduler } -> dynet_config ~improved ~scheduler ()
+  | Pytorch -> pytorch_config
+
+let policy = function
+  | Acrobat _ -> Policy.acrobat_policy
+  | Dynet { improved; _ } -> Policy.dynet_policy ~improved ()
+  | Pytorch -> Policy.pytorch_policy
+
+(** PyTorch is an interpreter; the others are compiled. *)
+let mode = function
+  | Acrobat _ | Dynet _ -> Driver.Aot_mode
+  | Pytorch -> Driver.Vm_mode

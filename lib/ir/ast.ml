@@ -1,0 +1,124 @@
+(** Abstract syntax of the input language (see Listing 1 of the paper for the
+    concrete syntax this models). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | And
+  | Or
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | And -> "&&"
+  | Or -> "||"
+
+type pat =
+  | Pnil
+  | Pcons of string * string
+  | Pleaf of string
+  | Pnode of string * string
+  | Pwild
+
+type expr =
+  | Var of string
+  | Global of string
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | Let of string * expr * expr
+  | If of expr * expr * expr
+  | Prim of Op.t * expr list  (** Tensor-operator application. *)
+  | Call of expr * expr list  (** Calls a global or a closure. *)
+  | Fn of (string * Ty.t) list * expr  (** Anonymous function. *)
+  | Match of expr * (pat * expr) list
+  | Nil
+  | Cons of expr * expr
+  | Leaf of expr
+  | Node of expr * expr
+  | Tuple of expr list
+  | Proj of expr * int
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Concurrent of expr list
+      (** Evaluates to a tuple; the elements are independent and may be
+          evaluated concurrently (the paper's [concurrent] annotation,
+          Fig. 2) — they receive the same scheduling depth, and fork fibers
+          under tensor-dependent control flow. *)
+  | Map of expr * expr
+      (** [Map (f, xs)]: the built-in [@map]; applications of [f] to the
+          elements are independent (instance parallelism, obs. O.2). *)
+  | Scalar of expr  (** Force a tensor and read it as a scalar (triggers
+                        DFG evaluation: tensor-dependent control flow). *)
+  | Choice of expr
+      (** [Choice n]: a tensor-dependent control-flow decision in [0, n),
+          emulated by per-instance pseudo-randomness as in paper §E.1.
+          Forces a DFG flush like any value read. *)
+  | Coin of expr  (** [Coin p]: Boolean decision, true with probability [p];
+                      same flush semantics as {!Choice}. *)
+
+type def = {
+  name : string;  (** Global name, without the [@]. *)
+  params : (string * Ty.t) list;
+  ret : Ty.t;
+  body : expr;
+}
+
+type program = { defs : def list }
+
+let find_def program name = List.find_opt (fun d -> d.name = name) program.defs
+
+let main_def program =
+  match find_def program "main" with
+  | Some d -> d
+  | None -> invalid_arg "program has no @main"
+
+(** [fold_expr f acc e] folds [f] over every sub-expression of [e]
+    (pre-order). *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  let fold_list acc es = List.fold_left (fold_expr f) acc es in
+  match e with
+  | Var _ | Global _ | Int_lit _ | Float_lit _ | Bool_lit _ | Nil -> acc
+  | Let (_, a, b) | Cons (a, b) | Node (a, b) | Map (a, b) -> fold_list acc [ a; b ]
+  | If (a, b, c) -> fold_list acc [ a; b; c ]
+  | Prim (_, es) | Tuple es | Concurrent es -> fold_list acc es
+  | Call (c, es) -> fold_list acc (c :: es)
+  | Fn (_, b) | Leaf b | Proj (b, _) | Not b | Scalar b | Choice b | Coin b ->
+    fold_expr f acc b
+  | Match (s, cases) -> List.fold_left (fun a (_, e) -> fold_expr f a e) (fold_expr f acc s) cases
+  | Binop (_, a, b) -> fold_list acc [ a; b ]
+
+(** All global names referenced by [e]. *)
+let globals_of e =
+  fold_expr (fun acc e -> match e with Global g -> g :: acc | _ -> acc) [] e
+  |> List.sort_uniq compare
+
+(** Does the expression (not descending into [Fn] bodies' semantics — they
+    run when called, which is still within this evaluation) contain a
+    tensor-dependent control-flow decision? *)
+let has_tdc e =
+  fold_expr
+    (fun acc e -> acc || match e with Scalar _ | Choice _ | Coin _ -> true | _ -> false)
+    false e
+
+let pat_vars = function
+  | Pnil | Pwild -> []
+  | Pcons (a, b) | Pnode (a, b) -> [ a; b ]
+  | Pleaf a -> [ a ]

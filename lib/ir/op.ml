@@ -1,0 +1,181 @@
+(** Primitive tensor operators of the input language.
+
+    Each operator knows its shape rule, a FLOP estimate (consumed by the
+    device cost model and the auto-scheduler), and whether it is elementwise
+    (the property kernel fusion keys on). *)
+
+open Acrobat_tensor
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Matmul
+  | Sigmoid
+  | Tanh
+  | Relu
+  | Gelu
+  | Exp
+  | Softmax
+  | Argmax
+  | Concat of int  (** Number of inputs; concatenation along the last axis. *)
+  | Slice of { lo : int; hi : int }  (** Slice of the last axis. *)
+  | Constant of { shape : Shape.t; value : float }  (** 0-input constant. *)
+  | Transpose
+  | Reduce_sum
+  | Reduce_mean
+  | Layernorm  (** [x; gain; bias]. *)
+  | Entropy
+  | Random of { shape : Shape.t }
+      (** 0-input pseudo-random tensor; underlies emulated tensor-dependent
+          control flow (paper §E.1). *)
+
+let name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Matmul -> "matmul"
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+  | Relu -> "relu"
+  | Gelu -> "gelu"
+  | Exp -> "exp"
+  | Softmax -> "softmax"
+  | Argmax -> "argmax"
+  | Concat n -> Fmt.str "concat%d" n
+  | Slice { lo; hi } -> Fmt.str "slice_%d_%d" lo hi
+  | Constant { value; _ } -> Fmt.str "const_%g" value
+  | Transpose -> "transpose"
+  | Reduce_sum -> "reduce_sum"
+  | Reduce_mean -> "reduce_mean"
+  | Layernorm -> "layernorm"
+  | Entropy -> "entropy"
+  | Random _ -> "random"
+
+let arity = function
+  | Add | Sub | Mul | Div | Matmul -> 2
+  | Sigmoid | Tanh | Relu | Gelu | Exp | Softmax | Argmax | Transpose | Reduce_sum
+  | Reduce_mean | Entropy ->
+    1
+  | Slice _ -> 1
+  | Concat n -> n
+  | Constant _ | Random _ -> 0
+  | Layernorm -> 3
+
+(** Is the op elementwise (fusable into a producer/consumer without changing
+    the iteration space)? Broadcasting adds/muls count: the fused kernel just
+    indexes the smaller operand. *)
+let is_elementwise = function
+  | Add | Sub | Mul | Div | Sigmoid | Tanh | Relu | Gelu | Exp -> true
+  | Matmul | Softmax | Argmax | Concat _ | Slice _ | Constant _ | Transpose
+  | Reduce_sum | Reduce_mean | Layernorm | Entropy | Random _ ->
+    false
+
+exception Shape_error of string
+
+let shape_fail op fmt =
+  Fmt.kstr (fun m -> raise (Shape_error (Fmt.str "%s: %s" (name op) m))) fmt
+
+(** Output shape given input shapes. *)
+let out_shape op (inputs : Shape.t list) : Shape.t =
+  let unary () = match inputs with [ s ] -> s | _ -> shape_fail op "expected 1 input" in
+  match op with
+  | Add | Sub | Mul | Div -> begin
+    match inputs with
+    | [ a; b ] -> Shape.broadcast a b
+    | _ -> shape_fail op "expected 2 inputs"
+  end
+  | Matmul -> begin
+    match inputs with
+    | [ a; b ] -> Shape.matmul a b
+    | _ -> shape_fail op "expected 2 inputs"
+  end
+  | Sigmoid | Tanh | Relu | Gelu | Exp | Softmax -> unary ()
+  | Argmax -> begin
+    match unary () with
+    | [] | [ _ ] -> [ 1 ]
+    | s -> List.filteri (fun i _ -> i < Shape.rank s - 1) s
+  end
+  | Concat n ->
+    if List.length inputs <> n then shape_fail op "expected %d inputs" n;
+    let axis = Shape.rank (List.hd inputs) - 1 in
+    Shape.concat ~axis inputs
+  | Slice { lo; hi } ->
+    let s = unary () in
+    let w = match List.rev s with d :: _ -> d | [] -> 0 in
+    if not (0 <= lo && lo < hi && hi <= w) then
+      shape_fail op "range [%d,%d) out of bounds for %a" lo hi Shape.pp s;
+    List.mapi (fun i d -> if i = Shape.rank s - 1 then hi - lo else d) s
+  | Constant { shape; _ } | Random { shape } ->
+    if inputs <> [] then shape_fail op "expected 0 inputs";
+    shape
+  | Transpose -> begin
+    match unary () with
+    | [ m; n ] -> [ n; m ]
+    | s -> shape_fail op "expected 2-D input, got %a" Shape.pp s
+  end
+  | Reduce_sum | Reduce_mean | Entropy -> [ 1 ]
+  | Layernorm -> begin
+    match inputs with
+    | [ x; _; _ ] -> x
+    | _ -> shape_fail op "expected 3 inputs"
+  end
+
+(** FLOP estimate for the cost model. *)
+let flops op (inputs : Shape.t list) : float =
+  let out = out_shape op inputs in
+  let n = float_of_int (Shape.numel out) in
+  match op with
+  | Add | Sub | Mul | Div | Relu -> n
+  | Sigmoid | Tanh | Exp -> 4.0 *. n
+  | Gelu -> 8.0 *. n
+  | Matmul -> begin
+    match inputs with
+    | [ [ m; k ]; [ _; p ] ] -> 2.0 *. float_of_int (m * k * p)
+    | _ -> n
+  end
+  | Softmax -> 5.0 *. n
+  | Argmax | Concat _ | Slice _ | Transpose ->
+    (* Memory-bound: charge one flop-equivalent per element moved. *)
+    float_of_int (List.fold_left (fun acc s -> acc + Shape.numel s) 0 inputs)
+  | Constant _ | Random _ -> n
+  | Reduce_sum | Reduce_mean | Entropy ->
+    float_of_int (List.fold_left (fun acc s -> acc + Shape.numel s) 0 inputs)
+  | Layernorm -> 8.0 *. float_of_int (Shape.numel (List.hd inputs))
+
+(** Reference semantics on concrete tensors. [rand] supplies values for
+    {!Random} nodes. *)
+let eval ?rand op (args : Tensor.t list) : Tensor.t =
+  match op, args with
+  | Add, [ a; b ] -> Ops.add a b
+  | Sub, [ a; b ] -> Ops.sub a b
+  | Mul, [ a; b ] -> Ops.mul a b
+  | Div, [ a; b ] -> Ops.div a b
+  | Matmul, [ a; b ] -> Ops.matmul a b
+  | Sigmoid, [ a ] -> Ops.sigmoid a
+  | Tanh, [ a ] -> Ops.tanh a
+  | Relu, [ a ] -> Ops.relu a
+  | Gelu, [ a ] -> Ops.gelu a
+  | Exp, [ a ] -> Ops.exp a
+  | Softmax, [ a ] -> Ops.softmax a
+  | Argmax, [ a ] -> Ops.argmax a
+  | Concat _, args -> Ops.concat args
+  | Slice { lo; hi }, [ a ] -> Ops.slice a ~lo ~hi
+  | Constant { shape; value }, [] -> Tensor.full shape value
+  | Random { shape }, [] -> begin
+    match rand with
+    | Some rng -> Tensor.init shape (fun _ -> Rng.float rng)
+    | None -> Tensor.zeros shape
+  end
+  | Transpose, [ a ] -> Ops.transpose a
+  | Reduce_sum, [ a ] -> Ops.reduce_sum a
+  | Reduce_mean, [ a ] -> Ops.reduce_mean a
+  | Layernorm, [ x; g; b ] -> Ops.layernorm x g b
+  | Entropy, [ a ] -> Ops.entropy a
+  | ( ( Add | Sub | Mul | Div | Matmul | Sigmoid | Tanh | Relu | Gelu | Exp | Softmax
+      | Argmax | Slice _ | Constant _ | Random _ | Transpose | Reduce_sum | Reduce_mean
+      | Layernorm | Entropy ),
+      _ ) ->
+    shape_fail op "wrong number of arguments (%d)" (List.length args)

@@ -1,0 +1,99 @@
+(** Pretty-printer for the input language. [Parser.program (Fmt.str "%a"
+    pp_program p)] reparses to an equal tree (modulo elaboration) — a
+    property the test suite checks on random programs. *)
+
+open Ast
+
+let pp_pat ppf = function
+  | Pnil -> Fmt.string ppf "Nil"
+  | Pcons (h, t) -> Fmt.pf ppf "Cons(%%%s, %%%s)" h t
+  | Pleaf v -> Fmt.pf ppf "Leaf(%%%s)" v
+  | Pnode (l, r) -> Fmt.pf ppf "Node(%%%s, %%%s)" l r
+  | Pwild -> Fmt.string ppf "_"
+
+let prim_name (op : Op.t) args_pp ppf args =
+  match op with
+  | Op.Constant { shape; value } when value = 0.0 ->
+    Fmt.pf ppf "zeros((%a))" Fmt.(list ~sep:(any ", ") int) shape
+  | Op.Constant { shape; value } when value = 1.0 ->
+    Fmt.pf ppf "ones((%a))" Fmt.(list ~sep:(any ", ") int) shape
+  | Op.Constant { shape; value } ->
+    Fmt.pf ppf "const((%a), %g)" Fmt.(list ~sep:(any ", ") int) shape value
+  | Op.Random { shape } -> Fmt.pf ppf "random((%a))" Fmt.(list ~sep:(any ", ") int) shape
+  | Op.Slice { lo; hi } -> begin
+    match args with
+    | [ a ] -> Fmt.pf ppf "slice(%a, %d, %d)" args_pp a lo hi
+    | _ -> assert false
+  end
+  | Op.Concat _ -> Fmt.pf ppf "concat(%a)" Fmt.(list ~sep:(any ", ") args_pp) args
+  | op -> Fmt.pf ppf "%s(%a)" (Op.name op) Fmt.(list ~sep:(any ", ") args_pp) args
+
+let rec pp_expr ppf (e : expr) =
+  match e with
+  | Var x -> Fmt.pf ppf "%%%s" x
+  | Global g -> Fmt.pf ppf "@%s" g
+  | Int_lit n -> Fmt.int ppf n
+  | Float_lit f ->
+    (* Keep a decimal point so the literal re-lexes as a float. *)
+    let s = Fmt.str "%.12g" f in
+    let s =
+      if String.contains s '.' then s
+      else
+        match String.index_opt s 'e' with
+        | Some i -> String.sub s 0 i ^ ".0" ^ String.sub s i (String.length s - i)
+        | None -> s ^ ".0"
+    in
+    Fmt.string ppf s
+  | Bool_lit b -> Fmt.bool ppf b
+  | Let (x, rhs, body) ->
+    Fmt.pf ppf "@[<v>let %%%s = %a;@,%a@]" x pp_expr rhs pp_expr body
+  | If (c, a, b) ->
+    Fmt.pf ppf "@[<v2>if (%a) {@,%a@;<1 -2>} else {@,%a@;<1 -2>}@]" pp_expr c pp_expr a
+      pp_expr b
+  | Prim (op, args) -> prim_name op pp_expr ppf args
+  | Call (f, args) -> Fmt.pf ppf "%a(%a)" pp_expr f Fmt.(list ~sep:(any ", ") pp_expr) args
+  | Fn (params, body) ->
+    Fmt.pf ppf "fn(%a) { %a }"
+      Fmt.(list ~sep:(any ", ") (fun ppf (x, t) -> Fmt.pf ppf "%%%s: %a" x Ty.pp t))
+      params pp_expr body
+  | Match (s, cases) ->
+    Fmt.pf ppf "@[<v2>match (%a) {@,%a@;<1 -2>}@]" pp_expr s
+      Fmt.(
+        list ~sep:(any ",@,") (fun ppf (p, e) -> Fmt.pf ppf "@[<v2>%a =>@ %a@]" pp_pat p pp_expr e))
+      cases
+  | Nil -> Fmt.string ppf "Nil"
+  | Cons (a, b) -> Fmt.pf ppf "Cons(%a, %a)" pp_expr a pp_expr b
+  | Leaf a -> Fmt.pf ppf "Leaf(%a)" pp_expr a
+  | Node (a, b) -> Fmt.pf ppf "Node(%a, %a)" pp_expr a pp_expr b
+  | Tuple es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_expr) es
+  | Proj (a, k) -> Fmt.pf ppf "%a.%d" pp_atomish a k
+  | Binop (op, a, b) ->
+    (* Operands that swallow the rest of the expression (let/if/match)
+       must be parenthesized to keep the tree. *)
+    Fmt.pf ppf "(%a %s %a)" pp_operand a (binop_name op) pp_operand b
+  | Not a -> Fmt.pf ppf "!(%a)" pp_expr a
+  | Concurrent es -> Fmt.pf ppf "concurrent(%a)" Fmt.(list ~sep:(any ", ") pp_expr) es
+  | Map (f, xs) -> Fmt.pf ppf "map(%a, %a)" pp_expr f pp_expr xs
+  | Scalar a -> Fmt.pf ppf "scalar(%a)" pp_expr a
+  | Choice a -> Fmt.pf ppf "choice(%a)" pp_expr a
+  | Coin a -> Fmt.pf ppf "coin(%a)" pp_expr a
+
+and pp_operand ppf e =
+  match e with
+  | Let _ | If _ | Match _ | Fn _ -> Fmt.pf ppf "(%a)" pp_expr e
+  | _ -> pp_expr ppf e
+
+and pp_atomish ppf e =
+  (* A nested projection needs parentheses: [.0.1] would lex as a float. *)
+  match e with
+  | Var _ | Global _ | Tuple _ -> pp_expr ppf e
+  | _ -> Fmt.pf ppf "(%a)" pp_expr e
+
+let pp_def ppf (d : def) =
+  Fmt.pf ppf "@[<v2>def @@%s(%a) -> %a {@,%a@;<1 -2>}@]" d.name
+    Fmt.(list ~sep:(any ", ") (fun ppf (x, t) -> Fmt.pf ppf "%%%s: %a" x Ty.pp t))
+    d.params Ty.pp d.ret pp_expr d.body
+
+let pp_program ppf (p : program) = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,@,") pp_def) p.defs
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,40 @@
+(** Types of the input language.
+
+    The language is a small Relay-like typed functional language (§3 of the
+    paper): tensors with static shapes, scalars, tuples, functions, and two
+    built-in algebraic datatypes — lists and binary trees — which are enough
+    to express all the models in the paper's Table 3. *)
+
+open Acrobat_tensor
+
+type t =
+  | Tensor of Shape.t
+  | Int
+  | Bool
+  | Float
+  | List of t
+  | Tree of t  (** Binary trees: [Leaf v] with [v : t], or [Node (l, r)]. *)
+  | Tup of t list
+  | Fn of t list * t
+
+let rec equal a b =
+  match a, b with
+  | Tensor s1, Tensor s2 -> Shape.equal s1 s2
+  | Int, Int | Bool, Bool | Float, Float -> true
+  | List a, List b | Tree a, Tree b -> equal a b
+  | Tup xs, Tup ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Fn (xs, r1), Fn (ys, r2) ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys && equal r1 r2
+  | (Tensor _ | Int | Bool | Float | List _ | Tree _ | Tup _ | Fn _), _ -> false
+
+let rec pp ppf = function
+  | Tensor s -> Fmt.pf ppf "Tensor[%a]" Shape.pp s
+  | Int -> Fmt.string ppf "Int"
+  | Bool -> Fmt.string ppf "Bool"
+  | Float -> Fmt.string ppf "Float"
+  | List t -> Fmt.pf ppf "List[%a]" pp t
+  | Tree t -> Fmt.pf ppf "Tree[%a]" pp t
+  | Tup ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp) ts
+  | Fn (args, ret) -> Fmt.pf ppf "fn(%a) -> %a" Fmt.(list ~sep:(any ", ") pp) args pp ret
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,76 @@
+(** Beam-search decoding with an RNN cell (paper Table 2: iterative,
+    tensor-dependent, high control-flow parallelism — Wiseman & Rush 2016).
+
+    Each decode step expands every beam concurrently (instance parallelism
+    across beams via [map]); the next-token scores feed an argmax and the
+    kept beam / termination decisions are tensor-dependent (emulated per
+    §E.1). Not part of the paper's Table 3 evaluation — included from its
+    §2.1 characterization. *)
+
+module Driver = Acrobat_engines.Driver
+open Acrobat_tensor
+
+let template =
+  {|
+(* Expand one beam: advance its decoder state and score the vocabulary. *)
+def @expand(%state: Tensor[(1, {H})],
+            %w: Tensor[({H}, {H})], %u: Tensor[({H}, {H})], %b: Tensor[(1, {H})],
+            %wv: Tensor[({H}, {V})]) -> Tensor[(1, {H})] {
+  let %cand = tanh(matmul(%state, %w) + %b);
+  let %next = sigmoid(matmul(%cand, %u));
+  let %scores = softmax(matmul(%next, %wv));
+  let %pick = argmax(%scores);
+  %next
+}
+
+def @decode(%n: Int, %beams: List[Tensor[(1, {H})]],
+            %w: Tensor[({H}, {H})], %u: Tensor[({H}, {H})], %b: Tensor[(1, {H})],
+            %wv: Tensor[({H}, {V})]) -> List[Tensor[(1, {H})]] {
+  if (%n == 0) { %beams } else {
+    let %expanded = map(fn(%s: Tensor[(1, {H})]) {
+      @expand(%s, %w, %u, %b, %wv)
+    }, %beams);
+    (* Tensor-dependent: stop early when the best hypothesis is complete. *)
+    let %stop = coin(0.08);
+    if (%stop) { %expanded }
+    else { @decode(%n - 1, %expanded, %w, %u, %b, %wv) }
+  }
+}
+
+def @main(%w: Tensor[({H}, {H})], %u: Tensor[({H}, {H})], %b: Tensor[(1, {H})],
+          %wv: Tensor[({H}, {V})],
+          %beams: List[Tensor[(1, {H})]]) -> List[Tensor[(1, {H})]] {
+  let %steps = 10 + choice(11);
+  @decode(%steps, %beams, %w, %u, %b, %wv)
+}
+|}
+
+let make ?hidden ?(vocab = 64) ?(beam_width = 4) (size : Model.size) : Model.t =
+  let hidden =
+    match hidden with
+    | Some h -> h
+    | None -> ( match size with Model.Small -> 256 | Model.Large -> 512)
+  in
+  let specs =
+    [
+      "w", [ hidden; hidden ];
+      "u", [ hidden; hidden ];
+      "b", [ 1; hidden ];
+      "wv", [ hidden; vocab ];
+    ]
+  in
+  {
+    Model.name = "beamsearch";
+    size;
+    source = Model.subst [ "H", hidden; "V", vocab ] template;
+    inputs = [ "beams" ];
+    gen_weights = Model.weights_of_specs specs;
+    gen_instance =
+      (fun rng ->
+        [
+          ( "beams",
+            Driver.Hlist
+              (List.init beam_width (fun _ -> Driver.Htensor (Tensor.random rng [ 1; hidden ])))
+          );
+        ]);
+  }

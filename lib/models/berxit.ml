@@ -1,0 +1,90 @@
+(** Berxit (Xin et al. 2021): early-exit BERT inference. All transformer
+    layers share one set of weights (as in the paper's Table 3 setup); after
+    each layer an exit decision is taken — emulated tensor-dependent
+    control flow (§E.1) with a per-layer exit probability. The "small" size
+    matches BERT-base hyper-parameters; "large" uses 18 layers of the
+    BERT-large width (the paper's choice). *)
+
+module Driver = Acrobat_engines.Driver
+open Acrobat_tensor
+
+let template =
+  {|
+def @layer(%x: Tensor[({S}, {H})],
+           %wq: Tensor[({H}, {H})], %wk: Tensor[({H}, {H})], %wv: Tensor[({H}, {H})],
+           %wo: Tensor[({H}, {H})],
+           %g1: Tensor[(1, {H})], %lb1: Tensor[(1, {H})],
+           %w1: Tensor[({H}, {F})], %bf1: Tensor[(1, {F})],
+           %w2: Tensor[({F}, {H})], %bf2: Tensor[(1, {H})],
+           %g2: Tensor[(1, {H})], %lb2: Tensor[(1, {H})]) -> Tensor[({S}, {H})] {
+  let %q = matmul(%x, %wq);
+  let %k = matmul(%x, %wk);
+  let %v = matmul(%x, %wv);
+  let %scores = softmax(matmul(%q, transpose(%k)));
+  let %attn = matmul(matmul(%scores, %v), %wo);
+  let %x1 = layernorm(%x + %attn, %g1, %lb1);
+  let %ffn = %bf2 + matmul(gelu(%bf1 + matmul(%x1, %w1)), %w2);
+  layernorm(%x1 + %ffn, %g2, %lb2)
+}
+
+def @layers(%n: Int, %x: Tensor[({S}, {H})],
+            %wq: Tensor[({H}, {H})], %wk: Tensor[({H}, {H})], %wv: Tensor[({H}, {H})],
+            %wo: Tensor[({H}, {H})],
+            %g1: Tensor[(1, {H})], %lb1: Tensor[(1, {H})],
+            %w1: Tensor[({H}, {F})], %bf1: Tensor[(1, {F})],
+            %w2: Tensor[({F}, {H})], %bf2: Tensor[(1, {H})],
+            %g2: Tensor[(1, {H})], %lb2: Tensor[(1, {H})]) -> Tensor[({S}, {H})] {
+  if (%n == 0) { %x } else {
+    let %y = @layer(%x, %wq, %wk, %wv, %wo, %g1, %lb1, %w1, %bf1, %w2, %bf2, %g2, %lb2);
+    let %exit = coin(0.15);
+    if (%exit) { %y }
+    else { @layers(%n - 1, %y, %wq, %wk, %wv, %wo, %g1, %lb1, %w1, %bf1, %w2, %bf2, %g2, %lb2) }
+  }
+}
+
+def @main(%wq: Tensor[({H}, {H})], %wk: Tensor[({H}, {H})], %wv: Tensor[({H}, {H})],
+          %wo: Tensor[({H}, {H})],
+          %g1: Tensor[(1, {H})], %lb1: Tensor[(1, {H})],
+          %w1: Tensor[({H}, {F})], %bf1: Tensor[(1, {F})],
+          %w2: Tensor[({F}, {H})], %bf2: Tensor[(1, {H})],
+          %g2: Tensor[(1, {H})], %lb2: Tensor[(1, {H})],
+          %x: Tensor[({S}, {H})]) -> Tensor[({S}, {H})] {
+  @layers({L}, %x, %wq, %wk, %wv, %wo, %g1, %lb1, %w1, %bf1, %w2, %bf2, %g2, %lb2)
+}
+|}
+
+let make ?dims (size : Model.size) : Model.t =
+  (* (layers, hidden, ffn, seq). Small = BERT-base; large = 18 layers at
+     BERT-large width (paper §7.1). *)
+  let layers, hidden, ffn, seq =
+    match dims with
+    | Some d -> d
+    | None -> (
+      match size with
+      | Model.Small -> 12, 768, 3072, 128
+      | Model.Large -> 18, 1024, 4096, 128)
+  in
+  let specs =
+    [
+      "wq", [ hidden; hidden ];
+      "wk", [ hidden; hidden ];
+      "wv", [ hidden; hidden ];
+      "wo", [ hidden; hidden ];
+      "g1", [ 1; hidden ];
+      "lb1", [ 1; hidden ];
+      "w1", [ hidden; ffn ];
+      "bf1", [ 1; ffn ];
+      "w2", [ ffn; hidden ];
+      "bf2", [ 1; hidden ];
+      "g2", [ 1; hidden ];
+      "lb2", [ 1; hidden ];
+    ]
+  in
+  {
+    Model.name = "berxit";
+    size;
+    source = Model.subst [ "S", seq; "H", hidden; "F", ffn; "L", layers ] template;
+    inputs = [ "x" ];
+    gen_weights = Model.weights_of_specs specs;
+    gen_instance = (fun rng -> [ "x", Driver.Htensor (Tensor.random rng [ seq; hidden ]) ]);
+  }

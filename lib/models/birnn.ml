@@ -1,0 +1,99 @@
+(** Bidirectional RNN over XNLI-like token sequences, with per-token output
+    classification (Schuster & Paliwal 1997; paper §C.1's code-duplication
+    example).
+
+    The same [@rnn] is invoked with forward and with backward weights —
+    context-sensitive specialization is what keeps the weight arguments
+    shared in the generated kernels. The per-token output operators are the
+    program-phases example (§B.3): sentence lengths differ, so without a
+    phase barrier their depths differ across instances and they fail to
+    batch. *)
+
+module Driver = Acrobat_engines.Driver
+module W = Acrobat_workloads
+
+let template =
+  {|
+def @rnn(%inps: List[Tensor[(1, {H})]], %state: Tensor[(1, {H})],
+         %bias: Tensor[(1, {H})], %i_wt: Tensor[({H}, {H})], %h_wt: Tensor[({H}, {H})])
+    -> List[Tensor[(1, {H})]] {
+  match (%inps) {
+    Nil => Nil,
+    Cons(%inp, %tail) => {
+      let %inp_linear = %bias + matmul(%inp, %i_wt);
+      let %new_state = sigmoid(%inp_linear + matmul(%state, %h_wt));
+      Cons(%new_state, @rnn(%tail, %new_state, %bias, %i_wt, %h_wt))
+    }
+  }
+}
+
+def @reverse(%xs: List[Tensor[(1, {H})]], %acc: List[Tensor[(1, {H})]])
+    -> List[Tensor[(1, {H})]] {
+  match (%xs) {
+    Nil => %acc,
+    Cons(%h, %t) => @reverse(%t, Cons(%h, %acc))
+  }
+}
+
+def @zip(%a: List[Tensor[(1, {H})]], %b: List[Tensor[(1, {H})]])
+    -> List[(Tensor[(1, {H})], Tensor[(1, {H})])] {
+  match (%a) {
+    Nil => Nil,
+    Cons(%x, %xs) => match (%b) {
+      Nil => Nil,
+      Cons(%y, %ys) => Cons((%x, %y), @zip(%xs, %ys))
+    }
+  }
+}
+
+def @main(%f_bias: Tensor[(1, {H})], %f_iw: Tensor[({H}, {H})], %f_hw: Tensor[({H}, {H})],
+          %b_bias: Tensor[(1, {H})], %b_iw: Tensor[({H}, {H})], %b_hw: Tensor[({H}, {H})],
+          %init: Tensor[(1, {H})],
+          %c_wt: Tensor[({H2}, {C})], %c_b: Tensor[(1, {C})],
+          %inps: List[Tensor[(1, {H})]]) -> List[Tensor[(1, {C})]] {
+  let %fwd = @rnn(%inps, %init, %f_bias, %f_iw, %f_hw);
+  let %rinps = @reverse(%inps, Nil);
+  let %bwd_rev = @rnn(%rinps, %init, %b_bias, %b_iw, %b_hw);
+  let %bwd = @reverse(%bwd_rev, Nil);
+  let %pairs = @zip(%fwd, %bwd);
+  map(fn(%p: (Tensor[(1, {H})], Tensor[(1, {H})])) {
+    relu(%c_b + matmul(concat(%p.0, %p.1), %c_wt))
+  }, %pairs)
+}
+|}
+
+let make ?(classes = 16) ?hidden (size : Model.size) : Model.t =
+  let hidden =
+    match hidden with
+    | Some h -> h
+    | None -> ( match size with Model.Small -> 256 | Model.Large -> 512)
+  in
+  let specs =
+    [
+      "f_bias", [ 1; hidden ];
+      "f_iw", [ hidden; hidden ];
+      "f_hw", [ hidden; hidden ];
+      "b_bias", [ 1; hidden ];
+      "b_iw", [ hidden; hidden ];
+      "b_hw", [ hidden; hidden ];
+      "init", [ 1; hidden ];
+      "c_wt", [ 2 * hidden; classes ];
+      "c_b", [ 1; classes ];
+    ]
+  in
+  let table = Model.embedding_table ~dim:hidden ~seed:37 in
+  {
+    Model.name = "birnn";
+    size;
+    source = Model.subst [ "H", hidden; "H2", 2 * hidden; "C", classes ] template;
+    inputs = [ "inps" ];
+    gen_weights = Model.weights_of_specs specs;
+    gen_instance =
+      (fun rng ->
+        let words = W.Sentences.sample rng in
+        [
+          ( "inps",
+            Driver.Hlist
+              (List.map (fun w -> Driver.Htensor (W.Embeddings.lookup table w)) words) );
+        ]);
+  }

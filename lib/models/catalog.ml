@@ -1,0 +1,46 @@
+(** The evaluation model zoo (paper Table 3). *)
+
+type entry = { id : string; make : Model.size -> Model.t; has_tdc : bool }
+
+let all : entry list =
+  [
+    { id = "treelstm"; make = (fun s -> Treelstm.make s); has_tdc = false };
+    { id = "mvrnn"; make = (fun s -> Mvrnn.make s); has_tdc = false };
+    { id = "birnn"; make = (fun s -> Birnn.make s); has_tdc = false };
+    { id = "nestedrnn"; make = (fun s -> Nestedrnn.make s); has_tdc = true };
+    { id = "drnn"; make = (fun s -> Drnn.make s); has_tdc = true };
+    { id = "berxit"; make = (fun s -> Berxit.make s); has_tdc = true };
+    { id = "stackrnn"; make = (fun s -> Stackrnn.make s); has_tdc = true };
+  ]
+
+(** Additional dynamic computations from the paper's Table 2 survey (not in
+    its Table 3 evaluation). *)
+let extras : entry list =
+  [
+    { id = "beamsearch"; make = (fun s -> Beam_search.make s); has_tdc = true };
+    { id = "moe"; make = (fun s -> Moe.make s); has_tdc = true };
+  ]
+
+let find id =
+  match List.find_opt (fun e -> e.id = id) (all @ extras) with
+  | Some e -> e
+  | None -> Fmt.invalid_arg "unknown model %S" id
+
+(** Models with small/scaled dimensions for fast tests and examples. *)
+let tiny id : Model.t =
+  match id with
+  | "rnn" -> Rnn.make ~hidden:16 ~classes:4 Model.Small
+  | "treelstm" -> Treelstm.make ~hidden:8 ~classes:3 Model.Small
+  | "mvrnn" -> Mvrnn.make ~hidden:8 ~classes:3 Model.Small
+  | "birnn" -> Birnn.make ~hidden:8 ~classes:4 Model.Small
+  | "nestedrnn" -> Nestedrnn.make ~hidden:8 Model.Small
+  | "drnn" -> Drnn.make ~hidden:8 ~max_depth:4 Model.Small
+  | "berxit" -> Berxit.make ~dims:(4, 16, 32, 8) Model.Small
+  | "stackrnn" -> Stackrnn.make ~hidden:8 Model.Small
+  | "beamsearch" -> Beam_search.make ~hidden:8 ~vocab:8 ~beam_width:3 Model.Small
+  | "moe" -> Moe.make ~hidden:8 Model.Small
+  | other -> Fmt.invalid_arg "unknown tiny model %S" other
+
+let tiny_ids =
+  [ "rnn"; "treelstm"; "mvrnn"; "birnn"; "nestedrnn"; "drnn"; "berxit"; "stackrnn";
+    "beamsearch"; "moe" ]

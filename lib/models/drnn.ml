@@ -1,0 +1,67 @@
+(** DRNN: doubly-recurrent neural network for top-down tree generation
+    (Alvarez-Melis & Jaakkola 2017). Each node's state combines an
+    ancestral and a fraternal recurrence; whether a node has children is a
+    (pseudo-random, §E.1) tensor-dependent decision, and sibling subtrees
+    are generated concurrently — the model with both tensor-dependent
+    control flow {e and} instance parallelism that only fibers can exploit
+    (§4.2, §7.2.1). The gating multiply broadcasts a (1,1) gate over the
+    state, which DyNet executes unbatched (§E.4). *)
+
+module Driver = Acrobat_engines.Driver
+open Acrobat_tensor
+
+let template =
+  {|
+def @append(%a: List[Tensor[(1, {H})]], %b: List[Tensor[(1, {H})]])
+    -> List[Tensor[(1, {H})]] {
+  match (%a) {
+    Nil => %b,
+    Cons(%h, %t) => Cons(%h, @append(%t, %b))
+  }
+}
+
+def @gen(%h_anc: Tensor[(1, {H})], %h_sib: Tensor[(1, {H})], %d: Int,
+         %wa: Tensor[({H}, {H})], %wf: Tensor[({H}, {H})], %b: Tensor[(1, {H})],
+         %wg: Tensor[({H}, 1)]) -> List[Tensor[(1, {H})]] {
+  let %h = tanh(matmul(%h_anc, %wa) + matmul(%h_sib, %wf) + %b);
+  let %gate = sigmoid(matmul(%h, %wg));
+  let %hg = mul(%h, %gate);
+  let %stop = coin(0.42);
+  if (%stop || %d == 0) { Cons(%hg, Nil) } else {
+    let %sib0 = zeros((1, {H}));
+    let %children = concurrent(
+      @gen(%hg, %sib0, %d - 1, %wa, %wf, %b, %wg),
+      @gen(%hg, %hg, %d - 1, %wa, %wf, %b, %wg));
+    Cons(%hg, @append(%children.0, %children.1))
+  }
+}
+
+def @main(%wa: Tensor[({H}, {H})], %wf: Tensor[({H}, {H})], %b: Tensor[(1, {H})],
+          %wg: Tensor[({H}, 1)], %root: Tensor[(1, {H})]) -> List[Tensor[(1, {H})]] {
+  let %sib0 = zeros((1, {H}));
+  @gen(%root, %sib0, {D}, %wa, %wf, %b, %wg)
+}
+|}
+
+let make ?hidden ?(max_depth = 7) (size : Model.size) : Model.t =
+  let hidden =
+    match hidden with
+    | Some h -> h
+    | None -> ( match size with Model.Small -> 256 | Model.Large -> 512)
+  in
+  let specs =
+    [
+      "wa", [ hidden; hidden ];
+      "wf", [ hidden; hidden ];
+      "b", [ 1; hidden ];
+      "wg", [ hidden; 1 ];
+    ]
+  in
+  {
+    Model.name = "drnn";
+    size;
+    source = Model.subst [ "H", hidden; "D", max_depth ] template;
+    inputs = [ "root" ];
+    gen_weights = Model.weights_of_specs specs;
+    gen_instance = (fun rng -> [ "root", Driver.Htensor (Tensor.random rng [ 1; hidden ]) ]);
+  }

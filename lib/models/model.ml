@@ -1,0 +1,51 @@
+(** Common shape of an evaluation model (paper Table 3): an input-language
+    source program plus seeded generators for weights and per-instance
+    inputs. *)
+
+open Acrobat_tensor
+module Driver = Acrobat_engines.Driver
+
+type size = Small | Large
+
+let size_name = function Small -> "small" | Large -> "large"
+
+type t = {
+  name : string;
+  size : size;
+  source : string;  (** The model program in the input language. *)
+  inputs : string list;  (** @main parameters that vary per instance. *)
+  gen_weights : int -> (string * Tensor.t) list;  (** seed -> weights *)
+  gen_instance : Rng.t -> (string * Driver.hval) list;
+}
+
+(** Generate named weight tensors from (name, shape) specs. *)
+let weights_of_specs specs seed =
+  let rng = Rng.create (seed * 7_907) in
+  List.map (fun (name, shape) -> name, Tensor.random rng shape) specs
+
+(** Per-instance word-embedding table shared across a model's instances. *)
+let embedding_table ~dim ~seed = Acrobat_workloads.Embeddings.create ~shape:[ 1; dim ] ~seed
+
+(** Template substitution for model sources: replaces every ["{KEY}"] with
+    its value. Sources keep the input language's own syntax readable instead
+    of threading dozens of positional format arguments. *)
+let subst (bindings : (string * int) list) (template : string) : string =
+  List.fold_left
+    (fun acc (key, v) ->
+      let pat = "{" ^ key ^ "}" in
+      let buf = Buffer.create (String.length acc) in
+      let plen = String.length pat in
+      let n = String.length acc in
+      let i = ref 0 in
+      while !i < n do
+        if !i + plen <= n && String.sub acc !i plen = pat then begin
+          Buffer.add_string buf (string_of_int v);
+          i := !i + plen
+        end
+        else begin
+          Buffer.add_char buf acc.[!i];
+          incr i
+        end
+      done;
+      Buffer.contents buf)
+    template bindings

@@ -1,0 +1,61 @@
+(** Mixture-of-experts (paper Table 2: tensor-dependent conditional
+    execution inside an otherwise static network — Shazeer et al. 2017).
+
+    A gating network scores the experts; the routing decision is
+    tensor-dependent (emulated per §E.1, the gate's argmax node is still
+    built and executed). Instances routed to the same expert batch together
+    — each expert's kernels bind that expert's weights as shared arguments.
+    Not part of the paper's Table 3 evaluation — included from its §2.1
+    characterization. *)
+
+module Driver = Acrobat_engines.Driver
+open Acrobat_tensor
+
+let template =
+  {|
+def @expert(%x: Tensor[(1, {H})], %w1: Tensor[({H}, {F})], %w2: Tensor[({F}, {H})],
+            %b: Tensor[(1, {H})]) -> Tensor[(1, {H})] {
+  %b + matmul(relu(matmul(%x, %w1)), %w2)
+}
+
+def @main(%wg: Tensor[({H}, 4)],
+          %e0_w1: Tensor[({H}, {F})], %e0_w2: Tensor[({F}, {H})], %e0_b: Tensor[(1, {H})],
+          %e1_w1: Tensor[({H}, {F})], %e1_w2: Tensor[({F}, {H})], %e1_b: Tensor[(1, {H})],
+          %e2_w1: Tensor[({H}, {F})], %e2_w2: Tensor[({F}, {H})], %e2_b: Tensor[(1, {H})],
+          %e3_w1: Tensor[({H}, {F})], %e3_w2: Tensor[({F}, {H})], %e3_b: Tensor[(1, {H})],
+          %x: Tensor[(1, {H})]) -> Tensor[(1, {H})] {
+  let %gate = softmax(matmul(%x, %wg));
+  let %top = argmax(%gate);
+  let %route = choice(4);
+  let %y =
+    if (%route == 0) { @expert(%x, %e0_w1, %e0_w2, %e0_b) }
+    else { if (%route == 1) { @expert(%x, %e1_w1, %e1_w2, %e1_b) }
+    else { if (%route == 2) { @expert(%x, %e2_w1, %e2_w2, %e2_b) }
+    else { @expert(%x, %e3_w1, %e3_w2, %e3_b) } } };
+  tanh(%y + %x)
+}
+|}
+
+let make ?hidden (size : Model.size) : Model.t =
+  let hidden =
+    match hidden with
+    | Some h -> h
+    | None -> ( match size with Model.Small -> 256 | Model.Large -> 512)
+  in
+  let ffn = 2 * hidden in
+  let expert i =
+    [
+      Fmt.str "e%d_w1" i, [ hidden; ffn ];
+      Fmt.str "e%d_w2" i, [ ffn; hidden ];
+      Fmt.str "e%d_b" i, [ 1; hidden ];
+    ]
+  in
+  let specs = (("wg", [ hidden; 4 ]) :: List.concat_map expert [ 0; 1; 2; 3 ]) in
+  {
+    Model.name = "moe";
+    size;
+    source = Model.subst [ "H", hidden; "F", ffn ] template;
+    inputs = [ "x" ];
+    gen_weights = Model.weights_of_specs specs;
+    gen_instance = (fun rng -> [ "x", Driver.Htensor (Tensor.random rng [ 1; hidden ]) ]);
+  }

@@ -1,0 +1,80 @@
+(** MV-RNN (Socher et al. 2012): matrix-vector recursive network. Every
+    word carries a (vector, matrix) pair; composing two children multiplies
+    one child's {e matrix} by the other's {e vector} — a matmul of two
+    intermediate activations, which is exactly the case DyNet's
+    first-argument batching heuristic cannot batch (§E.4, Table 8). *)
+
+module Driver = Acrobat_engines.Driver
+module W = Acrobat_workloads
+open Acrobat_tensor
+
+let template =
+  {|
+def @tree(%t: Tree[(Tensor[(1, {H})], Tensor[({H}, {H})])],
+          %w: Tensor[({H2}, {H})], %wm: Tensor[({H2}, {H})], %b: Tensor[(1, {H})])
+    -> (Tensor[(1, {H})], Tensor[({H}, {H})]) {
+  match (%t) {
+    Leaf(%wv) => %wv,
+    Node(%l, %r) => {
+      let %pair = concurrent(@tree(%l, %w, %wm, %b), @tree(%r, %w, %wm, %b));
+      let %lv = %pair.0;
+      let %rv = %pair.1;
+      let %va = matmul(%lv.0, %rv.1);
+      let %vb = matmul(%rv.0, %lv.1);
+      let %p = tanh(%b + matmul(concat(%va, %vb), %w));
+      let %pm = matmul(concat(%lv.1, %rv.1), %wm);
+      (%p, %pm)
+    }
+  }
+}
+
+def @main(%w: Tensor[({H2}, {H})], %wm: Tensor[({H2}, {H})], %b: Tensor[(1, {H})],
+          %c_wt: Tensor[({H}, {C})], %c_b: Tensor[(1, {C})],
+          %tree: Tree[(Tensor[(1, {H})], Tensor[({H}, {H})])]) -> Tensor[(1, {C})] {
+  let %root = @tree(%tree, %w, %wm, %b);
+  softmax(%c_b + matmul(%root.0, %c_wt))
+}
+|}
+
+let make ?(classes = 5) ?hidden (size : Model.size) : Model.t =
+  (* The paper uses hidden sizes 64 / 128 for MV-RNN specifically. *)
+  let hidden =
+    match hidden with
+    | Some h -> h
+    | None -> ( match size with Model.Small -> 64 | Model.Large -> 128)
+  in
+  let specs =
+    [
+      "w", [ 2 * hidden; hidden ];
+      "wm", [ 2 * hidden; hidden ];
+      "b", [ 1; hidden ];
+      "c_wt", [ hidden; classes ];
+      "c_b", [ 1; classes ];
+    ]
+  in
+  (* Per-word (vector, matrix) pairs, cached by word id. *)
+  let cache : (int, Tensor.t * Tensor.t) Hashtbl.t = Hashtbl.create 256 in
+  let lookup word =
+    match Hashtbl.find_opt cache word with
+    | Some vm -> vm
+    | None ->
+      let rng = Rng.create ((word * 31) + 5) in
+      let vm = Tensor.random rng [ 1; hidden ], Tensor.random rng [ hidden; hidden ] in
+      Hashtbl.replace cache word vm;
+      vm
+  in
+  let rec tree_hval (t : W.Trees.t) =
+    match t with
+    | W.Trees.Leaf w ->
+      let v, m = lookup w in
+      Driver.Hleaf (Driver.Htuple [ Driver.Htensor v; Driver.Htensor m ])
+    | W.Trees.Node (l, r) -> Driver.Hnode (tree_hval l, tree_hval r)
+  in
+  {
+    Model.name = "mvrnn";
+    size;
+    source = Model.subst [ "H", hidden; "H2", 2 * hidden; "C", classes ] template;
+    inputs = [ "tree" ];
+    gen_weights = Model.weights_of_specs specs;
+    gen_instance = (fun rng -> [ "tree", tree_hval (W.Trees.sample rng) ]);
+  }

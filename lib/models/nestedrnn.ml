@@ -1,0 +1,71 @@
+(** NestedRNN (paper Table 3): an RNN loop nested inside a GRU loop, both
+    iterating for a pseudo-random number of steps in [20, 40] — emulated
+    tensor-dependent control flow (§E.1). The inner loop's operators run
+    ~30x more often than the outer loop's, which is what PGO-guided
+    auto-scheduling exploits (Table 9). *)
+
+module Driver = Acrobat_engines.Driver
+open Acrobat_tensor
+
+let template =
+  {|
+def @inner(%n: Int, %state: Tensor[(1, {H})],
+           %ib: Tensor[(1, {H})], %ihw: Tensor[({H}, {H})]) -> Tensor[(1, {H})] {
+  if (%n == 0) { %state } else {
+    let %s = sigmoid(%ib + matmul(%state, %ihw));
+    @inner(%n - 1, %s, %ib, %ihw)
+  }
+}
+
+def @outer(%n: Int, %state: Tensor[(1, {H})],
+           %ib: Tensor[(1, {H})], %ihw: Tensor[({H}, {H})],
+           %wz: Tensor[({H}, {H})], %uz: Tensor[({H}, {H})], %bz: Tensor[(1, {H})],
+           %wr: Tensor[({H}, {H})], %ur: Tensor[({H}, {H})], %br: Tensor[(1, {H})],
+           %wh: Tensor[({H}, {H})], %uh: Tensor[({H}, {H})], %bh: Tensor[(1, {H})])
+    -> Tensor[(1, {H})] {
+  if (%n == 0) { %state } else {
+    let %iters = 20 + choice(21);
+    let %x = @inner(%iters, %state, %ib, %ihw);
+    let %z = sigmoid(matmul(%x, %wz) + matmul(%state, %uz) + %bz);
+    let %r = sigmoid(matmul(%x, %wr) + matmul(%state, %ur) + %br);
+    let %hh = tanh(matmul(%x, %wh) + matmul(mul(%r, %state), %uh) + %bh);
+    let %one = ones((1, {H}));
+    let %new = mul(sub(%one, %z), %state) + mul(%z, %hh);
+    @outer(%n - 1, %new, %ib, %ihw, %wz, %uz, %bz, %wr, %ur, %br, %wh, %uh, %bh)
+  }
+}
+
+def @main(%ib: Tensor[(1, {H})], %ihw: Tensor[({H}, {H})],
+          %wz: Tensor[({H}, {H})], %uz: Tensor[({H}, {H})], %bz: Tensor[(1, {H})],
+          %wr: Tensor[({H}, {H})], %ur: Tensor[({H}, {H})], %br: Tensor[(1, {H})],
+          %wh: Tensor[({H}, {H})], %uh: Tensor[({H}, {H})], %bh: Tensor[(1, {H})],
+          %input: Tensor[(1, {H})]) -> Tensor[(1, {H})] {
+  let %outer_iters = 20 + choice(21);
+  @outer(%outer_iters, %input, %ib, %ihw, %wz, %uz, %bz, %wr, %ur, %br, %wh, %uh, %bh)
+}
+|}
+
+let make ?hidden (size : Model.size) : Model.t =
+  let hidden =
+    match hidden with
+    | Some h -> h
+    | None -> ( match size with Model.Small -> 256 | Model.Large -> 512)
+  in
+  let mat = [ hidden; hidden ] and vec = [ 1; hidden ] in
+  let specs =
+    [
+      "ib", vec; "ihw", mat;
+      "wz", mat; "uz", mat; "bz", vec;
+      "wr", mat; "ur", mat; "br", vec;
+      "wh", mat; "uh", mat; "bh", vec;
+    ]
+  in
+  {
+    Model.name = "nestedrnn";
+    size;
+    source = Model.subst [ "H", hidden ] template;
+    inputs = [ "input" ];
+    gen_weights = Model.weights_of_specs specs;
+    gen_instance =
+      (fun rng -> [ "input", Driver.Htensor (Tensor.random rng [ 1; hidden ]) ]);
+  }

@@ -1,0 +1,63 @@
+(** The sequential RNN of the paper's Listing 1 — the running example and
+    the quickstart model. A recursive RNN over a token sequence followed by
+    a per-token output transformation (two program phases). *)
+
+module Driver = Acrobat_engines.Driver
+module W = Acrobat_workloads
+
+let template =
+  {|
+def @rnn(%inps: List[Tensor[(1, {H})]], %state: Tensor[(1, {H})],
+         %bias: Tensor[(1, {H})], %i_wt: Tensor[({H}, {H})], %h_wt: Tensor[({H}, {H})])
+    -> List[Tensor[(1, {H})]] {
+  match (%inps) {
+    Nil => Nil,
+    Cons(%inp, %tail) => {
+      let %inp_linear = %bias + matmul(%inp, %i_wt);
+      let %new_state = sigmoid(%inp_linear + matmul(%state, %h_wt));
+      Cons(%new_state, @rnn(%tail, %new_state, %bias, %i_wt, %h_wt))
+    }
+  }
+}
+
+def @main(%rnn_bias: Tensor[(1, {H})], %rnn_i_wt: Tensor[({H}, {H})],
+          %rnn_h_wt: Tensor[({H}, {H})], %rnn_init: Tensor[(1, {H})],
+          %c_wt: Tensor[({H}, {C})], %cbias: Tensor[(1, {C})],
+          %inps: List[Tensor[(1, {H})]]) -> List[Tensor[(1, {C})]] {
+  let %states = @rnn(%inps, %rnn_init, %rnn_bias, %rnn_i_wt, %rnn_h_wt);
+  map(fn(%p: Tensor[(1, {H})]) { relu(%cbias + matmul(%p, %c_wt)) }, %states)
+}
+|}
+
+let make ?(classes = 16) ?hidden (size : Model.size) : Model.t =
+  let hidden =
+    match hidden with
+    | Some h -> h
+    | None -> ( match size with Model.Small -> 256 | Model.Large -> 512)
+  in
+  let specs =
+    [
+      "rnn_bias", [ 1; hidden ];
+      "rnn_i_wt", [ hidden; hidden ];
+      "rnn_h_wt", [ hidden; hidden ];
+      "rnn_init", [ 1; hidden ];
+      "c_wt", [ hidden; classes ];
+      "cbias", [ 1; classes ];
+    ]
+  in
+  let table = Model.embedding_table ~dim:hidden ~seed:11 in
+  {
+    Model.name = "rnn";
+    size;
+    source = Model.subst [ "H", hidden; "C", classes ] template;
+    inputs = [ "inps" ];
+    gen_weights = Model.weights_of_specs specs;
+    gen_instance =
+      (fun rng ->
+        let words = W.Sentences.sample rng in
+        [
+          ( "inps",
+            Driver.Hlist
+              (List.map (fun w -> Driver.Htensor (W.Embeddings.lookup table w)) words) );
+        ]);
+  }

@@ -1,0 +1,122 @@
+(** StackRNN: a transition-based (shift/reduce) parser with RNN cells
+    (StackLSTM of Dyer et al. 2015 with the LSTM replaced by an RNN cell,
+    per the paper's Table 3).
+
+    Every step computes action logits and takes their argmax — an operator
+    DyNet has no batched kernel for (§E.4) — with the actual decision
+    emulated pseudo-randomly (§E.1). The two actions execute different
+    numbers of tensor operators (shift: two blocks, reduce: one), so eager
+    depth batching misaligns instances that chose differently; ghost
+    operators re-align them (§B.3, Fig. 4). *)
+
+module Driver = Acrobat_engines.Driver
+module W = Acrobat_workloads
+
+let template =
+  {|
+def @steps(%buffer: List[Tensor[(1, {H})]], %stack: List[Tensor[(1, {H})]],
+           %state: Tensor[(1, {H})],
+           %wcomb: Tensor[({H2}, {H})], %bcomb: Tensor[(1, {H})],
+           %wshift: Tensor[({H}, {H})], %wstate: Tensor[({H}, {H})], %bstate: Tensor[(1, {H})],
+           %wpush: Tensor[({H}, {H})], %wact: Tensor[({H}, 3)]) -> Tensor[(1, {H})] {
+  match (%buffer) {
+    Nil => {
+      (* Input consumed: drain the stack. *)
+      match (%stack) {
+        Nil => %state,
+        Cons(%top, %rest) => @steps(%buffer, %rest, %top, %wcomb, %bcomb,
+                                    %wshift, %wstate, %bstate, %wpush, %wact)
+      }
+    },
+    Cons(%word, %tail) => {
+      match (%stack) {
+        Cons(%a, %arest) => match (%arest) {
+          Cons(%b, %brest) => {
+            (* Both actions are possible: predict one. The action logits
+               feed an argmax — an operator DyNet cannot batch (§E.4) —
+               with the decision itself emulated pseudo-randomly (§E.1). *)
+            let %logits = matmul(%state, %wact);
+            let %best = argmax(%logits);
+            let %act = choice(2);
+            let %next =
+              if (%act == 0) {
+                (* shift: the stack push updates the parser state in two
+                   dependent stages - two dynamic scheduling blocks. *)
+                let %shifted = tanh(matmul(%word, %wshift));
+                let %pushed = sigmoid(%bstate + matmul(%state, %wstate));
+                let %stack2 = Cons(%shifted, %stack);
+                let %new_state = tanh(matmul(%pushed, %wpush));
+                (%stack2, %new_state, %tail)
+              } else {
+                (* reduce: one scheduling block — ghost operators pad this
+                   branch so post-decision depths re-align (Fig. 4). *)
+                let %combined = tanh(%bcomb + matmul(concat(%a, %b), %wcomb));
+                (Cons(%combined, %brest), %state, %buffer)
+              };
+            @steps(%next.2, %next.0, %next.1, %wcomb, %bcomb,
+                   %wshift, %wstate, %bstate, %wpush, %wact)
+          },
+          Nil => {
+            let %shifted = tanh(matmul(%word, %wshift));
+            let %pushed = sigmoid(%bstate + matmul(%state, %wstate));
+            let %stack2 = Cons(%shifted, %stack);
+            let %new_state = tanh(matmul(%pushed, %wpush));
+            @steps(%tail, %stack2, %new_state, %wcomb, %bcomb,
+                   %wshift, %wstate, %bstate, %wpush, %wact)
+          }
+        },
+        Nil => {
+          let %shifted = tanh(matmul(%word, %wshift));
+          let %pushed = sigmoid(%bstate + matmul(%state, %wstate));
+          let %stack1 = Cons(%shifted, Nil);
+          let %new_state = tanh(matmul(%pushed, %wpush));
+          @steps(%tail, %stack1, %new_state, %wcomb, %bcomb,
+                 %wshift, %wstate, %bstate, %wpush, %wact)
+        }
+      }
+    }
+  }
+}
+
+def @main(%wcomb: Tensor[({H2}, {H})], %bcomb: Tensor[(1, {H})],
+          %wshift: Tensor[({H}, {H})], %wstate: Tensor[({H}, {H})], %bstate: Tensor[(1, {H})],
+          %wpush: Tensor[({H}, {H})], %wact: Tensor[({H}, 3)], %init: Tensor[(1, {H})],
+          %inps: List[Tensor[(1, {H})]]) -> Tensor[(1, {H})] {
+  @steps(%inps, Nil, %init, %wcomb, %bcomb, %wshift, %wstate, %bstate, %wpush, %wact)
+}
+|}
+
+let make ?hidden (size : Model.size) : Model.t =
+  let hidden =
+    match hidden with
+    | Some h -> h
+    | None -> ( match size with Model.Small -> 256 | Model.Large -> 512)
+  in
+  let specs =
+    [
+      "wcomb", [ 2 * hidden; hidden ];
+      "bcomb", [ 1; hidden ];
+      "wshift", [ hidden; hidden ];
+      "wstate", [ hidden; hidden ];
+      "bstate", [ 1; hidden ];
+      "wpush", [ hidden; hidden ];
+      "wact", [ hidden; 3 ];
+      "init", [ 1; hidden ];
+    ]
+  in
+  let table = Model.embedding_table ~dim:hidden ~seed:53 in
+  {
+    Model.name = "stackrnn";
+    size;
+    source = Model.subst [ "H", hidden; "H2", 2 * hidden ] template;
+    inputs = [ "inps" ];
+    gen_weights = Model.weights_of_specs specs;
+    gen_instance =
+      (fun rng ->
+        let words = W.Sentences.sample rng in
+        [
+          ( "inps",
+            Driver.Hlist
+              (List.map (fun w -> Driver.Htensor (W.Embeddings.lookup table w)) words) );
+        ]);
+  }

@@ -1,0 +1,93 @@
+(** Cooperative fibers on OCaml 5 effect handlers (paper §4.2).
+
+    Under tensor-dependent control flow, the unbatched program for each batch
+    instance runs as a fiber; a fiber that needs a tensor value {!suspend}s,
+    and when every fiber is blocked the driver invokes the stall callback
+    (which flushes the DFG) and resumes them — preserving batch parallelism.
+    {!fork} runs independent sub-computations as child fibers (fork-join),
+    exposing instance parallelism such as DRNN's concurrent sub-tree
+    generation. This plays the role of Boost fibers in the paper's
+    implementation. *)
+
+type _ Effect.t += Suspend : unit Effect.t
+type _ Effect.t += Fork : (unit -> Value.value) array -> Value.value array Effect.t
+
+(** Block the current fiber until after the next DFG flush. *)
+let suspend () = Effect.perform Suspend
+
+(** Run the thunks as child fibers; returns once all complete. *)
+let fork thunks = Effect.perform (Fork thunks)
+
+type scheduler = {
+  runq : (unit -> unit) Queue.t;
+  mutable blocked : (unit -> unit) list;
+  mutable switches : int;
+}
+
+(** [run ~on_stall tasks] drives [tasks] as fibers to completion. [on_stall]
+    is called whenever all live fibers are blocked; it must make progress
+    (flush the DFG) or the driver raises. *)
+let run ~(on_stall : unit -> unit) (tasks : (unit -> unit) list) : int =
+  let s = { runq = Queue.create (); blocked = []; switches = 0 } in
+  let open Effect.Deep in
+  let rec spawn (task : unit -> unit) (finish : unit -> unit) =
+    let body () =
+      match_with
+        (fun () ->
+          task ();
+          finish ())
+        ()
+        {
+          retc = (fun () -> ());
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Suspend ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    s.blocked <- (fun () -> continue k ()) :: s.blocked)
+              | Fork thunks ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    let n = Array.length thunks in
+                    let results = Array.make n Value.Vnil in
+                    if n = 0 then Queue.add (fun () -> continue k results) s.runq
+                    else begin
+                      let remaining = ref n in
+                      Array.iteri
+                        (fun i th ->
+                          spawn
+                            (fun () -> results.(i) <- th ())
+                            (fun () ->
+                              decr remaining;
+                              if !remaining = 0 then
+                                Queue.add (fun () -> continue k results) s.runq))
+                        thunks
+                    end)
+              | _ -> None);
+        }
+    in
+    Queue.add body s.runq
+  in
+  List.iter (fun t -> spawn t (fun () -> ())) tasks;
+  let rec drive () =
+    if not (Queue.is_empty s.runq) then begin
+      let next = Queue.pop s.runq in
+      s.switches <- s.switches + 1;
+      next ();
+      drive ()
+    end
+    else if s.blocked <> [] then begin
+      let n_blocked = List.length s.blocked in
+      on_stall ();
+      let resumable = List.rev s.blocked in
+      s.blocked <- [];
+      List.iter (fun r -> Queue.add r s.runq) resumable;
+      if Queue.is_empty s.runq && n_blocked > 0 then
+        failwith "fiber deadlock: stall callback made no progress";
+      drive ()
+    end
+  in
+  drive ();
+  s.switches

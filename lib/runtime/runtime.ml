@@ -1,0 +1,199 @@
+(** The runtime façade engines program against: lazy DFG construction,
+    flushing through a scheduler, shared-tensor materialization, input
+    upload, tensor-dependent decisions and PGO profiling. *)
+
+open Value
+open Acrobat_tensor
+module Device = Acrobat_device.Device
+module Cost_model = Acrobat_device.Cost_model
+open Acrobat_compiler
+
+type t = {
+  device : Device.t;
+  scheduler : Config.scheduler;
+  policy : Executor.policy;
+  mutable pending : node list;  (** Reversed insertion order. *)
+  mutable next_id : int;
+  weights : (string, handle) Hashtbl.t;
+  consts : (string, handle) Hashtbl.t;
+  mutable rngs : Rng.t array;  (** Per-instance decision streams (§E.1). *)
+  profile : (int, int ref * float ref * int ref) Hashtbl.t;
+      (** kernel id -> (invocations, total flops, max shared-arg elems):
+          the PGO profile. *)
+  mutable flushes : int;
+}
+
+let create ~device ~scheduler ~(policy : Executor.policy) ~seed ~instances =
+  {
+    device;
+    scheduler;
+    policy;
+    pending = [];
+    next_id = 0;
+    weights = Hashtbl.create 16;
+    consts = Hashtbl.create 16;
+    rngs = Array.init instances (fun i -> Rng.create ((seed * 1_000_003) + i));
+    profile = Hashtbl.create 32;
+    flushes = 0;
+  }
+
+let device t = t.device
+let profiler t = Device.profiler t.device
+
+let rng_for t instance = t.rngs.(instance)
+
+(* --- Materialization of non-DFG tensors --- *)
+
+(** Register a model weight (resident on the device; not charged per run). *)
+let set_weight t name tensor =
+  let elems = Tensor.numel tensor in
+  let addr = Device.alloc t.device ~elems in
+  Hashtbl.replace t.weights name
+    (Hmat { tensor = Some tensor; addr; shape = Tensor.shape tensor })
+
+let weight t name =
+  match Hashtbl.find_opt t.weights name with
+  | Some h -> h
+  | None -> fail "unknown weight %S" name
+
+(** Reusable constant tensors are materialized once (§E.4). *)
+let const_handle t ~shape ~value =
+  let key = Fmt.str "%a=%g" Shape.pp shape value in
+  match Hashtbl.find_opt t.consts key with
+  | Some h -> h
+  | None ->
+    let elems = Shape.numel shape in
+    let addr = Device.alloc t.device ~elems in
+    let h = Hmat { tensor = Some (Tensor.full shape value); addr; shape } in
+    Hashtbl.replace t.consts key h;
+    h
+
+let shared_handle t : Kernel.shared_bind -> handle = function
+  | Kernel.Bparam p -> weight t p
+  | Kernel.Bconst { shape; value } -> const_handle t ~shape ~value
+
+(** Upload per-instance input tensors. [batched] models ACROBAT's batched
+    memory transfers (§D.3: one host->device call); DyNet pays one call per
+    tensor. *)
+let upload_inputs t ~batched (tensors : Tensor.t list) : handle list =
+  let total_bytes =
+    List.fold_left (fun acc x -> acc + (Tensor.numel x * Cost_model.bytes_per_elem)) 0 tensors
+  in
+  if batched then Device.memcpy t.device ~bytes:total_bytes
+  else
+    List.iter
+      (fun x -> Device.memcpy t.device ~bytes:(Tensor.numel x * Cost_model.bytes_per_elem))
+      tensors;
+  List.map
+    (fun x ->
+      let addr = Device.alloc t.device ~elems:(Tensor.numel x) in
+      Hmat { tensor = Some x; addr; shape = Tensor.shape x })
+    tensors
+
+(** Download result tensors to the host. *)
+let download t ~batched (hs : handle list) =
+  let bytes h = Shape.numel (handle_shape h) * Cost_model.bytes_per_elem in
+  if batched then
+    Device.memcpy t.device ~bytes:(List.fold_left (fun acc h -> acc + bytes h) 0 hs)
+  else List.iter (fun h -> Device.memcpy t.device ~bytes:(bytes h)) hs
+
+(* --- DFG construction --- *)
+
+(** Standard batching signature: kernel identity + argument shapes. *)
+let acrobat_sig (kernel : Kernel.t) (arg_shapes : Shape.t array) =
+  Fmt.str "k%d|%a" kernel.id Fmt.(array ~sep:(any ";") Shape.pp) arg_shapes
+
+(** Append one DFG node; returns handles on its outputs. *)
+let invoke t ~(kernel : Kernel.t) ~(args : handle array) ~instance ~phase ~depth
+    ~(sig_key : string) : handle array =
+  Device.charge_dfg_node t.device;
+  let arg_shapes = Array.map handle_shape args in
+  let out_shapes = Kernel.out_shapes kernel arg_shapes in
+  let group_flops = Kernel.group_flops kernel arg_shapes in
+  let group_bytes = Kernel.group_traffic kernel arg_shapes in
+  let node =
+    {
+      id = t.next_id;
+      kernel;
+      args;
+      phase;
+      depth;
+      instance;
+      group_flops;
+      group_bytes;
+      sig_key;
+      seq = t.next_id;
+      out_shapes;
+      outs = None;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.pending <- node :: t.pending;
+  (match t.scheduler with
+  | Config.Inline_depth -> Device.charge_bucket_push t.device
+  | Config.Runtime_depth | Config.Agenda -> ());
+  let shared_elems =
+    Array.to_list (Array.mapi (fun i role -> role, arg_shapes.(i)) kernel.roles)
+    |> List.fold_left
+         (fun acc (role, shape) ->
+           if role = Kernel.Shared then max acc (Shape.numel shape) else acc)
+         0
+  in
+  (match Hashtbl.find_opt t.profile kernel.id with
+  | Some (count, fl, se) ->
+    incr count;
+    fl := !fl +. List.fold_left ( +. ) 0.0 group_flops;
+    se := max !se shared_elems
+  | None ->
+    Hashtbl.replace t.profile kernel.id
+      (ref 1, ref (List.fold_left ( +. ) 0.0 group_flops), ref shared_elems));
+  Array.mapi (fun i _ -> Hnode (node, i)) out_shapes
+
+(** Schedule and execute everything pending. *)
+let flush t =
+  match t.pending with
+  | [] -> ()
+  | pending ->
+    t.pending <- [];
+    t.flushes <- t.flushes + 1;
+    let batches = Scheduler.schedule t.scheduler t.device (List.rev pending) in
+    List.iter (Executor.exec_batch t.device t.policy ~rand_for:(rng_for t)) batches
+
+let flush_count t = t.flushes
+let has_pending t = t.pending <> []
+
+(** Force a handle without fibers: flush if it is still pending. *)
+let force t h =
+  if not (handle_ready h) then flush t;
+  match handle_out h with
+  | Some o -> o
+  | None -> fail "handle still pending after flush"
+
+(** Read a forced tensor's scalar value ([0.0] in accounting-only mode). *)
+let scalar_value t h =
+  let o = force t h in
+  match o.tensor with
+  | Some x -> Tensor.item x
+  | None -> 0.0
+
+(* --- Tensor-dependent decisions (paper §E.1) --- *)
+
+(** Draw the next pseudo-random decision for [instance]. The caller is
+    responsible for the flush barrier (fiber suspension). *)
+let decision_int t ~instance n =
+  if n <= 0 then fail "choice(%d): the number of alternatives must be positive" n;
+  Rng.int (rng_for t instance) n
+
+let decision_bool t ~instance p = Rng.bernoulli (rng_for t instance) p
+
+
+(* --- PGO --- *)
+
+(** Observed per-kernel statistics: (kernel id, invocation count, mean
+    per-invocation flops, max shared-argument elements). *)
+let profile t : (int * float * float * int) list =
+  Hashtbl.fold
+    (fun id (count, fl, se) acc ->
+      (id, float_of_int !count, !fl /. float_of_int !count, !se) :: acc)
+    t.profile []
+  |> List.sort compare

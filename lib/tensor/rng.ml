@@ -1,0 +1,69 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that every
+    experiment is reproducible bit-for-bit from a seed, matching the paper's
+    use of "pre-determined random seeds" (§E.1) to emulate tensor-dependent
+    control flow uniformly across frameworks. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64: fast, high-quality, and trivially portable. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [float t] draws uniformly from [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** [uniform t lo hi] draws uniformly from [lo, hi). *)
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits: OCaml's native int is 63-bit, so a 63-bit value from a
+     logical shift by 1 would overflow to a negative number. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let bool t = float t < 0.5
+
+(** [bernoulli t p] is true with probability [p]. *)
+let bernoulli t p = float t < p
+
+(** Standard normal via Box-Muller. *)
+let normal t =
+  let u1 = max 1e-12 (float t) in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(** [split t] derives an independent generator; used to hand out
+    per-instance streams without perturbing the parent. *)
+let split t =
+  let s = next_int64 t in
+  { state = Int64.logxor s 0xA02184562B6AE807L }
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

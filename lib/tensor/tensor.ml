@@ -1,0 +1,122 @@
+(** Dense row-major float tensors.
+
+    This is the numeric substrate underneath the simulated accelerator: all
+    "device kernels" ultimately compute with these, so control-flow decisions
+    that depend on tensor values (early exit, parser actions, ...) are
+    genuinely value-dependent rather than scripted. *)
+
+type t = { shape : Shape.t; data : float array }
+
+let shape t = t.shape
+let data t = t.data
+let numel t = Array.length t.data
+
+let create shape data =
+  if Shape.numel shape <> Array.length data then
+    Shape.fail "create: shape %a does not match %d elements" Shape.pp shape
+      (Array.length data);
+  { shape; data }
+
+let full shape v = { shape; data = Array.make (Shape.numel shape) v }
+let zeros shape = full shape 0.0
+let ones shape = full shape 1.0
+
+let init shape f = { shape; data = Array.init (Shape.numel shape) f }
+
+let scalar v = { shape = []; data = [| v |] }
+
+let of_array shape a = create shape (Array.copy a)
+
+(** Xavier-style random initialisation. *)
+let random rng shape =
+  let n = Shape.numel shape in
+  let fan = float_of_int (max 1 (match shape with d :: _ -> d | [] -> 1)) in
+  let bound = sqrt (1.0 /. fan) in
+  { shape; data = Array.init n (fun _ -> Rng.uniform rng (-.bound) bound) }
+
+let copy t = { t with data = Array.copy t.data }
+
+let get t idx = t.data.(idx)
+let set t idx v = t.data.(idx) <- v
+
+let item t =
+  if numel t <> 1 then Shape.fail "item: tensor %a is not a scalar" Shape.pp t.shape;
+  t.data.(0)
+
+let reshape t shape =
+  if Shape.numel shape <> numel t then
+    Shape.fail "reshape: %a -> %a changes element count" Shape.pp t.shape Shape.pp shape;
+  { t with shape }
+
+let map f t = { t with data = Array.map f t.data }
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then
+    Shape.fail "map2: shape mismatch %a vs %a" Shape.pp a.shape Shape.pp b.shape;
+  { a with data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i)) }
+
+let fold f init t = Array.fold_left f init t.data
+
+let sum t = fold ( +. ) 0.0 t
+let mean t = sum t /. float_of_int (max 1 (numel t))
+
+let max_value t = fold Float.max neg_infinity t
+
+(** Index of the maximum element (flattened). *)
+let argmax t =
+  let best = ref 0 in
+  for i = 1 to numel t - 1 do
+    if t.data.(i) > t.data.(!best) then best := i
+  done;
+  !best
+
+let equal a b = Shape.equal a.shape b.shape && a.data = b.data
+
+let approx_equal ?(eps = 1e-6) a b =
+  Shape.equal a.shape b.shape
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let pp ppf t =
+  let preview = Array.to_list (Array.sub t.data 0 (min 8 (numel t))) in
+  Fmt.pf ppf "Tensor%a[%a%s]" Shape.pp t.shape
+    Fmt.(list ~sep:(any "; ") (fmt "%.4g"))
+    preview
+    (if numel t > 8 then "; ..." else "")
+
+(* --- Broadcasting --- *)
+
+(** Apply a binary elementwise op with numpy broadcasting. *)
+let broadcast_op2 f a b =
+  if Shape.equal a.shape b.shape then map2 f a b
+  else begin
+    let out_shape = Shape.broadcast a.shape b.shape in
+    let out = zeros out_shape in
+    let out_dims = Array.of_list out_shape in
+    let nd = Array.length out_dims in
+    let pad s =
+      let d = Array.of_list s in
+      Array.append (Array.make (nd - Array.length d) 1) d
+    in
+    let da = pad a.shape and db = pad b.shape in
+    let sa = Shape.strides (Array.to_list da) and sb = Shape.strides (Array.to_list db) in
+    let idx = Array.make nd 0 in
+    let offset dims strides =
+      let o = ref 0 in
+      for k = 0 to nd - 1 do
+        let i = if dims.(k) = 1 then 0 else idx.(k) in
+        o := !o + (i * strides.(k))
+      done;
+      !o
+    in
+    let n = Shape.numel out_shape in
+    for flat = 0 to n - 1 do
+      (* Decode flat index into [idx]. *)
+      let r = ref flat in
+      for k = nd - 1 downto 0 do
+        idx.(k) <- !r mod out_dims.(k);
+        r := !r / out_dims.(k)
+      done;
+      out.data.(flat) <- f a.data.(offset da sa) b.data.(offset db sb)
+    done;
+    out
+  end

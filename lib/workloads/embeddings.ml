@@ -1,0 +1,18 @@
+(** Word-embedding tables: deterministic per-word tensors, cached so
+    repeated words share host storage (each use is still uploaded — and
+    charged — separately, as the frameworks would). *)
+
+open Acrobat_tensor
+
+type t = { cache : (int, Tensor.t) Hashtbl.t; shape : Shape.t; seed : int }
+
+let create ~shape ~seed = { cache = Hashtbl.create 256; shape; seed }
+
+let lookup t word =
+  match Hashtbl.find_opt t.cache word with
+  | Some x -> x
+  | None ->
+    let rng = Rng.create ((t.seed * 65_599) + word) in
+    let x = Tensor.random rng t.shape in
+    Hashtbl.replace t.cache word x;
+    x

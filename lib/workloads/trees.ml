@@ -1,0 +1,47 @@
+(** Synthetic binary parse trees with Stanford-sentiment-treebank-like
+    structure statistics (the datasets of the paper's Table 3 are used only
+    for their structure — accuracy is never evaluated — so a seeded
+    generator with matching size distribution preserves the batching
+    behaviour; see DESIGN.md §2). *)
+
+open Acrobat_tensor
+
+type t = Leaf of int  (** word id *) | Node of t * t
+
+let rec leaves = function Leaf _ -> 1 | Node (l, r) -> leaves l + leaves r
+let rec size = function Leaf _ -> 1 | Node (l, r) -> 1 + size l + size r
+let rec height = function Leaf _ -> 0 | Node (l, r) -> 1 + max (height l) (height r)
+
+(** Sentence length distribution: clamped normal around the treebank's mean
+    (~19 tokens). *)
+let sample_length rng =
+  let n = int_of_float (19.0 +. (8.0 *. Rng.normal rng)) in
+  max 4 (min 45 n)
+
+(** A random binary tree over [n] leaves: split points drawn uniformly,
+    giving the mildly unbalanced shapes of real parse trees. *)
+let rec random_shape rng ~vocab n =
+  if n <= 1 then Leaf (Rng.int rng vocab)
+  else begin
+    let k = 1 + Rng.int rng (n - 1) in
+    let l = random_shape rng ~vocab k in
+    Node (l, random_shape rng ~vocab (n - k))
+  end
+
+let sample ?(vocab = 10_000) rng = random_shape rng ~vocab (sample_length rng)
+
+(** Per-level node counts, deepest (leaves) first — the structure a
+    level-synchronous executor (Cortex) batches over. *)
+let level_sizes t =
+  let tbl = Hashtbl.create 16 in
+  let rec go t =
+    let h = match t with Leaf _ -> 0 | Node (l, r) -> 1 + max (go l) (go r) in
+    Hashtbl.replace tbl h (1 + Option.value ~default:0 (Hashtbl.find_opt tbl h));
+    h
+  in
+  let maxh = go t in
+  List.init (maxh + 1) (fun h -> Option.value ~default:0 (Hashtbl.find_opt tbl h))
+
+let rec fold ~leaf ~node = function
+  | Leaf w -> leaf w
+  | Node (l, r) -> node (fold ~leaf ~node l) (fold ~leaf ~node r)

@@ -1,0 +1,116 @@
+(** Tests for the simulated device: cost model, memory arena, profiler,
+    launch accounting. *)
+
+open Acrobat
+open T_util
+module Memory = Acrobat_device.Memory
+
+let cm = Cost_model.default
+
+let test_kernel_time_monotone () =
+  let t f = Cost_model.kernel_time cm ~flops:f in
+  check_true "more flops, more time" (t 1.0e6 < t 1.0e7);
+  check_true "launch floor" (t 0.0 >= cm.Cost_model.kernel_launch_us)
+
+let test_kernel_time_saturation () =
+  (* Effective rate grows with kernel size: time per flop shrinks. *)
+  let per_flop f = (Cost_model.kernel_time cm ~flops:f -. cm.Cost_model.kernel_launch_us) /. f in
+  check_true "big kernels are more efficient" (per_flop 1.0e9 < per_flop 1.0e6)
+
+let test_kernel_time_roofline () =
+  let small_traffic = Cost_model.kernel_time cm ~flops:1000.0 ~bytes:0.0 in
+  let big_traffic = Cost_model.kernel_time cm ~flops:1000.0 ~bytes:1.0e8 in
+  check_true "memory-bound kernels pay bandwidth" (big_traffic > small_traffic +. 100.0)
+
+let test_memcpy_time () =
+  let t0 = Cost_model.memcpy_time cm ~bytes:0 in
+  check_float "call overhead" cm.Cost_model.memcpy_call_us t0;
+  check_true "bandwidth term" (Cost_model.memcpy_time cm ~bytes:8_000_000 > 900.0)
+
+let test_memory_bump () =
+  let m = Memory.create () in
+  let a = Memory.alloc m ~elems:10 in
+  let b = Memory.alloc m ~elems:5 in
+  check_int "first at 0" 0 a;
+  check_int "bump" 10 b;
+  check_int "used" 15 (Memory.used_elems m);
+  Memory.reset m;
+  check_int "reset" 0 (Memory.used_elems m);
+  check_int "peak survives reset" 15 (Memory.peak_elems m)
+
+let test_contiguity () =
+  check_true "empty" (Memory.contiguous []);
+  check_true "single" (Memory.contiguous [ 5, 3 ]);
+  check_true "adjacent" (Memory.contiguous [ 0, 4; 4, 2; 6, 1 ]);
+  check_bool "gap" false (Memory.contiguous [ 0, 4; 5, 2 ]);
+  check_bool "out of order" false (Memory.contiguous [ 4, 2; 0, 4 ]);
+  check_bool "duplicate address" false (Memory.contiguous [ 0, 4; 0, 4 ])
+
+let prop_contiguous_alloc =
+  qtest "memory: consecutive allocs are contiguous"
+    QCheck2.Gen.(list_size (int_range 1 10) (int_range 1 100))
+    (fun sizes ->
+      let m = Memory.create () in
+      let chunks = List.map (fun sz -> Memory.alloc m ~elems:sz, sz) sizes in
+      Memory.contiguous chunks)
+
+let test_device_counters () =
+  let d = Device.create () in
+  Device.launch_kernel d ~flops:1000.0;
+  Device.launch_kernel d ~flops:1000.0;
+  ignore (Device.launch_gather d ~bytes:4000 ~elems:1000);
+  Device.memcpy d ~bytes:100;
+  let p = Device.profiler d in
+  check_int "kernel calls incl gather" 3 p.Profiler.kernel_calls;
+  check_int "gathers" 1 p.Profiler.gather_kernels;
+  check_int "gather bytes" 4000 p.Profiler.gather_bytes;
+  check_int "memcpys" 1 p.Profiler.memcpy_calls;
+  check_true "api time" (Profiler.time_us p Profiler.Api_overhead > 0.0);
+  check_true "total positive" (Profiler.total_ms p > 0.0)
+
+let test_quality_divides_time () =
+  let d1 = Device.create () and d2 = Device.create () in
+  Device.launch_kernel d1 ~quality:1.0 ~flops:1.0e6;
+  Device.launch_kernel d2 ~quality:0.5 ~flops:1.0e6;
+  let k d = Profiler.time_us (Device.profiler d) Profiler.Kernel_exec in
+  check_float ~eps:1e-6 "half quality doubles time" (2.0 *. k d1) (k d2)
+
+let test_scattered_penalty () =
+  let d1 = Device.create () and d2 = Device.create () in
+  Device.launch_kernel d1 ~flops:1.0e6;
+  Device.launch_kernel d2 ~scattered_inputs:true ~flops:1.0e6;
+  let k d = Profiler.time_us (Device.profiler d) Profiler.Kernel_exec in
+  check_true "indirection penalty" (k d2 > k d1)
+
+let test_profiler_merge () =
+  let a = Profiler.create () and b = Profiler.create () in
+  Profiler.charge a Profiler.Scheduling 5.0;
+  Profiler.charge b Profiler.Scheduling 7.0;
+  b.Profiler.kernel_calls <- 3;
+  Profiler.merge ~into:a b;
+  check_float "times merged" 12.0 (Profiler.time_us a Profiler.Scheduling);
+  check_int "counters merged" 3 a.Profiler.kernel_calls
+
+let test_profiler_reset () =
+  let p = Profiler.create () in
+  Profiler.charge p Profiler.Kernel_exec 4.0;
+  p.Profiler.nodes_created <- 9;
+  Profiler.reset p;
+  check_float "times zeroed" 0.0 (Profiler.total_us p);
+  check_int "counters zeroed" 0 p.Profiler.nodes_created
+
+let suite =
+  [
+    Alcotest.test_case "cost: kernel time monotone" `Quick test_kernel_time_monotone;
+    Alcotest.test_case "cost: saturation" `Quick test_kernel_time_saturation;
+    Alcotest.test_case "cost: roofline" `Quick test_kernel_time_roofline;
+    Alcotest.test_case "cost: memcpy" `Quick test_memcpy_time;
+    Alcotest.test_case "memory: bump allocation" `Quick test_memory_bump;
+    Alcotest.test_case "memory: contiguity" `Quick test_contiguity;
+    prop_contiguous_alloc;
+    Alcotest.test_case "device: counters" `Quick test_device_counters;
+    Alcotest.test_case "device: quality" `Quick test_quality_divides_time;
+    Alcotest.test_case "device: scattered penalty" `Quick test_scattered_penalty;
+    Alcotest.test_case "profiler: merge" `Quick test_profiler_merge;
+    Alcotest.test_case "profiler: reset" `Quick test_profiler_reset;
+  ]

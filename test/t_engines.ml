@@ -1,0 +1,177 @@
+(** Cross-engine tests: numerical agreement between ACROBAT (AOT and VM),
+    DyNet (both schedulers) and PyTorch on every model; determinism;
+    framework-behaviour differences (batching, constants, gathers). *)
+
+open Acrobat
+open T_util
+module P = Profiler
+
+let floats = Alcotest.(list (float 1e-9))
+
+let run_values ?(batch = 4) ~framework ?mode id =
+  let model = Models.tiny id in
+  let compiled = compile ~framework ~inputs:model.Model.inputs model.Model.source in
+  let weights = model.Model.gen_weights 1 in
+  let instances = gen_batch model ~batch ~seed:3 in
+  let r =
+    match mode with
+    | None -> run ~compute_values:true compiled ~weights ~instances ()
+    | Some mode ->
+      Driver.run ~compute_values:true ~mode ~policy:(Frameworks.policy framework)
+        ~quality:compiled.quality ~lprog:compiled.lprog ~weights ~instances ()
+  in
+  output_values r
+
+(* DRNN is excluded from cross-engine agreement: ACROBAT's fibers change the
+   order pseudo-random decisions are drawn in, as the paper notes in §E.1. *)
+let agreement_ids =
+  [ "rnn"; "treelstm"; "mvrnn"; "birnn"; "nestedrnn"; "berxit"; "stackrnn"; "beamsearch"; "moe" ]
+
+let test_engines_agree id () =
+  let reference = run_values ~framework:acrobat_kind id in
+  check_true "produced outputs" (reference <> []);
+  Alcotest.check floats "vm = aot" reference (run_values ~framework:acrobat_kind ~mode:Driver.Vm_mode id);
+  Alcotest.check floats "dynet-agenda = acrobat" reference (run_values ~framework:dynet_kind id);
+  Alcotest.check floats "dynet-depth = acrobat" reference
+    (run_values ~framework:dynet_depth_kind id);
+  Alcotest.check floats "pytorch = acrobat" reference (run_values ~framework:Frameworks.Pytorch id)
+
+let test_drnn_dynet_matches_pytorch () =
+  (* Without forked fibers the decision order is sequential and shared. *)
+  Alcotest.check floats "dynet = pytorch on drnn"
+    (run_values ~framework:dynet_kind "drnn")
+    (run_values ~framework:Frameworks.Pytorch "drnn")
+
+let test_run_deterministic () =
+  List.iter
+    (fun id ->
+      Alcotest.check floats (id ^ " deterministic")
+        (run_values ~framework:acrobat_kind id)
+        (run_values ~framework:acrobat_kind id))
+    [ "treelstm"; "drnn"; "stackrnn" ]
+
+let test_ablation_preserves_semantics () =
+  (* Every optimization combination computes the same values. *)
+  let id = "treelstm" in
+  let reference = run_values ~framework:acrobat_kind id in
+  List.iter
+    (fun (label, config) ->
+      Alcotest.check floats (label ^ " preserves values") reference
+        (run_values ~framework:(Frameworks.Acrobat config) id))
+    [
+      "no-fusion", { Config.acrobat with Config.kernel_fusion = false; horizontal_fusion = false };
+      "no-coarsening", { Config.acrobat with Config.grain_coarsening = false };
+      "runtime-depth", { Config.acrobat with Config.scheduler = Config.Runtime_depth };
+      "agenda", { Config.acrobat with Config.scheduler = Config.Agenda };
+      "no-phases", { Config.acrobat with Config.program_phases = false };
+      "no-ghosts", { Config.acrobat with Config.ghost_ops = false };
+      "no-gather-fusion", { Config.acrobat with Config.gather_fusion = false };
+      "no-hoisting", { Config.acrobat with Config.hoisting = false };
+      "no-context", { Config.acrobat with Config.context_sensitive = false };
+      "no-reuse", { Config.acrobat with Config.parameter_reuse = false; hoisting = false };
+      "no-constants",
+      { Config.acrobat with Config.constant_reuse = false; hoisting = false };
+    ]
+
+let stats ?(batch = 8) ~framework id =
+  let model = Models.tiny id in
+  let compiled = compile ~framework ~inputs:model.Model.inputs model.Model.source in
+  let weights = model.Model.gen_weights 1 in
+  let instances = gen_batch model ~batch ~seed:3 in
+  (run compiled ~weights ~instances ()).Driver.stats
+
+let test_acrobat_batches_better () =
+  List.iter
+    (fun id ->
+      let ab = stats ~framework:acrobat_kind id in
+      let dy = stats ~framework:dynet_kind id in
+      check_true (id ^ ": fewer nodes") (ab.Driver.profiler.P.nodes_created <= dy.Driver.profiler.P.nodes_created);
+      check_true (id ^ ": fewer batches")
+        (ab.Driver.profiler.P.batches_executed < dy.Driver.profiler.P.batches_executed);
+      check_true (id ^ ": less scheduling time")
+        (P.time_us ab.Driver.profiler P.Scheduling < P.time_us dy.Driver.profiler P.Scheduling))
+    [ "treelstm"; "rnn"; "birnn" ]
+
+let test_dynet_mvrnn_unbatched_matmuls () =
+  (* DyNet's matmul heuristic forces MV-RNN's activation x activation
+     products to run one-by-one (§E.4); DN++ fixes it. *)
+  let dn = stats ~framework:dynet_kind "mvrnn" in
+  let dnpp =
+    stats ~framework:(Frameworks.Dynet { improved = true; scheduler = Config.Agenda }) "mvrnn"
+  in
+  check_true "DN++ reduces unbatched ops"
+    (dnpp.Driver.profiler.P.unbatched_ops < dn.Driver.profiler.P.unbatched_ops);
+  check_true "DN++ faster" (dnpp.Driver.latency_ms < dn.Driver.latency_ms)
+
+let test_acrobat_batched_transfers () =
+  let ab = stats ~framework:acrobat_kind "rnn" in
+  let dy = stats ~framework:dynet_kind "rnn" in
+  check_true "acrobat: few memcpys" (ab.Driver.profiler.P.memcpy_calls <= 3);
+  check_true "dynet: per-tensor memcpys" (dy.Driver.profiler.P.memcpy_calls > 8)
+
+let test_fibers_exploit_drnn_parallelism () =
+  let with_fibers = stats ~framework:acrobat_kind "drnn" in
+  let without =
+    stats ~framework:(Frameworks.Acrobat { Config.acrobat with Config.fibers = false }) "drnn"
+  in
+  check_true "fibers batch concurrent subtrees"
+    (with_fibers.Driver.profiler.P.batches_executed < without.Driver.profiler.P.batches_executed);
+  check_true "fibers reduce latency" (with_fibers.Driver.latency_ms < without.Driver.latency_ms)
+
+let test_gather_fusion_removes_gathers () =
+  let fused = stats ~framework:acrobat_kind "treelstm" in
+  check_int "no explicit gathers with fusion" 0 fused.Driver.profiler.P.gather_kernels;
+  let unfused =
+    stats ~framework:(Frameworks.Acrobat { Config.acrobat with Config.gather_fusion = false })
+      "treelstm"
+  in
+  check_true "explicit gathers otherwise" (unfused.Driver.profiler.P.gather_kernels > 0)
+
+let test_tdc_flushes () =
+  (* Tensor-dependent control flow forces intermediate flushes; static
+     models flush once. *)
+  let tree = stats ~framework:acrobat_kind "treelstm" in
+  check_int "non-TDC model flushes once" 1 tree.Driver.flushes;
+  let stack = stats ~framework:acrobat_kind "stackrnn" in
+  check_true "TDC model flushes repeatedly" (stack.Driver.flushes > 5)
+
+let test_vm_slower_than_aot () =
+  let model = Models.tiny "rnn" in
+  let compiled = compile ~inputs:model.Model.inputs model.Model.source in
+  let weights = model.Model.gen_weights 1 in
+  let instances = gen_batch model ~batch:8 ~seed:3 in
+  let time mode =
+    (Driver.run ~mode ~policy:Policy.acrobat_policy ~quality:compiled.quality
+       ~lprog:compiled.lprog ~weights ~instances ())
+      .Driver.stats.latency_ms
+  in
+  check_true "VM overhead" (time Driver.Vm_mode > 1.5 *. time Driver.Aot_mode)
+
+let test_tune_improves_quality () =
+  let model = Models.tiny "rnn" in
+  let compiled = compile ~inputs:model.Model.inputs model.Model.source in
+  let weights = model.Model.gen_weights 1 in
+  let calibration = gen_batch model ~batch:4 ~seed:9 in
+  let tuned = tune compiled ~weights ~calibration in
+  let instances = gen_batch model ~batch:8 ~seed:3 in
+  let t c = (run c ~weights ~instances ()).Driver.stats.latency_ms in
+  check_true "tuned kernels are faster" (t tuned < t compiled)
+
+let suite =
+  List.map
+    (fun id ->
+      Alcotest.test_case ("agreement: " ^ id) `Quick (test_engines_agree id))
+    agreement_ids
+  @ [
+      Alcotest.test_case "agreement: drnn dynet=pytorch" `Quick test_drnn_dynet_matches_pytorch;
+      Alcotest.test_case "determinism" `Quick test_run_deterministic;
+      Alcotest.test_case "ablations preserve semantics" `Quick test_ablation_preserves_semantics;
+      Alcotest.test_case "acrobat batches better" `Quick test_acrobat_batches_better;
+      Alcotest.test_case "dynet mvrnn heuristic" `Quick test_dynet_mvrnn_unbatched_matmuls;
+      Alcotest.test_case "batched transfers" `Quick test_acrobat_batched_transfers;
+      Alcotest.test_case "fibers exploit DRNN parallelism" `Quick test_fibers_exploit_drnn_parallelism;
+      Alcotest.test_case "gather fusion" `Quick test_gather_fusion_removes_gathers;
+      Alcotest.test_case "TDC flush pattern" `Quick test_tdc_flushes;
+      Alcotest.test_case "VM slower than AOT" `Quick test_vm_slower_than_aot;
+      Alcotest.test_case "auto-scheduling helps" `Quick test_tune_improves_quality;
+    ]

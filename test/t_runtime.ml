@@ -1,0 +1,271 @@
+(** Tests for the runtime: fibers, DFG construction, schedulers (including
+    topological-correctness properties on random DFGs), and the batch
+    executor. *)
+
+open Acrobat
+open T_util
+module Fiber = Acrobat_runtime.Fiber
+module Scheduler = Acrobat_runtime.Scheduler
+module Runtime = Acrobat_runtime.Runtime
+module Executor = Acrobat_runtime.Executor
+module Op = Ir.Op
+
+(* --- Fibers --- *)
+
+let test_fiber_run_to_completion () =
+  let log = ref [] in
+  let task name () = log := name :: !log in
+  ignore (Fiber.run ~on_stall:(fun () -> Alcotest.fail "no stall expected")
+            [ task "a"; task "b"; task "c" ]);
+  Alcotest.(check (list string)) "all ran in order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_fiber_suspend_resume () =
+  let log = ref [] in
+  let stalls = ref 0 in
+  let task name () =
+    log := (name ^ "1") :: !log;
+    Fiber.suspend ();
+    log := (name ^ "2") :: !log
+  in
+  ignore (Fiber.run ~on_stall:(fun () -> incr stalls) [ task "a"; task "b" ]);
+  check_int "one stall" 1 !stalls;
+  Alcotest.(check (list string)) "phases interleave" [ "a1"; "b1"; "a2"; "b2" ] (List.rev !log)
+
+let test_fiber_fork_join () =
+  let result = ref Value.Vnil in
+  let task () =
+    let vs =
+      Fiber.fork [| (fun () -> Value.Vint 1); (fun () -> Value.Vint 2); (fun () -> Value.Vint 3) |]
+    in
+    result := Value.Vtuple vs
+  in
+  ignore (Fiber.run ~on_stall:(fun () -> ()) [ task ]);
+  match !result with
+  | Value.Vtuple [| Value.Vint 1; Value.Vint 2; Value.Vint 3 |] -> ()
+  | _ -> Alcotest.fail "wrong fork results"
+
+let test_fiber_nested_fork () =
+  let total = ref 0 in
+  let rec spawn depth () =
+    if depth = 0 then Value.Vint 1
+    else begin
+      let vs = Fiber.fork [| spawn (depth - 1); spawn (depth - 1) |] in
+      Array.iter (fun v -> total := !total + Value.to_int v) vs;
+      Value.Vint 0
+    end
+  in
+  ignore (Fiber.run ~on_stall:(fun () -> ()) [ (fun () -> ignore (spawn 4 ())) ]);
+  check_int "all leaves counted" 16 !total
+
+let test_fiber_fork_with_suspension () =
+  let stalls = ref 0 in
+  let task () =
+    let vs =
+      Fiber.fork
+        [|
+          (fun () ->
+            Fiber.suspend ();
+            Value.Vint 10);
+          (fun () -> Value.Vint 20);
+        |]
+    in
+    check_int "both children done" 30 (Value.to_int vs.(0) + Value.to_int vs.(1))
+  in
+  ignore (Fiber.run ~on_stall:(fun () -> incr stalls) [ task ]);
+  check_int "stalled once for the blocked child" 1 !stalls
+
+let test_fiber_deadlock_detection () =
+  (* A stall callback that makes no progress must be detected. *)
+  let task () = Fiber.suspend () in
+  match Fiber.run ~on_stall:(fun () -> ()) [ task ] with
+  | exception Failure msg -> check_true "deadlock reported" (T_util.contains msg "deadlock")
+  | _ ->
+    (* The fiber is resumed after the stall; a single suspend terminates. *)
+    ()
+
+(* --- Schedulers on synthetic DFGs --- *)
+
+let reg = Kernel.registry ()
+
+let unit_kernel =
+  let b = Kernel.builder () in
+  let t = Kernel.add_instr b Op.Sigmoid [ Kernel.Arg 0 ] in
+  Kernel.finish reg b ~name:"sig" ~nargs:1 ~roles:[| Kernel.Batched |] ~shared_binds:[]
+    ~out_tmps:[| t |] ~fusion:true ~horizontal:false
+
+let source_kernel =
+  let b = Kernel.builder () in
+  let t = Kernel.add_instr b (Op.Constant { shape = [ 1; 2 ]; value = 0.5 }) [] in
+  Kernel.finish reg b ~name:"src" ~nargs:0 ~roles:[||] ~shared_binds:[] ~out_tmps:[| t |]
+    ~fusion:true ~horizontal:false
+
+(* Build a random DAG of [n] nodes through a Runtime; returns the runtime and
+   its nodes in insertion order. Dependencies only point backwards. *)
+let build_random_dfg ~scheduler ~seed n =
+  let device = Device.create () in
+  let policy =
+    {
+      Executor.gather_fusion = true;
+      quality = (fun _ -> 0.8);
+      compute_values = false;
+      detect_dynamic_sharing = true;
+    }
+  in
+  let rt = Runtime.create ~device ~scheduler ~policy ~seed ~instances:1 in
+  let rng = Rng.create seed in
+  let handles = ref [] in
+  for i = 0 to n - 1 do
+    let outs =
+      if !handles = [] || Rng.bool rng then
+        Runtime.invoke rt ~kernel:source_kernel ~args:[||] ~instance:0 ~phase:0 ~depth:0
+          ~sig_key:"src"
+      else begin
+        let prev = List.nth !handles (Rng.int rng (List.length !handles)) in
+        Runtime.invoke rt ~kernel:unit_kernel ~args:[| prev |] ~instance:0 ~phase:0
+          ~depth:(i + 1) ~sig_key:"sig"
+      end
+    in
+    handles := outs.(0) :: !handles
+  done;
+  rt, !handles
+
+let prop_scheduler_executes_everything scheduler name =
+  qtest ~count:30 ("scheduler: " ^ name ^ " executes all nodes (topologically)")
+    QCheck2.Gen.(pair (int_range 1 60) int)
+    (fun (n, seed) ->
+      let rt, handles = build_random_dfg ~scheduler ~seed n in
+      Runtime.flush rt;
+      (* exec_batch raises if any dependency is violated; afterwards every
+         handle must be materialized. *)
+      List.for_all Value.handle_ready handles)
+
+let test_inline_depth_batches_by_depth () =
+  let device = Device.create () in
+  let policy =
+    { Executor.gather_fusion = true; quality = (fun _ -> 0.8); compute_values = false;
+      detect_dynamic_sharing = false }
+  in
+  let rt = Runtime.create ~device ~scheduler:Config.Inline_depth ~policy ~seed:1 ~instances:4 in
+  (* 4 instances x same kernel at same depth -> one batch. *)
+  for i = 0 to 3 do
+    ignore
+      (Runtime.invoke rt ~kernel:source_kernel ~args:[||] ~instance:i ~phase:0 ~depth:0
+         ~sig_key:"src")
+  done;
+  Runtime.flush rt;
+  let p = Device.profiler device in
+  check_int "one batch" 1 p.Profiler.batches_executed;
+  check_int "one launch" 1 p.Profiler.kernel_calls
+
+let test_phase_ordering () =
+  (* Nodes of a later phase never execute before nodes of an earlier phase
+     they depend on, even at smaller depths. *)
+  let device = Device.create () in
+  let policy =
+    { Executor.gather_fusion = true; quality = (fun _ -> 0.8); compute_values = false;
+      detect_dynamic_sharing = false }
+  in
+  let rt = Runtime.create ~device ~scheduler:Config.Inline_depth ~policy ~seed:1 ~instances:1 in
+  let a =
+    Runtime.invoke rt ~kernel:source_kernel ~args:[||] ~instance:0 ~phase:0 ~depth:9
+      ~sig_key:"src"
+  in
+  let b =
+    Runtime.invoke rt ~kernel:unit_kernel ~args:[| a.(0) |] ~instance:0 ~phase:1 ~depth:0
+      ~sig_key:"sig"
+  in
+  Runtime.flush rt;
+  check_true "dependent executed" (Value.handle_ready b.(0))
+
+let test_executor_gathers_on_scattered () =
+  (* Two producer batches leave outputs in separate slabs; a consumer batch
+     over both must gather (fusion off) or mark scattered (fusion on). *)
+  let run ~gather_fusion =
+    let device = Device.create () in
+    let policy =
+      { Executor.gather_fusion; quality = (fun _ -> 0.8); compute_values = false;
+        detect_dynamic_sharing = false }
+    in
+    let rt = Runtime.create ~device ~scheduler:Config.Inline_depth ~policy ~seed:1 ~instances:2 in
+    (* Three producer batches allocate three consecutive slabs; consuming
+       slabs 0 and 2 leaves a hole, so the inputs are scattered. *)
+    let a = Runtime.invoke rt ~kernel:source_kernel ~args:[||] ~instance:0 ~phase:0 ~depth:0 ~sig_key:"s0" in
+    let _skip = Runtime.invoke rt ~kernel:source_kernel ~args:[||] ~instance:0 ~phase:0 ~depth:1 ~sig_key:"s1" in
+    let b = Runtime.invoke rt ~kernel:source_kernel ~args:[||] ~instance:1 ~phase:0 ~depth:2 ~sig_key:"s2" in
+    let _ = Runtime.invoke rt ~kernel:unit_kernel ~args:[| a.(0) |] ~instance:0 ~phase:0 ~depth:3 ~sig_key:"c" in
+    let _ = Runtime.invoke rt ~kernel:unit_kernel ~args:[| b.(0) |] ~instance:1 ~phase:0 ~depth:3 ~sig_key:"c" in
+    Runtime.flush rt;
+    Device.profiler device
+  in
+  let explicit = run ~gather_fusion:false in
+  check_int "explicit gather issued" 1 explicit.Profiler.gather_kernels;
+  let fused = run ~gather_fusion:true in
+  check_int "no gather kernel when fused" 0 fused.Profiler.gather_kernels;
+  check_true "fused run cheaper in kernel calls"
+    (fused.Profiler.kernel_calls < explicit.Profiler.kernel_calls)
+
+let test_runtime_constants_memoized () =
+  let device = Device.create () in
+  let policy =
+    { Executor.gather_fusion = true; quality = (fun _ -> 0.8); compute_values = true;
+      detect_dynamic_sharing = false }
+  in
+  let rt = Runtime.create ~device ~scheduler:Config.Inline_depth ~policy ~seed:1 ~instances:1 in
+  let h1 = Runtime.const_handle rt ~shape:[ 1; 4 ] ~value:0.0 in
+  let h2 = Runtime.const_handle rt ~shape:[ 1; 4 ] ~value:0.0 in
+  let h3 = Runtime.const_handle rt ~shape:[ 1; 4 ] ~value:1.0 in
+  check_true "same constant shared" (h1 == h2);
+  check_true "different value distinct" (h1 != h3)
+
+let test_runtime_decisions_deterministic () =
+  let mk () =
+    let device = Device.create () in
+    let policy =
+      { Executor.gather_fusion = true; quality = (fun _ -> 0.8); compute_values = false;
+        detect_dynamic_sharing = false }
+    in
+    Runtime.create ~device ~scheduler:Config.Inline_depth ~policy ~seed:9 ~instances:2
+  in
+  let a = mk () and b = mk () in
+  for _ = 1 to 20 do
+    check_int "same decision stream"
+      (Runtime.decision_int a ~instance:0 5)
+      (Runtime.decision_int b ~instance:0 5)
+  done;
+  (* Instance streams are independent. *)
+  let c = mk () in
+  let xs = List.init 10 (fun _ -> Runtime.decision_int c ~instance:0 1000) in
+  let ys = List.init 10 (fun _ -> Runtime.decision_int c ~instance:1 1000) in
+  check_true "instances differ" (xs <> ys)
+
+let test_upload_accounting () =
+  let device = Device.create () in
+  let policy =
+    { Executor.gather_fusion = true; quality = (fun _ -> 0.8); compute_values = false;
+      detect_dynamic_sharing = false }
+  in
+  let rt = Runtime.create ~device ~scheduler:Config.Inline_depth ~policy ~seed:1 ~instances:1 in
+  let tensors = List.init 10 (fun _ -> Tensor.zeros [ 1; 8 ]) in
+  ignore (Runtime.upload_inputs rt ~batched:true tensors);
+  check_int "one transfer when batched" 1 (Device.profiler device).Profiler.memcpy_calls;
+  ignore (Runtime.upload_inputs rt ~batched:false tensors);
+  check_int "per-tensor otherwise" 11 (Device.profiler device).Profiler.memcpy_calls
+
+let suite =
+  [
+    Alcotest.test_case "fiber: completion" `Quick test_fiber_run_to_completion;
+    Alcotest.test_case "fiber: suspend/resume" `Quick test_fiber_suspend_resume;
+    Alcotest.test_case "fiber: fork-join" `Quick test_fiber_fork_join;
+    Alcotest.test_case "fiber: nested fork" `Quick test_fiber_nested_fork;
+    Alcotest.test_case "fiber: fork + suspension" `Quick test_fiber_fork_with_suspension;
+    Alcotest.test_case "fiber: deadlock detection" `Quick test_fiber_deadlock_detection;
+    prop_scheduler_executes_everything Config.Inline_depth "inline-depth";
+    prop_scheduler_executes_everything Config.Runtime_depth "runtime-depth";
+    prop_scheduler_executes_everything Config.Agenda "agenda";
+    Alcotest.test_case "scheduler: inline batches by depth" `Quick test_inline_depth_batches_by_depth;
+    Alcotest.test_case "scheduler: phase ordering" `Quick test_phase_ordering;
+    Alcotest.test_case "executor: gather behaviour" `Quick test_executor_gathers_on_scattered;
+    Alcotest.test_case "runtime: constant memoization" `Quick test_runtime_constants_memoized;
+    Alcotest.test_case "runtime: decision determinism" `Quick test_runtime_decisions_deterministic;
+    Alcotest.test_case "runtime: upload accounting" `Quick test_upload_accounting;
+  ]

@@ -1,0 +1,275 @@
+(** Tests for the tensor substrate: Rng, Shape, Tensor, Ops. *)
+
+open Acrobat
+open T_util
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.float a) in
+  let ys = List.init 10 (fun _ -> Rng.float b) in
+  check_true "streams differ" (xs <> ys)
+
+let test_rng_int_in () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 20 40 in
+    check_true "in range" (v >= 20 && v <= 40)
+  done
+
+let prop_rng_float_range =
+  qtest "rng: float in [0,1)" QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let x = Rng.float rng in
+      x >= 0.0 && x < 1.0)
+
+let prop_rng_int_nonneg =
+  qtest "rng: int in [0, bound)"
+    QCheck2.Gen.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create 5 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_true "bernoulli rate near 0.3" (abs (!hits - 3000) < 300)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 9 in
+  let n = 20_000 in
+  let xs = List.init n (fun _ -> Rng.normal rng) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let var = List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs /. float_of_int n in
+  check_true "mean near 0" (Float.abs mean < 0.05);
+  check_true "variance near 1" (Float.abs (var -. 1.0) < 0.05)
+
+(* --- Shape --- *)
+
+let test_shape_numel () =
+  check_int "scalar" 1 (Shape.numel []);
+  check_int "vector" 7 (Shape.numel [ 7 ]);
+  check_int "matrix" 12 (Shape.numel [ 3; 4 ])
+
+let test_shape_strides () =
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides [ 2; 3; 4 ])
+
+let test_shape_matmul () =
+  Alcotest.(check (list int)) "matmul" [ 2; 5 ] (Shape.matmul [ 2; 3 ] [ 3; 5 ]);
+  Alcotest.check_raises "mismatch" (Shape.Mismatch "matmul: incompatible shapes (2, 3) x (4, 5)")
+    (fun () -> ignore (Shape.matmul [ 2; 3 ] [ 4; 5 ]))
+
+let test_shape_broadcast () =
+  Alcotest.(check (list int)) "same" [ 2; 3 ] (Shape.broadcast [ 2; 3 ] [ 2; 3 ]);
+  Alcotest.(check (list int)) "row" [ 4; 3 ] (Shape.broadcast [ 4; 3 ] [ 1; 3 ]);
+  Alcotest.(check (list int)) "scalar" [ 4; 3 ] (Shape.broadcast [ 4; 3 ] [ 1; 1 ]);
+  Alcotest.(check (list int)) "rank-extend" [ 4; 3 ] (Shape.broadcast [ 4; 3 ] [ 3 ])
+
+let prop_broadcast_commutative =
+  qtest "shape: broadcast commutative" QCheck2.Gen.(pair gen_shape gen_shape) (fun (a, b) ->
+      match Shape.broadcast a b with
+      | ab -> Shape.equal ab (Shape.broadcast b a)
+      | exception Shape.Mismatch _ -> (
+        match Shape.broadcast b a with
+        | _ -> false
+        | exception Shape.Mismatch _ -> true))
+
+let prop_broadcast_idempotent =
+  qtest "shape: x broadcast x = x" gen_shape (fun s -> Shape.equal s (Shape.broadcast s s))
+
+let test_shape_concat () =
+  Alcotest.(check (list int)) "concat" [ 2; 7 ] (Shape.concat ~axis:1 [ [ 2; 3 ]; [ 2; 4 ] ])
+
+(* --- Tensor --- *)
+
+let test_tensor_create_mismatch () =
+  Alcotest.check_raises "bad size" (Shape.Mismatch "create: shape (2, 2) does not match 3 elements")
+    (fun () -> ignore (Tensor.create [ 2; 2 ] [| 1.0; 2.0; 3.0 |]))
+
+let test_tensor_full_and_item () =
+  let t = Tensor.full [ 1; 1 ] 5.0 in
+  check_float "item" 5.0 (Tensor.item t);
+  Alcotest.check_raises "item of non-scalar"
+    (Shape.Mismatch "item: tensor (2, 2) is not a scalar") (fun () ->
+      ignore (Tensor.item (Tensor.zeros [ 2; 2 ])))
+
+let test_tensor_reshape () =
+  let t = Tensor.init [ 2; 3 ] float_of_int in
+  let r = Tensor.reshape t [ 3; 2 ] in
+  check_float "data preserved" (Tensor.get t 4) (Tensor.get r 4)
+
+let test_tensor_argmax () =
+  let t = Tensor.of_array [ 5 ] [| 1.0; 9.0; 3.0; 9.0; 2.0 |] in
+  check_int "first max wins" 1 (Tensor.argmax t)
+
+let prop_tensor_sum_linear =
+  qtest "tensor: sum(a+b) = sum a + sum b"
+    QCheck2.Gen.(pair int int)
+    (fun (s1, s2) ->
+      let a = Tensor.random (Rng.create s1) [ 3; 4 ] in
+      let b = Tensor.random (Rng.create s2) [ 3; 4 ] in
+      Float.abs (Tensor.sum (Ops.add a b) -. (Tensor.sum a +. Tensor.sum b)) < 1e-9)
+
+(* --- Ops --- *)
+
+let test_matmul_identity () =
+  let rng = Rng.create 3 in
+  let a = Tensor.random rng [ 4; 4 ] in
+  let id = Tensor.init [ 4; 4 ] (fun i -> if i mod 5 = 0 then 1.0 else 0.0) in
+  check_tensor "a @ I = a" a (Ops.matmul a id);
+  check_tensor "I @ a = a" a (Ops.matmul id a)
+
+let test_matmul_known () =
+  let a = Tensor.of_array [ 2; 2 ] [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = Tensor.of_array [ 2; 2 ] [| 5.0; 6.0; 7.0; 8.0 |] in
+  check_tensor "2x2" (Tensor.of_array [ 2; 2 ] [| 19.0; 22.0; 43.0; 50.0 |]) (Ops.matmul a b)
+
+let prop_matmul_distributes =
+  qtest ~count:50 "ops: (a+b)@c = a@c + b@c" QCheck2.Gen.(triple int int int)
+    (fun (s1, s2, s3) ->
+      let a = Tensor.random (Rng.create s1) [ 3; 4 ] in
+      let b = Tensor.random (Rng.create s2) [ 3; 4 ] in
+      let c = Tensor.random (Rng.create s3) [ 4; 2 ] in
+      Tensor.approx_equal ~eps:1e-9
+        (Ops.matmul (Ops.add a b) c)
+        (Ops.add (Ops.matmul a c) (Ops.matmul b c)))
+
+let test_transpose_involution () =
+  let t = Tensor.random (Rng.create 4) [ 3; 5 ] in
+  check_tensor "transpose^2 = id" t (Ops.transpose (Ops.transpose t))
+
+let prop_transpose_matmul =
+  qtest ~count:50 "ops: (a@b)^T = b^T @ a^T" QCheck2.Gen.(pair int int) (fun (s1, s2) ->
+      let a = Tensor.random (Rng.create s1) [ 2; 3 ] in
+      let b = Tensor.random (Rng.create s2) [ 3; 4 ] in
+      Tensor.approx_equal ~eps:1e-9
+        (Ops.transpose (Ops.matmul a b))
+        (Ops.matmul (Ops.transpose b) (Ops.transpose a)))
+
+let test_softmax_rows_sum_to_one () =
+  let t = Tensor.random (Rng.create 8) [ 4; 7 ] in
+  let s = Ops.softmax t in
+  for r = 0 to 3 do
+    let row = Ops.slice (Tensor.reshape s [ 4; 7 ]) ~lo:0 ~hi:7 in
+    ignore row;
+    let sum = ref 0.0 in
+    for j = 0 to 6 do
+      sum := !sum +. Tensor.get s ((r * 7) + j)
+    done;
+    check_float ~eps:1e-9 "row sums to 1" 1.0 !sum
+  done
+
+let prop_softmax_shift_invariant =
+  qtest ~count:50 "ops: softmax(x+c) = softmax(x)" QCheck2.Gen.(pair int (float_range (-5.0) 5.0))
+    (fun (s, c) ->
+      let x = Tensor.random (Rng.create s) [ 1; 6 ] in
+      let shifted = Tensor.map (fun v -> v +. c) x in
+      Tensor.approx_equal ~eps:1e-9 (Ops.softmax x) (Ops.softmax shifted))
+
+let test_sigmoid_range_and_symmetry () =
+  let x = Tensor.random (Rng.create 2) [ 1; 32 ] in
+  let s = Ops.sigmoid x in
+  Array.iter (fun v -> check_true "in (0,1)" (v > 0.0 && v < 1.0)) (Tensor.data s);
+  let neg = Ops.sigmoid (Ops.neg x) in
+  let sum = Ops.add s neg in
+  check_tensor "sigmoid(x)+sigmoid(-x)=1" (Tensor.ones [ 1; 32 ]) sum
+
+let test_relu () =
+  let x = Tensor.of_array [ 1; 4 ] [| -1.0; 0.0; 2.0; -3.0 |] in
+  check_tensor "relu" (Tensor.of_array [ 1; 4 ] [| 0.0; 0.0; 2.0; 0.0 |]) (Ops.relu x)
+
+let test_concat_slice_inverse () =
+  let a = Tensor.random (Rng.create 1) [ 2; 3 ] in
+  let b = Tensor.random (Rng.create 2) [ 2; 4 ] in
+  let c = Ops.concat [ a; b ] in
+  check_tensor "slice left" a (Ops.slice c ~lo:0 ~hi:3);
+  check_tensor "slice right" b (Ops.slice c ~lo:3 ~hi:7)
+
+let test_broadcast_add_row () =
+  let x = Tensor.init [ 2; 3 ] float_of_int in
+  let row = Tensor.of_array [ 1; 3 ] [| 10.0; 20.0; 30.0 |] in
+  check_tensor "row broadcast"
+    (Tensor.of_array [ 2; 3 ] [| 10.0; 21.0; 32.0; 13.0; 24.0; 35.0 |])
+    (Ops.add x row)
+
+let test_broadcast_mul_scalar_gate () =
+  let x = Tensor.of_array [ 1; 3 ] [| 2.0; 4.0; 6.0 |] in
+  let gate = Tensor.of_array [ 1; 1 ] [| 0.5 |] in
+  check_tensor "gate" (Tensor.of_array [ 1; 3 ] [| 1.0; 2.0; 3.0 |]) (Ops.mul x gate)
+
+let test_layernorm_normalizes () =
+  let x = Tensor.random (Rng.create 11) [ 2; 16 ] in
+  let g = Tensor.ones [ 1; 16 ] and b = Tensor.zeros [ 1; 16 ] in
+  let y = Ops.layernorm x g b in
+  for r = 0 to 1 do
+    let mean = ref 0.0 in
+    for j = 0 to 15 do
+      mean := !mean +. Tensor.get y ((r * 16) + j)
+    done;
+    check_float ~eps:1e-6 "row mean 0" 0.0 (!mean /. 16.0)
+  done
+
+let test_entropy_uniform_max () =
+  let uniform = Tensor.full [ 1; 8 ] 0.125 in
+  check_float ~eps:1e-9 "uniform entropy = ln 8" (log 8.0) (Tensor.item (Ops.entropy uniform));
+  let onehot = Tensor.of_array [ 1; 4 ] [| 1.0; 0.0; 0.0; 0.0 |] in
+  check_float ~eps:1e-9 "one-hot entropy = 0" 0.0 (Tensor.item (Ops.entropy onehot))
+
+let test_argmax_rows () =
+  let x = Tensor.of_array [ 2; 3 ] [| 1.0; 5.0; 2.0; 9.0; 0.0; 3.0 |] in
+  check_tensor "per-row argmax" (Tensor.of_array [ 2 ] [| 1.0; 0.0 |]) (Ops.argmax x)
+
+let test_gelu_known () =
+  check_float ~eps:1e-3 "gelu(0)=0" 0.0 (Tensor.item (Ops.gelu (Tensor.scalar 0.0)));
+  check_float ~eps:1e-2 "gelu(2)~1.95" 1.95 (Tensor.item (Ops.gelu (Tensor.scalar 2.0)))
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: split independent" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: int_in range" `Quick test_rng_int_in;
+    prop_rng_float_range;
+    prop_rng_int_nonneg;
+    Alcotest.test_case "rng: bernoulli rate" `Quick test_rng_bernoulli_rate;
+    Alcotest.test_case "rng: normal moments" `Slow test_rng_normal_moments;
+    Alcotest.test_case "shape: numel" `Quick test_shape_numel;
+    Alcotest.test_case "shape: strides" `Quick test_shape_strides;
+    Alcotest.test_case "shape: matmul" `Quick test_shape_matmul;
+    Alcotest.test_case "shape: broadcast" `Quick test_shape_broadcast;
+    prop_broadcast_commutative;
+    prop_broadcast_idempotent;
+    Alcotest.test_case "shape: concat" `Quick test_shape_concat;
+    Alcotest.test_case "tensor: create mismatch" `Quick test_tensor_create_mismatch;
+    Alcotest.test_case "tensor: full/item" `Quick test_tensor_full_and_item;
+    Alcotest.test_case "tensor: reshape" `Quick test_tensor_reshape;
+    Alcotest.test_case "tensor: argmax ties" `Quick test_tensor_argmax;
+    prop_tensor_sum_linear;
+    Alcotest.test_case "ops: matmul identity" `Quick test_matmul_identity;
+    Alcotest.test_case "ops: matmul known" `Quick test_matmul_known;
+    prop_matmul_distributes;
+    Alcotest.test_case "ops: transpose involution" `Quick test_transpose_involution;
+    prop_transpose_matmul;
+    Alcotest.test_case "ops: softmax rows" `Quick test_softmax_rows_sum_to_one;
+    prop_softmax_shift_invariant;
+    Alcotest.test_case "ops: sigmoid" `Quick test_sigmoid_range_and_symmetry;
+    Alcotest.test_case "ops: relu" `Quick test_relu;
+    Alcotest.test_case "ops: concat/slice" `Quick test_concat_slice_inverse;
+    Alcotest.test_case "ops: broadcast add" `Quick test_broadcast_add_row;
+    Alcotest.test_case "ops: broadcast mul gate" `Quick test_broadcast_mul_scalar_gate;
+    Alcotest.test_case "ops: layernorm" `Quick test_layernorm_normalizes;
+    Alcotest.test_case "ops: entropy" `Quick test_entropy_uniform_max;
+    Alcotest.test_case "ops: argmax rows" `Quick test_argmax_rows;
+    Alcotest.test_case "ops: gelu" `Quick test_gelu_known;
+  ]

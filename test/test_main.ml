@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "acrobat"
+    [
+      "tensor", T_tensor.suite;
+      "device", T_device.suite;
+      "frontend", T_frontend.suite;
+      "compiler", T_compiler.suite;
+      "runtime", T_runtime.suite;
+      "engines", T_engines.suite;
+      "models", T_models.suite;
+      "failures", T_failures.suite;
+    ]
