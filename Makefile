@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate: full build, the whole test suite, then an end-to-end serving
+# smoke run (compile + tune + simulate 50 requests) to catch CLI wiring
+# breakage that unit tests can miss.
+check: build test
+	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
+	  --rate 2000 --requests 50 --iters 100
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -454,6 +454,85 @@ let fig9 ?(batches = [ 8; 64 ]) () : fig9_row list =
         [ Model.Small; Model.Large ])
     [ "treelstm"; "mvrnn"; "birnn" ]
 
+(* --- Serving: latency vs offered load (beyond the paper: the online
+   front-end feeding ACROBAT's scheduler from independent requests) --- *)
+
+type serve_row = {
+  sv_model : string;
+  sv_policy : string;
+  sv_load : float;  (** Offered load as a multiple of batch-1 capacity. *)
+  sv_rate : float;  (** Requests per second. *)
+  sv_throughput : float;
+  sv_p50 : float;
+  sv_p95 : float;
+  sv_p99 : float;
+  sv_mean_batch : float;
+  sv_drop_rate : float;
+}
+
+let serve_policies ~max_batch ~max_wait_us =
+  [
+    "batch1", Serve.Batcher.Batch1;
+    "fixed", Serve.Batcher.Fixed { max_batch; max_wait_us };
+    "adaptive", Serve.Batcher.Adaptive { max_batch; max_wait_us };
+  ]
+
+(** Latency-vs-offered-load curves. Each model compiles and tunes once; the
+    same traffic trace (same seed) then replays under every policy, with
+    offered load anchored to the measured batch-1 service rate so "2.0x
+    load" means the same thing for every model. Fully deterministic. *)
+let serve_curve ?(models = [ "treelstm"; "birnn" ]) ?(size = Model.Small)
+    ?(loads = [ 0.5; 1.0; 2.0 ]) ?(requests = 150) ?(max_batch = 16)
+    ?(max_wait_us = 1500.0) ?iters ?(seed = 1) () : serve_row list =
+  List.concat_map
+    (fun id ->
+      let model = (Models.find id).Models.make size in
+      let c, weights = compile_model ?iters model ~batch:8 ~seed in
+      let execute batch = batch_executor ~seed c ~weights batch in
+      (* Probe the single-request service time to anchor offered load. *)
+      let probe_rng = Rng.create (seed + 7) in
+      let l1_us =
+        (execute [ model.Model.gen_instance probe_rng ]).Serve.Server.ex_latency_us
+      in
+      let base_rate_per_s = 1.0e6 /. l1_us in
+      List.concat_map
+        (fun load ->
+          let rate = base_rate_per_s *. load in
+          List.map
+            (fun (pname, policy) ->
+              let payload_rng = Rng.create ((seed * 31) + 5) in
+              let payloads =
+                Array.init requests (fun _ -> model.Model.gen_instance payload_rng)
+              in
+              let arrivals =
+                Serve.Traffic.arrivals
+                  ~rng:(Rng.create ((seed * 53) + 11))
+                  (Serve.Traffic.Poisson { rate_per_s = rate })
+                  ~n:requests
+              in
+              let config = { Serve.Server.default_config with Serve.Server.policy } in
+              let stats =
+                Serve.Server.simulate config ~arrivals
+                  ~payload:(fun i -> payloads.(i))
+                  ~execute
+              in
+              let s = Serve.Stats.summarize stats in
+              {
+                sv_model = id;
+                sv_policy = pname;
+                sv_load = load;
+                sv_rate = rate;
+                sv_throughput = s.Serve.Stats.s_throughput_rps;
+                sv_p50 = s.Serve.Stats.s_p50_ms;
+                sv_p95 = s.Serve.Stats.s_p95_ms;
+                sv_p99 = s.Serve.Stats.s_p99_ms;
+                sv_mean_batch = s.Serve.Stats.s_mean_batch;
+                sv_drop_rate = Serve.Stats.drop_rate s;
+              })
+            (serve_policies ~max_batch ~max_wait_us))
+        loads)
+    models
+
 (* --- Extras: ablations called out in DESIGN.md §6 --- *)
 
 (** Scheduler ablation: identical DFGs under the three schedulers. *)

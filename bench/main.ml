@@ -1,6 +1,13 @@
 (** Benchmark harness: regenerates every table and figure of the paper's
-    evaluation (`all`), or one at a time; `micro` runs the bechamel
+    evaluation (`all`), or one at a time; `serve` runs the online-serving
+    latency-vs-offered-load curves; `micro` runs the bechamel
     micro-benchmark suite over the runtime hot paths.
+
+    `--json FILE` additionally dumps every selected experiment's rows as
+    machine-readable JSON (one object keyed by experiment name), so the
+    perf trajectory is trackable across commits:
+
+    {v bench/main.exe serve --json BENCH_serve.json v}
 
     Latencies are simulated milliseconds from the device cost model
     (DESIGN.md §2): counts are real, unit costs are calibrated constants.
@@ -9,6 +16,7 @@
 
 open Acrobat
 module E = Experiments
+module J = Serve.Json
 
 let pf = Printf.printf
 
@@ -37,10 +45,23 @@ let table4 () =
     let logs = List.map (fun (r : E.t4_row) -> log (r.t4_dynet /. r.t4_acrobat)) rows in
     exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs))
   in
-  pf "geometric-mean speedup over DyNet: %.2fx (paper: 2.3x overall)\n" geo
+  pf "geometric-mean speedup over DyNet: %.2fx (paper: 2.3x overall)\n" geo;
+  J.List
+    (List.map
+       (fun (r : E.t4_row) ->
+         J.Obj
+           [
+             "model", J.Str r.t4_model;
+             "size", J.Str (size_str r.t4_size);
+             "batch", J.Int r.t4_batch;
+             "dynet_ms", J.Float r.t4_dynet;
+             "acrobat_ms", J.Float r.t4_acrobat;
+           ])
+       rows)
 
 let table5 () =
   hr "Table 5: activity breakdown at batch size 64 (ms)";
+  let cells = E.table5 () in
   List.iter
     (fun (label, (dy : E.t5_cell), (ab : E.t5_cell)) ->
       pf "\n-- %s --\n" label;
@@ -51,50 +72,117 @@ let table5 () =
       pf "%-18s %10.2f %10.2f\n" "GPU kernel time" dy.t5_kernel ab.t5_kernel;
       pf "%-18s %10d %10d\n" "#Kernel calls" dy.t5_kernel_calls ab.t5_kernel_calls;
       pf "%-18s %10.2f %10.2f\n" "CUDA API time" dy.t5_api ab.t5_api)
-    (E.table5 ());
+    cells;
   pf "\npaper (TreeLSTM small): DFG 8.8/1.5, sched 9.7/0.4, mem 3.1/0.1, kernel 6.1/4.0, calls 1653/183, API 16.5/3.9\n";
-  pf "paper (BiRNN large):    DFG 4.5/1.0, sched 3.3/0.4, mem 2.3/0.2, kernel 6.6/11.2, calls 580/380, API 12.0/11.1\n"
+  pf "paper (BiRNN large):    DFG 4.5/1.0, sched 3.3/0.4, mem 2.3/0.2, kernel 6.6/11.2, calls 580/380, API 12.0/11.1\n";
+  let cell_json (c : E.t5_cell) =
+    J.Obj
+      [
+        "dfg_ms", J.Float c.t5_dfg;
+        "sched_ms", J.Float c.t5_sched;
+        "mem_ms", J.Float c.t5_mem;
+        "kernel_ms", J.Float c.t5_kernel;
+        "kernel_calls", J.Int c.t5_kernel_calls;
+        "api_ms", J.Float c.t5_api;
+      ]
+  in
+  J.List
+    (List.map
+       (fun (label, dy, ab) ->
+         J.Obj [ "config", J.Str label; "dynet", cell_json dy; "acrobat", cell_json ab ])
+       cells)
 
 let table6 () =
   hr "Table 6: Cortex vs ACROBAT inference latency (ms)";
   pf "%-10s %-6s %5s | %10s %10s | %10s %10s\n" "model" "size" "batch" "cortex" "acrobat"
     "paper-cx" "paper-ab";
+  let rows = E.table6 () in
   List.iter
     (fun (r : E.t6_row) ->
       pf "%-10s %-6s %5d | %10.2f %10.2f | %10.2f %10.2f\n" r.t6_model (size_str r.t6_size)
         r.t6_batch r.t6_cortex r.t6_acrobat r.t6_paper_cortex r.t6_paper_acrobat)
-    (E.table6 ())
+    rows;
+  J.List
+    (List.map
+       (fun (r : E.t6_row) ->
+         J.Obj
+           [
+             "model", J.Str r.t6_model;
+             "size", J.Str (size_str r.t6_size);
+             "batch", J.Int r.t6_batch;
+             "cortex_ms", J.Float r.t6_cortex;
+             "acrobat_ms", J.Float r.t6_acrobat;
+           ])
+       rows)
 
 let table7 () =
   hr "Table 7: Relay VM vs AOT compilation (ms)";
   pf "%-10s %-6s %5s | %10s %10s %8s | %10s %10s\n" "model" "size" "batch" "vm" "aot"
     "speedup" "paper-vm" "paper-aot";
+  let rows = E.table7 () in
   List.iter
     (fun (r : E.t7_row) ->
       pf "%-10s %-6s %5d | %10.2f %10.2f %8.2f | %10.2f %10.2f\n" r.t7_model
         (size_str r.t7_size) r.t7_batch r.t7_vm r.t7_aot (r.t7_vm /. r.t7_aot) r.t7_paper_vm
         r.t7_paper_aot)
-    (E.table7 ())
+    rows;
+  J.List
+    (List.map
+       (fun (r : E.t7_row) ->
+         J.Obj
+           [
+             "model", J.Str r.t7_model;
+             "size", J.Str (size_str r.t7_size);
+             "batch", J.Int r.t7_batch;
+             "vm_ms", J.Float r.t7_vm;
+             "aot_ms", J.Float r.t7_aot;
+           ])
+       rows)
 
 let table8 () =
   hr "Table 8: DyNet vs DyNet++ (improved heuristics) vs ACROBAT (ms)";
   pf "%-10s %-6s %5s | %8s %8s %8s | %8s %8s %8s\n" "model" "size" "batch" "DN" "DN++" "AB"
     "p-DN" "p-DN++" "p-AB";
+  let rows = E.table8 () in
   List.iter
     (fun (r : E.t8_row) ->
       let pdn, pdnpp, pab = r.t8_paper in
       pf "%-10s %-6s %5d | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n" r.t8_model
         (size_str r.t8_size) r.t8_batch r.t8_dn r.t8_dnpp r.t8_ab pdn pdnpp pab)
-    (E.table8 ())
+    rows;
+  J.List
+    (List.map
+       (fun (r : E.t8_row) ->
+         J.Obj
+           [
+             "model", J.Str r.t8_model;
+             "size", J.Str (size_str r.t8_size);
+             "batch", J.Int r.t8_batch;
+             "dynet_ms", J.Float r.t8_dn;
+             "dynetpp_ms", J.Float r.t8_dnpp;
+             "acrobat_ms", J.Float r.t8_ab;
+           ])
+       rows)
 
 let table9 () =
   hr "Table 9: PGO benefit during auto-scheduling (NestedRNN small, batch 8; ms)";
   pf "%8s | %10s %10s | %10s %10s\n" "iters" "no-PGO" "PGO" "paper-no" "paper-PGO";
+  let rows = E.table9 () in
   List.iter
     (fun (r : E.t9_row) ->
       pf "%8d | %10.2f %10.2f | %10.2f %10.2f\n" r.t9_iters r.t9_nopgo r.t9_pgo
         r.t9_paper_nopgo r.t9_paper_pgo)
-    (E.table9 ())
+    rows;
+  J.List
+    (List.map
+       (fun (r : E.t9_row) ->
+         J.Obj
+           [
+             "iters", J.Int r.t9_iters;
+             "nopgo_ms", J.Float r.t9_nopgo;
+             "pgo_ms", J.Float r.t9_pgo;
+           ])
+       rows)
 
 let fig5 () =
   hr "Figure 5: benefit of each optimization (large, batch 64; ms)";
@@ -109,36 +197,123 @@ let fig5 () =
       List.iter (fun (_, ms) -> pf " %14.2f" ms) r.f5_steps;
       pf "\n")
     rows;
-  pf "(expected shape: monotone improvement; gather fusion may hurt iterative low-parallelism models, cf. paper 7.3)\n"
+  pf "(expected shape: monotone improvement; gather fusion may hurt iterative low-parallelism models, cf. paper 7.3)\n";
+  J.List
+    (List.map
+       (fun (r : E.fig5_row) ->
+         J.Obj
+           [
+             "model", J.Str r.f5_model;
+             "steps", J.Obj (List.map (fun (label, ms) -> label, J.Float ms) r.f5_steps);
+           ])
+       rows)
 
 let fig9 () =
   hr "Figure 9: speedup over PyTorch";
   pf "%-10s %-6s %5s | %10s %10s %8s\n" "model" "size" "batch" "pytorch" "acrobat" "speedup";
+  let rows = E.fig9 () in
   List.iter
     (fun (r : E.fig9_row) ->
       pf "%-10s %-6s %5d | %10.2f %10.2f %8.2f\n" r.f9_model (size_str r.f9_size) r.f9_batch
         r.f9_pytorch r.f9_acrobat (r.f9_pytorch /. r.f9_acrobat))
-    (E.fig9 ());
-  pf "(paper: all speedups > 1; larger for small model sizes; BiRNN lowest, MV-RNN highest)\n"
+    rows;
+  pf "(paper: all speedups > 1; larger for small model sizes; BiRNN lowest, MV-RNN highest)\n";
+  J.List
+    (List.map
+       (fun (r : E.fig9_row) ->
+         J.Obj
+           [
+             "model", J.Str r.f9_model;
+             "size", J.Str (size_str r.f9_size);
+             "batch", J.Int r.f9_batch;
+             "pytorch_ms", J.Float r.f9_pytorch;
+             "acrobat_ms", J.Float r.f9_acrobat;
+           ])
+       rows)
 
 let extras () =
   hr "Extra ablation: scheduler comparison (batch 64)";
   pf "%-10s %-14s %10s %12s %8s\n" "model" "scheduler" "latency" "sched-ms" "batches";
+  let sched_rows = E.ablation_scheduler () in
   List.iter
     (fun (id, sched, lat, sched_ms, batches) ->
       pf "%-10s %-14s %10.2f %12.3f %8d\n" id sched lat sched_ms batches)
-    (E.ablation_scheduler ());
+    sched_rows;
   hr "Extra ablation: context sensitivity (BiRNN small, batch 64)";
   pf "%-8s %10s %14s %10s\n" "ctx" "latency" "gather-bytes" "gathers";
+  let ctx_rows = E.ablation_context () in
   List.iter
     (fun (ctx, lat, bytes, gathers) -> pf "%-8b %10.2f %14d %10d\n" ctx lat bytes gathers)
-    (E.ablation_context ())
+    ctx_rows;
+  J.Obj
+    [
+      ( "scheduler",
+        J.List
+          (List.map
+             (fun (id, sched, lat, sched_ms, batches) ->
+               J.Obj
+                 [
+                   "model", J.Str id;
+                   "scheduler", J.Str sched;
+                   "latency_ms", J.Float lat;
+                   "sched_ms", J.Float sched_ms;
+                   "batches", J.Int batches;
+                 ])
+             sched_rows) );
+      ( "context",
+        J.List
+          (List.map
+             (fun (ctx, lat, bytes, gathers) ->
+               J.Obj
+                 [
+                   "context_sensitive", J.Bool ctx;
+                   "latency_ms", J.Float lat;
+                   "gather_bytes", J.Int bytes;
+                   "gathers", J.Int gathers;
+                 ])
+             ctx_rows) );
+    ]
+
+(* --- Serving: latency vs offered load (the online front-end) --- *)
+
+let serve () =
+  hr "Serving: latency vs offered load (cross-request dynamic batching)";
+  pf "%-10s %-9s %5s %9s | %10s %8s %8s %8s %7s %6s\n" "model" "policy" "load" "rate"
+    "thruput" "p50" "p95" "p99" "batch" "drop";
+  let rows = E.serve_curve () in
+  List.iter
+    (fun (r : E.serve_row) ->
+      pf "%-10s %-9s %4.1fx %7.0f/s | %8.0f/s %7.2fms %7.2fms %7.2fms %7.2f %5.1f%%\n"
+        r.sv_model r.sv_policy r.sv_load r.sv_rate r.sv_throughput r.sv_p50 r.sv_p95
+        r.sv_p99 r.sv_mean_batch (100.0 *. r.sv_drop_rate))
+    rows;
+  pf
+    "(expected shape: at >=1x load, adaptive sustains higher throughput and far lower p99 \
+     than batch1 by amortizing launch+API overhead across requests)\n";
+  J.List
+    (List.map
+       (fun (r : E.serve_row) ->
+         J.Obj
+           [
+             "model", J.Str r.sv_model;
+             "policy", J.Str r.sv_policy;
+             "load", J.Float r.sv_load;
+             "rate_rps", J.Float r.sv_rate;
+             "throughput_rps", J.Float r.sv_throughput;
+             "p50_ms", J.Float r.sv_p50;
+             "p95_ms", J.Float r.sv_p95;
+             "p99_ms", J.Float r.sv_p99;
+             "mean_batch", J.Float r.sv_mean_batch;
+             "drop_rate", J.Float r.sv_drop_rate;
+           ])
+       rows)
 
 (* --- bechamel micro-benchmarks over runtime hot paths --- *)
 
 let micro () =
   hr "bechamel micro-benchmarks (real wall time of hot paths)";
-  Micro.run ()
+  Micro.run ();
+  J.Str "wall-clock results printed to stdout only"
 
 let experiments =
   [
@@ -150,23 +325,40 @@ let experiments =
     "table9", table9;
     "fig5", fig5;
     "fig9", fig9;
+    "serve", serve;
     "extras", extras;
     "micro", micro;
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Split off `--json FILE` from the experiment selection. *)
+  let rec split_json acc = function
+    | [] -> List.rev acc, None
+    | "--json" :: path :: rest ->
+      let names, _ = split_json acc rest in
+      names, Some path
+    | x :: rest -> split_json (x :: acc) rest
+  in
+  let names, json_path = split_json [] args in
   let selected =
-    match args with
+    match names with
     | [] | [ "all" ] -> List.map fst experiments
     | names -> names
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None ->
-        pf "unknown experiment %S; available: %s all\n" name
-          (String.concat " " (List.map fst experiments));
-        exit 1)
-    selected
+  let results =
+    List.map
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> name, f ()
+        | None ->
+          pf "unknown experiment %S; available: %s all\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+      selected
+  in
+  match json_path with
+  | None -> ()
+  | Some path ->
+    J.to_file path (J.Obj results);
+    pf "\nwrote %s\n" path

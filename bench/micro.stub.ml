@@ -1,0 +1,6 @@
+(** Fallback selected by dune when the [bechamel] library is unavailable:
+    the micro suite skips gracefully instead of failing the build (see the
+    [select] clause in bench/dune). *)
+
+let run () =
+  print_endline "bechamel is not installed; skipping the micro-benchmark suite."

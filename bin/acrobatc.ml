@@ -8,6 +8,11 @@
                        printing outputs and the runtime activity profile.
     - [bench FILE]   — compare frameworks (acrobat / dynet / pytorch) on
                        the same program.
+    - [serve]        — simulate online serving of a catalog model: requests
+                       arrive over virtual time, are admission-controlled
+                       and assembled into cross-request batches, and the
+                       SLO report (latency percentiles, throughput, drops)
+                       plus the device activity profile is printed.
 
     Per-instance inputs are named with [-i]; weights are materialized with
     seeded random values. Example:
@@ -205,6 +210,110 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Compare frameworks on the same program.")
     Term.(const run $ file_arg $ inputs_arg $ batch_arg $ seed_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
+      burst seed iters json_path =
+    guarded @@ fun () ->
+    let model =
+      match size with
+      | "tiny" -> Models.tiny model_id
+      | "small" -> (Models.find model_id).Models.make Model.Small
+      | "large" -> (Models.find model_id).Models.make Model.Large
+      | other -> Fmt.invalid_arg "unknown size %S (tiny|small|large)" other
+    in
+    let policy =
+      match policy with
+      | "batch1" -> Serve.Batcher.Batch1
+      | "fixed" -> Serve.Batcher.Fixed { max_batch; max_wait_us }
+      | "adaptive" -> Serve.Batcher.Adaptive { max_batch; max_wait_us }
+      | other -> Fmt.invalid_arg "unknown policy %S (batch1|fixed|adaptive)" other
+    in
+    let process =
+      if burst then
+        Serve.Traffic.Bursty
+          {
+            rate_low_per_s = rate /. 4.0;
+            rate_high_per_s = rate *. 2.0;
+            mean_dwell_us = 50_000.0;
+          }
+      else Serve.Traffic.Poisson { rate_per_s = rate }
+    in
+    let report =
+      serve_model ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~process ~requests
+        ~seed model
+    in
+    Fmt.pr "model %s (%s)   traffic %a   policy %a   seed %d@.@." model_id size
+      Serve.Traffic.pp_process process Serve.Batcher.pp_policy policy seed;
+    Fmt.pr "%a@.@." Serve.Stats.pp_summary report.sv_summary;
+    Fmt.pr "cumulative device activity:@.%a@." Profiler.pp report.sv_profiler;
+    Option.iter
+      (fun path ->
+        Serve.Json.to_file path (serve_report_json report);
+        Fmt.pr "wrote %s@." path)
+      json_path;
+    0
+  in
+  let model_arg =
+    Arg.(value & opt string "treelstm" & info [ "model" ] ~docv:"ID" ~doc:"Catalog model.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt string "small"
+      & info [ "size" ] ~docv:"SIZE" ~doc:"Model size: tiny, small or large.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 200.0
+      & info [ "rate" ] ~docv:"R" ~doc:"Offered load, requests per second.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "adaptive"
+      & info [ "policy" ] ~docv:"P" ~doc:"Batch assembly: batch1, fixed or adaptive.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N" ~doc:"Requests to simulate.")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int 16 & info [ "max-batch" ] ~docv:"N" ~doc:"Batch size cap.")
+  in
+  let max_wait_arg =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "max-wait-us" ] ~docv:"US" ~doc:"Assembly timeout on the oldest request.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-cap" ] ~docv:"N" ~doc:"Admission queue bound (load shedding).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline; expired drops.")
+  in
+  let burst_arg =
+    Arg.(value & flag & info [ "bursty" ] ~doc:"Markov-modulated bursty arrivals.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "iters" ] ~docv:"N" ~doc:"Auto-scheduler iteration budget.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Dump the SLO summary as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Simulate online serving with cross-request batching.")
+    Term.(
+      const run $ model_arg $ size_arg $ rate_arg $ policy_arg $ requests_arg
+      $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
+      $ iters_arg $ json_arg)
+
 let () =
   let info = Cmd.info "acrobatc" ~version:"1.0" ~doc:"The ACROBAT compiler driver." in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; lower_cmd; run_cmd; bench_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; lower_cmd; run_cmd; bench_cmd; serve_cmd ]))

@@ -37,6 +37,7 @@ module Cortex = Acrobat_engines.Cortex
 module Model = Acrobat_models.Model
 module Models = Acrobat_models.Catalog
 module Workloads = Acrobat_workloads
+module Serve = Acrobat_serve
 
 type compiled = {
   lprog : Lowered.t;
@@ -118,3 +119,73 @@ let compile_model ?framework ?iters (model : Model.t) ~(batch : int) ~(seed : in
 let gen_batch (model : Model.t) ~batch ~seed =
   let rng = Rng.create seed in
   List.init batch (fun _ -> model.Model.gen_instance rng)
+
+(** Execute one mini-batch through {!Driver.run_batch}. Same as {!run} but
+    exposes the per-batch entry point the serving loop shares. *)
+let run_batch ?compute_values ?seed ?device (c : compiled)
+    ~(weights : (string * Tensor.t) list)
+    ~(instances : (string * Driver.hval) list list) () : Driver.result =
+  Driver.run_batch ?compute_values ?seed ?device ~mode:(Frameworks.mode c.framework)
+    ~policy:(Frameworks.policy c.framework) ~quality:c.quality ~lprog:c.lprog ~weights
+    ~instances ()
+
+(* --- Online serving (lib/serve) glue --- *)
+
+(** A {!Serve.Server} executor that runs each assembled batch through the
+    real engine stack on a fresh simulated device, reporting the batch's
+    simulated latency and activity profile. *)
+let batch_executor ?(seed = 2024) (c : compiled) ~(weights : (string * Tensor.t) list)
+    (instances : (string * Driver.hval) list list) : Serve.Server.exec_outcome =
+  let r = run_batch ~seed c ~weights ~instances () in
+  {
+    Serve.Server.ex_latency_us = r.Driver.stats.latency_ms *. 1000.0;
+    ex_profiler = Some r.Driver.stats.profiler;
+  }
+
+(** The outcome of a serving run: SLO summary plus the merged device
+    activity profile (printable with {!Profiler.pp}, same report style as
+    the offline bench). *)
+type serve_report = {
+  sv_summary : Serve.Stats.summary;
+  sv_profiler : Profiler.t;
+}
+
+let serve_report_json (r : serve_report) : Serve.Json.t =
+  Serve.Stats.summary_to_json r.sv_summary
+
+(** Simulate serving [requests] independently-arriving instances of [model]
+    under an arrival [process] and batch-assembly [policy].
+
+    Compiles and tunes the model once, then replays the generated traffic
+    trace through {!Serve.Server.simulate} with {!batch_executor} as the
+    device: every assembled cross-request batch really executes (DFG
+    construction, scheduling, batching, simulated kernels), and its cost
+    model latency occupies the virtual device. Deterministic for a fixed
+    [seed]. [arrivals] overrides the generated trace (e.g. a synchronized
+    burst). *)
+let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
+    ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
+    ?deadline_ms ?arrivals ~(process : Serve.Traffic.process) ~(requests : int)
+    ~(seed : int) (model : Model.t) : serve_report =
+  let c, weights = compile_model ~framework ?iters model ~batch:8 ~seed in
+  let payload_rng = Rng.create ((seed * 31) + 5) in
+  let payloads = Array.init requests (fun _ -> model.Model.gen_instance payload_rng) in
+  let arrivals =
+    match arrivals with
+    | Some a -> a
+    | None -> Serve.Traffic.arrivals ~rng:(Rng.create ((seed * 53) + 11)) process ~n:requests
+  in
+  let config =
+    {
+      Serve.Server.policy;
+      queue_capacity;
+      deadline_us = Option.map (fun ms -> ms *. 1000.0) deadline_ms;
+      cost = Cost_model.default;
+    }
+  in
+  let stats =
+    Serve.Server.simulate config ~arrivals
+      ~payload:(fun i -> payloads.(i))
+      ~execute:(fun batch -> batch_executor ~seed c ~weights batch)
+  in
+  { sv_summary = Serve.Stats.summarize stats; sv_profiler = stats.Serve.Stats.profiler }

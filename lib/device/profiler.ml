@@ -29,8 +29,22 @@ let all_activities =
     Fiber_overhead;
   ]
 
+(* Dense index for the per-activity accumulator array. [charge] sits on the
+   hot path (every kernel launch, memcpy and scheduling op), so accumulation
+   must be an array store, not an assoc-list rebuild. *)
+let activity_index = function
+  | Dfg_construction -> 0
+  | Scheduling -> 1
+  | Mem_transfer -> 2
+  | Kernel_exec -> 3
+  | Api_overhead -> 4
+  | Vm_overhead -> 5
+  | Fiber_overhead -> 6
+
+let n_activities = List.length all_activities
+
 type t = {
-  mutable times_us : (activity * float) list;
+  times_us : float array;  (** Indexed by {!activity_index}. *)
   mutable kernel_calls : int;  (** Device kernel launches (incl. gathers). *)
   mutable gather_kernels : int;
   mutable gather_bytes : int;
@@ -45,7 +59,7 @@ type t = {
 
 let create () =
   {
-    times_us = List.map (fun a -> a, 0.0) all_activities;
+    times_us = Array.make n_activities 0.0;
     kernel_calls = 0;
     gather_kernels = 0;
     gather_bytes = 0;
@@ -57,7 +71,7 @@ let create () =
   }
 
 let reset t =
-  t.times_us <- List.map (fun a -> a, 0.0) all_activities;
+  Array.fill t.times_us 0 n_activities 0.0;
   t.kernel_calls <- 0;
   t.gather_kernels <- 0;
   t.gather_bytes <- 0;
@@ -68,18 +82,18 @@ let reset t =
   t.fiber_switches <- 0
 
 let charge t activity us =
-  t.times_us <-
-    List.map (fun (a, v) -> if a = activity then a, v +. us else a, v) t.times_us
+  let i = activity_index activity in
+  t.times_us.(i) <- t.times_us.(i) +. us
 
-let time_us t activity = List.assoc activity t.times_us
+let time_us t activity = t.times_us.(activity_index activity)
 
 (** Total simulated latency in microseconds. *)
-let total_us t = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 t.times_us
+let total_us t = Array.fold_left ( +. ) 0.0 t.times_us
 
 let total_ms t = total_us t /. 1000.0
 
 let merge ~into src =
-  List.iter (fun (a, v) -> charge into a v) src.times_us;
+  Array.iteri (fun i v -> into.times_us.(i) <- into.times_us.(i) +. v) src.times_us;
   into.kernel_calls <- into.kernel_calls + src.kernel_calls;
   into.gather_kernels <- into.gather_kernels + src.gather_kernels;
   into.gather_bytes <- into.gather_bytes + src.gather_bytes;
@@ -92,9 +106,10 @@ let merge ~into src =
 let pp ppf t =
   Fmt.pf ppf "@[<v>";
   List.iter
-    (fun (a, v) ->
+    (fun a ->
+      let v = time_us t a in
       if v > 0.0 then Fmt.pf ppf "%-18s %8.2f ms@," (activity_name a) (v /. 1000.0))
-    t.times_us;
+    all_activities;
   Fmt.pf ppf "#Kernel calls      %8d@," t.kernel_calls;
   Fmt.pf ppf "#Gather kernels    %8d@," t.gather_kernels;
   Fmt.pf ppf "#DFG nodes         %8d@," t.nodes_created;

@@ -55,17 +55,33 @@ type result = {
   stats : stats;
   profile : (int * float * float * int) list;
       (** PGO: kernel, count, mean flops, max shared-arg elems. *)
+  per_instance_ms : float array;
+      (** Simulated completion latency of each instance, measured from the
+          start of this batch. Every instance's outputs become ready at the
+          final flush barrier and are downloaded together, so today the
+          entries are uniform; the field fixes the contract callers that
+          attribute latency per request (the serving layer) program
+          against. *)
 }
 
-(** Run a lowered program on a mini-batch.
+(** Run a lowered program on one mini-batch: upload inputs, execute all
+    instances (as fibers under tensor-dependent control flow), flush,
+    download, report stats.
 
     [instances] supplies, per batch instance, the values of @main's input
     parameters by name; [weights] the model parameters. [quality] is the
-    auto-scheduled kernel quality ({!Acrobat_compiler.Autosched}). *)
-let run ?(compute_values = false) ?(seed = 2024) ~(mode : mode) ~(policy : Policy.t)
-    ~(quality : int -> float) ~(lprog : L.t) ~(weights : (string * Tensor.t) list)
-    ~(instances : (string * hval) list list) () : result =
-  let device = Device.create () in
+    auto-scheduled kernel quality ({!Acrobat_compiler.Autosched}).
+
+    [device] lets callers that execute many batches (the serving loop)
+    accumulate one profile across calls; latency is charged relative to the
+    device's simulated clock at entry, so the result's stats describe just
+    this batch either way. *)
+let run_batch ?(compute_values = false) ?(seed = 2024) ?device ~(mode : mode)
+    ~(policy : Policy.t) ~(quality : int -> float) ~(lprog : L.t)
+    ~(weights : (string * Tensor.t) list) ~(instances : (string * hval) list list) () :
+    result =
+  let device = match device with Some d -> d | None -> Device.create () in
+  let start_us = Profiler.total_us (Device.profiler device) in
   let exec_policy =
     {
       Executor.gather_fusion = lprog.L.config.gather_fusion;
@@ -138,14 +154,21 @@ let run ?(compute_values = false) ?(seed = 2024) ~(mode : mode) ~(policy : Polic
     (fun h -> if not (handle_ready h) then fail "output handle still pending after final flush")
     out_handles;
   Runtime.download rt ~batched:true out_handles;
+  let latency_ms = (Profiler.total_us (Device.profiler device) -. start_us) /. 1000.0 in
   {
     outputs = Array.to_list outputs;
     stats =
       {
-        latency_ms = Profiler.total_ms (Device.profiler device);
+        latency_ms;
         profiler = Device.profiler device;
         flushes = Runtime.flush_count rt;
       };
     profile = Runtime.profile rt;
+    per_instance_ms = Array.make n_instances latency_ms;
   }
+
+(** Historical entry point: one self-contained mini-batch run on a fresh
+    device. Alias of {!run_batch}. *)
+let run ?compute_values ?seed ~mode ~policy ~quality ~lprog ~weights ~instances () =
+  run_batch ?compute_values ?seed ~mode ~policy ~quality ~lprog ~weights ~instances ()
 

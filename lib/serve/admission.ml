@@ -1,0 +1,66 @@
+(** Admission control: a bounded request queue with load shedding and
+    deadline drops.
+
+    Backpressure is the first line of defense of an online server: when the
+    offered load exceeds device capacity, an unbounded queue turns every
+    request's latency into the queue's age. We bound the queue and shed at
+    the door instead (callers count the shed), and expire requests whose
+    deadline has already passed when they are popped for execution — running
+    them would waste device time on an answer nobody is waiting for. *)
+
+type 'a request = {
+  rq_id : int;
+  rq_payload : 'a;
+  rq_arrival_us : float;
+  rq_deadline_us : float option;  (** Absolute; [None] = best effort. *)
+}
+
+type 'a t = {
+  capacity : int;
+  q : 'a request Queue.t;
+  mutable shed : int;  (** Rejected at admission: queue full. *)
+  mutable expired : int;  (** Dropped at dequeue: deadline passed. *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then Fmt.invalid_arg "Admission.create: capacity must be positive";
+  { capacity; q = Queue.create (); shed = 0; expired = 0 }
+
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let shed_count t = t.shed
+let expired_count t = t.expired
+
+(** Oldest queued request's arrival time, if any. *)
+let oldest_arrival_us t = Option.map (fun r -> r.rq_arrival_us) (Queue.peek_opt t.q)
+
+(** Admit [r], or shed it when the queue is at capacity. *)
+let offer t (r : 'a request) : bool =
+  if Queue.length t.q >= t.capacity then begin
+    t.shed <- t.shed + 1;
+    false
+  end
+  else begin
+    Queue.push r t.q;
+    true
+  end
+
+let expired_at ~now_us (r : 'a request) =
+  match r.rq_deadline_us with Some d -> now_us > d | None -> false
+
+(** Pop up to [limit] live requests in FIFO order, silently discarding (and
+    counting) any whose deadline passed while they waited. *)
+let take t ~now_us ~limit : 'a request list =
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else
+      match Queue.take_opt t.q with
+      | None -> List.rev acc
+      | Some r ->
+        if expired_at ~now_us r then begin
+          t.expired <- t.expired + 1;
+          go k acc
+        end
+        else go (k - 1) (r :: acc)
+  in
+  go limit []

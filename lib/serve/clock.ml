@@ -1,0 +1,22 @@
+(** Virtual time for the serving simulation.
+
+    The serving layer composes three kinds of latency — request queueing,
+    batch assembly waits, and the device busy time reported by
+    {!Acrobat_device.Cost_model} — on one deterministic timeline. Nothing in
+    the simulation reads wall-clock time; the clock only moves when the
+    event loop dispatches the next event, so runs replay bit-for-bit from a
+    seed. All times are in simulated microseconds, matching the cost
+    model's unit. *)
+
+type t = { mutable now_us : float }
+
+let create () = { now_us = 0.0 }
+
+let now t = t.now_us
+
+(** Move time forward. Requests to move backwards are ignored: events
+    scheduled "in the past" (e.g. a timeout racing a completion at the same
+    instant) execute at the current time instead. *)
+let advance_to t time_us = if time_us > t.now_us then t.now_us <- time_us
+
+let pp ppf t = Fmt.pf ppf "t=%.1fus" t.now_us

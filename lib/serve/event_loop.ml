@@ -1,0 +1,54 @@
+(** A deterministic discrete-event loop over the virtual {!Clock}.
+
+    Events are thunks keyed by (time, sequence number): ties at the same
+    virtual instant dispatch in scheduling order, so a burst of simultaneous
+    arrivals enqueues before the wake-up that one of them scheduled — the
+    property the batcher's cross-request invariants rely on. Handlers may
+    schedule further events (at or after the current time); the loop runs
+    until the queue drains. *)
+
+module Key = struct
+  type t = float * int  (* fire time (us), scheduling sequence *)
+
+  let compare (ta, sa) (tb, sb) =
+    match Float.compare ta tb with 0 -> Int.compare sa sb | c -> c
+end
+
+module Q = Map.Make (Key)
+
+type t = {
+  clock : Clock.t;
+  mutable queue : (unit -> unit) Q.t;
+  mutable next_seq : int;
+  mutable dispatched : int;
+}
+
+let create clock = { clock; queue = Q.empty; next_seq = 0; dispatched = 0 }
+
+let clock t = t.clock
+let now t = Clock.now t.clock
+let pending t = Q.cardinal t.queue
+let dispatched t = t.dispatched
+
+(** Schedule [f] to run at virtual time [at] (clamped to the present: the
+    past is immutable). *)
+let schedule t ~at f =
+  let at = Float.max at (now t) in
+  t.queue <- Q.add (at, t.next_seq) f t.queue;
+  t.next_seq <- t.next_seq + 1
+
+let schedule_after t ~delay f = schedule t ~at:(now t +. Float.max 0.0 delay) f
+
+(** Dispatch events in (time, seq) order until none remain. *)
+let run t =
+  let rec step () =
+    match Q.min_binding_opt t.queue with
+    | None -> ()
+    | Some (((at, _) as key), f) ->
+      t.queue <- Q.remove key t.queue;
+      Clock.advance_to t.clock at;
+      t.dispatched <- t.dispatched + 1;
+      f ();
+      step ()
+  in
+  step ()

@@ -1,0 +1,148 @@
+(** The online inference server simulation.
+
+    Wires the pieces together on one virtual timeline: a {!Traffic} trace
+    delivers requests to {!Admission}; whenever the (single, serially
+    executed) device is free, the {!Batcher} decides to launch or wait; a
+    launched batch runs through a caller-supplied executor — in production
+    glue, {!Acrobat_engines.Driver.run_batch} on the compiled model — whose
+    simulated latency occupies the device until completion; {!Stats}
+    accounts every request's queue wait, compute time and outcome.
+
+    The server is polymorphic in the request payload and knows nothing
+    about models or engines: tests drive it with synthetic executors, the
+    [Acrobat.serve_model] glue with real compiled programs. Determinism:
+    given the same arrival trace and a deterministic executor, two
+    simulations produce identical stats (event ties dispatch in scheduling
+    order; no wall clock, no global RNG). *)
+
+module Profiler = Acrobat_device.Profiler
+module Cost_model = Acrobat_device.Cost_model
+
+type config = {
+  policy : Batcher.policy;
+  queue_capacity : int;
+  deadline_us : float option;
+      (** Relative per-request deadline; queued requests past it are
+          dropped, not executed. *)
+  cost : Cost_model.t;  (** Seeds the adaptive latency model. *)
+}
+
+let default_config =
+  {
+    policy = Batcher.Adaptive { max_batch = 16; max_wait_us = 2_000.0 };
+    queue_capacity = 256;
+    deadline_us = None;
+    cost = Cost_model.default;
+  }
+
+(** What one batch execution reports back. *)
+type exec_outcome = {
+  ex_latency_us : float;  (** Simulated device busy time for the batch. *)
+  ex_profiler : Profiler.t option;  (** Merged into the run's profile. *)
+}
+
+type 'a state = {
+  config : config;
+  loop : Event_loop.t;
+  queue : 'a Admission.t;
+  batcher : Batcher.t;
+  stats : Stats.t;
+  execute : 'a list -> exec_outcome;
+  mutable device_busy : bool;
+}
+
+(* One pass of the launch decision; called whenever the device frees up, a
+   request arrives, or a batcher timeout fires. Idempotent: spurious wakes
+   fall through. *)
+let rec maybe_launch (st : 'a state) =
+  if (not st.device_busy) && not (Admission.is_empty st.queue) then begin
+    let now_us = Event_loop.now st.loop in
+    match
+      Batcher.decide st.batcher ~now_us ~queue_len:(Admission.length st.queue)
+        ~oldest_arrival_us:(Option.get (Admission.oldest_arrival_us st.queue))
+    with
+    | Batcher.Wait_until at when at > now_us ->
+      Event_loop.schedule st.loop ~at (fun () -> maybe_launch st)
+    | Batcher.Wait_until _ ->
+      (* A wait that is already due would re-fire at this same virtual
+         instant forever; treat it as a flush of whatever is queued. *)
+      flush st ~now_us ~limit:(Admission.length st.queue)
+    | Batcher.Flush limit -> flush st ~now_us ~limit
+  end
+
+and flush (st : 'a state) ~now_us ~limit =
+  match Admission.take st.queue ~now_us ~limit with
+  | [] ->
+    (* Everything popped had expired; the queue may still hold work. *)
+    maybe_launch st
+  | batch ->
+    let size = List.length batch in
+    let outcome = st.execute (List.map (fun r -> r.Admission.rq_payload) batch) in
+    let done_us = now_us +. Float.max 0.0 outcome.ex_latency_us in
+    Batcher.observe_batch st.batcher ~size ~latency_us:outcome.ex_latency_us;
+    Stats.note_batch st.stats ~size ~profiler:outcome.ex_profiler;
+    List.iter
+      (fun (r : _ Admission.request) ->
+        Stats.record st.stats
+          {
+            Stats.r_id = r.Admission.rq_id;
+            r_arrival_us = r.Admission.rq_arrival_us;
+            r_start_us = now_us;
+            r_done_us = done_us;
+            r_batch_size = size;
+          })
+      batch;
+    st.device_busy <- true;
+    Event_loop.schedule st.loop ~at:done_us (fun () ->
+        st.device_busy <- false;
+        maybe_launch st)
+
+let on_arrival (st : 'a state) (r : 'a Admission.request) =
+  let now_us = Event_loop.now st.loop in
+  Batcher.observe_arrival st.batcher ~now_us;
+  if Admission.offer st.queue r then
+    (* Defer the launch check to a same-time event rather than deciding
+       inline: events tie-break in scheduling order, so every arrival at
+       this virtual instant is queued before the check runs and
+       simultaneous requests coalesce into one batch instead of the first
+       one launching alone. *)
+    Event_loop.schedule st.loop ~at:now_us (fun () -> maybe_launch st)
+
+(** Run the simulation to completion.
+
+    [arrivals] gives each request's arrival time (monotone, from
+    {!Traffic.arrivals}); [payload i] builds request [i]'s inputs;
+    [execute] runs one assembled batch and reports its simulated latency.
+    Returns the populated {!Stats.t} (summarize with
+    {!Stats.summarize}). *)
+let simulate (config : config) ~(arrivals : float array) ~(payload : int -> 'a)
+    ~(execute : 'a list -> exec_outcome) : Stats.t =
+  let loop = Event_loop.create (Clock.create ()) in
+  let st =
+    {
+      config;
+      loop;
+      queue = Admission.create ~capacity:config.queue_capacity;
+      batcher = Batcher.create ~cost:config.cost config.policy;
+      stats = Stats.create ();
+      execute;
+      device_busy = false;
+    }
+  in
+  Array.iteri
+    (fun i at ->
+      let r =
+        {
+          Admission.rq_id = i;
+          rq_payload = payload i;
+          rq_arrival_us = at;
+          rq_deadline_us = Option.map (fun d -> at +. d) config.deadline_us;
+        }
+      in
+      Event_loop.schedule loop ~at (fun () -> on_arrival st r))
+    arrivals;
+  Event_loop.run loop;
+  st.stats.Stats.shed <- Admission.shed_count st.queue;
+  st.stats.Stats.expired <- Admission.expired_count st.queue;
+  st.stats.Stats.end_us <- Event_loop.now loop;
+  st.stats

@@ -1,0 +1,140 @@
+(** SLO accounting for serving runs: per-request latency percentiles with a
+    queue-wait vs compute breakdown, throughput, drop rates — plus the
+    merged device {!Acrobat_device.Profiler} so a serving run prints the
+    same activity report as the offline bench tables. *)
+
+module Profiler = Acrobat_device.Profiler
+
+(** One completed request's life cycle, all in virtual microseconds. *)
+type record = {
+  r_id : int;
+  r_arrival_us : float;
+  r_start_us : float;  (** Batch launch time: queue wait ends here. *)
+  r_done_us : float;  (** Batch completion: response leaves the server. *)
+  r_batch_size : int;  (** Size of the batch this request rode in. *)
+}
+
+type t = {
+  mutable records : record list;  (** Reverse completion order. *)
+  mutable batches : int;
+  mutable batched_requests : int;
+  mutable shed : int;
+  mutable expired : int;
+  mutable end_us : float;  (** Virtual time when the simulation drained. *)
+  profiler : Profiler.t;  (** Merged across every executed batch. *)
+}
+
+let create () =
+  {
+    records = [];
+    batches = 0;
+    batched_requests = 0;
+    shed = 0;
+    expired = 0;
+    end_us = 0.0;
+    profiler = Profiler.create ();
+  }
+
+let record t r = t.records <- r :: t.records
+
+let note_batch t ~size ~profiler =
+  t.batches <- t.batches + 1;
+  t.batched_requests <- t.batched_requests + size;
+  Option.iter (fun p -> Profiler.merge ~into:t.profiler p) profiler
+
+(** Nearest-rank percentile of an unsorted sample; 0 on an empty one. *)
+let percentile (xs : float array) (p : float) : float =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+type summary = {
+  s_offered : int;  (** Arrivals, including dropped ones. *)
+  s_completed : int;
+  s_shed : int;  (** Load-shed at admission (queue full). *)
+  s_expired : int;  (** Deadline passed while queued. *)
+  s_makespan_ms : float;  (** First arrival to last completion. *)
+  s_throughput_rps : float;  (** Completions per (virtual) second. *)
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_p99_ms : float;
+  s_mean_ms : float;
+  s_mean_queue_ms : float;  (** Mean arrival -> batch-launch wait. *)
+  s_mean_compute_ms : float;  (** Mean batch-launch -> completion time. *)
+  s_batches : int;
+  s_mean_batch : float;  (** Mean executed batch size. *)
+}
+
+let summarize (t : t) : summary =
+  let records = List.rev t.records in
+  let n = List.length records in
+  let latencies =
+    Array.of_list (List.map (fun r -> (r.r_done_us -. r.r_arrival_us) /. 1000.0) records)
+  in
+  let mean xs = if n = 0 then 0.0 else List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let makespan_us =
+    match records with
+    | [] -> 0.0
+    | first :: _ ->
+      let last_done = List.fold_left (fun acc r -> Float.max acc r.r_done_us) 0.0 records in
+      last_done -. first.r_arrival_us
+  in
+  {
+    s_offered = n + t.shed + t.expired;
+    s_completed = n;
+    s_shed = t.shed;
+    s_expired = t.expired;
+    s_makespan_ms = makespan_us /. 1000.0;
+    s_throughput_rps =
+      (if makespan_us > 0.0 then float_of_int n /. (makespan_us /. 1.0e6) else 0.0);
+    s_p50_ms = percentile latencies 50.0;
+    s_p95_ms = percentile latencies 95.0;
+    s_p99_ms = percentile latencies 99.0;
+    s_mean_ms = mean (Array.to_list latencies);
+    s_mean_queue_ms = mean (List.map (fun r -> (r.r_start_us -. r.r_arrival_us) /. 1000.0) records);
+    s_mean_compute_ms = mean (List.map (fun r -> (r.r_done_us -. r.r_start_us) /. 1000.0) records);
+    s_batches = t.batches;
+    s_mean_batch =
+      (if t.batches = 0 then 0.0
+       else float_of_int t.batched_requests /. float_of_int t.batches);
+  }
+
+let drop_rate (s : summary) =
+  if s.s_offered = 0 then 0.0
+  else float_of_int (s.s_shed + s.s_expired) /. float_of_int s.s_offered
+
+let summary_to_json (s : summary) : Json.t =
+  Json.Obj
+    [
+      "offered", Json.Int s.s_offered;
+      "completed", Json.Int s.s_completed;
+      "shed", Json.Int s.s_shed;
+      "expired", Json.Int s.s_expired;
+      "makespan_ms", Json.Float s.s_makespan_ms;
+      "throughput_rps", Json.Float s.s_throughput_rps;
+      "p50_ms", Json.Float s.s_p50_ms;
+      "p95_ms", Json.Float s.s_p95_ms;
+      "p99_ms", Json.Float s.s_p99_ms;
+      "mean_ms", Json.Float s.s_mean_ms;
+      "mean_queue_ms", Json.Float s.s_mean_queue_ms;
+      "mean_compute_ms", Json.Float s.s_mean_compute_ms;
+      "batches", Json.Int s.s_batches;
+      "mean_batch", Json.Float s.s_mean_batch;
+      "drop_rate", Json.Float (drop_rate s);
+    ]
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf
+    "@[<v>offered            %8d@,completed          %8d@,shed (queue full)  %8d@,\
+     expired (deadline) %8d@,makespan           %8.2f ms@,throughput         %8.1f req/s@,\
+     latency p50        %8.2f ms@,latency p95        %8.2f ms@,latency p99        %8.2f ms@,\
+     latency mean       %8.2f ms@,queue wait (mean)  %8.2f ms@,compute (mean)     %8.2f ms@,\
+     batches            %8d@,mean batch size    %8.2f@]"
+    s.s_offered s.s_completed s.s_shed s.s_expired s.s_makespan_ms s.s_throughput_rps
+    s.s_p50_ms s.s_p95_ms s.s_p99_ms s.s_mean_ms s.s_mean_queue_ms s.s_mean_compute_ms
+    s.s_batches s.s_mean_batch

@@ -1,0 +1,260 @@
+(** Tests for the serving layer: event loop determinism, traffic
+    generation, admission control, batching policies, and the end-to-end
+    server simulation (including the adaptive-beats-batch1 criterion on a
+    real compiled model). *)
+
+open Acrobat
+open T_util
+module Server = Serve.Server
+module Batcher = Serve.Batcher
+module Admission = Serve.Admission
+module Traffic = Serve.Traffic
+module Stats = Serve.Stats
+module Event_loop = Serve.Event_loop
+module Clock = Serve.Clock
+module Json = Serve.Json
+
+(* --- Event loop --- *)
+
+let test_event_loop_order () =
+  let loop = Event_loop.create (Clock.create ()) in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  (* Same-time events must dispatch in scheduling order; earlier times
+     first regardless of scheduling order. *)
+  Event_loop.schedule loop ~at:10.0 (note "b1");
+  Event_loop.schedule loop ~at:10.0 (note "b2");
+  Event_loop.schedule loop ~at:5.0 (note "a");
+  Event_loop.schedule loop ~at:20.0 (fun () ->
+      note "c" ();
+      (* An event scheduled in the past clamps to now, not to the past. *)
+      Event_loop.schedule loop ~at:1.0 (note "d"));
+  Event_loop.run loop;
+  Alcotest.(check (list string)) "dispatch order" [ "a"; "b1"; "b2"; "c"; "d" ]
+    (List.rev !log);
+  check_float "clock ends at last event" 20.0 (Event_loop.now loop)
+
+(* --- Traffic --- *)
+
+let test_traffic_poisson () =
+  let n = 2000 in
+  let draw seed = Traffic.arrivals ~rng:(Rng.create seed) (Traffic.Poisson { rate_per_s = 1000.0 }) ~n in
+  let a = draw 42 in
+  check_true "monotone"
+    (Array.for_all (fun x -> x >= 0.0) a
+    && Array.for_all
+         (fun i -> a.(i) <= a.(i + 1))
+         (Array.init (n - 1) (fun i -> i)));
+  (* Mean inter-arrival should be near 1e6/rate = 1000us. *)
+  let mean = a.(n - 1) /. float_of_int n in
+  check_true "mean interarrival within 15%" (mean > 850.0 && mean < 1150.0);
+  check_true "deterministic" (draw 42 = a);
+  check_true "seed-sensitive" (draw 43 <> a)
+
+let test_traffic_burst_and_bursty () =
+  let rng = Rng.create 7 in
+  let b = Traffic.arrivals ~rng (Traffic.Burst { at_us = 3.0 }) ~n:5 in
+  check_true "burst: all at once" (Array.for_all (fun x -> x = 3.0) b);
+  let m =
+    Traffic.arrivals ~rng:(Rng.create 7)
+      (Traffic.Bursty { rate_low_per_s = 100.0; rate_high_per_s = 10_000.0; mean_dwell_us = 5_000.0 })
+      ~n:500
+  in
+  check_true "bursty: monotone"
+    (Array.for_all (fun i -> m.(i) <= m.(i + 1)) (Array.init 499 (fun i -> i)))
+
+(* --- Admission --- *)
+
+let rq ?deadline id at =
+  { Admission.rq_id = id; rq_payload = id; rq_arrival_us = at; rq_deadline_us = deadline }
+
+let test_admission_shed () =
+  let q = Admission.create ~capacity:2 in
+  check_true "admit 1" (Admission.offer q (rq 0 0.0));
+  check_true "admit 2" (Admission.offer q (rq 1 1.0));
+  check_true "shed at capacity" (not (Admission.offer q (rq 2 2.0)));
+  check_int "shed counted" 1 (Admission.shed_count q);
+  check_float "oldest" 0.0 (Option.get (Admission.oldest_arrival_us q));
+  let batch = Admission.take q ~now_us:5.0 ~limit:10 in
+  Alcotest.(check (list int)) "FIFO ids" [ 0; 1 ]
+    (List.map (fun r -> r.Admission.rq_id) batch)
+
+let test_admission_deadline () =
+  let q = Admission.create ~capacity:8 in
+  ignore (Admission.offer q (rq ~deadline:100.0 0 0.0));
+  ignore (Admission.offer q (rq ~deadline:9_999.0 1 0.0));
+  let batch = Admission.take q ~now_us:500.0 ~limit:10 in
+  Alcotest.(check (list int)) "expired dropped" [ 1 ]
+    (List.map (fun r -> r.Admission.rq_id) batch);
+  check_int "expired counted" 1 (Admission.expired_count q)
+
+(* --- Batcher --- *)
+
+let test_batcher_fixed_decide () =
+  let b = Batcher.create (Batcher.Fixed { max_batch = 4; max_wait_us = 500.0 }) in
+  (match Batcher.decide b ~now_us:0.0 ~queue_len:4 ~oldest_arrival_us:0.0 with
+  | Batcher.Flush n -> check_int "full batch flushes" 4 n
+  | Batcher.Wait_until _ -> Alcotest.fail "expected flush at max_batch");
+  (match Batcher.decide b ~now_us:600.0 ~queue_len:2 ~oldest_arrival_us:0.0 with
+  | Batcher.Flush n -> check_int "timeout flushes partial" 2 n
+  | Batcher.Wait_until _ -> Alcotest.fail "expected timeout flush");
+  match Batcher.decide b ~now_us:100.0 ~queue_len:2 ~oldest_arrival_us:0.0 with
+  | Batcher.Wait_until at -> check_float "waits until oldest+max_wait" 500.0 at
+  | Batcher.Flush _ -> Alcotest.fail "expected wait"
+
+(* Regression for an infinite event loop: when the timeout wake fires at
+   exactly [oldest + max_wait], the decision must be a flush — never another
+   wait at a time that is not in the future. [(oldest +. w) -. oldest] can
+   round below [w], so the check must compare against the same float
+   expression the wake was scheduled at. *)
+let test_batcher_timeout_wake_flushes () =
+  List.iter
+    (fun policy ->
+      let w = 1500.0 in
+      for i = 1 to 500 do
+        let oldest = float_of_int i *. 1234.567 /. 3.0 in
+        let b = Batcher.create policy in
+        match Batcher.decide b ~now_us:(oldest +. w) ~queue_len:1 ~oldest_arrival_us:oldest with
+        | Batcher.Flush _ -> ()
+        | Batcher.Wait_until at ->
+          if at <= oldest +. w then
+            Alcotest.failf "wake at oldest+max_wait re-waited for the past (oldest=%.17g)"
+              oldest
+      done)
+    [
+      Batcher.Fixed { max_batch = 4; max_wait_us = 1500.0 };
+      Batcher.Adaptive { max_batch = 4; max_wait_us = 1500.0 };
+    ]
+
+let test_batcher_adaptive_target () =
+  let b = Batcher.create (Batcher.Adaptive { max_batch = 16; max_wait_us = 2000.0 }) in
+  check_int "no arrivals: target 1" 1 (Batcher.target_batch b ~max_batch:16);
+  (* One arrival every 10us, batches costing ~100us fixed + 10us/item:
+     the fixed point of k = rate * latency(k) is well above 1. *)
+  for i = 0 to 50 do
+    Batcher.observe_arrival b ~now_us:(float_of_int i *. 10.0)
+  done;
+  for _ = 1 to 20 do
+    Batcher.observe_batch b ~size:8 ~latency_us:180.0;
+    Batcher.observe_batch b ~size:2 ~latency_us:120.0
+  done;
+  let t = Batcher.target_batch b ~max_batch:16 in
+  check_true "fast arrivals push target up" (t >= 8);
+  check_int "clamped by max_batch" 4 (Batcher.target_batch b ~max_batch:4)
+
+(* --- Server simulation with synthetic executors --- *)
+
+let linear_cost ~fixed ~per_item batch =
+  { Server.ex_latency_us = fixed +. (per_item *. float_of_int (List.length batch));
+    ex_profiler = None }
+
+let simulate ?(config = Server.default_config) ~arrivals () =
+  Server.simulate config ~arrivals
+    ~payload:(fun i -> i)
+    ~execute:(linear_cost ~fixed:100.0 ~per_item:10.0)
+
+let test_timeout_partial_batch () =
+  let config =
+    { Server.default_config with
+      Server.policy = Batcher.Fixed { max_batch = 4; max_wait_us = 500.0 } }
+  in
+  let s = Stats.summarize (simulate ~config ~arrivals:[| 0.0; 100.0 |] ()) in
+  check_int "both complete" 2 s.Stats.s_completed;
+  check_int "one partial batch" 1 s.Stats.s_batches;
+  check_float "partial batch holds both" 2.0 s.Stats.s_mean_batch;
+  (* The batch launched at the oldest request's timeout, not earlier. *)
+  check_float ~eps:1e-6 "launch at oldest+max_wait" 0.45 s.Stats.s_mean_queue_ms
+
+let test_queue_full_shedding () =
+  let config =
+    { Server.default_config with
+      Server.policy = Batcher.Batch1; Server.queue_capacity = 2 }
+  in
+  let arrivals = Traffic.arrivals ~rng:(Rng.create 1) (Traffic.Burst { at_us = 0.0 }) ~n:10 in
+  let s = Stats.summarize (simulate ~config ~arrivals ()) in
+  check_int "only the queue survives" 2 s.Stats.s_completed;
+  check_int "rest shed at the door" 8 s.Stats.s_shed;
+  check_int "offered counts shed" 10 s.Stats.s_offered;
+  check_true "drop rate reflects shed" (Stats.drop_rate s = 0.8)
+
+let test_deadline_drop () =
+  let config =
+    { Server.default_config with
+      Server.policy = Batcher.Batch1; Server.deadline_us = Some 100.0 }
+  in
+  let arrivals = [| 0.0; 0.0; 0.0 |] in
+  let s = Stats.summarize (simulate ~config ~arrivals ()) in
+  (* First request launches immediately; the other two wait out its 110us
+     service time and expire at their 100us deadline. *)
+  check_int "first completes" 1 s.Stats.s_completed;
+  check_int "queued ones expire" 2 s.Stats.s_expired;
+  check_int "no shedding" 0 s.Stats.s_shed
+
+let test_burst_batching_invariant () =
+  let max_batch = 8 in
+  let n = 40 in
+  let config =
+    { Server.default_config with
+      Server.policy = Batcher.Adaptive { max_batch; max_wait_us = 1000.0 } }
+  in
+  let arrivals = Traffic.arrivals ~rng:(Rng.create 1) (Traffic.Burst { at_us = 0.0 }) ~n in
+  let s = Stats.summarize (simulate ~config ~arrivals ()) in
+  check_int "all complete" n s.Stats.s_completed;
+  (* Simultaneous arrivals must coalesce: no more flushes than full batches
+     can cover. *)
+  check_true "<= ceil(n/max_batch) batches"
+    (s.Stats.s_batches <= (n + max_batch - 1) / max_batch)
+
+let test_simulation_deterministic () =
+  let run () =
+    let arrivals =
+      Traffic.arrivals ~rng:(Rng.create 9) (Traffic.Poisson { rate_per_s = 5000.0 }) ~n:200
+    in
+    Json.to_string (Stats.summary_to_json (Stats.summarize (simulate ~arrivals ())))
+  in
+  Alcotest.(check string) "same seed, same summary JSON" (run ()) (run ())
+
+(* --- End to end on a real compiled model --- *)
+
+let serve_tiny ~policy =
+  serve_model ~iters:50 ~policy
+    ~process:(Traffic.Poisson { rate_per_s = 8000.0 })
+    ~requests:80 ~seed:3 (Models.tiny "treelstm")
+
+let test_serve_model_deterministic () =
+  let json r = Json.to_string (serve_report_json r) in
+  let a = serve_tiny ~policy:Server.default_config.Server.policy in
+  let b = serve_tiny ~policy:Server.default_config.Server.policy in
+  Alcotest.(check string) "identical report JSON" (json a) (json b)
+
+let test_adaptive_beats_batch1 () =
+  let summary policy = (serve_tiny ~policy).sv_summary in
+  let b1 = summary Batcher.Batch1 in
+  let ad = summary (Batcher.Adaptive { max_batch = 16; max_wait_us = 2000.0 }) in
+  check_true "adaptive throughput strictly higher"
+    (ad.Stats.s_throughput_rps > b1.Stats.s_throughput_rps);
+  check_true "adaptive p99 strictly lower" (ad.Stats.s_p99_ms < b1.Stats.s_p99_ms);
+  check_true "adaptive actually batches" (ad.Stats.s_mean_batch > 1.5);
+  check_int "batch1 never batches" 80 b1.Stats.s_batches
+
+let suite =
+  [
+    Alcotest.test_case "event loop: order + clamp" `Quick test_event_loop_order;
+    Alcotest.test_case "traffic: poisson" `Quick test_traffic_poisson;
+    Alcotest.test_case "traffic: burst + bursty" `Quick test_traffic_burst_and_bursty;
+    Alcotest.test_case "admission: shed at capacity" `Quick test_admission_shed;
+    Alcotest.test_case "admission: deadline expiry" `Quick test_admission_deadline;
+    Alcotest.test_case "batcher: fixed policy decisions" `Quick test_batcher_fixed_decide;
+    Alcotest.test_case "batcher: timeout wake always flushes" `Quick
+      test_batcher_timeout_wake_flushes;
+    Alcotest.test_case "batcher: adaptive target" `Quick test_batcher_adaptive_target;
+    Alcotest.test_case "server: timeout fires partial batch" `Quick test_timeout_partial_batch;
+    Alcotest.test_case "server: queue-full shedding" `Quick test_queue_full_shedding;
+    Alcotest.test_case "server: deadline drops" `Quick test_deadline_drop;
+    Alcotest.test_case "server: burst coalesces into full batches" `Quick
+      test_burst_batching_invariant;
+    Alcotest.test_case "server: deterministic replay" `Quick test_simulation_deterministic;
+    Alcotest.test_case "serve_model: deterministic report" `Quick
+      test_serve_model_deterministic;
+    Alcotest.test_case "serve_model: adaptive beats batch1" `Quick test_adaptive_beats_batch1;
+  ]

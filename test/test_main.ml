@@ -7,6 +7,7 @@ let () =
       "compiler", T_compiler.suite;
       "runtime", T_runtime.suite;
       "engines", T_engines.suite;
+      "serve", T_serve.suite;
       "models", T_models.suite;
       "failures", T_failures.suite;
     ]
