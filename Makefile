@@ -10,12 +10,16 @@ build:
 test:
 	dune runtest
 
-# Tier-1 gate: full build, the whole test suite, then an end-to-end serving
-# smoke run (compile + tune + simulate 50 requests) to catch CLI wiring
-# breakage that unit tests can miss.
+# Tier-1 gate: full build (warnings are errors in the dev profile — see the
+# env stanza in dune-project), the whole test suite, then end-to-end serving
+# smoke runs — fault-free and fault-injected — to catch CLI wiring breakage
+# that unit tests can miss.
 check: build test
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 2000 --requests 50 --iters 100
+	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
+	  --rate 2000 --requests 50 --iters 100 \
+	  --faults "seed=7,kernel=0.05,straggler=0.02x6,reset=0.001"
 
 bench:
 	dune exec bench/main.exe

@@ -514,7 +514,7 @@ let serve_curve ?(models = [ "treelstm"; "birnn" ]) ?(size = Model.Small)
               let stats =
                 Serve.Server.simulate config ~arrivals
                   ~payload:(fun i -> payloads.(i))
-                  ~execute
+                  ~execute:(Serve.Server.infallible execute)
               in
               let s = Serve.Stats.summarize stats in
               {
@@ -532,6 +532,60 @@ let serve_curve ?(models = [ "treelstm"; "birnn" ]) ?(size = Model.Small)
             (serve_policies ~max_batch ~max_wait_us))
         loads)
     models
+
+(* --- Serving availability under injected faults (DESIGN.md §8) --- *)
+
+type faults_row = {
+  fv_policy : string;
+  fv_fault_rate : float;  (** Injected per-attempt kernel-fault probability. *)
+  fv_goodput : float;
+  fv_throughput : float;
+  fv_p50 : float;
+  fv_p99 : float;
+  fv_fault_batches : int;
+  fv_retries : int;
+  fv_bisections : int;
+  fv_poisoned : int;
+  fv_breaker_opens : int;
+}
+
+(** Availability under faults: goodput and tail latency of the TreeLSTM
+    serve bench as the injected kernel-fault rate rises, for each batching
+    policy. The fault seed is fixed, so each rate's fault sequence is
+    reproducible; rate 0.0 is the fault-free baseline the goodput ratios
+    read against. *)
+let serve_faults ?(rates = [ 0.0; 0.02; 0.05; 0.10 ]) ?(requests = 150)
+    ?(rate_per_s = 4000.0) ?(max_batch = 16) ?(max_wait_us = 1500.0) ?(iters = 100)
+    ?(seed = 1) () : faults_row list =
+  let model = Models.tiny "treelstm" in
+  List.concat_map
+    (fun (pname, policy) ->
+      List.map
+        (fun fault_rate ->
+          let faults =
+            { Faults.none with Faults.seed = 7; kernel_fault_rate = fault_rate }
+          in
+          let report =
+            serve_model ~iters ~policy ~faults
+              ~process:(Serve.Traffic.Poisson { rate_per_s })
+              ~requests ~seed model
+          in
+          let s = report.sv_summary in
+          {
+            fv_policy = pname;
+            fv_fault_rate = fault_rate;
+            fv_goodput = Serve.Stats.goodput s;
+            fv_throughput = s.Serve.Stats.s_throughput_rps;
+            fv_p50 = s.Serve.Stats.s_p50_ms;
+            fv_p99 = s.Serve.Stats.s_p99_ms;
+            fv_fault_batches = s.Serve.Stats.s_fault_batches;
+            fv_retries = s.Serve.Stats.s_retries;
+            fv_bisections = s.Serve.Stats.s_bisections;
+            fv_poisoned = s.Serve.Stats.s_poisoned;
+            fv_breaker_opens = s.Serve.Stats.s_breaker_opens;
+          })
+        rates)
+    (serve_policies ~max_batch ~max_wait_us)
 
 (* --- Extras: ablations called out in DESIGN.md §6 --- *)
 

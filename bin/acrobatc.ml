@@ -214,7 +214,7 @@ let bench_cmd =
 
 let serve_cmd =
   let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
-      burst seed iters json_path =
+      burst seed iters faults_spec json_path =
     guarded @@ fun () ->
     let model =
       match size with
@@ -240,12 +240,14 @@ let serve_cmd =
           }
       else Serve.Traffic.Poisson { rate_per_s = rate }
     in
+    let faults = match faults_spec with None -> Faults.none | Some s -> Faults.parse s in
     let report =
-      serve_model ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~process ~requests
-        ~seed model
+      serve_model ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~faults ~process
+        ~requests ~seed model
     in
     Fmt.pr "model %s (%s)   traffic %a   policy %a   seed %d@.@." model_id size
       Serve.Traffic.pp_process process Serve.Batcher.pp_policy policy seed;
+    if Faults.enabled faults then Fmt.pr "fault plan: %a@.@." Faults.pp_plan faults;
     Fmt.pr "%a@.@." Serve.Stats.pp_summary report.sv_summary;
     Fmt.pr "cumulative device activity:@.%a@." Profiler.pp report.sv_profiler;
     Option.iter
@@ -302,6 +304,15 @@ let serve_cmd =
       value & opt (some int) None
       & info [ "iters" ] ~docv:"N" ~doc:"Auto-scheduler iteration budget.")
   in
+  let faults_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Deterministic fault-injection plan, e.g. \
+             'seed=7,kernel=0.05,straggler=0.02x6,reset=0.001,capacity=200000,poison=3+17'. \
+             Enables retry, bisection, circuit breaking and graceful degradation.")
+  in
   let json_arg =
     Arg.(
       value & opt (some string) None
@@ -312,7 +323,7 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ size_arg $ rate_arg $ policy_arg $ requests_arg
       $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
-      $ iters_arg $ json_arg)
+      $ iters_arg $ faults_arg $ json_arg)
 
 let () =
   let info = Cmd.info "acrobatc" ~version:"1.0" ~doc:"The ACROBAT compiler driver." in

@@ -29,6 +29,8 @@ module Autosched = Acrobat_compiler.Autosched
 module Device = Acrobat_device.Device
 module Cost_model = Acrobat_device.Cost_model
 module Profiler = Acrobat_device.Profiler
+module Memory = Acrobat_device.Memory
+module Faults = Acrobat_device.Faults
 module Value = Acrobat_runtime.Value
 module Driver = Acrobat_engines.Driver
 module Policy = Acrobat_engines.Policy
@@ -153,6 +155,58 @@ type serve_report = {
 let serve_report_json (r : serve_report) : Serve.Json.t =
   Serve.Stats.summary_to_json r.sv_summary
 
+(** A fault-aware {!Serve.Server} executor. Each batch runs on a fresh
+    simulated device wired to the shared fault [injector] (so a retried
+    batch draws fresh fault randomness — transient faults are transient).
+    Requests whose ids appear in the plan's [poison] list fail the whole
+    batch {e non-transiently}, leaving isolation to the server's bisection.
+    Injected {!Faults.Fault} and {!Memory.Device_oom} exceptions are mapped
+    to {!Serve.Server.Exec_fault} reports; the failed attempt's device time
+    still occupies the virtual device. OOM is reported non-transient
+    (re-running the same batch would OOM again) with [ef_oom] set so the
+    server both bisects into smaller batches and shrinks its batch cap. *)
+let fault_executor ?(seed = 2024) ~(injector : Faults.t) ~(primary : compiled) ?degraded_c
+    ~(weights : (string * Tensor.t) list) () ~(degraded : bool)
+    (batch : (int * (string * Driver.hval) list) list) : Serve.Server.exec_result =
+  let poison = (Faults.plan injector).Faults.poison in
+  match List.find_opt (fun (id, _) -> List.mem id poison) batch with
+  | Some (id, _) ->
+    Serve.Server.Exec_fault
+      {
+        ef_latency_us = 100.0;
+        ef_reason = Fmt.str "poisoned request #%d" id;
+        ef_transient = false;
+        ef_oom = false;
+      }
+  | None ->
+    let c = if degraded then Option.value ~default:primary degraded_c else primary in
+    let device = Device.create ~faults:injector () in
+    let instances = List.map snd batch in
+    (match run_batch ~seed ~device c ~weights ~instances () with
+    | r ->
+      Serve.Server.Exec_ok
+        {
+          Serve.Server.ex_latency_us = r.Driver.stats.latency_ms *. 1000.0;
+          ex_profiler = Some r.Driver.stats.profiler;
+        }
+    | exception Faults.Fault { kind; launch } ->
+      Serve.Server.Exec_fault
+        {
+          ef_latency_us = Profiler.total_us (Device.profiler device);
+          ef_reason = Fmt.str "%s at launch %d" (Faults.kind_name kind) launch;
+          ef_transient = true;
+          ef_oom = false;
+        }
+    | exception Memory.Device_oom { requested; in_use; capacity } ->
+      Serve.Server.Exec_fault
+        {
+          ef_latency_us = Profiler.total_us (Device.profiler device);
+          ef_reason =
+            Fmt.str "device OOM (requested %d, in use %d / %d)" requested in_use capacity;
+          ef_transient = false;
+          ef_oom = true;
+        })
+
 (** Simulate serving [requests] independently-arriving instances of [model]
     under an arrival [process] and batch-assembly [policy].
 
@@ -162,18 +216,39 @@ let serve_report_json (r : serve_report) : Serve.Json.t =
     construction, scheduling, batching, simulated kernels), and its cost
     model latency occupies the virtual device. Deterministic for a fixed
     [seed]. [arrivals] overrides the generated trace (e.g. a synchronized
-    burst). *)
+    burst).
+
+    When a fault [plan] with any fault source enabled is supplied, batches
+    run under {!fault_executor} and the server's fault-tolerance machinery
+    (retry, bisection, circuit breaker, degradation — see DESIGN.md SS8) is
+    exercised; if the model carries a degraded variant it is compiled and
+    tuned too, and swapped in while the server is degraded. [tolerance]
+    overrides the recovery knobs. With the default [Faults.none] plan the
+    executor, RNG draws and output are bit-identical to the fault-unaware
+    server. *)
 let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
-    ?deadline_ms ?arrivals ~(process : Serve.Traffic.process) ~(requests : int)
-    ~(seed : int) (model : Model.t) : serve_report =
+    ?deadline_ms ?arrivals ?(faults = Faults.none) ?tolerance
+    ~(process : Serve.Traffic.process) ~(requests : int) ~(seed : int) (model : Model.t) :
+    serve_report =
   let c, weights = compile_model ~framework ?iters model ~batch:8 ~seed in
   let payload_rng = Rng.create ((seed * 31) + 5) in
-  let payloads = Array.init requests (fun _ -> model.Model.gen_instance payload_rng) in
+  let payloads =
+    Array.init requests (fun i -> i, model.Model.gen_instance payload_rng)
+  in
   let arrivals =
     match arrivals with
     | Some a -> a
     | None -> Serve.Traffic.arrivals ~rng:(Rng.create ((seed * 53) + 11)) process ~n:requests
+  in
+  let fault_mode = Faults.enabled faults in
+  let tolerance =
+    match tolerance with
+    | Some t -> t
+    | None ->
+      if fault_mode then
+        { Serve.Server.default_tolerance with Serve.Server.degrade_high_frac = 0.85 }
+      else Serve.Server.default_tolerance
   in
   let config =
     {
@@ -181,11 +256,24 @@ let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
       queue_capacity;
       deadline_us = Option.map (fun ms -> ms *. 1000.0) deadline_ms;
       cost = Cost_model.default;
+      tolerance;
     }
   in
+  let execute =
+    if fault_mode then begin
+      let degraded_c =
+        Option.map
+          (fun dm -> fst (compile_model ~framework ?iters dm ~batch:8 ~seed))
+          model.Model.degraded
+      in
+      let injector = Faults.create faults in
+      fault_executor ~seed ~injector ~primary:c ?degraded_c ~weights ()
+    end
+    else
+      Serve.Server.infallible (fun batch ->
+          batch_executor ~seed c ~weights (List.map snd batch))
+  in
   let stats =
-    Serve.Server.simulate config ~arrivals
-      ~payload:(fun i -> payloads.(i))
-      ~execute:(fun batch -> batch_executor ~seed c ~weights batch)
+    Serve.Server.simulate config ~arrivals ~payload:(fun i -> payloads.(i)) ~execute
   in
   { sv_summary = Serve.Stats.summarize stats; sv_profiler = stats.Serve.Stats.profiler }

@@ -10,21 +10,52 @@ type t = {
   cost : Cost_model.t;
   memory : Memory.t;
   profiler : Profiler.t;
+  faults : Faults.t option;
+      (** Shared fault injector; one injector can span many devices so
+          retried work sees fresh fault draws. *)
 }
 
-let create ?(cost = Cost_model.default) () =
-  { cost; memory = Memory.create (); profiler = Profiler.create () }
+(** [create ?faults ()] builds a device. When a fault plan carries a memory
+    capacity, the arena is bounded accordingly and {!alloc} can raise
+    {!Memory.Device_oom}. Creating a device opens a new batch attempt on the
+    injector: one fault-fate draw covers all of this device's launches. *)
+let create ?(cost = Cost_model.default) ?faults () =
+  let capacity = Option.bind faults (fun f -> (Faults.plan f).Faults.capacity_elems) in
+  Option.iter Faults.begin_attempt faults;
+  { cost; memory = Memory.create ?capacity (); profiler = Profiler.create (); faults }
 
 let profiler t = t.profiler
 let cost_model t = t.cost
 let memory t = t.memory
+let faults t = t.faults
 
 let reset t =
   Memory.reset t.memory;
   Profiler.reset t.profiler
 
-(** Reserve device memory for [elems] elements. *)
+(** Reserve device memory for [elems] elements.
+    @raise Memory.Device_oom on a bounded arena that cannot fit it. *)
 let alloc t ~elems = Memory.alloc t.memory ~elems
+
+(* Consult the fault injector for one launch; returns the latency
+   multiplier. An injected failure still burns the API call and launch
+   overhead — the device was entered, the kernel just did not complete —
+   so failed attempts cost simulated time like real ones do. *)
+let inject_launch t =
+  match t.faults with
+  | None -> 1.0
+  | Some f -> (
+    match Faults.on_launch f with
+    | mult -> mult
+    | exception (Faults.Fault { kind; _ } as e) ->
+      Profiler.charge t.profiler Api_overhead t.cost.api_call_us;
+      let burn =
+        match kind with
+        | Faults.Kernel_fault -> t.cost.kernel_launch_us
+        | Faults.Device_reset -> (Faults.plan f).Faults.reset_cost_us
+      in
+      Profiler.charge t.profiler Kernel_exec burn;
+      raise e)
 
 (** Launch one compute kernel performing [flops] of work.
 
@@ -35,9 +66,10 @@ let alloc t ~elems = Memory.alloc t.memory ~elems
     budget (§D.1). *)
 let launch_kernel ?(quality = 1.0) ?(scattered_inputs = false) ?(bytes = 0.0) t ~flops =
   assert (quality > 0.0 && quality <= 1.0);
+  let fault_mult = inject_launch t in
   let base = Cost_model.kernel_time t.cost ~flops ~bytes in
   let penalty = if scattered_inputs then 1.0 +. t.cost.indirection_penalty else 1.0 in
-  let time = base *. penalty /. quality in
+  let time = base *. penalty /. quality *. fault_mult in
   t.profiler.kernel_calls <- t.profiler.kernel_calls + 1;
   Profiler.charge t.profiler Kernel_exec time;
   Profiler.charge t.profiler Api_overhead t.cost.api_call_us
@@ -45,7 +77,8 @@ let launch_kernel ?(quality = 1.0) ?(scattered_inputs = false) ?(bytes = 0.0) t 
 (** Launch an explicit memory-gather kernel copying [bytes] into a fresh
     contiguous slab; returns the slab's base address. *)
 let launch_gather t ~bytes ~elems =
-  let time = Cost_model.gather_time t.cost ~bytes in
+  let fault_mult = inject_launch t in
+  let time = Cost_model.gather_time t.cost ~bytes *. fault_mult in
   t.profiler.kernel_calls <- t.profiler.kernel_calls + 1;
   t.profiler.gather_kernels <- t.profiler.gather_kernels + 1;
   t.profiler.gather_bytes <- t.profiler.gather_bytes + bytes;

@@ -1,0 +1,219 @@
+(** Deterministic fault injection for the simulated device.
+
+    Real auto-batching runtimes live on accelerators that fail: kernel
+    launches error out transiently, some launches straggle far past their
+    expected latency, allocations hit the memory ceiling, and occasionally
+    the device resets wholesale. A serving stack that has never executed
+    against those behaviours has untested recovery paths, so this module
+    makes them injectable — and, critically, {e reproducible}: every fault
+    decision is drawn from one seeded {!Acrobat_tensor.Rng} stream, so a
+    (seed, plan) pair replays the identical fault sequence run after run.
+    That is what lets the recovery machinery (retry, bisection, circuit
+    breaking, degradation) be tested byte-for-byte.
+
+    A {!plan} is pure data describing fault rates; an injector ({!t}) is the
+    stateful stream consulted by {!Acrobat_device.Device}. Each device
+    creation opens a fresh {e attempt} (one batch execution), and one
+    uniform draw per attempt decides its fate — fault, reset, straggle or
+    clean. Rates are therefore per batch attempt, not per kernel launch:
+    a batch executes tens of kernels, and compounding a per-launch
+    probability over that many launches would make any modest rate fatal.
+    One injector is shared across every device a serving run creates, so a
+    batch retried on a fresh device sees fresh draws — transient faults
+    really are transient. *)
+
+open Acrobat_tensor
+
+type plan = {
+  seed : int;  (** Seeds the injector's RNG stream. *)
+  kernel_fault_rate : float;  (** P(transient launch failure) per batch attempt. *)
+  straggler_rate : float;  (** P(straggler) per batch attempt. *)
+  straggler_mult : float;  (** Latency multiplier of a straggling attempt's kernels. *)
+  reset_rate : float;  (** P(full device reset) per batch attempt. *)
+  reset_cost_us : float;  (** Simulated time burned by a device reset. *)
+  capacity_elems : int option;  (** Device memory bound; [None] = unbounded. *)
+  poison : int list;  (** Request ids that deterministically fail. *)
+}
+
+(** The all-zero plan: no faults, unbounded memory. *)
+let none =
+  {
+    seed = 0;
+    kernel_fault_rate = 0.0;
+    straggler_rate = 0.0;
+    straggler_mult = 6.0;
+    reset_rate = 0.0;
+    reset_cost_us = 10_000.0;
+    capacity_elems = None;
+    poison = [];
+  }
+
+let enabled p =
+  p.kernel_fault_rate > 0.0 || p.straggler_rate > 0.0 || p.reset_rate > 0.0
+  || p.capacity_elems <> None || p.poison <> []
+
+(** What an injected launch failure was. *)
+type kind = Kernel_fault | Device_reset
+
+let kind_name = function Kernel_fault -> "kernel-fault" | Device_reset -> "device-reset"
+
+(** Raised out of a kernel launch when the injector fires. [launch] is the
+    global launch ordinal, for diagnosing a fault sequence. *)
+exception Fault of { kind : kind; launch : int }
+
+let () =
+  Printexc.register_printer (function
+    | Fault { kind; launch } ->
+      Some (Fmt.str "Injected_fault(%s at launch %d)" (kind_name kind) launch)
+    | _ -> None)
+
+let pp_plan ppf p =
+  if not (enabled p) then Fmt.pf ppf "none"
+  else
+    Fmt.pf ppf "seed=%d kernel=%.3f straggler=%.3fx%.1f reset=%.4f%a%a" p.seed
+      p.kernel_fault_rate p.straggler_rate p.straggler_mult p.reset_rate
+      (fun ppf -> function
+        | None -> ()
+        | Some c -> Fmt.pf ppf " capacity=%d" c)
+      p.capacity_elems
+      (fun ppf -> function
+        | [] -> ()
+        | ids -> Fmt.pf ppf " poison=%a" Fmt.(list ~sep:(any "+") int) ids)
+      p.poison
+
+(** Parse a plan from a CLI spec: comma-separated [key=value] fields.
+
+    {v seed=7,kernel=0.05,straggler=0.02x6,reset=0.001,capacity=200000,poison=3+17 v}
+
+    [kernel], [straggler] and [reset] are per-batch-attempt probabilities;
+    [straggler] takes an optional [xMULT] latency-multiplier suffix;
+    [capacity] bounds device memory in elements; [poison] is a [+]-separated
+    list of request ids that always fail. Unknown keys are rejected. *)
+let parse (spec : string) : plan =
+  let fail fmt = Fmt.kstr (fun m -> Fmt.invalid_arg "bad fault plan: %s" m) fmt in
+  let prob key s =
+    match float_of_string_opt s with
+    | Some p when p >= 0.0 && p <= 1.0 -> p
+    | _ -> fail "%s=%s is not a probability in [0, 1]" key s
+  in
+  let field plan kv =
+    match String.index_opt kv '=' with
+    | None -> fail "field %S is not key=value" kv
+    | Some i ->
+      let key = String.sub kv 0 i in
+      let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+      (match key with
+      | "seed" -> (
+        match int_of_string_opt v with
+        | Some s -> { plan with seed = s }
+        | None -> fail "seed=%s is not an integer" v)
+      | "kernel" -> { plan with kernel_fault_rate = prob key v }
+      | "reset" -> { plan with reset_rate = prob key v }
+      | "straggler" -> (
+        match String.index_opt v 'x' with
+        | None -> { plan with straggler_rate = prob key v }
+        | Some j ->
+          let rate = String.sub v 0 j in
+          let mult = String.sub v (j + 1) (String.length v - j - 1) in
+          (match float_of_string_opt mult with
+          | Some m when m >= 1.0 ->
+            { plan with straggler_rate = prob key rate; straggler_mult = m }
+          | _ -> fail "straggler multiplier %S must be a float >= 1" mult))
+      | "capacity" -> (
+        match int_of_string_opt v with
+        | Some c when c > 0 -> { plan with capacity_elems = Some c }
+        | _ -> fail "capacity=%s is not a positive integer" v)
+      | "poison" ->
+        let ids =
+          List.map
+            (fun s ->
+              match int_of_string_opt s with
+              | Some id -> id
+              | None -> fail "poison id %S is not an integer" s)
+            (String.split_on_char '+' v)
+        in
+        { plan with poison = ids }
+      | other -> fail "unknown key %S" other)
+  in
+  List.fold_left field none
+    (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
+
+(* --- The stateful injector --- *)
+
+(** The fate drawn for the current batch attempt. *)
+type decision = Clean | Straggle | Break of kind
+
+type t = {
+  plan : plan;
+  rng : Rng.t;
+  mutable decision : decision;
+  mutable attempts : int;
+  mutable launches : int;
+  mutable kernel_faults : int;
+  mutable stragglers : int;
+  mutable resets : int;
+}
+
+let create (plan : plan) : t =
+  {
+    plan;
+    rng = Rng.create ((plan.seed * 0x2545F) lxor 0x5eed);
+    decision = Clean;
+    attempts = 0;
+    launches = 0;
+    kernel_faults = 0;
+    stragglers = 0;
+    resets = 0;
+  }
+
+let plan t = t.plan
+let attempts t = t.attempts
+let launches t = t.launches
+let kernel_faults t = t.kernel_faults
+let stragglers t = t.stragglers
+let resets t = t.resets
+let faults_injected t = t.kernel_faults + t.resets
+
+(** Open a new batch attempt: one uniform draw decides the whole attempt's
+    fate by partitioning [0, 1) into fault / reset / straggler / clean
+    bands. The stream advances exactly once per attempt regardless of
+    outcome — the property that keeps a run's fault sequence independent of
+    which faults the caller recovered from. Called by
+    {!Acrobat_device.Device.create} when a device is wired to the injector,
+    so one device = one attempt. *)
+let begin_attempt t =
+  let p = t.plan in
+  t.attempts <- t.attempts + 1;
+  t.decision <-
+    (if p.kernel_fault_rate <= 0.0 && p.straggler_rate <= 0.0 && p.reset_rate <= 0.0 then
+       Clean
+     else
+       let u = Rng.float t.rng in
+       if u < p.kernel_fault_rate then Break Kernel_fault
+       else if u < p.kernel_fault_rate +. p.reset_rate then Break Device_reset
+       else if u < p.kernel_fault_rate +. p.reset_rate +. p.straggler_rate then begin
+         t.stragglers <- t.stragglers + 1;
+         Straggle
+       end
+       else Clean)
+
+(** Consult the injector for one kernel launch. Returns the latency
+    multiplier to apply (1.0 normally, [straggler_mult] for every launch of
+    a straggling attempt). A doomed attempt raises on its first launch —
+    the recovery path's cost is dominated by retry latency, not by where in
+    the batch the kernel died.
+
+    @raise Fault on an injected kernel failure or device reset. *)
+let on_launch t : float =
+  t.launches <- t.launches + 1;
+  match t.decision with
+  | Clean -> 1.0
+  | Straggle -> t.plan.straggler_mult
+  | Break kind ->
+    (* Fire once; if the caller somehow keeps launching on this attempt the
+       remaining kernels run clean. *)
+    t.decision <- Clean;
+    (match kind with
+    | Kernel_fault -> t.kernel_faults <- t.kernel_faults + 1
+    | Device_reset -> t.resets <- t.resets + 1);
+    raise (Fault { kind; launch = t.launches })

@@ -5,35 +5,70 @@
     buffers — because the one property batching cares about is whether the
     inputs of a batch are *contiguous* (§5.2): contiguous inputs need no
     memory gather; scattered inputs need either an explicit gather kernel or
-    a gather-fused kernel. *)
+    a gather-fused kernel.
+
+    The arena can carry a [capacity] (in elements). A bounded arena makes
+    allocation a fallible operation — exactly what a real accelerator does —
+    so the serving stack's out-of-memory handling has something true to
+    degrade against. *)
 
 type address = int
 
+(** Raised by {!alloc} on a bounded arena that cannot fit the request.
+    [in_use] is the cursor at the time of the failure. *)
+exception Device_oom of { requested : int; in_use : int; capacity : int }
+
+let () =
+  Printexc.register_printer (function
+    | Device_oom { requested; in_use; capacity } ->
+      Some
+        (Fmt.str "Device_oom(requested %d elems, %d/%d in use)" requested in_use capacity)
+    | _ -> None)
+
 type t = {
+  capacity : int option;  (** Arena bound in elements; [None] = unbounded. *)
   mutable cursor : address;
   mutable allocations : int;
   mutable peak : address;
+  mutable oom_failures : int;
 }
 
-let create () = { cursor = 0; allocations = 0; peak = 0 }
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> Fmt.invalid_arg "Memory.create: capacity must be positive"
+  | _ -> ());
+  { capacity; cursor = 0; allocations = 0; peak = 0; oom_failures = 0 }
 
+(* [reset] recycles the arena between mini-batches. [peak] deliberately
+   survives: it is the high-water mark of the whole run, the number capacity
+   planning reads — clearing it per batch would report only the last batch. *)
 let reset t =
   t.cursor <- 0;
   t.allocations <- 0
 
 (** [alloc t ~elems] reserves [elems] contiguous elements, returning the
-    base address. *)
+    base address.
+
+    @raise Device_oom when the arena is bounded and the request does not fit
+    (the boundary allocation — filling the arena exactly — succeeds). *)
 let alloc t ~elems =
-  assert (elems >= 0);
+  if elems < 0 then Fmt.invalid_arg "Memory.alloc: negative size %d" elems;
+  (match t.capacity with
+  | Some cap when t.cursor + elems > cap ->
+    t.oom_failures <- t.oom_failures + 1;
+    raise (Device_oom { requested = elems; in_use = t.cursor; capacity = cap })
+  | _ -> ());
   let addr = t.cursor in
   t.cursor <- t.cursor + elems;
   t.allocations <- t.allocations + 1;
   if t.cursor > t.peak then t.peak <- t.cursor;
   addr
 
+let capacity t = t.capacity
 let allocations t = t.allocations
 let used_elems t = t.cursor
 let peak_elems t = t.peak
+let oom_failures t = t.oom_failures
 
 (** [contiguous chunks] is true when the [(address, elems)] chunks lie
     back-to-back in order, i.e. a batched kernel can read them as one slab. *)

@@ -75,12 +75,16 @@ type result = {
     [device] lets callers that execute many batches (the serving loop)
     accumulate one profile across calls; latency is charged relative to the
     device's simulated clock at entry, so the result's stats describe just
-    this batch either way. *)
-let run_batch ?(compute_values = false) ?(seed = 2024) ?device ~(mode : mode)
+    this batch either way. [faults] threads a fault injector into the
+    device this run creates (ignored when [device] is supplied — a caller
+    passing a device has already wired its faults); injected faults
+    surface as {!Acrobat_device.Faults.Fault} or
+    {!Acrobat_device.Memory.Device_oom} exceptions out of this call. *)
+let run_batch ?(compute_values = false) ?(seed = 2024) ?device ?faults ~(mode : mode)
     ~(policy : Policy.t) ~(quality : int -> float) ~(lprog : L.t)
     ~(weights : (string * Tensor.t) list) ~(instances : (string * hval) list list) () :
     result =
-  let device = match device with Some d -> d | None -> Device.create () in
+  let device = match device with Some d -> d | None -> Device.create ?faults () in
   let start_us = Profiler.total_us (Device.profiler device) in
   let exec_policy =
     {

@@ -73,4 +73,5 @@ let make ?hidden ?(vocab = 64) ?(beam_width = 4) (size : Model.size) : Model.t =
               (List.init beam_width (fun _ -> Driver.Htensor (Tensor.random rng [ 1; hidden ])))
           );
         ]);
+    degraded = None;
   }

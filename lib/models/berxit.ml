@@ -36,7 +36,7 @@ def @layers(%n: Int, %x: Tensor[({S}, {H})],
             %g2: Tensor[(1, {H})], %lb2: Tensor[(1, {H})]) -> Tensor[({S}, {H})] {
   if (%n == 0) { %x } else {
     let %y = @layer(%x, %wq, %wk, %wv, %wo, %g1, %lb1, %w1, %bf1, %w2, %bf2, %g2, %lb2);
-    let %exit = coin(0.15);
+    let %exit = coin({E});
     if (%exit) { %y }
     else { @layers(%n - 1, %y, %wq, %wk, %wv, %wo, %g1, %lb1, %w1, %bf1, %w2, %bf2, %g2, %lb2) }
   }
@@ -53,7 +53,7 @@ def @main(%wq: Tensor[({H}, {H})], %wk: Tensor[({H}, {H})], %wv: Tensor[({H}, {H
 }
 |}
 
-let make ?dims (size : Model.size) : Model.t =
+let rec make ?dims ?(exit_prob = 0.15) (size : Model.size) : Model.t =
   (* (layers, hidden, ffn, seq). Small = BERT-base; large = 18 layers at
      BERT-large width (paper §7.1). *)
   let layers, hidden, ffn, seq =
@@ -80,11 +80,30 @@ let make ?dims (size : Model.size) : Model.t =
       "lb2", [ 1; hidden ];
     ]
   in
+  let source =
+    Model.subst_str
+      [
+        "S", string_of_int seq;
+        "H", string_of_int hidden;
+        "F", string_of_int ffn;
+        "L", string_of_int layers;
+        "E", Fmt.str "%.2f" exit_prob;
+      ]
+      template
+  in
+  (* The degraded variant exits aggressively after fewer layers: same
+     weights, same input shapes, so a server may swap it in under
+     pressure without re-generating instances. *)
+  let degraded =
+    if exit_prob >= 0.5 then None
+    else Some (make ~dims:(layers, hidden, ffn, seq) ~exit_prob:0.5 size)
+  in
   {
     Model.name = "berxit";
     size;
-    source = Model.subst [ "S", seq; "H", hidden; "F", ffn; "L", layers ] template;
+    source;
     inputs = [ "x" ];
     gen_weights = Model.weights_of_specs specs;
     gen_instance = (fun rng -> [ "x", Driver.Htensor (Tensor.random rng [ seq; hidden ]) ]);
+    degraded;
   }

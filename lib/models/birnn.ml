@@ -96,4 +96,5 @@ let make ?(classes = 16) ?hidden (size : Model.size) : Model.t =
             Driver.Hlist
               (List.map (fun w -> Driver.Htensor (W.Embeddings.lookup table w)) words) );
         ]);
+    degraded = None;
   }

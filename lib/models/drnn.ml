@@ -64,4 +64,5 @@ let make ?hidden ?(max_depth = 7) (size : Model.size) : Model.t =
     inputs = [ "root" ];
     gen_weights = Model.weights_of_specs specs;
     gen_instance = (fun rng -> [ "root", Driver.Htensor (Tensor.random rng [ 1; hidden ]) ]);
+    degraded = None;
   }

@@ -16,6 +16,13 @@ type t = {
   inputs : string list;  (** @main parameters that vary per instance. *)
   gen_weights : int -> (string * Tensor.t) list;  (** seed -> weights *)
   gen_instance : Rng.t -> (string * Driver.hval) list;
+  degraded : t option;
+      (** Lower-quality / lower-latency variant of the same model (e.g. an
+          early-exit configuration with a more eager exit head). Must accept
+          the primary's instances and weights unchanged — same input and
+          weight shapes — so a serving layer under pressure can swap it in
+          per batch and swap back when pressure clears. [None] for models
+          with no built-in quality/latency knob. *)
 }
 
 (** Generate named weight tensors from (name, shape) specs. *)
@@ -29,7 +36,7 @@ let embedding_table ~dim ~seed = Acrobat_workloads.Embeddings.create ~shape:[ 1;
 (** Template substitution for model sources: replaces every ["{KEY}"] with
     its value. Sources keep the input language's own syntax readable instead
     of threading dozens of positional format arguments. *)
-let subst (bindings : (string * int) list) (template : string) : string =
+let subst_str (bindings : (string * string) list) (template : string) : string =
   List.fold_left
     (fun acc (key, v) ->
       let pat = "{" ^ key ^ "}" in
@@ -39,7 +46,7 @@ let subst (bindings : (string * int) list) (template : string) : string =
       let i = ref 0 in
       while !i < n do
         if !i + plen <= n && String.sub acc !i plen = pat then begin
-          Buffer.add_string buf (string_of_int v);
+          Buffer.add_string buf v;
           i := !i + plen
         end
         else begin
@@ -49,3 +56,6 @@ let subst (bindings : (string * int) list) (template : string) : string =
       done;
       Buffer.contents buf)
     template bindings
+
+let subst (bindings : (string * int) list) (template : string) : string =
+  subst_str (List.map (fun (k, v) -> k, string_of_int v) bindings) template

@@ -58,4 +58,5 @@ let make ?hidden (size : Model.size) : Model.t =
     inputs = [ "x" ];
     gen_weights = Model.weights_of_specs specs;
     gen_instance = (fun rng -> [ "x", Driver.Htensor (Tensor.random rng [ 1; hidden ]) ]);
+    degraded = None;
   }

@@ -68,4 +68,5 @@ let make ?hidden (size : Model.size) : Model.t =
     gen_weights = Model.weights_of_specs specs;
     gen_instance =
       (fun rng -> [ "input", Driver.Htensor (Tensor.random rng [ 1; hidden ]) ]);
+    degraded = None;
   }

@@ -119,4 +119,5 @@ let make ?hidden (size : Model.size) : Model.t =
             Driver.Hlist
               (List.map (fun w -> Driver.Htensor (W.Embeddings.lookup table w)) words) );
         ]);
+    degraded = None;
   }

@@ -109,6 +109,7 @@ let make ?(classes = 5) ?hidden (size : Model.size) : Model.t =
     inputs = [ "tree" ];
     gen_weights = Model.weights_of_specs specs;
     gen_instance = (fun rng -> [ "tree", tree_hval (W.Trees.sample rng) ]);
+    degraded = None;
   }
 
 (** The workload structure itself (for the Cortex baseline). *)

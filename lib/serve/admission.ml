@@ -34,8 +34,27 @@ let expired_count t = t.expired
 (** Oldest queued request's arrival time, if any. *)
 let oldest_arrival_us t = Option.map (fun r -> r.rq_arrival_us) (Queue.peek_opt t.q)
 
-(** Admit [r], or shed it when the queue is at capacity. *)
-let offer t (r : 'a request) : bool =
+let expired_at ~now_us (r : 'a request) =
+  match r.rq_deadline_us with Some d -> now_us > d | None -> false
+
+(* Drop (and count) every already-expired request in place. Only called when
+   the queue is full: sweeping on each offer would be O(n) per arrival for
+   no benefit, but a full queue of dead requests must not shed live ones. *)
+let sweep_expired t ~now_us =
+  let live = Queue.create () in
+  Queue.iter
+    (fun r ->
+      if expired_at ~now_us r then t.expired <- t.expired + 1 else Queue.push r live)
+    t.q;
+  Queue.clear t.q;
+  Queue.transfer live t.q
+
+(** Admit [r], or shed it when the queue is at capacity. A full queue is
+    first swept of requests whose deadline already passed (counted under
+    [expired], same as a drop at dequeue) — they were never going to
+    execute, and they must not cause a live request to be shed. *)
+let offer t ~now_us (r : 'a request) : bool =
+  if Queue.length t.q >= t.capacity then sweep_expired t ~now_us;
   if Queue.length t.q >= t.capacity then begin
     t.shed <- t.shed + 1;
     false
@@ -44,9 +63,6 @@ let offer t (r : 'a request) : bool =
     Queue.push r t.q;
     true
   end
-
-let expired_at ~now_us (r : 'a request) =
-  match r.rq_deadline_us with Some d -> now_us > d | None -> false
 
 (** Pop up to [limit] live requests in FIFO order, silently discarding (and
     counting) any whose deadline passed while they waited. *)

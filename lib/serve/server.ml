@@ -13,10 +13,63 @@
     [Acrobat.serve_model] glue with real compiled programs. Determinism:
     given the same arrival trace and a deterministic executor, two
     simulations produce identical stats (event ties dispatch in scheduling
-    order; no wall clock, no global RNG). *)
+    order; no wall clock; the only RNG is the fault-tolerance jitter stream,
+    seeded from the config and drawn from only on failures).
+
+    {b Fault tolerance.} An executor may report {!Exec_fault} instead of an
+    outcome; the server then drives the batch to a resolution in which every
+    request either completes or is provably poisonous:
+
+    - {e retry}: transient failures re-execute after exponential backoff
+      with seeded jitter, up to [max_retries] attempts;
+    - {e bisection}: a batch that keeps failing is split in half and each
+      half resolved independently (with a fresh retry budget), isolating a
+      deterministic poison request in O(log n) extra launches so only it is
+      dropped while the rest of the batch completes;
+    - {e circuit breaker}: after [breaker_threshold] consecutive failed
+      attempts the server stops launching and sheds arrivals at admission
+      until a cooldown passes; the first batch after cooldown is a probe
+      whose success closes the breaker (and whose failure re-opens it);
+    - {e graceful degradation}: a device OOM halves the effective batch-size
+      cap, and sustained queue pressure switches the executor to its
+      degraded (e.g. early-exit) variant; both restore as pressure clears. *)
 
 module Profiler = Acrobat_device.Profiler
 module Cost_model = Acrobat_device.Cost_model
+module Rng = Acrobat_tensor.Rng
+
+(** Knobs of the recovery machinery. The defaults keep every behaviour that
+    could alter a fault-free run disabled ([degrade_high_frac = infinity]),
+    so a simulation that never sees a fault is bit-identical to one run
+    against a server without the fault layer. *)
+type tolerance = {
+  max_retries : int;  (** Re-executions of a failed batch before bisecting. *)
+  backoff_base_us : float;  (** First retry delay. *)
+  backoff_mult : float;  (** Delay multiplier per subsequent retry. *)
+  jitter_frac : float;  (** Uniform +/- fraction applied to each delay. *)
+  breaker_threshold : int;  (** Consecutive failures that open the breaker. *)
+  breaker_cooldown_us : float;  (** Open time before the probe launch. *)
+  degrade_high_frac : float;
+      (** Queue occupancy (fraction of capacity) that enters degraded mode;
+          [infinity] disables pressure-triggered degradation. *)
+  degrade_low_frac : float;  (** Occupancy below which degradation lifts. *)
+  min_max_batch : int;  (** Floor for OOM-driven batch shrinking. *)
+  ft_seed : int;  (** Seeds the jitter RNG. *)
+}
+
+let default_tolerance =
+  {
+    max_retries = 2;
+    backoff_base_us = 200.0;
+    backoff_mult = 2.0;
+    jitter_frac = 0.25;
+    breaker_threshold = 4;
+    breaker_cooldown_us = 20_000.0;
+    degrade_high_frac = infinity;
+    degrade_low_frac = 0.25;
+    min_max_batch = 1;
+    ft_seed = 0x5eed;
+  }
 
 type config = {
   policy : Batcher.policy;
@@ -25,6 +78,7 @@ type config = {
       (** Relative per-request deadline; queued requests past it are
           dropped, not executed. *)
   cost : Cost_model.t;  (** Seeds the adaptive latency model. *)
+  tolerance : tolerance;
 }
 
 let default_config =
@@ -33,13 +87,31 @@ let default_config =
     queue_capacity = 256;
     deadline_us = None;
     cost = Cost_model.default;
+    tolerance = default_tolerance;
   }
 
-(** What one batch execution reports back. *)
+(** What one successful batch execution reports back. *)
 type exec_outcome = {
   ex_latency_us : float;  (** Simulated device busy time for the batch. *)
   ex_profiler : Profiler.t option;  (** Merged into the run's profile. *)
 }
+
+(** Verdict of one batch execution attempt. *)
+type exec_result =
+  | Exec_ok of exec_outcome
+  | Exec_fault of {
+      ef_latency_us : float;  (** Device time the failed attempt burned. *)
+      ef_reason : string;
+      ef_transient : bool;
+          (** A retry may succeed. [false] (a deterministic failure such as
+              OOM or a poison request) skips straight to bisection. *)
+      ef_oom : bool;  (** Out-of-memory: shrink the batch-size cap. *)
+    }
+
+type breaker_state =
+  | Closed
+  | Open of { until_us : float }  (** Shedding; probe allowed from [until_us]. *)
+  | Half_open  (** Probe in flight; its verdict closes or re-opens. *)
 
 type 'a state = {
   config : config;
@@ -47,27 +119,91 @@ type 'a state = {
   queue : 'a Admission.t;
   batcher : Batcher.t;
   stats : Stats.t;
-  execute : 'a list -> exec_outcome;
+  execute : degraded:bool -> 'a list -> exec_result;
   mutable device_busy : bool;
+  ft_rng : Rng.t;  (** Backoff jitter; drawn from only on retries. *)
+  mutable consecutive_failures : int;
+  mutable breaker : breaker_state;
+  policy_max_batch : int;  (** The policy's own cap (1 for batch1). *)
+  mutable cur_max_batch : int;  (** Effective cap; shrinks under OOM. *)
+  mutable degraded : bool;
 }
 
+let policy_max_batch = function
+  | Batcher.Batch1 -> 1
+  | Batcher.Fixed { max_batch; _ } | Batcher.Adaptive { max_batch; _ } -> max_batch
+
+(* --- Breaker and degradation transitions --- *)
+
+let open_breaker (st : 'a state) ~wake =
+  let until_us = Event_loop.now st.loop +. st.config.tolerance.breaker_cooldown_us in
+  st.breaker <- Open { until_us };
+  st.stats.Stats.breaker_opens <- st.stats.Stats.breaker_opens + 1;
+  (* Self-wake at cooldown expiry: with arrivals shed while open, no other
+     event may exist to trigger the probe. *)
+  Event_loop.schedule st.loop ~at:until_us wake
+
+let note_failure (st : 'a state) ~wake =
+  st.consecutive_failures <- st.consecutive_failures + 1;
+  match st.breaker with
+  | Half_open -> open_breaker st ~wake (* failed probe: back to shedding *)
+  | Closed when st.consecutive_failures >= st.config.tolerance.breaker_threshold ->
+    open_breaker st ~wake
+  | Closed | Open _ -> ()
+
+(* OOM is deterministic for a given batch size: retrying the same size would
+   fail forever, so halve the cap before the batch is re-resolved. *)
+let shrink_batches (st : 'a state) =
+  st.degraded <- true;
+  st.cur_max_batch <- max st.config.tolerance.min_max_batch (st.cur_max_batch / 2)
+
+let note_success (st : 'a state) =
+  st.consecutive_failures <- 0;
+  (match st.breaker with Closed -> () | Open _ | Half_open -> st.breaker <- Closed);
+  (* Pressure-relief: once the queue is quiet again, double the batch cap
+     back toward full strength; degraded mode lifts when fully restored. *)
+  if st.degraded then begin
+    let tol = st.config.tolerance in
+    let occupancy =
+      float_of_int (Admission.length st.queue) /. float_of_int st.config.queue_capacity
+    in
+    if occupancy <= tol.degrade_low_frac then begin
+      if st.cur_max_batch < st.policy_max_batch then
+        st.cur_max_batch <- min st.policy_max_batch (st.cur_max_batch * 2);
+      if st.cur_max_batch >= st.policy_max_batch then st.degraded <- false
+    end
+  end
+
+(* --- The launch / recovery state machine --- *)
+
 (* One pass of the launch decision; called whenever the device frees up, a
-   request arrives, or a batcher timeout fires. Idempotent: spurious wakes
-   fall through. *)
+   request arrives, a batcher timeout fires, or the breaker cooldown ends.
+   Idempotent: spurious wakes fall through. *)
 let rec maybe_launch (st : 'a state) =
-  if (not st.device_busy) && not (Admission.is_empty st.queue) then begin
+  if not st.device_busy then begin
     let now_us = Event_loop.now st.loop in
-    match
-      Batcher.decide st.batcher ~now_us ~queue_len:(Admission.length st.queue)
-        ~oldest_arrival_us:(Option.get (Admission.oldest_arrival_us st.queue))
-    with
-    | Batcher.Wait_until at when at > now_us ->
-      Event_loop.schedule st.loop ~at (fun () -> maybe_launch st)
-    | Batcher.Wait_until _ ->
-      (* A wait that is already due would re-fire at this same virtual
-         instant forever; treat it as a flush of whatever is queued. *)
-      flush st ~now_us ~limit:(Admission.length st.queue)
-    | Batcher.Flush limit -> flush st ~now_us ~limit
+    match st.breaker with
+    | Half_open -> () (* unreachable while device_busy is accurate; be safe *)
+    | Open { until_us } ->
+      if now_us >= until_us && not (Admission.is_empty st.queue) then begin
+        (* Probe: a single request tests whether the device recovered. *)
+        st.breaker <- Half_open;
+        flush st ~now_us ~limit:1
+      end
+    | Closed ->
+      if not (Admission.is_empty st.queue) then begin
+        match
+          Batcher.decide st.batcher ~now_us ~queue_len:(Admission.length st.queue)
+            ~oldest_arrival_us:(Option.get (Admission.oldest_arrival_us st.queue))
+        with
+        | Batcher.Wait_until at when at > now_us ->
+          Event_loop.schedule st.loop ~at (fun () -> maybe_launch st)
+        | Batcher.Wait_until _ ->
+          (* A wait that is already due would re-fire at this same virtual
+             instant forever; treat it as a flush of whatever is queued. *)
+          flush st ~now_us ~limit:(min (Admission.length st.queue) st.cur_max_batch)
+        | Batcher.Flush limit -> flush st ~now_us ~limit:(min limit st.cur_max_batch)
+      end
   end
 
 and flush (st : 'a state) ~now_us ~limit =
@@ -76,48 +212,114 @@ and flush (st : 'a state) ~now_us ~limit =
     (* Everything popped had expired; the queue may still hold work. *)
     maybe_launch st
   | batch ->
-    let size = List.length batch in
-    let outcome = st.execute (List.map (fun r -> r.Admission.rq_payload) batch) in
-    let done_us = now_us +. Float.max 0.0 outcome.ex_latency_us in
-    Batcher.observe_batch st.batcher ~size ~latency_us:outcome.ex_latency_us;
-    Stats.note_batch st.stats ~size ~profiler:outcome.ex_profiler;
-    List.iter
-      (fun (r : _ Admission.request) ->
-        Stats.record st.stats
-          {
-            Stats.r_id = r.Admission.rq_id;
-            r_arrival_us = r.Admission.rq_arrival_us;
-            r_start_us = now_us;
-            r_done_us = done_us;
-            r_batch_size = size;
-          })
-      batch;
     st.device_busy <- true;
-    Event_loop.schedule st.loop ~at:done_us (fun () ->
+    resolve st batch ~k:(fun () ->
         st.device_busy <- false;
         maybe_launch st)
+
+(* Drive [batch] to a resolution — every request completes or is dropped as
+   poison — then run [k] at the virtual time the last attempt finished. The
+   device stays busy throughout (retries, backoff waits and bisection
+   sub-batches execute serially, preserving determinism). *)
+and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> unit) =
+  let tol = st.config.tolerance in
+  let wake () = maybe_launch st in
+  let rec attempt ~retries_left ~backoff_us () =
+    let now_us = Event_loop.now st.loop in
+    let degraded = st.degraded in
+    match st.execute ~degraded (List.map (fun r -> r.Admission.rq_payload) batch) with
+    | Exec_ok outcome ->
+      let size = List.length batch in
+      let done_us = now_us +. Float.max 0.0 outcome.ex_latency_us in
+      Batcher.observe_batch st.batcher ~size ~latency_us:outcome.ex_latency_us;
+      Stats.note_batch st.stats ~size ~profiler:outcome.ex_profiler;
+      if degraded then
+        st.stats.Stats.degraded_batches <- st.stats.Stats.degraded_batches + 1;
+      List.iter
+        (fun (r : _ Admission.request) ->
+          Stats.record st.stats
+            {
+              Stats.r_id = r.Admission.rq_id;
+              r_arrival_us = r.Admission.rq_arrival_us;
+              r_start_us = now_us;
+              r_done_us = done_us;
+              r_batch_size = size;
+            })
+        batch;
+      Event_loop.schedule st.loop ~at:done_us (fun () ->
+          note_success st;
+          k ())
+    | Exec_fault f ->
+      st.stats.Stats.fault_batches <- st.stats.Stats.fault_batches + 1;
+      note_failure st ~wake;
+      if f.ef_oom then shrink_batches st;
+      let freed_us = now_us +. Float.max 0.0 f.ef_latency_us in
+      if f.ef_transient && retries_left > 0 then begin
+        st.stats.Stats.retries <- st.stats.Stats.retries + 1;
+        let jitter = 1.0 +. (tol.jitter_frac *. ((2.0 *. Rng.float st.ft_rng) -. 1.0)) in
+        let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
+        Event_loop.schedule st.loop ~at
+          (attempt ~retries_left:(retries_left - 1)
+             ~backoff_us:(backoff_us *. tol.backoff_mult))
+      end
+      else
+        (* Retries exhausted (or the failure is deterministic): isolate. *)
+        Event_loop.schedule st.loop ~at:freed_us (fun () -> bisect st batch ~k)
+  in
+  attempt ~retries_left:tol.max_retries ~backoff_us:tol.backoff_base_us ()
+
+(* Binary fault isolation. A single survivor of repeated failure is the
+   poison: drop it alone. Larger batches split in half; each half gets a
+   fresh retry budget so transient noise during isolation does not condemn
+   innocent requests. *)
+and bisect (st : 'a state) (batch : 'a Admission.request list) ~k =
+  match batch with
+  | [] -> k ()
+  | [ _ ] ->
+    st.stats.Stats.poisoned <- st.stats.Stats.poisoned + 1;
+    k ()
+  | _ ->
+    st.stats.Stats.bisections <- st.stats.Stats.bisections + 1;
+    let half = List.length batch / 2 in
+    let left = List.filteri (fun i _ -> i < half) batch in
+    let right = List.filteri (fun i _ -> i >= half) batch in
+    resolve st left ~k:(fun () -> resolve st right ~k)
 
 let on_arrival (st : 'a state) (r : 'a Admission.request) =
   let now_us = Event_loop.now st.loop in
   Batcher.observe_arrival st.batcher ~now_us;
-  if Admission.offer st.queue r then
-    (* Defer the launch check to a same-time event rather than deciding
-       inline: events tie-break in scheduling order, so every arrival at
-       this virtual instant is queued before the check runs and
-       simultaneous requests coalesce into one batch instead of the first
-       one launching alone. *)
-    Event_loop.schedule st.loop ~at:now_us (fun () -> maybe_launch st)
+  match st.breaker with
+  | Open { until_us } when now_us < until_us ->
+    (* Breaker open: shed at the door without queueing — launching is
+       pointless while the device is presumed down. *)
+    st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1
+  | Closed | Half_open | Open _ ->
+    if Admission.offer st.queue ~now_us r then begin
+      let tol = st.config.tolerance in
+      if
+        (not st.degraded)
+        && float_of_int (Admission.length st.queue)
+           >= tol.degrade_high_frac *. float_of_int st.config.queue_capacity
+      then st.degraded <- true;
+      (* Defer the launch check to a same-time event rather than deciding
+         inline: events tie-break in scheduling order, so every arrival at
+         this virtual instant is queued before the check runs and
+         simultaneous requests coalesce into one batch instead of the first
+         one launching alone. *)
+      Event_loop.schedule st.loop ~at:now_us (fun () -> maybe_launch st)
+    end
 
 (** Run the simulation to completion.
 
     [arrivals] gives each request's arrival time (monotone, from
     {!Traffic.arrivals}); [payload i] builds request [i]'s inputs;
-    [execute] runs one assembled batch and reports its simulated latency.
-    Returns the populated {!Stats.t} (summarize with
-    {!Stats.summarize}). *)
+    [execute] runs one assembled batch — under the server's current
+    [degraded] flag — and reports its verdict. Returns the populated
+    {!Stats.t} (summarize with {!Stats.summarize}). *)
 let simulate (config : config) ~(arrivals : float array) ~(payload : int -> 'a)
-    ~(execute : 'a list -> exec_outcome) : Stats.t =
+    ~(execute : degraded:bool -> 'a list -> exec_result) : Stats.t =
   let loop = Event_loop.create (Clock.create ()) in
+  let pmax = policy_max_batch config.policy in
   let st =
     {
       config;
@@ -127,6 +329,12 @@ let simulate (config : config) ~(arrivals : float array) ~(payload : int -> 'a)
       stats = Stats.create ();
       execute;
       device_busy = false;
+      ft_rng = Rng.create config.tolerance.ft_seed;
+      consecutive_failures = 0;
+      breaker = Closed;
+      policy_max_batch = pmax;
+      cur_max_batch = pmax;
+      degraded = false;
     }
   in
   Array.iteri
@@ -146,3 +354,8 @@ let simulate (config : config) ~(arrivals : float array) ~(payload : int -> 'a)
   st.stats.Stats.expired <- Admission.expired_count st.queue;
   st.stats.Stats.end_us <- Event_loop.now loop;
   st.stats
+
+(** Lift a plain (infallible) executor into the fault-aware signature;
+    convenience for tests and fault-free callers. *)
+let infallible (f : 'a list -> exec_outcome) : degraded:bool -> 'a list -> exec_result =
+ fun ~degraded:_ batch -> Exec_ok (f batch)

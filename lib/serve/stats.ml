@@ -22,6 +22,14 @@ type t = {
   mutable expired : int;
   mutable end_us : float;  (** Virtual time when the simulation drained. *)
   profiler : Profiler.t;  (** Merged across every executed batch. *)
+  (* Fault-tolerance accounting; all zero on a fault-free run. *)
+  mutable fault_batches : int;  (** Batch attempts that failed. *)
+  mutable retries : int;  (** Re-executions after a transient failure. *)
+  mutable bisections : int;  (** Failed batches split to isolate poison. *)
+  mutable poisoned : int;  (** Requests dropped after isolation. *)
+  mutable breaker_opens : int;  (** Circuit-breaker open transitions. *)
+  mutable breaker_shed : int;  (** Requests refused while the breaker was open. *)
+  mutable degraded_batches : int;  (** Batches served in degraded mode. *)
 }
 
 let create () =
@@ -33,6 +41,13 @@ let create () =
     expired = 0;
     end_us = 0.0;
     profiler = Profiler.create ();
+    fault_batches = 0;
+    retries = 0;
+    bisections = 0;
+    poisoned = 0;
+    breaker_opens = 0;
+    breaker_shed = 0;
+    degraded_batches = 0;
   }
 
 let record t r = t.records <- r :: t.records
@@ -68,7 +83,25 @@ type summary = {
   s_mean_compute_ms : float;  (** Mean batch-launch -> completion time. *)
   s_batches : int;
   s_mean_batch : float;  (** Mean executed batch size. *)
+  (* Fault-tolerance block; all zero (and omitted from output) when the run
+     saw no faults. *)
+  s_fault_batches : int;
+  s_retries : int;
+  s_bisections : int;
+  s_poisoned : int;  (** Requests dropped as poison after bisection. *)
+  s_breaker_opens : int;
+  s_breaker_shed : int;
+  s_degraded_batches : int;
 }
+
+(** Availability: the fraction of offered requests actually answered. *)
+let goodput (s : summary) =
+  if s.s_offered = 0 then 1.0 else float_of_int s.s_completed /. float_of_int s.s_offered
+
+(** True when any fault-tolerance machinery engaged during the run. *)
+let fault_active (s : summary) =
+  s.s_fault_batches > 0 || s.s_retries > 0 || s.s_bisections > 0 || s.s_poisoned > 0
+  || s.s_breaker_opens > 0 || s.s_breaker_shed > 0 || s.s_degraded_batches > 0
 
 let summarize (t : t) : summary =
   let records = List.rev t.records in
@@ -85,7 +118,7 @@ let summarize (t : t) : summary =
       last_done -. first.r_arrival_us
   in
   {
-    s_offered = n + t.shed + t.expired;
+    s_offered = n + t.shed + t.expired + t.poisoned + t.breaker_shed;
     s_completed = n;
     s_shed = t.shed;
     s_expired = t.expired;
@@ -102,14 +135,26 @@ let summarize (t : t) : summary =
     s_mean_batch =
       (if t.batches = 0 then 0.0
        else float_of_int t.batched_requests /. float_of_int t.batches);
+    s_fault_batches = t.fault_batches;
+    s_retries = t.retries;
+    s_bisections = t.bisections;
+    s_poisoned = t.poisoned;
+    s_breaker_opens = t.breaker_opens;
+    s_breaker_shed = t.breaker_shed;
+    s_degraded_batches = t.degraded_batches;
   }
 
 let drop_rate (s : summary) =
   if s.s_offered = 0 then 0.0
-  else float_of_int (s.s_shed + s.s_expired) /. float_of_int s.s_offered
+  else
+    float_of_int (s.s_shed + s.s_expired + s.s_poisoned + s.s_breaker_shed)
+    /. float_of_int s.s_offered
 
+(* The fault block is emitted only when the machinery engaged: a fault-free
+   run prints (and serializes) exactly what it did before the fault layer
+   existed, keeping clean-path output byte-stable across versions. *)
 let summary_to_json (s : summary) : Json.t =
-  Json.Obj
+  let base =
     [
       "offered", Json.Int s.s_offered;
       "completed", Json.Int s.s_completed;
@@ -127,6 +172,22 @@ let summary_to_json (s : summary) : Json.t =
       "mean_batch", Json.Float s.s_mean_batch;
       "drop_rate", Json.Float (drop_rate s);
     ]
+  in
+  let faults =
+    if not (fault_active s) then []
+    else
+      [
+        "fault_batches", Json.Int s.s_fault_batches;
+        "retries", Json.Int s.s_retries;
+        "bisections", Json.Int s.s_bisections;
+        "poisoned", Json.Int s.s_poisoned;
+        "breaker_opens", Json.Int s.s_breaker_opens;
+        "breaker_shed", Json.Int s.s_breaker_shed;
+        "degraded_batches", Json.Int s.s_degraded_batches;
+        "goodput", Json.Float (goodput s);
+      ]
+  in
+  Json.Obj (base @ faults)
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
@@ -134,7 +195,16 @@ let pp_summary ppf (s : summary) =
      expired (deadline) %8d@,makespan           %8.2f ms@,throughput         %8.1f req/s@,\
      latency p50        %8.2f ms@,latency p95        %8.2f ms@,latency p99        %8.2f ms@,\
      latency mean       %8.2f ms@,queue wait (mean)  %8.2f ms@,compute (mean)     %8.2f ms@,\
-     batches            %8d@,mean batch size    %8.2f@]"
+     batches            %8d@,mean batch size    %8.2f"
     s.s_offered s.s_completed s.s_shed s.s_expired s.s_makespan_ms s.s_throughput_rps
     s.s_p50_ms s.s_p95_ms s.s_p99_ms s.s_mean_ms s.s_mean_queue_ms s.s_mean_compute_ms
-    s.s_batches s.s_mean_batch
+    s.s_batches s.s_mean_batch;
+  if fault_active s then
+    Fmt.pf ppf
+      "@,failed batches     %8d@,retries            %8d@,bisections         %8d@,\
+       poisoned (dropped) %8d@,breaker opens      %8d@,breaker shed       %8d@,\
+       degraded batches   %8d@,goodput            %8.1f %%"
+      s.s_fault_batches s.s_retries s.s_bisections s.s_poisoned s.s_breaker_opens
+      s.s_breaker_shed s.s_degraded_batches
+      (100.0 *. goodput s);
+  Fmt.pf ppf "@]"

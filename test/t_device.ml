@@ -1,9 +1,11 @@
-(** Tests for the simulated device: cost model, memory arena, profiler,
-    launch accounting. *)
+(** Tests for the simulated device: cost model, memory arena (including the
+    bounded-capacity OOM path), fault injection, profiler, launch
+    accounting. *)
 
 open Acrobat
 open T_util
 module Memory = Acrobat_device.Memory
+module Faults = Acrobat_device.Faults
 
 let cm = Cost_model.default
 
@@ -37,6 +39,85 @@ let test_memory_bump () =
   Memory.reset m;
   check_int "reset" 0 (Memory.used_elems m);
   check_int "peak survives reset" 15 (Memory.peak_elems m)
+
+let test_memory_capacity_boundary () =
+  let m = Memory.create ~capacity:100 () in
+  ignore (Memory.alloc m ~elems:60);
+  (* A boundary allocation filling the arena exactly must succeed... *)
+  ignore (Memory.alloc m ~elems:40);
+  check_int "arena exactly full" 100 (Memory.used_elems m);
+  (* ...and the very next element must raise the typed OOM, not an assert. *)
+  (match Memory.alloc m ~elems:1 with
+  | _ -> Alcotest.fail "expected Device_oom past capacity"
+  | exception Memory.Device_oom { requested; in_use; capacity } ->
+    check_int "requested" 1 requested;
+    check_int "in use" 100 in_use;
+    check_int "capacity" 100 capacity);
+  check_int "oom counted" 1 (Memory.oom_failures m);
+  (* The failed alloc must not corrupt the arena: reset frees it, keeps peak. *)
+  Memory.reset m;
+  check_int "reset empties" 0 (Memory.used_elems m);
+  check_int "peak survives reset" 100 (Memory.peak_elems m);
+  ignore (Memory.alloc m ~elems:100)
+
+let test_faults_parse () =
+  let p = Faults.parse "seed=7,kernel=0.05,straggler=0.02x6,reset=0.001,capacity=200000,poison=3+17" in
+  check_int "seed" 7 p.Faults.seed;
+  check_float "kernel" 0.05 p.Faults.kernel_fault_rate;
+  check_float "straggler rate" 0.02 p.Faults.straggler_rate;
+  check_float "straggler mult" 6.0 p.Faults.straggler_mult;
+  check_float "reset" 0.001 p.Faults.reset_rate;
+  check_true "capacity" (p.Faults.capacity_elems = Some 200000);
+  Alcotest.(check (list int)) "poison ids" [ 3; 17 ] p.Faults.poison;
+  check_true "enabled" (Faults.enabled p);
+  check_bool "none disabled" false (Faults.enabled Faults.none);
+  (match Faults.parse "kernel=1.5" with
+  | _ -> Alcotest.fail "expected rejection of probability > 1"
+  | exception Invalid_argument _ -> ());
+  match Faults.parse "bogus=1" with
+  | _ -> Alcotest.fail "expected rejection of unknown key"
+  | exception Invalid_argument _ -> ()
+
+(* Run [attempts] single-launch attempts against a fresh injector, returning
+   the per-attempt fate trace. *)
+let fault_trace plan attempts =
+  let inj = Faults.create plan in
+  List.init attempts (fun _ ->
+      let d = Device.create ~faults:inj () in
+      match Device.launch_kernel d ~flops:1.0e6 with
+      | () -> "ok"
+      | exception Faults.Fault { kind; _ } -> Faults.kind_name kind)
+
+let test_faults_deterministic () =
+  let plan = Faults.parse "seed=3,kernel=0.3,reset=0.1" in
+  let a = fault_trace plan 200 and b = fault_trace plan 200 in
+  Alcotest.(check (list string)) "same seed, same fault sequence" a b;
+  check_true "faults actually injected" (List.exists (fun s -> s = "kernel-fault") a);
+  check_true "resets actually injected" (List.exists (fun s -> s = "device-reset") a);
+  check_true "clean attempts too" (List.exists (fun s -> s = "ok") a);
+  let c = fault_trace (Faults.parse "seed=4,kernel=0.3,reset=0.1") 200 in
+  check_true "seed-sensitive" (c <> a)
+
+let test_faults_straggler_mult () =
+  (* straggler rate 1: every attempt straggles by exactly the multiplier. *)
+  let inj = Faults.create (Faults.parse "straggler=1.0x4") in
+  let slow = Device.create ~faults:inj () in
+  let fast = Device.create () in
+  Device.launch_kernel slow ~flops:1.0e6;
+  Device.launch_kernel fast ~flops:1.0e6;
+  let k d = Profiler.time_us (Device.profiler d) Profiler.Kernel_exec in
+  check_float ~eps:1e-6 "straggler multiplies kernel time" (4.0 *. k fast) (k slow);
+  check_int "straggler counted once per attempt" 1 (Faults.stragglers inj)
+
+let test_faults_burn_time () =
+  (* An injected fault still charges the device for the failed attempt. *)
+  let inj = Faults.create (Faults.parse "kernel=1.0") in
+  let d = Device.create ~faults:inj () in
+  (match Device.launch_kernel d ~flops:1.0e6 with
+  | () -> Alcotest.fail "expected injected fault"
+  | exception Faults.Fault _ -> ());
+  check_true "failed attempt burned time" (Profiler.total_us (Device.profiler d) > 0.0);
+  check_int "fault counted" 1 (Faults.kernel_faults inj)
 
 let test_contiguity () =
   check_true "empty" (Memory.contiguous []);
@@ -106,7 +187,14 @@ let suite =
     Alcotest.test_case "cost: roofline" `Quick test_kernel_time_roofline;
     Alcotest.test_case "cost: memcpy" `Quick test_memcpy_time;
     Alcotest.test_case "memory: bump allocation" `Quick test_memory_bump;
+    Alcotest.test_case "memory: capacity boundary + typed OOM" `Quick
+      test_memory_capacity_boundary;
     Alcotest.test_case "memory: contiguity" `Quick test_contiguity;
+    Alcotest.test_case "faults: plan parsing" `Quick test_faults_parse;
+    Alcotest.test_case "faults: deterministic injection" `Quick test_faults_deterministic;
+    Alcotest.test_case "faults: straggler multiplier" `Quick test_faults_straggler_mult;
+    Alcotest.test_case "faults: failed attempts burn device time" `Quick
+      test_faults_burn_time;
     prop_contiguous_alloc;
     Alcotest.test_case "device: counters" `Quick test_device_counters;
     Alcotest.test_case "device: quality" `Quick test_quality_divides_time;

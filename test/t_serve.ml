@@ -70,9 +70,9 @@ let rq ?deadline id at =
 
 let test_admission_shed () =
   let q = Admission.create ~capacity:2 in
-  check_true "admit 1" (Admission.offer q (rq 0 0.0));
-  check_true "admit 2" (Admission.offer q (rq 1 1.0));
-  check_true "shed at capacity" (not (Admission.offer q (rq 2 2.0)));
+  check_true "admit 1" (Admission.offer q ~now_us:0.0 (rq 0 0.0));
+  check_true "admit 2" (Admission.offer q ~now_us:1.0 (rq 1 1.0));
+  check_true "shed at capacity" (not (Admission.offer q ~now_us:2.0 (rq 2 2.0)));
   check_int "shed counted" 1 (Admission.shed_count q);
   check_float "oldest" 0.0 (Option.get (Admission.oldest_arrival_us q));
   let batch = Admission.take q ~now_us:5.0 ~limit:10 in
@@ -81,12 +81,27 @@ let test_admission_shed () =
 
 let test_admission_deadline () =
   let q = Admission.create ~capacity:8 in
-  ignore (Admission.offer q (rq ~deadline:100.0 0 0.0));
-  ignore (Admission.offer q (rq ~deadline:9_999.0 1 0.0));
+  ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:100.0 0 0.0));
+  ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:9_999.0 1 0.0));
   let batch = Admission.take q ~now_us:500.0 ~limit:10 in
   Alcotest.(check (list int)) "expired dropped" [ 1 ]
     (List.map (fun r -> r.Admission.rq_id) batch);
   check_int "expired counted" 1 (Admission.expired_count q)
+
+let test_admission_sweep_on_offer () =
+  let q = Admission.create ~capacity:2 in
+  ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:10.0 0 0.0));
+  ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:10.0 1 0.0));
+  (* The queue is full, but both residents are already past their deadline
+     at t=50: offer must sweep them and admit rather than shed. *)
+  check_true "admitted after sweep" (Admission.offer q ~now_us:50.0 (rq 2 50.0));
+  check_int "expired counted at offer time" 2 (Admission.expired_count q);
+  check_int "nothing shed" 0 (Admission.shed_count q);
+  check_int "only the live request queued" 1 (Admission.length q);
+  (* A full queue of live requests still sheds. *)
+  ignore (Admission.offer q ~now_us:51.0 (rq 3 51.0));
+  check_true "live-full queue sheds" (not (Admission.offer q ~now_us:52.0 (rq 4 52.0)));
+  check_int "shed counted" 1 (Admission.shed_count q)
 
 (* --- Batcher --- *)
 
@@ -151,7 +166,7 @@ let linear_cost ~fixed ~per_item batch =
 let simulate ?(config = Server.default_config) ~arrivals () =
   Server.simulate config ~arrivals
     ~payload:(fun i -> i)
-    ~execute:(linear_cost ~fixed:100.0 ~per_item:10.0)
+    ~execute:(Server.infallible (linear_cost ~fixed:100.0 ~per_item:10.0))
 
 let test_timeout_partial_batch () =
   let config =
@@ -214,21 +229,146 @@ let test_simulation_deterministic () =
   in
   Alcotest.(check string) "same seed, same summary JSON" (run ()) (run ())
 
+(* --- Fault tolerance: retry, bisection, breaker, degradation --- *)
+
+let fault ?(latency = 50.0) ?(transient = true) ?(oom = false) reason =
+  Server.Exec_fault
+    { ef_latency_us = latency; ef_reason = reason; ef_transient = transient; ef_oom = oom }
+
+let ok batch = Server.Exec_ok (linear_cost ~fixed:100.0 ~per_item:10.0 batch)
+
+let test_ft_retry_transient () =
+  (* Every batch's first attempt fails transiently; its retry succeeds. *)
+  let run () =
+    let seen = Hashtbl.create 16 in
+    let execute ~degraded:_ batch =
+      if Hashtbl.mem seen batch then ok batch
+      else begin
+        Hashtbl.add seen batch ();
+        fault "flake"
+      end
+    in
+    let arrivals =
+      Traffic.arrivals ~rng:(Rng.create 4) (Traffic.Poisson { rate_per_s = 3000.0 }) ~n:40
+    in
+    Stats.summarize
+      (Server.simulate Server.default_config ~arrivals ~payload:(fun i -> i) ~execute)
+  in
+  let s = run () in
+  check_int "all complete despite faults" 40 s.Stats.s_completed;
+  check_true "faults recorded" (s.Stats.s_fault_batches > 0);
+  check_int "every fault was retried" s.Stats.s_fault_batches s.Stats.s_retries;
+  check_int "nothing dropped" 0 s.Stats.s_poisoned;
+  check_int "breaker never opened" 0 s.Stats.s_breaker_opens;
+  check_true "goodput is 1" (Stats.goodput s = 1.0);
+  (* Satellite: same seed + same fault behaviour => byte-identical stats. *)
+  let json s = Json.to_string (Stats.summary_to_json s) in
+  Alcotest.(check string) "byte-identical stats across runs" (json s) (json (run ()))
+
+let test_ft_bisection_isolates_poison () =
+  let executed = ref [] in
+  let execute ~degraded:_ batch =
+    if List.mem 5 batch then fault ~transient:false "poison"
+    else begin
+      executed := batch :: !executed;
+      ok batch
+    end
+  in
+  let config =
+    { Server.default_config with
+      Server.policy = Batcher.Fixed { max_batch = 16; max_wait_us = 500.0 } }
+  in
+  let arrivals = Traffic.arrivals ~rng:(Rng.create 1) (Traffic.Burst { at_us = 0.0 }) ~n:16 in
+  let s =
+    Stats.summarize (Server.simulate config ~arrivals ~payload:(fun i -> i) ~execute)
+  in
+  check_int "15 of 16 complete" 15 s.Stats.s_completed;
+  check_int "exactly one request dropped" 1 s.Stats.s_poisoned;
+  check_true "bisection ran" (s.Stats.s_bisections > 0);
+  let completed_ids = List.sort compare (List.concat !executed) in
+  Alcotest.(check (list int)) "exactly the poison id is missing"
+    (List.filter (fun i -> i <> 5) (List.init 16 Fun.id))
+    completed_ids
+
+let test_ft_circuit_breaker () =
+  (* The device is down for the first 7 attempts, then recovers: the breaker
+     must open after the failure threshold, shed arrivals while open, and
+     close via the half-open probe once the device answers again. *)
+  let attempts = ref 0 in
+  let execute ~degraded:_ batch =
+    incr attempts;
+    if !attempts <= 7 then fault "device down" else ok batch
+  in
+  let config = { Server.default_config with Server.policy = Batcher.Batch1 } in
+  let arrivals = Array.init 30 (fun i -> float_of_int i *. 2_000.0) in
+  let s =
+    Stats.summarize (Server.simulate config ~arrivals ~payload:(fun i -> i) ~execute)
+  in
+  check_true "breaker opened" (s.Stats.s_breaker_opens >= 1);
+  check_true "arrivals shed while open" (s.Stats.s_breaker_shed > 0);
+  check_true "served again after the probe closed it" (s.Stats.s_completed > 0);
+  check_int "every request accounted" 30
+    (s.Stats.s_completed + s.Stats.s_poisoned + s.Stats.s_breaker_shed);
+  check_true "goodput reflects the outage" (Stats.goodput s < 1.0)
+
+let test_ft_oom_shrinks_batches () =
+  (* Any batch wider than 2 OOMs: the cap must shrink until work fits, and
+     every request must still complete — bisection re-splits the wide ones. *)
+  let execute ~degraded:_ batch =
+    if List.length batch > 2 then fault ~transient:false ~oom:true "oom" else ok batch
+  in
+  let config =
+    { Server.default_config with
+      Server.policy = Batcher.Fixed { max_batch = 8; max_wait_us = 500.0 } }
+  in
+  let arrivals = Traffic.arrivals ~rng:(Rng.create 1) (Traffic.Burst { at_us = 0.0 }) ~n:24 in
+  let s =
+    Stats.summarize (Server.simulate config ~arrivals ~payload:(fun i -> i) ~execute)
+  in
+  check_int "all complete" 24 s.Stats.s_completed;
+  check_int "nothing dropped" 0 s.Stats.s_poisoned;
+  check_true "ooms recorded" (s.Stats.s_fault_batches > 0);
+  check_true "shrunk batches ran in degraded mode" (s.Stats.s_degraded_batches > 0)
+
+let test_ft_pressure_degradation () =
+  let degraded_calls = ref 0 in
+  let execute ~degraded batch =
+    if degraded then incr degraded_calls;
+    ok batch
+  in
+  let tolerance =
+    { Server.default_tolerance with
+      Server.degrade_high_frac = 0.5; Server.degrade_low_frac = 0.1 }
+  in
+  let config =
+    { Server.default_config with
+      Server.policy = Batcher.Fixed { max_batch = 4; max_wait_us = 500.0 };
+      Server.queue_capacity = 8;
+      Server.tolerance = tolerance }
+  in
+  let arrivals = Traffic.arrivals ~rng:(Rng.create 2) (Traffic.Burst { at_us = 0.0 }) ~n:8 in
+  let s =
+    Stats.summarize (Server.simulate config ~arrivals ~payload:(fun i -> i) ~execute)
+  in
+  check_int "all complete" 8 s.Stats.s_completed;
+  check_true "queue pressure engaged degraded mode" (s.Stats.s_degraded_batches > 0);
+  check_true "executor saw the degraded flag" (!degraded_calls > 0)
+
 (* --- End to end on a real compiled model --- *)
 
-let serve_tiny ~policy =
-  serve_model ~iters:50 ~policy
+let serve_tiny ?faults ~policy () =
+  serve_model ~iters:50 ~policy ?faults
     ~process:(Traffic.Poisson { rate_per_s = 8000.0 })
     ~requests:80 ~seed:3 (Models.tiny "treelstm")
 
 let test_serve_model_deterministic () =
   let json r = Json.to_string (serve_report_json r) in
-  let a = serve_tiny ~policy:Server.default_config.Server.policy in
-  let b = serve_tiny ~policy:Server.default_config.Server.policy in
+  let a = serve_tiny ~policy:Server.default_config.Server.policy () in
+  let b = serve_tiny ~policy:Server.default_config.Server.policy () in
   Alcotest.(check string) "identical report JSON" (json a) (json b)
 
 let test_adaptive_beats_batch1 () =
-  let summary policy = (serve_tiny ~policy).sv_summary in
+  let summary policy = (serve_tiny ~policy ()).sv_summary in
   let b1 = summary Batcher.Batch1 in
   let ad = summary (Batcher.Adaptive { max_batch = 16; max_wait_us = 2000.0 }) in
   check_true "adaptive throughput strictly higher"
@@ -237,6 +377,53 @@ let test_adaptive_beats_batch1 () =
   check_true "adaptive actually batches" (ad.Stats.s_mean_batch > 1.5);
   check_int "batch1 never batches" 80 b1.Stats.s_batches
 
+let test_serve_model_goodput_under_faults () =
+  (* ISSUE acceptance: a 5% transient kernel-fault rate must not cost more
+     than 10% of fault-free goodput — retry + bisection + breaker absorb it. *)
+  let policy = Batcher.Adaptive { max_batch = 16; max_wait_us = 2000.0 } in
+  let clean = (serve_tiny ~policy ()).sv_summary in
+  let faulty =
+    (serve_tiny ~faults:(Faults.parse "seed=7,kernel=0.05") ~policy ()).sv_summary
+  in
+  check_true "faults were actually injected" (faulty.Stats.s_fault_batches > 0);
+  check_true "retries ran" (faulty.Stats.s_retries > 0);
+  check_true "goodput within 90% of fault-free"
+    (Stats.goodput faulty >= 0.9 *. Stats.goodput clean)
+
+let test_serve_model_poison_isolated () =
+  (* A poisoned request id must be the only drop: bisection fences it off
+     while the rest of its batch completes. *)
+  let policy = Batcher.Adaptive { max_batch = 16; max_wait_us = 2000.0 } in
+  let s = (serve_tiny ~faults:(Faults.parse "poison=5") ~policy ()).sv_summary in
+  check_int "only the poison dropped" 1 s.Stats.s_poisoned;
+  check_int "everyone else completes" 79 s.Stats.s_completed;
+  check_int "nothing shed" 0 (s.Stats.s_shed + s.Stats.s_breaker_shed)
+
+let test_serve_model_faulty_deterministic () =
+  (* Satellite: same seed + same fault plan => byte-identical stats JSON. *)
+  let run () =
+    Json.to_string
+      (serve_report_json
+         (serve_tiny
+            ~faults:(Faults.parse "seed=11,kernel=0.08,straggler=0.05x4,reset=0.01")
+            ~policy:Server.default_config.Server.policy ()))
+  in
+  Alcotest.(check string) "identical faulty report JSON" (run ()) (run ())
+
+let test_degraded_variant_wired () =
+  (* Early-exit models expose a degraded variant that shares input and
+     weight shapes with the primary; others advertise none. *)
+  let b = Models.tiny "berxit" in
+  (match b.Model.degraded with
+  | None -> Alcotest.fail "berxit should carry a degraded variant"
+  | Some d ->
+    check_true "degraded source differs (higher exit probability)"
+      (d.Model.source <> b.Model.source);
+    check_true "degraded variant is terminal" (d.Model.degraded = None);
+    Alcotest.(check (list string)) "same inputs" b.Model.inputs d.Model.inputs);
+  check_true "treelstm has no degraded variant"
+    ((Models.tiny "treelstm").Model.degraded = None)
+
 let suite =
   [
     Alcotest.test_case "event loop: order + clamp" `Quick test_event_loop_order;
@@ -244,6 +431,8 @@ let suite =
     Alcotest.test_case "traffic: burst + bursty" `Quick test_traffic_burst_and_bursty;
     Alcotest.test_case "admission: shed at capacity" `Quick test_admission_shed;
     Alcotest.test_case "admission: deadline expiry" `Quick test_admission_deadline;
+    Alcotest.test_case "admission: sweep expired on offer" `Quick
+      test_admission_sweep_on_offer;
     Alcotest.test_case "batcher: fixed policy decisions" `Quick test_batcher_fixed_decide;
     Alcotest.test_case "batcher: timeout wake always flushes" `Quick
       test_batcher_timeout_wake_flushes;
@@ -254,7 +443,23 @@ let suite =
     Alcotest.test_case "server: burst coalesces into full batches" `Quick
       test_burst_batching_invariant;
     Alcotest.test_case "server: deterministic replay" `Quick test_simulation_deterministic;
+    Alcotest.test_case "ft: transient faults retry to completion" `Quick
+      test_ft_retry_transient;
+    Alcotest.test_case "ft: bisection isolates the poison request" `Quick
+      test_ft_bisection_isolates_poison;
+    Alcotest.test_case "ft: circuit breaker opens, sheds, probes closed" `Quick
+      test_ft_circuit_breaker;
+    Alcotest.test_case "ft: OOM shrinks the batch cap" `Quick test_ft_oom_shrinks_batches;
+    Alcotest.test_case "ft: queue pressure degrades service" `Quick
+      test_ft_pressure_degradation;
     Alcotest.test_case "serve_model: deterministic report" `Quick
       test_serve_model_deterministic;
     Alcotest.test_case "serve_model: adaptive beats batch1" `Quick test_adaptive_beats_batch1;
+    Alcotest.test_case "serve_model: goodput under 5% kernel faults" `Quick
+      test_serve_model_goodput_under_faults;
+    Alcotest.test_case "serve_model: poison request isolated end to end" `Quick
+      test_serve_model_poison_isolated;
+    Alcotest.test_case "serve_model: faulty run deterministic" `Quick
+      test_serve_model_faulty_deterministic;
+    Alcotest.test_case "models: degraded variants wired" `Quick test_degraded_variant_wired;
   ]
