@@ -12,14 +12,21 @@ test:
 
 # Tier-1 gate: full build (warnings are errors in the dev profile — see the
 # env stanza in dune-project), the whole test suite, then end-to-end serving
-# smoke runs — fault-free and fault-injected — to catch CLI wiring breakage
-# that unit tests can miss.
+# smoke runs — fault-free, fault-injected (gated on goodput), and a
+# replicated cluster with a dead-device replica — to catch CLI wiring
+# breakage that unit tests can miss. The cluster bench smoke writes
+# BENCH_cluster.json (uploaded as a CI artifact).
 check: build test
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 2000 --requests 50 --iters 100
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 2000 --requests 50 --iters 100 \
-	  --faults "seed=7,kernel=0.05,straggler=0.02x6,reset=0.001"
+	  --faults "seed=7,kernel=0.05,straggler=0.02x6,reset=0.001" \
+	  --min-goodput 0.9
+	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
+	  --rate 2000 --requests 50 --iters 100 --replicas 3 --hedge 90 \
+	  --faults "seed=7,kernel=0.75,reset=0.1" --min-goodput 0.95
+	dune exec bench/main.exe -- cluster --json BENCH_cluster.json
 
 bench:
 	dune exec bench/main.exe

@@ -346,6 +346,45 @@ let faults () =
            ])
        rows)
 
+(* --- Serving: replicated cluster (failover + hedging) --- *)
+
+let cluster () =
+  hr "Serving: replicated cluster — failover availability and hedged tails";
+  pf "%-22s %4s %6s | %8s %5s %8s %8s | %5s %5s %6s %5s\n" "scenario" "reps" "hedge"
+    "goodput" "done" "p50" "p99" "fails" "requ" "hedges" "wins";
+  let rows = E.serve_cluster_bench () in
+  List.iter
+    (fun (r : E.cluster_row) ->
+      let hedge = match r.cl_hedge with None -> "off" | Some p -> Printf.sprintf "p%.0f" p in
+      pf "%-22s %4d %6s | %7.1f%% %5d %6.2fms %6.2fms | %5d %5d %6d %5d\n" r.cl_label
+        r.cl_replicas hedge
+        (100.0 *. r.cl_goodput)
+        r.cl_completed r.cl_p50 r.cl_p99 r.cl_failovers r.cl_requeued r.cl_hedges
+        r.cl_hedge_wins)
+    rows;
+  pf
+    "(expected shape: the faulty replica collapses the single server's goodput; with \
+     replicas to fail over to it recovers >= 99%%; hedging cuts the straggler p99)\n";
+  J.List
+    (List.map
+       (fun (r : E.cluster_row) ->
+         J.Obj
+           [
+             "scenario", J.Str r.cl_label;
+             "replicas", J.Int r.cl_replicas;
+             ( "hedge_percentile",
+               match r.cl_hedge with None -> J.Null | Some p -> J.Float p );
+             "goodput", J.Float r.cl_goodput;
+             "completed", J.Int r.cl_completed;
+             "p50_ms", J.Float r.cl_p50;
+             "p99_ms", J.Float r.cl_p99;
+             "failovers", J.Int r.cl_failovers;
+             "requeued", J.Int r.cl_requeued;
+             "hedges", J.Int r.cl_hedges;
+             "hedge_wins", J.Int r.cl_hedge_wins;
+           ])
+       rows)
+
 (* --- bechamel micro-benchmarks over runtime hot paths --- *)
 
 let micro () =
@@ -365,6 +404,7 @@ let experiments =
     "fig9", fig9;
     "serve", serve;
     "faults", faults;
+    "cluster", cluster;
     "extras", extras;
     "micro", micro;
   ]

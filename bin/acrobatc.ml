@@ -214,7 +214,7 @@ let bench_cmd =
 
 let serve_cmd =
   let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
-      burst seed iters faults_spec json_path =
+      burst seed iters faults_specs replicas dispatch hedge min_goodput json_path =
     guarded @@ fun () ->
     let model =
       match size with
@@ -240,22 +240,70 @@ let serve_cmd =
           }
       else Serve.Traffic.Poisson { rate_per_s = rate }
     in
-    let faults = match faults_spec with None -> Faults.none | Some s -> Faults.parse s in
-    let report =
-      serve_model ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~faults ~process
-        ~requests ~seed model
+    if replicas < 1 then Fmt.invalid_arg "--replicas must be >= 1";
+    let dispatch =
+      match Serve.Cluster.dispatch_of_string dispatch with
+      | Some d -> d
+      | None -> Fmt.invalid_arg "unknown dispatch %S (rr|jsq|lel)" dispatch
     in
+    let fault_plans = List.map Faults.parse faults_specs in
+    if List.length fault_plans > replicas then
+      Fmt.invalid_arg "%d fault plans for %d replicas" (List.length fault_plans) replicas;
     Fmt.pr "model %s (%s)   traffic %a   policy %a   seed %d@.@." model_id size
       Serve.Traffic.pp_process process Serve.Batcher.pp_policy policy seed;
-    if Faults.enabled faults then Fmt.pr "fault plan: %a@.@." Faults.pp_plan faults;
-    Fmt.pr "%a@.@." Serve.Stats.pp_summary report.sv_summary;
-    Fmt.pr "cumulative device activity:@.%a@." Profiler.pp report.sv_profiler;
-    Option.iter
-      (fun path ->
-        Serve.Json.to_file path (serve_report_json report);
-        Fmt.pr "wrote %s@." path)
-      json_path;
-    0
+    List.iteri
+      (fun i p ->
+        if Faults.enabled p then Fmt.pr "fault plan (replica %d): %a@." i Faults.pp_plan p)
+      fault_plans;
+    if List.exists Faults.enabled fault_plans then Fmt.pr "@.";
+    let summary =
+      if replicas = 1 && hedge = None then begin
+        (* Single-server path: byte-stable with previous releases. *)
+        let faults = match fault_plans with [] -> Faults.none | p :: _ -> p in
+        let report =
+          serve_model ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~faults
+            ~process ~requests ~seed model
+        in
+        Fmt.pr "%a@.@." Serve.Stats.pp_summary report.sv_summary;
+        Fmt.pr "cumulative device activity:@.%a@." Profiler.pp report.sv_profiler;
+        Option.iter
+          (fun path ->
+            Serve.Json.to_file path (serve_report_json report);
+            Fmt.pr "wrote %s@." path)
+          json_path;
+        report.sv_summary
+      end
+      else begin
+        let report =
+          serve_cluster ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~fault_plans
+            ~dispatch ?hedge_percentile:hedge ~replicas ~process ~requests ~seed model
+        in
+        Fmt.pr "cluster of %d replicas   dispatch %s%a@.@." replicas
+          (Serve.Cluster.dispatch_name dispatch)
+          Fmt.(option (fun ppf p -> Fmt.pf ppf "   hedge p%g" p))
+          hedge;
+        Fmt.pr "%a@.@." Serve.Stats.pp_summary report.cr_summary;
+        List.iter
+          (fun rr ->
+            Fmt.pr "replica %d (%s): completed %d, batches %d, failovers %d@." rr.rr_id
+              rr.rr_health rr.rr_summary.Serve.Stats.s_completed
+              rr.rr_summary.Serve.Stats.s_batches rr.rr_summary.Serve.Stats.s_failovers)
+          report.cr_replicas;
+        Fmt.pr "@.cumulative device activity:@.%a@." Profiler.pp report.cr_profiler;
+        Option.iter
+          (fun path ->
+            Serve.Json.to_file path (cluster_report_json report);
+            Fmt.pr "wrote %s@." path)
+          json_path;
+        report.cr_summary
+      end
+    in
+    match min_goodput with
+    | Some frac when Serve.Stats.goodput summary < frac ->
+      Fmt.epr "error: goodput %.4f below --min-goodput %.4f@."
+        (Serve.Stats.goodput summary) frac;
+      1
+    | _ -> 0
   in
   let model_arg =
     Arg.(value & opt string "treelstm" & info [ "model" ] ~docv:"ID" ~doc:"Catalog model.")
@@ -306,12 +354,46 @@ let serve_cmd =
   in
   let faults_arg =
     Arg.(
-      value & opt (some string) None
+      value & opt_all string []
       & info [ "faults" ] ~docv:"PLAN"
           ~doc:
             "Deterministic fault-injection plan, e.g. \
              'seed=7,kernel=0.05,straggler=0.02x6,reset=0.001,capacity=200000,poison=3+17'. \
-             Enables retry, bisection, circuit breaking and graceful degradation.")
+             Enables retry, bisection, circuit breaking and graceful degradation. \
+             Repeatable with --replicas: the i-th plan applies to replica i (replicas \
+             without a plan run fault-free).")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:
+            "Serve from N replicas with health-checked failover and in-flight requeue \
+             (see --dispatch, --hedge).")
+  in
+  let dispatch_arg =
+    Arg.(
+      value & opt string "jsq"
+      & info [ "dispatch" ] ~docv:"POLICY"
+          ~doc:
+            "Replica dispatch policy: rr (round-robin), jsq (join shortest queue) or lel \
+             (least expected latency).")
+  in
+  let hedge_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "hedge" ] ~docv:"P"
+          ~doc:
+            "Hedge straggling requests: re-issue on another replica after the P-th \
+             percentile (e.g. 95) of recent latency; first completion wins.")
+  in
+  let min_goodput_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "min-goodput" ] ~docv:"FRAC"
+          ~doc:
+            "Exit nonzero when goodput (completed/offered) falls below FRAC — makes \
+             fault-injected smoke runs assert availability.")
   in
   let json_arg =
     Arg.(
@@ -323,7 +405,8 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ size_arg $ rate_arg $ policy_arg $ requests_arg
       $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
-      $ iters_arg $ faults_arg $ json_arg)
+      $ iters_arg $ faults_arg $ replicas_arg $ dispatch_arg $ hedge_arg $ min_goodput_arg
+      $ json_arg)
 
 let () =
   let info = Cmd.info "acrobatc" ~version:"1.0" ~doc:"The ACROBAT compiler driver." in

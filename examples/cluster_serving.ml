@@ -1,0 +1,71 @@
+(** Replicated serving: failover and hedged requests.
+
+    [serving.ml] shows one survivable server; this example puts three
+    replicas of the same compiled TreeLSTM behind the cluster dispatcher
+    and demonstrates the two mechanisms a single server cannot provide:
+
+    - {b Failover}: replica 0 carries a fault plan harsh enough to open a
+      lone server's circuit breaker (75% kernel faults plus resets). Served
+      alone it loses almost every request; in the cluster the health
+      monitor fails it over and its queued and in-flight work is requeued
+      onto the healthy peers, so cluster goodput stays near 100%.
+    - {b Hedging}: all three replicas occasionally straggle 8x. Arming a
+      hedge at the p90 of recent latency duplicates just the slow tail onto
+      a second replica; first completion wins, and p99 drops.
+
+    Run with: [dune exec examples/cluster_serving.exe] *)
+
+open Acrobat
+
+let requests = 150
+let seed = 11
+let process = Serve.Traffic.Poisson { rate_per_s = 4000.0 }
+
+let pp_replicas reports =
+  List.iter
+    (fun r ->
+      Fmt.pr "  replica %d (%s): completed %d, batches %d@." r.rr_id r.rr_health
+        r.rr_summary.Serve.Stats.s_completed r.rr_summary.Serve.Stats.s_batches)
+    reports
+
+let () =
+  let model = Models.tiny "treelstm" in
+  let faulty = Faults.parse "seed=7,kernel=0.75,reset=0.1" in
+  Fmt.pr "Replicated serving of %s, %d requests@.@." model.Model.name requests;
+
+  (* One server under the faulty plan: the breaker opens and goodput
+     collapses. *)
+  let alone =
+    serve_model ~iters:50 ~faults:faulty ~process ~requests ~seed model
+  in
+  Fmt.pr "--- single server, faulty device ---@.%a@.@." Serve.Stats.pp_summary
+    alone.sv_summary;
+
+  (* Three replicas, same plan on replica 0 only: failover absorbs it. *)
+  let cluster =
+    serve_cluster ~iters:50 ~replicas:3 ~fault_plans:[ faulty ] ~process ~requests
+      ~seed model
+  in
+  Fmt.pr "--- 3 replicas, same plan on replica 0 ---@.%a@." Serve.Stats.pp_summary
+    cluster.cr_summary;
+  pp_replicas cluster.cr_replicas;
+  Fmt.pr "@.";
+
+  (* Stragglers everywhere: hedging at p90 cuts the tail. *)
+  let strag i = Faults.parse (Fmt.str "seed=%d,straggler=0.15x8" (5 + i)) in
+  let plans = [ strag 0; strag 1; strag 2 ] in
+  let plain =
+    serve_cluster ~iters:50 ~replicas:3 ~fault_plans:plans ~process ~requests ~seed
+      model
+  in
+  let hedged =
+    serve_cluster ~iters:50 ~replicas:3 ~fault_plans:plans ~hedge_percentile:90.0
+      ~process ~requests ~seed model
+  in
+  Fmt.pr "--- stragglers, no hedging ---@.%a@.@." Serve.Stats.pp_summary
+    plain.cr_summary;
+  Fmt.pr "--- stragglers, hedge at p90 ---@.%a@.@." Serve.Stats.pp_summary
+    hedged.cr_summary;
+  Fmt.pr "hedging: p99 %.2f ms -> %.2f ms (%d hedges, %d wins)@."
+    plain.cr_summary.Serve.Stats.s_p99_ms hedged.cr_summary.Serve.Stats.s_p99_ms
+    hedged.cr_summary.Serve.Stats.s_hedges hedged.cr_summary.Serve.Stats.s_hedge_wins

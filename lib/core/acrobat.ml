@@ -177,6 +177,7 @@ let fault_executor ?(seed = 2024) ~(injector : Faults.t) ~(primary : compiled) ?
         ef_reason = Fmt.str "poisoned request #%d" id;
         ef_transient = false;
         ef_oom = false;
+        ef_reset = false;
       }
   | None ->
     let c = if degraded then Option.value ~default:primary degraded_c else primary in
@@ -196,6 +197,7 @@ let fault_executor ?(seed = 2024) ~(injector : Faults.t) ~(primary : compiled) ?
           ef_reason = Fmt.str "%s at launch %d" (Faults.kind_name kind) launch;
           ef_transient = true;
           ef_oom = false;
+          ef_reset = (kind = Faults.Device_reset);
         }
     | exception Memory.Device_oom { requested; in_use; capacity } ->
       Serve.Server.Exec_fault
@@ -205,6 +207,7 @@ let fault_executor ?(seed = 2024) ~(injector : Faults.t) ~(primary : compiled) ?
             Fmt.str "device OOM (requested %d, in use %d / %d)" requested in_use capacity;
           ef_transient = false;
           ef_oom = true;
+          ef_reset = false;
         })
 
 (** Simulate serving [requests] independently-arriving instances of [model]
@@ -277,3 +280,128 @@ let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     Serve.Server.simulate config ~arrivals ~payload:(fun i -> payloads.(i)) ~execute
   in
   { sv_summary = Serve.Stats.summarize stats; sv_profiler = stats.Serve.Stats.profiler }
+
+(* --- Replicated serving (lib/serve/cluster) glue --- *)
+
+(** Per-replica slice of a cluster run's report. *)
+type replica_report = {
+  rr_id : int;
+  rr_health : string;  (** Final health: up / probing / down. *)
+  rr_summary : Serve.Stats.summary;
+}
+
+(** The outcome of a cluster serving run: the aggregate SLO summary (one
+    terminal outcome per request, hedge/failover counters included), the
+    merged device profile across all replicas, and per-replica views. *)
+type cluster_report = {
+  cr_summary : Serve.Stats.summary;
+  cr_profiler : Profiler.t;
+  cr_replicas : replica_report list;
+}
+
+let cluster_report_json (r : cluster_report) : Serve.Json.t =
+  Serve.Json.Obj
+    [
+      "cluster", Serve.Stats.summary_to_json r.cr_summary;
+      ( "replicas",
+        Serve.Json.List
+          (List.map
+             (fun rr ->
+               Serve.Json.Obj
+                 [
+                   "id", Serve.Json.Int rr.rr_id;
+                   "health", Serve.Json.Str rr.rr_health;
+                   "stats", Serve.Stats.summary_to_json rr.rr_summary;
+                 ])
+             r.cr_replicas) );
+    ]
+
+(** Simulate serving [requests] across [replicas] replicas of [model] on
+    one virtual timeline (see {!Serve.Cluster}).
+
+    The model is compiled and tuned {e once}; each replica gets its own
+    simulated device and its own fault injector built from [fault_plans]
+    (positional: plan [i] applies to replica [i]; missing entries mean no
+    faults — the way to make one replica flaky while its peers stay
+    healthy). [dispatch] picks the routing policy and [hedge_percentile]
+    enables hedged requests. With [replicas = 1], no faults and hedging
+    off, the aggregate summary is identical to {!serve_model}'s. *)
+let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
+    ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
+    ?deadline_ms ?arrivals ?(fault_plans = []) ?tolerance
+    ?(dispatch = Serve.Cluster.Join_shortest_queue) ?hedge_percentile
+    ?(replicas = 1) ~(process : Serve.Traffic.process) ~(requests : int) ~(seed : int)
+    (model : Model.t) : cluster_report =
+  let c, weights = compile_model ~framework ?iters model ~batch:8 ~seed in
+  let payload_rng = Rng.create ((seed * 31) + 5) in
+  let payloads =
+    Array.init requests (fun i -> i, model.Model.gen_instance payload_rng)
+  in
+  let arrivals =
+    match arrivals with
+    | Some a -> a
+    | None -> Serve.Traffic.arrivals ~rng:(Rng.create ((seed * 53) + 11)) process ~n:requests
+  in
+  let plan_for i = try List.nth fault_plans i with _ -> Faults.none in
+  let fault_mode = List.exists Faults.enabled fault_plans in
+  let tolerance =
+    match tolerance with
+    | Some t -> t
+    | None ->
+      if fault_mode then
+        { Serve.Server.default_tolerance with Serve.Server.degrade_high_frac = 0.85 }
+      else Serve.Server.default_tolerance
+  in
+  let server_config =
+    {
+      Serve.Server.policy;
+      queue_capacity;
+      deadline_us = Option.map (fun ms -> ms *. 1000.0) deadline_ms;
+      cost = Cost_model.default;
+      tolerance;
+    }
+  in
+  let degraded_c =
+    if fault_mode then
+      Option.map
+        (fun dm -> fst (compile_model ~framework ?iters dm ~batch:8 ~seed))
+        model.Model.degraded
+    else None
+  in
+  (* One executor (and one injector) per replica: a retried or failed-over
+     batch lands on a device with its own independent fault stream. *)
+  let executors =
+    Array.init replicas (fun i ->
+        let plan = plan_for i in
+        if Faults.enabled plan then
+          let injector = Faults.create plan in
+          fault_executor ~seed ~injector ~primary:c ?degraded_c ~weights ()
+        else
+          Serve.Server.infallible (fun batch ->
+              batch_executor ~seed c ~weights (List.map snd batch)))
+  in
+  let cfg =
+    {
+      Serve.Cluster.default_config with
+      Serve.Cluster.c_server = server_config;
+      c_replicas = replicas;
+      c_dispatch = dispatch;
+      c_hedge_percentile = hedge_percentile;
+    }
+  in
+  let report =
+    Serve.Cluster.simulate cfg ~arrivals ~payload:(fun i -> payloads.(i)) ~executors
+  in
+  {
+    cr_summary = Serve.Stats.summarize report.Serve.Cluster.cluster_stats;
+    cr_profiler = report.Serve.Cluster.cluster_stats.Serve.Stats.profiler;
+    cr_replicas =
+      List.map
+        (fun (v : Serve.Cluster.replica_view) ->
+          {
+            rr_id = v.Serve.Cluster.rv_id;
+            rr_health = Serve.Replica.health_name v.Serve.Cluster.rv_health;
+            rr_summary = Serve.Stats.summarize v.Serve.Cluster.rv_stats;
+          })
+        report.Serve.Cluster.replica_views;
+  }

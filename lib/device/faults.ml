@@ -133,10 +133,38 @@ let parse (spec : string) : plan =
             (String.split_on_char '+' v)
         in
         { plan with poison = ids }
-      | other -> fail "unknown key %S" other)
+      | other ->
+        fail "unknown key %S (valid keys: seed, kernel, straggler, reset, capacity, poison)"
+          other)
   in
   List.fold_left field none
     (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
+
+(* Shortest decimal form that parses back to exactly [f]. *)
+let float_spec (f : float) : string =
+  let s = Fmt.str "%.12g" f in
+  if float_of_string s = f then s else Fmt.str "%.17g" f
+
+(** Render [p] in the comma-separated [key=value] form {!parse} accepts;
+    [parse (to_spec p) = p] for any plan (round-trip tested). Zero-rate
+    fields are still emitted so the spec is self-describing; [capacity] and
+    [poison] are omitted when absent/empty, matching their parse defaults. *)
+let to_spec (p : plan) : string =
+  let base =
+    Fmt.str "seed=%d,kernel=%s,straggler=%sx%s,reset=%s" p.seed
+      (float_spec p.kernel_fault_rate)
+      (float_spec p.straggler_rate) (float_spec p.straggler_mult)
+      (float_spec p.reset_rate)
+  in
+  let capacity =
+    match p.capacity_elems with None -> "" | Some c -> Fmt.str ",capacity=%d" c
+  in
+  let poison =
+    match p.poison with
+    | [] -> ""
+    | ids -> Fmt.str ",poison=%a" Fmt.(list ~sep:(any "+") int) ids
+  in
+  base ^ capacity ^ poison
 
 (* --- The stateful injector --- *)
 

@@ -37,46 +37,67 @@ let oldest_arrival_us t = Option.map (fun r -> r.rq_arrival_us) (Queue.peek_opt 
 let expired_at ~now_us (r : 'a request) =
   match r.rq_deadline_us with Some d -> now_us > d | None -> false
 
-(* Drop (and count) every already-expired request in place. Only called when
-   the queue is full: sweeping on each offer would be O(n) per arrival for
-   no benefit, but a full queue of dead requests must not shed live ones. *)
-let sweep_expired t ~now_us =
+(* Drop (and count) every already-expired request in place, returning the
+   dropped requests. Only called when the queue is full: sweeping on each
+   offer would be O(n) per arrival for no benefit, but a full queue of dead
+   requests must not shed live ones. *)
+let sweep_expired t ~now_us : 'a request list =
   let live = Queue.create () in
+  let dropped = ref [] in
   Queue.iter
     (fun r ->
-      if expired_at ~now_us r then t.expired <- t.expired + 1 else Queue.push r live)
+      if expired_at ~now_us r then begin
+        t.expired <- t.expired + 1;
+        dropped := r :: !dropped
+      end
+      else Queue.push r live)
     t.q;
   Queue.clear t.q;
-  Queue.transfer live t.q
+  Queue.transfer live t.q;
+  List.rev !dropped
+
+(** Like {!offer}, but also returns the requests the full-queue sweep
+    expired — the cluster layer needs per-request visibility to keep its
+    request-id accounting exact, where the single server only needs the
+    counters. *)
+let offer_swept t ~now_us (r : 'a request) : bool * 'a request list =
+  let swept = if Queue.length t.q >= t.capacity then sweep_expired t ~now_us else [] in
+  if Queue.length t.q >= t.capacity then begin
+    t.shed <- t.shed + 1;
+    false, swept
+  end
+  else begin
+    Queue.push r t.q;
+    true, swept
+  end
 
 (** Admit [r], or shed it when the queue is at capacity. A full queue is
     first swept of requests whose deadline already passed (counted under
     [expired], same as a drop at dequeue) — they were never going to
     execute, and they must not cause a live request to be shed. *)
-let offer t ~now_us (r : 'a request) : bool =
-  if Queue.length t.q >= t.capacity then sweep_expired t ~now_us;
-  if Queue.length t.q >= t.capacity then begin
-    t.shed <- t.shed + 1;
-    false
-  end
-  else begin
-    Queue.push r t.q;
-    true
-  end
+let offer t ~now_us (r : 'a request) : bool = fst (offer_swept t ~now_us r)
 
-(** Pop up to [limit] live requests in FIFO order, silently discarding (and
-    counting) any whose deadline passed while they waited. *)
-let take t ~now_us ~limit : 'a request list =
-  let rec go k acc =
-    if k = 0 then List.rev acc
+(** Like {!take}, but also returns the requests dropped as expired. *)
+let take_with_expired t ~now_us ~limit : 'a request list * 'a request list =
+  let rec go k acc dropped =
+    if k = 0 then List.rev acc, List.rev dropped
     else
       match Queue.take_opt t.q with
-      | None -> List.rev acc
+      | None -> List.rev acc, List.rev dropped
       | Some r ->
         if expired_at ~now_us r then begin
           t.expired <- t.expired + 1;
-          go k acc
+          go k acc (r :: dropped)
         end
-        else go (k - 1) (r :: acc)
+        else go (k - 1) (r :: acc) dropped
   in
-  go limit []
+  go limit [] []
+
+(** Pop up to [limit] live requests in FIFO order, silently discarding (and
+    counting) any whose deadline passed while they waited. *)
+let take t ~now_us ~limit : 'a request list = fst (take_with_expired t ~now_us ~limit)
+
+(** Drain the whole queue: live requests in FIFO order plus the expired
+    remainder (counted). Used on replica failover. *)
+let drain t ~now_us : 'a request list * 'a request list =
+  take_with_expired t ~now_us ~limit:(Queue.length t.q)

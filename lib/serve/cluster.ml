@@ -1,0 +1,430 @@
+(** A replicated serving cluster on one virtual timeline.
+
+    N {!Replica}s — each with its own device, admission queue, batcher
+    state and (via the caller-supplied executor array) its own fault plan —
+    sit behind a dispatcher that owns per-request accounting. The cluster
+    layer adds the three robustness mechanisms a single survivable server
+    cannot provide:
+
+    - {b Health-checked failover.} A replica whose recovery machinery gives
+      up (consecutive-failure threshold, or the stricter consecutive-reset
+      threshold, or a failed probe) goes down; its queued and in-flight
+      requests drain back to the dispatcher and are re-dispatched to
+      healthy peers — each request keeps its original arrival time and
+      deadline, and a bounded requeue budget guarantees termination even if
+      every replica is faulty. After the cooldown the replica accepts a
+      single probe request; success re-admits it.
+    - {b Dispatch policies.} Round-robin, join-shortest-queue, or
+      least-expected-latency (remaining device busy time plus the replica's
+      online latency-model estimate for the queue the request would join).
+    - {b Hedged requests.} When enough completions have been observed, each
+      arrival arms a timer at a percentile of recent end-to-end latency; if
+      the request is still unresolved when the timer fires, a duplicate is
+      issued on a different healthy replica. First completion wins; a
+      duplicate still queued when its winner finishes is dropped unexecuted
+      (a {e cancel}), one that was already executing is counted as
+      {e wasted}.
+
+    {b Accounting invariant} (checked by tests): every offered request
+    terminates exactly once — completed, shed, expired, poisoned, or
+    requeue-budget-exhausted — no matter how many copies hedging created or
+    how many times failover moved it. The dispatcher keeps a per-request-id
+    entry tracking live copies and resolution; replica callbacks funnel
+    every copy-level event through it.
+
+    Determinism: everything runs on the shared {!Event_loop}; the only RNG
+    streams are the per-replica backoff jitter (seeded from the tolerance
+    seed and replica id) and whatever the executors draw internally. Same
+    seeds and fault plans ⇒ byte-identical stats. *)
+
+type dispatch = Round_robin | Join_shortest_queue | Least_expected_latency
+
+let dispatch_name = function
+  | Round_robin -> "rr"
+  | Join_shortest_queue -> "jsq"
+  | Least_expected_latency -> "lel"
+
+let dispatch_of_string = function
+  | "rr" | "round-robin" -> Some Round_robin
+  | "jsq" | "shortest-queue" -> Some Join_shortest_queue
+  | "lel" | "least-latency" -> Some Least_expected_latency
+  | _ -> None
+
+type config = {
+  c_server : Server.config;  (** Per-replica server knobs (shared). *)
+  c_replicas : int;
+  c_dispatch : dispatch;
+  c_hedge_percentile : float option;
+      (** Hedge delay as a percentile (e.g. 95.0) of recent end-to-end
+          latency; [None] disables hedging. *)
+  c_reset_threshold : int;
+      (** Consecutive device resets that fail a replica over (stronger
+          signal than generic faults, so it is tighter than the breaker
+          threshold). *)
+  c_requeue_budget : int;
+      (** Re-dispatches per request before it is dropped; bounds work when
+          every replica is faulty. *)
+}
+
+let default_config =
+  {
+    c_server = Server.default_config;
+    c_replicas = 1;
+    c_dispatch = Join_shortest_queue;
+    c_hedge_percentile = None;
+    c_reset_threshold = 2;
+    c_requeue_budget = 8;
+  }
+
+(* Hedge-delay estimation: percentile over a sliding window of recent
+   winning completions. Too few observations ⇒ no hedging yet (an early
+   wild guess would either never fire or duplicate everything). *)
+let hedge_window = 64
+let hedge_min_obs = 8
+
+(** Dispatcher-side life cycle of one offered request. *)
+type 'a entry = {
+  ent_req : 'a Admission.request;
+  mutable ent_copies : int;  (** Copies queued or in flight somewhere. *)
+  mutable ent_done : bool;  (** Reached its terminal outcome. *)
+  mutable ent_home : int;  (** Replica holding the primary copy. *)
+  mutable ent_hedged : bool;
+  mutable ent_hedge_replica : int;  (** -1 until hedged. *)
+  mutable ent_requeues : int;
+}
+
+type 'a t = {
+  cfg : config;
+  loop : Event_loop.t;
+  mutable replicas : 'a Replica.t array;  (** Filled once during [simulate]. *)
+  stats : Stats.t;  (** Cluster aggregate; terminal outcomes only. *)
+  entries : (int, 'a entry) Hashtbl.t;
+  pending : 'a Admission.request Queue.t;
+      (** Requests with no healthy replica to go to; drained on probe
+          windows and re-admissions. *)
+  mutable rr_next : int;
+  lat_ring : float array;  (** Recent winning latencies (us), circular. *)
+  mutable lat_count : int;
+  mutable lat_idx : int;
+}
+
+let record_latency st lat_us =
+  st.lat_ring.(st.lat_idx) <- lat_us;
+  st.lat_idx <- (st.lat_idx + 1) mod hedge_window;
+  if st.lat_count < hedge_window then st.lat_count <- st.lat_count + 1
+
+let hedge_delay_us st =
+  match st.cfg.c_hedge_percentile with
+  | None -> None
+  | Some p ->
+    if st.lat_count < hedge_min_obs then None
+    else Some (Stats.percentile (Array.sub st.lat_ring 0 st.lat_count) p)
+
+let entry st rq_id = Hashtbl.find st.entries rq_id
+
+(* A copy vanished without completing. When it was the last live copy of an
+   unresolved request, that request's terminal outcome is [terminal]. *)
+let copy_lost st (ent : 'a entry) ~terminal =
+  ent.ent_copies <- ent.ent_copies - 1;
+  if (not ent.ent_done) && ent.ent_copies <= 0 then begin
+    ent.ent_done <- true;
+    match terminal with
+    | `Shed -> st.stats.Stats.shed <- st.stats.Stats.shed + 1
+    | `Expired -> st.stats.Stats.expired <- st.stats.Stats.expired + 1
+    | `Poisoned -> st.stats.Stats.poisoned <- st.stats.Stats.poisoned + 1
+    | `Budget -> st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1
+  end
+
+(* A still-queued copy of an already-resolved request was discarded — the
+   cheap hedge "cancellation". *)
+let copy_cancelled st (ent : 'a entry) =
+  ent.ent_copies <- ent.ent_copies - 1;
+  st.stats.Stats.hedge_cancels <- st.stats.Stats.hedge_cancels + 1
+
+(* --- Dispatch --- *)
+
+(* Pick a healthy replica per the configured policy; [exclude] bars one id
+   (the hedge's primary home). Ties break toward the lowest id, which keeps
+   selection deterministic. *)
+let pick_up st ~exclude ~now_us =
+  let n = Array.length st.replicas in
+  let best = ref None in
+  Array.iteri
+    (fun i rep ->
+      if i <> exclude && Replica.health rep = Replica.Up then begin
+        let key =
+          match st.cfg.c_dispatch with
+          | Round_robin -> float_of_int ((i - st.rr_next + n) mod n)
+          | Join_shortest_queue ->
+            float_of_int (Replica.queue_length rep + if Replica.is_busy rep then 1 else 0)
+          | Least_expected_latency -> Replica.expected_latency_us rep ~now_us
+        in
+        match !best with Some (_, bk) when bk <= key -> () | _ -> best := Some (i, key)
+      end)
+    st.replicas;
+  match !best with
+  | Some (i, _) ->
+    if st.cfg.c_dispatch = Round_robin then st.rr_next <- (i + 1) mod n;
+    Some i
+  | None -> None
+
+(* Probing replicas take priority for a single request at a time: routing
+   one live request there is the price of re-admission, and a failed probe
+   fails over and requeues it, so nothing is lost. *)
+let select st ~now_us =
+  let probe = ref (-1) in
+  Array.iteri
+    (fun i rep -> if !probe < 0 && Replica.wants_probe rep then probe := i)
+    st.replicas;
+  if !probe >= 0 then Some (!probe, true)
+  else
+    match pick_up st ~exclude:(-1) ~now_us with
+    | Some i -> Some (i, false)
+    | None -> None
+
+let rec dispatch st (r : 'a Admission.request) =
+  let ent = entry st r.Admission.rq_id in
+  let now_us = Event_loop.now st.loop in
+  match select st ~now_us with
+  | None -> Queue.push r st.pending
+  | Some (i, is_probe) ->
+    if is_probe then st.stats.Stats.probes <- st.stats.Stats.probes + 1;
+    ent.ent_home <- i;
+    if not (Replica.enqueue st.replicas.(i) r) then copy_lost st ent ~terminal:`Shed
+
+(* Drain the parked queue once a dispatch target (re)appeared. Taking a
+   snapshot first keeps this loop-free: a re-parked request goes back to
+   [pending] without being retried in the same pass. *)
+and drain_pending st =
+  let rec go k =
+    if k > 0 then
+      match Queue.take_opt st.pending with
+      | None -> ()
+      | Some r ->
+        let ent = entry st r.Admission.rq_id in
+        if ent.ent_done then copy_cancelled st ent else dispatch st r;
+        go (k - 1)
+  in
+  go (Queue.length st.pending)
+
+(* --- Hedging --- *)
+
+let maybe_hedge st (ent : 'a entry) =
+  if (not ent.ent_done) && not ent.ent_hedged then begin
+    let now_us = Event_loop.now st.loop in
+    match pick_up st ~exclude:ent.ent_home ~now_us with
+    | None -> () (* nowhere to hedge to; the primary copy stands alone *)
+    | Some i ->
+      ent.ent_hedged <- true;
+      ent.ent_hedge_replica <- i;
+      ent.ent_copies <- ent.ent_copies + 1;
+      st.stats.Stats.hedges <- st.stats.Stats.hedges + 1;
+      if not (Replica.enqueue st.replicas.(i) ent.ent_req) then
+        (* The hedge target shed it; the primary copy is still live, so
+           this never terminates the request. *)
+        copy_lost st ent ~terminal:`Shed
+  end
+
+(* --- Replica callbacks: every copy-level event funnels through here --- *)
+
+let on_live st (r : 'a Admission.request) = not (entry st r.Admission.rq_id).ent_done
+
+let on_completed st ~replica (batch : 'a Admission.request list) ~size ~start_us ~done_us =
+  List.iter
+    (fun (r : 'a Admission.request) ->
+      let ent = entry st r.Admission.rq_id in
+      if not ent.ent_done then begin
+        ent.ent_done <- true;
+        Stats.record st.stats
+          {
+            Stats.r_id = r.Admission.rq_id;
+            r_arrival_us = r.Admission.rq_arrival_us;
+            r_start_us = start_us;
+            r_done_us = done_us;
+            r_batch_size = size;
+          };
+        record_latency st (done_us -. r.Admission.rq_arrival_us);
+        if ent.ent_hedged && replica = ent.ent_hedge_replica then
+          st.stats.Stats.hedge_wins <- st.stats.Stats.hedge_wins + 1
+      end
+      else
+        (* The other copy already won; this execution was duplicated work. *)
+        st.stats.Stats.hedge_wasted <- st.stats.Stats.hedge_wasted + 1;
+      ent.ent_copies <- ent.ent_copies - 1)
+    batch
+
+let on_cancelled st ~replica:_ (r : 'a Admission.request) =
+  copy_cancelled st (entry st r.Admission.rq_id)
+
+let on_expired st ~replica:_ (rs : 'a Admission.request list) =
+  List.iter
+    (fun (r : 'a Admission.request) ->
+      let ent = entry st r.Admission.rq_id in
+      if ent.ent_done then ent.ent_copies <- ent.ent_copies - 1
+      else copy_lost st ent ~terminal:`Expired)
+    rs
+
+let on_poisoned st ~replica:_ (r : 'a Admission.request) =
+  let ent = entry st r.Admission.rq_id in
+  if ent.ent_done then ent.ent_copies <- ent.ent_copies - 1
+  else copy_lost st ent ~terminal:`Poisoned
+
+let on_down st ~replica (requeue : 'a Admission.request list) =
+  ignore replica;
+  st.stats.Stats.failovers <- st.stats.Stats.failovers + 1;
+  List.iter
+    (fun (r : 'a Admission.request) ->
+      let ent = entry st r.Admission.rq_id in
+      if ent.ent_done then copy_cancelled st ent
+      else begin
+        ent.ent_requeues <- ent.ent_requeues + 1;
+        if ent.ent_requeues > st.cfg.c_requeue_budget then
+          copy_lost st ent ~terminal:`Budget
+        else begin
+          st.stats.Stats.requeued <- st.stats.Stats.requeued + 1;
+          (* The down replica is no longer Up, so [dispatch] naturally
+             routes elsewhere (or parks the request when nowhere is). *)
+          dispatch st r
+        end
+      end)
+    requeue
+
+let on_probe_ready st ~replica:_ = drain_pending st
+
+let on_up st ~replica:_ =
+  st.stats.Stats.readmitted <- st.stats.Stats.readmitted + 1;
+  drain_pending st
+
+(* --- Arrivals --- *)
+
+let on_arrival st (r : 'a Admission.request) =
+  let ent =
+    {
+      ent_req = r;
+      ent_copies = 1;
+      ent_done = false;
+      ent_home = -1;
+      ent_hedged = false;
+      ent_hedge_replica = -1;
+      ent_requeues = 0;
+    }
+  in
+  Hashtbl.replace st.entries r.Admission.rq_id ent;
+  (* Arm the hedge timer from the delay estimate at arrival time; when the
+     request resolves first, the timer no-ops. *)
+  (match hedge_delay_us st with
+  | Some d ->
+    Event_loop.schedule st.loop ~at:(r.Admission.rq_arrival_us +. d) (fun () ->
+        maybe_hedge st ent)
+  | None -> ());
+  dispatch st r
+
+(** Final per-replica view of a cluster run. *)
+type replica_view = {
+  rv_id : int;
+  rv_stats : Stats.t;  (** Everything this replica executed, hedges included. *)
+  rv_health : Replica.health;  (** Health when the simulation drained. *)
+}
+
+type report = {
+  cluster_stats : Stats.t;
+      (** Aggregate: terminal per-request outcomes, merged profilers, and
+          the cluster counters. *)
+  replica_views : replica_view list;
+}
+
+(** Run the cluster simulation to completion. [executors.(i)] runs a batch
+    on replica [i]'s device (wrap with a per-replica fault injector to make
+    one replica flaky); its length must equal [cfg.c_replicas]. *)
+let simulate (cfg : config) ~(arrivals : float array) ~(payload : int -> 'a)
+    ~(executors : (degraded:bool -> 'a list -> Server.exec_result) array) : report =
+  if Array.length executors <> cfg.c_replicas then
+    Fmt.invalid_arg "Cluster.simulate: %d executors for %d replicas"
+      (Array.length executors) cfg.c_replicas;
+  if cfg.c_replicas <= 0 then
+    Fmt.invalid_arg "Cluster.simulate: replicas must be positive";
+  let loop = Event_loop.create (Clock.create ()) in
+  let st =
+    {
+      cfg;
+      loop;
+      replicas = [||];
+      stats = Stats.create ();
+      entries = Hashtbl.create 1024;
+      pending = Queue.create ();
+      rr_next = 0;
+      lat_ring = Array.make hedge_window 0.0;
+      lat_count = 0;
+      lat_idx = 0;
+    }
+  in
+  let cb =
+    {
+      Replica.cb_live = on_live st;
+      cb_completed = (fun ~replica batch ~size ~start_us ~done_us ->
+        on_completed st ~replica batch ~size ~start_us ~done_us);
+      cb_cancelled = (fun ~replica r -> on_cancelled st ~replica r);
+      cb_expired = (fun ~replica rs -> on_expired st ~replica rs);
+      cb_poisoned = (fun ~replica r -> on_poisoned st ~replica r);
+      cb_down = (fun ~replica rs -> on_down st ~replica rs);
+      cb_probe_ready = (fun ~replica -> on_probe_ready st ~replica);
+      cb_up = (fun ~replica -> on_up st ~replica);
+    }
+  in
+  st.replicas <-
+    Array.init cfg.c_replicas (fun i ->
+        Replica.create ~id:i ~loop ~config:cfg.c_server
+          ~reset_threshold:cfg.c_reset_threshold ~execute:executors.(i) ~cb);
+  Array.iteri
+    (fun i at ->
+      let r =
+        {
+          Admission.rq_id = i;
+          rq_payload = payload i;
+          rq_arrival_us = at;
+          rq_deadline_us = Option.map (fun d -> at +. d) cfg.c_server.Server.deadline_us;
+        }
+      in
+      Event_loop.schedule loop ~at (fun () -> on_arrival st r))
+    arrivals;
+  Event_loop.run loop;
+  (* Anything still parked when the event loop drained could not be placed
+     before the end of the run; account it as dropped so the per-request
+     conservation law (completed + dropped = offered) holds. *)
+  Queue.iter
+    (fun (r : 'a Admission.request) ->
+      let ent = entry st r.Admission.rq_id in
+      if ent.ent_done then copy_cancelled st ent else copy_lost st ent ~terminal:`Budget)
+    st.pending;
+  Queue.clear st.pending;
+  let end_us = Event_loop.now loop in
+  st.stats.Stats.end_us <- end_us;
+  (* Aggregate device-side activity: every batch any replica executed,
+     every profiler sample, every recovery action. Terminal per-request
+     counters (shed/expired/poisoned/budget) are cluster-owned and already
+     in [st.stats]; per-replica admission counters would double-count
+     hedged and requeued copies. *)
+  let views =
+    Array.to_list
+      (Array.map
+         (fun rep ->
+           let rs = Replica.stats rep in
+           rs.Stats.shed <- Admission.shed_count (Replica.admission rep);
+           rs.Stats.expired <- Admission.expired_count (Replica.admission rep);
+           rs.Stats.end_us <- end_us;
+           st.stats.Stats.batches <- st.stats.Stats.batches + rs.Stats.batches;
+           st.stats.Stats.batched_requests <-
+             st.stats.Stats.batched_requests + rs.Stats.batched_requests;
+           Stats.Profiler.merge ~into:st.stats.Stats.profiler rs.Stats.profiler;
+           st.stats.Stats.fault_batches <-
+             st.stats.Stats.fault_batches + rs.Stats.fault_batches;
+           st.stats.Stats.retries <- st.stats.Stats.retries + rs.Stats.retries;
+           st.stats.Stats.bisections <- st.stats.Stats.bisections + rs.Stats.bisections;
+           st.stats.Stats.breaker_opens <-
+             st.stats.Stats.breaker_opens + rs.Stats.breaker_opens;
+           st.stats.Stats.degraded_batches <-
+             st.stats.Stats.degraded_batches + rs.Stats.degraded_batches;
+           { rv_id = Replica.id rep; rv_stats = rs; rv_health = Replica.health rep })
+         st.replicas)
+  in
+  { cluster_stats = st.stats; replica_views = views }

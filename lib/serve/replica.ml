@@ -1,0 +1,345 @@
+(** One member of a serving cluster: a device behind its own admission
+    queue, batcher and recovery machinery, coordinating with the cluster
+    through callbacks instead of owning terminal request accounting.
+
+    A replica reuses the single server's per-batch resolution state machine
+    (retry with seeded backoff jitter, bisection to isolate poison, OOM
+    batch-cap shrinking, pressure degradation — see {!Server}), with two
+    structural differences:
+
+    - {e Terminal outcomes are reported, not owned.} Completions, expiries,
+      poison drops and cancellations flow to the cluster through
+      {!callbacks}, which keeps per-request-id accounting (a hedged request
+      has several copies; only the first completion counts) in one place.
+      The replica still records everything {e it} executed into its own
+      {!Stats.t}, so per-replica utilization stays observable.
+    - {e The circuit breaker is replaced by failover.} Where the single
+      server opens a breaker and sheds arrivals, a replica that crosses the
+      failure threshold (or the stricter consecutive-reset threshold) goes
+      {!Down}: it aborts the in-flight resolution, drains its queue, and
+      hands every unresolved request back to the cluster for re-dispatch to
+      healthy peers. After the cooldown it turns {!Probing} and the cluster
+      routes it a single live request; success re-admits it.
+
+    Determinism: all state transitions run on the shared virtual
+    {!Event_loop}; the only RNG is the per-replica backoff jitter stream
+    (seeded from the tolerance seed and the replica id, drawn only on
+    retries). Stale events from an aborted resolution are fenced by an
+    epoch counter rather than cancellation. *)
+
+module Rng = Acrobat_tensor.Rng
+
+(** Health as the cluster's dispatcher sees it. *)
+type health = Up | Probing | Down
+
+let health_name = function Up -> "up" | Probing -> "probing" | Down -> "down"
+
+(** How the replica reports to the cluster. All callbacks fire at the
+    virtual instant of the underlying event. *)
+type 'a callbacks = {
+  cb_live : 'a Admission.request -> bool;
+      (** False when the request already completed elsewhere (hedge copy
+          whose winner finished): the replica drops it unexecuted. *)
+  cb_completed :
+    replica:int ->
+    'a Admission.request list ->
+    size:int ->
+    start_us:float ->
+    done_us:float ->
+    unit;  (** A batch finished; the cluster dedupes per request id. *)
+  cb_cancelled : replica:int -> 'a Admission.request -> unit;
+      (** A queued copy was dropped because its winner already completed. *)
+  cb_expired : replica:int -> 'a Admission.request list -> unit;
+      (** Requests dropped by this replica's queue as past deadline. *)
+  cb_poisoned : replica:int -> 'a Admission.request -> unit;
+      (** Bisection isolated this request as the deterministic batch-killer. *)
+  cb_down : replica:int -> 'a Admission.request list -> unit;
+      (** The replica failed over; these queued + in-flight requests drain
+          back for re-dispatch. *)
+  cb_probe_ready : replica:int -> unit;
+      (** Cooldown passed; the replica accepts a single probe request. *)
+  cb_up : replica:int -> unit;  (** A probe succeeded; healthy again. *)
+}
+
+type 'a t = {
+  id : int;
+  loop : Event_loop.t;
+  config : Server.config;
+  reset_threshold : int;  (** Consecutive device resets that force failover. *)
+  queue : 'a Admission.t;
+  batcher : Batcher.t;
+  stats : Stats.t;  (** Per-replica view: everything {e this} replica ran. *)
+  execute : degraded:bool -> 'a list -> Server.exec_result;
+  cb : 'a callbacks;
+  ft_rng : Rng.t;  (** Backoff jitter; drawn from only on retries. *)
+  policy_max_batch : int;
+  mutable cur_max_batch : int;  (** Effective cap; shrinks under OOM. *)
+  mutable degraded : bool;
+  mutable device_busy : bool;
+  mutable busy_until_us : float;  (** Estimated device-free time (for LEL dispatch). *)
+  mutable health : health;
+  mutable consecutive_failures : int;
+  mutable consecutive_resets : int;
+  mutable health_score : float;  (** EWMA of batch-attempt success in [0, 1]. *)
+  mutable outstanding : 'a Admission.request list;
+      (** The in-flight batch's unresolved requests; requeued on failover. *)
+  mutable epoch : int;  (** Bumped on failover; stale continuations no-op. *)
+}
+
+let score_alpha = 0.2
+
+let create ~id ~loop ~(config : Server.config) ~reset_threshold
+    ~(execute : degraded:bool -> 'a list -> Server.exec_result) ~(cb : 'a callbacks) : 'a t
+    =
+  let pmax = Server.policy_max_batch config.Server.policy in
+  {
+    id;
+    loop;
+    config;
+    reset_threshold;
+    queue = Admission.create ~capacity:config.Server.queue_capacity;
+    batcher = Batcher.create ~cost:config.Server.cost config.Server.policy;
+    stats = Stats.create ();
+    execute;
+    cb;
+    (* Replica 0 draws the exact stream the single server would, which is
+       what makes a 1-replica cluster byte-identical to it. *)
+    ft_rng = Rng.create (config.Server.tolerance.Server.ft_seed + (id * 7919));
+    policy_max_batch = pmax;
+    cur_max_batch = pmax;
+    degraded = false;
+    device_busy = false;
+    busy_until_us = 0.0;
+    health = Up;
+    consecutive_failures = 0;
+    consecutive_resets = 0;
+    health_score = 1.0;
+    outstanding = [];
+    epoch = 0;
+  }
+
+let id t = t.id
+let health t = t.health
+let health_score t = t.health_score
+let stats t = t.stats
+let admission t = t.queue
+let queue_length t = Admission.length t.queue
+let is_busy t = t.device_busy
+
+(** Expected time for one more request to clear this replica: remaining
+    busy time plus the batcher's learned latency for the queue it would
+    join. The least-expected-latency dispatch policy minimizes this. *)
+let expected_latency_us t ~now_us =
+  let residual = if t.device_busy then Float.max 0.0 (t.busy_until_us -. now_us) else 0.0 in
+  residual
+  +. Batcher.estimated_latency_us t.batcher ~batch:(Admission.length t.queue + 1)
+
+(** Can the dispatcher hand this replica a probe right now? One request at
+    a time: an occupied probing replica already has its verdict pending. *)
+let wants_probe t =
+  t.health = Probing && (not t.device_busy) && Admission.is_empty t.queue
+
+let note_attempt t ~ok =
+  t.health_score <-
+    ((1.0 -. score_alpha) *. t.health_score) +. (score_alpha *. if ok then 1.0 else 0.0)
+
+(* OOM is deterministic for a given batch size: halve the cap before the
+   batch is re-resolved, exactly as the single server does. *)
+let shrink_batches t =
+  t.degraded <- true;
+  t.cur_max_batch <- max t.config.Server.tolerance.Server.min_max_batch (t.cur_max_batch / 2)
+
+let note_success t =
+  t.consecutive_failures <- 0;
+  t.consecutive_resets <- 0;
+  note_attempt t ~ok:true;
+  if t.health = Probing then begin
+    t.health <- Up;
+    t.stats.Stats.readmitted <- t.stats.Stats.readmitted + 1;
+    t.cb.cb_up ~replica:t.id
+  end;
+  if t.degraded then begin
+    let tol = t.config.Server.tolerance in
+    let occupancy =
+      float_of_int (Admission.length t.queue)
+      /. float_of_int t.config.Server.queue_capacity
+    in
+    if occupancy <= tol.Server.degrade_low_frac then begin
+      if t.cur_max_batch < t.policy_max_batch then
+        t.cur_max_batch <- min t.policy_max_batch (t.cur_max_batch * 2);
+      if t.cur_max_batch >= t.policy_max_batch then t.degraded <- false
+    end
+  end
+
+(* --- The launch / recovery state machine --- *)
+
+(* Mirrors Server.maybe_launch, with health gating: Down replicas never
+   launch; Probing replicas launch a single-request probe. *)
+let rec maybe_launch (t : 'a t) =
+  if (not t.device_busy) && t.health <> Down && not (Admission.is_empty t.queue) then begin
+    let now_us = Event_loop.now t.loop in
+    match t.health with
+    | Down -> ()
+    | Probing -> flush t ~now_us ~limit:1
+    | Up -> (
+      match
+        Batcher.decide t.batcher ~now_us ~queue_len:(Admission.length t.queue)
+          ~oldest_arrival_us:(Option.get (Admission.oldest_arrival_us t.queue))
+      with
+      | Batcher.Wait_until at when at > now_us ->
+        Event_loop.schedule t.loop ~at (fun () -> maybe_launch t)
+      | Batcher.Wait_until _ ->
+        flush t ~now_us ~limit:(min (Admission.length t.queue) t.cur_max_batch)
+      | Batcher.Flush limit -> flush t ~now_us ~limit:(min limit t.cur_max_batch))
+  end
+
+and flush (t : 'a t) ~now_us ~limit =
+  let live, expired = Admission.take_with_expired t.queue ~now_us ~limit in
+  if expired <> [] then t.cb.cb_expired ~replica:t.id expired;
+  (* Lazy hedge cancellation: copies whose winner already completed are
+     dropped here, unexecuted — the cheap form of "cancel". *)
+  let live, cancelled = List.partition t.cb.cb_live live in
+  List.iter (fun r -> t.cb.cb_cancelled ~replica:t.id r) cancelled;
+  match live with
+  | [] -> maybe_launch t (* the queue may still hold work *)
+  | batch ->
+    t.device_busy <- true;
+    t.outstanding <- batch;
+    resolve t batch ~k:(fun () ->
+        t.device_busy <- false;
+        t.outstanding <- [];
+        maybe_launch t)
+
+(* Drive [batch] to a resolution, reporting terminal outcomes to the
+   cluster. Scheduled continuations are fenced by the epoch captured here:
+   a failover bumps the epoch, so events from the aborted resolution no-op
+   instead of corrupting the next one. *)
+and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
+  let tol = t.config.Server.tolerance in
+  let epoch = t.epoch in
+  let guard f () = if t.epoch = epoch then f () in
+  let rec attempt ~retries_left ~backoff_us () =
+    let now_us = Event_loop.now t.loop in
+    let degraded = t.degraded in
+    match t.execute ~degraded (List.map (fun r -> r.Admission.rq_payload) batch) with
+    | Server.Exec_ok outcome ->
+      let size = List.length batch in
+      let done_us = now_us +. Float.max 0.0 outcome.Server.ex_latency_us in
+      t.busy_until_us <- done_us;
+      Batcher.observe_batch t.batcher ~size ~latency_us:outcome.Server.ex_latency_us;
+      Stats.note_batch t.stats ~size ~profiler:outcome.Server.ex_profiler;
+      if degraded then
+        t.stats.Stats.degraded_batches <- t.stats.Stats.degraded_batches + 1;
+      List.iter
+        (fun (r : _ Admission.request) ->
+          Stats.record t.stats
+            {
+              Stats.r_id = r.Admission.rq_id;
+              r_arrival_us = r.Admission.rq_arrival_us;
+              r_start_us = now_us;
+              r_done_us = done_us;
+              r_batch_size = size;
+            })
+        batch;
+      (* Report the completion at [done_us], not at launch: the cluster
+         must consider these requests in flight until the device actually
+         finishes, or a hedge could never outrun a straggling batch. *)
+      Event_loop.schedule t.loop ~at:done_us
+        (guard (fun () ->
+             t.outstanding <-
+               List.filter
+                 (fun (r : _ Admission.request) -> not (List.memq r batch))
+                 t.outstanding;
+             t.cb.cb_completed ~replica:t.id batch ~size ~start_us:now_us ~done_us;
+             note_success t;
+             k ()))
+    | Server.Exec_fault f ->
+      t.stats.Stats.fault_batches <- t.stats.Stats.fault_batches + 1;
+      note_attempt t ~ok:false;
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      if f.ef_reset then t.consecutive_resets <- t.consecutive_resets + 1;
+      if f.ef_oom then shrink_batches t;
+      let freed_us = now_us +. Float.max 0.0 f.ef_latency_us in
+      t.busy_until_us <- freed_us;
+      let must_fail_over =
+        t.health = Probing (* a failed probe downs the replica immediately *)
+        || t.consecutive_failures >= tol.Server.breaker_threshold
+        || t.consecutive_resets >= t.reset_threshold
+      in
+      if must_fail_over then
+        Event_loop.schedule t.loop ~at:freed_us (guard (fun () -> go_down t))
+      else if f.ef_transient && retries_left > 0 then begin
+        t.stats.Stats.retries <- t.stats.Stats.retries + 1;
+        let jitter =
+          1.0 +. (tol.Server.jitter_frac *. ((2.0 *. Rng.float t.ft_rng) -. 1.0))
+        in
+        let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
+        Event_loop.schedule t.loop ~at
+          (guard
+             (attempt ~retries_left:(retries_left - 1)
+                ~backoff_us:(backoff_us *. tol.Server.backoff_mult)))
+      end
+      else Event_loop.schedule t.loop ~at:freed_us (guard (fun () -> bisect t batch ~k))
+  in
+  attempt ~retries_left:tol.Server.max_retries ~backoff_us:tol.Server.backoff_base_us ()
+
+(* Binary fault isolation, as in the single server; the lone survivor of
+   repeated failure is reported poisoned and dropped. *)
+and bisect (t : 'a t) (batch : 'a Admission.request list) ~k =
+  match batch with
+  | [] -> k ()
+  | [ r ] ->
+    t.stats.Stats.poisoned <- t.stats.Stats.poisoned + 1;
+    t.outstanding <- List.filter (fun r' -> not (r' == r)) t.outstanding;
+    t.cb.cb_poisoned ~replica:t.id r;
+    k ()
+  | _ ->
+    t.stats.Stats.bisections <- t.stats.Stats.bisections + 1;
+    let half = List.length batch / 2 in
+    let left = List.filteri (fun i _ -> i < half) batch in
+    let right = List.filteri (fun i _ -> i >= half) batch in
+    resolve t left ~k:(fun () -> resolve t right ~k)
+
+(* Failover: abort the in-flight resolution, drain the queue, hand every
+   unresolved request back to the cluster, and schedule the re-admission
+   probe window. *)
+and go_down (t : 'a t) =
+  let now_us = Event_loop.now t.loop in
+  t.epoch <- t.epoch + 1;
+  t.health <- Down;
+  t.device_busy <- false;
+  t.consecutive_failures <- 0;
+  t.consecutive_resets <- 0;
+  t.stats.Stats.breaker_opens <- t.stats.Stats.breaker_opens + 1;
+  t.stats.Stats.failovers <- t.stats.Stats.failovers + 1;
+  let queued, expired = Admission.drain t.queue ~now_us in
+  if expired <> [] then t.cb.cb_expired ~replica:t.id expired;
+  let requeue = t.outstanding @ queued in
+  t.outstanding <- [];
+  t.cb.cb_down ~replica:t.id requeue;
+  let at = now_us +. t.config.Server.tolerance.Server.breaker_cooldown_us in
+  Event_loop.schedule t.loop ~at (fun () ->
+      if t.health = Down then begin
+        t.health <- Probing;
+        t.cb.cb_probe_ready ~replica:t.id
+      end)
+
+(** Offer a request to this replica's queue; any requests the full-queue
+    sweep expired are reported through [cb_expired]. Schedules the launch
+    check as a same-time event so simultaneous dispatches coalesce into one
+    batch (same invariant as the single server). *)
+let enqueue (t : 'a t) (r : 'a Admission.request) : bool =
+  let now_us = Event_loop.now t.loop in
+  Batcher.observe_arrival t.batcher ~now_us;
+  let admitted, swept = Admission.offer_swept t.queue ~now_us r in
+  if swept <> [] then t.cb.cb_expired ~replica:t.id swept;
+  if admitted then begin
+    let tol = t.config.Server.tolerance in
+    if
+      (not t.degraded)
+      && float_of_int (Admission.length t.queue)
+         >= tol.Server.degrade_high_frac *. float_of_int t.config.Server.queue_capacity
+    then t.degraded <- true;
+    Event_loop.schedule t.loop ~at:now_us (fun () -> maybe_launch t)
+  end;
+  admitted

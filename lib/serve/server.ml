@@ -106,6 +106,10 @@ type exec_result =
           (** A retry may succeed. [false] (a deterministic failure such as
               OOM or a poison request) skips straight to bisection. *)
       ef_oom : bool;  (** Out-of-memory: shrink the batch-size cap. *)
+      ef_reset : bool;
+          (** A full device reset. The single server treats it like any
+              transient fault; the cluster's health monitor weighs
+              consecutive resets as a stronger down signal. *)
     }
 
 type breaker_state =

@@ -30,6 +30,17 @@ type t = {
   mutable breaker_opens : int;  (** Circuit-breaker open transitions. *)
   mutable breaker_shed : int;  (** Requests refused while the breaker was open. *)
   mutable degraded_batches : int;  (** Batches served in degraded mode. *)
+  (* Cluster accounting; all zero on single-server runs. *)
+  mutable failovers : int;  (** Replicas marked down by the health monitor. *)
+  mutable requeued : int;  (** Requests drained off a dead replica and re-dispatched. *)
+  mutable probes : int;  (** Re-admission probe requests routed to a down replica. *)
+  mutable readmitted : int;  (** Probes that restored their replica to healthy. *)
+  mutable hedges : int;  (** Speculative duplicate requests issued. *)
+  mutable hedge_wins : int;  (** Requests whose hedge copy finished first. *)
+  mutable hedge_cancels : int;  (** Hedge copies cancelled before execution. *)
+  mutable hedge_wasted : int;
+      (** Completions of a hedged request that arrived after its winner —
+          duplicated device work, whichever copy was late. *)
 }
 
 let create () =
@@ -48,6 +59,14 @@ let create () =
     breaker_opens = 0;
     breaker_shed = 0;
     degraded_batches = 0;
+    failovers = 0;
+    requeued = 0;
+    probes = 0;
+    readmitted = 0;
+    hedges = 0;
+    hedge_wins = 0;
+    hedge_cancels = 0;
+    hedge_wasted = 0;
   }
 
 let record t r = t.records <- r :: t.records
@@ -92,6 +111,16 @@ type summary = {
   s_breaker_opens : int;
   s_breaker_shed : int;
   s_degraded_batches : int;
+  (* Cluster block; all zero (and omitted from output) on single-server
+     runs, so single-server output stays byte-stable. *)
+  s_failovers : int;
+  s_requeued : int;
+  s_probes : int;
+  s_readmitted : int;
+  s_hedges : int;
+  s_hedge_wins : int;
+  s_hedge_cancels : int;
+  s_hedge_wasted : int;
 }
 
 (** Availability: the fraction of offered requests actually answered. *)
@@ -102,6 +131,11 @@ let goodput (s : summary) =
 let fault_active (s : summary) =
   s.s_fault_batches > 0 || s.s_retries > 0 || s.s_bisections > 0 || s.s_poisoned > 0
   || s.s_breaker_opens > 0 || s.s_breaker_shed > 0 || s.s_degraded_batches > 0
+
+(** True when any cluster machinery (failover, probing, hedging) engaged. *)
+let cluster_active (s : summary) =
+  s.s_failovers > 0 || s.s_requeued > 0 || s.s_probes > 0 || s.s_readmitted > 0
+  || s.s_hedges > 0 || s.s_hedge_wins > 0 || s.s_hedge_cancels > 0 || s.s_hedge_wasted > 0
 
 let summarize (t : t) : summary =
   let records = List.rev t.records in
@@ -142,6 +176,14 @@ let summarize (t : t) : summary =
     s_breaker_opens = t.breaker_opens;
     s_breaker_shed = t.breaker_shed;
     s_degraded_batches = t.degraded_batches;
+    s_failovers = t.failovers;
+    s_requeued = t.requeued;
+    s_probes = t.probes;
+    s_readmitted = t.readmitted;
+    s_hedges = t.hedges;
+    s_hedge_wins = t.hedge_wins;
+    s_hedge_cancels = t.hedge_cancels;
+    s_hedge_wasted = t.hedge_wasted;
   }
 
 let drop_rate (s : summary) =
@@ -187,7 +229,21 @@ let summary_to_json (s : summary) : Json.t =
         "goodput", Json.Float (goodput s);
       ]
   in
-  Json.Obj (base @ faults)
+  let cluster =
+    if not (cluster_active s) then []
+    else
+      [
+        "failovers", Json.Int s.s_failovers;
+        "requeued", Json.Int s.s_requeued;
+        "probes", Json.Int s.s_probes;
+        "readmitted", Json.Int s.s_readmitted;
+        "hedges", Json.Int s.s_hedges;
+        "hedge_wins", Json.Int s.s_hedge_wins;
+        "hedge_cancels", Json.Int s.s_hedge_cancels;
+        "hedge_wasted", Json.Int s.s_hedge_wasted;
+      ]
+  in
+  Json.Obj (base @ faults @ cluster)
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
@@ -207,4 +263,11 @@ let pp_summary ppf (s : summary) =
       s.s_fault_batches s.s_retries s.s_bisections s.s_poisoned s.s_breaker_opens
       s.s_breaker_shed s.s_degraded_batches
       (100.0 *. goodput s);
+  if cluster_active s then
+    Fmt.pf ppf
+      "@,failovers          %8d@,requeued           %8d@,probes             %8d@,\
+       readmitted         %8d@,hedges issued      %8d@,hedge wins         %8d@,\
+       hedge cancels      %8d@,hedge wasted       %8d"
+      s.s_failovers s.s_requeued s.s_probes s.s_readmitted s.s_hedges s.s_hedge_wins
+      s.s_hedge_cancels s.s_hedge_wasted;
   Fmt.pf ppf "@]"

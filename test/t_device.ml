@@ -76,7 +76,28 @@ let test_faults_parse () =
   | exception Invalid_argument _ -> ());
   match Faults.parse "bogus=1" with
   | _ -> Alcotest.fail "expected rejection of unknown key"
-  | exception Invalid_argument _ -> ()
+  | exception Invalid_argument msg ->
+    (* The rejection must name the bad key and teach the valid ones. *)
+    check_true "error names the key" (contains msg "bogus");
+    List.iter
+      (fun k -> check_true ("error lists valid key " ^ k) (contains msg k))
+      [ "seed"; "kernel"; "straggler"; "reset"; "capacity"; "poison" ]
+
+let test_faults_spec_round_trip () =
+  List.iter
+    (fun spec ->
+      let p = Faults.parse spec in
+      check_true ("pp/parse round-trip for " ^ spec) (Faults.parse (Faults.to_spec p) = p))
+    [
+      "seed=7,kernel=0.05,straggler=0.02x6,reset=0.001,capacity=200000,poison=3+17";
+      "kernel=0.3";
+      "seed=11,straggler=0.15x8";
+      "reset=0.1,poison=5";
+      "seed=0";
+    ];
+  check_true "to_spec emits the canonical key order"
+    (Faults.to_spec (Faults.parse "poison=5,kernel=0.3,seed=2")
+    = "seed=2,kernel=0.3,straggler=0x6,reset=0,poison=5")
 
 (* Run [attempts] single-launch attempts against a fresh injector, returning
    the per-attempt fate trace. *)
@@ -191,6 +212,7 @@ let suite =
       test_memory_capacity_boundary;
     Alcotest.test_case "memory: contiguity" `Quick test_contiguity;
     Alcotest.test_case "faults: plan parsing" `Quick test_faults_parse;
+    Alcotest.test_case "faults: spec round-trip" `Quick test_faults_spec_round_trip;
     Alcotest.test_case "faults: deterministic injection" `Quick test_faults_deterministic;
     Alcotest.test_case "faults: straggler multiplier" `Quick test_faults_straggler_mult;
     Alcotest.test_case "faults: failed attempts burn device time" `Quick

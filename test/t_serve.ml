@@ -13,6 +13,8 @@ module Stats = Serve.Stats
 module Event_loop = Serve.Event_loop
 module Clock = Serve.Clock
 module Json = Serve.Json
+module Cluster = Serve.Cluster
+module Replica = Serve.Replica
 
 (* --- Event loop --- *)
 
@@ -231,9 +233,15 @@ let test_simulation_deterministic () =
 
 (* --- Fault tolerance: retry, bisection, breaker, degradation --- *)
 
-let fault ?(latency = 50.0) ?(transient = true) ?(oom = false) reason =
+let fault ?(latency = 50.0) ?(transient = true) ?(oom = false) ?(reset = false) reason =
   Server.Exec_fault
-    { ef_latency_us = latency; ef_reason = reason; ef_transient = transient; ef_oom = oom }
+    {
+      ef_latency_us = latency;
+      ef_reason = reason;
+      ef_transient = transient;
+      ef_oom = oom;
+      ef_reset = reset;
+    }
 
 let ok batch = Server.Exec_ok (linear_cost ~fixed:100.0 ~per_item:10.0 batch)
 
@@ -354,6 +362,215 @@ let test_ft_pressure_degradation () =
   check_true "queue pressure engaged degraded mode" (s.Stats.s_degraded_batches > 0);
   check_true "executor saw the degraded flag" (!degraded_calls > 0)
 
+(* --- Admission property test (randomized offer/take/expiry scripts) --- *)
+
+type aop = A_offer of int * int option | A_take of int * int
+
+let gen_aop =
+  QCheck2.Gen.(
+    bind (int_range 0 400) (fun dt ->
+        oneof
+          [
+            map (fun dl -> A_offer (dt, dl)) (option (int_range 0 1_000));
+            map (fun limit -> A_take (dt, limit)) (int_range 1 8);
+          ]))
+
+let gen_admission_script =
+  QCheck2.Gen.(pair (int_range 1 6) (list_size (int_range 1 80) gen_aop))
+
+(* Invariants under any interleaving of offers, takes and deadline expiry:
+   the queue never exceeds its capacity, takes are FIFO among live requests,
+   and every offered request is accounted exactly once as taken, shed or
+   expired. *)
+let admission_prop (cap, ops) =
+  let q = Admission.create ~capacity:cap in
+  let now = ref 0.0 in
+  let next_id = ref 0 in
+  let taken = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      match op with
+      | A_offer (dt, dl) ->
+        now := !now +. float_of_int dt;
+        let id = !next_id in
+        incr next_id;
+        let r =
+          {
+            Admission.rq_id = id;
+            rq_payload = id;
+            rq_arrival_us = !now;
+            rq_deadline_us = Option.map (fun d -> !now +. float_of_int d) dl;
+          }
+        in
+        ignore (Admission.offer q ~now_us:!now r);
+        if Admission.length q > cap then ok := false
+      | A_take (dt, limit) ->
+        now := !now +. float_of_int dt;
+        let batch = Admission.take q ~now_us:!now ~limit in
+        if List.length batch > limit then ok := false;
+        List.iter (fun r -> taken := r.Admission.rq_id :: !taken) batch)
+    ops;
+  let rest = Admission.take q ~now_us:!now ~limit:max_int in
+  List.iter (fun r -> taken := r.Admission.rq_id :: !taken) rest;
+  let taken = List.rev !taken in
+  (* Ids are assigned in offer order and nothing reorders the queue, so the
+     taken sequence must be strictly ascending. *)
+  let rec ascending = function
+    | a :: (b :: _ as t) -> a < b && ascending t
+    | _ -> true
+  in
+  !ok && ascending taken
+  && Admission.length q = 0
+  && !next_id = List.length taken + Admission.shed_count q + Admission.expired_count q
+
+(* --- Cluster: replicated serving with failover + hedging --- *)
+
+let ok_exec = Server.infallible (linear_cost ~fixed:100.0 ~per_item:10.0)
+
+(* A dead device: every attempt reports a device reset. The transient flag
+   makes the single-server baseline burn its retries before bisecting, and
+   the reset counter fails the replica over before bisection can poison
+   anything. *)
+let always_reset ~degraded:_ _batch = fault ~transient:true ~reset:true "dead device"
+
+(* Every [every]-th batch stalls [mult]x longer than the latency model
+   predicts — the tail-latency straggler hedging exists to cut. Stateful, so
+   each run needs a fresh executor. *)
+let straggler_exec ~every ~mult () =
+  let n = ref 0 in
+  fun ~degraded:_ batch ->
+    incr n;
+    let c = linear_cost ~fixed:100.0 ~per_item:10.0 batch in
+    if !n mod every = 0 then
+      Server.Exec_ok { c with Server.ex_latency_us = c.Server.ex_latency_us *. mult }
+    else Server.Exec_ok c
+
+let cluster_arrivals ?(n = 120) ?(rate = 4000.0) seed =
+  Traffic.arrivals ~rng:(Rng.create seed) (Traffic.Poisson { rate_per_s = rate }) ~n
+
+let test_cluster_failover_goodput () =
+  let arrivals = cluster_arrivals ~n:120 5 in
+  (* Baseline: one server under the dead-device plan loses most requests to
+     the breaker. *)
+  let single =
+    Stats.summarize
+      (Server.simulate Server.default_config ~arrivals ~payload:Fun.id
+         ~execute:always_reset)
+  in
+  check_true "single server under the plan collapses" (Stats.goodput single < 0.5);
+  (* Same plan on replica 0 of a 3-replica cluster: failover requeues its
+     work onto the healthy peers. *)
+  let report =
+    Cluster.simulate
+      { Cluster.default_config with Cluster.c_replicas = 3 }
+      ~arrivals ~payload:Fun.id
+      ~executors:[| always_reset; ok_exec; ok_exec |]
+  in
+  let s = Stats.summarize report.Cluster.cluster_stats in
+  let admitted = s.Stats.s_offered - s.Stats.s_shed in
+  check_true "cluster completes >= 99% of admitted"
+    (float_of_int s.Stats.s_completed >= 0.99 *. float_of_int admitted);
+  check_true "failover engaged" (s.Stats.s_failovers >= 1);
+  check_true "in-flight work was requeued" (s.Stats.s_requeued >= 1);
+  let v0 = List.nth report.Cluster.replica_views 0 in
+  check_true "faulty replica never silently healthy"
+    (v0.Cluster.rv_health <> Replica.Up)
+
+let test_cluster_hedging_p99 () =
+  let arrivals = cluster_arrivals ~n:150 7 in
+  let run hedge =
+    let report =
+      Cluster.simulate
+        { Cluster.default_config with
+          Cluster.c_replicas = 3; Cluster.c_hedge_percentile = hedge }
+        ~arrivals ~payload:Fun.id
+        ~executors:
+          [|
+            straggler_exec ~every:6 ~mult:30.0 ();
+            straggler_exec ~every:7 ~mult:30.0 ();
+            straggler_exec ~every:8 ~mult:30.0 ();
+          |]
+    in
+    Stats.summarize report.Cluster.cluster_stats
+  in
+  let plain = run None in
+  let hedged = run (Some 90.0) in
+  check_true "hedges were issued" (hedged.Stats.s_hedges > 0);
+  check_true "a hedge outran its straggling primary" (hedged.Stats.s_hedge_wins > 0);
+  check_true "hedging reduces p99 under stragglers"
+    (hedged.Stats.s_p99_ms < plain.Stats.s_p99_ms);
+  check_true "hedging loses no completions"
+    (hedged.Stats.s_completed >= plain.Stats.s_completed)
+
+let test_cluster_request_accounting () =
+  (* The nastiest combination: a dead replica (failover + requeue), a
+     straggler (hedging fires), deadlines and a small queue (expiry + shed).
+     Every offered request must terminate exactly once, and no request id
+     may complete twice no matter how many copies hedging created. *)
+  let n = 140 in
+  let arrivals = cluster_arrivals ~n 11 in
+  let report =
+    Cluster.simulate
+      { Cluster.default_config with
+        Cluster.c_replicas = 3;
+        Cluster.c_hedge_percentile = Some 85.0;
+        Cluster.c_server =
+          { Server.default_config with
+            Server.deadline_us = Some 40_000.0; Server.queue_capacity = 16 } }
+      ~arrivals ~payload:Fun.id
+      ~executors:[| always_reset; straggler_exec ~every:5 ~mult:20.0 (); ok_exec |]
+  in
+  let st = report.Cluster.cluster_stats in
+  let s = Stats.summarize st in
+  check_int "every request terminates exactly once" n
+    (s.Stats.s_completed + s.Stats.s_shed + s.Stats.s_expired + s.Stats.s_poisoned
+   + s.Stats.s_breaker_shed);
+  let ids = List.map (fun r -> r.Stats.r_id) st.Stats.records in
+  check_int "no request id completed twice" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  check_true "stress exercised failover and hedging"
+    (s.Stats.s_failovers > 0 && s.Stats.s_hedges > 0)
+
+let test_cluster_deterministic () =
+  let run () =
+    let arrivals = cluster_arrivals ~n:120 13 in
+    let report =
+      Cluster.simulate
+        { Cluster.default_config with
+          Cluster.c_replicas = 3; Cluster.c_hedge_percentile = Some 90.0 }
+        ~arrivals ~payload:Fun.id
+        ~executors:[| always_reset; straggler_exec ~every:6 ~mult:25.0 (); ok_exec |]
+    in
+    Json.to_string
+      (Json.Obj
+         (("cluster",
+           Stats.summary_to_json (Stats.summarize report.Cluster.cluster_stats))
+         :: List.map
+              (fun v ->
+                ( Fmt.str "replica%d" v.Cluster.rv_id,
+                  Stats.summary_to_json (Stats.summarize v.Cluster.rv_stats) ))
+              report.Cluster.replica_views))
+  in
+  Alcotest.(check string) "identical cluster JSON across reruns" (run ()) (run ())
+
+let test_cluster_single_replica_equivalence () =
+  (* One replica, no faults, no hedging: the cluster is the single server,
+     byte for byte. *)
+  let arrivals = cluster_arrivals ~n:200 ~rate:5000.0 9 in
+  let sv =
+    Stats.summarize
+      (Server.simulate Server.default_config ~arrivals ~payload:Fun.id
+         ~execute:ok_exec)
+  in
+  let report =
+    Cluster.simulate Cluster.default_config ~arrivals ~payload:Fun.id
+      ~executors:[| ok_exec |]
+  in
+  let cl = Stats.summarize report.Cluster.cluster_stats in
+  let json s = Json.to_string (Stats.summary_to_json s) in
+  Alcotest.(check string) "1-replica cluster == single server" (json sv) (json cl)
+
 (* --- End to end on a real compiled model --- *)
 
 let serve_tiny ?faults ~policy () =
@@ -452,6 +669,17 @@ let suite =
     Alcotest.test_case "ft: OOM shrinks the batch cap" `Quick test_ft_oom_shrinks_batches;
     Alcotest.test_case "ft: queue pressure degrades service" `Quick
       test_ft_pressure_degradation;
+    qtest ~count:300 "admission: conservation + FIFO under random scripts"
+      gen_admission_script admission_prop;
+    Alcotest.test_case "cluster: failover keeps goodput >= 99%" `Quick
+      test_cluster_failover_goodput;
+    Alcotest.test_case "cluster: hedging cuts straggler p99" `Quick
+      test_cluster_hedging_p99;
+    Alcotest.test_case "cluster: per-request-id accounting" `Quick
+      test_cluster_request_accounting;
+    Alcotest.test_case "cluster: deterministic replay" `Quick test_cluster_deterministic;
+    Alcotest.test_case "cluster: 1 replica == single server" `Quick
+      test_cluster_single_replica_equivalence;
     Alcotest.test_case "serve_model: deterministic report" `Quick
       test_serve_model_deterministic;
     Alcotest.test_case "serve_model: adaptive beats batch1" `Quick test_adaptive_beats_batch1;
