@@ -14,8 +14,10 @@ test:
 # env stanza in dune-project), the whole test suite, then end-to-end serving
 # smoke runs — fault-free, fault-injected (gated on goodput), and a
 # replicated cluster with a dead-device replica — to catch CLI wiring
-# breakage that unit tests can miss. The cluster bench smoke writes
-# BENCH_cluster.json (uploaded as a CI artifact).
+# breakage that unit tests can miss. The trace smoke runs the cluster twice
+# with the same seed and demands byte-identical, schema-valid Chrome traces
+# (TRACE_cluster.json, uploaded as a CI artifact alongside
+# BENCH_cluster.json).
 check: build test
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 2000 --requests 50 --iters 100
@@ -25,7 +27,14 @@ check: build test
 	  --min-goodput 0.9
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 2000 --requests 50 --iters 100 --replicas 3 --hedge 90 \
-	  --faults "seed=7,kernel=0.75,reset=0.1" --min-goodput 0.95
+	  --faults "seed=7,kernel=0.75,reset=0.1" --min-goodput 0.95 \
+	  --trace TRACE_cluster.json
+	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
+	  --rate 2000 --requests 50 --iters 100 --replicas 3 --hedge 90 \
+	  --faults "seed=7,kernel=0.75,reset=0.1" --min-goodput 0.95 \
+	  --trace TRACE_cluster_rerun.json
+	cmp TRACE_cluster.json TRACE_cluster_rerun.json
+	dune exec bin/acrobatc.exe -- trace TRACE_cluster.json
 	dune exec bench/main.exe -- cluster --json BENCH_cluster.json
 
 bench:

@@ -678,6 +678,27 @@ let serve_cluster_bench ?(requests = 150) ?(rate_per_s = 4000.0) ?(iters = 50) ?
       ~hedge:90.0 ();
   ]
 
+(* --- Observability: the metrics registry over a serve run (DESIGN.md
+   §10) --- *)
+
+(** One fault-injected serve run with the metrics registry attached. The
+    export carries every [device.*] counter — including the ones
+    [Profiler.pp] used to drop silently (gather bytes, memcpy calls,
+    unbatched ops, fiber switches) — every [serve.*] counter, and the
+    periodic virtual-clock snapshots, so `bench --json` tracks the full
+    telemetry surface across commits. Deterministic for a fixed seed. *)
+let observability ?(requests = 150) ?(rate_per_s = 4000.0) ?(iters = 50) ?(seed = 1) () :
+    Serve.Json.t =
+  let model = Models.tiny "treelstm" in
+  let faults = Faults.parse "seed=7,kernel=0.05" in
+  let metrics = Metrics.create () in
+  let _report =
+    serve_model ~iters ~faults ~metrics
+      ~process:(Serve.Traffic.Poisson { rate_per_s })
+      ~requests ~seed model
+  in
+  Metrics.to_json metrics
+
 (* --- Extras: ablations called out in DESIGN.md §6 --- *)
 
 (** Scheduler ablation: identical DFGs under the three schedulers. *)

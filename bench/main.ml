@@ -385,6 +385,27 @@ let cluster () =
            ])
        rows)
 
+(* --- Observability: metrics registry export --- *)
+
+let obs () =
+  hr "Observability: metrics registry over a fault-injected serve run";
+  let j = E.observability () in
+  (match J.member "metrics" j with
+  | Some (J.Obj fields) ->
+    pf "%-28s %14s\n" "metric" "value";
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | J.Int n -> pf "%-28s %14d\n" k n
+        | J.Float f -> pf "%-28s %14.2f\n" k f
+        | _ -> ())
+      fields
+  | _ -> ());
+  (match Option.bind (J.member "snapshots" j) J.to_list_opt with
+  | Some snaps -> pf "(%d periodic snapshots on the virtual clock)\n" (List.length snaps)
+  | None -> ());
+  j
+
 (* --- bechamel micro-benchmarks over runtime hot paths --- *)
 
 let micro () =
@@ -405,6 +426,7 @@ let experiments =
     "serve", serve;
     "faults", faults;
     "cluster", cluster;
+    "obs", obs;
     "extras", extras;
     "micro", micro;
   ]

@@ -47,6 +47,25 @@ let batch_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run (open in Perfetto or \
+           chrome://tracing). Deterministic: same seed, same trace.")
+
+(* A tracer when --trace was given, else the no-op sink. *)
+let tracer_of trace_path =
+  match trace_path with Some _ -> Some (Trace.create ()) | None -> None
+
+let write_trace tracer trace_path =
+  match tracer, trace_path with
+  | Some tr, Some path ->
+    Trace.to_file path tr;
+    Fmt.pr "wrote %s (%d trace events)@." path (Trace.event_count tr)
+  | _ -> ()
+
 let framework_arg =
   let fw_conv =
     Arg.enum
@@ -164,16 +183,23 @@ let lower_cmd =
 (* --- run --- *)
 
 let run_cmd =
-  let run file inputs batch seed framework values =
+  let run file inputs batch seed framework values trace_path =
     guarded @@ fun () ->
     let source = read_file file in
     let weights, instances = gen_setup source ~inputs ~batch ~seed in
-    let compiled = compile ~framework ~inputs source in
+    let tracer = tracer_of trace_path in
+    Option.iter
+      (fun tr ->
+        Trace.name_process tr ~pid:0 ~name:"run";
+        Trace.name_thread tr ~pid:0 ~tid:0 ~name:"device")
+      tracer;
+    let compiled = compile ~framework ?tracer ~inputs source in
     let compiled = tune compiled ~weights ~calibration:instances in
-    let r = run ~compute_values:values ~seed compiled ~weights ~instances () in
+    let r = run_batch ~compute_values:values ~seed ?tracer compiled ~weights ~instances () in
     if values then
       List.iteri (fun i v -> Fmt.pr "instance %d: %a@." i Value.pp v) r.Driver.outputs;
     Fmt.pr "@.%a@." Profiler.pp r.Driver.stats.profiler;
+    write_trace tracer trace_path;
     0
   in
   let values_arg =
@@ -181,7 +207,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a program on random inputs.")
-    Term.(const run $ file_arg $ inputs_arg $ batch_arg $ seed_arg $ framework_arg $ values_arg)
+    Term.(
+      const run $ file_arg $ inputs_arg $ batch_arg $ seed_arg $ framework_arg $ values_arg
+      $ trace_arg)
 
 (* --- bench --- *)
 
@@ -214,7 +242,8 @@ let bench_cmd =
 
 let serve_cmd =
   let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
-      burst seed iters faults_specs replicas dispatch hedge min_goodput json_path =
+      burst seed iters faults_specs replicas dispatch hedge min_goodput json_path
+      trace_path =
     guarded @@ fun () ->
     let model =
       match size with
@@ -256,13 +285,14 @@ let serve_cmd =
         if Faults.enabled p then Fmt.pr "fault plan (replica %d): %a@." i Faults.pp_plan p)
       fault_plans;
     if List.exists Faults.enabled fault_plans then Fmt.pr "@.";
+    let tracer = tracer_of trace_path in
     let summary =
       if replicas = 1 && hedge = None then begin
         (* Single-server path: byte-stable with previous releases. *)
         let faults = match fault_plans with [] -> Faults.none | p :: _ -> p in
         let report =
           serve_model ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~faults
-            ~process ~requests ~seed model
+            ?tracer ~process ~requests ~seed model
         in
         Fmt.pr "%a@.@." Serve.Stats.pp_summary report.sv_summary;
         Fmt.pr "cumulative device activity:@.%a@." Profiler.pp report.sv_profiler;
@@ -276,7 +306,8 @@ let serve_cmd =
       else begin
         let report =
           serve_cluster ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~fault_plans
-            ~dispatch ?hedge_percentile:hedge ~replicas ~process ~requests ~seed model
+            ~dispatch ?hedge_percentile:hedge ?tracer ~replicas ~process ~requests ~seed
+            model
         in
         Fmt.pr "cluster of %d replicas   dispatch %s%a@.@." replicas
           (Serve.Cluster.dispatch_name dispatch)
@@ -298,6 +329,7 @@ let serve_cmd =
         report.cr_summary
       end
     in
+    write_trace tracer trace_path;
     match min_goodput with
     | Some frac when Serve.Stats.goodput summary < frac ->
       Fmt.epr "error: goodput %.4f below --min-goodput %.4f@."
@@ -406,8 +438,74 @@ let serve_cmd =
       const run $ model_arg $ size_arg $ rate_arg $ policy_arg $ requests_arg
       $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
       $ iters_arg $ faults_arg $ replicas_arg $ dispatch_arg $ hedge_arg $ min_goodput_arg
-      $ json_arg)
+      $ json_arg $ trace_arg)
+
+(* --- trace (validate a --trace export) --- *)
+
+let trace_cmd =
+  let module J = Obs.Json in
+  let valid_phases = [ 'X'; 'i'; 'C'; 'M' ] in
+  let validate_event i (ev : J.t) =
+    let str k = match J.member k ev with Some (J.Str s) -> Some s | _ -> None in
+    let num k =
+      match J.member k ev with
+      | Some (J.Int n) -> Some (float_of_int n)
+      | Some (J.Float f) -> Some f
+      | _ -> None
+    in
+    let fail fmt = Fmt.invalid_arg ("event %d: " ^^ fmt) i in
+    let ph =
+      match str "ph" with
+      | Some p when String.length p = 1 && List.mem p.[0] valid_phases -> p.[0]
+      | Some p -> fail "unknown phase %S" p
+      | None -> fail "missing \"ph\""
+    in
+    if str "name" = None then fail "missing \"name\"";
+    if num "pid" = None then fail "missing \"pid\"";
+    if num "tid" = None then fail "missing \"tid\"";
+    (match ph with
+    | 'M' -> ()
+    | _ -> (
+      match num "ts" with
+      | Some ts when ts >= 0.0 -> ()
+      | Some _ -> fail "negative \"ts\""
+      | None -> fail "missing \"ts\""));
+    if ph = 'X' then begin
+      match num "dur" with
+      | Some d when d >= 0.0 -> ()
+      | Some _ -> fail "negative \"dur\""
+      | None -> fail "complete event missing \"dur\""
+    end;
+    ph
+  in
+  let run file =
+    guarded @@ fun () ->
+    match J.of_file file with
+    | exception J.Parse_error m ->
+      Fmt.epr "%s: invalid JSON: %s@." file m;
+      1
+    | json -> (
+      match Option.bind (J.member "traceEvents" json) J.to_list_opt with
+      | None ->
+        Fmt.epr "%s: no \"traceEvents\" array@." file;
+        1
+      | Some events ->
+        let phases = List.mapi validate_event events in
+        let count ph = List.length (List.filter (Char.equal ph) phases) in
+        Fmt.pr "%s: %d events OK (%d spans, %d instants, %d counters, %d metadata)@." file
+          (List.length events) (count 'X') (count 'i') (count 'C') (count 'M');
+        0)
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace JSON to check.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Validate a Chrome trace_event JSON file written by --trace.")
+    Term.(const run $ file_arg)
 
 let () =
   let info = Cmd.info "acrobatc" ~version:"1.0" ~doc:"The ACROBAT compiler driver." in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; lower_cmd; run_cmd; bench_cmd; serve_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ check_cmd; lower_cmd; run_cmd; bench_cmd; serve_cmd; trace_cmd ]))

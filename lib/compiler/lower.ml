@@ -594,8 +594,33 @@ let program ?(config = Config.acrobat) (p : Ast.program) ~(inputs : string list)
     kernel_hints = st.hints;
   }
 
-(** Full pipeline from source text. *)
-let compile ?config ~inputs src =
-  let p = Typecheck.parse_and_check src in
-  let p = Anf.program p in
-  program ?config p ~inputs
+(** Full pipeline from source text.
+
+    [tracer] receives one span per compiler pass on a dedicated "compiler"
+    process track (pid {!compiler_trace_pid}). Pass "durations" are
+    deterministic proxies — definition counts, not wall time — so traces
+    stay byte-identical across same-seed runs while still showing the
+    relative weight of each pass. *)
+let compiler_trace_pid = 100
+
+let compile ?config ?(tracer = Acrobat_obs.Trace.null) ~inputs src =
+  let module Trace = Acrobat_obs.Trace in
+  if Trace.enabled tracer then
+    Trace.name_process tracer ~pid:compiler_trace_pid ~name:"compiler";
+  let cursor = ref 0.0 in
+  (* [dur] maps the pass result to its deterministic span length (us). *)
+  let pass name ~dur f =
+    let y = f () in
+    let d = dur y in
+    Trace.complete tracer ~name ~cat:"compiler" ~pid:compiler_trace_pid ~tid:0
+      ~ts_us:!cursor ~dur_us:d;
+    cursor := !cursor +. d;
+    y
+  in
+  let n_defs (p : Ast.program) = float_of_int (List.length p.defs) in
+  let p =
+    pass "parse+typecheck" ~dur:n_defs (fun () -> Typecheck.parse_and_check src)
+  in
+  let p = pass "anf" ~dur:n_defs (fun () -> Anf.program p) in
+  pass "lower" ~dur:(fun lp -> float_of_int (Hashtbl.length lp.L.defs)) (fun () ->
+      program ?config p ~inputs)

@@ -40,6 +40,9 @@ module Model = Acrobat_models.Model
 module Models = Acrobat_models.Catalog
 module Workloads = Acrobat_workloads
 module Serve = Acrobat_serve
+module Obs = Acrobat_obs
+module Trace = Acrobat_obs.Trace
+module Metrics = Acrobat_obs.Metrics
 
 type compiled = {
   lprog : Lowered.t;
@@ -50,9 +53,9 @@ type compiled = {
 (** Parse, type check, analyze and lower [source]. [inputs] names the
     @main parameters that vary per batch instance (everything else is a
     model weight). *)
-let compile ?(framework = Frameworks.Acrobat Config.acrobat) ~(inputs : string list)
-    (source : string) : compiled =
-  let lprog = Lower.compile ~config:(Frameworks.config framework) ~inputs source in
+let compile ?(framework = Frameworks.Acrobat Config.acrobat) ?tracer
+    ~(inputs : string list) (source : string) : compiled =
+  let lprog = Lower.compile ~config:(Frameworks.config framework) ?tracer ~inputs source in
   let quality =
     match framework with
     | Frameworks.Acrobat _ ->
@@ -108,9 +111,9 @@ let tune ?iters ?(search_seed = 0) (c : compiled) ~(weights : (string * Tensor.t
     { c with quality = Autosched.quality table }
 
 (** Convenience: compile and tune a catalog model for a framework. *)
-let compile_model ?framework ?iters (model : Model.t) ~(batch : int) ~(seed : int) :
-    compiled * (string * Tensor.t) list =
-  let c = compile ?framework ~inputs:model.Model.inputs model.Model.source in
+let compile_model ?framework ?iters ?tracer (model : Model.t) ~(batch : int)
+    ~(seed : int) : compiled * (string * Tensor.t) list =
+  let c = compile ?framework ?tracer ~inputs:model.Model.inputs model.Model.source in
   let weights = model.Model.gen_weights seed in
   let rng = Rng.create (seed + 1) in
   let calibration = List.init (min 8 batch) (fun _ -> model.Model.gen_instance rng) in
@@ -124,21 +127,22 @@ let gen_batch (model : Model.t) ~batch ~seed =
 
 (** Execute one mini-batch through {!Driver.run_batch}. Same as {!run} but
     exposes the per-batch entry point the serving loop shares. *)
-let run_batch ?compute_values ?seed ?device (c : compiled)
+let run_batch ?compute_values ?seed ?device ?tracer (c : compiled)
     ~(weights : (string * Tensor.t) list)
     ~(instances : (string * Driver.hval) list list) () : Driver.result =
-  Driver.run_batch ?compute_values ?seed ?device ~mode:(Frameworks.mode c.framework)
-    ~policy:(Frameworks.policy c.framework) ~quality:c.quality ~lprog:c.lprog ~weights
-    ~instances ()
+  Driver.run_batch ?compute_values ?seed ?device ?tracer
+    ~mode:(Frameworks.mode c.framework) ~policy:(Frameworks.policy c.framework)
+    ~quality:c.quality ~lprog:c.lprog ~weights ~instances ()
 
 (* --- Online serving (lib/serve) glue --- *)
 
 (** A {!Serve.Server} executor that runs each assembled batch through the
     real engine stack on a fresh simulated device, reporting the batch's
     simulated latency and activity profile. *)
-let batch_executor ?(seed = 2024) (c : compiled) ~(weights : (string * Tensor.t) list)
+let batch_executor ?(seed = 2024) ?tracer (c : compiled)
+    ~(weights : (string * Tensor.t) list)
     (instances : (string * Driver.hval) list list) : Serve.Server.exec_outcome =
-  let r = run_batch ~seed c ~weights ~instances () in
+  let r = run_batch ~seed ?tracer c ~weights ~instances () in
   {
     Serve.Server.ex_latency_us = r.Driver.stats.latency_ms *. 1000.0;
     ex_profiler = Some r.Driver.stats.profiler;
@@ -153,7 +157,10 @@ type serve_report = {
 }
 
 let serve_report_json (r : serve_report) : Serve.Json.t =
-  Serve.Stats.summary_to_json r.sv_summary
+  Serve.Json.Obj
+    (match Serve.Stats.summary_to_json r.sv_summary with
+    | Serve.Json.Obj fields -> fields @ [ "profiler", Profiler.to_json r.sv_profiler ]
+    | other -> [ "summary", other; "profiler", Profiler.to_json r.sv_profiler ])
 
 (** A fault-aware {!Serve.Server} executor. Each batch runs on a fresh
     simulated device wired to the shared fault [injector] (so a retried
@@ -165,8 +172,8 @@ let serve_report_json (r : serve_report) : Serve.Json.t =
     still occupies the virtual device. OOM is reported non-transient
     (re-running the same batch would OOM again) with [ef_oom] set so the
     server both bisects into smaller batches and shrinks its batch cap. *)
-let fault_executor ?(seed = 2024) ~(injector : Faults.t) ~(primary : compiled) ?degraded_c
-    ~(weights : (string * Tensor.t) list) () ~(degraded : bool)
+let fault_executor ?(seed = 2024) ?tracer ~(injector : Faults.t) ~(primary : compiled)
+    ?degraded_c ~(weights : (string * Tensor.t) list) () ~(degraded : bool)
     (batch : (int * (string * Driver.hval) list) list) : Serve.Server.exec_result =
   let poison = (Faults.plan injector).Faults.poison in
   match List.find_opt (fun (id, _) -> List.mem id poison) batch with
@@ -181,7 +188,7 @@ let fault_executor ?(seed = 2024) ~(injector : Faults.t) ~(primary : compiled) ?
       }
   | None ->
     let c = if degraded then Option.value ~default:primary degraded_c else primary in
-    let device = Device.create ~faults:injector () in
+    let device = Device.create ~faults:injector ?tracer () in
     let instances = List.map snd batch in
     (match run_batch ~seed ~device c ~weights ~instances () with
     | r ->
@@ -231,10 +238,10 @@ let fault_executor ?(seed = 2024) ~(injector : Faults.t) ~(primary : compiled) ?
     server. *)
 let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
-    ?deadline_ms ?arrivals ?(faults = Faults.none) ?tolerance
+    ?deadline_ms ?arrivals ?(faults = Faults.none) ?tolerance ?tracer ?metrics
     ~(process : Serve.Traffic.process) ~(requests : int) ~(seed : int) (model : Model.t) :
     serve_report =
-  let c, weights = compile_model ~framework ?iters model ~batch:8 ~seed in
+  let c, weights = compile_model ~framework ?iters ?tracer model ~batch:8 ~seed in
   let payload_rng = Rng.create ((seed * 31) + 5) in
   let payloads =
     Array.init requests (fun i -> i, model.Model.gen_instance payload_rng)
@@ -270,14 +277,16 @@ let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
           model.Model.degraded
       in
       let injector = Faults.create faults in
-      fault_executor ~seed ~injector ~primary:c ?degraded_c ~weights ()
+      fault_executor ~seed ?tracer ~injector ~primary:c ?degraded_c ~weights ()
     end
     else
       Serve.Server.infallible (fun batch ->
-          batch_executor ~seed c ~weights (List.map snd batch))
+          batch_executor ~seed ?tracer c ~weights (List.map snd batch))
   in
   let stats =
-    Serve.Server.simulate config ~arrivals ~payload:(fun i -> payloads.(i)) ~execute
+    Serve.Server.simulate ?tracer ?metrics config ~arrivals
+      ~payload:(fun i -> payloads.(i))
+      ~execute
   in
   { sv_summary = Serve.Stats.summarize stats; sv_profiler = stats.Serve.Stats.profiler }
 
@@ -303,6 +312,7 @@ let cluster_report_json (r : cluster_report) : Serve.Json.t =
   Serve.Json.Obj
     [
       "cluster", Serve.Stats.summary_to_json r.cr_summary;
+      "profiler", Profiler.to_json r.cr_profiler;
       ( "replicas",
         Serve.Json.List
           (List.map
@@ -329,10 +339,10 @@ let cluster_report_json (r : cluster_report) : Serve.Json.t =
 let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
     ?deadline_ms ?arrivals ?(fault_plans = []) ?tolerance
-    ?(dispatch = Serve.Cluster.Join_shortest_queue) ?hedge_percentile
+    ?(dispatch = Serve.Cluster.Join_shortest_queue) ?hedge_percentile ?tracer ?metrics
     ?(replicas = 1) ~(process : Serve.Traffic.process) ~(requests : int) ~(seed : int)
     (model : Model.t) : cluster_report =
-  let c, weights = compile_model ~framework ?iters model ~batch:8 ~seed in
+  let c, weights = compile_model ~framework ?iters ?tracer model ~batch:8 ~seed in
   let payload_rng = Rng.create ((seed * 31) + 5) in
   let payloads =
     Array.init requests (fun i -> i, model.Model.gen_instance payload_rng)
@@ -375,10 +385,10 @@ let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
         let plan = plan_for i in
         if Faults.enabled plan then
           let injector = Faults.create plan in
-          fault_executor ~seed ~injector ~primary:c ?degraded_c ~weights ()
+          fault_executor ~seed ?tracer ~injector ~primary:c ?degraded_c ~weights ()
         else
           Serve.Server.infallible (fun batch ->
-              batch_executor ~seed c ~weights (List.map snd batch)))
+              batch_executor ~seed ?tracer c ~weights (List.map snd batch)))
   in
   let cfg =
     {
@@ -390,7 +400,9 @@ let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     }
   in
   let report =
-    Serve.Cluster.simulate cfg ~arrivals ~payload:(fun i -> payloads.(i)) ~executors
+    Serve.Cluster.simulate ?tracer ?metrics cfg ~arrivals
+      ~payload:(fun i -> payloads.(i))
+      ~executors
   in
   {
     cr_summary = Serve.Stats.summarize report.Serve.Cluster.cluster_stats;

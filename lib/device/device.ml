@@ -6,6 +6,9 @@
     are computed by the caller on the CPU. See DESIGN.md §2 for why this
     substitution preserves the paper's evaluation. *)
 
+module Trace = Acrobat_obs.Trace
+module Json = Acrobat_obs.Json
+
 type t = {
   cost : Cost_model.t;
   memory : Memory.t;
@@ -13,18 +16,30 @@ type t = {
   faults : Faults.t option;
       (** Shared fault injector; one injector can span many devices so
           retried work sees fresh fault draws. *)
+  tracer : Trace.t;
+      (** Span sink for launches/copies. Timestamps are the profiler's
+          accumulated virtual time, emitted relative to the tracer's
+          ambient base (the serving layer sets the base to the batch's
+          launch time before each execution). *)
 }
 
 (** [create ?faults ()] builds a device. When a fault plan carries a memory
     capacity, the arena is bounded accordingly and {!alloc} can raise
     {!Memory.Device_oom}. Creating a device opens a new batch attempt on the
     injector: one fault-fate draw covers all of this device's launches. *)
-let create ?(cost = Cost_model.default) ?faults () =
+let create ?(cost = Cost_model.default) ?faults ?(tracer = Trace.null) () =
   let capacity = Option.bind faults (fun f -> (Faults.plan f).Faults.capacity_elems) in
   Option.iter Faults.begin_attempt faults;
-  { cost; memory = Memory.create ?capacity (); profiler = Profiler.create (); faults }
+  {
+    cost;
+    memory = Memory.create ?capacity ();
+    profiler = Profiler.create ();
+    faults;
+    tracer;
+  }
 
 let profiler t = t.profiler
+let tracer t = t.tracer
 let cost_model t = t.cost
 let memory t = t.memory
 let faults t = t.faults
@@ -55,6 +70,9 @@ let inject_launch t =
         | Faults.Device_reset -> (Faults.plan f).Faults.reset_cost_us
       in
       Profiler.charge t.profiler Kernel_exec burn;
+      Trace.instant_rel t.tracer ~name:"fault" ~cat:"device"
+        ~ts_us:(Profiler.total_us t.profiler)
+        ~args:[ "kind", Json.Str (Faults.kind_name kind) ];
       raise e)
 
 (** Launch one compute kernel performing [flops] of work.
@@ -70,27 +88,37 @@ let launch_kernel ?(quality = 1.0) ?(scattered_inputs = false) ?(bytes = 0.0) t 
   let base = Cost_model.kernel_time t.cost ~flops ~bytes in
   let penalty = if scattered_inputs then 1.0 +. t.cost.indirection_penalty else 1.0 in
   let time = base *. penalty /. quality *. fault_mult in
+  let ts = Profiler.total_us t.profiler in
   t.profiler.kernel_calls <- t.profiler.kernel_calls + 1;
   Profiler.charge t.profiler Kernel_exec time;
-  Profiler.charge t.profiler Api_overhead t.cost.api_call_us
+  Profiler.charge t.profiler Api_overhead t.cost.api_call_us;
+  Trace.complete_rel t.tracer ~name:"kernel" ~cat:"device" ~ts_us:ts ~dur_us:time
+    ~args:[ "flops", Json.Float flops ]
 
 (** Launch an explicit memory-gather kernel copying [bytes] into a fresh
     contiguous slab; returns the slab's base address. *)
 let launch_gather t ~bytes ~elems =
   let fault_mult = inject_launch t in
   let time = Cost_model.gather_time t.cost ~bytes *. fault_mult in
+  let ts = Profiler.total_us t.profiler in
   t.profiler.kernel_calls <- t.profiler.kernel_calls + 1;
   t.profiler.gather_kernels <- t.profiler.gather_kernels + 1;
   t.profiler.gather_bytes <- t.profiler.gather_bytes + bytes;
   Profiler.charge t.profiler Kernel_exec time;
   Profiler.charge t.profiler Api_overhead t.cost.api_call_us;
+  Trace.complete_rel t.tracer ~name:"gather" ~cat:"device" ~ts_us:ts ~dur_us:time
+    ~args:[ "bytes", Json.Int bytes ];
   Memory.alloc t.memory ~elems
 
 (** One host->device (or device->host) transfer of [bytes]. *)
 let memcpy t ~bytes =
+  let time = Cost_model.memcpy_time t.cost ~bytes in
+  let ts = Profiler.total_us t.profiler in
   t.profiler.memcpy_calls <- t.profiler.memcpy_calls + 1;
-  Profiler.charge t.profiler Mem_transfer (Cost_model.memcpy_time t.cost ~bytes);
-  Profiler.charge t.profiler Api_overhead t.cost.api_call_us
+  Profiler.charge t.profiler Mem_transfer time;
+  Profiler.charge t.profiler Api_overhead t.cost.api_call_us;
+  Trace.complete_rel t.tracer ~name:"memcpy" ~cat:"device" ~ts_us:ts ~dur_us:time
+    ~args:[ "bytes", Json.Int bytes ]
 
 (** Upload a tensor, returning its device address. *)
 let upload t tensor =
@@ -117,7 +145,9 @@ let charge_vm_dispatch t = Profiler.charge t.profiler Vm_overhead t.cost.vm_disp
 
 let charge_fiber_switch t =
   t.profiler.fiber_switches <- t.profiler.fiber_switches + 1;
-  Profiler.charge t.profiler Fiber_overhead t.cost.fiber_switch_us
+  Profiler.charge t.profiler Fiber_overhead t.cost.fiber_switch_us;
+  Trace.instant_rel t.tracer ~name:"fiber_switch" ~cat:"runtime"
+    ~ts_us:(Profiler.total_us t.profiler)
 
 let note_batch t = t.profiler.batches_executed <- t.profiler.batches_executed + 1
 let note_unbatched t = t.profiler.unbatched_ops <- t.profiler.unbatched_ops + 1

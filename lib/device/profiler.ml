@@ -103,6 +103,22 @@ let merge ~into src =
   into.unbatched_ops <- into.unbatched_ops + src.unbatched_ops;
   into.fiber_switches <- into.fiber_switches + src.fiber_switches
 
+(** Every accumulated counter, in a fixed order shared by {!pp},
+    {!to_json} and the metrics bridge — the single list that keeps the
+    three exports from drifting out of sync again (counters used to be
+    collected but silently dropped by [pp]). *)
+let counters t =
+  [
+    "kernel_calls", t.kernel_calls;
+    "gather_kernels", t.gather_kernels;
+    "gather_bytes", t.gather_bytes;
+    "memcpy_calls", t.memcpy_calls;
+    "nodes_created", t.nodes_created;
+    "batches_executed", t.batches_executed;
+    "unbatched_ops", t.unbatched_ops;
+    "fiber_switches", t.fiber_switches;
+  ]
+
 let pp ppf t =
   Fmt.pf ppf "@[<v>";
   List.iter
@@ -112,6 +128,33 @@ let pp ppf t =
     all_activities;
   Fmt.pf ppf "#Kernel calls      %8d@," t.kernel_calls;
   Fmt.pf ppf "#Gather kernels    %8d@," t.gather_kernels;
+  Fmt.pf ppf "Gather bytes       %8d@," t.gather_bytes;
+  Fmt.pf ppf "#Memcpy calls      %8d@," t.memcpy_calls;
   Fmt.pf ppf "#DFG nodes         %8d@," t.nodes_created;
   Fmt.pf ppf "#Batches           %8d@," t.batches_executed;
+  Fmt.pf ppf "#Unbatched ops     %8d@," t.unbatched_ops;
+  Fmt.pf ppf "#Fiber switches    %8d@," t.fiber_switches;
   Fmt.pf ppf "Total              %8.2f ms@]" (total_ms t)
+
+(** Times (ms, per activity) and all counters as JSON — used by
+    [bench --json] and the run/serve reports. *)
+let to_json t : Acrobat_obs.Json.t =
+  let open Acrobat_obs.Json in
+  let times =
+    List.filter_map
+      (fun a ->
+        let v = time_us t a in
+        if v > 0.0 then Some (activity_name a, Float (v /. 1000.0)) else None)
+      all_activities
+  in
+  Obj
+    [
+      "times_ms", Obj times;
+      "counters", Obj (List.map (fun (k, v) -> k, Int v) (counters t));
+      "total_ms", Float (total_ms t);
+    ]
+
+(** Mirror the final counter values into a metrics registry under
+    ["device."] names. *)
+let to_metrics t (m : Acrobat_obs.Metrics.t) =
+  Acrobat_obs.Metrics.set_counters m "device." (counters t)

@@ -79,12 +79,16 @@ type result = {
     device this run creates (ignored when [device] is supplied — a caller
     passing a device has already wired its faults); injected faults
     surface as {!Acrobat_device.Faults.Fault} or
-    {!Acrobat_device.Memory.Device_oom} exceptions out of this call. *)
-let run_batch ?(compute_values = false) ?(seed = 2024) ?device ?faults ~(mode : mode)
-    ~(policy : Policy.t) ~(quality : int -> float) ~(lprog : L.t)
+    {!Acrobat_device.Memory.Device_oom} exceptions out of this call.
+    [tracer] likewise threads a span sink into a freshly created device, so
+    kernel/gather/memcpy spans reach the caller's trace. *)
+let run_batch ?(compute_values = false) ?(seed = 2024) ?device ?faults ?tracer
+    ~(mode : mode) ~(policy : Policy.t) ~(quality : int -> float) ~(lprog : L.t)
     ~(weights : (string * Tensor.t) list) ~(instances : (string * hval) list list) () :
     result =
-  let device = match device with Some d -> d | None -> Device.create ?faults () in
+  let device =
+    match device with Some d -> d | None -> Device.create ?faults ?tracer ()
+  in
   let start_us = Profiler.total_us (Device.profiler device) in
   let exec_policy =
     {

@@ -1,0 +1,140 @@
+(** A small metrics registry: named counters, gauges and histograms,
+    unified across the device profiler and the serving statistics so one
+    JSON document answers "where did time and work go".
+
+    Like {!Trace}, the registry follows the null-object pattern: the
+    disabled registry ({!null}) turns every registration and update into a
+    no-op, so instrumentation sites never branch on an option.
+
+    Instruments are kept in registration order and snapshots are taken at
+    virtual-clock timestamps, so exports are deterministic for a fixed
+    seed. Histograms store raw observations (the simulations here observe
+    thousands of values, not millions), which keeps percentile queries
+    exact. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  mutable h_values : float list;  (** Reversed observation order. *)
+  mutable h_count : int;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  enabled : bool;
+  mutable instruments : instrument list;  (** Reversed registration order. *)
+  mutable snapshots : (float * (string * float) list) list;
+      (** [(ts_us, (name, value) ...)] — reversed capture order. *)
+}
+
+let null = { enabled = false; instruments = []; snapshots = [] }
+let create () = { null with enabled = true }
+let enabled t = t.enabled
+
+let instrument_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let find t name = List.find_opt (fun i -> instrument_name i = name) t.instruments
+
+let register t mk name =
+  match find t name with
+  | Some i -> i
+  | None ->
+    let i = mk name in
+    t.instruments <- i :: t.instruments;
+    i
+
+(* Registering against the null registry hands back a detached instrument:
+   updates mutate it, but it is never listed or exported. *)
+let counter t name =
+  if t.enabled then
+    match register t (fun n -> Counter { c_name = n; c_value = 0 }) name with
+    | Counter c -> c
+    | _ -> invalid_arg (name ^ ": registered with a different instrument kind")
+  else { c_name = name; c_value = 0 }
+
+let gauge t name =
+  if t.enabled then
+    match register t (fun n -> Gauge { g_name = n; g_value = 0.0 }) name with
+    | Gauge g -> g
+    | _ -> invalid_arg (name ^ ": registered with a different instrument kind")
+  else { g_name = name; g_value = 0.0 }
+
+let histogram t name =
+  if t.enabled then
+    match register t (fun n -> Histogram { h_name = n; h_values = []; h_count = 0 }) name with
+    | Histogram h -> h
+    | _ -> invalid_arg (name ^ ": registered with a different instrument kind")
+  else { h_name = name; h_values = []; h_count = 0 }
+
+let incr ?(by = 1) (c : counter) = c.c_value <- c.c_value + by
+let counter_value (c : counter) = c.c_value
+let set (g : gauge) v = g.g_value <- v
+let gauge_value (g : gauge) = g.g_value
+
+let observe (h : histogram) v =
+  h.h_values <- v :: h.h_values;
+  h.h_count <- h.h_count + 1
+
+let hist_count (h : histogram) = h.h_count
+
+(** Set a whole family of counters at once — the bridge used to mirror an
+    existing stats record ([Profiler], [Serve.Stats]) into the registry. *)
+let set_counters t prefix pairs =
+  if t.enabled then
+    List.iter (fun (name, v) -> (counter t (prefix ^ name)).c_value <- v) pairs
+
+(* Nearest-rank percentile over the raw observations. *)
+let hist_percentile (h : histogram) p =
+  match List.sort Float.compare h.h_values with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    List.nth sorted idx
+
+let instrument_scalar = function
+  | Counter c -> float_of_int c.c_value
+  | Gauge g -> g.g_value
+  | Histogram h -> float_of_int h.h_count
+
+(** Record the current value of every instrument at virtual time [ts_us]
+    (histograms snapshot their observation count). *)
+let snapshot t ~ts_us =
+  if t.enabled then begin
+    let values =
+      List.rev_map (fun i -> instrument_name i, instrument_scalar i) t.instruments
+    in
+    t.snapshots <- (ts_us, values) :: t.snapshots
+  end
+
+let snapshot_count t = List.length t.snapshots
+
+let instrument_json = function
+  | Counter c -> c.c_name, Json.Int c.c_value
+  | Gauge g -> g.g_name, Json.Float g.g_value
+  | Histogram h ->
+    ( h.h_name,
+      Json.Obj
+        [
+          "count", Json.Int h.h_count;
+          "p50", Json.Float (hist_percentile h 50.0);
+          "p99", Json.Float (hist_percentile h 99.0);
+          "max", Json.Float (hist_percentile h 100.0);
+        ] )
+
+(** The registry as JSON: final instrument values in registration order,
+    plus the timeline of periodic snapshots. *)
+let to_json t : Json.t =
+  let final = List.rev_map instrument_json t.instruments in
+  let snap (ts, values) =
+    Json.Obj (("ts_us", Json.Float ts) :: List.map (fun (k, v) -> k, Json.Float v) values)
+  in
+  Json.Obj
+    [ "metrics", Json.Obj final; "snapshots", Json.List (List.rev_map snap t.snapshots) ]

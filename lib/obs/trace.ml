@@ -1,0 +1,190 @@
+(** Deterministic execution tracing in the Chrome [trace_event] format.
+
+    Every layer of the stack (device, runtime, compiler, serving) emits
+    spans and instants through a {!t} handle. The disabled handle ({!null})
+    makes every emission a no-op, so instrumented hot paths cost one branch
+    when tracing is off and the untraced output of every tool stays exactly
+    what it was.
+
+    Timestamps are {e virtual} microseconds: the serving layer's event-loop
+    clock, or the device profiler's accumulated simulated time for offline
+    runs. Nothing reads the wall clock, so two runs with the same seed
+    produce byte-identical traces — the property `make check` asserts.
+
+    The export ({!to_json}) is the Chrome JSON Array / JSON Object format
+    loadable in Perfetto or chrome://tracing: replicas map to [pid]s,
+    requests and fibers to [tid]s, and phases used are ["X"] (complete
+    span), ["i"] (instant), ["C"] (counter sample) and ["M"] (metadata
+    naming the process tracks). *)
+
+(** One emitted event. [ph] follows the trace_event phase codes. *)
+type event = {
+  ev_seq : int;  (** Emission order; ties at one timestamp sort by it. *)
+  ev_ph : char;
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;
+  ev_dur_us : float;  (** Only meaningful for ["X"] events. *)
+  ev_pid : int;
+  ev_tid : int;
+  ev_args : (string * Json.t) list;
+}
+
+type t = {
+  enabled : bool;
+  mutable events : event list;  (** Reversed emission order. *)
+  mutable next_seq : int;
+  mutable pid : int;  (** Ambient process id (replica) for device emits. *)
+  mutable tid : int;  (** Ambient thread id for device emits. *)
+  mutable base_us : float;
+      (** Offset added to device-relative timestamps: the serving layer sets
+          it to the batch's virtual launch time before each execution, so a
+          per-batch device clock lands on the global timeline. *)
+}
+
+(** The shared disabled tracer: every operation on it is a no-op. *)
+let null = { enabled = false; events = []; next_seq = 0; pid = 0; tid = 0; base_us = 0.0 }
+
+let create () = { null with enabled = true }
+
+let enabled t = t.enabled
+
+(** Set the ambient emission context (see {!t} field docs). Unset fields
+    keep their current value. *)
+let set_context ?pid ?tid ?base_us t =
+  if t.enabled then begin
+    Option.iter (fun p -> t.pid <- p) pid;
+    Option.iter (fun i -> t.tid <- i) tid;
+    Option.iter (fun b -> t.base_us <- b) base_us
+  end
+
+let base_us t = t.base_us
+
+let push t ev = t.events <- ev :: t.events
+
+let next_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+(** A complete span: [ts_us .. ts_us +. dur_us]. [ts_us] is absolute; use
+    {!complete_rel} for device-relative timestamps. *)
+let complete ?pid ?tid ?(args = []) ?(cat = "") t ~name ~ts_us ~dur_us =
+  if t.enabled then
+    push t
+      {
+        ev_seq = next_seq t;
+        ev_ph = 'X';
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts_us = ts_us;
+        ev_dur_us = Float.max 0.0 dur_us;
+        ev_pid = Option.value ~default:t.pid pid;
+        ev_tid = Option.value ~default:t.tid tid;
+        ev_args = args;
+      }
+
+(** A complete span whose [ts_us] is relative to the ambient {!base_us} —
+    the form the device uses, since its profiler clock restarts per batch. *)
+let complete_rel ?pid ?tid ?args ?cat t ~name ~ts_us ~dur_us =
+  if t.enabled then complete ?pid ?tid ?args ?cat t ~name ~ts_us:(t.base_us +. ts_us) ~dur_us
+
+(** A zero-duration instant event at an absolute timestamp. *)
+let instant ?pid ?tid ?(args = []) ?(cat = "") t ~name ~ts_us =
+  if t.enabled then
+    push t
+      {
+        ev_seq = next_seq t;
+        ev_ph = 'i';
+        ev_name = name;
+        ev_cat = cat;
+        ev_ts_us = ts_us;
+        ev_dur_us = 0.0;
+        ev_pid = Option.value ~default:t.pid pid;
+        ev_tid = Option.value ~default:t.tid tid;
+        ev_args = args;
+      }
+
+(** {!instant} with a {!base_us}-relative timestamp. *)
+let instant_rel ?pid ?tid ?args ?cat t ~name ~ts_us =
+  if t.enabled then instant ?pid ?tid ?args ?cat t ~name ~ts_us:(t.base_us +. ts_us)
+
+(** A counter sample: Perfetto renders these as a value-over-time track. *)
+let counter ?pid ?(args = []) t ~name ~ts_us =
+  if t.enabled then
+    push t
+      {
+        ev_seq = next_seq t;
+        ev_ph = 'C';
+        ev_name = name;
+        ev_cat = "";
+        ev_ts_us = ts_us;
+        ev_dur_us = 0.0;
+        ev_pid = Option.value ~default:t.pid pid;
+        ev_tid = 0;
+        ev_args = args;
+      }
+
+let metadata t ~meta_name ~pid ~tid ~value =
+  push t
+    {
+      ev_seq = next_seq t;
+      ev_ph = 'M';
+      ev_name = meta_name;
+      ev_cat = "";
+      ev_ts_us = 0.0;
+      ev_dur_us = 0.0;
+      ev_pid = pid;
+      ev_tid = tid;
+      ev_args = [ "name", Json.Str value ];
+    }
+
+(** Name a [pid] track in the viewer (metadata event). *)
+let name_process ?(pid = 0) t ~name =
+  if t.enabled then metadata t ~meta_name:"process_name" ~pid ~tid:0 ~value:name
+
+(** Name a [tid] track within a process. *)
+let name_thread ?(pid = 0) ~tid t ~name =
+  if t.enabled then metadata t ~meta_name:"thread_name" ~pid ~tid ~value:name
+
+let event_count t = List.length t.events
+
+(** Events in a canonical deterministic order: metadata first, then by
+    (timestamp, emission sequence). *)
+let events t =
+  List.stable_sort
+    (fun a b ->
+      match Bool.compare (a.ev_ph <> 'M') (b.ev_ph <> 'M') with
+      | 0 -> (
+        match Float.compare a.ev_ts_us b.ev_ts_us with
+        | 0 -> Int.compare a.ev_seq b.ev_seq
+        | c -> c)
+      | c -> c)
+    (List.rev t.events)
+
+let event_json (ev : event) : Json.t =
+  let base =
+    [
+      "name", Json.Str ev.ev_name;
+      "ph", Json.Str (String.make 1 ev.ev_ph);
+      "ts", Json.Float ev.ev_ts_us;
+      "pid", Json.Int ev.ev_pid;
+      "tid", Json.Int ev.ev_tid;
+    ]
+  in
+  let cat = if ev.ev_cat = "" then [] else [ "cat", Json.Str ev.ev_cat ] in
+  let dur = if ev.ev_ph = 'X' then [ "dur", Json.Float ev.ev_dur_us ] else [] in
+  (* Instant events need a scope for strict viewers; "t" = thread. *)
+  let scope = if ev.ev_ph = 'i' then [ "s", Json.Str "t" ] else [] in
+  let args = if ev.ev_args = [] then [] else [ "args", Json.Obj ev.ev_args ] in
+  Json.Obj (base @ cat @ dur @ scope @ args)
+
+(** The full trace as a Chrome JSON-Object-format document. *)
+let to_json t : Json.t =
+  Json.Obj
+    [
+      "traceEvents", Json.List (List.map event_json (events t));
+      "displayTimeUnit", Json.Str "ms";
+    ]
+
+let to_file path t = Json.to_file path (to_json t)

@@ -37,6 +37,10 @@
     seed and replica id) and whatever the executors draw internally. Same
     seeds and fault plans ⇒ byte-identical stats. *)
 
+module Trace = Acrobat_obs.Trace
+module Metrics = Acrobat_obs.Metrics
+module Json = Acrobat_obs.Json
+
 type dispatch = Round_robin | Join_shortest_queue | Least_expected_latency
 
 let dispatch_name = function
@@ -106,6 +110,7 @@ type 'a t = {
   lat_ring : float array;  (** Recent winning latencies (us), circular. *)
   mutable lat_count : int;
   mutable lat_idx : int;
+  tracer : Trace.t;  (** Dispatcher-level emissions land on pid 0. *)
 }
 
 let record_latency st lat_us =
@@ -113,12 +118,18 @@ let record_latency st lat_us =
   st.lat_idx <- (st.lat_idx + 1) mod hedge_window;
   if st.lat_count < hedge_window then st.lat_count <- st.lat_count + 1
 
+(** Pure hedge-delay estimate: the [percentile] of the first [count] ring
+    entries, or [None] during warm-up (fewer than {!hedge_min_obs}
+    observations — an early wild guess would either never fire or duplicate
+    everything). Exposed for the warm-up boundary test. *)
+let hedge_delay ~percentile ring ~count =
+  if count < hedge_min_obs then None
+  else Some (Stats.percentile (Array.sub ring 0 count) percentile)
+
 let hedge_delay_us st =
   match st.cfg.c_hedge_percentile with
   | None -> None
-  | Some p ->
-    if st.lat_count < hedge_min_obs then None
-    else Some (Stats.percentile (Array.sub st.lat_ring 0 st.lat_count) p)
+  | Some p -> hedge_delay ~percentile:p st.lat_ring ~count:st.lat_count
 
 let entry st rq_id = Hashtbl.find st.entries rq_id
 
@@ -128,11 +139,25 @@ let copy_lost st (ent : 'a entry) ~terminal =
   ent.ent_copies <- ent.ent_copies - 1;
   if (not ent.ent_done) && ent.ent_copies <= 0 then begin
     ent.ent_done <- true;
-    match terminal with
-    | `Shed -> st.stats.Stats.shed <- st.stats.Stats.shed + 1
-    | `Expired -> st.stats.Stats.expired <- st.stats.Stats.expired + 1
-    | `Poisoned -> st.stats.Stats.poisoned <- st.stats.Stats.poisoned + 1
-    | `Budget -> st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1
+    let name =
+      match terminal with
+      | `Shed ->
+        st.stats.Stats.shed <- st.stats.Stats.shed + 1;
+        "shed"
+      | `Expired ->
+        st.stats.Stats.expired <- st.stats.Stats.expired + 1;
+        "expired"
+      | `Poisoned ->
+        st.stats.Stats.poisoned <- st.stats.Stats.poisoned + 1;
+        "poisoned"
+      | `Budget ->
+        st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1;
+        "budget_exhausted"
+    in
+    let id = ent.ent_req.Admission.rq_id in
+    Trace.instant st.tracer ~name ~cat:"request" ~pid:0 ~tid:(Server.req_tid id)
+      ~ts_us:(Event_loop.now st.loop)
+      ~args:[ "id", Json.Int id ]
   end
 
 (* A still-queued copy of an already-resolved request was discarded — the
@@ -219,6 +244,11 @@ let maybe_hedge st (ent : 'a entry) =
       ent.ent_hedge_replica <- i;
       ent.ent_copies <- ent.ent_copies + 1;
       st.stats.Stats.hedges <- st.stats.Stats.hedges + 1;
+      Trace.instant st.tracer ~name:"hedge" ~cat:"cluster" ~pid:0
+        ~tid:(Server.req_tid ent.ent_req.Admission.rq_id)
+        ~ts_us:now_us
+        ~args:
+          [ "id", Json.Int ent.ent_req.Admission.rq_id; "replica", Json.Int i ];
       if not (Replica.enqueue st.replicas.(i) ent.ent_req) then
         (* The hedge target shed it; the primary copy is still live, so
            this never terminates the request. *)
@@ -244,6 +274,9 @@ let on_completed st ~replica (batch : 'a Admission.request list) ~size ~start_us
             r_batch_size = size;
           };
         record_latency st (done_us -. r.Admission.rq_arrival_us);
+        Trace.instant st.tracer ~name:"done" ~cat:"request" ~pid:0
+          ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:done_us
+          ~args:[ "id", Json.Int r.Admission.rq_id; "replica", Json.Int replica ];
         if ent.ent_hedged && replica = ent.ent_hedge_replica then
           st.stats.Stats.hedge_wins <- st.stats.Stats.hedge_wins + 1
       end
@@ -282,6 +315,10 @@ let on_down st ~replica (requeue : 'a Admission.request list) =
           copy_lost st ent ~terminal:`Budget
         else begin
           st.stats.Stats.requeued <- st.stats.Stats.requeued + 1;
+          Trace.instant st.tracer ~name:"requeue" ~cat:"cluster" ~pid:0
+            ~tid:(Server.req_tid r.Admission.rq_id)
+            ~ts_us:(Event_loop.now st.loop)
+            ~args:[ "id", Json.Int r.Admission.rq_id; "from", Json.Int replica ];
           (* The down replica is no longer Up, so [dispatch] naturally
              routes elsewhere (or parks the request when nowhere is). *)
           dispatch st r
@@ -310,6 +347,10 @@ let on_arrival st (r : 'a Admission.request) =
     }
   in
   Hashtbl.replace st.entries r.Admission.rq_id ent;
+  Trace.instant st.tracer ~name:"admit" ~cat:"request" ~pid:0
+    ~tid:(Server.req_tid r.Admission.rq_id)
+    ~ts_us:(Event_loop.now st.loop)
+    ~args:[ "id", Json.Int r.Admission.rq_id ];
   (* Arm the hedge timer from the delay estimate at arrival time; when the
      request resolves first, the timer no-ops. *)
   (match hedge_delay_us st with
@@ -336,7 +377,9 @@ type report = {
 (** Run the cluster simulation to completion. [executors.(i)] runs a batch
     on replica [i]'s device (wrap with a per-replica fault injector to make
     one replica flaky); its length must equal [cfg.c_replicas]. *)
-let simulate (cfg : config) ~(arrivals : float array) ~(payload : int -> 'a)
+let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
+    ?(snapshot_every_us = 10_000.0) (cfg : config) ~(arrivals : float array)
+    ~(payload : int -> 'a)
     ~(executors : (degraded:bool -> 'a list -> Server.exec_result) array) : report =
   if Array.length executors <> cfg.c_replicas then
     Fmt.invalid_arg "Cluster.simulate: %d executors for %d replicas"
@@ -344,6 +387,12 @@ let simulate (cfg : config) ~(arrivals : float array) ~(payload : int -> 'a)
   if cfg.c_replicas <= 0 then
     Fmt.invalid_arg "Cluster.simulate: replicas must be positive";
   let loop = Event_loop.create (Clock.create ()) in
+  if Trace.enabled tracer then begin
+    Trace.name_process tracer ~pid:0 ~name:"dispatcher";
+    for i = 0 to cfg.c_replicas - 1 do
+      Trace.name_process tracer ~pid:(i + 1) ~name:(Fmt.str "replica %d" i)
+    done
+  end;
   let st =
     {
       cfg;
@@ -356,6 +405,7 @@ let simulate (cfg : config) ~(arrivals : float array) ~(payload : int -> 'a)
       lat_ring = Array.make hedge_window 0.0;
       lat_count = 0;
       lat_idx = 0;
+      tracer;
     }
   in
   let cb =
@@ -373,8 +423,8 @@ let simulate (cfg : config) ~(arrivals : float array) ~(payload : int -> 'a)
   in
   st.replicas <-
     Array.init cfg.c_replicas (fun i ->
-        Replica.create ~id:i ~loop ~config:cfg.c_server
-          ~reset_threshold:cfg.c_reset_threshold ~execute:executors.(i) ~cb);
+        Replica.create ~tracer ~id:i ~loop ~config:cfg.c_server
+          ~reset_threshold:cfg.c_reset_threshold ~execute:executors.(i) ~cb ());
   Array.iteri
     (fun i at ->
       let r =
@@ -387,6 +437,17 @@ let simulate (cfg : config) ~(arrivals : float array) ~(payload : int -> 'a)
       in
       Event_loop.schedule loop ~at (fun () -> on_arrival st r))
     arrivals;
+  (* Periodic metric snapshots; the chain stops rescheduling once it is the
+     only pending work, so the loop still drains. *)
+  if Metrics.enabled metrics then begin
+    let rec snap () =
+      Stats.to_metrics st.stats metrics;
+      Metrics.snapshot metrics ~ts_us:(Event_loop.now loop);
+      if Event_loop.pending loop > 0 then
+        Event_loop.schedule_after loop ~delay:snapshot_every_us snap
+    in
+    Event_loop.schedule_after loop ~delay:snapshot_every_us snap
+  end;
   Event_loop.run loop;
   (* Anything still parked when the event loop drained could not be placed
      before the end of the run; account it as dropped so the per-request
@@ -427,4 +488,6 @@ let simulate (cfg : config) ~(arrivals : float array) ~(payload : int -> 'a)
            { rv_id = Replica.id rep; rv_stats = rs; rv_health = Replica.health rep })
          st.replicas)
   in
+  st.stats.Stats.clamped_schedules <- Event_loop.clamped_count loop;
+  Stats.to_metrics st.stats metrics;
   { cluster_stats = st.stats; replica_views = views }

@@ -21,18 +21,26 @@ type t = {
   mutable queue : (unit -> unit) Q.t;
   mutable next_seq : int;
   mutable dispatched : int;
+  mutable clamped : int;
 }
 
-let create clock = { clock; queue = Q.empty; next_seq = 0; dispatched = 0 }
+let create clock = { clock; queue = Q.empty; next_seq = 0; dispatched = 0; clamped = 0 }
 
 let clock t = t.clock
 let now t = Clock.now t.clock
 let pending t = Q.cardinal t.queue
 let dispatched t = t.dispatched
 
+(** Number of schedules whose requested time was in the past. A correct
+    simulation never asks for the past, so anything nonzero is a latent
+    scheduling bug that clamping would otherwise hide. *)
+let clamped_count t = t.clamped
+
 (** Schedule [f] to run at virtual time [at] (clamped to the present: the
-    past is immutable). *)
+    past is immutable — but see {!clamped_count}; silently rewriting the
+    request can mask bugs, so every clamp is counted). *)
 let schedule t ~at f =
+  if at < now t then t.clamped <- t.clamped + 1;
   let at = Float.max at (now t) in
   t.queue <- Q.add (at, t.next_seq) f t.queue;
   t.next_seq <- t.next_seq + 1

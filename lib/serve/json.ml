@@ -1,74 +1,6 @@
-(** A minimal JSON value and printer — just enough for machine-readable
-    benchmark dumps, with no dependency beyond the stdlib.
+(** Re-export of the JSON value type and emitter, which moved to
+    {!Acrobat_obs.Json} when the observability layer (sitting below the
+    serving stack) gained the trace exporter. Kept here so existing
+    [Serve.Json] users are unaffected. *)
 
-    Floats print with ["%.6g"], so values round-trip stably: two
-    deterministic runs of the same experiment serialize to byte-identical
-    output (the property the serving determinism check asserts). *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.6g" f
-
-let rec emit buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int n -> Buffer.add_string buf (string_of_int n)
-  | Float f -> Buffer.add_string buf (float_repr f)
-  | Str s ->
-    Buffer.add_char buf '"';
-    Buffer.add_string buf (escape s);
-    Buffer.add_char buf '"'
-  | List xs ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i x ->
-        if i > 0 then Buffer.add_char buf ',';
-        emit buf x)
-      xs;
-    Buffer.add_char buf ']'
-  | Obj fields ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (escape k);
-        Buffer.add_string buf "\":";
-        emit buf v)
-      fields;
-    Buffer.add_char buf '}'
-
-let to_string (j : t) : string =
-  let buf = Buffer.create 256 in
-  emit buf j;
-  Buffer.contents buf
-
-let to_file path (j : t) =
-  let oc = open_out path in
-  output_string oc (to_string j);
-  output_char oc '\n';
-  close_out oc
+include Acrobat_obs.Json

@@ -28,6 +28,8 @@
     epoch counter rather than cancellation. *)
 
 module Rng = Acrobat_tensor.Rng
+module Trace = Acrobat_obs.Trace
+module Json = Acrobat_obs.Json
 
 (** Health as the cluster's dispatcher sees it. *)
 type health = Up | Probing | Down
@@ -84,13 +86,20 @@ type 'a t = {
   mutable outstanding : 'a Admission.request list;
       (** The in-flight batch's unresolved requests; requeued on failover. *)
   mutable epoch : int;  (** Bumped on failover; stale continuations no-op. *)
+  tracer : Trace.t;
+      (** Shared cluster tracer; this replica emits under pid [id + 1]
+          (pid 0 is the dispatcher). *)
 }
+
+(* Trace pid convention (cluster runs): dispatcher-level events are pid 0,
+   replica [i]'s device and batch spans are pid [i + 1]. *)
+let trace_pid t = t.id + 1
 
 let score_alpha = 0.2
 
-let create ~id ~loop ~(config : Server.config) ~reset_threshold
-    ~(execute : degraded:bool -> 'a list -> Server.exec_result) ~(cb : 'a callbacks) : 'a t
-    =
+let create ?(tracer = Trace.null) ~id ~loop ~(config : Server.config) ~reset_threshold
+    ~(execute : degraded:bool -> 'a list -> Server.exec_result) ~(cb : 'a callbacks) () :
+    'a t =
   let pmax = Server.policy_max_batch config.Server.policy in
   {
     id;
@@ -116,6 +125,7 @@ let create ~id ~loop ~(config : Server.config) ~reset_threshold
     health_score = 1.0;
     outstanding = [];
     epoch = 0;
+    tracer;
   }
 
 let id t = t.id
@@ -156,6 +166,8 @@ let note_success t =
   if t.health = Probing then begin
     t.health <- Up;
     t.stats.Stats.readmitted <- t.stats.Stats.readmitted + 1;
+    Trace.instant t.tracer ~name:"readmit" ~cat:"cluster" ~pid:(trace_pid t) ~tid:0
+      ~ts_us:(Event_loop.now t.loop);
     t.cb.cb_up ~replica:t.id
   end;
   if t.degraded then begin
@@ -221,6 +233,9 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
   let rec attempt ~retries_left ~backoff_us () =
     let now_us = Event_loop.now t.loop in
     let degraded = t.degraded in
+    (* Anchor the executor's fresh per-batch device clock at this attempt's
+       launch time, on this replica's pid. *)
+    Trace.set_context t.tracer ~pid:(trace_pid t) ~tid:0 ~base_us:now_us;
     match t.execute ~degraded (List.map (fun r -> r.Admission.rq_payload) batch) with
     | Server.Exec_ok outcome ->
       let size = List.length batch in
@@ -230,6 +245,9 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
       Stats.note_batch t.stats ~size ~profiler:outcome.Server.ex_profiler;
       if degraded then
         t.stats.Stats.degraded_batches <- t.stats.Stats.degraded_batches + 1;
+      Trace.complete t.tracer ~name:"batch" ~cat:"serve" ~pid:(trace_pid t) ~tid:0
+        ~ts_us:now_us ~dur_us:outcome.Server.ex_latency_us
+        ~args:[ "size", Json.Int size; "degraded", Json.Bool degraded ];
       List.iter
         (fun (r : _ Admission.request) ->
           Stats.record t.stats
@@ -239,7 +257,10 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
               r_start_us = now_us;
               r_done_us = done_us;
               r_batch_size = size;
-            })
+            };
+          Trace.complete t.tracer ~name:"queue" ~cat:"request" ~pid:(trace_pid t)
+            ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:r.Admission.rq_arrival_us
+            ~dur_us:(now_us -. r.Admission.rq_arrival_us))
         batch;
       (* Report the completion at [done_us], not at launch: the cluster
          must consider these requests in flight until the device actually
@@ -261,6 +282,14 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
       if f.ef_oom then shrink_batches t;
       let freed_us = now_us +. Float.max 0.0 f.ef_latency_us in
       t.busy_until_us <- freed_us;
+      Trace.complete t.tracer ~name:"batch_fault" ~cat:"fault" ~pid:(trace_pid t) ~tid:0
+        ~ts_us:now_us ~dur_us:f.ef_latency_us
+        ~args:
+          [
+            "reason", Json.Str f.ef_reason;
+            "transient", Json.Bool f.ef_transient;
+            "size", Json.Int (List.length batch);
+          ];
       let must_fail_over =
         t.health = Probing (* a failed probe downs the replica immediately *)
         || t.consecutive_failures >= tol.Server.breaker_threshold
@@ -274,6 +303,9 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
           1.0 +. (tol.Server.jitter_frac *. ((2.0 *. Rng.float t.ft_rng) -. 1.0))
         in
         let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
+        Trace.instant t.tracer ~name:"retry" ~cat:"fault" ~pid:(trace_pid t) ~tid:0
+          ~ts_us:at
+          ~args:[ "attempt", Json.Int (tol.Server.max_retries - retries_left + 1) ];
         Event_loop.schedule t.loop ~at
           (guard
              (attempt ~retries_left:(retries_left - 1)
@@ -295,6 +327,9 @@ and bisect (t : 'a t) (batch : 'a Admission.request list) ~k =
     k ()
   | _ ->
     t.stats.Stats.bisections <- t.stats.Stats.bisections + 1;
+    Trace.instant t.tracer ~name:"bisect" ~cat:"fault" ~pid:(trace_pid t) ~tid:0
+      ~ts_us:(Event_loop.now t.loop)
+      ~args:[ "size", Json.Int (List.length batch) ];
     let half = List.length batch / 2 in
     let left = List.filteri (fun i _ -> i < half) batch in
     let right = List.filteri (fun i _ -> i >= half) batch in
@@ -312,6 +347,9 @@ and go_down (t : 'a t) =
   t.consecutive_resets <- 0;
   t.stats.Stats.breaker_opens <- t.stats.Stats.breaker_opens + 1;
   t.stats.Stats.failovers <- t.stats.Stats.failovers + 1;
+  Trace.instant t.tracer ~name:"failover" ~cat:"cluster" ~pid:(trace_pid t) ~tid:0
+    ~ts_us:now_us
+    ~args:[ "replica", Json.Int t.id ];
   let queued, expired = Admission.drain t.queue ~now_us in
   if expired <> [] then t.cb.cb_expired ~replica:t.id expired;
   let requeue = t.outstanding @ queued in
@@ -321,6 +359,9 @@ and go_down (t : 'a t) =
   Event_loop.schedule t.loop ~at (fun () ->
       if t.health = Down then begin
         t.health <- Probing;
+        Trace.instant t.tracer ~name:"probe_ready" ~cat:"cluster" ~pid:(trace_pid t)
+          ~tid:0
+          ~ts_us:(Event_loop.now t.loop);
         t.cb.cb_probe_ready ~replica:t.id
       end)
 

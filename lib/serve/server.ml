@@ -37,6 +37,9 @@
 module Profiler = Acrobat_device.Profiler
 module Cost_model = Acrobat_device.Cost_model
 module Rng = Acrobat_tensor.Rng
+module Trace = Acrobat_obs.Trace
+module Metrics = Acrobat_obs.Metrics
+module Json = Acrobat_obs.Json
 
 (** Knobs of the recovery machinery. The defaults keep every behaviour that
     could alter a fault-free run disabled ([degrade_high_frac = infinity]),
@@ -131,7 +134,18 @@ type 'a state = {
   policy_max_batch : int;  (** The policy's own cap (1 for batch1). *)
   mutable cur_max_batch : int;  (** Effective cap; shrinks under OOM. *)
   mutable degraded : bool;
+  tracer : Trace.t;  (** Lifecycle span sink; {!Trace.null} when off. *)
 }
+
+(* Trace track convention: tid 0 is the device/batch track of each server's
+   pid; request [i] rides on tid [i + 1]. *)
+let req_tid id = id + 1
+
+(* Request-terminal instant: every admitted id ends in exactly one of
+   done / expired / poisoned (shed ids terminate at admission). *)
+let trace_terminal (st : 'a state) ~name ~ts_us (r : _ Admission.request) =
+  Trace.instant st.tracer ~name ~cat:"request" ~ts_us ~tid:(req_tid r.Admission.rq_id)
+    ~args:[ "id", Json.Int r.Admission.rq_id ]
 
 let policy_max_batch = function
   | Batcher.Batch1 -> 1
@@ -143,6 +157,9 @@ let open_breaker (st : 'a state) ~wake =
   let until_us = Event_loop.now st.loop +. st.config.tolerance.breaker_cooldown_us in
   st.breaker <- Open { until_us };
   st.stats.Stats.breaker_opens <- st.stats.Stats.breaker_opens + 1;
+  Trace.instant st.tracer ~name:"breaker_open" ~cat:"fault" ~tid:0
+    ~ts_us:(Event_loop.now st.loop)
+    ~args:[ "until_us", Json.Float until_us ];
   (* Self-wake at cooldown expiry: with arrivals shed while open, no other
      event may exist to trigger the probe. *)
   Event_loop.schedule st.loop ~at:until_us wake
@@ -192,6 +209,7 @@ let rec maybe_launch (st : 'a state) =
       if now_us >= until_us && not (Admission.is_empty st.queue) then begin
         (* Probe: a single request tests whether the device recovered. *)
         st.breaker <- Half_open;
+        Trace.instant st.tracer ~name:"breaker_probe" ~cat:"fault" ~tid:0 ~ts_us:now_us;
         flush st ~now_us ~limit:1
       end
     | Closed ->
@@ -211,7 +229,9 @@ let rec maybe_launch (st : 'a state) =
   end
 
 and flush (st : 'a state) ~now_us ~limit =
-  match Admission.take st.queue ~now_us ~limit with
+  let batch, dropped = Admission.take_with_expired st.queue ~now_us ~limit in
+  List.iter (trace_terminal st ~name:"expired" ~ts_us:now_us) dropped;
+  match batch with
   | [] ->
     (* Everything popped had expired; the queue may still hold work. *)
     maybe_launch st
@@ -231,6 +251,9 @@ and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> un
   let rec attempt ~retries_left ~backoff_us () =
     let now_us = Event_loop.now st.loop in
     let degraded = st.degraded in
+    (* The executor builds a fresh device whose profiler clock starts at
+       zero; anchor its trace spans at this attempt's launch time. *)
+    Trace.set_context st.tracer ~tid:0 ~base_us:now_us;
     match st.execute ~degraded (List.map (fun r -> r.Admission.rq_payload) batch) with
     | Exec_ok outcome ->
       let size = List.length batch in
@@ -239,6 +262,9 @@ and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> un
       Stats.note_batch st.stats ~size ~profiler:outcome.ex_profiler;
       if degraded then
         st.stats.Stats.degraded_batches <- st.stats.Stats.degraded_batches + 1;
+      Trace.complete st.tracer ~name:"batch" ~cat:"serve" ~tid:0 ~ts_us:now_us
+        ~dur_us:outcome.ex_latency_us
+        ~args:[ "size", Json.Int size; "degraded", Json.Bool degraded ];
       List.iter
         (fun (r : _ Admission.request) ->
           Stats.record st.stats
@@ -248,7 +274,11 @@ and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> un
               r_start_us = now_us;
               r_done_us = done_us;
               r_batch_size = size;
-            })
+            };
+          Trace.complete st.tracer ~name:"queue" ~cat:"request"
+            ~tid:(req_tid r.Admission.rq_id) ~ts_us:r.Admission.rq_arrival_us
+            ~dur_us:(now_us -. r.Admission.rq_arrival_us);
+          trace_terminal st ~name:"done" ~ts_us:done_us r)
         batch;
       Event_loop.schedule st.loop ~at:done_us (fun () ->
           note_success st;
@@ -258,10 +288,20 @@ and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> un
       note_failure st ~wake;
       if f.ef_oom then shrink_batches st;
       let freed_us = now_us +. Float.max 0.0 f.ef_latency_us in
+      Trace.complete st.tracer ~name:"batch_fault" ~cat:"fault" ~tid:0 ~ts_us:now_us
+        ~dur_us:f.ef_latency_us
+        ~args:
+          [
+            "reason", Json.Str f.ef_reason;
+            "transient", Json.Bool f.ef_transient;
+            "size", Json.Int (List.length batch);
+          ];
       if f.ef_transient && retries_left > 0 then begin
         st.stats.Stats.retries <- st.stats.Stats.retries + 1;
         let jitter = 1.0 +. (tol.jitter_frac *. ((2.0 *. Rng.float st.ft_rng) -. 1.0)) in
         let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
+        Trace.instant st.tracer ~name:"retry" ~cat:"fault" ~tid:0 ~ts_us:at
+          ~args:[ "attempt", Json.Int (tol.max_retries - retries_left + 1) ];
         Event_loop.schedule st.loop ~at
           (attempt ~retries_left:(retries_left - 1)
              ~backoff_us:(backoff_us *. tol.backoff_mult))
@@ -279,11 +319,15 @@ and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> un
 and bisect (st : 'a state) (batch : 'a Admission.request list) ~k =
   match batch with
   | [] -> k ()
-  | [ _ ] ->
+  | [ r ] ->
     st.stats.Stats.poisoned <- st.stats.Stats.poisoned + 1;
+    trace_terminal st ~name:"poisoned" ~ts_us:(Event_loop.now st.loop) r;
     k ()
   | _ ->
     st.stats.Stats.bisections <- st.stats.Stats.bisections + 1;
+    Trace.instant st.tracer ~name:"bisect" ~cat:"fault" ~tid:0
+      ~ts_us:(Event_loop.now st.loop)
+      ~args:[ "size", Json.Int (List.length batch) ];
     let half = List.length batch / 2 in
     let left = List.filteri (fun i _ -> i < half) batch in
     let right = List.filteri (fun i _ -> i >= half) batch in
@@ -292,13 +336,20 @@ and bisect (st : 'a state) (batch : 'a Admission.request list) ~k =
 let on_arrival (st : 'a state) (r : 'a Admission.request) =
   let now_us = Event_loop.now st.loop in
   Batcher.observe_arrival st.batcher ~now_us;
+  Trace.instant st.tracer ~name:"admit" ~cat:"request" ~tid:(req_tid r.Admission.rq_id)
+    ~ts_us:now_us
+    ~args:[ "id", Json.Int r.Admission.rq_id ];
   match st.breaker with
   | Open { until_us } when now_us < until_us ->
     (* Breaker open: shed at the door without queueing — launching is
        pointless while the device is presumed down. *)
-    st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1
+    st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1;
+    trace_terminal st ~name:"shed_breaker" ~ts_us:now_us r
   | Closed | Half_open | Open _ ->
-    if Admission.offer st.queue ~now_us r then begin
+    let admitted, swept = Admission.offer_swept st.queue ~now_us r in
+    List.iter (trace_terminal st ~name:"expired" ~ts_us:now_us) swept;
+    if not admitted then trace_terminal st ~name:"shed" ~ts_us:now_us r
+    else begin
       let tol = st.config.tolerance in
       if
         (not st.degraded)
@@ -319,9 +370,17 @@ let on_arrival (st : 'a state) (r : 'a Admission.request) =
     {!Traffic.arrivals}); [payload i] builds request [i]'s inputs;
     [execute] runs one assembled batch — under the server's current
     [degraded] flag — and reports its verdict. Returns the populated
-    {!Stats.t} (summarize with {!Stats.summarize}). *)
-let simulate (config : config) ~(arrivals : float array) ~(payload : int -> 'a)
-    ~(execute : degraded:bool -> 'a list -> exec_result) : Stats.t =
+    {!Stats.t} (summarize with {!Stats.summarize}).
+
+    [tracer] receives the request-lifecycle and batch spans (and, when the
+    executor threads it into its device, kernel-level spans); [metrics]
+    receives periodic virtual-clock snapshots every [snapshot_every_us]
+    plus the final counters. Both default to disabled sinks with no effect
+    on the simulation or its output. *)
+let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
+    ?(snapshot_every_us = 10_000.0) (config : config) ~(arrivals : float array)
+    ~(payload : int -> 'a) ~(execute : degraded:bool -> 'a list -> exec_result) :
+    Stats.t =
   let loop = Event_loop.create (Clock.create ()) in
   let pmax = policy_max_batch config.policy in
   let st =
@@ -339,8 +398,13 @@ let simulate (config : config) ~(arrivals : float array) ~(payload : int -> 'a)
       policy_max_batch = pmax;
       cur_max_batch = pmax;
       degraded = false;
+      tracer;
     }
   in
+  if Trace.enabled tracer then begin
+    Trace.name_process tracer ~pid:0 ~name:"server";
+    Trace.name_thread tracer ~pid:0 ~tid:0 ~name:"device"
+  end;
   Array.iteri
     (fun i at ->
       let r =
@@ -353,10 +417,23 @@ let simulate (config : config) ~(arrivals : float array) ~(payload : int -> 'a)
       in
       Event_loop.schedule loop ~at (fun () -> on_arrival st r))
     arrivals;
+  (* Periodic metric snapshots ride the event loop itself; the chain stops
+     rescheduling once it is the only pending work, so the loop drains. *)
+  if Metrics.enabled metrics then begin
+    let rec snap () =
+      Stats.to_metrics st.stats metrics;
+      Metrics.snapshot metrics ~ts_us:(Event_loop.now loop);
+      if Event_loop.pending loop > 0 then
+        Event_loop.schedule_after loop ~delay:snapshot_every_us snap
+    in
+    Event_loop.schedule_after loop ~delay:snapshot_every_us snap
+  end;
   Event_loop.run loop;
   st.stats.Stats.shed <- Admission.shed_count st.queue;
   st.stats.Stats.expired <- Admission.expired_count st.queue;
   st.stats.Stats.end_us <- Event_loop.now loop;
+  st.stats.Stats.clamped_schedules <- Event_loop.clamped_count loop;
+  Stats.to_metrics st.stats metrics;
   st.stats
 
 (** Lift a plain (infallible) executor into the fault-aware signature;

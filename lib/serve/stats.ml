@@ -41,6 +41,10 @@ type t = {
   mutable hedge_wasted : int;
       (** Completions of a hedged request that arrived after its winner —
           duplicated device work, whichever copy was late. *)
+  mutable clamped_schedules : int;
+      (** Event-loop schedules whose requested time was in the past (see
+          {!Event_loop.clamped_count}); always zero for a correct
+          simulation, so any nonzero value flags a scheduling bug. *)
 }
 
 let create () =
@@ -67,6 +71,7 @@ let create () =
     hedge_wins = 0;
     hedge_cancels = 0;
     hedge_wasted = 0;
+    clamped_schedules = 0;
   }
 
 let record t r = t.records <- r :: t.records
@@ -121,6 +126,10 @@ type summary = {
   s_hedge_wins : int;
   s_hedge_cancels : int;
   s_hedge_wasted : int;
+  s_clamped_schedules : int;
+      (** Past-time event-loop schedules; nonzero flags a scheduling bug
+          (printed/serialized only when it fires, so healthy output is
+          unchanged). *)
 }
 
 (** Availability: the fraction of offered requests actually answered. *)
@@ -184,6 +193,7 @@ let summarize (t : t) : summary =
     s_hedge_wins = t.hedge_wins;
     s_hedge_cancels = t.hedge_cancels;
     s_hedge_wasted = t.hedge_wasted;
+    s_clamped_schedules = t.clamped_schedules;
   }
 
 let drop_rate (s : summary) =
@@ -243,7 +253,11 @@ let summary_to_json (s : summary) : Json.t =
         "hedge_wasted", Json.Int s.s_hedge_wasted;
       ]
   in
-  Json.Obj (base @ faults @ cluster)
+  let anomalies =
+    if s.s_clamped_schedules = 0 then []
+    else [ "clamped_schedules", Json.Int s.s_clamped_schedules ]
+  in
+  Json.Obj (base @ faults @ cluster @ anomalies)
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
@@ -270,4 +284,40 @@ let pp_summary ppf (s : summary) =
        hedge cancels      %8d@,hedge wasted       %8d"
       s.s_failovers s.s_requeued s.s_probes s.s_readmitted s.s_hedges s.s_hedge_wins
       s.s_hedge_cancels s.s_hedge_wasted;
+  if s.s_clamped_schedules > 0 then
+    Fmt.pf ppf "@,clamped schedules  %8d  (scheduling bug?)" s.s_clamped_schedules;
   Fmt.pf ppf "@]"
+
+(** Mirror the run's counters (and the merged device profiler's) into a
+    metrics registry — the unification point between [Serve.Stats] and
+    [Device.Profiler] telemetry. *)
+let to_metrics (t : t) (m : Acrobat_obs.Metrics.t) =
+  if not (Acrobat_obs.Metrics.enabled m) then ()
+  else begin
+  let s = summarize t in
+  Acrobat_obs.Metrics.set_counters m "serve."
+    [
+      "offered", s.s_offered;
+      "completed", s.s_completed;
+      "shed", s.s_shed;
+      "expired", s.s_expired;
+      "batches", s.s_batches;
+      "fault_batches", s.s_fault_batches;
+      "retries", s.s_retries;
+      "bisections", s.s_bisections;
+      "poisoned", s.s_poisoned;
+      "breaker_opens", s.s_breaker_opens;
+      "breaker_shed", s.s_breaker_shed;
+      "degraded_batches", s.s_degraded_batches;
+      "failovers", s.s_failovers;
+      "requeued", s.s_requeued;
+      "probes", s.s_probes;
+      "readmitted", s.s_readmitted;
+      "hedges", s.s_hedges;
+      "hedge_wins", s.s_hedge_wins;
+      "hedge_cancels", s.s_hedge_cancels;
+      "hedge_wasted", s.s_hedge_wasted;
+      "clamped_schedules", s.s_clamped_schedules;
+    ];
+    Profiler.to_metrics t.profiler m
+  end

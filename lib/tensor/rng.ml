@@ -29,13 +29,33 @@ let float t =
 (** [uniform t lo hi] draws uniformly from [lo, hi). *)
 let uniform t lo hi = lo +. ((hi -. lo) *. float t)
 
-(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+(* Smallest (2^k - 1) >= v, for the rejection mask below. *)
+let mask_above v =
+  let m = ref v in
+  m := !m lor (!m lsr 1);
+  m := !m lor (!m lsr 2);
+  m := !m lor (!m lsr 4);
+  m := !m lor (!m lsr 8);
+  m := !m lor (!m lsr 16);
+  m := !m lor (!m lsr 32);
+  !m
+
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0].
+
+    Bitmask + rejection: draw [ceil(log2 bound)] bits and redraw until the
+    value lands under [bound]. Unlike [r mod bound], this is exactly
+    uniform for every bound, and since the mask keeps at most one doubling
+    of headroom the expected number of draws is < 2. *)
 let int t bound =
   assert (bound > 0);
-  (* Keep 62 bits: OCaml's native int is 63-bit, so a 63-bit value from a
-     logical shift by 1 would overflow to a negative number. *)
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  let mask = mask_above (bound - 1) in
+  let rec draw () =
+    (* Keep 62 bits: OCaml's native int is 63-bit, so a 63-bit value from a
+       logical shift by 1 would overflow to a negative number. *)
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) land mask in
+    if r < bound then r else draw ()
+  in
+  draw ()
 
 (** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
 let int_in t lo hi =

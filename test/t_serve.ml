@@ -34,7 +34,10 @@ let test_event_loop_order () =
   Event_loop.run loop;
   Alcotest.(check (list string)) "dispatch order" [ "a"; "b1"; "b2"; "c"; "d" ]
     (List.rev !log);
-  check_float "clock ends at last event" 20.0 (Event_loop.now loop)
+  check_float "clock ends at last event" 20.0 (Event_loop.now loop);
+  (* The past-time schedule above ("d" at t=1 while now=20) must be counted,
+     not silently clamped. *)
+  check_int "clamped schedule counted" 1 (Event_loop.clamped_count loop)
 
 (* --- Traffic --- *)
 
@@ -641,6 +644,209 @@ let test_degraded_variant_wired () =
   check_true "treelstm has no degraded variant"
     ((Models.tiny "treelstm").Model.degraded = None)
 
+(* --- Statistics edge cases (satellite of the telemetry fixes) --- *)
+
+let test_percentile_edges () =
+  let xs = [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  check_float "p100 is the max" 5.0 (Stats.percentile xs 100.0);
+  check_float "p -> 0 is the min" 1.0 (Stats.percentile xs 0.001);
+  check_float "p = 0 is the min" 1.0 (Stats.percentile xs 0.0);
+  check_float "p50 nearest-rank" 3.0 (Stats.percentile xs 50.0);
+  check_true "input stays unsorted" (xs = [| 5.0; 1.0; 4.0; 2.0; 3.0 |]);
+  check_float "singleton at p0" 7.0 (Stats.percentile [| 7.0 |] 0.0);
+  check_float "singleton at p100" 7.0 (Stats.percentile [| 7.0 |] 100.0);
+  check_float "empty sample is 0" 0.0 (Stats.percentile [||] 50.0)
+
+let test_hedge_warmup_boundary () =
+  (* The estimator must stay off through hedge_min_obs - 1 observations and
+     arm exactly at hedge_min_obs, reading only the observed prefix of the
+     ring. *)
+  let ring = Array.init 16 (fun i -> float_of_int (i + 1)) in
+  check_true "one short of warm-up: off"
+    (Cluster.hedge_delay ~percentile:95.0 ring ~count:(Cluster.hedge_min_obs - 1) = None);
+  check_true "empty window: off" (Cluster.hedge_delay ~percentile:95.0 ring ~count:0 = None);
+  (match Cluster.hedge_delay ~percentile:50.0 ring ~count:Cluster.hedge_min_obs with
+  | None -> Alcotest.fail "estimator still off at hedge_min_obs"
+  | Some d -> check_float "p50 of the first 8 observations" 4.0 d);
+  match Cluster.hedge_delay ~percentile:100.0 ring ~count:Cluster.hedge_min_obs with
+  | None -> Alcotest.fail "estimator still off at hedge_min_obs"
+  | Some d -> check_float "unobserved ring entries are not read" 8.0 d
+
+(* --- Observability: clamp accounting, tracing, metrics, JSON --- *)
+
+let test_no_clamped_schedules_in_serving () =
+  (* Bugfix assert: healthy end-to-end simulations must never schedule into
+     the past — silently clamped events were the dropped-telemetry symptom. *)
+  let arrivals =
+    Traffic.arrivals ~rng:(Rng.create 9) (Traffic.Poisson { rate_per_s = 5000.0 }) ~n:200
+  in
+  let s = Stats.summarize (simulate ~arrivals ()) in
+  check_int "server: no clamped schedules" 0 s.Stats.s_clamped_schedules;
+  let report =
+    Cluster.simulate
+      { Cluster.default_config with Cluster.c_replicas = 3;
+        Cluster.c_hedge_percentile = Some 90.0 }
+      ~arrivals:(cluster_arrivals ~n:120 13) ~payload:Fun.id
+      ~executors:[| always_reset; straggler_exec ~every:6 ~mult:25.0 (); ok_exec |]
+  in
+  let cs = Stats.summarize report.Cluster.cluster_stats in
+  check_int "cluster: no clamped schedules" 0 cs.Stats.s_clamped_schedules
+
+let terminal_names = [ "done"; "expired"; "shed"; "shed_breaker"; "poisoned"; "budget_exhausted" ]
+
+let test_trace_deterministic_and_covering () =
+  let n = 50 in
+  let run () =
+    let tracer = Trace.create () in
+    let arrivals =
+      Traffic.arrivals ~rng:(Rng.create 9) (Traffic.Poisson { rate_per_s = 5000.0 }) ~n
+    in
+    ignore
+      (Server.simulate ~tracer Server.default_config ~arrivals
+         ~payload:(fun i -> i)
+         ~execute:(Server.infallible (linear_cost ~fixed:100.0 ~per_item:10.0)));
+    tracer
+  in
+  let a = Json.to_string (Trace.to_json (run ())) in
+  let b = Json.to_string (Trace.to_json (run ())) in
+  Alcotest.(check string) "same seed, same trace JSON" a b;
+  (* Lifecycle coverage: every request id is admitted once and reaches
+     exactly one terminal state, on its own thread track. *)
+  let evs = Trace.events (run ()) in
+  let count f = List.length (List.filter f evs) in
+  for id = 0 to n - 1 do
+    let tid = Server.req_tid id in
+    check_int (Fmt.str "request %d admitted once" id) 1
+      (count (fun e -> e.Trace.ev_name = "admit" && e.Trace.ev_tid = tid));
+    check_int (Fmt.str "request %d has one terminal" id) 1
+      (count (fun e -> List.mem e.Trace.ev_name terminal_names && e.Trace.ev_tid = tid))
+  done;
+  check_true "batch spans on the device track"
+    (count (fun e -> e.Trace.ev_name = "batch" && e.Trace.ev_tid = 0) > 0);
+  check_true "queue spans recorded"
+    (count (fun e -> e.Trace.ev_name = "queue" && e.Trace.ev_ph = 'X') > 0)
+
+let test_trace_faulty_coverage () =
+  (* Under faults + deadlines + a tiny queue, the dropped requests must
+     still reach a terminal trace event (this is where telemetry used to
+     vanish silently). *)
+  let run () =
+    let tracer = Trace.create () in
+    let n = ref 0 in
+    let execute ~degraded:_ batch =
+      incr n;
+      if !n mod 4 = 0 then fault "periodic" else ok batch
+    in
+    let config =
+      { Server.default_config with
+        Server.queue_capacity = 4; Server.deadline_us = Some 4_000.0 }
+    in
+    let arrivals =
+      Traffic.arrivals ~rng:(Rng.create 3) (Traffic.Poisson { rate_per_s = 20_000.0 }) ~n:60
+    in
+    let stats = Server.simulate ~tracer config ~arrivals ~payload:(fun i -> i) ~execute in
+    tracer, Stats.summarize stats
+  in
+  let tracer, s = run () in
+  check_true "some requests actually dropped" (s.Stats.s_shed + s.Stats.s_expired > 0);
+  let evs = Trace.events tracer in
+  let count f = List.length (List.filter f evs) in
+  for id = 0 to 59 do
+    check_int (Fmt.str "request %d has one terminal" id) 1
+      (count (fun e ->
+           List.mem e.Trace.ev_name terminal_names && e.Trace.ev_tid = Server.req_tid id))
+  done;
+  check_int "terminals balance the offered load" 60
+    (count (fun e -> List.mem e.Trace.ev_name terminal_names))
+
+let test_trace_null_is_noop () =
+  check_true "null tracer disabled" (not (Trace.enabled Trace.null));
+  Trace.instant Trace.null ~name:"x" ~ts_us:0.0;
+  Trace.complete Trace.null ~name:"y" ~ts_us:0.0 ~dur_us:1.0;
+  Trace.name_process Trace.null ~name:"p";
+  check_int "null tracer records nothing" 0 (Trace.event_count Trace.null)
+
+let test_metrics_registry () =
+  let module M = Metrics in
+  let m = M.create () in
+  let c = M.counter m "reqs" in
+  M.incr c;
+  M.incr ~by:4 c;
+  check_int "counter accumulates" 5 (M.counter_value c);
+  let g = M.gauge m "depth" in
+  M.set g 2.5;
+  let h = M.histogram m "lat" in
+  List.iter (M.observe h) [ 3.0; 1.0; 2.0 ];
+  M.snapshot m ~ts_us:10.0;
+  check_int "snapshot recorded" 1 (M.snapshot_count m);
+  check_true "same name returns the same instrument" (M.counter m "reqs" == c);
+  check_true "kind mismatch rejected"
+    (try
+       ignore (M.gauge m "reqs");
+       false
+     with Invalid_argument _ -> true);
+  (* The null registry hands back detached instruments and exports nothing. *)
+  let nc = M.counter M.null "reqs" in
+  M.incr nc;
+  check_int "null-registry counter is detached" 1 (M.counter_value nc);
+  Alcotest.(check string) "null registry exports empty"
+    {|{"metrics":{},"snapshots":[]}|}
+    (Json.to_string (M.to_json M.null));
+  match M.to_json m with
+  | Json.Obj [ ("metrics", Json.Obj fields); ("snapshots", Json.List [ snap ]) ] ->
+    Alcotest.(check (list string)) "registration order preserved"
+      [ "reqs"; "depth"; "lat" ] (List.map fst fields);
+    check_true "snapshot carries its virtual timestamp"
+      (Json.member "ts_us" snap = Some (Json.Float 10.0))
+  | _ -> Alcotest.fail "unexpected metrics JSON shape"
+
+let test_serve_metrics_end_to_end () =
+  let metrics = Metrics.create () in
+  let arrivals =
+    Traffic.arrivals ~rng:(Rng.create 9) (Traffic.Poisson { rate_per_s = 5000.0 }) ~n:200
+  in
+  let s =
+    Stats.summarize
+      (Server.simulate ~metrics Server.default_config ~arrivals
+         ~payload:(fun i -> i)
+         ~execute:ok_exec)
+  in
+  let counter name = Metrics.counter_value (Metrics.counter metrics name) in
+  check_int "serve.offered mirrors the summary" s.Stats.s_offered (counter "serve.offered");
+  check_int "serve.completed mirrors the summary" s.Stats.s_completed
+    (counter "serve.completed");
+  check_int "serve.batches mirrors the summary" s.Stats.s_batches (counter "serve.batches");
+  check_int "serve.clamped_schedules is zero" 0 (counter "serve.clamped_schedules");
+  check_true "periodic snapshots were captured" (Metrics.snapshot_count metrics > 1)
+
+let test_json_parse_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        "a", Json.Int 42;
+        "b", Json.Float 1.5;
+        "c", Json.Str "he\"llo\n\tworld\\";
+        "d", Json.List [ Json.Bool true; Json.Bool false; Json.Null; Json.Int (-3) ];
+        "e", Json.Obj [];
+        "f", Json.List [];
+      ]
+  in
+  let s = Json.to_string j in
+  check_true "parse inverts to_string" (Json.parse s = j);
+  Alcotest.(check string) "emission is a fixed point" s (Json.to_string (Json.parse s));
+  check_true "whitespace tolerated"
+    (Json.member "x" (Json.parse "  { \"x\" : [ 1 , 2.5 , \"y\" ] }  ") <> None);
+  check_true "truncated input rejected"
+    (try
+       ignore (Json.parse "{\"a\": [1, 2");
+       false
+     with Json.Parse_error _ -> true);
+  check_true "trailing garbage rejected"
+    (try
+       ignore (Json.parse "{} {}");
+       false
+     with Json.Parse_error _ -> true)
+
 let suite =
   [
     Alcotest.test_case "event loop: order + clamp" `Quick test_event_loop_order;
@@ -690,4 +896,18 @@ let suite =
     Alcotest.test_case "serve_model: faulty run deterministic" `Quick
       test_serve_model_faulty_deterministic;
     Alcotest.test_case "models: degraded variants wired" `Quick test_degraded_variant_wired;
+    Alcotest.test_case "stats: percentile edge cases" `Quick test_percentile_edges;
+    Alcotest.test_case "cluster: hedge estimator warm-up boundary" `Quick
+      test_hedge_warmup_boundary;
+    Alcotest.test_case "obs: serving never clamps schedules" `Quick
+      test_no_clamped_schedules_in_serving;
+    Alcotest.test_case "obs: trace deterministic + full lifecycle coverage" `Quick
+      test_trace_deterministic_and_covering;
+    Alcotest.test_case "obs: dropped requests reach terminal trace events" `Quick
+      test_trace_faulty_coverage;
+    Alcotest.test_case "obs: null tracer is a no-op" `Quick test_trace_null_is_noop;
+    Alcotest.test_case "obs: metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "obs: serve metrics mirror the summary" `Quick
+      test_serve_metrics_end_to_end;
+    Alcotest.test_case "obs: JSON parse round-trip" `Quick test_json_parse_roundtrip;
   ]

@@ -39,6 +39,33 @@ let prop_rng_int_nonneg =
       let v = Rng.int rng bound in
       v >= 0 && v < bound)
 
+let test_rng_int_uniform () =
+  (* Regression for the modulo-bias bug: with rejection sampling every
+     residue class is equally likely, including for bounds that are not
+     powers of two. 30k draws per bucket-count keeps sampling noise far
+     below the 5% tolerance. *)
+  let check_uniform bound =
+    let rng = Rng.create 11 in
+    let n = 10_000 * bound in
+    let counts = Array.make bound 0 in
+    for _ = 1 to n do
+      let v = Rng.int rng bound in
+      counts.(v) <- counts.(v) + 1
+    done;
+    Array.iteri
+      (fun v c ->
+        check_true
+          (Printf.sprintf "bound %d: residue %d within 5%% of uniform" bound v)
+          (abs (c - 10_000) < 500))
+      counts
+  in
+  check_uniform 3;
+  check_uniform 7;
+  let rng = Rng.create 2 in
+  for _ = 1 to 100 do
+    check_int "bound 1 is always 0" 0 (Rng.int rng 1)
+  done
+
 let test_rng_bernoulli_rate () =
   let rng = Rng.create 5 in
   let hits = ref 0 in
@@ -240,6 +267,7 @@ let suite =
     Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng: split independent" `Quick test_rng_split_independent;
     Alcotest.test_case "rng: int_in range" `Quick test_rng_int_in;
+    Alcotest.test_case "rng: int uniform (no modulo bias)" `Quick test_rng_int_uniform;
     prop_rng_float_range;
     prop_rng_int_nonneg;
     Alcotest.test_case "rng: bernoulli rate" `Quick test_rng_bernoulli_rate;
