@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check chaos-smoke bench clean
 
 all: build
 
@@ -36,6 +36,20 @@ check: build test
 	cmp TRACE_cluster.json TRACE_cluster_rerun.json
 	dune exec bin/acrobatc.exe -- trace TRACE_cluster.json
 	dune exec bench/main.exe -- cluster --json BENCH_cluster.json
+	$(MAKE) chaos-smoke
+	dune exec bench/main.exe -- chaos --json BENCH_chaos.json
+	dune exec bench/main.exe -- chaos --json BENCH_chaos_rerun.json
+	cmp BENCH_chaos.json BENCH_chaos_rerun.json
+
+# Bounded fixed-seed chaos campaign: randomized fault scenarios through the
+# serve cluster, every run checked against the invariant suite (request
+# conservation, terminal-once tracing, no duplicate completions, requeue
+# budgets, zero clamped schedules, replay determinism). Any violation
+# shrinks to a minimal reproducer written to CHAOS_repro.txt with its
+# failing trace in CHAOS_trace.json (uploaded as CI artifacts on failure).
+chaos-smoke: build
+	dune exec bin/acrobatc.exe -- chaos --seed 42 --runs 60 --fault-prob 0.5 \
+	  --shrink --repro CHAOS_repro.txt --trace CHAOS_trace.json
 
 bench:
 	dune exec bench/main.exe

@@ -385,6 +385,50 @@ let cluster () =
            ])
        rows)
 
+(* --- Chaos: violations per kiloscenario over fixed campaigns --- *)
+
+let chaos () =
+  hr "Chaos: invariant violations over randomized fault campaigns";
+  pf "%-10s %6s %12s %6s | %10s %12s\n" "campaign" "seed" "fault-prob" "runs" "violating"
+    "per-kilosc";
+  let campaigns =
+    [
+      "clean", { Chaos.default_campaign with Chaos.ca_seed = 42; ca_runs = 120;
+                 ca_fault_prob = 0.0 };
+      "faulty", { Chaos.default_campaign with Chaos.ca_seed = 42; ca_runs = 120;
+                  ca_fault_prob = 0.6 };
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, ca) ->
+        let report = Chaos.run_campaign ca in
+        let violating = List.length report.Chaos.rp_outcomes in
+        pf "%-10s %6d %12.2f %6d | %10d %12.1f\n" label ca.Chaos.ca_seed
+          ca.Chaos.ca_fault_prob ca.Chaos.ca_runs violating
+          (Chaos.violations_per_kiloscenario report);
+        label, ca, report)
+      campaigns
+  in
+  pf
+    "(expected shape: zero violations in both — the invariant suite holds over the \
+     whole scenario grammar; any nonzero count is a reproducible bug, see acrobatc \
+     chaos)\n";
+  J.Obj
+    (List.map
+       (fun (label, ca, report) ->
+         ( label,
+           J.Obj
+             [
+               "seed", J.Int ca.Chaos.ca_seed;
+               "fault_prob", J.Float ca.Chaos.ca_fault_prob;
+               "runs", J.Int report.Chaos.rp_scenarios;
+               "violating", J.Int (List.length report.Chaos.rp_outcomes);
+               ( "violations_per_kiloscenario",
+                 J.Float (Chaos.violations_per_kiloscenario report) );
+             ] ))
+       rows)
+
 (* --- Observability: metrics registry export --- *)
 
 let obs () =
@@ -426,6 +470,7 @@ let experiments =
     "serve", serve;
     "faults", faults;
     "cluster", cluster;
+    "chaos", chaos;
     "obs", obs;
     "extras", extras;
     "micro", micro;

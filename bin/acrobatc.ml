@@ -242,8 +242,8 @@ let bench_cmd =
 
 let serve_cmd =
   let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
-      burst seed iters faults_specs replicas dispatch hedge min_goodput json_path
-      trace_path =
+      burst seed iters faults_specs replicas dispatch hedge requeue_budget min_goodput
+      json_path trace_path =
     guarded @@ fun () ->
     let model =
       match size with
@@ -287,7 +287,7 @@ let serve_cmd =
     if List.exists Faults.enabled fault_plans then Fmt.pr "@.";
     let tracer = tracer_of trace_path in
     let summary =
-      if replicas = 1 && hedge = None then begin
+      if replicas = 1 && hedge = None && requeue_budget = None then begin
         (* Single-server path: byte-stable with previous releases. *)
         let faults = match fault_plans with [] -> Faults.none | p :: _ -> p in
         let report =
@@ -306,8 +306,8 @@ let serve_cmd =
       else begin
         let report =
           serve_cluster ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~fault_plans
-            ~dispatch ?hedge_percentile:hedge ?tracer ~replicas ~process ~requests ~seed
-            model
+            ~dispatch ?hedge_percentile:hedge ?requeue_budget ?tracer ~replicas ~process
+            ~requests ~seed model
         in
         Fmt.pr "cluster of %d replicas   dispatch %s%a@.@." replicas
           (Serve.Cluster.dispatch_name dispatch)
@@ -419,6 +419,14 @@ let serve_cmd =
             "Hedge straggling requests: re-issue on another replica after the P-th \
              percentile (e.g. 95) of recent latency; first completion wins.")
   in
+  let requeue_budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "requeue-budget" ] ~docv:"N"
+          ~doc:
+            "Failover re-dispatches per request before it is dropped (default 8). \
+             Setting it forces the cluster engine even with --replicas 1.")
+  in
   let min_goodput_arg =
     Arg.(
       value & opt (some float) None
@@ -437,8 +445,164 @@ let serve_cmd =
     Term.(
       const run $ model_arg $ size_arg $ rate_arg $ policy_arg $ requests_arg
       $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
-      $ iters_arg $ faults_arg $ replicas_arg $ dispatch_arg $ hedge_arg $ min_goodput_arg
-      $ json_arg $ trace_arg)
+      $ iters_arg $ faults_arg $ replicas_arg $ dispatch_arg $ hedge_arg
+      $ requeue_budget_arg $ min_goodput_arg $ json_arg $ trace_arg)
+
+(* --- chaos (randomized fault search with invariant checking) --- *)
+
+let chaos_cmd =
+  let print_outcome ca (oc : Chaos.outcome) =
+    let sc = oc.Chaos.oc_scenario in
+    Fmt.pr "scenario %d (seed %d, %d requests, %d replicas, %d fault clauses) VIOLATES:@."
+      sc.Chaos.Scenario.sc_index sc.Chaos.Scenario.sc_seed sc.Chaos.Scenario.sc_requests
+      sc.Chaos.Scenario.sc_replicas
+      (Chaos.Scenario.fault_clause_count sc);
+    let shown, rest =
+      let vs = oc.Chaos.oc_violations in
+      if List.length vs <= 5 then vs, 0
+      else List.filteri (fun i _ -> i < 5) vs, List.length vs - 5
+    in
+    List.iter
+      (fun (v : Chaos.Invariants.violation) ->
+        Fmt.pr "  [%s] %s@." v.Chaos.Invariants.vi_name v.Chaos.Invariants.vi_detail)
+      shown;
+    if rest > 0 then Fmt.pr "  ... and %d more violations@." rest;
+    (match oc.Chaos.oc_shrunk with
+    | None -> ()
+    | Some (msc, _) ->
+      Fmt.pr "  shrunk to %d fault clauses, %d requests, %d replicas@."
+        (Chaos.Scenario.fault_clause_count msc)
+        msc.Chaos.Scenario.sc_requests msc.Chaos.Scenario.sc_replicas);
+    List.iter (fun line -> Fmt.pr "  %s@." line) (Chaos.repro_lines ca oc);
+    Fmt.pr "@."
+  in
+  let write_artifacts ca outcomes repro_path trace_path =
+    match outcomes with
+    | [] -> ()
+    | first :: _ ->
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          List.iter
+            (fun o -> List.iter (fun l -> Printf.fprintf oc "%s\n" l) (Chaos.repro_lines ca o))
+            outcomes;
+          close_out oc;
+          Fmt.pr "wrote %s@." path)
+        repro_path;
+      Option.iter
+        (fun path ->
+          Obs.Json.to_file path first.Chaos.oc_trace;
+          Fmt.pr "wrote %s (failing trace)@." path)
+        trace_path
+  in
+  let run seed runs fault_prob shrink shrink_budget min_goodput only json_path repro_path
+      trace_path =
+    guarded @@ fun () ->
+    let ca =
+      {
+        Chaos.default_campaign with
+        Chaos.ca_seed = seed;
+        ca_runs = runs;
+        ca_fault_prob = fault_prob;
+        ca_goodput_floor = min_goodput;
+        ca_shrink = shrink;
+        ca_shrink_budget = shrink_budget;
+      }
+    in
+    match only with
+    | Some index ->
+      (* Replay one scenario of the campaign by index. *)
+      let sc = Chaos.Scenario.generate ~campaign_seed:seed ~fault_prob index in
+      Fmt.pr "scenario %d of campaign seed %d:@.  %s@.@." index seed
+        (Chaos.Scenario.to_cli sc);
+      (match Chaos.check_one ca index with
+      | None ->
+        Fmt.pr "no violations.@.";
+        0
+      | Some outcome ->
+        print_outcome ca outcome;
+        write_artifacts ca [ outcome ] repro_path trace_path;
+        1)
+    | None ->
+      let report = Chaos.run_campaign ca in
+      let violating = List.length report.Chaos.rp_outcomes in
+      Fmt.pr "campaign seed %d: %d scenarios, %d violating (%.1f per kiloscenario)@.@."
+        seed report.Chaos.rp_scenarios violating
+        (Chaos.violations_per_kiloscenario report);
+      List.iter (print_outcome ca) report.Chaos.rp_outcomes;
+      Option.iter
+        (fun path ->
+          Obs.Json.to_file path (Chaos.report_json report);
+          Fmt.pr "wrote %s@." path)
+        json_path;
+      write_artifacts ca report.Chaos.rp_outcomes repro_path trace_path;
+      if violating = 0 then 0 else 1
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"K" ~doc:"Scenarios to generate and check.")
+  in
+  let fault_prob_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "fault-prob" ] ~docv:"P"
+          ~doc:"Per-replica probability of a randomized fault plan (0 = clean fleet).")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Minimize each violating scenario by delta debugging (drop fault clauses, \
+             halve rates, shrink the fleet) while the violation still reproduces.")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value & opt int Chaos.default_campaign.Chaos.ca_shrink_budget
+      & info [ "shrink-budget" ] ~docv:"N" ~doc:"Max re-simulations per shrink.")
+  in
+  let min_goodput_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "min-goodput" ] ~docv:"FRAC"
+          ~doc:
+            "Treat goodput below FRAC as a violation in every scenario (on top of the \
+             derived floor for provably-clean ones).")
+  in
+  let only_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "only" ] ~docv:"I"
+          ~doc:"Check only scenario I of the campaign (reproducer replay).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Dump the campaign report as JSON.")
+  in
+  let repro_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:"On violation, write one-line reproducer commands to FILE.")
+  in
+  let chaos_trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"On violation, write the first failing scenario's trace JSON to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Randomized fault search over the serving stack: generate seeded scenarios, \
+          check invariants (request conservation, terminal uniqueness, requeue budgets, \
+          goodput floors, deterministic replay), and shrink violations to minimal \
+          reproducers.")
+    Term.(
+      const run $ seed_arg $ runs_arg $ fault_prob_arg $ shrink_arg $ shrink_budget_arg
+      $ min_goodput_arg $ only_arg $ json_arg $ repro_arg $ chaos_trace_arg)
 
 (* --- trace (validate a --trace export) --- *)
 
@@ -508,4 +672,5 @@ let () =
   let info = Cmd.info "acrobatc" ~version:"1.0" ~doc:"The ACROBAT compiler driver." in
   exit
     (Cmd.eval'
-       (Cmd.group info [ check_cmd; lower_cmd; run_cmd; bench_cmd; serve_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ check_cmd; lower_cmd; run_cmd; bench_cmd; serve_cmd; chaos_cmd; trace_cmd ]))

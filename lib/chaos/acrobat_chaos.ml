@@ -1,0 +1,16 @@
+(** Deterministic chaos harness: randomized fault search over the serving
+    stack, a reusable invariant suite, and shrinking reproducers.
+
+    - {!Scenario} — randomized serving scenarios (traffic, topology,
+      dispatch/hedge config, per-replica fault plans) from a seeded RNG;
+    - {!Invariants} — the oracle suite every run must satisfy
+      (conservation, terminal uniqueness, no duplicate completions,
+      requeue budgets, zero clamped schedules, goodput floors, replay);
+    - {!Shrink} — delta-debugging minimization of violating scenarios;
+    - campaign driving (this module, from [Campaign]): run many scenarios,
+      collect violations, shrink them, and emit one-line CLI reproducers. *)
+
+module Scenario = Scenario
+module Invariants = Invariants
+module Shrink = Shrink
+include Campaign

@@ -1,0 +1,129 @@
+(** The reusable invariant suite: what must hold of {e every} serving run,
+    no matter which faults were injected.
+
+    Each check is an oracle over the run's {!Acrobat_serve.Stats.summary}
+    and its deterministic trace — exactly the artifacts every simulation
+    already produces — so future subsystems get checked for free by running
+    under the chaos campaign. The invariants:
+
+    - {b conservation}: offered = completed + shed + expired + poisoned +
+      budget-exhausted, and offered equals the number of generated arrivals
+      (no request vanishes, none is double-counted);
+    - {b terminal_once}: exactly one terminal trace instant per request id
+      (dispatcher pid 0, tid = id + 1), and none for unknown ids;
+    - {b no_dup_completion}: no request id completes twice — the accounting
+      hedging must preserve — and done-event count matches [s_completed];
+    - {b requeue_budget}: per-request failover requeues never exceed the
+      configured budget;
+    - {b clamped}: zero past-time event-loop schedules (each one is a
+      latent scheduling bug that clamping would otherwise hide);
+    - {b goodput_floor}: availability at or above a caller-derived floor
+      (1.0 for a clean unbounded scenario, campaign-supplied otherwise).
+
+    Replay determinism (same seed, byte-identical summary + trace) needs a
+    second run, so it lives in {!Campaign.check_scenario} and reports here
+    as a violation named ["replay"]. *)
+
+module Stats = Acrobat_serve.Stats
+module Trace = Acrobat_obs.Trace
+
+type violation = {
+  vi_name : string;  (** Which invariant broke. *)
+  vi_detail : string;  (** Human-readable evidence. *)
+}
+
+let v name fmt = Fmt.kstr (fun vi_detail -> { vi_name = name; vi_detail }) fmt
+
+(** Terminal instant names the cluster dispatcher emits on pid 0 — the
+    closed set every admitted request must end in exactly once.
+    ["shed_breaker"] is the single-server breaker's terminal; it never
+    fires in cluster runs but stays in the set so the suite keeps working
+    as an oracle over single-server traces too. *)
+let terminal_names =
+  [ "done"; "expired"; "shed"; "shed_breaker"; "poisoned"; "budget_exhausted" ]
+
+(** Everything one invariant check needs to know about a finished run. *)
+type input = {
+  in_requests : int;  (** Arrivals the scenario generated. *)
+  in_requeue_budget : int;
+  in_goodput_floor : float;
+  in_summary : Stats.summary;
+  in_events : Trace.event list;  (** Canonical order ({!Trace.events}). *)
+}
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* Sorted key list so violation order never depends on hash-bucket layout —
+   campaign reports must be byte-deterministic. *)
+let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let check (i : input) : violation list =
+  let s = i.in_summary in
+  let out = ref [] in
+  let add x = out := x :: !out in
+  if s.Stats.s_offered <> i.in_requests then
+    add
+      (v "conservation"
+         "offered %d but %d requests arrived (completed %d + shed %d + expired %d + \
+          poisoned %d + budget %d)"
+         s.Stats.s_offered i.in_requests s.Stats.s_completed s.Stats.s_shed
+         s.Stats.s_expired s.Stats.s_poisoned s.Stats.s_breaker_shed);
+  (* Index the dispatcher's per-request instants: terminal outcomes,
+     completions and requeues, keyed by request id (tid - 1). *)
+  let terminals = Hashtbl.create 64 in
+  let dones = Hashtbl.create 64 in
+  let requeues = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      if ev.Trace.ev_ph = 'i' && ev.Trace.ev_pid = 0 then begin
+        let id = ev.Trace.ev_tid - 1 in
+        if List.mem ev.Trace.ev_name terminal_names then begin
+          bump terminals id;
+          if ev.Trace.ev_name = "done" then bump dones id
+        end
+        else if ev.Trace.ev_name = "requeue" then bump requeues id
+      end)
+    i.in_events;
+  for id = 0 to i.in_requests - 1 do
+    match Hashtbl.find_opt terminals id with
+    | Some 1 -> ()
+    | Some n -> add (v "terminal_once" "request %d has %d terminal trace events" id n)
+    | None -> add (v "terminal_once" "request %d has no terminal trace event" id)
+  done;
+  List.iter
+    (fun id ->
+      if id < 0 || id >= i.in_requests then
+        add (v "terminal_once" "terminal trace event for unknown request %d" id))
+    (sorted_keys terminals);
+  List.iter
+    (fun id ->
+      let n = Hashtbl.find dones id in
+      if n > 1 then add (v "no_dup_completion" "request %d completed %d times" id n))
+    (sorted_keys dones);
+  let done_total = Hashtbl.fold (fun _ n acc -> acc + n) dones 0 in
+  if done_total <> s.Stats.s_completed then
+    add
+      (v "no_dup_completion" "%d done trace events but %d completions recorded" done_total
+         s.Stats.s_completed);
+  List.iter
+    (fun id ->
+      let n = Hashtbl.find requeues id in
+      if n > i.in_requeue_budget then
+        add
+          (v "requeue_budget" "request %d requeued %d times (budget %d)" id n
+             i.in_requeue_budget))
+    (sorted_keys requeues);
+  if s.Stats.s_clamped_schedules <> 0 then
+    add
+      (v "clamped" "%d event-loop schedules requested a past time"
+         s.Stats.s_clamped_schedules);
+  if Stats.goodput s < i.in_goodput_floor -. 1e-9 then
+    add
+      (v "goodput_floor" "goodput %.4f below floor %.4f" (Stats.goodput s)
+         i.in_goodput_floor);
+  List.rev !out
+
+(** Distinct invariant names violated, sorted — the compact label used in
+    reports and reproducer headers. *)
+let names (vs : violation list) : string list =
+  List.sort_uniq compare (List.map (fun x -> x.vi_name) vs)

@@ -1,0 +1,210 @@
+(** Randomized serving scenarios for the chaos harness.
+
+    A scenario is pure data: every knob the replicated serving stack
+    exposes — traffic shape, replica count, dispatch/hedge configuration,
+    admission bounds, batching policy, requeue budget, and one
+    {!Acrobat_device.Faults.plan} per replica — sampled from a seeded
+    {!Acrobat_tensor.Rng}. Scenario [i] of campaign seed [S] is generated
+    from its own derived RNG, so any scenario regenerates from [(S, i)]
+    alone — the property that makes every discovered violation replayable
+    with a one-line command.
+
+    Fidelity to the CLI matters here: the arrival trace is derived from
+    [sc_seed] exactly the way [Acrobat.serve_cluster] derives it from
+    [--seed], and the bursty process uses the same low/high/dwell shape
+    [acrobatc serve --bursty] constructs, so {!to_cli} renders a serve
+    command whose traffic and fault draws match the simulated scenario. *)
+
+module Rng = Acrobat_tensor.Rng
+module Faults = Acrobat_device.Faults
+module Batcher = Acrobat_serve.Batcher
+module Cluster = Acrobat_serve.Cluster
+module Traffic = Acrobat_serve.Traffic
+
+type t = {
+  sc_index : int;  (** Position in the campaign; replay key with the seed. *)
+  sc_seed : int;  (** Serving seed: arrival trace, model weights in repro. *)
+  sc_requests : int;
+  sc_rate : float;  (** Offered load, requests per second. *)
+  sc_bursty : bool;  (** MMPP traffic in the CLI's --bursty shape. *)
+  sc_replicas : int;
+  sc_dispatch : Cluster.dispatch;
+  sc_hedge : float option;  (** Hedge percentile; [None] disables. *)
+  sc_queue_cap : int;
+  sc_deadline_ms : float option;
+  sc_policy : Batcher.policy;
+  sc_requeue_budget : int;
+  sc_plans : Faults.plan array;  (** One per replica, [Faults.none] = clean. *)
+}
+
+(** The arrival process this scenario drives — the exact shape
+    [acrobatc serve] would build from [--rate]/[--bursty]. *)
+let process (sc : t) : Traffic.process =
+  if sc.sc_bursty then
+    Traffic.Bursty
+      {
+        rate_low_per_s = sc.sc_rate /. 4.0;
+        rate_high_per_s = sc.sc_rate *. 2.0;
+        mean_dwell_us = 50_000.0;
+      }
+  else Traffic.Poisson { rate_per_s = sc.sc_rate }
+
+let choose rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+(* One replica's fault plan. Rates are drawn from bands that always sum
+   within 1.0 (Faults.validate enforces the partition property); the
+   kernel=1.0 "always faults" extreme is included but then excludes the
+   other probabilistic clauses. Capacity is in synthetic executor elems
+   (100 per request, see Campaign), so 200/400/800 cap batches at 2/4/8
+   while single requests always fit. *)
+let gen_plan rng ~requests : Faults.plan =
+  let seed = Rng.int rng 100_000 in
+  let kernel =
+    if Rng.bernoulli rng 0.5 then choose rng [ 0.05; 0.2; 0.5; 1.0 ] else 0.0
+  in
+  let straggler_rate, straggler_mult =
+    if kernel < 1.0 && Rng.bernoulli rng 0.4 then
+      choose rng [ 0.1; 0.3 ], choose rng [ 4.0; 8.0 ]
+    else 0.0, 6.0
+  in
+  let reset =
+    if kernel < 1.0 && Rng.bernoulli rng 0.3 then choose rng [ 0.02; 0.1 ] else 0.0
+  in
+  let capacity =
+    if Rng.bernoulli rng 0.2 then Some (choose rng [ 200; 400; 800 ]) else None
+  in
+  let poison =
+    if Rng.bernoulli rng 0.15 then
+      List.sort_uniq compare
+        (List.init (1 + Rng.int rng 2) (fun _ -> Rng.int rng requests))
+    else []
+  in
+  let plan =
+    {
+      Faults.none with
+      Faults.seed;
+      kernel_fault_rate = kernel;
+      straggler_rate;
+      straggler_mult;
+      reset_rate = reset;
+      capacity_elems = capacity;
+      poison;
+    }
+  in
+  Faults.validate plan;
+  plan
+
+(** Generate scenario [index] of the campaign. Deterministic in
+    [(campaign_seed, fault_prob, index)]; each replica independently gets a
+    fault plan with probability [fault_prob] (0.0 = a fully clean fleet). *)
+let generate ~(campaign_seed : int) ~(fault_prob : float) (index : int) : t =
+  let rng = Rng.create ((campaign_seed * 1_000_003) + index) in
+  let sc_seed = 1 + Rng.int rng 1_000_000 in
+  let sc_requests = choose rng [ 20; 40; 80 ] in
+  let sc_rate = choose rng [ 500.0; 2000.0; 8000.0 ] in
+  let sc_bursty = Rng.bernoulli rng 0.3 in
+  let sc_replicas = 1 + Rng.int rng 3 in
+  let sc_dispatch =
+    choose rng
+      [ Cluster.Round_robin; Cluster.Join_shortest_queue; Cluster.Least_expected_latency ]
+  in
+  let sc_hedge =
+    if sc_replicas > 1 && Rng.bernoulli rng 0.4 then
+      Some (choose rng [ 80.0; 90.0; 95.0 ])
+    else None
+  in
+  let sc_queue_cap = choose rng [ 8; 16; 64; 256 ] in
+  let sc_deadline_ms =
+    if Rng.bernoulli rng 0.35 then Some (choose rng [ 5.0; 10.0; 25.0; 50.0 ]) else None
+  in
+  let sc_policy =
+    match Rng.int rng 3 with
+    | 0 -> Batcher.Batch1
+    | k ->
+      let max_batch = choose rng [ 4; 8; 16 ] in
+      let max_wait_us = choose rng [ 500.0; 1000.0; 2000.0 ] in
+      if k = 1 then Batcher.Fixed { max_batch; max_wait_us }
+      else Batcher.Adaptive { max_batch; max_wait_us }
+  in
+  let sc_requeue_budget = choose rng [ 0; 1; 2; 8 ] in
+  let sc_plans =
+    Array.init sc_replicas (fun _ ->
+        if Rng.bernoulli rng fault_prob then gen_plan rng ~requests:sc_requests
+        else Faults.none)
+  in
+  {
+    sc_index = index;
+    sc_seed;
+    sc_requests;
+    sc_rate;
+    sc_bursty;
+    sc_replicas;
+    sc_dispatch;
+    sc_hedge;
+    sc_queue_cap;
+    sc_deadline_ms;
+    sc_policy;
+    sc_requeue_budget;
+    sc_plans;
+  }
+
+(* --- Measures the shrinker minimizes --- *)
+
+let plan_clauses (p : Faults.plan) : int =
+  (if p.Faults.kernel_fault_rate > 0.0 then 1 else 0)
+  + (if p.Faults.straggler_rate > 0.0 then 1 else 0)
+  + (if p.Faults.reset_rate > 0.0 then 1 else 0)
+  + (if p.Faults.capacity_elems <> None then 1 else 0)
+  + if p.Faults.poison <> [] then 1 else 0
+
+(** Enabled fault clauses across every replica's plan — the headline size
+    the shrinker drives down (acceptance: a known-bad plan shrinks to <= 2
+    clauses that still violate). *)
+let fault_clause_count (sc : t) : int =
+  Array.fold_left (fun acc p -> acc + plan_clauses p) 0 sc.sc_plans
+
+(** Render the scenario as a one-line [acrobatc serve] reproducer. The
+    serve command replays the same arrival trace (seed-derived exactly as
+    the harness draws it), the same cluster topology and the same fault
+    plans against the real compiled-model executor; [--requeue-budget]
+    forces the cluster path even for one replica, matching the engine the
+    harness drives. *)
+let to_cli (sc : t) : string =
+  let b = Buffer.create 160 in
+  let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  add "acrobatc serve --model treelstm --size tiny --iters 100";
+  add " --requests %d --rate %g" sc.sc_requests sc.sc_rate;
+  if sc.sc_bursty then add " --bursty";
+  (match sc.sc_policy with
+  | Batcher.Batch1 -> add " --policy batch1"
+  | Batcher.Fixed { max_batch; max_wait_us } ->
+    add " --policy fixed --max-batch %d --max-wait-us %g" max_batch max_wait_us
+  | Batcher.Adaptive { max_batch; max_wait_us } ->
+    add " --policy adaptive --max-batch %d --max-wait-us %g" max_batch max_wait_us);
+  add " --queue-cap %d" sc.sc_queue_cap;
+  Option.iter (fun ms -> add " --deadline-ms %g" ms) sc.sc_deadline_ms;
+  add " --seed %d --replicas %d --dispatch %s" sc.sc_seed sc.sc_replicas
+    (Cluster.dispatch_name sc.sc_dispatch);
+  Option.iter (fun p -> add " --hedge %g" p) sc.sc_hedge;
+  add " --requeue-budget %d" sc.sc_requeue_budget;
+  (* --faults is positional (plan i -> replica i), so emit every plan up to
+     the last enabled one; disabled placeholders parse back to no faults. *)
+  let last_enabled = ref (-1) in
+  Array.iteri (fun i p -> if Faults.enabled p then last_enabled := i) sc.sc_plans;
+  for i = 0 to !last_enabled do
+    add " --faults \"%s\"" (Faults.to_spec sc.sc_plans.(i))
+  done;
+  Buffer.contents b
+
+(** Compact JSON view for campaign reports (deterministic field order). *)
+let to_json (sc : t) : Acrobat_obs.Json.t =
+  let module J = Acrobat_obs.Json in
+  J.Obj
+    [
+      "index", J.Int sc.sc_index;
+      "seed", J.Int sc.sc_seed;
+      "requests", J.Int sc.sc_requests;
+      "replicas", J.Int sc.sc_replicas;
+      "clauses", J.Int (fault_clause_count sc);
+      "repro", J.Str (to_cli sc);
+    ]

@@ -1,0 +1,96 @@
+(** Delta-debugging shrinker: minimize a violating scenario while the
+    violation still reproduces.
+
+    Greedy first-improvement over a candidate list: structural edits first
+    (drop a replica, disable hedging, lift the deadline, halve the request
+    count, un-bound the queue), then per-replica fault-plan edits (clear a
+    whole plan, zero one clause, halve a rate). Whenever a candidate still
+    violates, restart the scan from that smaller scenario; stop when no
+    candidate violates or the re-run budget is spent. Each probe is one
+    full deterministic simulation, so the budget bounds wall-clock, not
+    correctness — the result is always a scenario that {e does} violate. *)
+
+module Faults = Acrobat_device.Faults
+
+(* Plan-level simplifications, most aggressive first. Each candidate must
+   strictly shrink some measure (clause count, then rate magnitude) so the
+   greedy loop terminates. *)
+let plan_candidates (p : Faults.plan) : Faults.plan list =
+  let c = ref [] in
+  let add p' = c := p' :: !c in
+  if Faults.enabled p then add Faults.none;
+  if p.Faults.kernel_fault_rate > 0.0 then
+    add { p with Faults.kernel_fault_rate = 0.0 };
+  if p.Faults.straggler_rate > 0.0 then add { p with Faults.straggler_rate = 0.0 };
+  if p.Faults.reset_rate > 0.0 then add { p with Faults.reset_rate = 0.0 };
+  if p.Faults.capacity_elems <> None then add { p with Faults.capacity_elems = None };
+  if p.Faults.poison <> [] then add { p with Faults.poison = [] };
+  (match p.Faults.poison with
+  | _ :: (_ :: _ as rest) -> add { p with Faults.poison = rest }
+  | _ -> ());
+  if p.Faults.kernel_fault_rate > 0.02 then
+    add { p with Faults.kernel_fault_rate = p.Faults.kernel_fault_rate /. 2.0 };
+  if p.Faults.straggler_rate > 0.02 then
+    add { p with Faults.straggler_rate = p.Faults.straggler_rate /. 2.0 };
+  if p.Faults.reset_rate > 0.02 then
+    add { p with Faults.reset_rate = p.Faults.reset_rate /. 2.0 };
+  List.rev !c
+
+(** All one-step simplifications of [sc], in the order the greedy loop
+    tries them. *)
+let candidates (sc : Scenario.t) : Scenario.t list =
+  let c = ref [] in
+  let add sc' = c := sc' :: !c in
+  if sc.Scenario.sc_replicas > 1 then
+    add
+      {
+        sc with
+        Scenario.sc_replicas = sc.Scenario.sc_replicas - 1;
+        sc_plans = Array.sub sc.Scenario.sc_plans 0 (sc.Scenario.sc_replicas - 1);
+        (* Hedging needs a second replica to send the copy to. *)
+        sc_hedge = (if sc.Scenario.sc_replicas = 2 then None else sc.Scenario.sc_hedge);
+      };
+  if sc.Scenario.sc_hedge <> None then add { sc with Scenario.sc_hedge = None };
+  if sc.Scenario.sc_deadline_ms <> None then
+    add { sc with Scenario.sc_deadline_ms = None };
+  if sc.Scenario.sc_requests > 10 then
+    add { sc with Scenario.sc_requests = sc.Scenario.sc_requests / 2 };
+  if sc.Scenario.sc_queue_cap < 256 then add { sc with Scenario.sc_queue_cap = 256 };
+  Array.iteri
+    (fun i p ->
+      List.iter
+        (fun p' ->
+          let plans = Array.copy sc.Scenario.sc_plans in
+          plans.(i) <- p';
+          add { sc with Scenario.sc_plans = plans })
+        (plan_candidates p))
+    sc.Scenario.sc_plans;
+  List.rev !c
+
+(** [shrink ~violates ~budget sc0] greedily minimizes [sc0], assuming
+    [violates sc0 = true]. Returns the minimal violating scenario found and
+    the number of [violates] probes spent. *)
+let shrink ~(violates : Scenario.t -> bool) ~(budget : int) (sc0 : Scenario.t) :
+    Scenario.t * int =
+  let runs = ref 0 in
+  let current = ref sc0 in
+  let progress = ref true in
+  while !progress && !runs < budget do
+    progress := false;
+    let rec try_candidates = function
+      | [] -> ()
+      | cand :: rest ->
+        if !runs >= budget then ()
+        else begin
+          incr runs;
+          if violates cand then begin
+            current := cand;
+            progress := true
+            (* First improvement: restart the scan from the smaller scenario. *)
+          end
+          else try_candidates rest
+        end
+    in
+    try_candidates (candidates !current)
+  done;
+  !current, !runs

@@ -43,6 +43,7 @@ module Serve = Acrobat_serve
 module Obs = Acrobat_obs
 module Trace = Acrobat_obs.Trace
 module Metrics = Acrobat_obs.Metrics
+module Chaos = Acrobat_chaos
 
 type compiled = {
   lprog : Lowered.t;
@@ -333,15 +334,17 @@ let cluster_report_json (r : cluster_report) : Serve.Json.t =
     simulated device and its own fault injector built from [fault_plans]
     (positional: plan [i] applies to replica [i]; missing entries mean no
     faults — the way to make one replica flaky while its peers stay
-    healthy). [dispatch] picks the routing policy and [hedge_percentile]
-    enables hedged requests. With [replicas = 1], no faults and hedging
+    healthy). [dispatch] picks the routing policy, [hedge_percentile]
+    enables hedged requests, and [requeue_budget] caps failover
+    re-dispatches per request. With [replicas = 1], no faults and hedging
     off, the aggregate summary is identical to {!serve_model}'s. *)
 let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
     ?deadline_ms ?arrivals ?(fault_plans = []) ?tolerance
-    ?(dispatch = Serve.Cluster.Join_shortest_queue) ?hedge_percentile ?tracer ?metrics
-    ?(replicas = 1) ~(process : Serve.Traffic.process) ~(requests : int) ~(seed : int)
-    (model : Model.t) : cluster_report =
+    ?(dispatch = Serve.Cluster.Join_shortest_queue) ?hedge_percentile
+    ?(requeue_budget = Serve.Cluster.default_config.Serve.Cluster.c_requeue_budget)
+    ?tracer ?metrics ?(replicas = 1) ~(process : Serve.Traffic.process) ~(requests : int)
+    ~(seed : int) (model : Model.t) : cluster_report =
   let c, weights = compile_model ~framework ?iters ?tracer model ~batch:8 ~seed in
   let payload_rng = Rng.create ((seed * 31) + 5) in
   let payloads =
@@ -397,6 +400,7 @@ let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
       c_replicas = replicas;
       c_dispatch = dispatch;
       c_hedge_percentile = hedge_percentile;
+      c_requeue_budget = requeue_budget;
     }
   in
   let report =

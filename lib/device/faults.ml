@@ -81,6 +81,39 @@ let pp_plan ppf p =
         | ids -> Fmt.pf ppf " poison=%a" Fmt.(list ~sep:(any "+") int) ids)
       p.poison
 
+(** Validate a plan's numeric ranges, naming the offending key in the
+    error. {!parse} already rejects malformed field syntax, but plans can
+    also be constructed programmatically (record literals, the chaos
+    harness's scenario generator) and bypass the parser entirely; this is
+    the single choke point both paths share. Beyond the per-field ranges it
+    rejects the one degenerate combination individual field checks miss:
+    rates that sum past 1.0, which would make the per-attempt decision
+    bands of {!begin_attempt} overlap and silently starve the later bands.
+
+    @raise Invalid_argument naming the offending key(s). *)
+let validate (p : plan) : unit =
+  let fail fmt = Fmt.kstr (fun m -> Fmt.invalid_arg "bad fault plan: %s" m) fmt in
+  let prob key v =
+    if not (Float.is_finite v) || v < 0.0 || v > 1.0 then
+      fail "%s=%g is not a probability in [0, 1]" key v
+  in
+  prob "kernel" p.kernel_fault_rate;
+  prob "straggler" p.straggler_rate;
+  prob "reset" p.reset_rate;
+  if not (Float.is_finite p.straggler_mult) || p.straggler_mult < 1.0 then
+    fail "straggler multiplier %g must be a float >= 1" p.straggler_mult;
+  if not (Float.is_finite p.reset_cost_us) || p.reset_cost_us < 0.0 then
+    fail "reset cost %g must be >= 0" p.reset_cost_us;
+  (match p.capacity_elems with
+  | Some c when c <= 0 -> fail "capacity=%d is not a positive integer" c
+  | _ -> ());
+  let total = p.kernel_fault_rate +. p.reset_rate +. p.straggler_rate in
+  if total > 1.0 then
+    fail
+      "kernel + reset + straggler = %g exceeds 1 (the per-attempt probability bands must \
+       partition [0, 1])"
+      total
+
 (** Parse a plan from a CLI spec: comma-separated [key=value] fields.
 
     {v seed=7,kernel=0.05,straggler=0.02x6,reset=0.001,capacity=200000,poison=3+17 v}
@@ -137,8 +170,12 @@ let parse (spec : string) : plan =
         fail "unknown key %S (valid keys: seed, kernel, straggler, reset, capacity, poison)"
           other)
   in
-  List.fold_left field none
-    (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
+  let plan =
+    List.fold_left field none
+      (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
+  in
+  validate plan;
+  plan
 
 (* Shortest decimal form that parses back to exactly [f]. *)
 let float_spec (f : float) : string =

@@ -26,6 +26,22 @@ type t = {
 
 let create clock = { clock; queue = Q.empty; next_seq = 0; dispatched = 0; clamped = 0 }
 
+(* Debug-only dispatch-order checking. The loop's correctness rests on
+   events popping at non-decreasing fire times (the (time, seq) map order);
+   code that advances the clock behind the loop's back — or a future
+   refactor that breaks the key ordering — would silently reorder
+   causality. With the flag on, [run] raises the moment a popped event's
+   fire time is behind the clock instead of letting [Clock.advance_to]
+   swallow the regression. Global rather than per-loop so harnesses (the
+   chaos campaign, tests) can arm it around whole simulations without
+   threading a knob through every [create]. *)
+let debug_checks = ref false
+
+(** Enable/disable the monotonic-dispatch assertion in {!run}. *)
+let set_debug_checks enabled = debug_checks := enabled
+
+let debug_checks_enabled () = !debug_checks
+
 let clock t = t.clock
 let now t = Clock.now t.clock
 let pending t = Q.cardinal t.queue
@@ -53,6 +69,11 @@ let run t =
     match Q.min_binding_opt t.queue with
     | None -> ()
     | Some (((at, _) as key), f) ->
+      if !debug_checks && at < now t then
+        Fmt.invalid_arg
+          "Event_loop.run: dispatch order regression (event due at %.3fus, clock already \
+           at %.3fus)"
+          at (now t);
       t.queue <- Q.remove key t.queue;
       Clock.advance_to t.clock at;
       t.dispatched <- t.dispatched + 1;

@@ -136,6 +136,11 @@ let admission t = t.queue
 let queue_length t = Admission.length t.queue
 let is_busy t = t.device_busy
 
+(** Fencing epoch: bumped on every failover, so each Down transition is
+    observable and stale continuations from the aborted resolution no-op.
+    Exposed for the health-transition property tests. *)
+let epoch t = t.epoch
+
 (** Expected time for one more request to clear this replica: remaining
     busy time plus the batcher's learned latency for the queue it would
     join. The least-expected-latency dispatch policy minimizes this. *)

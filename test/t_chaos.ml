@@ -1,0 +1,288 @@
+(** Tests for the chaos harness: scenario generation determinism, the
+    invariant oracles (exercised by tampering with a healthy run's
+    accounting), the shrinker's acceptance bound, campaign byte-determinism
+    and the clean-fleet zero-violation criterion. *)
+
+open Acrobat
+open T_util
+module Scenario = Chaos.Scenario
+module Invariants = Chaos.Invariants
+module Shrink = Chaos.Shrink
+module Faults = Acrobat_device.Faults
+module Stats = Serve.Stats
+module Batcher = Serve.Batcher
+module Cluster = Serve.Cluster
+module Event_loop = Serve.Event_loop
+module Trace = Obs.Trace
+module Json = Obs.Json
+
+(* --- Scenario generation --- *)
+
+let test_scenario_determinism () =
+  let a = Scenario.generate ~campaign_seed:7 ~fault_prob:0.5 3 in
+  let b = Scenario.generate ~campaign_seed:7 ~fault_prob:0.5 3 in
+  check_true "same (seed, index) regenerates the same scenario" (a = b);
+  let c = Scenario.generate ~campaign_seed:7 ~fault_prob:0.5 4 in
+  check_true "different index, different scenario" (a <> c);
+  let clean = Scenario.generate ~campaign_seed:7 ~fault_prob:0.0 3 in
+  check_true "fault_prob 0 generates a clean fleet"
+    (Scenario.fault_clause_count clean = 0)
+
+let test_scenario_to_cli () =
+  let sc = Scenario.generate ~campaign_seed:11 ~fault_prob:1.0 0 in
+  let cli = Scenario.to_cli sc in
+  check_true "repro is a serve command" (contains cli "acrobatc serve");
+  check_true "repro pins the traffic seed"
+    (contains cli (Fmt.str "--seed %d" sc.Scenario.sc_seed));
+  check_true "repro forces the cluster engine" (contains cli "--requeue-budget");
+  check_true "faulty fleet emits a fault plan" (contains cli "--faults")
+
+(* --- Invariant oracles ---
+
+   Run one clean scenario for real, then tamper with the oracle's input:
+   each mutation must trip exactly the invariant it targets. This checks
+   the checkers — a chaos suite whose oracles never fire is worthless. *)
+
+let clean_scenario () =
+  {
+    Scenario.sc_index = 0;
+    sc_seed = 99;
+    sc_requests = 30;
+    sc_rate = 2000.0;
+    sc_bursty = false;
+    sc_replicas = 2;
+    sc_dispatch = Cluster.Round_robin;
+    sc_hedge = None;
+    sc_queue_cap = 256;
+    sc_deadline_ms = None;
+    sc_policy = Batcher.Adaptive { max_batch = 8; max_wait_us = 1000.0 };
+    sc_requeue_budget = 2;
+    sc_plans = [| Faults.none; Faults.none |];
+  }
+
+let healthy_input () =
+  let sc = clean_scenario () in
+  let summary, tracer = Chaos.run_scenario sc in
+  {
+    Invariants.in_requests = sc.Scenario.sc_requests;
+    in_requeue_budget = sc.Scenario.sc_requeue_budget;
+    in_goodput_floor = 1.0;
+    in_summary = summary;
+    in_events = Trace.events tracer;
+  }
+
+let violated input = Invariants.names (Invariants.check input)
+
+let test_invariants_healthy () =
+  check_true "clean run passes the whole suite" (violated (healthy_input ()) = [])
+
+let test_invariant_conservation () =
+  let input = healthy_input () in
+  let names = violated { input with Invariants.in_requests = input.Invariants.in_requests + 1 } in
+  check_true "phantom arrival trips conservation" (List.mem "conservation" names);
+  check_true "phantom arrival also lacks a terminal" (List.mem "terminal_once" names)
+
+let test_invariant_terminal_once () =
+  let input = healthy_input () in
+  (* Erase the trace: every request now lacks its terminal instant, and the
+     done-event count no longer matches the completion counter. *)
+  let names = violated { input with Invariants.in_events = [] } in
+  check_true "missing terminals trip terminal_once" (List.mem "terminal_once" names);
+  check_true "done/completed mismatch trips no_dup_completion"
+    (List.mem "no_dup_completion" names)
+
+let test_invariant_dup_completion () =
+  let input = healthy_input () in
+  let dones =
+    List.filter (fun e -> e.Trace.ev_name = "done" && e.Trace.ev_pid = 0)
+      input.Invariants.in_events
+  in
+  check_true "clean run completed something" (dones <> []);
+  let names =
+    violated
+      { input with Invariants.in_events = input.Invariants.in_events @ [ List.hd dones ] }
+  in
+  check_true "duplicated completion trips no_dup_completion"
+    (List.mem "no_dup_completion" names);
+  check_true "duplicated terminal trips terminal_once" (List.mem "terminal_once" names)
+
+let test_invariant_requeue_budget () =
+  let input = healthy_input () in
+  let requeue id =
+    {
+      Trace.ev_seq = 100_000 + id;
+      ev_ph = 'i';
+      ev_name = "requeue";
+      ev_cat = "cluster";
+      ev_ts_us = 1.0;
+      ev_dur_us = 0.0;
+      ev_pid = 0;
+      ev_tid = id + 1;
+      ev_args = [];
+    }
+  in
+  (* Three requeues of request 0 against a budget of 2. *)
+  let events = input.Invariants.in_events @ [ requeue 0; requeue 0; requeue 0 ] in
+  let names = violated { input with Invariants.in_events = events } in
+  check_true "over-budget requeues trip requeue_budget" (List.mem "requeue_budget" names);
+  (* Two requeues stay within budget. *)
+  let events = input.Invariants.in_events @ [ requeue 0; requeue 0 ] in
+  check_true "in-budget requeues pass"
+    (not (List.mem "requeue_budget" (violated { input with Invariants.in_events = events })))
+
+let test_invariant_goodput_floor () =
+  let input = healthy_input () in
+  let names = violated { input with Invariants.in_goodput_floor = 1.1 } in
+  check_true "unattainable floor trips goodput_floor" (List.mem "goodput_floor" names)
+
+(* --- Shrinker --- *)
+
+(* A known-bad fleet: every replica faults 90% of its launches, with reset
+   and straggler clauses riding along, and no failover requeues allowed.
+   Retries exhaust, goodput craters; the shrinker must strip the noise down
+   to <= 2 fault clauses that still violate (the ISSUE acceptance bound). *)
+let known_bad_scenario () =
+  {
+    (clean_scenario ()) with
+    Scenario.sc_requests = 40;
+    sc_replicas = 3;
+    sc_requeue_budget = 0;
+    sc_plans =
+      Array.init 3 (fun i ->
+          {
+            Faults.none with
+            Faults.seed = 1000 + i;
+            kernel_fault_rate = 0.9;
+            reset_rate = 0.05;
+            straggler_rate = 0.05;
+          });
+  }
+
+let test_shrink_known_bad () =
+  let floor = 0.9 in
+  let violates sc =
+    fst (Chaos.check_scenario ~goodput_floor:floor ~check_replay:false sc) <> []
+  in
+  let sc0 = known_bad_scenario () in
+  check_int "known-bad fleet starts at 9 fault clauses" 9
+    (Scenario.fault_clause_count sc0);
+  check_true "known-bad fleet violates the goodput floor" (violates sc0);
+  let minimal, probes = Shrink.shrink ~violates ~budget:300 sc0 in
+  check_true "shrinker spent probes" (probes > 0);
+  check_true "minimal scenario still violates" (violates minimal);
+  check_true
+    (Fmt.str "shrinks to <= 2 fault clauses (got %d)"
+       (Scenario.fault_clause_count minimal))
+    (Scenario.fault_clause_count minimal <= 2)
+
+(* --- Campaigns --- *)
+
+let test_clean_campaign () =
+  (* The ISSUE acceptance criterion: a fully clean fleet reports zero
+     violations across >= 200 scenarios. *)
+  let ca = { Chaos.default_campaign with Chaos.ca_runs = 200; ca_fault_prob = 0.0 } in
+  let r = Chaos.run_campaign ca in
+  check_int "200 scenarios checked" 200 r.Chaos.rp_scenarios;
+  check_int "clean campaign has zero violations" 0 (List.length r.Chaos.rp_outcomes);
+  check_float "zero per kiloscenario" 0.0 (Chaos.violations_per_kiloscenario r)
+
+let test_faulty_campaign_holds () =
+  (* The serving stack is expected to survive injected faults: recovery
+     paths degrade goodput but must never break accounting invariants. *)
+  let ca =
+    { Chaos.default_campaign with Chaos.ca_seed = 5; ca_runs = 40; ca_fault_prob = 0.7 }
+  in
+  let r = Chaos.run_campaign ca in
+  check_int "faulty campaign has zero violations" 0 (List.length r.Chaos.rp_outcomes)
+
+let test_campaign_determinism () =
+  let ca =
+    { Chaos.default_campaign with Chaos.ca_seed = 9; ca_runs = 30; ca_fault_prob = 0.6 }
+  in
+  let a = Json.to_string (Chaos.report_json (Chaos.run_campaign ca)) in
+  let b = Json.to_string (Chaos.report_json (Chaos.run_campaign ca)) in
+  check_true "same campaign, byte-identical report" (String.equal a b)
+
+let test_campaign_catches_forced_floor () =
+  (* Force violations with an absolute goodput floor no faulted fleet can
+     meet; each must shrink and emit a full reproducer block. *)
+  let ca =
+    {
+      Chaos.default_campaign with
+      Chaos.ca_seed = 11;
+      ca_runs = 12;
+      ca_fault_prob = 1.0;
+      ca_goodput_floor = Some 0.999;
+      ca_check_replay = false;
+      ca_shrink = true;
+    }
+  in
+  let r = Chaos.run_campaign ca in
+  check_true "forced floor produces violations" (r.Chaos.rp_outcomes <> []);
+  List.iter
+    (fun oc ->
+      let minimal_sc, vs = Chaos.minimal oc in
+      check_true "minimal outcome still violates" (vs <> []);
+      check_true "shrunk no larger than original"
+        (Scenario.fault_clause_count minimal_sc
+        <= Scenario.fault_clause_count oc.Chaos.oc_scenario);
+      match Chaos.repro_lines ca oc with
+      | [ header; serve; chaos ] ->
+        check_true "repro header names the invariant" (contains header "violates:");
+        check_true "repro serve line" (contains serve "acrobatc serve");
+        check_true "repro chaos line replays by index"
+          (contains chaos
+             (Fmt.str "--only %d" oc.Chaos.oc_scenario.Scenario.sc_index))
+      | _ -> Alcotest.fail "repro block is three lines")
+    r.Chaos.rp_outcomes;
+  (* check_one re-derives any campaign scenario from (seed, index) alone. *)
+  let oc = List.hd r.Chaos.rp_outcomes in
+  (match Chaos.check_one ca oc.Chaos.oc_scenario.Scenario.sc_index with
+  | Some oc' ->
+    check_true "check_one re-derives the same scenario"
+      (oc'.Chaos.oc_scenario = oc.Chaos.oc_scenario)
+  | None -> Alcotest.fail "check_one must reproduce the campaign violation")
+
+let test_debug_flag_restored () =
+  let was = Event_loop.debug_checks_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Event_loop.set_debug_checks was)
+    (fun () ->
+      Event_loop.set_debug_checks false;
+      let ca = { Chaos.default_campaign with Chaos.ca_runs = 3; ca_fault_prob = 0.0 } in
+      ignore (Chaos.run_campaign ca);
+      check_true "campaign restores a disabled debug flag"
+        (not (Event_loop.debug_checks_enabled ()));
+      Event_loop.set_debug_checks true;
+      ignore (Chaos.run_campaign ca);
+      check_true "campaign restores an enabled debug flag"
+        (Event_loop.debug_checks_enabled ()))
+
+let suite =
+  [
+    Alcotest.test_case "scenario: generation is deterministic" `Quick
+      test_scenario_determinism;
+    Alcotest.test_case "scenario: CLI reproducer shape" `Quick test_scenario_to_cli;
+    Alcotest.test_case "invariants: clean run passes" `Quick test_invariants_healthy;
+    Alcotest.test_case "invariants: conservation oracle fires" `Quick
+      test_invariant_conservation;
+    Alcotest.test_case "invariants: terminal-once oracle fires" `Quick
+      test_invariant_terminal_once;
+    Alcotest.test_case "invariants: duplicate-completion oracle fires" `Quick
+      test_invariant_dup_completion;
+    Alcotest.test_case "invariants: requeue-budget oracle fires" `Quick
+      test_invariant_requeue_budget;
+    Alcotest.test_case "invariants: goodput-floor oracle fires" `Quick
+      test_invariant_goodput_floor;
+    Alcotest.test_case "shrink: known-bad plan minimizes to <= 2 clauses" `Quick
+      test_shrink_known_bad;
+    Alcotest.test_case "campaign: clean fleet, zero violations in 200" `Quick
+      test_clean_campaign;
+    Alcotest.test_case "campaign: faulty fleet holds invariants" `Quick
+      test_faulty_campaign_holds;
+    Alcotest.test_case "campaign: byte-identical reports" `Quick
+      test_campaign_determinism;
+    Alcotest.test_case "campaign: forced floor shrinks and reproduces" `Quick
+      test_campaign_catches_forced_floor;
+    Alcotest.test_case "campaign: debug flag restored" `Quick test_debug_flag_restored;
+  ]

@@ -99,6 +99,46 @@ let test_faults_spec_round_trip () =
     (Faults.to_spec (Faults.parse "poison=5,kernel=0.3,seed=2")
     = "seed=2,kernel=0.3,straggler=0x6,reset=0,poison=5")
 
+let test_faults_validate () =
+  let rejects ?(key = "") plan =
+    match Faults.validate plan with
+    | () -> Alcotest.fail "expected validate to reject the plan"
+    | exception Invalid_argument msg ->
+      if key <> "" then check_true ("error names " ^ key) (contains msg key)
+  in
+  (* Parser-bypassing (programmatic) plans hit the same checks as specs,
+     with the offending key named. *)
+  Faults.validate Faults.none;
+  rejects ~key:"kernel" { Faults.none with Faults.kernel_fault_rate = -0.1 };
+  rejects ~key:"kernel" { Faults.none with Faults.kernel_fault_rate = Float.nan };
+  rejects ~key:"straggler" { Faults.none with Faults.straggler_rate = 1.5 };
+  rejects ~key:"reset" { Faults.none with Faults.reset_rate = infinity };
+  rejects ~key:"straggler multiplier" { Faults.none with Faults.straggler_mult = 0.5 };
+  rejects ~key:"reset cost" { Faults.none with Faults.reset_cost_us = -1.0 };
+  rejects ~key:"capacity" { Faults.none with Faults.capacity_elems = Some 0 };
+  (* Rates that individually pass but sum past 1.0 would make the
+     per-attempt decision bands overlap. *)
+  rejects ~key:"exceeds 1"
+    {
+      Faults.none with
+      Faults.kernel_fault_rate = 0.5;
+      reset_rate = 0.4;
+      straggler_rate = 0.2;
+    };
+  (* The parse path rejects the same malformed rates, naming the key. *)
+  List.iter
+    (fun (spec, key) ->
+      match Faults.parse spec with
+      | _ -> Alcotest.fail ("expected parse to reject " ^ spec)
+      | exception Invalid_argument msg -> check_true ("parse names " ^ key) (contains msg key))
+    [
+      "kernel=-0.2", "kernel";
+      "kernel=nan", "kernel";
+      "reset=1.01", "reset";
+      "straggler=2", "straggler";
+      "kernel=0.9,reset=0.2", "exceeds 1";
+    ]
+
 (* Run [attempts] single-launch attempts against a fresh injector, returning
    the per-attempt fate trace. *)
 let fault_trace plan attempts =
@@ -213,6 +253,8 @@ let suite =
     Alcotest.test_case "memory: contiguity" `Quick test_contiguity;
     Alcotest.test_case "faults: plan parsing" `Quick test_faults_parse;
     Alcotest.test_case "faults: spec round-trip" `Quick test_faults_spec_round_trip;
+    Alcotest.test_case "faults: plan validation rejects bad rates" `Quick
+      test_faults_validate;
     Alcotest.test_case "faults: deterministic injection" `Quick test_faults_deterministic;
     Alcotest.test_case "faults: straggler multiplier" `Quick test_faults_straggler_mult;
     Alcotest.test_case "faults: failed attempts burn device time" `Quick

@@ -657,6 +657,180 @@ let test_percentile_edges () =
   check_float "singleton at p100" 7.0 (Stats.percentile [| 7.0 |] 100.0);
   check_float "empty sample is 0" 0.0 (Stats.percentile [||] 50.0)
 
+let test_percentile_sorted_agreement () =
+  (* summarize sorts the latencies once and reads every percentile off the
+     sorted array; the fast path must agree with the sort-per-call one. *)
+  let agree xs =
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    List.iter
+      (fun p ->
+        check_float
+          (Fmt.str "p%g agrees on %d samples" p (Array.length xs))
+          (Stats.percentile xs p)
+          (Stats.percentile_sorted sorted p))
+      [ 0.0; 25.0; 50.0; 90.0; 95.0; 99.0; 100.0 ]
+  in
+  agree [||];
+  agree [| 7.0 |];
+  agree [| 5.0; 1.0; 4.0; 2.0; 3.0 |];
+  let rng = Rng.create 17 in
+  agree (Array.init 101 (fun _ -> 1000.0 *. Rng.float rng));
+  (* And the summary itself reads off the single sorted pass. *)
+  let stats = Stats.create () in
+  let rng = Rng.create 18 in
+  let lats_ms =
+    Array.init 50 (fun i ->
+        let latency_us = 500.0 *. Rng.float rng in
+        Stats.record stats
+          {
+            Stats.r_id = i;
+            r_arrival_us = 10.0 *. float_of_int i;
+            r_start_us = 10.0 *. float_of_int i;
+            r_done_us = (10.0 *. float_of_int i) +. latency_us;
+            r_batch_size = 1;
+          };
+        latency_us /. 1000.0)
+  in
+  let s = Stats.summarize stats in
+  check_float "summary p50 matches percentile" (Stats.percentile lats_ms 50.0)
+    s.Stats.s_p50_ms;
+  check_float "summary p95 matches percentile" (Stats.percentile lats_ms 95.0)
+    s.Stats.s_p95_ms;
+  check_float "summary p99 matches percentile" (Stats.percentile lats_ms 99.0)
+    s.Stats.s_p99_ms
+
+let test_event_loop_debug_order_check () =
+  (* With debug checks armed, a handler that drags the clock past a pending
+     event's due time must crash the run instead of dispatching stale
+     events silently. *)
+  let run_with_time_warp () =
+    let loop = Event_loop.create (Clock.create ()) in
+    Event_loop.schedule loop ~at:100.0 (fun () ->
+        (* Misbehaving handler: advances the shared clock beyond the event
+           scheduled at t=200, so that event pops "in the past". *)
+        Clock.advance_to (Event_loop.clock loop) 500.0);
+    Event_loop.schedule loop ~at:200.0 (fun () -> ());
+    Event_loop.run loop
+  in
+  let was = Event_loop.debug_checks_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Event_loop.set_debug_checks was)
+    (fun () ->
+      Event_loop.set_debug_checks false;
+      run_with_time_warp ();
+      Event_loop.set_debug_checks true;
+      match run_with_time_warp () with
+      | () -> Alcotest.fail "debug checks armed: dispatch regression must raise"
+      | exception Invalid_argument msg ->
+        check_true "error names the regression" (contains msg "dispatch order regression"))
+
+(* --- Replica health-transition property ---
+
+   Drive one replica with a scripted verdict tape (0 = ok, 1 = transient
+   kernel fault, 2 = device reset) under a hair-trigger tolerance (any
+   fault fails over), logging every health callback. Whatever the tape,
+   the health machine must respect its protocol: a replica never
+   resurrects without a successful probe (Down -> ProbeReady -> Up, in
+   that order), and failover epochs are strictly increasing. *)
+
+let gen_verdict_tape = QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 2))
+
+let replica_health_prop (verdicts : int list) : bool =
+  let loop = Event_loop.create (Clock.create ()) in
+  let tape = ref verdicts in
+  let next_verdict () =
+    match !tape with [] -> 0 | v :: rest -> tape := rest; v
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.policy = Batcher.Batch1;
+      queue_capacity = 256;
+      tolerance =
+        {
+          Server.default_tolerance with
+          Server.max_retries = 0;
+          breaker_threshold = 1;
+          breaker_cooldown_us = 1000.0;
+        };
+    }
+  in
+  let execute ~degraded:_ _batch =
+    match next_verdict () with
+    | 0 -> Server.Exec_ok { Server.ex_latency_us = 100.0; ex_profiler = None }
+    | v ->
+      Server.Exec_fault
+        {
+          ef_latency_us = 50.0;
+          ef_reason = "scripted";
+          ef_transient = true;
+          ef_oom = false;
+          ef_reset = v = 2;
+        }
+  in
+  let events = ref [] in
+  let note e = events := e :: !events in
+  let repl = ref None in
+  let the_repl () = Option.get !repl in
+  let next_id = ref 0 in
+  (* One outstanding request at a time; each executed attempt consumes
+     exactly one scripted verdict. *)
+  let feed () =
+    let id = !next_id in
+    incr next_id;
+    ignore
+      (Replica.enqueue (the_repl ())
+         {
+           Admission.rq_id = id;
+           rq_payload = id;
+           rq_arrival_us = Event_loop.now loop;
+           rq_deadline_us = None;
+         })
+  in
+  let cb =
+    {
+      Replica.cb_live = (fun _ -> true);
+      cb_completed =
+        (fun ~replica:_ _ ~size:_ ~start_us:_ ~done_us:_ ->
+          if !tape <> [] then feed ());
+      cb_cancelled = (fun ~replica:_ _ -> ());
+      cb_expired = (fun ~replica:_ _ -> ());
+      cb_poisoned = (fun ~replica:_ _ -> ());
+      cb_down = (fun ~replica:_ _ -> note (`Down (Replica.epoch (the_repl ()))));
+      cb_probe_ready =
+        (fun ~replica:_ ->
+          note `ProbeReady;
+          feed () (* route the single probe request *));
+      cb_up = (fun ~replica:_ -> note `Up);
+    }
+  in
+  repl := Some (Replica.create ~id:0 ~loop ~config ~reset_threshold:1 ~execute ~cb ());
+  feed ();
+  Event_loop.run loop;
+  let log = List.rev !events in
+  (* Down only from Up or Probing; ProbeReady only from Down; Up only from
+     Probing — never resurrect without a successful probe. *)
+  let state = ref `U in
+  let ok_machine =
+    List.for_all
+      (fun e ->
+        match e, !state with
+        | `Down _, (`U | `P) -> state := `D; true
+        | `ProbeReady, `D -> state := `P; true
+        | `Up, `P -> state := `U; true
+        | _ -> false)
+      log
+  in
+  let epochs = List.filter_map (function `Down e -> Some e | _ -> None) log in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  (* The tape always ends on implicit successes, so the replica must have
+     recovered (and the whole script must have been consumed). *)
+  ok_machine && increasing epochs && !tape = [] && Replica.health (the_repl ()) = Replica.Up
+
 let test_hedge_warmup_boundary () =
   (* The estimator must stay off through hedge_min_obs - 1 observations and
      arm exactly at hedge_min_obs, reading only the observed prefix of the
@@ -897,6 +1071,12 @@ let suite =
       test_serve_model_faulty_deterministic;
     Alcotest.test_case "models: degraded variants wired" `Quick test_degraded_variant_wired;
     Alcotest.test_case "stats: percentile edge cases" `Quick test_percentile_edges;
+    Alcotest.test_case "stats: sorted percentiles agree with per-call sort" `Quick
+      test_percentile_sorted_agreement;
+    Alcotest.test_case "event loop: debug dispatch-order assertion" `Quick
+      test_event_loop_debug_order_check;
+    qtest ~count:100 "replica: health transitions never skip the probe"
+      gen_verdict_tape replica_health_prop;
     Alcotest.test_case "cluster: hedge estimator warm-up boundary" `Quick
       test_hedge_warmup_boundary;
     Alcotest.test_case "obs: serving never clamps schedules" `Quick

@@ -10,4 +10,5 @@ let () =
       "serve", T_serve.suite;
       "models", T_models.suite;
       "failures", T_failures.suite;
+      "chaos", T_chaos.suite;
     ]
