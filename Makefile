@@ -17,7 +17,10 @@ test:
 # breakage that unit tests can miss. The trace smoke runs the cluster twice
 # with the same seed and demands byte-identical, schema-valid Chrome traces
 # (TRACE_cluster.json, uploaded as a CI artifact alongside
-# BENCH_cluster.json).
+# BENCH_cluster.json). The multi-tenant smoke serves three tenants with the
+# autoscaler on and one fault-injected replica slot, gated on goodput; the
+# tenants bench runs twice and its JSON (BENCH_tenants.json, a CI artifact)
+# must be byte-identical across runs.
 check: build test
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 2000 --requests 50 --iters 100
@@ -36,6 +39,13 @@ check: build test
 	cmp TRACE_cluster.json TRACE_cluster_rerun.json
 	dune exec bin/acrobatc.exe -- trace TRACE_cluster.json
 	dune exec bench/main.exe -- cluster --json BENCH_cluster.json
+	dune exec bin/acrobatc.exe -- serve --size tiny --iters 100 --requests 60 \
+	  --seed 3 --tenant alpha:treelstm:2000:50:8 --tenant beta:birnn:1000:100:4:2 \
+	  --tenant gamma:moe:500:0:64 --autoscale 1:3 \
+	  --faults "seed=7,kernel=0.2" --min-goodput 0.9
+	dune exec bench/main.exe -- tenants --json BENCH_tenants.json
+	dune exec bench/main.exe -- tenants --json BENCH_tenants_rerun.json
+	cmp BENCH_tenants.json BENCH_tenants_rerun.json
 	$(MAKE) chaos-smoke
 	dune exec bench/main.exe -- chaos --json BENCH_chaos.json
 	dune exec bench/main.exe -- chaos --json BENCH_chaos_rerun.json

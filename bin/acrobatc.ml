@@ -242,14 +242,14 @@ let bench_cmd =
 
 let serve_cmd =
   let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
-      burst seed iters faults_specs replicas dispatch hedge requeue_budget min_goodput
-      json_path trace_path =
+      burst seed iters faults_specs replicas dispatch hedge requeue_budget tenant_specs
+      autoscale min_goodput json_path trace_path =
     guarded @@ fun () ->
-    let model =
+    let resolve id =
       match size with
-      | "tiny" -> Models.tiny model_id
-      | "small" -> (Models.find model_id).Models.make Model.Small
-      | "large" -> (Models.find model_id).Models.make Model.Large
+      | "tiny" -> Models.tiny id
+      | "small" -> (Models.find id).Models.make Model.Small
+      | "large" -> (Models.find id).Models.make Model.Large
       | other -> Fmt.invalid_arg "unknown size %S (tiny|small|large)" other
     in
     let policy =
@@ -259,6 +259,82 @@ let serve_cmd =
       | "adaptive" -> Serve.Batcher.Adaptive { max_batch; max_wait_us }
       | other -> Fmt.invalid_arg "unknown policy %S (batch1|fixed|adaptive)" other
     in
+    let fault_plans = List.map Faults.parse faults_specs in
+    if tenant_specs <> [] then begin
+      (* Multi-tenant path: tenants carry model/rate/SLO/quota; --model,
+         --rate, --replicas, --dispatch and --hedge do not apply. *)
+      let tenants =
+        Array.of_list
+          (List.mapi
+             (fun i spec ->
+               Tenancy.Tenant.parse ~seed ~index:i ~bursty:burst ~requests spec)
+             tenant_specs)
+      in
+      let min_replicas, max_replicas =
+        match autoscale with
+        | None -> 1, 1
+        | Some s -> (
+          match String.split_on_char ':' s with
+          | [ a; b ] -> (
+            match int_of_string_opt a, int_of_string_opt b with
+            | Some lo, Some hi -> lo, hi
+            | _ -> Fmt.invalid_arg "--autoscale %S: want MIN:MAX" s)
+          | _ -> Fmt.invalid_arg "--autoscale %S: want MIN:MAX" s)
+      in
+      if List.length fault_plans > max_replicas then
+        Fmt.invalid_arg "%d fault plans for at most %d replicas"
+          (List.length fault_plans) max_replicas;
+      Fmt.pr "multi-tenant serve: %d tenants   autoscale %d..%d   policy %a   seed %d@."
+        (Array.length tenants) min_replicas max_replicas Serve.Batcher.pp_policy policy
+        seed;
+      Array.iter (fun t -> Fmt.pr "  %a@." Tenancy.Tenant.pp t) tenants;
+      List.iteri
+        (fun i p ->
+          if Faults.enabled p then
+            Fmt.pr "fault plan (replica %d): %a@." i Faults.pp_plan p)
+        fault_plans;
+      Fmt.pr "@.";
+      let tracer = tracer_of trace_path in
+      let report =
+        serve_tenants ~policy ~queue_capacity:queue_cap ?iters ~fault_plans ~min_replicas
+          ~max_replicas ?tracer ~models:resolve ~tenants ~seed ()
+      in
+      let summary = Serve.Stats.summarize report.Tenancy.Dispatcher.tn_stats in
+      Fmt.pr "%a@.@." Serve.Stats.pp_summary summary;
+      List.iter
+        (fun (tv : Tenancy.Dispatcher.tenant_view) ->
+          let t = tv.Tenancy.Dispatcher.tv_tenant in
+          let s = Serve.Stats.summarize tv.Tenancy.Dispatcher.tv_stats in
+          Fmt.pr
+            "tenant %-10s (%s): completed %d, goodput %.3f, slo %.1f%%, quota shed %d, \
+             peak inflight %d@."
+            t.Tenancy.Tenant.tn_name t.Tenancy.Tenant.tn_model s.Serve.Stats.s_completed
+            (Serve.Stats.goodput s)
+            (100.0 *. Serve.Stats.slo_attainment s)
+            s.Serve.Stats.s_quota_shed tv.Tenancy.Dispatcher.tv_peak_inflight)
+        report.Tenancy.Dispatcher.tn_tenants;
+      Fmt.pr "@.replicas: peak %d, final %d, %d model swaps, utilization %.1f%%@."
+        report.Tenancy.Dispatcher.tn_peak_replicas
+        report.Tenancy.Dispatcher.tn_final_replicas report.Tenancy.Dispatcher.tn_swaps
+        (100.0 *. Tenancy.Dispatcher.utilization report);
+      List.iter
+        (fun (ts_us, ev, n) -> Fmt.pr "  %10.0fus %-10s -> %d replicas@." ts_us ev n)
+        report.Tenancy.Dispatcher.tn_scale_events;
+      Option.iter
+        (fun path ->
+          Serve.Json.to_file path (Tenancy.Dispatcher.report_json report);
+          Fmt.pr "wrote %s@." path)
+        json_path;
+      write_trace tracer trace_path;
+      match min_goodput with
+      | Some frac when Serve.Stats.goodput summary < frac ->
+        Fmt.epr "error: goodput %.4f below --min-goodput %.4f@."
+          (Serve.Stats.goodput summary) frac;
+        1
+      | _ -> 0
+    end
+    else begin
+    let model = resolve model_id in
     let process =
       if burst then
         Serve.Traffic.Bursty
@@ -275,7 +351,6 @@ let serve_cmd =
       | Some d -> d
       | None -> Fmt.invalid_arg "unknown dispatch %S (rr|jsq|lel)" dispatch
     in
-    let fault_plans = List.map Faults.parse faults_specs in
     if List.length fault_plans > replicas then
       Fmt.invalid_arg "%d fault plans for %d replicas" (List.length fault_plans) replicas;
     Fmt.pr "model %s (%s)   traffic %a   policy %a   seed %d@.@." model_id size
@@ -336,6 +411,7 @@ let serve_cmd =
         (Serve.Stats.goodput summary) frac;
       1
     | _ -> 0
+    end
   in
   let model_arg =
     Arg.(value & opt string "treelstm" & info [ "model" ] ~docv:"ID" ~doc:"Catalog model.")
@@ -427,6 +503,26 @@ let serve_cmd =
             "Failover re-dispatches per request before it is dropped (default 8). \
              Setting it forces the cluster engine even with --replicas 1.")
   in
+  let tenant_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "tenant" ] ~docv:"SPEC"
+          ~doc:
+            "Serve a tenant: NAME:MODEL:RATE:SLO:QUOTA with an optional :WEIGHT field \
+             (rate in req/s, SLO in ms with 0 = none, quota = max inflight). Repeatable; \
+             any --tenant switches to the multi-tenant dispatcher, where batches form \
+             only within a model and --model/--rate/--replicas/--dispatch/--hedge do \
+             not apply. Tenant i's traffic seed derives from --seed + 101*i.")
+  in
+  let autoscale_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "autoscale" ] ~docv:"MIN:MAX"
+          ~doc:
+            "Autoscaler replica bounds for the multi-tenant dispatcher (default 1:1 = \
+             one fixed replica). Scale-up reacts to sustained queue delay; scale-down \
+             drains the victim replica before retiring it.")
+  in
   let min_goodput_arg =
     Arg.(
       value & opt (some float) None
@@ -446,7 +542,8 @@ let serve_cmd =
       const run $ model_arg $ size_arg $ rate_arg $ policy_arg $ requests_arg
       $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
       $ iters_arg $ faults_arg $ replicas_arg $ dispatch_arg $ hedge_arg
-      $ requeue_budget_arg $ min_goodput_arg $ json_arg $ trace_arg)
+      $ requeue_budget_arg $ tenant_arg $ autoscale_arg $ min_goodput_arg $ json_arg
+      $ trace_arg)
 
 (* --- chaos (randomized fault search with invariant checking) --- *)
 

@@ -18,6 +18,7 @@
 
 module Rng = Acrobat_tensor.Rng
 module Faults = Acrobat_device.Faults
+module Cost_model = Acrobat_device.Cost_model
 module Server = Acrobat_serve.Server
 module Cluster = Acrobat_serve.Cluster
 module Stats = Acrobat_serve.Stats
@@ -25,6 +26,9 @@ module Traffic = Acrobat_serve.Traffic
 module Event_loop = Acrobat_serve.Event_loop
 module Trace = Acrobat_obs.Trace
 module Json = Acrobat_obs.Json
+module Tenant = Acrobat_tenancy.Tenant
+module Autoscaler = Acrobat_tenancy.Autoscaler
+module Dispatcher = Acrobat_tenancy.Dispatcher
 
 (* Synthetic request cost: the executor's latency is 100us + 10us per
    batched request, and one request occupies 100 "elements" against a
@@ -98,22 +102,85 @@ let cluster_config (sc : Scenario.t) : Cluster.config =
     c_requeue_budget = sc.Scenario.sc_requeue_budget;
   }
 
+let tenancy_config (sc : Scenario.t) (tc : Scenario.tenancy) : Dispatcher.config =
+  {
+    Dispatcher.t_server =
+      {
+        Server.default_config with
+        Server.policy = sc.Scenario.sc_policy;
+        queue_capacity = sc.Scenario.sc_queue_cap;
+      };
+    t_autoscale =
+      Autoscaler.default ~min_replicas:tc.Scenario.tc_min
+        ~max_replicas:tc.Scenario.tc_max;
+    t_swap_cost = Cost_model.default;
+  }
+
+(* Synthetic per-model weight footprint for the swap penalty. Any
+   deterministic positive size works — invariants never read latencies —
+   but distinct sizes per model name keep swap costs asymmetric the way a
+   real catalog's are. *)
+let model_bytes (m : string) : int = 10_000 * (1 + (String.length m mod 7))
+
 (** Execute one scenario with tracing on. The arrival trace derives from
     [sc_seed] {e exactly} as [Acrobat.serve_cluster] derives it from
-    [--seed], so the emitted CLI reproducer replays the same traffic. *)
-let run_scenario (sc : Scenario.t) : Stats.summary * Trace.t =
-  let arrivals =
-    Traffic.arrivals
-      ~rng:(Rng.create ((sc.Scenario.sc_seed * 53) + 11))
-      (Scenario.process sc) ~n:sc.Scenario.sc_requests
-  in
+    [--seed] (and per-tenant seeds exactly as [--tenant] derives them), so
+    the emitted CLI reproducer replays the same traffic. Returns the
+    aggregate summary, the trace, and per-tenant observations (empty on
+    plain cluster runs). *)
+let run_scenario_full (sc : Scenario.t) :
+    Stats.summary * Trace.t * Invariants.tenant_obs list =
   let tracer = Trace.create () in
-  let report =
-    Cluster.simulate ~tracer (cluster_config sc) ~arrivals
-      ~payload:(fun i -> i)
-      ~executors:(Array.map executor_of_plan sc.Scenario.sc_plans)
-  in
-  Stats.summarize report.Cluster.cluster_stats, tracer
+  match sc.Scenario.sc_tenancy with
+  | None ->
+    let arrivals =
+      Traffic.arrivals
+        ~rng:(Rng.create ((sc.Scenario.sc_seed * 53) + 11))
+        (Scenario.process sc) ~n:sc.Scenario.sc_requests
+    in
+    let report =
+      Cluster.simulate ~tracer (cluster_config sc) ~arrivals
+        ~payload:(fun i -> i)
+        ~executors:(Array.map executor_of_plan sc.Scenario.sc_plans)
+    in
+    Stats.summarize report.Cluster.cluster_stats, tracer, []
+  | Some tc ->
+    (* The shrinker halves [sc_requests] without rebuilding tenant records,
+       so the per-tenant stream length is always taken from the scenario. *)
+    let tenants =
+      Array.map
+        (fun t -> { t with Tenant.tn_requests = sc.Scenario.sc_requests })
+        tc.Scenario.tc_tenants
+    in
+    let execs = Array.map executor_of_plan sc.Scenario.sc_plans in
+    let execute i ~model:_ batch =
+      (* Autoscaled replicas index plans positionally; clamp in case a
+         shrink candidate truncated the plan array below the ceiling. *)
+      execs.(min i (Array.length execs - 1)) ~degraded:false batch
+    in
+    let report =
+      Dispatcher.simulate ~tracer (tenancy_config sc tc) ~tenants
+        ~payload:(fun ~tenant:_ ~index:_ ~id -> id)
+        ~execute ~model_bytes
+    in
+    let obs =
+      List.map
+        (fun (tv : Dispatcher.tenant_view) ->
+          let s = Stats.summarize tv.Dispatcher.tv_stats in
+          {
+            Invariants.tb_name = tv.Dispatcher.tv_tenant.Tenant.tn_name;
+            tb_offered = s.Stats.s_offered;
+            tb_completed = s.Stats.s_completed;
+            tb_quota = tv.Dispatcher.tv_tenant.Tenant.tn_quota;
+            tb_peak_inflight = tv.Dispatcher.tv_peak_inflight;
+          })
+        report.Dispatcher.tn_tenants
+    in
+    Stats.summarize report.Dispatcher.tn_stats, tracer, obs
+
+let run_scenario (sc : Scenario.t) : Stats.summary * Trace.t =
+  let summary, tracer, _ = run_scenario_full sc in
+  summary, tracer
 
 (* The goodput floor a scenario provably must meet: a clean fleet with no
    deadline and a queue deep enough that nothing sheds answers everything.
@@ -126,15 +193,37 @@ let derived_floor (sc : Scenario.t) : float =
   let need =
     (if sc.Scenario.sc_hedge = None then 1 else 2) * sc.Scenario.sc_requests
   in
-  if clean && sc.Scenario.sc_deadline_ms = None && sc.Scenario.sc_queue_cap >= need then
-    1.0
+  if sc.Scenario.sc_tenancy <> None then
+    (* Quota shedding and SLO expiry are legitimate on tenant mixes; the
+       starvation and quota invariants carry the liveness burden instead. *)
+    0.0
+  else if
+    clean && sc.Scenario.sc_deadline_ms = None && sc.Scenario.sc_queue_cap >= need
+  then 1.0
   else 0.0
 
-(* Canonical byte form of a run's observable output, for replay comparison. *)
-let observable_string (summary : Stats.summary) (tracer : Trace.t) : string =
+let tenant_obs_json (tb : Invariants.tenant_obs) : Json.t =
+  Json.Obj
+    [
+      "name", Json.Str tb.Invariants.tb_name;
+      "offered", Json.Int tb.Invariants.tb_offered;
+      "completed", Json.Int tb.Invariants.tb_completed;
+      "quota", Json.Int tb.Invariants.tb_quota;
+      "peak_inflight", Json.Int tb.Invariants.tb_peak_inflight;
+    ]
+
+(* Canonical byte form of a run's observable output, for replay comparison.
+   Tenant observations ride along so the determinism invariant also covers
+   per-tenant accounting. *)
+let observable_string (summary : Stats.summary) (tracer : Trace.t)
+    (tenants : Invariants.tenant_obs list) : string =
   Json.to_string
     (Json.Obj
-       [ "summary", Stats.summary_to_json summary; "trace", Trace.to_json tracer ])
+       [
+         "summary", Stats.summary_to_json summary;
+         "tenants", Json.List (List.map tenant_obs_json tenants);
+         "trace", Trace.to_json tracer;
+       ])
 
 (** Check one scenario against the full invariant suite. Returns the
     violations (empty = healthy) and the run's trace JSON for artifact
@@ -144,27 +233,28 @@ let observable_string (summary : Stats.summary) (tracer : Trace.t) : string =
     stack is itself a violation, named ["crash"]. *)
 let check_scenario ?goodput_floor ?(check_replay = true) (sc : Scenario.t) :
     Invariants.violation list * Json.t =
-  match run_scenario sc with
-  | summary, tracer ->
+  match run_scenario_full sc with
+  | summary, tracer, tenants ->
     let floor =
       Float.max (derived_floor sc) (Option.value ~default:0.0 goodput_floor)
     in
     let violations =
       Invariants.check
         {
-          Invariants.in_requests = sc.Scenario.sc_requests;
+          Invariants.in_requests = Scenario.total_requests sc;
           in_requeue_budget = sc.Scenario.sc_requeue_budget;
           in_goodput_floor = floor;
           in_summary = summary;
           in_events = Trace.events tracer;
+          in_tenants = tenants;
         }
     in
     let violations =
       if not check_replay then violations
       else begin
-        let summary2, tracer2 = run_scenario sc in
-        let a = observable_string summary tracer
-        and b = observable_string summary2 tracer2 in
+        let summary2, tracer2, tenants2 = run_scenario_full sc in
+        let a = observable_string summary tracer tenants
+        and b = observable_string summary2 tracer2 tenants2 in
         if String.equal a b then violations
         else
           violations

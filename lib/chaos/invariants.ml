@@ -18,7 +18,10 @@
     - {b clamped}: zero past-time event-loop schedules (each one is a
       latent scheduling bug that clamping would otherwise hide);
     - {b goodput_floor}: availability at or above a caller-derived floor
-      (1.0 for a clean unbounded scenario, campaign-supplied otherwise).
+      (1.0 for a clean unbounded scenario, campaign-supplied otherwise);
+    - {b tenant_starvation} / {b quota_respected}: on multi-tenant runs,
+      every tenant with offered load completes something, and no tenant's
+      observed peak inflight ever exceeded its admission quota.
 
     Replay determinism (same seed, byte-identical summary + trace) needs a
     second run, so it lives in {!Campaign.check_scenario} and reports here
@@ -36,11 +39,23 @@ let v name fmt = Fmt.kstr (fun vi_detail -> { vi_name = name; vi_detail }) fmt
 
 (** Terminal instant names the cluster dispatcher emits on pid 0 — the
     closed set every admitted request must end in exactly once.
-    ["shed_breaker"] is the single-server breaker's terminal; it never
-    fires in cluster runs but stays in the set so the suite keeps working
-    as an oracle over single-server traces too. *)
+    ["shed_breaker"] is the single-server breaker's terminal and
+    ["shed_quota"] the multi-tenant dispatcher's; each fires only on its
+    own layer but stays in the set so the suite keeps working as an oracle
+    over every serving stack's traces. *)
 let terminal_names =
-  [ "done"; "expired"; "shed"; "shed_breaker"; "poisoned"; "budget_exhausted" ]
+  [ "done"; "expired"; "shed"; "shed_breaker"; "shed_quota"; "poisoned";
+    "budget_exhausted" ]
+
+(** What the multi-tenant dispatcher observed for one tenant; empty list on
+    single-tenant runs. *)
+type tenant_obs = {
+  tb_name : string;
+  tb_offered : int;  (** Arrivals, including quota-shed ones. *)
+  tb_completed : int;
+  tb_quota : int;  (** Configured inflight quota. *)
+  tb_peak_inflight : int;  (** Largest admitted-but-not-terminal count seen. *)
+}
 
 (** Everything one invariant check needs to know about a finished run. *)
 type input = {
@@ -49,6 +64,7 @@ type input = {
   in_goodput_floor : float;
   in_summary : Stats.summary;
   in_events : Trace.event list;  (** Canonical order ({!Trace.events}). *)
+  in_tenants : tenant_obs list;  (** Per-tenant observations; [] if single-tenant. *)
 }
 
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -121,6 +137,17 @@ let check (i : input) : violation list =
     add
       (v "goodput_floor" "goodput %.4f below floor %.4f" (Stats.goodput s)
          i.in_goodput_floor);
+  List.iter
+    (fun tb ->
+      if tb.tb_offered > 0 && tb.tb_completed = 0 then
+        add
+          (v "tenant_starvation" "tenant %s offered %d requests but completed none"
+             tb.tb_name tb.tb_offered);
+      if tb.tb_peak_inflight > tb.tb_quota then
+        add
+          (v "quota_respected" "tenant %s peaked at %d inflight (quota %d)" tb.tb_name
+             tb.tb_peak_inflight tb.tb_quota))
+    i.in_tenants;
   List.rev !out
 
 (** Distinct invariant names violated, sorted — the compact label used in

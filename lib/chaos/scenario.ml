@@ -20,6 +20,19 @@ module Faults = Acrobat_device.Faults
 module Batcher = Acrobat_serve.Batcher
 module Cluster = Acrobat_serve.Cluster
 module Traffic = Acrobat_serve.Traffic
+module Tenant = Acrobat_tenancy.Tenant
+
+(** The tenant-mix dimension: when present, the scenario runs through the
+    multi-tenant dispatcher instead of the cluster — several tenants, each
+    with its own model, traffic stream, SLO and quota, plus the autoscaler
+    bounds. Tenant seeds derive as [sc_seed + 101 * index], exactly the way
+    [acrobatc serve --tenant] derives them from [--seed], so {!to_cli}
+    reproduces the same per-tenant arrival traces. *)
+type tenancy = {
+  tc_tenants : Tenant.t array;
+  tc_min : int;  (** Autoscaler floor (initial replicas). *)
+  tc_max : int;  (** Autoscaler ceiling; [tc_min] = autoscaling off. *)
+}
 
 type t = {
   sc_index : int;  (** Position in the campaign; replay key with the seed. *)
@@ -35,6 +48,7 @@ type t = {
   sc_policy : Batcher.policy;
   sc_requeue_budget : int;
   sc_plans : Faults.plan array;  (** One per replica, [Faults.none] = clean. *)
+  sc_tenancy : tenancy option;  (** Tenant mix; [None] = plain cluster run. *)
 }
 
 (** The arrival process this scenario drives — the exact shape
@@ -94,6 +108,38 @@ let gen_plan rng ~requests : Faults.plan =
   Faults.validate plan;
   plan
 
+(* A gentler plan for tenant-mix scenarios: every probabilistic recovery
+   path, but not the ones that can lawfully consume a whole tenant's
+   traffic. kernel=1.0 (always faults) is excluded because a fleet pinned
+   at one always-faulting replica would poison every request and trip the
+   starvation invariant by construction rather than by bug; poison is
+   excluded because its ids index a single-stream request space that
+   multi-tenant arrivals do not share. *)
+let gen_plan_gentle rng : Faults.plan =
+  let seed = Rng.int rng 100_000 in
+  let kernel = if Rng.bernoulli rng 0.5 then choose rng [ 0.05; 0.2; 0.5 ] else 0.0 in
+  let straggler_rate, straggler_mult =
+    if Rng.bernoulli rng 0.4 then choose rng [ 0.1; 0.3 ], choose rng [ 4.0; 8.0 ]
+    else 0.0, 6.0
+  in
+  let reset = if Rng.bernoulli rng 0.3 then choose rng [ 0.02; 0.1 ] else 0.0 in
+  let capacity =
+    if Rng.bernoulli rng 0.2 then Some (choose rng [ 200; 400; 800 ]) else None
+  in
+  let plan =
+    {
+      Faults.none with
+      Faults.seed;
+      kernel_fault_rate = kernel;
+      straggler_rate;
+      straggler_mult;
+      reset_rate = reset;
+      capacity_elems = capacity;
+    }
+  in
+  Faults.validate plan;
+  plan
+
 (** Generate scenario [index] of the campaign. Deterministic in
     [(campaign_seed, fault_prob, index)]; each replica independently gets a
     fault plan with probability [fault_prob] (0.0 = a fully clean fleet). *)
@@ -132,6 +178,38 @@ let generate ~(campaign_seed : int) ~(fault_prob : float) (index : int) : t =
         if Rng.bernoulli rng fault_prob then gen_plan rng ~requests:sc_requests
         else Faults.none)
   in
+  (* Tenant-mix dimension: ~30% of scenarios exercise the multi-tenant
+     dispatcher instead of the cluster. Models are real tiny-catalog ids so
+     the CLI reproducer compiles them, tenant seeds follow the CLI's
+     [--seed] derivation, and fault plans are redrawn at autoscaler-ceiling
+     width with the gentle generator. *)
+  let sc_tenancy, sc_plans =
+    if not (Rng.bernoulli rng 0.3) then None, sc_plans
+    else begin
+      let n = 2 + Rng.int rng 3 in
+      let tc_tenants =
+        Array.init n (fun i ->
+            {
+              Tenant.tn_name = Fmt.str "t%d" i;
+              tn_model = choose rng [ "treelstm"; "birnn"; "moe" ];
+              tn_rate_per_s = choose rng [ 500.0; 2000.0; 4000.0 ];
+              tn_bursty = sc_bursty;
+              tn_seed = Tenant.derived_seed ~seed:sc_seed ~index:i;
+              tn_slo_ms = choose rng [ 200.0; 500.0 ];
+              tn_quota = choose rng [ 4; 8; 64 ];
+              tn_weight = choose rng [ 1.0; 2.0; 4.0 ];
+              tn_requests = sc_requests;
+            })
+      in
+      let tc_min = 1 + Rng.int rng 2 in
+      let tc_max = tc_min + Rng.int rng 3 in
+      let plans =
+        Array.init tc_max (fun _ ->
+            if Rng.bernoulli rng fault_prob then gen_plan_gentle rng else Faults.none)
+      in
+      Some { tc_tenants; tc_min; tc_max }, plans
+    end
+  in
   {
     sc_index = index;
     sc_seed;
@@ -146,7 +224,15 @@ let generate ~(campaign_seed : int) ~(fault_prob : float) (index : int) : t =
     sc_policy;
     sc_requeue_budget;
     sc_plans;
+    sc_tenancy;
   }
+
+(** Total requests the scenario's arrival streams generate: one stream per
+    tenant on tenant-mix runs, a single stream otherwise. *)
+let total_requests (sc : t) : int =
+  match sc.sc_tenancy with
+  | None -> sc.sc_requests
+  | Some tc -> Array.length tc.tc_tenants * sc.sc_requests
 
 (* --- Measures the shrinker minimizes --- *)
 
@@ -172,28 +258,49 @@ let fault_clause_count (sc : t) : int =
 let to_cli (sc : t) : string =
   let b = Buffer.create 160 in
   let add fmt = Fmt.kstr (Buffer.add_string b) fmt in
-  add "acrobatc serve --model treelstm --size tiny --iters 100";
-  add " --requests %d --rate %g" sc.sc_requests sc.sc_rate;
-  if sc.sc_bursty then add " --bursty";
-  (match sc.sc_policy with
-  | Batcher.Batch1 -> add " --policy batch1"
-  | Batcher.Fixed { max_batch; max_wait_us } ->
-    add " --policy fixed --max-batch %d --max-wait-us %g" max_batch max_wait_us
-  | Batcher.Adaptive { max_batch; max_wait_us } ->
-    add " --policy adaptive --max-batch %d --max-wait-us %g" max_batch max_wait_us);
-  add " --queue-cap %d" sc.sc_queue_cap;
-  Option.iter (fun ms -> add " --deadline-ms %g" ms) sc.sc_deadline_ms;
-  add " --seed %d --replicas %d --dispatch %s" sc.sc_seed sc.sc_replicas
-    (Cluster.dispatch_name sc.sc_dispatch);
-  Option.iter (fun p -> add " --hedge %g" p) sc.sc_hedge;
-  add " --requeue-budget %d" sc.sc_requeue_budget;
+  let add_policy () =
+    match sc.sc_policy with
+    | Batcher.Batch1 -> add " --policy batch1"
+    | Batcher.Fixed { max_batch; max_wait_us } ->
+      add " --policy fixed --max-batch %d --max-wait-us %g" max_batch max_wait_us
+    | Batcher.Adaptive { max_batch; max_wait_us } ->
+      add " --policy adaptive --max-batch %d --max-wait-us %g" max_batch max_wait_us
+  in
   (* --faults is positional (plan i -> replica i), so emit every plan up to
      the last enabled one; disabled placeholders parse back to no faults. *)
-  let last_enabled = ref (-1) in
-  Array.iteri (fun i p -> if Faults.enabled p then last_enabled := i) sc.sc_plans;
-  for i = 0 to !last_enabled do
-    add " --faults \"%s\"" (Faults.to_spec sc.sc_plans.(i))
-  done;
+  let add_faults () =
+    let last_enabled = ref (-1) in
+    Array.iteri (fun i p -> if Faults.enabled p then last_enabled := i) sc.sc_plans;
+    for i = 0 to !last_enabled do
+      add " --faults \"%s\"" (Faults.to_spec sc.sc_plans.(i))
+    done
+  in
+  (match sc.sc_tenancy with
+  | None ->
+    add "acrobatc serve --model treelstm --size tiny --iters 100";
+    add " --requests %d --rate %g" sc.sc_requests sc.sc_rate;
+    if sc.sc_bursty then add " --bursty";
+    add_policy ();
+    add " --queue-cap %d" sc.sc_queue_cap;
+    Option.iter (fun ms -> add " --deadline-ms %g" ms) sc.sc_deadline_ms;
+    add " --seed %d --replicas %d --dispatch %s" sc.sc_seed sc.sc_replicas
+      (Cluster.dispatch_name sc.sc_dispatch);
+    Option.iter (fun p -> add " --hedge %g" p) sc.sc_hedge;
+    add " --requeue-budget %d" sc.sc_requeue_budget;
+    add_faults ()
+  | Some tc ->
+    (* Tenant mode: model, rate, SLO and quota live in the tenant specs;
+       per-tenant seeds re-derive from --seed the way the harness drew
+       them, and --requests is the per-tenant stream length. *)
+    add "acrobatc serve --size tiny --iters 100";
+    add " --requests %d" sc.sc_requests;
+    if sc.sc_bursty then add " --bursty";
+    add_policy ();
+    add " --queue-cap %d" sc.sc_queue_cap;
+    add " --seed %d" sc.sc_seed;
+    Array.iter (fun t -> add " --tenant %s" (Tenant.to_spec t)) tc.tc_tenants;
+    add " --autoscale %d:%d" tc.tc_min tc.tc_max;
+    add_faults ());
   Buffer.contents b
 
 (** Compact JSON view for campaign reports (deterministic field order). *)
@@ -205,6 +312,8 @@ let to_json (sc : t) : Acrobat_obs.Json.t =
       "seed", J.Int sc.sc_seed;
       "requests", J.Int sc.sc_requests;
       "replicas", J.Int sc.sc_replicas;
+      "tenants",
+      J.Int (match sc.sc_tenancy with None -> 0 | Some tc -> Array.length tc.tc_tenants);
       "clauses", J.Int (fault_clause_count sc);
       "repro", J.Str (to_cli sc);
     ]

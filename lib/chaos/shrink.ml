@@ -41,18 +41,41 @@ let plan_candidates (p : Faults.plan) : Faults.plan list =
 let candidates (sc : Scenario.t) : Scenario.t list =
   let c = ref [] in
   let add sc' = c := sc' :: !c in
-  if sc.Scenario.sc_replicas > 1 then
-    add
-      {
-        sc with
-        Scenario.sc_replicas = sc.Scenario.sc_replicas - 1;
-        sc_plans = Array.sub sc.Scenario.sc_plans 0 (sc.Scenario.sc_replicas - 1);
-        (* Hedging needs a second replica to send the copy to. *)
-        sc_hedge = (if sc.Scenario.sc_replicas = 2 then None else sc.Scenario.sc_hedge);
-      };
-  if sc.Scenario.sc_hedge <> None then add { sc with Scenario.sc_hedge = None };
-  if sc.Scenario.sc_deadline_ms <> None then
-    add { sc with Scenario.sc_deadline_ms = None };
+  (match sc.Scenario.sc_tenancy with
+  | Some tc ->
+    (* Tenant-mix edits replace the cluster-topology ones: the dispatcher
+       ignores replicas/hedge/deadline, so probing those would waste
+       budget. Dropping the last tenant and collapsing the autoscaler span
+       both strictly shrink the scenario. *)
+    let nt = Array.length tc.Scenario.tc_tenants in
+    if nt > 1 then
+      add
+        {
+          sc with
+          Scenario.sc_tenancy =
+            Some { tc with Scenario.tc_tenants = Array.sub tc.Scenario.tc_tenants 0 (nt - 1) };
+        };
+    if tc.Scenario.tc_max > tc.Scenario.tc_min then begin
+      add
+        {
+          sc with
+          Scenario.sc_tenancy = Some { tc with Scenario.tc_max = tc.Scenario.tc_min };
+          sc_plans = Array.sub sc.Scenario.sc_plans 0 tc.Scenario.tc_min;
+        }
+    end
+  | None ->
+    if sc.Scenario.sc_replicas > 1 then
+      add
+        {
+          sc with
+          Scenario.sc_replicas = sc.Scenario.sc_replicas - 1;
+          sc_plans = Array.sub sc.Scenario.sc_plans 0 (sc.Scenario.sc_replicas - 1);
+          (* Hedging needs a second replica to send the copy to. *)
+          sc_hedge = (if sc.Scenario.sc_replicas = 2 then None else sc.Scenario.sc_hedge);
+        };
+    if sc.Scenario.sc_hedge <> None then add { sc with Scenario.sc_hedge = None };
+    if sc.Scenario.sc_deadline_ms <> None then
+      add { sc with Scenario.sc_deadline_ms = None });
   if sc.Scenario.sc_requests > 10 then
     add { sc with Scenario.sc_requests = sc.Scenario.sc_requests / 2 };
   if sc.Scenario.sc_queue_cap < 256 then add { sc with Scenario.sc_queue_cap = 256 };

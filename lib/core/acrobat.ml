@@ -44,6 +44,7 @@ module Obs = Acrobat_obs
 module Trace = Acrobat_obs.Trace
 module Metrics = Acrobat_obs.Metrics
 module Chaos = Acrobat_chaos
+module Tenancy = Acrobat_tenancy
 
 type compiled = {
   lprog : Lowered.t;
@@ -290,6 +291,92 @@ let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
       ~execute
   in
   { sv_summary = Serve.Stats.summarize stats; sv_profiler = stats.Serve.Stats.profiler }
+
+(* --- Multi-tenant serving (lib/tenancy) glue --- *)
+
+(** Simulate multi-tenant many-model serving over real compiled models
+    (see {!Tenancy.Dispatcher}).
+
+    Each distinct model named by a tenant is compiled and tuned {e once}
+    and its parameter footprint measured once — the bytes the dispatcher
+    charges as swap cost whenever a replica's resident model changes.
+    [models] resolves a tenant's model id to the catalog entry to compile
+    (e.g. [Models.tiny]); per-tenant request payloads are generated from
+    each tenant's own seed ([(tn_seed * 31) + 5], mirroring the
+    single-stream payload derivation), so adding a tenant never perturbs
+    another tenant's instances. [fault_plans] is positional per replica
+    slot, like {!serve_cluster}; autoscaled replicas beyond the list run
+    fault-free. *)
+let serve_tenants ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
+    ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
+    ?(fault_plans = []) ?tolerance ?(min_replicas = 1) ?(max_replicas = 1)
+    ?(swap_cost = Cost_model.default) ?tracer ?metrics ~(models : string -> Model.t)
+    ~(tenants : Tenancy.Tenant.t array) ~(seed : int) () : Tenancy.Dispatcher.report =
+  let distinct =
+    List.sort_uniq compare
+      (Array.to_list (Array.map (fun t -> t.Tenancy.Tenant.tn_model) tenants))
+  in
+  let compiled =
+    List.map
+      (fun id ->
+        let m = models id in
+        let c, weights = compile_model ~framework ?iters ?tracer m ~batch:8 ~seed in
+        id, (m, c, weights))
+      distinct
+  in
+  let lookup id = List.assoc id compiled in
+  (* Parameter footprints, measured once per model (not per swap). *)
+  let bytes = List.map (fun (id, (m, _, _)) -> id, Model.param_bytes m) compiled in
+  let model_bytes id = List.assoc id bytes in
+  let instances =
+    Array.map
+      (fun t ->
+        let m, _, _ = lookup t.Tenancy.Tenant.tn_model in
+        let rng = Rng.create ((t.Tenancy.Tenant.tn_seed * 31) + 5) in
+        Array.init t.Tenancy.Tenant.tn_requests (fun _ -> m.Model.gen_instance rng))
+      tenants
+  in
+  let payload ~tenant ~index ~id = id, instances.(tenant).(index) in
+  let tolerance = Option.value ~default:Serve.Server.default_tolerance tolerance in
+  let cfg =
+    {
+      Tenancy.Dispatcher.t_server =
+        {
+          Serve.Server.policy;
+          queue_capacity;
+          deadline_us = None (* per-request deadlines come from tenant SLOs *);
+          cost = Cost_model.default;
+          tolerance;
+        };
+      t_autoscale = Tenancy.Autoscaler.default ~min_replicas ~max_replicas;
+      t_swap_cost = swap_cost;
+    }
+  in
+  let plan_for i = try List.nth fault_plans i with _ -> Faults.none in
+  (* One executor closure per replica slot: a fault-injected slot keeps its
+     own injector across every model it hosts (the device is flaky, not the
+     model), while clean slots run the plain batch executor. *)
+  let executors =
+    Array.init (max 1 max_replicas) (fun i ->
+        let plan = plan_for i in
+        if Faults.enabled plan then begin
+          let injector = Faults.create plan in
+          fun (c : compiled) weights batch ->
+            fault_executor ~seed ?tracer ~injector ~primary:c ~weights () ~degraded:false
+              batch
+        end
+        else
+          fun c weights batch ->
+            Serve.Server.infallible
+              (fun b -> batch_executor ~seed ?tracer c ~weights (List.map snd b))
+              ~degraded:false batch)
+  in
+  let execute i ~model batch =
+    let _, c, weights = lookup model in
+    executors.(min i (Array.length executors - 1)) c weights batch
+  in
+  Tenancy.Dispatcher.simulate ?tracer ?metrics cfg ~tenants ~payload ~execute
+    ~model_bytes
 
 (* --- Replicated serving (lib/serve/cluster) glue --- *)
 

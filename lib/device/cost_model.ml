@@ -88,3 +88,10 @@ let gather_time t ~bytes =
 (** Host<->device transfer time for one call moving [bytes]. *)
 let memcpy_time t ~bytes =
   t.memcpy_call_us +. (float_of_int bytes /. t.memcpy_bandwidth_bytes_per_us)
+
+(** Cost of making a model resident on a device: one bulk host->device
+    transfer of its [param_bytes]. The multi-tenant dispatcher charges this
+    whenever a launch changes a replica's resident model (including the
+    cold start onto an empty replica), sized from the catalog's parameter
+    footprint. *)
+let model_swap_time t ~param_bytes = memcpy_time t ~bytes:param_bytes

@@ -1,24 +1,36 @@
 (** The evaluation model zoo (paper Table 3). *)
 
-type entry = { id : string; make : Model.size -> Model.t; has_tdc : bool }
+type entry = {
+  id : string;
+  make : Model.size -> Model.t;
+  has_tdc : bool;
+  param_bytes : Model.size -> int;
+      (** Parameter footprint of the sized model (4 bytes per weight
+          element); sizes the serving layer's model-swap cost and any
+          future memory-budgeted batching. Materializes one weight set per
+          call — cache the result, don't query per request. *)
+}
+
+let entry id make has_tdc =
+  { id; make; has_tdc; param_bytes = (fun s -> Model.param_bytes (make s)) }
 
 let all : entry list =
   [
-    { id = "treelstm"; make = (fun s -> Treelstm.make s); has_tdc = false };
-    { id = "mvrnn"; make = (fun s -> Mvrnn.make s); has_tdc = false };
-    { id = "birnn"; make = (fun s -> Birnn.make s); has_tdc = false };
-    { id = "nestedrnn"; make = (fun s -> Nestedrnn.make s); has_tdc = true };
-    { id = "drnn"; make = (fun s -> Drnn.make s); has_tdc = true };
-    { id = "berxit"; make = (fun s -> Berxit.make s); has_tdc = true };
-    { id = "stackrnn"; make = (fun s -> Stackrnn.make s); has_tdc = true };
+    entry "treelstm" (fun s -> Treelstm.make s) false;
+    entry "mvrnn" (fun s -> Mvrnn.make s) false;
+    entry "birnn" (fun s -> Birnn.make s) false;
+    entry "nestedrnn" (fun s -> Nestedrnn.make s) true;
+    entry "drnn" (fun s -> Drnn.make s) true;
+    entry "berxit" (fun s -> Berxit.make s) true;
+    entry "stackrnn" (fun s -> Stackrnn.make s) true;
   ]
 
 (** Additional dynamic computations from the paper's Table 2 survey (not in
     its Table 3 evaluation). *)
 let extras : entry list =
   [
-    { id = "beamsearch"; make = (fun s -> Beam_search.make s); has_tdc = true };
-    { id = "moe"; make = (fun s -> Moe.make s); has_tdc = true };
+    entry "beamsearch" (fun s -> Beam_search.make s) true;
+    entry "moe" (fun s -> Moe.make s) true;
   ]
 
 let find id =
@@ -40,6 +52,9 @@ let tiny id : Model.t =
   | "beamsearch" -> Beam_search.make ~hidden:8 ~vocab:8 ~beam_width:3 Model.Small
   | "moe" -> Moe.make ~hidden:8 Model.Small
   | other -> Fmt.invalid_arg "unknown tiny model %S" other
+
+(** Parameter footprint of the tiny-sized variant of [id]. *)
+let tiny_param_bytes id = Model.param_bytes (tiny id)
 
 let tiny_ids =
   [ "rnn"; "treelstm"; "mvrnn"; "birnn"; "nestedrnn"; "drnn"; "berxit"; "stackrnn";

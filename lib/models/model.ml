@@ -25,6 +25,13 @@ type t = {
           with no built-in quality/latency knob. *)
 }
 
+(** Estimated parameter footprint in bytes: summed element count of every
+    weight tensor at 4 bytes per float element. Materializes one weight set
+    (seed 0) to measure it, so size it once at registration time — the
+    serving layer caches it per catalog entry — rather than per request. *)
+let param_bytes (m : t) : int =
+  4 * List.fold_left (fun acc (_, w) -> acc + Tensor.numel w) 0 (m.gen_weights 0)
+
 (** Generate named weight tensors from (name, shape) specs. *)
 let weights_of_specs specs seed =
   let rng = Rng.create (seed * 7_907) in

@@ -62,6 +62,14 @@ let base_us t = t.base_us
 
 let push t ev = t.events <- ev :: t.events
 
+(** Prefix [args] with tenant/model identity tags. The multi-tenant serving
+    layer stamps request-lifecycle spans and instants with who they belong
+    to, so per-tenant timelines filter cleanly in a trace viewer; either tag
+    is omitted when absent, leaving single-tenant emissions unchanged. *)
+let tag ?tenant ?model (args : (string * Json.t) list) =
+  let tagged = match model with None -> args | Some m -> ("model", Json.Str m) :: args in
+  match tenant with None -> tagged | Some t -> ("tenant", Json.Str t) :: tagged
+
 let next_seq t =
   let s = t.next_seq in
   t.next_seq <- s + 1;

@@ -45,6 +45,10 @@ type t = {
       (** Event-loop schedules whose requested time was in the past (see
           {!Event_loop.clamped_count}); always zero for a correct
           simulation, so any nonzero value flags a scheduling bug. *)
+  (* Multi-tenant accounting; all zero outside the tenancy dispatcher. *)
+  mutable quota_shed : int;  (** Requests refused at their tenant's inflight quota. *)
+  mutable swaps : int;  (** Resident-model swaps this stream's batches paid for. *)
+  mutable slo_ok : int;  (** Completions that landed within their SLO deadline. *)
 }
 
 let create () =
@@ -72,6 +76,9 @@ let create () =
     hedge_cancels = 0;
     hedge_wasted = 0;
     clamped_schedules = 0;
+    quota_shed = 0;
+    swaps = 0;
+    slo_ok = 0;
   }
 
 let record t r = t.records <- r :: t.records
@@ -137,6 +144,11 @@ type summary = {
       (** Past-time event-loop schedules; nonzero flags a scheduling bug
           (printed/serialized only when it fires, so healthy output is
           unchanged). *)
+  (* Tenancy block; all zero (and omitted from output) outside the
+     multi-tenant dispatcher, so pre-tenancy output stays byte-stable. *)
+  s_quota_shed : int;  (** Refused at the tenant's inflight quota. *)
+  s_swaps : int;  (** Resident-model swaps charged to this stream. *)
+  s_slo_ok : int;  (** Completions within their SLO deadline. *)
 }
 
 (** Availability: the fraction of offered requests actually answered. *)
@@ -153,26 +165,44 @@ let cluster_active (s : summary) =
   s.s_failovers > 0 || s.s_requeued > 0 || s.s_probes > 0 || s.s_readmitted > 0
   || s.s_hedges > 0 || s.s_hedge_wins > 0 || s.s_hedge_cancels > 0 || s.s_hedge_wasted > 0
 
+(** True when the multi-tenant dispatcher produced this stream. *)
+let tenancy_active (s : summary) = s.s_quota_shed > 0 || s.s_swaps > 0 || s.s_slo_ok > 0
+
+(** Fraction of completions that met their SLO deadline (1 when nothing
+    completed — an empty stream violated nothing). *)
+let slo_attainment (s : summary) =
+  if s.s_completed = 0 then 1.0 else float_of_int s.s_slo_ok /. float_of_int s.s_completed
+
 let summarize (t : t) : summary =
-  let records = List.rev t.records in
-  let n = List.length records in
-  let latencies =
-    Array.of_list (List.map (fun r -> (r.r_done_us -. r.r_arrival_us) /. 1000.0) records)
-  in
+  (* [t.records] is reverse completion order; fill the arrays from the back
+     while walking it once, so completion order is restored without building
+     the reversed list or any per-mean intermediate list. Sums then run in
+     ascending (completion) order — the same float addition order as before,
+     keeping summaries bit-identical across the rewrite. *)
+  let n = List.length t.records in
+  let latencies = Array.make n 0.0 in
+  let queue_waits = Array.make n 0.0 in
+  let computes = Array.make n 0.0 in
+  let first_arrival_us = ref 0.0 in
+  let last_done_us = ref 0.0 in
+  let i = ref (n - 1) in
+  List.iter
+    (fun r ->
+      latencies.(!i) <- (r.r_done_us -. r.r_arrival_us) /. 1000.0;
+      queue_waits.(!i) <- (r.r_start_us -. r.r_arrival_us) /. 1000.0;
+      computes.(!i) <- (r.r_done_us -. r.r_start_us) /. 1000.0;
+      if !i = 0 then first_arrival_us := r.r_arrival_us;
+      if r.r_done_us > !last_done_us then last_done_us := r.r_done_us;
+      decr i)
+    t.records;
   (* One sort shared by every percentile below; [latencies] itself stays in
      completion order for the mean. *)
   let sorted_latencies = Array.copy latencies in
   Array.sort Float.compare sorted_latencies;
-  let mean xs = if n = 0 then 0.0 else List.fold_left ( +. ) 0.0 xs /. float_of_int n in
-  let makespan_us =
-    match records with
-    | [] -> 0.0
-    | first :: _ ->
-      let last_done = List.fold_left (fun acc r -> Float.max acc r.r_done_us) 0.0 records in
-      last_done -. first.r_arrival_us
-  in
+  let mean xs = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let makespan_us = if n = 0 then 0.0 else !last_done_us -. !first_arrival_us in
   {
-    s_offered = n + t.shed + t.expired + t.poisoned + t.breaker_shed;
+    s_offered = n + t.shed + t.expired + t.poisoned + t.breaker_shed + t.quota_shed;
     s_completed = n;
     s_shed = t.shed;
     s_expired = t.expired;
@@ -182,9 +212,9 @@ let summarize (t : t) : summary =
     s_p50_ms = percentile_sorted sorted_latencies 50.0;
     s_p95_ms = percentile_sorted sorted_latencies 95.0;
     s_p99_ms = percentile_sorted sorted_latencies 99.0;
-    s_mean_ms = mean (Array.to_list latencies);
-    s_mean_queue_ms = mean (List.map (fun r -> (r.r_start_us -. r.r_arrival_us) /. 1000.0) records);
-    s_mean_compute_ms = mean (List.map (fun r -> (r.r_done_us -. r.r_start_us) /. 1000.0) records);
+    s_mean_ms = mean latencies;
+    s_mean_queue_ms = mean queue_waits;
+    s_mean_compute_ms = mean computes;
     s_batches = t.batches;
     s_mean_batch =
       (if t.batches = 0 then 0.0
@@ -205,12 +235,15 @@ let summarize (t : t) : summary =
     s_hedge_cancels = t.hedge_cancels;
     s_hedge_wasted = t.hedge_wasted;
     s_clamped_schedules = t.clamped_schedules;
+    s_quota_shed = t.quota_shed;
+    s_swaps = t.swaps;
+    s_slo_ok = t.slo_ok;
   }
 
 let drop_rate (s : summary) =
   if s.s_offered = 0 then 0.0
   else
-    float_of_int (s.s_shed + s.s_expired + s.s_poisoned + s.s_breaker_shed)
+    float_of_int (s.s_shed + s.s_expired + s.s_poisoned + s.s_breaker_shed + s.s_quota_shed)
     /. float_of_int s.s_offered
 
 (* The fault block is emitted only when the machinery engaged: a fault-free
@@ -264,11 +297,21 @@ let summary_to_json (s : summary) : Json.t =
         "hedge_wasted", Json.Int s.s_hedge_wasted;
       ]
   in
+  let tenancy =
+    if not (tenancy_active s) then []
+    else
+      [
+        "quota_shed", Json.Int s.s_quota_shed;
+        "swaps", Json.Int s.s_swaps;
+        "slo_ok", Json.Int s.s_slo_ok;
+        "slo_attainment", Json.Float (slo_attainment s);
+      ]
+  in
   let anomalies =
     if s.s_clamped_schedules = 0 then []
     else [ "clamped_schedules", Json.Int s.s_clamped_schedules ]
   in
-  Json.Obj (base @ faults @ cluster @ anomalies)
+  Json.Obj (base @ faults @ cluster @ tenancy @ anomalies)
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
@@ -295,6 +338,11 @@ let pp_summary ppf (s : summary) =
        hedge cancels      %8d@,hedge wasted       %8d"
       s.s_failovers s.s_requeued s.s_probes s.s_readmitted s.s_hedges s.s_hedge_wins
       s.s_hedge_cancels s.s_hedge_wasted;
+  if tenancy_active s then
+    Fmt.pf ppf
+      "@,quota shed         %8d@,model swaps        %8d@,slo attained       %8.1f %%"
+      s.s_quota_shed s.s_swaps
+      (100.0 *. slo_attainment s);
   if s.s_clamped_schedules > 0 then
     Fmt.pf ppf "@,clamped schedules  %8d  (scheduling bug?)" s.s_clamped_schedules;
   Fmt.pf ppf "@]"
@@ -329,6 +377,9 @@ let to_metrics (t : t) (m : Acrobat_obs.Metrics.t) =
       "hedge_cancels", s.s_hedge_cancels;
       "hedge_wasted", s.s_hedge_wasted;
       "clamped_schedules", s.s_clamped_schedules;
+      "quota_shed", s.s_quota_shed;
+      "swaps", s.s_swaps;
+      "slo_ok", s.s_slo_ok;
     ];
     Profiler.to_metrics t.profiler m
   end

@@ -1,0 +1,14 @@
+(** Multi-tenant many-model serving: the whole catalog behind one elastic
+    cluster.
+
+    - {!Tenant}: the registry — per-tenant model, traffic, SLO, quota and
+      fair-share weight, plus the CLI spec parser.
+    - {!Fairshare}: weighted fair queueing over virtual device work.
+    - {!Autoscaler}: the queue-delay-driven replica control loop.
+    - {!Dispatcher}: the model-aware dispatcher tying them together on the
+      serving layer's event loop. *)
+
+module Tenant = Tenant
+module Fairshare = Fairshare
+module Autoscaler = Autoscaler
+module Dispatcher = Dispatcher

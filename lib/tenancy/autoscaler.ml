@@ -1,0 +1,86 @@
+(** Queue-delay driven replica autoscaling.
+
+    The control loop samples per-tenant queue delay every [as_interval_us]
+    of virtual time and compares the worst smoothed delay against two
+    thresholds: sustained delay above [as_up_delay_us] adds a replica
+    (usable after [as_warmup_us] of cold start), delay below
+    [as_down_delay_us] with spare capacity retires one. Decisions are
+    separated by [as_cooldown_us] so one flash crowd produces a measured
+    ramp instead of a thrash, and every scale event bumps an epoch counter
+    the dispatcher uses to fence in-flight continuations.
+
+    Scale-down is drain-then-retire: the victim replica stops taking new
+    batches immediately but finishes the one it is running, so request
+    conservation holds across scale events — the chaos invariant checker
+    asserts exactly that. *)
+
+type config = {
+  as_min : int;  (** Replicas at start and the scale-down floor. *)
+  as_max : int;  (** Scale-up ceiling. *)
+  as_interval_us : float;  (** Control-loop sampling period. *)
+  as_up_delay_us : float;  (** Worst queue delay that triggers scale-up. *)
+  as_down_delay_us : float;  (** Worst queue delay that permits scale-down. *)
+  as_cooldown_us : float;  (** Minimum spacing between scale decisions. *)
+  as_warmup_us : float;  (** Cold start: scale-up to first launch. *)
+}
+
+let default ~min_replicas ~max_replicas =
+  if min_replicas < 1 then Fmt.invalid_arg "autoscale: min must be >= 1";
+  if max_replicas < min_replicas then Fmt.invalid_arg "autoscale: max < min";
+  {
+    as_min = min_replicas;
+    as_max = max_replicas;
+    as_interval_us = 5_000.0;
+    as_up_delay_us = 4_000.0;
+    as_down_delay_us = 300.0;
+    as_cooldown_us = 15_000.0;
+    as_warmup_us = 5_000.0;
+  }
+
+(** Fixed-size (autoscaling-off) configuration: [n] replicas forever. *)
+let fixed n =
+  let cfg = default ~min_replicas:n ~max_replicas:n in
+  cfg
+
+type decision = Hold | Scale_up | Scale_down
+
+let decision_name = function
+  | Hold -> "hold"
+  | Scale_up -> "scale_up"
+  | Scale_down -> "scale_down"
+
+type t = {
+  cfg : config;
+  mutable last_scale_us : float;
+  mutable epoch : int;  (** Bumped on every applied scale decision. *)
+  mutable scale_ups : int;
+  mutable scale_downs : int;
+}
+
+let create (cfg : config) : t =
+  { cfg; last_scale_us = neg_infinity; epoch = 0; scale_ups = 0; scale_downs = 0 }
+
+let epoch t = t.epoch
+let scale_ups t = t.scale_ups
+let scale_downs t = t.scale_downs
+
+(** One control-loop step. [replicas] counts capacity that exists or is
+    warming (draining replicas excluded); [max_queue_delay_us] is the worst
+    smoothed per-tenant queue delay at this sample. *)
+let decide t ~now_us ~replicas ~max_queue_delay_us : decision =
+  if now_us -. t.last_scale_us < t.cfg.as_cooldown_us then Hold
+  else if max_queue_delay_us >= t.cfg.as_up_delay_us && replicas < t.cfg.as_max then
+    Scale_up
+  else if max_queue_delay_us <= t.cfg.as_down_delay_us && replicas > t.cfg.as_min then
+    Scale_down
+  else Hold
+
+(** Record that a decision was applied at [now_us]; starts the cooldown and
+    advances the scale epoch. *)
+let note_scaled t ~now_us ~(decision : decision) =
+  t.last_scale_us <- now_us;
+  t.epoch <- t.epoch + 1;
+  match decision with
+  | Scale_up -> t.scale_ups <- t.scale_ups + 1
+  | Scale_down -> t.scale_downs <- t.scale_downs + 1
+  | Hold -> ()

@@ -1,0 +1,731 @@
+(** The multi-tenant, model-aware dispatcher: the whole model catalog
+    served from one elastic replica pool.
+
+    Requests arrive on per-tenant streams and queue in per-tenant
+    {!Acrobat_serve.Admission} queues behind an inflight-quota gate: a
+    tenant at its quota sheds new arrivals before admission, so one
+    misbehaving stream cannot occupy the cluster. Whenever a replica is
+    free, the {!Fairshare} scheduler ranks backlogged tenants by weighted
+    virtual work and the first tenant whose {!Acrobat_serve.Batcher} wants
+    to launch gets the device; the batch is then topped up with requests
+    from other tenants of the {e same model} (batches never mix models —
+    the multi-model generalization of within-model cross-request
+    batching), and every participating tenant is charged device time in
+    proportion to its share of the batch.
+
+    Replicas remember their resident model: a launch that changes it pays
+    the {!Acrobat_device.Cost_model.model_swap_time} for the incoming
+    model's parameter bytes before executing, so the schedule feels the
+    real cost of interleaving many models on few devices.
+
+    An {!Autoscaler} watches smoothed per-tenant queue delays and grows or
+    drains the pool; scale-down marks the victim replica draining so its
+    in-flight batch completes (conservation holds across scale events —
+    the chaos campaign's invariant checker runs over exactly this layer).
+
+    Faulty executors are driven to resolution with the single-server
+    machinery's retry-then-bisect path (per-replica jitter streams seeded
+    by the same [ft_seed + id * 7919] convention); breakers and hedging
+    stay in {!Acrobat_serve.Cluster} — a quota-gated multi-tenant pool has
+    admission control where the single-tenant cluster needs backpressure.
+
+    Trace conventions match the cluster: the dispatcher is pid 0, replica
+    [i] is pid [i + 1], request [id] rides tid [id + 1], and every admitted
+    request ends in exactly one pid-0 terminal instant — [done], [expired],
+    [shed], [shed_quota], [poisoned] or [budget_exhausted]. *)
+
+module Rng = Acrobat_tensor.Rng
+module Cost_model = Acrobat_device.Cost_model
+module Admission = Acrobat_serve.Admission
+module Batcher = Acrobat_serve.Batcher
+module Server = Acrobat_serve.Server
+module Stats = Acrobat_serve.Stats
+module Clock = Acrobat_serve.Clock
+module Event_loop = Acrobat_serve.Event_loop
+module Traffic = Acrobat_serve.Traffic
+module Trace = Acrobat_obs.Trace
+module Metrics = Acrobat_obs.Metrics
+module Json = Acrobat_obs.Json
+
+type config = {
+  t_server : Server.config;
+      (** Per-tenant queue capacity, batch policy, batcher cost seed and
+          fault-tolerance knobs ([deadline_us] is ignored: each tenant's
+          SLO is its deadline). *)
+  t_autoscale : Autoscaler.config;
+  t_swap_cost : Cost_model.t;  (** Sizes the resident-model swap penalty. *)
+}
+
+let default_config =
+  {
+    t_server = Server.default_config;
+    t_autoscale = Autoscaler.fixed 1;
+    t_swap_cost = Cost_model.default;
+  }
+
+(* --- Replica pool --- *)
+
+type rstate =
+  | Active  (** Taking new batches (possibly still warming up). *)
+  | Draining  (** Scale-down victim: finishes its batch, takes no more. *)
+  | Retired  (** Gone; kept in the array so ids stay stable. *)
+
+type replica = {
+  rp_id : int;
+  mutable rp_state : rstate;
+  mutable rp_busy : bool;
+  mutable rp_ready_us : float;  (** Cold-start warmup end; 0 for initial pool. *)
+  mutable rp_resident : string option;  (** Model whose weights are loaded. *)
+  mutable rp_swaps : int;
+  mutable rp_batches : int;
+  mutable rp_busy_us : float;  (** Total device-occupied time (incl. swaps). *)
+  mutable rp_epoch : int;  (** Fences continuations across retirement. *)
+  rp_rng : Rng.t;  (** Retry-backoff jitter; drawn only on failures. *)
+}
+
+let rp_pid rp = rp.rp_id + 1
+
+(* --- Per-tenant serving state --- *)
+
+type 'a tstate = {
+  ts_tenant : Tenant.t;
+  ts_queue : 'a Admission.t;
+  ts_batcher : Batcher.t;
+  ts_stats : Stats.t;
+  mutable ts_inflight : int;  (** Admitted and not yet terminal. *)
+  mutable ts_peak_inflight : int;
+  mutable ts_delay_ewma_us : float;  (** Smoothed queue delay (scaler signal). *)
+}
+
+type 'a state = {
+  cfg : config;
+  loop : Event_loop.t;
+  tenants : 'a tstate array;
+  fair : Fairshare.t;
+  scaler : Autoscaler.t;
+  mutable replicas : replica array;
+  stats : Stats.t;  (** Aggregate across tenants, in event order. *)
+  execute : int -> model:string -> 'a list -> Server.exec_result;
+  model_bytes : string -> int;
+  pmax : int;  (** The policy's batch-size cap. *)
+  mutable scale_events : (float * string * int) list;  (** Reversed. *)
+  mutable peak_replicas : int;
+  tracer : Trace.t;
+}
+
+let now_us st = Event_loop.now st.loop
+
+let active_replicas st =
+  Array.fold_left (fun n rp -> if rp.rp_state = Active then n + 1 else n) 0 st.replicas
+
+(* Request-terminal instant on the dispatcher track; every admitted id ends
+   in exactly one (quota sheds terminate at the door the same way). *)
+let trace_terminal st (ts : 'a tstate) ~name ~ts_us (r : 'a Admission.request) =
+  Trace.instant st.tracer ~name ~cat:"request" ~pid:0
+    ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us
+    ~args:
+      (Trace.tag ~tenant:ts.ts_tenant.Tenant.tn_name ~model:ts.ts_tenant.Tenant.tn_model
+         [ "id", Json.Int r.Admission.rq_id ])
+
+(* A queued request left without executing (swept or popped past deadline). *)
+let drop_expired st (ts : 'a tstate) ~ts_us dropped =
+  List.iter
+    (fun r ->
+      st.stats.Stats.expired <- st.stats.Stats.expired + 1;
+      ts.ts_inflight <- ts.ts_inflight - 1;
+      trace_terminal st ts ~name:"expired" ~ts_us r)
+    dropped
+
+(* --- Launch path --- *)
+
+let new_replica st ~ready_us =
+  let id = Array.length st.replicas in
+  let rp =
+    {
+      rp_id = id;
+      rp_state = Active;
+      rp_busy = false;
+      rp_ready_us = ready_us;
+      rp_resident = None;
+      rp_swaps = 0;
+      rp_batches = 0;
+      rp_busy_us = 0.0;
+      rp_epoch = 0;
+      rp_rng = Rng.create (st.cfg.t_server.Server.tolerance.Server.ft_seed + (id * 7919));
+    }
+  in
+  st.replicas <- Array.append st.replicas [| rp |];
+  if Trace.enabled st.tracer then
+    Trace.name_process st.tracer ~pid:(rp_pid rp) ~name:(Fmt.str "replica-%d" id);
+  rp
+
+let retire st rp =
+  rp.rp_state <- Retired;
+  rp.rp_epoch <- rp.rp_epoch + 1;
+  Trace.instant st.tracer ~name:"retire" ~cat:"tenancy" ~pid:0 ~tid:0 ~ts_us:(now_us st)
+    ~args:[ "replica", Json.Int rp.rp_id ]
+
+(* Pull up to [room] same-model requests from other backlogged tenants, in
+   fair-share order, so a launch tops its batch up across tenants. *)
+let fill_batch st ~lead ~model ~room ~now =
+  if room <= 0 then []
+  else begin
+    let order =
+      Fairshare.ranked st.fair ~eligible:(fun i ->
+          i <> lead
+          && st.tenants.(i).ts_tenant.Tenant.tn_model = model
+          && not (Admission.is_empty st.tenants.(i).ts_queue))
+    in
+    let room = ref room in
+    List.filter_map
+      (fun ti ->
+        if !room <= 0 then None
+        else begin
+          let ts = st.tenants.(ti) in
+          let live, dropped =
+            Admission.take_with_expired ts.ts_queue ~now_us:now ~limit:!room
+          in
+          drop_expired st ts ~ts_us:now dropped;
+          if live = [] then None
+          else begin
+            room := !room - List.length live;
+            Some (ti, live)
+          end
+        end)
+      order
+  end
+
+(* Drive one batch to resolution on [rp]: every request completes or is
+   dropped as poison, then [k] runs at the time the device frees up. The
+   batch is a list of [(owner_tenant, request)] pairs — bisection halves
+   keep their owners, so per-tenant accounting survives fault isolation. *)
+let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~swap_us
+    ~(k : unit -> unit) =
+  let tol = st.cfg.t_server.Server.tolerance in
+  let rec attempt ~swap_us ~retries_left ~backoff_us () =
+    let now = now_us st in
+    if swap_us > 0.0 then
+      (* Load the incoming model's weights before executing; the device is
+         occupied for the duration, then the attempt proper starts. *)
+      Event_loop.schedule st.loop ~at:(now +. swap_us)
+        (attempt ~swap_us:0.0 ~retries_left ~backoff_us)
+    else begin
+      Trace.set_context st.tracer ~pid:(rp_pid rp) ~tid:0 ~base_us:now;
+      match st.execute rp.rp_id ~model (List.map (fun (_, r) -> r.Admission.rq_payload) batch) with
+      | Server.Exec_ok outcome ->
+        let size = List.length batch in
+        let done_us = now +. Float.max 0.0 outcome.Server.ex_latency_us in
+        let lead_ts = st.tenants.(lead) in
+        Batcher.observe_batch lead_ts.ts_batcher ~size
+          ~latency_us:outcome.Server.ex_latency_us;
+        Stats.note_batch st.stats ~size ~profiler:outcome.Server.ex_profiler;
+        Stats.note_batch lead_ts.ts_stats ~size ~profiler:None;
+        rp.rp_batches <- rp.rp_batches + 1;
+        Trace.complete st.tracer ~name:"batch" ~cat:"serve" ~pid:(rp_pid rp) ~tid:0
+          ~ts_us:now ~dur_us:outcome.Server.ex_latency_us
+          ~args:
+            (Trace.tag ~tenant:lead_ts.ts_tenant.Tenant.tn_name ~model
+               [ "size", Json.Int size; "replica", Json.Int rp.rp_id ]);
+        (* Charge each participating tenant its share of the device time
+           (the lead's swap was billed at launch). *)
+        let busy = Float.max 0.0 outcome.Server.ex_latency_us in
+        let counts = Array.make (Array.length st.tenants) 0 in
+        List.iter (fun (ti, _) -> counts.(ti) <- counts.(ti) + 1) batch;
+        Array.iteri
+          (fun ti c ->
+            if c > 0 then
+              Fairshare.charge st.fair ti
+                ~work:(busy *. float_of_int c /. float_of_int size))
+          counts;
+        List.iter
+          (fun (ti, (r : 'a Admission.request)) ->
+            let ts = st.tenants.(ti) in
+            let rec_ =
+              {
+                Stats.r_id = r.Admission.rq_id;
+                r_arrival_us = r.Admission.rq_arrival_us;
+                r_start_us = now;
+                r_done_us = done_us;
+                r_batch_size = size;
+              }
+            in
+            Stats.record st.stats rec_;
+            Stats.record ts.ts_stats rec_;
+            (match r.Admission.rq_deadline_us with
+            | Some d when done_us > d -> ()
+            | Some _ | None ->
+              st.stats.Stats.slo_ok <- st.stats.Stats.slo_ok + 1;
+              ts.ts_stats.Stats.slo_ok <- ts.ts_stats.Stats.slo_ok + 1);
+            Trace.complete st.tracer ~name:"queue" ~cat:"request" ~pid:0
+              ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:r.Admission.rq_arrival_us
+              ~dur_us:(now -. r.Admission.rq_arrival_us);
+            trace_terminal st ts ~name:"done" ~ts_us:done_us r)
+          batch;
+        Event_loop.schedule st.loop ~at:done_us (fun () ->
+            List.iter
+              (fun (ti, _) ->
+                st.tenants.(ti).ts_inflight <- st.tenants.(ti).ts_inflight - 1)
+              batch;
+            k ())
+      | Server.Exec_fault { ef_latency_us; ef_reason; ef_transient; ef_oom = _; ef_reset = _ }
+        ->
+        let lead_ts = st.tenants.(lead) in
+        st.stats.Stats.fault_batches <- st.stats.Stats.fault_batches + 1;
+        lead_ts.ts_stats.Stats.fault_batches <- lead_ts.ts_stats.Stats.fault_batches + 1;
+        let freed_us = now +. Float.max 0.0 ef_latency_us in
+        Trace.complete st.tracer ~name:"batch_fault" ~cat:"fault" ~pid:(rp_pid rp)
+          ~tid:0 ~ts_us:now ~dur_us:ef_latency_us
+          ~args:
+            [
+              "reason", Json.Str ef_reason;
+              "transient", Json.Bool ef_transient;
+              "size", Json.Int (List.length batch);
+            ];
+        if ef_transient && retries_left > 0 then begin
+          st.stats.Stats.retries <- st.stats.Stats.retries + 1;
+          lead_ts.ts_stats.Stats.retries <- lead_ts.ts_stats.Stats.retries + 1;
+          let jitter =
+            1.0 +. (tol.Server.jitter_frac *. ((2.0 *. Rng.float rp.rp_rng) -. 1.0))
+          in
+          let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
+          Trace.instant st.tracer ~name:"retry" ~cat:"fault" ~pid:(rp_pid rp) ~tid:0
+            ~ts_us:at
+            ~args:[ "attempt", Json.Int (tol.Server.max_retries - retries_left + 1) ];
+          Event_loop.schedule st.loop ~at
+            (attempt ~swap_us:0.0 ~retries_left:(retries_left - 1)
+               ~backoff_us:(backoff_us *. tol.Server.backoff_mult))
+        end
+        else
+          Event_loop.schedule st.loop ~at:freed_us (fun () ->
+              bisect st rp batch ~lead ~model ~k)
+    end
+  in
+  attempt ~swap_us ~retries_left:tol.Server.max_retries ~backoff_us:tol.Server.backoff_base_us ()
+
+(* Binary fault isolation, same shape as the single server's: halves get a
+   fresh retry budget (and no swap — the model is already resident). *)
+and bisect st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~k =
+  match batch with
+  | [] -> k ()
+  | [ (ti, r) ] ->
+    let ts = st.tenants.(ti) in
+    st.stats.Stats.poisoned <- st.stats.Stats.poisoned + 1;
+    ts.ts_stats.Stats.poisoned <- ts.ts_stats.Stats.poisoned + 1;
+    ts.ts_inflight <- ts.ts_inflight - 1;
+    trace_terminal st ts ~name:"poisoned" ~ts_us:(now_us st) r;
+    k ()
+  | _ ->
+    let lead_ts = st.tenants.(lead) in
+    st.stats.Stats.bisections <- st.stats.Stats.bisections + 1;
+    lead_ts.ts_stats.Stats.bisections <- lead_ts.ts_stats.Stats.bisections + 1;
+    Trace.instant st.tracer ~name:"bisect" ~cat:"fault" ~pid:(rp_pid rp) ~tid:0
+      ~ts_us:(now_us st)
+      ~args:[ "size", Json.Int (List.length batch) ];
+    let half = List.length batch / 2 in
+    let left = List.filteri (fun i _ -> i < half) batch in
+    let right = List.filteri (fun i _ -> i >= half) batch in
+    resolve st rp left ~lead ~model ~swap_us:0.0 ~k:(fun () ->
+        resolve st rp right ~lead ~model ~swap_us:0.0 ~k)
+
+(* Put one free replica to work: offer it to backlogged tenants in
+   fair-share order; the first whose batcher wants to flush launches. A
+   tenant that prefers to wait is skipped (work conservation) but remembered
+   as the earliest wake-up if nobody launches. *)
+let rec try_launch st rp =
+  let now = now_us st in
+  let wake = ref infinity in
+  let order =
+    Fairshare.ranked st.fair ~eligible:(fun i ->
+        not (Admission.is_empty st.tenants.(i).ts_queue))
+  in
+  let rec go = function
+    | [] ->
+      if !wake < infinity then
+        Event_loop.schedule st.loop ~at:!wake (fun () -> pass st)
+    | ti :: rest -> (
+      let ts = st.tenants.(ti) in
+      match
+        Batcher.decide ts.ts_batcher ~now_us:now
+          ~queue_len:(Admission.length ts.ts_queue)
+          ~oldest_arrival_us:(Option.get (Admission.oldest_arrival_us ts.ts_queue))
+      with
+      | Batcher.Wait_until at when at > now ->
+        if at < !wake then wake := at;
+        go rest
+      | Batcher.Wait_until _ ->
+        if not (flush st rp ti ~now ~limit:(min (Admission.length ts.ts_queue) st.pmax))
+        then try_launch st rp
+      | Batcher.Flush limit ->
+        if not (flush st rp ti ~now ~limit:(min limit st.pmax)) then try_launch st rp)
+  in
+  go order
+
+(* Assemble and launch one batch for [rp], led by tenant [ti]. Returns false
+   when everything popped had already expired (the caller re-scans). *)
+and flush st rp ti ~now ~limit =
+  let ts = st.tenants.(ti) in
+  let live, dropped = Admission.take_with_expired ts.ts_queue ~now_us:now ~limit in
+  drop_expired st ts ~ts_us:now dropped;
+  match live with
+  | [] -> false
+  | live ->
+    Fairshare.serve st.fair ti;
+    let model = ts.ts_tenant.Tenant.tn_model in
+    let fills = fill_batch st ~lead:ti ~model ~room:(st.pmax - List.length live) ~now in
+    let batch =
+      List.concat_map (fun (tj, rs) -> List.map (fun r -> tj, r) rs) ((ti, live) :: fills)
+    in
+    rp.rp_busy <- true;
+    let launch_us = now in
+    let swap_us =
+      if rp.rp_resident = Some model then 0.0
+      else begin
+        let param_bytes = st.model_bytes model in
+        let d = Cost_model.model_swap_time st.cfg.t_swap_cost ~param_bytes in
+        rp.rp_resident <- Some model;
+        rp.rp_swaps <- rp.rp_swaps + 1;
+        st.stats.Stats.swaps <- st.stats.Stats.swaps + 1;
+        ts.ts_stats.Stats.swaps <- ts.ts_stats.Stats.swaps + 1;
+        if d > 0.0 then
+          Trace.complete st.tracer ~name:"swap" ~cat:"tenancy" ~pid:(rp_pid rp) ~tid:0
+            ~ts_us:now ~dur_us:d
+            ~args:
+              (Trace.tag ~tenant:ts.ts_tenant.Tenant.tn_name ~model
+                 [ "param_bytes", Json.Int param_bytes ]);
+        (* The swap is the lead tenant's doing: bill it now, while the
+           batch's own time is billed per share at completion. *)
+        Fairshare.charge st.fair ti ~work:d;
+        d
+      end
+    in
+    let epoch = rp.rp_epoch in
+    resolve st rp batch ~lead:ti ~model ~swap_us ~k:(fun () ->
+        if rp.rp_epoch = epoch then begin
+          rp.rp_busy <- false;
+          rp.rp_busy_us <- rp.rp_busy_us +. (now_us st -. launch_us);
+          if rp.rp_state = Draining then retire st rp else ();
+          pass st
+        end);
+    true
+
+(* Offer every free, warmed-up, active replica to the tenants. *)
+and pass st =
+  Array.iter
+    (fun rp ->
+      if rp.rp_state = Active && (not rp.rp_busy) && now_us st >= rp.rp_ready_us then
+        try_launch st rp)
+    st.replicas
+
+(* --- Admission --- *)
+
+let on_arrival st (ts : 'a tstate) (r : 'a Admission.request) =
+  let now = now_us st in
+  Batcher.observe_arrival ts.ts_batcher ~now_us:now;
+  Trace.instant st.tracer ~name:"admit" ~cat:"request" ~pid:0
+    ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:now
+    ~args:
+      (Trace.tag ~tenant:ts.ts_tenant.Tenant.tn_name ~model:ts.ts_tenant.Tenant.tn_model
+         [ "id", Json.Int r.Admission.rq_id ]);
+  if ts.ts_inflight >= ts.ts_tenant.Tenant.tn_quota then begin
+    (* Over quota: refuse before admission so the queue (and the cluster
+       behind it) never sees the excess. *)
+    st.stats.Stats.quota_shed <- st.stats.Stats.quota_shed + 1;
+    ts.ts_stats.Stats.quota_shed <- ts.ts_stats.Stats.quota_shed + 1;
+    trace_terminal st ts ~name:"shed_quota" ~ts_us:now r
+  end
+  else begin
+    let admitted, swept = Admission.offer_swept ts.ts_queue ~now_us:now r in
+    drop_expired st ts ~ts_us:now swept;
+    if not admitted then begin
+      st.stats.Stats.shed <- st.stats.Stats.shed + 1;
+      trace_terminal st ts ~name:"shed" ~ts_us:now r
+    end
+    else begin
+      ts.ts_inflight <- ts.ts_inflight + 1;
+      if ts.ts_inflight > ts.ts_peak_inflight then ts.ts_peak_inflight <- ts.ts_inflight;
+      (* Same-time launch check, so simultaneous arrivals coalesce into one
+         batch (ties dispatch in scheduling order). *)
+      Event_loop.schedule st.loop ~at:now (fun () -> pass st)
+    end
+  end
+
+(* --- Autoscaler control loop --- *)
+
+let scale_up st =
+  let now = now_us st in
+  let rp = new_replica st ~ready_us:(now +. st.cfg.t_autoscale.Autoscaler.as_warmup_us) in
+  Autoscaler.note_scaled st.scaler ~now_us:now ~decision:Autoscaler.Scale_up;
+  let active = active_replicas st in
+  if active > st.peak_replicas then st.peak_replicas <- active;
+  st.scale_events <- (now, "scale_up", active) :: st.scale_events;
+  Trace.instant st.tracer ~name:"scale_up" ~cat:"tenancy" ~pid:0 ~tid:0 ~ts_us:now
+    ~args:[ "replica", Json.Int rp.rp_id; "ready_us", Json.Float rp.rp_ready_us ];
+  (* The warmed-up replica looks for work the moment it is usable. *)
+  Event_loop.schedule st.loop ~at:rp.rp_ready_us (fun () -> pass st)
+
+let scale_down st =
+  (* Highest-index active replica drains: ids stay dense at the bottom, so
+     repeated up/down cycles reuse low pids. *)
+  let victim = ref None in
+  Array.iter (fun rp -> if rp.rp_state = Active then victim := Some rp) st.replicas;
+  match !victim with
+  | None -> ()
+  | Some rp ->
+    rp.rp_state <- Draining;
+    Autoscaler.note_scaled st.scaler ~now_us:(now_us st)
+      ~decision:Autoscaler.Scale_down;
+    st.scale_events <- (now_us st, "scale_down", active_replicas st) :: st.scale_events;
+    Trace.instant st.tracer ~name:"scale_down" ~cat:"tenancy" ~pid:0 ~tid:0
+      ~ts_us:(now_us st)
+      ~args:[ "replica", Json.Int rp.rp_id ];
+    if not rp.rp_busy then retire st rp
+
+let rec tick st () =
+  let now = now_us st in
+  let max_delay = ref 0.0 in
+  Array.iter
+    (fun ts ->
+      let age =
+        match Admission.oldest_arrival_us ts.ts_queue with
+        | Some a -> now -. a
+        | None -> 0.0
+      in
+      ts.ts_delay_ewma_us <- (0.5 *. ts.ts_delay_ewma_us) +. (0.5 *. age);
+      if ts.ts_delay_ewma_us > !max_delay then max_delay := ts.ts_delay_ewma_us)
+    st.tenants;
+  (match
+     Autoscaler.decide st.scaler ~now_us:now ~replicas:(active_replicas st)
+       ~max_queue_delay_us:!max_delay
+   with
+  | Autoscaler.Hold -> ()
+  | Autoscaler.Scale_up -> scale_up st
+  | Autoscaler.Scale_down -> scale_down st);
+  (* The control loop rides the event queue and stops rescheduling once it
+     is the only pending work, so the simulation drains. *)
+  if Event_loop.pending st.loop > 0 then
+    Event_loop.schedule_after st.loop ~delay:st.cfg.t_autoscale.Autoscaler.as_interval_us
+      (tick st)
+
+(* --- Reports --- *)
+
+type tenant_view = {
+  tv_tenant : Tenant.t;
+  tv_stats : Stats.t;
+  tv_peak_inflight : int;
+}
+
+type report = {
+  tn_stats : Stats.t;  (** Aggregate across tenants, event-ordered. *)
+  tn_tenants : tenant_view list;
+  tn_scale_events : (float * string * int) list;
+      (** (virtual time, "scale_up"/"scale_down", active replicas after). *)
+  tn_peak_replicas : int;
+  tn_final_replicas : int;
+  tn_swaps : int;
+  tn_busy_us : float;  (** Summed device-occupied time across replicas. *)
+}
+
+(** Device utilization over the run: busy time across the pool divided by
+    peak-pool capacity (a conservative denominator — retired replicas still
+    count until the end). *)
+let utilization (r : report) =
+  let span = r.tn_stats.Stats.end_us in
+  if span <= 0.0 || r.tn_peak_replicas = 0 then 0.0
+  else r.tn_busy_us /. (span *. float_of_int r.tn_peak_replicas)
+
+(** Run the multi-tenant simulation to completion.
+
+    [tenants] is the registry; each tenant's arrival stream is drawn from
+    its own traffic process with its own seed (or taken verbatim from
+    [arrivals] when given — one monotone array per tenant). [payload]
+    builds request payloads from (tenant index, per-tenant request index,
+    global request id); [execute] runs one single-model batch on a replica;
+    [model_bytes] sizes each model's parameters for the swap penalty.
+
+    Global request ids number the merged arrival stream in (time, tenant)
+    order, so traces, chaos invariants and payload poison lists all speak
+    the same id space. *)
+let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
+    ?(snapshot_every_us = 10_000.0) ?arrivals (cfg : config)
+    ~(tenants : Tenant.t array)
+    ~(payload : tenant:int -> index:int -> id:int -> 'a)
+    ~(execute : int -> model:string -> 'a list -> Server.exec_result)
+    ~(model_bytes : string -> int) : report =
+  if Array.length tenants = 0 then Fmt.invalid_arg "Dispatcher.simulate: no tenants";
+  Array.iter (fun t -> ignore (Tenant.validate t)) tenants;
+  let loop = Event_loop.create (Clock.create ()) in
+  let st =
+    {
+      cfg;
+      loop;
+      tenants =
+        Array.map
+          (fun t ->
+            {
+              ts_tenant = t;
+              ts_queue = Admission.create ~capacity:cfg.t_server.Server.queue_capacity;
+              ts_batcher = Batcher.create ~cost:cfg.t_server.Server.cost cfg.t_server.Server.policy;
+              ts_stats = Stats.create ();
+              ts_inflight = 0;
+              ts_peak_inflight = 0;
+              ts_delay_ewma_us = 0.0;
+            })
+          tenants;
+      fair = Fairshare.create ~weights:(Array.map (fun t -> t.Tenant.tn_weight) tenants);
+      scaler = Autoscaler.create cfg.t_autoscale;
+      replicas = [||];
+      stats = Stats.create ();
+      execute;
+      model_bytes;
+      pmax = Server.policy_max_batch cfg.t_server.Server.policy;
+      scale_events = [];
+      peak_replicas = 0;
+      tracer;
+    }
+  in
+  if Trace.enabled tracer then begin
+    Trace.name_process tracer ~pid:0 ~name:"dispatcher";
+    Trace.name_thread tracer ~pid:0 ~tid:0 ~name:"control"
+  end;
+  for _ = 1 to cfg.t_autoscale.Autoscaler.as_min do
+    ignore (new_replica st ~ready_us:0.0)
+  done;
+  st.peak_replicas <- active_replicas st;
+  (* Merge the per-tenant arrival streams into one globally-ordered,
+     globally-numbered schedule. *)
+  let streams =
+    match arrivals with
+    | Some a ->
+      if Array.length a <> Array.length tenants then
+        Fmt.invalid_arg "Dispatcher.simulate: %d arrival streams for %d tenants"
+          (Array.length a) (Array.length tenants);
+      a
+    | None ->
+      Array.map
+        (fun t ->
+          let rng = Rng.create ((t.Tenant.tn_seed * 53) + 11) in
+          Traffic.arrivals ~rng (Tenant.process t) ~n:t.Tenant.tn_requests)
+        tenants
+  in
+  let merged = ref [] in
+  Array.iteri
+    (fun ti a -> Array.iteri (fun k at -> merged := (at, ti, k) :: !merged) a)
+    streams;
+  let merged =
+    List.sort
+      (fun (ta, ia, ka) (tb, ib, kb) ->
+        match Float.compare ta tb with
+        | 0 -> ( match Int.compare ia ib with 0 -> Int.compare ka kb | c -> c)
+        | c -> c)
+      !merged
+  in
+  List.iteri
+    (fun id (at, ti, k) ->
+      let ts = st.tenants.(ti) in
+      let r =
+        {
+          Admission.rq_id = id;
+          rq_payload = payload ~tenant:ti ~index:k ~id;
+          rq_arrival_us = at;
+          rq_deadline_us =
+            Option.map (fun d -> at +. d) (Tenant.slo_us ts.ts_tenant);
+        }
+      in
+      Event_loop.schedule loop ~at (fun () -> on_arrival st ts r))
+    merged;
+  (* The control loop only matters when the pool can actually change. *)
+  if cfg.t_autoscale.Autoscaler.as_max > cfg.t_autoscale.Autoscaler.as_min then
+    Event_loop.schedule_after loop ~delay:cfg.t_autoscale.Autoscaler.as_interval_us
+      (tick st);
+  if Metrics.enabled metrics then begin
+    let rec snap () =
+      Stats.to_metrics st.stats metrics;
+      Metrics.snapshot metrics ~ts_us:(Event_loop.now loop);
+      if Event_loop.pending loop > 0 then
+        Event_loop.schedule_after loop ~delay:snapshot_every_us snap
+    in
+    Event_loop.schedule_after loop ~delay:snapshot_every_us snap
+  end;
+  Event_loop.run loop;
+  let end_us = Event_loop.now loop in
+  (* Anything still queued when the run drains is conserved as a
+     budget-exhausted terminal, exactly like the cluster's parked queue. *)
+  Array.iter
+    (fun ts ->
+      let leftovers, dropped = Admission.drain ts.ts_queue ~now_us:end_us in
+      drop_expired st ts ~ts_us:end_us dropped;
+      List.iter
+        (fun (r : 'a Admission.request) ->
+          st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1;
+          ts.ts_stats.Stats.breaker_shed <- ts.ts_stats.Stats.breaker_shed + 1;
+          ts.ts_inflight <- ts.ts_inflight - 1;
+          trace_terminal st ts ~name:"budget_exhausted" ~ts_us:end_us r)
+        leftovers)
+    st.tenants;
+  let views =
+    Array.to_list
+      (Array.map
+         (fun ts ->
+           ts.ts_stats.Stats.shed <- Admission.shed_count ts.ts_queue;
+           ts.ts_stats.Stats.expired <- Admission.expired_count ts.ts_queue;
+           ts.ts_stats.Stats.end_us <- end_us;
+           {
+             tv_tenant = ts.ts_tenant;
+             tv_stats = ts.ts_stats;
+             tv_peak_inflight = ts.ts_peak_inflight;
+           })
+         st.tenants)
+  in
+  st.stats.Stats.end_us <- end_us;
+  st.stats.Stats.clamped_schedules <- Event_loop.clamped_count loop;
+  Stats.to_metrics st.stats metrics;
+  {
+    tn_stats = st.stats;
+    tn_tenants = views;
+    tn_scale_events = List.rev st.scale_events;
+    tn_peak_replicas = st.peak_replicas;
+    tn_final_replicas = active_replicas st;
+    tn_swaps = Array.fold_left (fun n rp -> n + rp.rp_swaps) 0 st.replicas;
+    tn_busy_us = Array.fold_left (fun b rp -> b +. rp.rp_busy_us) 0.0 st.replicas;
+  }
+
+(** JSON shape shared by [acrobatc serve --tenant --json] and
+    [bench tenants]: aggregate summary, per-tenant summaries with SLO
+    attainment and quota observations, and the scale-event trajectory. *)
+let report_json (r : report) : Json.t =
+  let tenant_json (tv : tenant_view) =
+    let s = Stats.summarize tv.tv_stats in
+    Json.Obj
+      [
+        "name", Json.Str tv.tv_tenant.Tenant.tn_name;
+        "model", Json.Str tv.tv_tenant.Tenant.tn_model;
+        "weight", Json.Float tv.tv_tenant.Tenant.tn_weight;
+        "quota", Json.Int tv.tv_tenant.Tenant.tn_quota;
+        "peak_inflight", Json.Int tv.tv_peak_inflight;
+        "slo_ms", Json.Float tv.tv_tenant.Tenant.tn_slo_ms;
+        "goodput", Json.Float (Stats.goodput s);
+        "slo_attainment", Json.Float (Stats.slo_attainment s);
+        "summary", Stats.summary_to_json s;
+      ]
+  in
+  let scale_json (ts_us, kind, replicas) =
+    Json.Obj
+      [
+        "ts_us", Json.Float ts_us;
+        "event", Json.Str kind;
+        "replicas", Json.Int replicas;
+      ]
+  in
+  let s = Stats.summarize r.tn_stats in
+  Json.Obj
+    [
+      "summary", Stats.summary_to_json s;
+      "goodput", Json.Float (Stats.goodput s);
+      "slo_attainment", Json.Float (Stats.slo_attainment s);
+      "utilization", Json.Float (utilization r);
+      "peak_replicas", Json.Int r.tn_peak_replicas;
+      "final_replicas", Json.Int r.tn_final_replicas;
+      "swaps", Json.Int r.tn_swaps;
+      "tenants", Json.List (List.map tenant_json r.tn_tenants);
+      "scale_events", Json.List (List.map scale_json r.tn_scale_events);
+    ]

@@ -1,0 +1,98 @@
+(** The tenant registry: who is allowed to send what at which model.
+
+    A tenant names one catalog model and brings its own traffic process
+    (Poisson or MMPP, independently seeded so tenant streams are
+    uncorrelated but each fully reproducible), an SLO deadline that doubles
+    as the admission deadline for its queued requests, an inflight quota
+    that bounds how much of the cluster one tenant can occupy, and a
+    fair-share weight for the dispatcher.
+
+    The CLI spec format is [NAME:MODEL:RATE:SLO:QUOTA] with an optional
+    sixth [:WEIGHT] field — rate in requests per second, SLO in
+    milliseconds ([0] or [inf] for none), weight defaulting to 1. *)
+
+module Traffic = Acrobat_serve.Traffic
+
+type t = {
+  tn_name : string;
+  tn_model : string;  (** Catalog model id; batches only form within it. *)
+  tn_rate_per_s : float;
+  tn_bursty : bool;  (** MMPP (rate/4 low, 2x high, 50ms dwell) vs Poisson. *)
+  tn_seed : int;  (** Seeds this tenant's arrival and payload streams. *)
+  tn_slo_ms : float;  (** SLO and queue deadline; [infinity] disables both. *)
+  tn_quota : int;  (** Max requests admitted but not yet terminal. *)
+  tn_weight : float;  (** Fair-share weight; relative, > 0. *)
+  tn_requests : int;  (** Requests this tenant offers over the run. *)
+}
+
+(* Mirrors the single-tenant CLI's --bursty shape so a tenant spec's RATE
+   field means the same thing under either process. *)
+let process (t : t) : Traffic.process =
+  if t.tn_bursty then
+    Traffic.Bursty
+      {
+        rate_low_per_s = t.tn_rate_per_s /. 4.0;
+        rate_high_per_s = t.tn_rate_per_s *. 2.0;
+        mean_dwell_us = 50_000.0;
+      }
+  else Traffic.Poisson { rate_per_s = t.tn_rate_per_s }
+
+let slo_us (t : t) : float option =
+  if t.tn_slo_ms <= 0.0 || t.tn_slo_ms = infinity then None else Some (t.tn_slo_ms *. 1000.0)
+
+let validate (t : t) =
+  if t.tn_name = "" then Fmt.invalid_arg "tenant: empty name";
+  if t.tn_model = "" then Fmt.invalid_arg "tenant %s: empty model" t.tn_name;
+  if t.tn_rate_per_s <= 0.0 then
+    Fmt.invalid_arg "tenant %s: rate must be positive" t.tn_name;
+  if t.tn_quota < 1 then Fmt.invalid_arg "tenant %s: quota must be >= 1" t.tn_name;
+  if t.tn_weight <= 0.0 then
+    Fmt.invalid_arg "tenant %s: weight must be positive" t.tn_name;
+  if t.tn_requests < 0 then
+    Fmt.invalid_arg "tenant %s: negative request count" t.tn_name;
+  t
+
+(* Per-tenant seeds step by a prime stride so sibling streams never share a
+   seed, while to_spec/parse round-trips stay anchored to one base seed. *)
+let seed_stride = 101
+
+let derived_seed ~seed ~index = seed + (seed_stride * index)
+
+(** Parse one [NAME:MODEL:RATE:SLO:QUOTA[:WEIGHT]] spec. [seed], [index],
+    [bursty] and [requests] come from the surrounding run configuration. *)
+let parse ~seed ~index ~bursty ~requests (spec : string) : t =
+  let fail () =
+    Fmt.invalid_arg "tenant spec %S: want NAME:MODEL:RATE:SLO:QUOTA[:WEIGHT]" spec
+  in
+  let num kind s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> Fmt.invalid_arg "tenant spec %S: bad %s %S" spec kind s
+  in
+  match String.split_on_char ':' spec with
+  | name :: model :: rate :: slo :: quota :: rest ->
+    let weight = match rest with [] -> 1.0 | [ w ] -> num "weight" w | _ -> fail () in
+    validate
+      {
+        tn_name = name;
+        tn_model = model;
+        tn_rate_per_s = num "rate" rate;
+        tn_bursty = bursty;
+        tn_seed = derived_seed ~seed ~index;
+        tn_slo_ms = num "slo" slo;
+        tn_quota = int_of_float (num "quota" quota);
+        tn_weight = weight;
+        tn_requests = requests;
+      }
+  | _ -> fail ()
+
+(** Render back to the CLI spec format (always with the weight field). *)
+let to_spec (t : t) : string =
+  Fmt.str "%s:%s:%.0f:%g:%d:%g" t.tn_name t.tn_model t.tn_rate_per_s t.tn_slo_ms
+    t.tn_quota t.tn_weight
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "%s -> %s (%.0f req/s%s, slo %gms, quota %d, weight %g)" t.tn_name
+    t.tn_model t.tn_rate_per_s
+    (if t.tn_bursty then " bursty" else "")
+    t.tn_slo_ms t.tn_quota t.tn_weight

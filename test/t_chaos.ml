@@ -58,6 +58,7 @@ let clean_scenario () =
     sc_policy = Batcher.Adaptive { max_batch = 8; max_wait_us = 1000.0 };
     sc_requeue_budget = 2;
     sc_plans = [| Faults.none; Faults.none |];
+    sc_tenancy = None;
   }
 
 let healthy_input () =
@@ -69,6 +70,7 @@ let healthy_input () =
     in_goodput_floor = 1.0;
     in_summary = summary;
     in_events = Trace.events tracer;
+    in_tenants = [];
   }
 
 let violated input = Invariants.names (Invariants.check input)
@@ -134,6 +136,65 @@ let test_invariant_goodput_floor () =
   let input = healthy_input () in
   let names = violated { input with Invariants.in_goodput_floor = 1.1 } in
   check_true "unattainable floor trips goodput_floor" (List.mem "goodput_floor" names)
+
+let test_invariant_tenants () =
+  let input = healthy_input () in
+  let tb name offered completed quota peak =
+    {
+      Invariants.tb_name = name;
+      tb_offered = offered;
+      tb_completed = completed;
+      tb_quota = quota;
+      tb_peak_inflight = peak;
+    }
+  in
+  let names = violated { input with Invariants.in_tenants = [ tb "a" 10 0 4 2 ] } in
+  check_true "starved tenant trips tenant_starvation"
+    (List.mem "tenant_starvation" names);
+  let names = violated { input with Invariants.in_tenants = [ tb "a" 10 10 4 5 ] } in
+  check_true "over-quota peak trips quota_respected" (List.mem "quota_respected" names);
+  (* A tenant with zero offered load may complete nothing, and peak at the
+     quota is within bounds. *)
+  let names =
+    violated
+      { input with Invariants.in_tenants = [ tb "a" 10 3 4 4; tb "b" 0 0 1 0 ] }
+  in
+  check_true "healthy tenant mix passes"
+    ((not (List.mem "tenant_starvation" names))
+    && not (List.mem "quota_respected" names))
+
+(* --- Tenant-mix scenarios --- *)
+
+let find_tenancy_scenario () =
+  let rec go i =
+    if i > 200 then Alcotest.fail "no tenant-mix scenario in 200 draws"
+    else
+      let sc = Scenario.generate ~campaign_seed:21 ~fault_prob:0.5 i in
+      if sc.Scenario.sc_tenancy <> None then sc else go (i + 1)
+  in
+  go 0
+
+let test_tenancy_scenario_repro () =
+  let sc = find_tenancy_scenario () in
+  let cli = Scenario.to_cli sc in
+  check_true "tenant repro uses --tenant" (contains cli "--tenant ");
+  check_true "tenant repro pins the autoscaler span" (contains cli "--autoscale ");
+  check_true "tenant repro pins the seed"
+    (contains cli (Fmt.str "--seed %d" sc.Scenario.sc_seed));
+  check_true "tenant repro has no cluster topology flags"
+    (not (contains cli "--replicas"));
+  match sc.Scenario.sc_tenancy with
+  | Some tc ->
+    check_int "total_requests covers every stream"
+      (Array.length tc.Scenario.tc_tenants * sc.Scenario.sc_requests)
+      (Scenario.total_requests sc)
+  | None -> assert false
+
+let test_tenancy_scenario_holds () =
+  let sc = find_tenancy_scenario () in
+  let violations, _ = Chaos.check_scenario sc in
+  check_true "tenant-mix scenario passes the invariant suite (incl. replay)"
+    (violations = [])
 
 (* --- Shrinker --- *)
 
@@ -274,6 +335,11 @@ let suite =
       test_invariant_requeue_budget;
     Alcotest.test_case "invariants: goodput-floor oracle fires" `Quick
       test_invariant_goodput_floor;
+    Alcotest.test_case "invariants: tenant oracles fire" `Quick test_invariant_tenants;
+    Alcotest.test_case "scenario: tenant-mix CLI reproducer shape" `Quick
+      test_tenancy_scenario_repro;
+    Alcotest.test_case "scenario: tenant-mix run holds invariants" `Quick
+      test_tenancy_scenario_holds;
     Alcotest.test_case "shrink: known-bad plan minimizes to <= 2 clauses" `Quick
       test_shrink_known_bad;
     Alcotest.test_case "campaign: clean fleet, zero violations in 200" `Quick

@@ -11,4 +11,5 @@ let () =
       "models", T_models.suite;
       "failures", T_failures.suite;
       "chaos", T_chaos.suite;
+      "tenancy", T_tenancy.suite;
     ]
