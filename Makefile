@@ -14,7 +14,11 @@ test:
 # env stanza in dune-project), the whole test suite, then end-to-end serving
 # smoke runs — fault-free, fault-injected (gated on goodput), and a
 # replicated cluster with a dead-device replica — to catch CLI wiring
-# breakage that unit tests can miss. The trace smoke runs the cluster twice
+# breakage that unit tests can miss. The overload smoke arms the full
+# resilience stack (retry budget, concurrency limiter, brownout) against an
+# over-capacity fault-injected stream, gated on goodput; the overload bench
+# runs twice and its JSON (BENCH_overload.json, a CI artifact) must be
+# byte-identical across runs. The trace smoke runs the cluster twice
 # with the same seed and demands byte-identical, schema-valid Chrome traces
 # (TRACE_cluster.json, uploaded as a CI artifact alongside
 # BENCH_cluster.json). The multi-tenant smoke serves three tenants with the
@@ -46,6 +50,13 @@ check: build test
 	dune exec bench/main.exe -- tenants --json BENCH_tenants.json
 	dune exec bench/main.exe -- tenants --json BENCH_tenants_rerun.json
 	cmp BENCH_tenants.json BENCH_tenants_rerun.json
+	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
+	  --rate 6000 --requests 400 --iters 100 \
+	  --faults "seed=7,kernel=0.1" --retry-budget 0.2 \
+	  --concurrency-target 12 --brownout 6:10:2 --min-goodput 0.9
+	dune exec bench/main.exe -- overload --json BENCH_overload.json
+	dune exec bench/main.exe -- overload --json BENCH_overload_rerun.json
+	cmp BENCH_overload.json BENCH_overload_rerun.json
 	$(MAKE) chaos-smoke
 	dune exec bench/main.exe -- chaos --json BENCH_chaos.json
 	dune exec bench/main.exe -- chaos --json BENCH_chaos_rerun.json

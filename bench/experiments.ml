@@ -804,3 +804,137 @@ let tenants_bench ?(seed = 11) () : (string * Tenancy.Dispatcher.report) list =
     run "fixed@min" (Tenancy.Autoscaler.fixed 1);
     run "autoscale" (Tenancy.Autoscaler.default ~min_replicas:1 ~max_replicas:4);
   ]
+
+(* --- Overload resilience: goodput vs offered load, controls on vs off
+   (DESIGN.md §13) --- *)
+
+type overload_row = {
+  ov_config : string;  (** ["off"] or ["resilience"]. *)
+  ov_load : float;  (** Offered load as a multiple of device capacity. *)
+  ov_rate_per_s : float;
+  ov_goodput : float;
+  ov_completed : int;
+  ov_expired : int;
+  ov_shed : int;  (** Queue-full sheds. *)
+  ov_limit_shed : int;
+  ov_retry_shed : int;
+  ov_retried : int;  (** Requests re-executed under the retry budget. *)
+  ov_retries : int;  (** Batch retry attempts (both configs). *)
+  ov_bisections : int;
+  ov_poisoned : int;
+  ov_degraded_batches : int;
+  ov_brownouts : int;
+  ov_brownout_restores : int;
+  ov_p50 : float;
+  ov_p99 : float;
+  ov_limit_trajectory : (float * float) list;
+      (** [(ts_us, limit)] samples of the AIMD concurrency limit, from the
+          metrics registry's periodic snapshots; empty when the limiter is
+          off. *)
+}
+
+(** Goodput as the offered load climbs through and past device saturation,
+    with the overload controls off (the PR-6 server: retries, bisection
+    and the bounded queue only) and on (retry budget + adaptive
+    concurrency limiter + brownout). The device is synthetic and
+    setup-dominated — a batch of [n] costs 1000us + 150us*n, 55% of that
+    in the degraded (early-exit) variant — so full strength sustains
+    ~3640 req/s at max batch 8 and the brownout's capacity purchase is
+    explicit. Every attempt faults transiently with probability 0.25 from
+    a per-run seeded stream, which makes uncapped retry + bisection the
+    off-config's capacity sink: above saturation that re-offered load is
+    exactly what the retry budget converts into fresh completions.
+
+    Deterministic for a fixed [seed]; each (load, config) cell draws its
+    own arrival and fault streams from it. *)
+let overload_bench ?(loads = [ 0.5; 0.8; 1.1; 1.4; 1.8 ]) ?(requests = 1200)
+    ?(seed = 17) () : overload_row list =
+  let max_batch = 8 in
+  let setup_us = 1_000.0 and per_req_us = 150.0 in
+  let capacity_rps =
+    float_of_int max_batch
+    /. ((setup_us +. (per_req_us *. float_of_int max_batch)) /. 1.0e6)
+  in
+  let fault_rate = 0.15 in
+  let armed =
+    {
+      Resilience.rs_retry_budget = Some 0.2;
+      rs_target_delay_us = Some 12_000.0;
+      rs_brownout = Some (Resilience.brownout_of_string "6:10:2");
+    }
+  in
+  let run ~load (label, resilience) =
+    let rate_per_s = load *. capacity_rps in
+    let metrics =
+      if Resilience.active resilience then Metrics.create () else Metrics.null
+    in
+    let fault_rng = Rng.create ((seed * 97) + 13) in
+    let execute ~degraded batch =
+      let n = List.length batch in
+      let cost = setup_us +. (per_req_us *. float_of_int n) in
+      let cost = if degraded then cost *. 0.55 else cost in
+      if Rng.float fault_rng < fault_rate then
+        Serve.Server.Exec_fault
+          {
+            ef_latency_us = cost;
+            ef_reason = "transient";
+            ef_transient = true;
+            ef_oom = false;
+            ef_reset = false;
+          }
+      else Serve.Server.Exec_ok { ex_latency_us = cost; ex_profiler = None }
+    in
+    let arrivals =
+      Serve.Traffic.arrivals
+        ~rng:(Rng.create ((seed * 53) + 11))
+        (Serve.Traffic.Poisson { rate_per_s })
+        ~n:requests
+    in
+    let config =
+      {
+        Serve.Server.default_config with
+        Serve.Server.policy = Serve.Batcher.Adaptive { max_batch; max_wait_us = 1_000.0 };
+        queue_capacity = 256;
+        deadline_us = Some 25_000.0;
+        resilience;
+      }
+    in
+    let stats =
+      Serve.Server.simulate ~metrics config ~arrivals ~payload:(fun i -> i) ~execute
+    in
+    let s = Serve.Stats.summarize stats in
+    let trajectory =
+      List.rev_map
+        (fun (ts_us, values) ->
+          match List.assoc_opt "resilience.limit" values with
+          | Some v -> [ (ts_us, v) ]
+          | None -> [])
+        metrics.Metrics.snapshots
+      |> List.concat
+    in
+    {
+      ov_config = label;
+      ov_load = load;
+      ov_rate_per_s = rate_per_s;
+      ov_goodput = Serve.Stats.goodput s;
+      ov_completed = s.Serve.Stats.s_completed;
+      ov_expired = s.Serve.Stats.s_expired;
+      ov_shed = s.Serve.Stats.s_shed;
+      ov_limit_shed = s.Serve.Stats.s_limit_shed;
+      ov_retry_shed = s.Serve.Stats.s_retry_shed;
+      ov_retried = s.Serve.Stats.s_retried_requests;
+      ov_retries = s.Serve.Stats.s_retries;
+      ov_bisections = s.Serve.Stats.s_bisections;
+      ov_poisoned = s.Serve.Stats.s_poisoned;
+      ov_degraded_batches = s.Serve.Stats.s_degraded_batches;
+      ov_brownouts = s.Serve.Stats.s_brownouts;
+      ov_brownout_restores = s.Serve.Stats.s_brownout_restores;
+      ov_p50 = s.Serve.Stats.s_p50_ms;
+      ov_p99 = s.Serve.Stats.s_p99_ms;
+      ov_limit_trajectory = trajectory;
+    }
+  in
+  List.concat_map
+    (fun load ->
+      List.map (run ~load) [ "off", Resilience.off; "resilience", armed ])
+    loads

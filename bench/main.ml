@@ -489,6 +489,95 @@ let obs () =
   | None -> ());
   j
 
+(* --- Overload resilience: goodput vs offered load, controls on vs off --- *)
+
+let overload () =
+  hr "Overload resilience: goodput vs offered load (retry budget + limiter + brownout)";
+  pf "%-10s %5s %8s | %8s %5s %5s %5s %6s %6s %5s | %6s %6s %5s | %8s %8s\n" "config"
+    "load" "rate" "goodput" "done" "exp" "shed" "lshed" "rshed" "retry" "bisect" "degr"
+    "brown" "p50" "p99";
+  let rows = E.overload_bench () in
+  List.iter
+    (fun (r : E.overload_row) ->
+      pf
+        "%-10s %4.1fx %6.0f/s | %7.1f%% %5d %5d %5d %6d %6d %5d | %6d %6d %5d | %6.2fms \
+         %6.2fms\n"
+        r.ov_config r.ov_load r.ov_rate_per_s
+        (100.0 *. r.ov_goodput)
+        r.ov_completed r.ov_expired r.ov_shed r.ov_limit_shed r.ov_retry_shed r.ov_retries
+        r.ov_bisections r.ov_degraded_batches r.ov_brownouts r.ov_p50 r.ov_p99)
+    rows;
+  (* The acceptance gates of DESIGN.md §13, checked right here so a
+     regression shows up in `make bench` output, not just in review. *)
+  let off = List.filter (fun (r : E.overload_row) -> r.ov_config = "off") rows in
+  let on = List.filter (fun (r : E.overload_row) -> r.ov_config = "resilience") rows in
+  let above_sat =
+    List.filter_map
+      (fun (o : E.overload_row) ->
+        if o.ov_load <= 1.0 then None
+        else
+          Option.map
+            (fun n -> o, n)
+            (List.find_opt (fun (n : E.overload_row) -> n.ov_load = o.ov_load) on))
+      off
+  in
+  let wins =
+    List.length
+      (List.filter (fun ((o : E.overload_row), (n : E.overload_row)) ->
+           n.ov_goodput > o.ov_goodput +. 1e-9)
+         above_sat)
+  in
+  let never_worse =
+    List.for_all
+      (fun ((o : E.overload_row), (n : E.overload_row)) ->
+        n.ov_goodput >= o.ov_goodput -. 1e-9)
+      above_sat
+  in
+  let amplification_ok =
+    List.for_all
+      (fun (n : E.overload_row) ->
+        float_of_int n.ov_retried <= (0.2 *. float_of_int (n.ov_completed + n.ov_expired
+        + n.ov_shed + n.ov_limit_shed + n.ov_retry_shed + n.ov_poisoned)) +. 1e-9)
+      on
+  in
+  pf "gates: above-saturation never-worse %b, strict wins %d/%d, retry-amplification <= budget %b\n"
+    never_worse wins (List.length above_sat) amplification_ok;
+  pf
+    "(expected shape: past 1x load the off config drowns — uncapped retries and bisection \
+     re-offer work the device cannot absorb and queue delay expires the rest — while the \
+     armed config sheds the excess at the door, caps re-execution at 20%% of offered \
+     load, and buys capacity with brownout)\n";
+  J.List
+    (List.map
+       (fun (r : E.overload_row) ->
+         J.Obj
+           [
+             "config", J.Str r.ov_config;
+             "load", J.Float r.ov_load;
+             "rate_rps", J.Float r.ov_rate_per_s;
+             "goodput", J.Float r.ov_goodput;
+             "completed", J.Int r.ov_completed;
+             "expired", J.Int r.ov_expired;
+             "shed", J.Int r.ov_shed;
+             "limit_shed", J.Int r.ov_limit_shed;
+             "retry_shed", J.Int r.ov_retry_shed;
+             "retried_requests", J.Int r.ov_retried;
+             "retries", J.Int r.ov_retries;
+             "bisections", J.Int r.ov_bisections;
+             "poisoned", J.Int r.ov_poisoned;
+             "degraded_batches", J.Int r.ov_degraded_batches;
+             "brownouts", J.Int r.ov_brownouts;
+             "brownout_restores", J.Int r.ov_brownout_restores;
+             "p50_ms", J.Float r.ov_p50;
+             "p99_ms", J.Float r.ov_p99;
+             ( "limit_trajectory",
+               J.List
+                 (List.map
+                    (fun (ts, v) -> J.List [ J.Float ts; J.Float v ])
+                    r.ov_limit_trajectory) );
+           ])
+       rows)
+
 (* --- bechamel micro-benchmarks over runtime hot paths --- *)
 
 let micro () =
@@ -512,6 +601,7 @@ let experiments =
     "chaos", chaos;
     "tenants", tenants;
     "obs", obs;
+    "overload", overload;
     "extras", extras;
     "micro", micro;
   ]

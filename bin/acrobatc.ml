@@ -242,9 +242,42 @@ let bench_cmd =
 
 let serve_cmd =
   let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
-      burst seed iters faults_specs replicas dispatch hedge requeue_budget tenant_specs
-      autoscale min_goodput json_path trace_path =
+      burst seed iters faults_specs replicas dispatch hedge requeue_budget retry_budget
+      concurrency_target brownout tenant_specs autoscale min_goodput json_path trace_path =
     guarded @@ fun () ->
+    Option.iter
+      (fun f ->
+        if not (Float.is_finite f) || f < 0.0 then
+          Fmt.invalid_arg "--retry-budget %g: want a finite fraction >= 0" f)
+      retry_budget;
+    Option.iter
+      (fun ms ->
+        if not (Float.is_finite ms) || ms <= 0.0 then
+          Fmt.invalid_arg "--concurrency-target %g: want a positive delay in ms" ms)
+      concurrency_target;
+    let resilience =
+      {
+        Resilience.rs_retry_budget = retry_budget;
+        rs_target_delay_us = Option.map (fun ms -> ms *. 1000.0) concurrency_target;
+        rs_brownout = Option.map Resilience.brownout_of_string brownout;
+      }
+    in
+    (* Printed only when armed, so legacy invocations stay byte-identical. *)
+    let pp_resilience () =
+      if Resilience.active resilience then begin
+        Fmt.pr "resilience:";
+        Option.iter
+          (fun f -> Fmt.pr " retry-budget %g" f)
+          resilience.Resilience.rs_retry_budget;
+        Option.iter
+          (fun t -> Fmt.pr " concurrency-target %gms" (t /. 1000.0))
+          resilience.Resilience.rs_target_delay_us;
+        Option.iter
+          (fun b -> Fmt.pr " brownout %s" (Resilience.brownout_to_string b))
+          resilience.Resilience.rs_brownout;
+        Fmt.pr "@."
+      end
+    in
     let resolve id =
       match size with
       | "tiny" -> Models.tiny id
@@ -262,7 +295,8 @@ let serve_cmd =
     let fault_plans = List.map Faults.parse faults_specs in
     if tenant_specs <> [] then begin
       (* Multi-tenant path: tenants carry model/rate/SLO/quota; --model,
-         --rate, --replicas, --dispatch and --hedge do not apply. *)
+         --rate, --replicas and --dispatch do not apply. --hedge arms the
+         dispatcher's percentile-delay hedging instead. *)
       let tenants =
         Array.of_list
           (List.mapi
@@ -293,11 +327,13 @@ let serve_cmd =
           if Faults.enabled p then
             Fmt.pr "fault plan (replica %d): %a@." i Faults.pp_plan p)
         fault_plans;
+      pp_resilience ();
       Fmt.pr "@.";
       let tracer = tracer_of trace_path in
       let report =
         serve_tenants ~policy ~queue_capacity:queue_cap ?iters ~fault_plans ~min_replicas
-          ~max_replicas ?tracer ~models:resolve ~tenants ~seed ()
+          ~max_replicas ~resilience ?hedge_percentile:hedge ?tracer ~models:resolve
+          ~tenants ~seed ()
       in
       let summary = Serve.Stats.summarize report.Tenancy.Dispatcher.tn_stats in
       Fmt.pr "%a@.@." Serve.Stats.pp_summary summary;
@@ -360,6 +396,7 @@ let serve_cmd =
         if Faults.enabled p then Fmt.pr "fault plan (replica %d): %a@." i Faults.pp_plan p)
       fault_plans;
     if List.exists Faults.enabled fault_plans then Fmt.pr "@.";
+    pp_resilience ();
     let tracer = tracer_of trace_path in
     let summary =
       if replicas = 1 && hedge = None && requeue_budget = None then begin
@@ -367,7 +404,7 @@ let serve_cmd =
         let faults = match fault_plans with [] -> Faults.none | p :: _ -> p in
         let report =
           serve_model ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~faults
-            ?tracer ~process ~requests ~seed model
+            ~resilience ?tracer ~process ~requests ~seed model
         in
         Fmt.pr "%a@.@." Serve.Stats.pp_summary report.sv_summary;
         Fmt.pr "cumulative device activity:@.%a@." Profiler.pp report.sv_profiler;
@@ -381,8 +418,8 @@ let serve_cmd =
       else begin
         let report =
           serve_cluster ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~fault_plans
-            ~dispatch ?hedge_percentile:hedge ?requeue_budget ?tracer ~replicas ~process
-            ~requests ~seed model
+            ~dispatch ?hedge_percentile:hedge ?requeue_budget ~resilience ?tracer
+            ~replicas ~process ~requests ~seed model
         in
         Fmt.pr "cluster of %d replicas   dispatch %s%a@.@." replicas
           (Serve.Cluster.dispatch_name dispatch)
@@ -509,10 +546,39 @@ let serve_cmd =
       & info [ "tenant" ] ~docv:"SPEC"
           ~doc:
             "Serve a tenant: NAME:MODEL:RATE:SLO:QUOTA with an optional :WEIGHT field \
-             (rate in req/s, SLO in ms with 0 = none, quota = max inflight). Repeatable; \
-             any --tenant switches to the multi-tenant dispatcher, where batches form \
-             only within a model and --model/--rate/--replicas/--dispatch/--hedge do \
-             not apply. Tenant i's traffic seed derives from --seed + 101*i.")
+             (rate in req/s, SLO in ms with 0 = none, quota = max inflight per replica). \
+             Repeatable; any --tenant switches to the multi-tenant dispatcher, where \
+             batches form only within a model and --model/--rate/--replicas/--dispatch \
+             do not apply (--hedge re-issues straggling requests within the tenant's \
+             queue). Tenant i's traffic seed derives from --seed + 101*i.")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "retry-budget" ] ~docv:"FRAC"
+          ~doc:
+            "Cap transient-fault retries with a token bucket: each fresh admitted \
+             request deposits FRAC tokens, each re-executed request spends one, and an \
+             empty bucket converts the retry into a counted shed. Bounds retry \
+             amplification at FRAC times the offered load.")
+  in
+  let concurrency_target_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "concurrency-target" ] ~docv:"MS"
+          ~doc:
+            "Adaptive concurrency limit (AIMD): gate admission ahead of the bounded \
+             queue, growing the limit additively while observed queue delay stays under \
+             MS milliseconds and backing off multiplicatively when it exceeds it.")
+  in
+  let brownout_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "brownout" ] ~docv:"HIGH_MS:DWELL_MS[:LOW_MS]"
+          ~doc:
+            "Brownout to the model's degraded variant when queue delay stays above \
+             HIGH_MS for DWELL_MS, restoring full quality after it stays below LOW_MS \
+             (default HIGH_MS/2) for the same dwell — hysteresis prevents flapping.")
   in
   let autoscale_arg =
     Arg.(
@@ -542,8 +608,8 @@ let serve_cmd =
       const run $ model_arg $ size_arg $ rate_arg $ policy_arg $ requests_arg
       $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
       $ iters_arg $ faults_arg $ replicas_arg $ dispatch_arg $ hedge_arg
-      $ requeue_budget_arg $ tenant_arg $ autoscale_arg $ min_goodput_arg $ json_arg
-      $ trace_arg)
+      $ requeue_budget_arg $ retry_budget_arg $ concurrency_target_arg $ brownout_arg
+      $ tenant_arg $ autoscale_arg $ min_goodput_arg $ json_arg $ trace_arg)
 
 (* --- chaos (randomized fault search with invariant checking) --- *)
 

@@ -29,6 +29,7 @@ module Json = Acrobat_obs.Json
 module Tenant = Acrobat_tenancy.Tenant
 module Autoscaler = Acrobat_tenancy.Autoscaler
 module Dispatcher = Acrobat_tenancy.Dispatcher
+module Resilience = Acrobat_resilience.Policy
 
 (* Synthetic request cost: the executor's latency is 100us + 10us per
    batched request, and one request occupies 100 "elements" against a
@@ -95,6 +96,7 @@ let cluster_config (sc : Scenario.t) : Cluster.config =
         Server.policy = sc.Scenario.sc_policy;
         queue_capacity = sc.Scenario.sc_queue_cap;
         deadline_us = Option.map (fun ms -> ms *. 1000.0) sc.Scenario.sc_deadline_ms;
+        resilience = sc.Scenario.sc_resilience;
       };
     c_replicas = sc.Scenario.sc_replicas;
     c_dispatch = sc.Scenario.sc_dispatch;
@@ -114,6 +116,10 @@ let tenancy_config (sc : Scenario.t) (tc : Scenario.tenancy) : Dispatcher.config
       Autoscaler.default ~min_replicas:tc.Scenario.tc_min
         ~max_replicas:tc.Scenario.tc_max;
     t_swap_cost = Cost_model.default;
+    (* Per-tenant budgets/limiters/breakers and dispatcher-level hedging
+       live in the dispatcher config, not the embedded server one. *)
+    t_resilience = sc.Scenario.sc_resilience;
+    t_hedge_percentile = sc.Scenario.sc_hedge;
   }
 
 (* Synthetic per-model weight footprint for the swap penalty. Any
@@ -126,10 +132,10 @@ let model_bytes (m : string) : int = 10_000 * (1 + (String.length m mod 7))
     [sc_seed] {e exactly} as [Acrobat.serve_cluster] derives it from
     [--seed] (and per-tenant seeds exactly as [--tenant] derives them), so
     the emitted CLI reproducer replays the same traffic. Returns the
-    aggregate summary, the trace, and per-tenant observations (empty on
-    plain cluster runs). *)
+    aggregate summary, the trace, per-tenant observations (empty on plain
+    cluster runs), and the peak replica count (quota scaling). *)
 let run_scenario_full (sc : Scenario.t) :
-    Stats.summary * Trace.t * Invariants.tenant_obs list =
+    Stats.summary * Trace.t * Invariants.tenant_obs list * int =
   let tracer = Trace.create () in
   match sc.Scenario.sc_tenancy with
   | None ->
@@ -143,7 +149,7 @@ let run_scenario_full (sc : Scenario.t) :
         ~payload:(fun i -> i)
         ~executors:(Array.map executor_of_plan sc.Scenario.sc_plans)
     in
-    Stats.summarize report.Cluster.cluster_stats, tracer, []
+    Stats.summarize report.Cluster.cluster_stats, tracer, [], sc.Scenario.sc_replicas
   | Some tc ->
     (* The shrinker halves [sc_requests] without rebuilding tenant records,
        so the per-tenant stream length is always taken from the scenario. *)
@@ -173,13 +179,16 @@ let run_scenario_full (sc : Scenario.t) :
             tb_completed = s.Stats.s_completed;
             tb_quota = tv.Dispatcher.tv_tenant.Tenant.tn_quota;
             tb_peak_inflight = tv.Dispatcher.tv_peak_inflight;
+            tb_resilience_shed =
+              s.Stats.s_limit_shed + s.Stats.s_retry_shed + s.Stats.s_breaker_shed;
           })
         report.Dispatcher.tn_tenants
     in
-    Stats.summarize report.Dispatcher.tn_stats, tracer, obs
+    Stats.summarize report.Dispatcher.tn_stats, tracer, obs,
+    report.Dispatcher.tn_peak_replicas
 
 let run_scenario (sc : Scenario.t) : Stats.summary * Trace.t =
-  let summary, tracer, _ = run_scenario_full sc in
+  let summary, tracer, _, _ = run_scenario_full sc in
   summary, tracer
 
 (* The goodput floor a scenario provably must meet: a clean fleet with no
@@ -197,6 +206,10 @@ let derived_floor (sc : Scenario.t) : float =
     (* Quota shedding and SLO expiry are legitimate on tenant mixes; the
        starvation and quota invariants carry the liveness burden instead. *)
     0.0
+  else if Resilience.active sc.Scenario.sc_resilience then
+    (* The limiter and retry budget shed legitimately under pressure; the
+       retry_amplification and brownout_dwell invariants bound them. *)
+    0.0
   else if
     clean && sc.Scenario.sc_deadline_ms = None && sc.Scenario.sc_queue_cap >= need
   then 1.0
@@ -210,6 +223,7 @@ let tenant_obs_json (tb : Invariants.tenant_obs) : Json.t =
       "completed", Json.Int tb.Invariants.tb_completed;
       "quota", Json.Int tb.Invariants.tb_quota;
       "peak_inflight", Json.Int tb.Invariants.tb_peak_inflight;
+      "resilience_shed", Json.Int tb.Invariants.tb_resilience_shed;
     ]
 
 (* Canonical byte form of a run's observable output, for replay comparison.
@@ -234,7 +248,7 @@ let observable_string (summary : Stats.summary) (tracer : Trace.t)
 let check_scenario ?goodput_floor ?(check_replay = true) (sc : Scenario.t) :
     Invariants.violation list * Json.t =
   match run_scenario_full sc with
-  | summary, tracer, tenants ->
+  | summary, tracer, tenants, peak_replicas ->
     let floor =
       Float.max (derived_floor sc) (Option.value ~default:0.0 goodput_floor)
     in
@@ -247,12 +261,16 @@ let check_scenario ?goodput_floor ?(check_replay = true) (sc : Scenario.t) :
           in_summary = summary;
           in_events = Trace.events tracer;
           in_tenants = tenants;
+          in_retry_budget_frac =
+            sc.Scenario.sc_resilience.Resilience.rs_retry_budget;
+          in_brownout = sc.Scenario.sc_resilience.Resilience.rs_brownout;
+          in_peak_replicas = peak_replicas;
         }
     in
     let violations =
       if not check_replay then violations
       else begin
-        let summary2, tracer2, tenants2 = run_scenario_full sc in
+        let summary2, tracer2, tenants2, _ = run_scenario_full sc in
         let a = observable_string summary tracer tenants
         and b = observable_string summary2 tracer2 tenants2 in
         if String.equal a b then violations

@@ -21,7 +21,14 @@
       (1.0 for a clean unbounded scenario, campaign-supplied otherwise);
     - {b tenant_starvation} / {b quota_respected}: on multi-tenant runs,
       every tenant with offered load completes something, and no tenant's
-      observed peak inflight ever exceeded its admission quota.
+      observed peak inflight ever exceeded its admission quota scaled by the
+      peak replica count;
+    - {b retry_amplification}: with a retry budget of fraction [f] armed,
+      re-executed requests never exceed [f] times the offered load — the
+      bound that makes retry storms impossible by construction;
+    - {b brownout_dwell}: brownout transitions on every replica alternate
+      degrade/restore and consecutive transitions are at least the dwell
+      window apart, and trace transition counts match the summary counters.
 
     Replay determinism (same seed, byte-identical summary + trace) needs a
     second run, so it lives in {!Campaign.check_scenario} and reports here
@@ -29,6 +36,7 @@
 
 module Stats = Acrobat_serve.Stats
 module Trace = Acrobat_obs.Trace
+module Brownout = Acrobat_resilience.Brownout
 
 type violation = {
   vi_name : string;  (** Which invariant broke. *)
@@ -44,8 +52,8 @@ let v name fmt = Fmt.kstr (fun vi_detail -> { vi_name = name; vi_detail }) fmt
     own layer but stays in the set so the suite keeps working as an oracle
     over every serving stack's traces. *)
 let terminal_names =
-  [ "done"; "expired"; "shed"; "shed_breaker"; "shed_quota"; "poisoned";
-    "budget_exhausted" ]
+  [ "done"; "expired"; "shed"; "shed_breaker"; "shed_limit"; "shed_quota";
+    "poisoned"; "budget_exhausted"; "retry_budget" ]
 
 (** What the multi-tenant dispatcher observed for one tenant; empty list on
     single-tenant runs. *)
@@ -53,8 +61,11 @@ type tenant_obs = {
   tb_name : string;
   tb_offered : int;  (** Arrivals, including quota-shed ones. *)
   tb_completed : int;
-  tb_quota : int;  (** Configured inflight quota. *)
+  tb_quota : int;  (** Configured per-replica inflight quota. *)
   tb_peak_inflight : int;  (** Largest admitted-but-not-terminal count seen. *)
+  tb_resilience_shed : int;
+      (** Requests the overload controls dropped (limiter + retry budget +
+          breaker): lawful losses the starvation oracle must not count. *)
 }
 
 (** Everything one invariant check needs to know about a finished run. *)
@@ -65,6 +76,9 @@ type input = {
   in_summary : Stats.summary;
   in_events : Trace.event list;  (** Canonical order ({!Trace.events}). *)
   in_tenants : tenant_obs list;  (** Per-tenant observations; [] if single-tenant. *)
+  in_retry_budget_frac : float option;  (** Armed retry-budget fraction. *)
+  in_brownout : Brownout.spec option;  (** Armed brownout spec. *)
+  in_peak_replicas : int;  (** Peak fleet size; scales per-replica quotas. *)
 }
 
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -137,17 +151,81 @@ let check (i : input) : violation list =
     add
       (v "goodput_floor" "goodput %.4f below floor %.4f" (Stats.goodput s)
          i.in_goodput_floor);
+  let quota_scale = max 1 i.in_peak_replicas in
   List.iter
     (fun tb ->
-      if tb.tb_offered > 0 && tb.tb_completed = 0 then
+      if tb.tb_offered > 0 && tb.tb_completed = 0 && tb.tb_resilience_shed = 0 then
         add
           (v "tenant_starvation" "tenant %s offered %d requests but completed none"
              tb.tb_name tb.tb_offered);
-      if tb.tb_peak_inflight > tb.tb_quota then
+      if tb.tb_peak_inflight > tb.tb_quota * quota_scale then
         add
-          (v "quota_respected" "tenant %s peaked at %d inflight (quota %d)" tb.tb_name
-             tb.tb_peak_inflight tb.tb_quota))
+          (v "quota_respected" "tenant %s peaked at %d inflight (quota %d x %d replicas)"
+             tb.tb_name tb.tb_peak_inflight tb.tb_quota quota_scale))
     i.in_tenants;
+  (* Retry amplification: each fresh admitted request deposits [frac]
+     tokens and every re-execution spends one, so re-executed requests can
+     never exceed frac * offered. A violation means the budget leaked. *)
+  Option.iter
+    (fun frac ->
+      let bound = (frac *. float_of_int s.Stats.s_offered) +. 1e-9 in
+      if float_of_int s.Stats.s_retried_requests > bound then
+        add
+          (v "retry_amplification" "%d requests re-executed, budget allows %.1f (%.2f x %d offered)"
+             s.Stats.s_retried_requests bound frac s.Stats.s_offered))
+    i.in_retry_budget_frac;
+  (* Brownout dwell + hysteresis, read off the trace: per replica (pid),
+     transitions must alternate starting with a degrade, consecutive
+     transitions must be >= the dwell window apart, and the per-run counters
+     must agree with the transition counts. *)
+  Option.iter
+    (fun (bo : Brownout.spec) ->
+      let by_pid = Hashtbl.create 8 in
+      List.iter
+        (fun (ev : Trace.event) ->
+          if
+            ev.Trace.ev_ph = 'i'
+            && (ev.Trace.ev_name = "brownout_degrade"
+               || ev.Trace.ev_name = "brownout_restore")
+          then
+            Hashtbl.replace by_pid ev.Trace.ev_pid
+              ((ev.Trace.ev_name, ev.Trace.ev_ts_us)
+              :: Option.value ~default:[] (Hashtbl.find_opt by_pid ev.Trace.ev_pid)))
+        i.in_events;
+      let degrades = ref 0 and restores = ref 0 in
+      List.iter
+        (fun pid ->
+          (* Events were consed in canonical order, so reverse to timeline. *)
+          let timeline = List.rev (Hashtbl.find by_pid pid) in
+          let expect = ref "brownout_degrade" in
+          let last_ts = ref neg_infinity in
+          List.iter
+            (fun (name, ts) ->
+              if name = "brownout_degrade" then incr degrades else incr restores;
+              if name <> !expect then
+                add
+                  (v "brownout_dwell" "pid %d: %s out of order at %.0fus" pid name ts)
+              else
+                expect :=
+                  if name = "brownout_degrade" then "brownout_restore"
+                  else "brownout_degrade";
+              if ts -. !last_ts < bo.Brownout.bo_dwell_us -. 1e-6 then
+                add
+                  (v "brownout_dwell"
+                     "pid %d: %s at %.0fus only %.0fus after previous transition (dwell %.0fus)"
+                     pid name ts (ts -. !last_ts) bo.Brownout.bo_dwell_us);
+              last_ts := ts)
+            timeline)
+        (sorted_keys by_pid);
+      if !degrades <> s.Stats.s_brownouts then
+        add
+          (v "brownout_dwell" "%d degrade trace events but %d brownouts recorded"
+             !degrades s.Stats.s_brownouts);
+      if !restores <> s.Stats.s_brownout_restores then
+        add
+          (v "brownout_dwell" "%d restore trace events but %d restores recorded"
+             !restores s.Stats.s_brownout_restores))
+    i.in_brownout;
   List.rev !out
 
 (** Distinct invariant names violated, sorted — the compact label used in

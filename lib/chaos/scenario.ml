@@ -21,6 +21,8 @@ module Batcher = Acrobat_serve.Batcher
 module Cluster = Acrobat_serve.Cluster
 module Traffic = Acrobat_serve.Traffic
 module Tenant = Acrobat_tenancy.Tenant
+module Resilience = Acrobat_resilience.Policy
+module Brownout = Acrobat_resilience.Brownout
 
 (** The tenant-mix dimension: when present, the scenario runs through the
     multi-tenant dispatcher instead of the cluster — several tenants, each
@@ -49,6 +51,8 @@ type t = {
   sc_requeue_budget : int;
   sc_plans : Faults.plan array;  (** One per replica, [Faults.none] = clean. *)
   sc_tenancy : tenancy option;  (** Tenant mix; [None] = plain cluster run. *)
+  sc_resilience : Resilience.config;
+      (** Overload-control dimension; [Resilience.off] = PR-6 behavior. *)
 }
 
 (** The arrival process this scenario drives — the exact shape
@@ -210,6 +214,36 @@ let generate ~(campaign_seed : int) ~(fault_prob : float) (index : int) : t =
       Some { tc_tenants; tc_min; tc_max }, plans
     end
   in
+  (* Overload-resilience dimension, drawn last so every pre-existing field
+     of scenario [(S, i)] keeps the exact value it had before this
+     dimension existed. ~35% of scenarios arm at least one mechanism. *)
+  let sc_resilience =
+    if not (Rng.bernoulli rng 0.35) then Resilience.off
+    else begin
+      let rs_retry_budget =
+        if Rng.bernoulli rng 0.6 then Some (choose rng [ 0.1; 0.2; 0.5 ]) else None
+      in
+      let rs_target_delay_us =
+        if Rng.bernoulli rng 0.5 then
+          Some (choose rng [ 1_000.0; 5_000.0; 20_000.0 ])
+        else None
+      in
+      let rs_brownout =
+        if Rng.bernoulli rng 0.4 then begin
+          let high_us = choose rng [ 2_000.0; 10_000.0 ] in
+          let dwell_us = choose rng [ 1_000.0; 5_000.0 ] in
+          Some
+            {
+              Brownout.bo_high_us = high_us;
+              bo_dwell_us = dwell_us;
+              bo_low_us = high_us /. 2.0;
+            }
+        end
+        else None
+      in
+      { Resilience.rs_retry_budget; rs_target_delay_us; rs_brownout }
+    end
+  in
   {
     sc_index = index;
     sc_seed;
@@ -225,6 +259,7 @@ let generate ~(campaign_seed : int) ~(fault_prob : float) (index : int) : t =
     sc_requeue_budget;
     sc_plans;
     sc_tenancy;
+    sc_resilience;
   }
 
 (** Total requests the scenario's arrival streams generate: one stream per
@@ -266,6 +301,16 @@ let to_cli (sc : t) : string =
     | Batcher.Adaptive { max_batch; max_wait_us } ->
       add " --policy adaptive --max-batch %d --max-wait-us %g" max_batch max_wait_us
   in
+  let add_resilience () =
+    let rs = sc.sc_resilience in
+    Option.iter (fun f -> add " --retry-budget %g" f) rs.Resilience.rs_retry_budget;
+    Option.iter
+      (fun t -> add " --concurrency-target %g" (t /. 1000.0))
+      rs.Resilience.rs_target_delay_us;
+    Option.iter
+      (fun b -> add " --brownout %s" (Resilience.brownout_to_string b))
+      rs.Resilience.rs_brownout
+  in
   (* --faults is positional (plan i -> replica i), so emit every plan up to
      the last enabled one; disabled placeholders parse back to no faults. *)
   let add_faults () =
@@ -287,6 +332,7 @@ let to_cli (sc : t) : string =
       (Cluster.dispatch_name sc.sc_dispatch);
     Option.iter (fun p -> add " --hedge %g" p) sc.sc_hedge;
     add " --requeue-budget %d" sc.sc_requeue_budget;
+    add_resilience ();
     add_faults ()
   | Some tc ->
     (* Tenant mode: model, rate, SLO and quota live in the tenant specs;
@@ -300,6 +346,8 @@ let to_cli (sc : t) : string =
     add " --seed %d" sc.sc_seed;
     Array.iter (fun t -> add " --tenant %s" (Tenant.to_spec t)) tc.tc_tenants;
     add " --autoscale %d:%d" tc.tc_min tc.tc_max;
+    Option.iter (fun p -> add " --hedge %g" p) sc.sc_hedge;
+    add_resilience ();
     add_faults ());
   Buffer.contents b
 
@@ -315,5 +363,6 @@ let to_json (sc : t) : Acrobat_obs.Json.t =
       "tenants",
       J.Int (match sc.sc_tenancy with None -> 0 | Some tc -> Array.length tc.tc_tenants);
       "clauses", J.Int (fault_clause_count sc);
+      "resilience", J.Bool (Resilience.active sc.sc_resilience);
       "repro", J.Str (to_cli sc);
     ]

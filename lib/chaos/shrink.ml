@@ -11,6 +11,7 @@
     correctness — the result is always a scenario that {e does} violate. *)
 
 module Faults = Acrobat_device.Faults
+module Resilience = Acrobat_resilience.Policy
 
 (* Plan-level simplifications, most aggressive first. Each candidate must
    strictly shrink some measure (clause count, then rate magnitude) so the
@@ -44,9 +45,9 @@ let candidates (sc : Scenario.t) : Scenario.t list =
   (match sc.Scenario.sc_tenancy with
   | Some tc ->
     (* Tenant-mix edits replace the cluster-topology ones: the dispatcher
-       ignores replicas/hedge/deadline, so probing those would waste
-       budget. Dropping the last tenant and collapsing the autoscaler span
-       both strictly shrink the scenario. *)
+       ignores replicas/deadline, so probing those would waste budget.
+       Dropping the last tenant and collapsing the autoscaler span both
+       strictly shrink the scenario. *)
     let nt = Array.length tc.Scenario.tc_tenants in
     if nt > 1 then
       add
@@ -62,7 +63,9 @@ let candidates (sc : Scenario.t) : Scenario.t list =
           Scenario.sc_tenancy = Some { tc with Scenario.tc_max = tc.Scenario.tc_min };
           sc_plans = Array.sub sc.Scenario.sc_plans 0 tc.Scenario.tc_min;
         }
-    end
+    end;
+    (* Dispatcher-level hedging applies on tenant mixes too. *)
+    if sc.Scenario.sc_hedge <> None then add { sc with Scenario.sc_hedge = None }
   | None ->
     if sc.Scenario.sc_replicas > 1 then
       add
@@ -76,6 +79,23 @@ let candidates (sc : Scenario.t) : Scenario.t list =
     if sc.Scenario.sc_hedge <> None then add { sc with Scenario.sc_hedge = None };
     if sc.Scenario.sc_deadline_ms <> None then
       add { sc with Scenario.sc_deadline_ms = None });
+  (* Overload-control mechanisms shrink toward off: whole-config first,
+     then one mechanism at a time, so a violation implicating a single
+     mechanism minimizes to exactly that flag. *)
+  let rs = sc.Scenario.sc_resilience in
+  if Resilience.active rs then add { sc with Scenario.sc_resilience = Resilience.off };
+  if rs.Resilience.rs_retry_budget <> None then
+    add
+      { sc with Scenario.sc_resilience = { rs with Resilience.rs_retry_budget = None } };
+  if rs.Resilience.rs_target_delay_us <> None then
+    add
+      {
+        sc with
+        Scenario.sc_resilience = { rs with Resilience.rs_target_delay_us = None };
+      };
+  if rs.Resilience.rs_brownout <> None then
+    add
+      { sc with Scenario.sc_resilience = { rs with Resilience.rs_brownout = None } };
   if sc.Scenario.sc_requests > 10 then
     add { sc with Scenario.sc_requests = sc.Scenario.sc_requests / 2 };
   if sc.Scenario.sc_queue_cap < 256 then add { sc with Scenario.sc_queue_cap = 256 };

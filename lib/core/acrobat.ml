@@ -45,6 +45,7 @@ module Trace = Acrobat_obs.Trace
 module Metrics = Acrobat_obs.Metrics
 module Chaos = Acrobat_chaos
 module Tenancy = Acrobat_tenancy
+module Resilience = Acrobat_resilience.Policy
 
 type compiled = {
   lprog : Lowered.t;
@@ -240,7 +241,8 @@ let fault_executor ?(seed = 2024) ?tracer ~(injector : Faults.t) ~(primary : com
     server. *)
 let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
-    ?deadline_ms ?arrivals ?(faults = Faults.none) ?tolerance ?tracer ?metrics
+    ?deadline_ms ?arrivals ?(faults = Faults.none) ?tolerance
+    ?(resilience = Resilience.off) ?tracer ?metrics
     ~(process : Serve.Traffic.process) ~(requests : int) ~(seed : int) (model : Model.t) :
     serve_report =
   let c, weights = compile_model ~framework ?iters ?tracer model ~batch:8 ~seed in
@@ -269,17 +271,29 @@ let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
       deadline_us = Option.map (fun ms -> ms *. 1000.0) deadline_ms;
       cost = Cost_model.default;
       tolerance;
+      resilience;
     }
   in
+  (* The brownout controller needs the degraded variant even on a
+     fault-free run: proactive load shedding swaps models under pressure,
+     not under faults. *)
+  let brownout_mode = Option.is_some resilience.Resilience.rs_brownout in
   let execute =
-    if fault_mode then begin
+    if fault_mode || brownout_mode then begin
       let degraded_c =
         Option.map
           (fun dm -> fst (compile_model ~framework ?iters dm ~batch:8 ~seed))
           model.Model.degraded
       in
-      let injector = Faults.create faults in
-      fault_executor ~seed ?tracer ~injector ~primary:c ?degraded_c ~weights ()
+      if fault_mode then begin
+        let injector = Faults.create faults in
+        fault_executor ~seed ?tracer ~injector ~primary:c ?degraded_c ~weights ()
+      end
+      else
+        fun ~degraded batch ->
+          let c = if degraded then Option.value ~default:c degraded_c else c in
+          Serve.Server.Exec_ok
+            (batch_executor ~seed ?tracer c ~weights (List.map snd batch))
     end
     else
       Serve.Server.infallible (fun batch ->
@@ -310,7 +324,8 @@ let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
 let serve_tenants ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
     ?(fault_plans = []) ?tolerance ?(min_replicas = 1) ?(max_replicas = 1)
-    ?(swap_cost = Cost_model.default) ?tracer ?metrics ~(models : string -> Model.t)
+    ?(swap_cost = Cost_model.default) ?(resilience = Resilience.off) ?hedge_percentile
+    ?tracer ?metrics ~(models : string -> Model.t)
     ~(tenants : Tenancy.Tenant.t array) ~(seed : int) () : Tenancy.Dispatcher.report =
   let distinct =
     List.sort_uniq compare
@@ -347,9 +362,12 @@ let serve_tenants ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
           deadline_us = None (* per-request deadlines come from tenant SLOs *);
           cost = Cost_model.default;
           tolerance;
+          resilience;
         };
       t_autoscale = Tenancy.Autoscaler.default ~min_replicas ~max_replicas;
       t_swap_cost = swap_cost;
+      t_resilience = resilience;
+      t_hedge_percentile = hedge_percentile;
     }
   in
   let plan_for i = try List.nth fault_plans i with _ -> Faults.none in
@@ -430,7 +448,8 @@ let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?deadline_ms ?arrivals ?(fault_plans = []) ?tolerance
     ?(dispatch = Serve.Cluster.Join_shortest_queue) ?hedge_percentile
     ?(requeue_budget = Serve.Cluster.default_config.Serve.Cluster.c_requeue_budget)
-    ?tracer ?metrics ?(replicas = 1) ~(process : Serve.Traffic.process) ~(requests : int)
+    ?(resilience = Resilience.off) ?tracer ?metrics ?(replicas = 1)
+    ~(process : Serve.Traffic.process) ~(requests : int)
     ~(seed : int) (model : Model.t) : cluster_report =
   let c, weights = compile_model ~framework ?iters ?tracer model ~batch:8 ~seed in
   let payload_rng = Rng.create ((seed * 31) + 5) in
@@ -459,10 +478,12 @@ let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
       deadline_us = Option.map (fun ms -> ms *. 1000.0) deadline_ms;
       cost = Cost_model.default;
       tolerance;
+      resilience;
     }
   in
+  let brownout_mode = Option.is_some resilience.Resilience.rs_brownout in
   let degraded_c =
-    if fault_mode then
+    if fault_mode || brownout_mode then
       Option.map
         (fun dm -> fst (compile_model ~framework ?iters dm ~batch:8 ~seed))
         model.Model.degraded
@@ -476,6 +497,11 @@ let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
         if Faults.enabled plan then
           let injector = Faults.create plan in
           fault_executor ~seed ?tracer ~injector ~primary:c ?degraded_c ~weights ()
+        else if brownout_mode then
+          fun ~degraded batch ->
+            let c = if degraded then Option.value ~default:c degraded_c else c in
+            Serve.Server.Exec_ok
+              (batch_executor ~seed ?tracer c ~weights (List.map snd batch))
         else
           Serve.Server.infallible (fun batch ->
               batch_executor ~seed ?tracer c ~weights (List.map snd batch)))

@@ -1,0 +1,71 @@
+(** Brownout controller: proactive load-based degradation.
+
+    Watches the same queue-delay signal as the limiter. When delay stays
+    above [bo_high_us] for a full [bo_dwell_us] window the controller
+    engages brownout — the server swaps to the model's cheaper degraded
+    variant ({!Acrobat_models.Model.degraded}-style early exit) to buy
+    capacity. It restores only after delay has stayed below [bo_low_us]
+    (the hysteresis floor, strictly under the engage threshold) for
+    another dwell window, so the controller cannot flap on a single
+    quiet batch.
+
+    Consequence the chaos invariants lean on: transitions strictly
+    alternate engage/restore and consecutive transitions are at least
+    [bo_dwell_us] apart. *)
+
+type spec = {
+  bo_high_us : float;  (** Engage when delay stays above this... *)
+  bo_dwell_us : float;  (** ...for this long. *)
+  bo_low_us : float;  (** Restore when delay stays below this for a dwell. *)
+}
+
+type t = {
+  spec : spec;
+  mutable engaged : bool;
+  mutable crossed_since : float option;
+      (** Virtual time the delay signal crossed the active threshold. *)
+}
+
+let create spec = { spec; engaged = false; crossed_since = None }
+let engaged t = t.engaged
+let spec t = t.spec
+
+type transition = Stay | Engage | Restore
+
+(** Feed one queue-delay observation at virtual time [now_us]. *)
+let observe t ~now_us ~delay_us =
+  if not t.engaged then
+    if delay_us > t.spec.bo_high_us then begin
+      match t.crossed_since with
+      | None ->
+        t.crossed_since <- Some now_us;
+        Stay
+      | Some since ->
+        if now_us -. since >= t.spec.bo_dwell_us then begin
+          t.engaged <- true;
+          t.crossed_since <- None;
+          Engage
+        end
+        else Stay
+    end
+    else begin
+      t.crossed_since <- None;
+      Stay
+    end
+  else if delay_us < t.spec.bo_low_us then begin
+    match t.crossed_since with
+    | None ->
+      t.crossed_since <- Some now_us;
+      Stay
+    | Some since ->
+      if now_us -. since >= t.spec.bo_dwell_us then begin
+        t.engaged <- false;
+        t.crossed_since <- None;
+        Restore
+      end
+      else Stay
+  end
+  else begin
+    t.crossed_since <- None;
+    Stay
+  end

@@ -1,0 +1,36 @@
+(** Token-bucket retry budget: retry traffic is capped at a fraction of
+    fresh traffic.
+
+    Every freshly admitted request deposits [frac] tokens; retrying a batch
+    of [n] requests spends [n] tokens. When the bucket cannot cover a
+    retry, the caller must convert the retry into a counted shed instead
+    of re-offering load to a device that is already saturated — unbudgeted
+    retries are how overload goes metastable (DESIGN.md §13).
+
+    Deterministic: the bucket is plain arithmetic, no randomness, no wall
+    clock. The bound it enforces is global and checkable:
+    retried requests <= frac * admitted requests (the bucket starts
+    empty, so spends can never outrun deposits). *)
+
+type t = {
+  frac : float;  (** Tokens deposited per fresh admission. *)
+  mutable tokens : float;
+}
+
+let create ~frac = { frac; tokens = 0.0 }
+let frac t = t.frac
+let tokens t = t.tokens
+
+(** A fresh request was admitted: the budget grows by [frac]. *)
+let deposit t = t.tokens <- t.tokens +. t.frac
+
+(** Try to pay for retrying a batch of [n] requests. On success the
+    tokens are consumed and the retry may proceed; on failure the bucket
+    is left untouched and the caller must shed. *)
+let try_spend t n =
+  let cost = float_of_int n in
+  if t.tokens >= cost then begin
+    t.tokens <- t.tokens -. cost;
+    true
+  end
+  else false

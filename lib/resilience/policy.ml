@@ -1,0 +1,45 @@
+(** The overload-resilience policy: which of the three admission-side
+    mechanisms are armed, and with what knobs. All three default to off —
+    {!off} makes every resilience code path a no-op, keeping runs without
+    the new flags byte-identical to releases that predate the layer.
+
+    The fourth mechanism, EDF queue ordering, is unconditional (it is
+    order-equivalent to FIFO whenever every request in a queue shares one
+    relative deadline, which is exactly the legacy configuration); only
+    its eager expiry sweep is armed by {!active}. *)
+
+type config = {
+  rs_retry_budget : float option;
+      (** Token-bucket fraction: retries per fresh admission. *)
+  rs_target_delay_us : float option;  (** AIMD queue-delay setpoint. *)
+  rs_brownout : Brownout.spec option;
+}
+
+let off = { rs_retry_budget = None; rs_target_delay_us = None; rs_brownout = None }
+
+let active c =
+  c.rs_retry_budget <> None || c.rs_target_delay_us <> None || c.rs_brownout <> None
+
+(** Parse a [--brownout HIGH_MS:DWELL_MS[:LOW_MS]] spec (milliseconds;
+    LOW defaults to HIGH/2). *)
+let brownout_of_string s : Brownout.spec =
+  let fail () =
+    Fmt.invalid_arg "--brownout %S: want HIGH_MS:DWELL_MS[:LOW_MS]" s
+  in
+  let f x = match float_of_string_opt x with Some v when v > 0.0 -> v | _ -> fail () in
+  match String.split_on_char ':' s with
+  | [ high; dwell ] ->
+    let high = f high in
+    { Brownout.bo_high_us = high *. 1000.0;
+      bo_dwell_us = f dwell *. 1000.0;
+      bo_low_us = high *. 500.0 }
+  | [ high; dwell; low ] ->
+    { Brownout.bo_high_us = f high *. 1000.0;
+      bo_dwell_us = f dwell *. 1000.0;
+      bo_low_us = f low *. 1000.0 }
+  | _ -> fail ()
+
+(** Render a brownout spec back to the CLI syntax (milliseconds). *)
+let brownout_to_string (b : Brownout.spec) =
+  Fmt.str "%g:%g:%g" (b.Brownout.bo_high_us /. 1000.0) (b.Brownout.bo_dwell_us /. 1000.0)
+    (b.Brownout.bo_low_us /. 1000.0)

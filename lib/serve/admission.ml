@@ -6,7 +6,21 @@
     request's latency into the queue's age. We bound the queue and shed at
     the door instead (callers count the shed), and expire requests whose
     deadline has already passed when they are popped for execution — running
-    them would waste device time on an answer nobody is waiting for. *)
+    them would waste device time on an answer nobody is waiting for.
+
+    Queued requests are ordered earliest-deadline-first (EDF) with
+    insertion order breaking ties, so near-deadline work is never starved
+    behind requests that have more slack. Deadline-less requests sort
+    last. When every queued request carries the same {e relative} deadline
+    — one shared [--deadline-ms], one tenant's SLO, or no deadline at all,
+    i.e. every configuration that predates per-queue deadline mixing —
+    absolute deadlines are monotone in arrival order and EDF is
+    order-identical to the old FIFO, pops and sweeps included.
+
+    [eager_sweep] additionally purges expired requests on {e every} offer
+    (the resilience layer arms it): under overload, dead requests stop
+    holding queue slots that would otherwise shed live arrivals. Off by
+    default — the legacy queue sweeps only when full. *)
 
 type 'a request = {
   rq_id : int;
@@ -15,59 +29,84 @@ type 'a request = {
   rq_deadline_us : float option;  (** Absolute; [None] = best effort. *)
 }
 
+(* Queue entries carry the insertion sequence number for the stable EDF
+   tie-break. *)
+type 'a entry = { e_seq : int; e_req : 'a request }
+
 type 'a t = {
   capacity : int;
-  q : 'a request Queue.t;
+  eager_sweep : bool;
+  mutable q : 'a entry list;  (** Sorted by (deadline, insertion seq). *)
+  mutable next_seq : int;
   mutable shed : int;  (** Rejected at admission: queue full. *)
-  mutable expired : int;  (** Dropped at dequeue: deadline passed. *)
+  mutable expired : int;  (** Dropped at dequeue (or swept): deadline passed. *)
 }
 
-let create ~capacity =
+let create ?(eager_sweep = false) ~capacity () =
   if capacity <= 0 then Fmt.invalid_arg "Admission.create: capacity must be positive";
-  { capacity; q = Queue.create (); shed = 0; expired = 0 }
+  { capacity; eager_sweep; q = []; next_seq = 0; shed = 0; expired = 0 }
 
-let length t = Queue.length t.q
-let is_empty t = Queue.is_empty t.q
+let length t = List.length t.q
+let is_empty t = t.q = []
 let shed_count t = t.shed
 let expired_count t = t.expired
 
-(** Oldest queued request's arrival time, if any. *)
-let oldest_arrival_us t = Option.map (fun r -> r.rq_arrival_us) (Queue.peek_opt t.q)
+let deadline_key (r : 'a request) =
+  match r.rq_deadline_us with Some d -> d | None -> infinity
+
+(* (deadline, seq) strict ordering: [a] pops before [b]. *)
+let before a b =
+  let da = deadline_key a.e_req and db = deadline_key b.e_req in
+  if da < db then true else if da > db then false else a.e_seq < b.e_seq
+
+let insert t (r : 'a request) =
+  let e = { e_seq = t.next_seq; e_req = r } in
+  t.next_seq <- t.next_seq + 1;
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest -> if before e x then e :: x :: rest else x :: go rest
+  in
+  t.q <- go t.q
+
+(** Earliest queued arrival time, if any — the batcher's timeout anchor.
+    Scans: under EDF the head is the most urgent request, not necessarily
+    the oldest. *)
+let oldest_arrival_us t =
+  match t.q with
+  | [] -> None
+  | e :: rest ->
+    Some
+      (List.fold_left
+         (fun acc x -> Float.min acc x.e_req.rq_arrival_us)
+         e.e_req.rq_arrival_us rest)
 
 let expired_at ~now_us (r : 'a request) =
   match r.rq_deadline_us with Some d -> now_us > d | None -> false
 
 (* Drop (and count) every already-expired request in place, returning the
-   dropped requests. Only called when the queue is full: sweeping on each
-   offer would be O(n) per arrival for no benefit, but a full queue of dead
-   requests must not shed live ones. *)
+   dropped requests. Called when the queue is full — a full queue of dead
+   requests must not shed live ones — and on every offer under
+   [eager_sweep]. *)
 let sweep_expired t ~now_us : 'a request list =
-  let live = Queue.create () in
-  let dropped = ref [] in
-  Queue.iter
-    (fun r ->
-      if expired_at ~now_us r then begin
-        t.expired <- t.expired + 1;
-        dropped := r :: !dropped
-      end
-      else Queue.push r live)
-    t.q;
-  Queue.clear t.q;
-  Queue.transfer live t.q;
-  List.rev !dropped
+  let dead, live = List.partition (fun e -> expired_at ~now_us e.e_req) t.q in
+  t.q <- live;
+  t.expired <- t.expired + List.length dead;
+  List.map (fun e -> e.e_req) dead
 
-(** Like {!offer}, but also returns the requests the full-queue sweep
-    expired — the cluster layer needs per-request visibility to keep its
-    request-id accounting exact, where the single server only needs the
-    counters. *)
+(** Like {!offer}, but also returns the requests the sweep expired — the
+    cluster layer needs per-request visibility to keep its request-id
+    accounting exact, where the single server only needs the counters. *)
 let offer_swept t ~now_us (r : 'a request) : bool * 'a request list =
-  let swept = if Queue.length t.q >= t.capacity then sweep_expired t ~now_us else [] in
-  if Queue.length t.q >= t.capacity then begin
+  let swept =
+    if t.eager_sweep || List.length t.q >= t.capacity then sweep_expired t ~now_us
+    else []
+  in
+  if List.length t.q >= t.capacity then begin
     t.shed <- t.shed + 1;
     false, swept
   end
   else begin
-    Queue.push r t.q;
+    insert t r;
     true, swept
   end
 
@@ -79,25 +118,27 @@ let offer t ~now_us (r : 'a request) : bool = fst (offer_swept t ~now_us r)
 
 (** Like {!take}, but also returns the requests dropped as expired. *)
 let take_with_expired t ~now_us ~limit : 'a request list * 'a request list =
-  let rec go k acc dropped =
-    if k = 0 then List.rev acc, List.rev dropped
+  let rec go k q acc dropped =
+    if k = 0 then q, List.rev acc, List.rev dropped
     else
-      match Queue.take_opt t.q with
-      | None -> List.rev acc, List.rev dropped
-      | Some r ->
-        if expired_at ~now_us r then begin
+      match q with
+      | [] -> q, List.rev acc, List.rev dropped
+      | e :: rest ->
+        if expired_at ~now_us e.e_req then begin
           t.expired <- t.expired + 1;
-          go k acc (r :: dropped)
+          go k rest acc (e.e_req :: dropped)
         end
-        else go (k - 1) (r :: acc) dropped
+        else go (k - 1) rest (e.e_req :: acc) dropped
   in
-  go limit [] []
+  let q, live, dropped = go limit t.q [] [] in
+  t.q <- q;
+  live, dropped
 
-(** Pop up to [limit] live requests in FIFO order, silently discarding (and
+(** Pop up to [limit] live requests in EDF order, silently discarding (and
     counting) any whose deadline passed while they waited. *)
 let take t ~now_us ~limit : 'a request list = fst (take_with_expired t ~now_us ~limit)
 
-(** Drain the whole queue: live requests in FIFO order plus the expired
+(** Drain the whole queue: live requests in EDF order plus the expired
     remainder (counted). Used on replica failover. *)
 let drain t ~now_us : 'a request list * 'a request list =
-  take_with_expired t ~now_us ~limit:(Queue.length t.q)
+  take_with_expired t ~now_us ~limit:(List.length t.q)

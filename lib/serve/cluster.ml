@@ -95,6 +95,8 @@ type 'a entry = {
   mutable ent_hedged : bool;
   mutable ent_hedge_replica : int;  (** -1 until hedged. *)
   mutable ent_requeues : int;
+  mutable ent_deposited : bool;
+      (** Retry-budget tokens credited (once per logical request). *)
 }
 
 type 'a t = {
@@ -153,6 +155,12 @@ let copy_lost st (ent : 'a entry) ~terminal =
       | `Budget ->
         st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1;
         "budget_exhausted"
+      | `Limit ->
+        st.stats.Stats.limit_shed <- st.stats.Stats.limit_shed + 1;
+        "shed_limit"
+      | `Retry_budget ->
+        st.stats.Stats.retry_shed <- st.stats.Stats.retry_shed + 1;
+        "retry_budget"
     in
     let id = ent.ent_req.Admission.rq_id in
     Trace.instant st.tracer ~name ~cat:"request" ~pid:0 ~tid:(Server.req_tid id)
@@ -215,7 +223,14 @@ let rec dispatch st (r : 'a Admission.request) =
   | Some (i, is_probe) ->
     if is_probe then st.stats.Stats.probes <- st.stats.Stats.probes + 1;
     ent.ent_home <- i;
-    if not (Replica.enqueue st.replicas.(i) r) then copy_lost st ent ~terminal:`Shed
+    (match Replica.enqueue st.replicas.(i) r with
+    | Replica.Admitted ->
+      if not ent.ent_deposited then begin
+        ent.ent_deposited <- true;
+        Replica.deposit_budget st.replicas.(i)
+      end
+    | Replica.Shed_queue -> copy_lost st ent ~terminal:`Shed
+    | Replica.Shed_limit -> copy_lost st ent ~terminal:`Limit)
 
 (* Drain the parked queue once a dispatch target (re)appeared. Taking a
    snapshot first keeps this loop-free: a re-parked request goes back to
@@ -249,10 +264,12 @@ let maybe_hedge st (ent : 'a entry) =
         ~ts_us:now_us
         ~args:
           [ "id", Json.Int ent.ent_req.Admission.rq_id; "replica", Json.Int i ];
-      if not (Replica.enqueue st.replicas.(i) ent.ent_req) then
-        (* The hedge target shed it; the primary copy is still live, so
-           this never terminates the request. *)
-        copy_lost st ent ~terminal:`Shed
+      (match Replica.enqueue st.replicas.(i) ent.ent_req with
+      | Replica.Admitted -> ()
+      (* The hedge target shed it; the primary copy is still live, so
+         this never terminates the request. *)
+      | Replica.Shed_queue -> copy_lost st ent ~terminal:`Shed
+      | Replica.Shed_limit -> copy_lost st ent ~terminal:`Limit)
   end
 
 (* --- Replica callbacks: every copy-level event funnels through here --- *)
@@ -295,6 +312,14 @@ let on_expired st ~replica:_ (rs : 'a Admission.request list) =
       let ent = entry st r.Admission.rq_id in
       if ent.ent_done then ent.ent_copies <- ent.ent_copies - 1
       else copy_lost st ent ~terminal:`Expired)
+    rs
+
+let on_retry_shed st ~replica:_ (rs : 'a Admission.request list) =
+  List.iter
+    (fun (r : 'a Admission.request) ->
+      let ent = entry st r.Admission.rq_id in
+      if ent.ent_done then ent.ent_copies <- ent.ent_copies - 1
+      else copy_lost st ent ~terminal:`Retry_budget)
     rs
 
 let on_poisoned st ~replica:_ (r : 'a Admission.request) =
@@ -344,6 +369,7 @@ let on_arrival st (r : 'a Admission.request) =
       ent_hedged = false;
       ent_hedge_replica = -1;
       ent_requeues = 0;
+      ent_deposited = false;
     }
   in
   Hashtbl.replace st.entries r.Admission.rq_id ent;
@@ -415,6 +441,7 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
         on_completed st ~replica batch ~size ~start_us ~done_us);
       cb_cancelled = (fun ~replica r -> on_cancelled st ~replica r);
       cb_expired = (fun ~replica rs -> on_expired st ~replica rs);
+      cb_retry_shed = (fun ~replica rs -> on_retry_shed st ~replica rs);
       cb_poisoned = (fun ~replica r -> on_poisoned st ~replica r);
       cb_down = (fun ~replica rs -> on_down st ~replica rs);
       cb_probe_ready = (fun ~replica -> on_probe_ready st ~replica);
@@ -485,6 +512,11 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
              st.stats.Stats.breaker_opens + rs.Stats.breaker_opens;
            st.stats.Stats.degraded_batches <-
              st.stats.Stats.degraded_batches + rs.Stats.degraded_batches;
+           st.stats.Stats.retried_requests <-
+             st.stats.Stats.retried_requests + rs.Stats.retried_requests;
+           st.stats.Stats.brownouts <- st.stats.Stats.brownouts + rs.Stats.brownouts;
+           st.stats.Stats.brownout_restores <-
+             st.stats.Stats.brownout_restores + rs.Stats.brownout_restores;
            { rv_id = Replica.id rep; rv_stats = rs; rv_health = Replica.health rep })
          st.replicas)
   in

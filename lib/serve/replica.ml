@@ -30,6 +30,10 @@
 module Rng = Acrobat_tensor.Rng
 module Trace = Acrobat_obs.Trace
 module Json = Acrobat_obs.Json
+module Resilience = Acrobat_resilience.Policy
+module Budget = Acrobat_resilience.Budget
+module Limiter = Acrobat_resilience.Limiter
+module Brownout = Acrobat_resilience.Brownout
 
 (** Health as the cluster's dispatcher sees it. *)
 type health = Up | Probing | Down
@@ -58,6 +62,9 @@ type 'a callbacks = {
   cb_down : replica:int -> 'a Admission.request list -> unit;
       (** The replica failed over; these queued + in-flight requests drain
           back for re-dispatch. *)
+  cb_retry_shed : replica:int -> 'a Admission.request list -> unit;
+      (** The retry budget ran dry mid-resolution; these requests were shed
+          instead of retried (never fires unless a budget is armed). *)
   cb_probe_ready : replica:int -> unit;
       (** Cooldown passed; the replica accepts a single probe request. *)
   cb_up : replica:int -> unit;  (** A probe succeeded; healthy again. *)
@@ -89,6 +96,11 @@ type 'a t = {
   tracer : Trace.t;
       (** Shared cluster tracer; this replica emits under pid [id + 1]
           (pid 0 is the dispatcher). *)
+  (* Per-replica overload-resilience mechanisms; [None] (no-ops) unless
+     armed via [config.resilience]. *)
+  budget : Budget.t option;
+  limiter : Limiter.t option;
+  brownout : Brownout.t option;
 }
 
 (* Trace pid convention (cluster runs): dispatcher-level events are pid 0,
@@ -101,12 +113,16 @@ let create ?(tracer = Trace.null) ~id ~loop ~(config : Server.config) ~reset_thr
     ~(execute : degraded:bool -> 'a list -> Server.exec_result) ~(cb : 'a callbacks) () :
     'a t =
   let pmax = Server.policy_max_batch config.Server.policy in
+  let rs = config.Server.resilience in
   {
     id;
     loop;
     config;
     reset_threshold;
-    queue = Admission.create ~capacity:config.Server.queue_capacity;
+    queue =
+      Admission.create
+        ~eager_sweep:(Resilience.active rs)
+        ~capacity:config.Server.queue_capacity ();
     batcher = Batcher.create ~cost:config.Server.cost config.Server.policy;
     stats = Stats.create ();
     execute;
@@ -126,6 +142,12 @@ let create ?(tracer = Trace.null) ~id ~loop ~(config : Server.config) ~reset_thr
     outstanding = [];
     epoch = 0;
     tracer;
+    budget = Option.map (fun frac -> Budget.create ~frac) rs.Resilience.rs_retry_budget;
+    limiter =
+      Option.map
+        (fun target_us -> Limiter.create ~target_us ())
+        rs.Resilience.rs_target_delay_us;
+    brownout = Option.map Brownout.create rs.Resilience.rs_brownout;
   }
 
 let id t = t.id
@@ -153,6 +175,38 @@ let expected_latency_us t ~now_us =
     a time: an occupied probing replica already has its verdict pending. *)
 let wants_probe t =
   t.health = Probing && (not t.device_busy) && Admission.is_empty t.queue
+
+(* Feed the queue-delay signal into the limiter's AIMD loop and the
+   brownout controller, exactly as the single server does at each batch
+   launch. A no-op unless the resilience layer armed one of them. *)
+let observe_pressure (t : 'a t) ~now_us =
+  match t.limiter, t.brownout with
+  | None, None -> ()
+  | _ ->
+    let delay_us =
+      match Admission.oldest_arrival_us t.queue with
+      | Some t0 -> now_us -. t0
+      | None -> 0.0
+    in
+    Option.iter (fun lim -> Limiter.observe lim ~delay_us) t.limiter;
+    Option.iter
+      (fun b ->
+        match Brownout.observe b ~now_us ~delay_us with
+        | Brownout.Stay -> ()
+        | Brownout.Engage ->
+          t.stats.Stats.brownouts <- t.stats.Stats.brownouts + 1;
+          Trace.instant t.tracer ~name:"brownout_degrade" ~cat:"resilience"
+            ~pid:(trace_pid t) ~tid:0 ~ts_us:now_us
+            ~args:[ "delay_us", Json.Float delay_us ]
+        | Brownout.Restore ->
+          t.stats.Stats.brownout_restores <- t.stats.Stats.brownout_restores + 1;
+          Trace.instant t.tracer ~name:"brownout_restore" ~cat:"resilience"
+            ~pid:(trace_pid t) ~tid:0 ~ts_us:now_us
+            ~args:[ "delay_us", Json.Float delay_us ])
+      t.brownout
+
+let browned_out (t : 'a t) =
+  match t.brownout with Some b -> Brownout.engaged b | None -> false
 
 let note_attempt t ~ok =
   t.health_score <-
@@ -211,6 +265,7 @@ let rec maybe_launch (t : 'a t) =
   end
 
 and flush (t : 'a t) ~now_us ~limit =
+  observe_pressure t ~now_us;
   let live, expired = Admission.take_with_expired t.queue ~now_us ~limit in
   if expired <> [] then t.cb.cb_expired ~replica:t.id expired;
   (* Lazy hedge cancellation: copies whose winner already completed are
@@ -237,7 +292,7 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
   let guard f () = if t.epoch = epoch then f () in
   let rec attempt ~retries_left ~backoff_us () =
     let now_us = Event_loop.now t.loop in
-    let degraded = t.degraded in
+    let degraded = t.degraded || browned_out t in
     (* Anchor the executor's fresh per-batch device clock at this attempt's
        launch time, on this replica's pid. *)
     Trace.set_context t.tracer ~pid:(trace_pid t) ~tid:0 ~base_us:now_us;
@@ -303,18 +358,36 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
       if must_fail_over then
         Event_loop.schedule t.loop ~at:freed_us (guard (fun () -> go_down t))
       else if f.ef_transient && retries_left > 0 then begin
-        t.stats.Stats.retries <- t.stats.Stats.retries + 1;
-        let jitter =
-          1.0 +. (tol.Server.jitter_frac *. ((2.0 *. Rng.float t.ft_rng) -. 1.0))
-        in
-        let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
-        Trace.instant t.tracer ~name:"retry" ~cat:"fault" ~pid:(trace_pid t) ~tid:0
-          ~ts_us:at
-          ~args:[ "attempt", Json.Int (tol.Server.max_retries - retries_left + 1) ];
-        Event_loop.schedule t.loop ~at
-          (guard
-             (attempt ~retries_left:(retries_left - 1)
-                ~backoff_us:(backoff_us *. tol.Server.backoff_mult)))
+        let size = List.length batch in
+        (* The retry-budget check precedes the jitter draw: with no budget
+           configured the RNG stream is untouched relative to the
+           budget-less replica, and a denied retry draws nothing. *)
+        match t.budget with
+        | Some b when not (Budget.try_spend b size) ->
+          t.stats.Stats.retry_shed <- t.stats.Stats.retry_shed + size;
+          t.outstanding <-
+            List.filter
+              (fun (r : _ Admission.request) -> not (List.memq r batch))
+              t.outstanding;
+          Event_loop.schedule t.loop ~at:freed_us
+            (guard (fun () ->
+                 t.cb.cb_retry_shed ~replica:t.id batch;
+                 k ()))
+        | budget ->
+          if Option.is_some budget then
+            t.stats.Stats.retried_requests <- t.stats.Stats.retried_requests + size;
+          t.stats.Stats.retries <- t.stats.Stats.retries + 1;
+          let jitter =
+            1.0 +. (tol.Server.jitter_frac *. ((2.0 *. Rng.float t.ft_rng) -. 1.0))
+          in
+          let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
+          Trace.instant t.tracer ~name:"retry" ~cat:"fault" ~pid:(trace_pid t) ~tid:0
+            ~ts_us:at
+            ~args:[ "attempt", Json.Int (tol.Server.max_retries - retries_left + 1) ];
+          Event_loop.schedule t.loop ~at
+            (guard
+               (attempt ~retries_left:(retries_left - 1)
+                  ~backoff_us:(backoff_us *. tol.Server.backoff_mult)))
       end
       else Event_loop.schedule t.loop ~at:freed_us (guard (fun () -> bisect t batch ~k))
   in
@@ -370,22 +443,40 @@ and go_down (t : 'a t) =
         t.cb.cb_probe_ready ~replica:t.id
       end)
 
+(** How {!enqueue} disposed of an offered request; the cluster maps the two
+    rejection flavours to distinct terminal outcomes. *)
+type admit = Admitted | Shed_queue | Shed_limit
+
+(** Credit this replica's retry budget for one fresh admitted request. The
+    cluster calls it once per {e logical} request (not per copy), so hedge
+    duplicates and failover requeues never inflate the budget and fleet-wide
+    re-executions stay bounded by [frac * offered]. *)
+let deposit_budget (t : 'a t) = Option.iter Budget.deposit t.budget
+
 (** Offer a request to this replica's queue; any requests the full-queue
     sweep expired are reported through [cb_expired]. Schedules the launch
     check as a same-time event so simultaneous dispatches coalesce into one
     batch (same invariant as the single server). *)
-let enqueue (t : 'a t) (r : 'a Admission.request) : bool =
+let enqueue (t : 'a t) (r : 'a Admission.request) : admit =
   let now_us = Event_loop.now t.loop in
   Batcher.observe_arrival t.batcher ~now_us;
-  let admitted, swept = Admission.offer_swept t.queue ~now_us r in
-  if swept <> [] then t.cb.cb_expired ~replica:t.id swept;
-  if admitted then begin
-    let tol = t.config.Server.tolerance in
-    if
-      (not t.degraded)
-      && float_of_int (Admission.length t.queue)
-         >= tol.Server.degrade_high_frac *. float_of_int t.config.Server.queue_capacity
-    then t.degraded <- true;
-    Event_loop.schedule t.loop ~at:now_us (fun () -> maybe_launch t)
-  end;
-  admitted
+  match t.limiter with
+  | Some lim when not (Limiter.admits lim ~queued:(Admission.length t.queue)) ->
+    (* The adaptive concurrency limiter gates ahead of the bounded queue,
+       as in the single server. *)
+    t.stats.Stats.limit_shed <- t.stats.Stats.limit_shed + 1;
+    Shed_limit
+  | _ ->
+    let admitted, swept = Admission.offer_swept t.queue ~now_us r in
+    if swept <> [] then t.cb.cb_expired ~replica:t.id swept;
+    if admitted then begin
+      let tol = t.config.Server.tolerance in
+      if
+        (not t.degraded)
+        && float_of_int (Admission.length t.queue)
+           >= tol.Server.degrade_high_frac *. float_of_int t.config.Server.queue_capacity
+      then t.degraded <- true;
+      Event_loop.schedule t.loop ~at:now_us (fun () -> maybe_launch t);
+      Admitted
+    end
+    else Shed_queue

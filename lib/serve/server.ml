@@ -40,6 +40,10 @@ module Rng = Acrobat_tensor.Rng
 module Trace = Acrobat_obs.Trace
 module Metrics = Acrobat_obs.Metrics
 module Json = Acrobat_obs.Json
+module Resilience = Acrobat_resilience.Policy
+module Budget = Acrobat_resilience.Budget
+module Limiter = Acrobat_resilience.Limiter
+module Brownout = Acrobat_resilience.Brownout
 
 (** Knobs of the recovery machinery. The defaults keep every behaviour that
     could alter a fault-free run disabled ([degrade_high_frac = infinity]),
@@ -82,6 +86,10 @@ type config = {
           dropped, not executed. *)
   cost : Cost_model.t;  (** Seeds the adaptive latency model. *)
   tolerance : tolerance;
+  resilience : Resilience.config;
+      (** Overload-control knobs (retry budget, adaptive concurrency,
+          brownout); {!Resilience.off} by default, which makes every
+          resilience path a no-op. *)
 }
 
 let default_config =
@@ -91,6 +99,7 @@ let default_config =
     deadline_us = None;
     cost = Cost_model.default;
     tolerance = default_tolerance;
+    resilience = Resilience.off;
   }
 
 (** What one successful batch execution reports back. *)
@@ -135,6 +144,12 @@ type 'a state = {
   mutable cur_max_batch : int;  (** Effective cap; shrinks under OOM. *)
   mutable degraded : bool;
   tracer : Trace.t;  (** Lifecycle span sink; {!Trace.null} when off. *)
+  (* Overload-resilience mechanisms; all [None] (no-ops) unless armed via
+     [config.resilience]. *)
+  budget : Budget.t option;
+  limiter : Limiter.t option;
+  brownout : Brownout.t option;
+  limit_gauge : Metrics.gauge;  (** Limiter trajectory export. *)
 }
 
 (* Trace track convention: tid 0 is the device/batch track of each server's
@@ -195,6 +210,43 @@ let note_success (st : 'a state) =
     end
   end
 
+(* Feed the queue-delay signal (age of the oldest queued request) into the
+   limiter's AIMD loop and the brownout controller. Called at each batch
+   launch: both mechanisms key on the delay the queue actually produced.
+   A no-op unless the resilience layer armed one of them. *)
+let observe_pressure (st : 'a state) ~now_us =
+  match st.limiter, st.brownout with
+  | None, None -> ()
+  | _ ->
+    let delay_us =
+      match Admission.oldest_arrival_us st.queue with
+      | Some t0 -> now_us -. t0
+      | None -> 0.0
+    in
+    Option.iter
+      (fun lim ->
+        Limiter.observe lim ~delay_us;
+        Metrics.set st.limit_gauge (Limiter.limit lim))
+      st.limiter;
+    Option.iter
+      (fun b ->
+        match Brownout.observe b ~now_us ~delay_us with
+        | Brownout.Stay -> ()
+        | Brownout.Engage ->
+          st.stats.Stats.brownouts <- st.stats.Stats.brownouts + 1;
+          Trace.instant st.tracer ~name:"brownout_degrade" ~cat:"resilience" ~tid:0
+            ~ts_us:now_us
+            ~args:[ "delay_us", Json.Float delay_us ]
+        | Brownout.Restore ->
+          st.stats.Stats.brownout_restores <- st.stats.Stats.brownout_restores + 1;
+          Trace.instant st.tracer ~name:"brownout_restore" ~cat:"resilience" ~tid:0
+            ~ts_us:now_us
+            ~args:[ "delay_us", Json.Float delay_us ])
+      st.brownout
+
+let browned_out (st : 'a state) =
+  match st.brownout with Some b -> Brownout.engaged b | None -> false
+
 (* --- The launch / recovery state machine --- *)
 
 (* One pass of the launch decision; called whenever the device frees up, a
@@ -229,6 +281,7 @@ let rec maybe_launch (st : 'a state) =
   end
 
 and flush (st : 'a state) ~now_us ~limit =
+  observe_pressure st ~now_us;
   let batch, dropped = Admission.take_with_expired st.queue ~now_us ~limit in
   List.iter (trace_terminal st ~name:"expired" ~ts_us:now_us) dropped;
   match batch with
@@ -250,7 +303,7 @@ and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> un
   let wake () = maybe_launch st in
   let rec attempt ~retries_left ~backoff_us () =
     let now_us = Event_loop.now st.loop in
-    let degraded = st.degraded in
+    let degraded = st.degraded || browned_out st in
     (* The executor builds a fresh device whose profiler clock starts at
        zero; anchor its trace spans at this attempt's launch time. *)
     Trace.set_context st.tracer ~tid:0 ~base_us:now_us;
@@ -297,14 +350,29 @@ and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> un
             "size", Json.Int (List.length batch);
           ];
       if f.ef_transient && retries_left > 0 then begin
-        st.stats.Stats.retries <- st.stats.Stats.retries + 1;
-        let jitter = 1.0 +. (tol.jitter_frac *. ((2.0 *. Rng.float st.ft_rng) -. 1.0)) in
-        let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
-        Trace.instant st.tracer ~name:"retry" ~cat:"fault" ~tid:0 ~ts_us:at
-          ~args:[ "attempt", Json.Int (tol.max_retries - retries_left + 1) ];
-        Event_loop.schedule st.loop ~at
-          (attempt ~retries_left:(retries_left - 1)
-             ~backoff_us:(backoff_us *. tol.backoff_mult))
+        let size = List.length batch in
+        (* The retry-budget check precedes the jitter draw: with no budget
+           configured the RNG stream is untouched relative to the
+           budget-less server, and a denied retry draws nothing. *)
+        match st.budget with
+        | Some b when not (Budget.try_spend b size) ->
+          (* Budget dry: retrying would amplify load the device already
+             cannot absorb. Shed the batch instead of bisecting — bisection
+             is itself re-offered load. *)
+          st.stats.Stats.retry_shed <- st.stats.Stats.retry_shed + size;
+          List.iter (trace_terminal st ~name:"retry_budget" ~ts_us:freed_us) batch;
+          Event_loop.schedule st.loop ~at:freed_us k
+        | budget ->
+          if Option.is_some budget then
+            st.stats.Stats.retried_requests <- st.stats.Stats.retried_requests + size;
+          st.stats.Stats.retries <- st.stats.Stats.retries + 1;
+          let jitter = 1.0 +. (tol.jitter_frac *. ((2.0 *. Rng.float st.ft_rng) -. 1.0)) in
+          let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
+          Trace.instant st.tracer ~name:"retry" ~cat:"fault" ~tid:0 ~ts_us:at
+            ~args:[ "attempt", Json.Int (tol.max_retries - retries_left + 1) ];
+          Event_loop.schedule st.loop ~at
+            (attempt ~retries_left:(retries_left - 1)
+               ~backoff_us:(backoff_us *. tol.backoff_mult))
       end
       else
         (* Retries exhausted (or the failure is deterministic): isolate. *)
@@ -345,11 +413,20 @@ let on_arrival (st : 'a state) (r : 'a Admission.request) =
        pointless while the device is presumed down. *)
     st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1;
     trace_terminal st ~name:"shed_breaker" ~ts_us:now_us r
-  | Closed | Half_open | Open _ ->
+  | Closed | Half_open | Open _ -> (
+    match st.limiter with
+    | Some lim when not (Limiter.admits lim ~queued:(Admission.length st.queue)) ->
+      (* The adaptive concurrency limiter gates ahead of the bounded queue:
+         admitting past the limit would only grow the delay it is trying to
+         control. *)
+      st.stats.Stats.limit_shed <- st.stats.Stats.limit_shed + 1;
+      trace_terminal st ~name:"shed_limit" ~ts_us:now_us r
+    | _ ->
     let admitted, swept = Admission.offer_swept st.queue ~now_us r in
     List.iter (trace_terminal st ~name:"expired" ~ts_us:now_us) swept;
     if not admitted then trace_terminal st ~name:"shed" ~ts_us:now_us r
     else begin
+      Option.iter Budget.deposit st.budget;
       let tol = st.config.tolerance in
       if
         (not st.degraded)
@@ -362,7 +439,7 @@ let on_arrival (st : 'a state) (r : 'a Admission.request) =
          simultaneous requests coalesce into one batch instead of the first
          one launching alone. *)
       Event_loop.schedule st.loop ~at:now_us (fun () -> maybe_launch st)
-    end
+    end)
 
 (** Run the simulation to completion.
 
@@ -383,11 +460,15 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
     Stats.t =
   let loop = Event_loop.create (Clock.create ()) in
   let pmax = policy_max_batch config.policy in
+  let rs = config.resilience in
   let st =
     {
       config;
       loop;
-      queue = Admission.create ~capacity:config.queue_capacity;
+      queue =
+        Admission.create
+          ~eager_sweep:(Resilience.active rs)
+          ~capacity:config.queue_capacity ();
       batcher = Batcher.create ~cost:config.cost config.policy;
       stats = Stats.create ();
       execute;
@@ -399,6 +480,18 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
       cur_max_batch = pmax;
       degraded = false;
       tracer;
+      budget = Option.map (fun frac -> Budget.create ~frac) rs.Resilience.rs_retry_budget;
+      limiter =
+        Option.map
+          (fun target_us -> Limiter.create ~target_us ())
+          rs.Resilience.rs_target_delay_us;
+      brownout = Option.map Brownout.create rs.Resilience.rs_brownout;
+      limit_gauge =
+        (* Register only when the limiter is armed: a legacy run's metrics
+           export must not grow a new instrument. *)
+        (if rs.Resilience.rs_target_delay_us <> None then
+           Metrics.gauge metrics "resilience.limit"
+         else Metrics.gauge Metrics.null "resilience.limit");
     }
   in
   if Trace.enabled tracer then begin

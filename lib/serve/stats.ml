@@ -49,6 +49,15 @@ type t = {
   mutable quota_shed : int;  (** Requests refused at their tenant's inflight quota. *)
   mutable swaps : int;  (** Resident-model swaps this stream's batches paid for. *)
   mutable slo_ok : int;  (** Completions that landed within their SLO deadline. *)
+  (* Overload-resilience accounting (lib/resilience); all zero unless the
+     resilience layer is armed. *)
+  mutable limit_shed : int;  (** Refused by the adaptive concurrency limiter. *)
+  mutable retry_shed : int;  (** Requests dropped when the retry budget ran dry. *)
+  mutable retried_requests : int;
+      (** Requests re-executed under the retry budget — the numerator of the
+          retry-amplification bound the chaos invariants check. *)
+  mutable brownouts : int;  (** Brownout engage transitions. *)
+  mutable brownout_restores : int;  (** Brownout restore transitions. *)
 }
 
 let create () =
@@ -79,6 +88,11 @@ let create () =
     quota_shed = 0;
     swaps = 0;
     slo_ok = 0;
+    limit_shed = 0;
+    retry_shed = 0;
+    retried_requests = 0;
+    brownouts = 0;
+    brownout_restores = 0;
   }
 
 let record t r = t.records <- r :: t.records
@@ -149,6 +163,14 @@ type summary = {
   s_quota_shed : int;  (** Refused at the tenant's inflight quota. *)
   s_swaps : int;  (** Resident-model swaps charged to this stream. *)
   s_slo_ok : int;  (** Completions within their SLO deadline. *)
+  (* Resilience block; all zero (and omitted from output) unless the
+     overload-resilience layer is armed, so legacy output stays
+     byte-stable. *)
+  s_limit_shed : int;  (** Refused by the adaptive concurrency limiter. *)
+  s_retry_shed : int;  (** Dropped when the retry budget ran dry. *)
+  s_retried_requests : int;  (** Requests re-executed under the budget. *)
+  s_brownouts : int;
+  s_brownout_restores : int;
 }
 
 (** Availability: the fraction of offered requests actually answered. *)
@@ -167,6 +189,11 @@ let cluster_active (s : summary) =
 
 (** True when the multi-tenant dispatcher produced this stream. *)
 let tenancy_active (s : summary) = s.s_quota_shed > 0 || s.s_swaps > 0 || s.s_slo_ok > 0
+
+(** True when the overload-resilience layer engaged during the run. *)
+let resilience_active (s : summary) =
+  s.s_limit_shed > 0 || s.s_retry_shed > 0 || s.s_retried_requests > 0
+  || s.s_brownouts > 0 || s.s_brownout_restores > 0
 
 (** Fraction of completions that met their SLO deadline (1 when nothing
     completed — an empty stream violated nothing). *)
@@ -202,7 +229,9 @@ let summarize (t : t) : summary =
   let mean xs = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
   let makespan_us = if n = 0 then 0.0 else !last_done_us -. !first_arrival_us in
   {
-    s_offered = n + t.shed + t.expired + t.poisoned + t.breaker_shed + t.quota_shed;
+    s_offered =
+      n + t.shed + t.expired + t.poisoned + t.breaker_shed + t.quota_shed
+      + t.limit_shed + t.retry_shed;
     s_completed = n;
     s_shed = t.shed;
     s_expired = t.expired;
@@ -238,12 +267,19 @@ let summarize (t : t) : summary =
     s_quota_shed = t.quota_shed;
     s_swaps = t.swaps;
     s_slo_ok = t.slo_ok;
+    s_limit_shed = t.limit_shed;
+    s_retry_shed = t.retry_shed;
+    s_retried_requests = t.retried_requests;
+    s_brownouts = t.brownouts;
+    s_brownout_restores = t.brownout_restores;
   }
 
 let drop_rate (s : summary) =
   if s.s_offered = 0 then 0.0
   else
-    float_of_int (s.s_shed + s.s_expired + s.s_poisoned + s.s_breaker_shed + s.s_quota_shed)
+    float_of_int
+      (s.s_shed + s.s_expired + s.s_poisoned + s.s_breaker_shed + s.s_quota_shed
+      + s.s_limit_shed + s.s_retry_shed)
     /. float_of_int s.s_offered
 
 (* The fault block is emitted only when the machinery engaged: a fault-free
@@ -307,11 +343,22 @@ let summary_to_json (s : summary) : Json.t =
         "slo_attainment", Json.Float (slo_attainment s);
       ]
   in
+  let resilience =
+    if not (resilience_active s) then []
+    else
+      [
+        "limit_shed", Json.Int s.s_limit_shed;
+        "retry_shed", Json.Int s.s_retry_shed;
+        "retried_requests", Json.Int s.s_retried_requests;
+        "brownouts", Json.Int s.s_brownouts;
+        "brownout_restores", Json.Int s.s_brownout_restores;
+      ]
+  in
   let anomalies =
     if s.s_clamped_schedules = 0 then []
     else [ "clamped_schedules", Json.Int s.s_clamped_schedules ]
   in
-  Json.Obj (base @ faults @ cluster @ tenancy @ anomalies)
+  Json.Obj (base @ faults @ cluster @ tenancy @ resilience @ anomalies)
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
@@ -343,6 +390,12 @@ let pp_summary ppf (s : summary) =
       "@,quota shed         %8d@,model swaps        %8d@,slo attained       %8.1f %%"
       s.s_quota_shed s.s_swaps
       (100.0 *. slo_attainment s);
+  if resilience_active s then
+    Fmt.pf ppf
+      "@,limiter shed       %8d@,retry-budget shed  %8d@,retried requests   %8d@,\
+       brownouts          %8d@,brownout restores  %8d"
+      s.s_limit_shed s.s_retry_shed s.s_retried_requests s.s_brownouts
+      s.s_brownout_restores;
   if s.s_clamped_schedules > 0 then
     Fmt.pf ppf "@,clamped schedules  %8d  (scheduling bug?)" s.s_clamped_schedules;
   Fmt.pf ppf "@]"
@@ -380,6 +433,11 @@ let to_metrics (t : t) (m : Acrobat_obs.Metrics.t) =
       "quota_shed", s.s_quota_shed;
       "swaps", s.s_swaps;
       "slo_ok", s.s_slo_ok;
+      "limit_shed", s.s_limit_shed;
+      "retry_shed", s.s_retry_shed;
+      "retried_requests", s.s_retried_requests;
+      "brownouts", s.s_brownouts;
+      "brownout_restores", s.s_brownout_restores;
     ];
     Profiler.to_metrics t.profiler m
   end

@@ -25,14 +25,24 @@
 
     Faulty executors are driven to resolution with the single-server
     machinery's retry-then-bisect path (per-replica jitter streams seeded
-    by the same [ft_seed + id * 7919] convention); breakers and hedging
-    stay in {!Acrobat_serve.Cluster} — a quota-gated multi-tenant pool has
-    admission control where the single-tenant cluster needs backpressure.
+    by the same [ft_seed + id * 7919] convention). When the resilience
+    layer is armed ([t_resilience]), each tenant additionally gets a
+    retry-token {!Acrobat_resilience.Budget} (retries charged to the
+    batch's lead tenant; a dry budget sheds the batch instead of
+    amplifying load), an AIMD {!Acrobat_resilience.Limiter} gating
+    admission ahead of its bounded queue, and a circuit breaker that opens
+    after consecutive failed batches and sheds arrivals until a half-open
+    trial succeeds. With [t_hedge_percentile] set, slow requests are
+    duplicated into their tenant's queue after a percentile of recent
+    completion latency (the {!Acrobat_serve.Cluster} estimator); first
+    completion wins and every duplicate is cancelled, wasted or silently
+    dropped — never double-completed.
 
     Trace conventions match the cluster: the dispatcher is pid 0, replica
     [i] is pid [i + 1], request [id] rides tid [id + 1], and every admitted
     request ends in exactly one pid-0 terminal instant — [done], [expired],
-    [shed], [shed_quota], [poisoned] or [budget_exhausted]. *)
+    [shed], [shed_quota], [shed_breaker], [shed_limit], [retry_budget],
+    [poisoned] or [budget_exhausted]. *)
 
 module Rng = Acrobat_tensor.Rng
 module Cost_model = Acrobat_device.Cost_model
@@ -46,6 +56,10 @@ module Traffic = Acrobat_serve.Traffic
 module Trace = Acrobat_obs.Trace
 module Metrics = Acrobat_obs.Metrics
 module Json = Acrobat_obs.Json
+module Cluster = Acrobat_serve.Cluster
+module Resilience = Acrobat_resilience.Policy
+module Budget = Acrobat_resilience.Budget
+module Limiter = Acrobat_resilience.Limiter
 
 type config = {
   t_server : Server.config;
@@ -54,6 +68,12 @@ type config = {
           SLO is its deadline). *)
   t_autoscale : Autoscaler.config;
   t_swap_cost : Cost_model.t;  (** Sizes the resident-model swap penalty. *)
+  t_resilience : Resilience.config;
+      (** Per-tenant retry budgets, admission limiters and circuit
+          breakers; {!Resilience.off} leaves every legacy path untouched. *)
+  t_hedge_percentile : float option;
+      (** Duplicate a still-unresolved request after this percentile of
+          recent completion latency; [None] disables hedging. *)
 }
 
 let default_config =
@@ -61,6 +81,8 @@ let default_config =
     t_server = Server.default_config;
     t_autoscale = Autoscaler.fixed 1;
     t_swap_cost = Cost_model.default;
+    t_resilience = Resilience.off;
+    t_hedge_percentile = None;
   }
 
 (* --- Replica pool --- *)
@@ -87,6 +109,11 @@ let rp_pid rp = rp.rp_id + 1
 
 (* --- Per-tenant serving state --- *)
 
+(** Per-tenant circuit breaker (resilience layer only): opens after
+    consecutive failed batches attributed to the tenant as lead, sheds
+    arrivals during the cooldown, then admits a half-open trial. *)
+type breaker = Closed | Open of { until_us : float } | Half_open
+
 type 'a tstate = {
   ts_tenant : Tenant.t;
   ts_queue : 'a Admission.t;
@@ -95,6 +122,20 @@ type 'a tstate = {
   mutable ts_inflight : int;  (** Admitted and not yet terminal. *)
   mutable ts_peak_inflight : int;
   mutable ts_delay_ewma_us : float;  (** Smoothed queue delay (scaler signal). *)
+  ts_budget : Budget.t option;  (** Retry tokens; refilled by fresh admits. *)
+  ts_limiter : Limiter.t option;  (** AIMD admission gate on queue delay. *)
+  mutable ts_breaker : breaker;
+  mutable ts_consec_failures : int;  (** Failed batches led since last success. *)
+}
+
+(** Dispatcher-side view of one request's copies when hedging is armed;
+    absent from the table (hedging off) means "single copy". *)
+type 'a hentry = {
+  mutable he_done : bool;
+  mutable he_copies : int;
+  mutable he_hedged : bool;
+  mutable he_hedge_copy : 'a Admission.request option;
+      (** The duplicate's physical identity, to attribute hedge wins. *)
 }
 
 type 'a state = {
@@ -111,6 +152,11 @@ type 'a state = {
   mutable scale_events : (float * string * int) list;  (** Reversed. *)
   mutable peak_replicas : int;
   tracer : Trace.t;
+  (* Hedging state; only populated when [t_hedge_percentile] is set. *)
+  entries : (int, 'a hentry) Hashtbl.t;
+  lat_ring : float array;  (** Recent completion latencies (us), circular. *)
+  mutable lat_count : int;
+  mutable lat_idx : int;
 }
 
 let now_us st = Event_loop.now st.loop
@@ -127,13 +173,50 @@ let trace_terminal st (ts : 'a tstate) ~name ~ts_us (r : 'a Admission.request) =
       (Trace.tag ~tenant:ts.ts_tenant.Tenant.tn_name ~model:ts.ts_tenant.Tenant.tn_model
          [ "id", Json.Int r.Admission.rq_id ])
 
+(* --- Hedge copy accounting ---
+
+   With hedging off the entry table is empty and every request is its own
+   single copy, so [copy_drop_terminal] is the constant [true] and nothing
+   below changes a legacy run. *)
+
+let record_latency st lat_us =
+  st.lat_ring.(st.lat_idx) <- lat_us;
+  st.lat_idx <- (st.lat_idx + 1) mod Cluster.hedge_window;
+  if st.lat_count < Cluster.hedge_window then st.lat_count <- st.lat_count + 1
+
+let hedge_delay_us st =
+  match st.cfg.t_hedge_percentile with
+  | None -> None
+  | Some p -> Cluster.hedge_delay ~percentile:p st.lat_ring ~count:st.lat_count
+
+(* A copy left the system without completing (expired, retry-budget shed,
+   poisoned, end-of-run drain). True when that drop is the request's
+   terminal outcome; a duplicate of a live or resolved request just
+   decrements the copy count. *)
+let copy_drop_terminal st (r : 'a Admission.request) =
+  match Hashtbl.find_opt st.entries r.Admission.rq_id with
+  | None -> true
+  | Some e ->
+    e.he_copies <- e.he_copies - 1;
+    if e.he_done then begin
+      st.stats.Stats.hedge_cancels <- st.stats.Stats.hedge_cancels + 1;
+      false
+    end
+    else if e.he_copies > 0 then false
+    else begin
+      e.he_done <- true;
+      true
+    end
+
 (* A queued request left without executing (swept or popped past deadline). *)
 let drop_expired st (ts : 'a tstate) ~ts_us dropped =
   List.iter
     (fun r ->
-      st.stats.Stats.expired <- st.stats.Stats.expired + 1;
-      ts.ts_inflight <- ts.ts_inflight - 1;
-      trace_terminal st ts ~name:"expired" ~ts_us r)
+      if copy_drop_terminal st r then begin
+        st.stats.Stats.expired <- st.stats.Stats.expired + 1;
+        ts.ts_inflight <- ts.ts_inflight - 1;
+        trace_terminal st ts ~name:"expired" ~ts_us r
+      end)
     dropped
 
 (* --- Launch path --- *)
@@ -186,6 +269,17 @@ let fill_batch st ~lead ~model ~room ~now =
             Admission.take_with_expired ts.ts_queue ~now_us:now ~limit:!room
           in
           drop_expired st ts ~ts_us:now dropped;
+          let live =
+            List.filter
+              (fun (r : 'a Admission.request) ->
+                match Hashtbl.find_opt st.entries r.Admission.rq_id with
+                | Some e when e.he_done ->
+                  e.he_copies <- e.he_copies - 1;
+                  st.stats.Stats.hedge_cancels <- st.stats.Stats.hedge_cancels + 1;
+                  false
+                | _ -> true)
+              live
+          in
           if live = [] then None
           else begin
             room := !room - List.length live;
@@ -216,6 +310,10 @@ let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~
         let size = List.length batch in
         let done_us = now +. Float.max 0.0 outcome.Server.ex_latency_us in
         let lead_ts = st.tenants.(lead) in
+        if Resilience.active st.cfg.t_resilience then begin
+          lead_ts.ts_consec_failures <- 0;
+          if lead_ts.ts_breaker = Half_open then lead_ts.ts_breaker <- Closed
+        end;
         Batcher.observe_batch lead_ts.ts_batcher ~size
           ~latency_us:outcome.Server.ex_latency_us;
         Stats.note_batch st.stats ~size ~profiler:outcome.Server.ex_profiler;
@@ -237,6 +335,29 @@ let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~
               Fairshare.charge st.fair ti
                 ~work:(busy *. float_of_int c /. float_of_int size))
           counts;
+        (* Hedge dedup: only the first completing copy of a request is a
+           completion; the rest are wasted work. With hedging off the entry
+           table is empty and [fresh] is the whole batch. *)
+        let fresh =
+          List.filter
+            (fun ((_, r) : int * 'a Admission.request) ->
+              match Hashtbl.find_opt st.entries r.Admission.rq_id with
+              | None -> true
+              | Some e when e.he_done ->
+                e.he_copies <- e.he_copies - 1;
+                st.stats.Stats.hedge_wasted <- st.stats.Stats.hedge_wasted + 1;
+                false
+              | Some e ->
+                e.he_done <- true;
+                e.he_copies <- e.he_copies - 1;
+                record_latency st (done_us -. r.Admission.rq_arrival_us);
+                (match e.he_hedge_copy with
+                | Some hc when hc == r ->
+                  st.stats.Stats.hedge_wins <- st.stats.Stats.hedge_wins + 1
+                | _ -> ());
+                true)
+            batch
+        in
         List.iter
           (fun (ti, (r : 'a Admission.request)) ->
             let ts = st.tenants.(ti) in
@@ -260,12 +381,12 @@ let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~
               ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:r.Admission.rq_arrival_us
               ~dur_us:(now -. r.Admission.rq_arrival_us);
             trace_terminal st ts ~name:"done" ~ts_us:done_us r)
-          batch;
+          fresh;
         Event_loop.schedule st.loop ~at:done_us (fun () ->
             List.iter
               (fun (ti, _) ->
                 st.tenants.(ti).ts_inflight <- st.tenants.(ti).ts_inflight - 1)
-              batch;
+              fresh;
             k ())
       | Server.Exec_fault { ef_latency_us; ef_reason; ef_transient; ef_oom = _; ef_reset = _ }
         ->
@@ -281,19 +402,68 @@ let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~
               "transient", Json.Bool ef_transient;
               "size", Json.Int (List.length batch);
             ];
+        if Resilience.active st.cfg.t_resilience then begin
+          (* The lead tenant owns the batch's outcome: its breaker counts
+             the failure, and a half-open trial that fails reopens at once. *)
+          lead_ts.ts_consec_failures <- lead_ts.ts_consec_failures + 1;
+          if
+            lead_ts.ts_breaker = Half_open
+            || lead_ts.ts_consec_failures >= tol.Server.breaker_threshold
+          then begin
+            lead_ts.ts_breaker <-
+              Open { until_us = freed_us +. tol.Server.breaker_cooldown_us };
+            lead_ts.ts_consec_failures <- 0;
+            st.stats.Stats.breaker_opens <- st.stats.Stats.breaker_opens + 1;
+            lead_ts.ts_stats.Stats.breaker_opens <-
+              lead_ts.ts_stats.Stats.breaker_opens + 1;
+            Trace.instant st.tracer ~name:"breaker_open" ~cat:"resilience" ~pid:0
+              ~tid:0 ~ts_us:freed_us
+              ~args:
+                (Trace.tag ~tenant:lead_ts.ts_tenant.Tenant.tn_name ~model
+                   [ "replica", Json.Int rp.rp_id ])
+          end
+        end;
+        (* The retry-budget check (and the [retries_left = 0] guard around
+           it) precedes the jitter draw: a run that never retries — whether
+           fault-free, retry-exhausted or budget-denied — leaves the
+           replica's RNG stream untouched. *)
         if ef_transient && retries_left > 0 then begin
-          st.stats.Stats.retries <- st.stats.Stats.retries + 1;
-          lead_ts.ts_stats.Stats.retries <- lead_ts.ts_stats.Stats.retries + 1;
-          let jitter =
-            1.0 +. (tol.Server.jitter_frac *. ((2.0 *. Rng.float rp.rp_rng) -. 1.0))
-          in
-          let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
-          Trace.instant st.tracer ~name:"retry" ~cat:"fault" ~pid:(rp_pid rp) ~tid:0
-            ~ts_us:at
-            ~args:[ "attempt", Json.Int (tol.Server.max_retries - retries_left + 1) ];
-          Event_loop.schedule st.loop ~at
-            (attempt ~swap_us:0.0 ~retries_left:(retries_left - 1)
-               ~backoff_us:(backoff_us *. tol.Server.backoff_mult))
+          let size = List.length batch in
+          match lead_ts.ts_budget with
+          | Some b when not (Budget.try_spend b size) ->
+            (* Budget dry: retrying would amplify load the pool already
+               cannot absorb. Shed the batch instead of bisecting —
+               bisection is itself re-offered load. *)
+            List.iter
+              (fun (ti, (r : 'a Admission.request)) ->
+                let ts = st.tenants.(ti) in
+                if copy_drop_terminal st r then begin
+                  st.stats.Stats.retry_shed <- st.stats.Stats.retry_shed + 1;
+                  ts.ts_stats.Stats.retry_shed <- ts.ts_stats.Stats.retry_shed + 1;
+                  ts.ts_inflight <- ts.ts_inflight - 1;
+                  trace_terminal st ts ~name:"retry_budget" ~ts_us:freed_us r
+                end)
+              batch;
+            Event_loop.schedule st.loop ~at:freed_us (fun () -> k ())
+          | budget ->
+            if Option.is_some budget then begin
+              st.stats.Stats.retried_requests <-
+                st.stats.Stats.retried_requests + size;
+              lead_ts.ts_stats.Stats.retried_requests <-
+                lead_ts.ts_stats.Stats.retried_requests + size
+            end;
+            st.stats.Stats.retries <- st.stats.Stats.retries + 1;
+            lead_ts.ts_stats.Stats.retries <- lead_ts.ts_stats.Stats.retries + 1;
+            let jitter =
+              1.0 +. (tol.Server.jitter_frac *. ((2.0 *. Rng.float rp.rp_rng) -. 1.0))
+            in
+            let at = freed_us +. Float.max 0.0 (backoff_us *. jitter) in
+            Trace.instant st.tracer ~name:"retry" ~cat:"fault" ~pid:(rp_pid rp) ~tid:0
+              ~ts_us:at
+              ~args:[ "attempt", Json.Int (tol.Server.max_retries - retries_left + 1) ];
+            Event_loop.schedule st.loop ~at
+              (attempt ~swap_us:0.0 ~retries_left:(retries_left - 1)
+                 ~backoff_us:(backoff_us *. tol.Server.backoff_mult))
         end
         else
           Event_loop.schedule st.loop ~at:freed_us (fun () ->
@@ -309,10 +479,12 @@ and bisect st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~k =
   | [] -> k ()
   | [ (ti, r) ] ->
     let ts = st.tenants.(ti) in
-    st.stats.Stats.poisoned <- st.stats.Stats.poisoned + 1;
-    ts.ts_stats.Stats.poisoned <- ts.ts_stats.Stats.poisoned + 1;
-    ts.ts_inflight <- ts.ts_inflight - 1;
-    trace_terminal st ts ~name:"poisoned" ~ts_us:(now_us st) r;
+    if copy_drop_terminal st r then begin
+      st.stats.Stats.poisoned <- st.stats.Stats.poisoned + 1;
+      ts.ts_stats.Stats.poisoned <- ts.ts_stats.Stats.poisoned + 1;
+      ts.ts_inflight <- ts.ts_inflight - 1;
+      trace_terminal st ts ~name:"poisoned" ~ts_us:(now_us st) r
+    end;
     k ()
   | _ ->
     let lead_ts = st.tenants.(lead) in
@@ -364,8 +536,32 @@ let rec try_launch st rp =
    when everything popped had already expired (the caller re-scans). *)
 and flush st rp ti ~now ~limit =
   let ts = st.tenants.(ti) in
+  (* Feed the tenant's queue-delay signal into its AIMD admission limiter
+     at each launch attempt, mirroring the single server. *)
+  (match ts.ts_limiter with
+  | None -> ()
+  | Some lim ->
+    let delay_us =
+      match Admission.oldest_arrival_us ts.ts_queue with
+      | Some a -> now -. a
+      | None -> 0.0
+    in
+    Limiter.observe lim ~delay_us);
   let live, dropped = Admission.take_with_expired ts.ts_queue ~now_us:now ~limit in
   drop_expired st ts ~ts_us:now dropped;
+  (* Stale hedge duplicates whose winner already completed are dropped
+     unexecuted (counted inside [copy_drop_terminal] as cancels). *)
+  let live =
+    List.filter
+      (fun (r : 'a Admission.request) ->
+        match Hashtbl.find_opt st.entries r.Admission.rq_id with
+        | Some e when e.he_done ->
+          e.he_copies <- e.he_copies - 1;
+          st.stats.Stats.hedge_cancels <- st.stats.Stats.hedge_cancels + 1;
+          false
+        | _ -> true)
+      live
+  in
   match live with
   | [] -> false
   | live ->
@@ -416,6 +612,34 @@ and pass st =
         try_launch st rp)
     st.replicas
 
+(* --- Hedging --- *)
+
+(* Duplicate a still-unresolved request back into its tenant's queue; the
+   first completion wins, the loser is cancelled (still queued) or counted
+   wasted (already executing). Only ever scheduled when hedging is armed. *)
+let maybe_hedge st (ts : 'a tstate) (e : 'a hentry) (r : 'a Admission.request) =
+  if (not e.he_done) && not e.he_hedged then begin
+    let now = now_us st in
+    let copy = { r with Admission.rq_id = r.Admission.rq_id } in
+    e.he_hedged <- true;
+    e.he_hedge_copy <- Some copy;
+    e.he_copies <- e.he_copies + 1;
+    st.stats.Stats.hedges <- st.stats.Stats.hedges + 1;
+    Trace.instant st.tracer ~name:"hedge" ~cat:"tenancy" ~pid:0
+      ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:now
+      ~args:
+        (Trace.tag ~tenant:ts.ts_tenant.Tenant.tn_name
+           ~model:ts.ts_tenant.Tenant.tn_model
+           [ "id", Json.Int r.Admission.rq_id ]);
+    let admitted, swept = Admission.offer_swept ts.ts_queue ~now_us:now copy in
+    drop_expired st ts ~ts_us:now swept;
+    if admitted then Event_loop.schedule st.loop ~at:now (fun () -> pass st)
+    else
+      (* Queue full: the duplicate is lost; the primary copy stands alone,
+         so this never terminates the request. *)
+      e.he_copies <- e.he_copies - 1
+  end
+
 (* --- Admission --- *)
 
 let on_arrival st (ts : 'a tstate) (r : 'a Admission.request) =
@@ -426,7 +650,25 @@ let on_arrival st (ts : 'a tstate) (r : 'a Admission.request) =
     ~args:
       (Trace.tag ~tenant:ts.ts_tenant.Tenant.tn_name ~model:ts.ts_tenant.Tenant.tn_model
          [ "id", Json.Int r.Admission.rq_id ]);
-  if ts.ts_inflight >= ts.ts_tenant.Tenant.tn_quota then begin
+  let breaker_open =
+    match ts.ts_breaker with
+    | Open { until_us } when now < until_us -> true
+    | Open _ ->
+      (* Cooldown elapsed: admit one half-open trial batch. *)
+      ts.ts_breaker <- Half_open;
+      false
+    | Closed | Half_open -> false
+  in
+  (* The configured quota is per replica: an autoscaled pool admits
+     proportionally more in-flight work, so quotas never become the binding
+     constraint after a scale-up. *)
+  let quota = ts.ts_tenant.Tenant.tn_quota * max 1 (active_replicas st) in
+  if breaker_open then begin
+    st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1;
+    ts.ts_stats.Stats.breaker_shed <- ts.ts_stats.Stats.breaker_shed + 1;
+    trace_terminal st ts ~name:"shed_breaker" ~ts_us:now r
+  end
+  else if ts.ts_inflight >= quota then begin
     (* Over quota: refuse before admission so the queue (and the cluster
        behind it) never sees the excess. *)
     st.stats.Stats.quota_shed <- st.stats.Stats.quota_shed + 1;
@@ -434,19 +676,40 @@ let on_arrival st (ts : 'a tstate) (r : 'a Admission.request) =
     trace_terminal st ts ~name:"shed_quota" ~ts_us:now r
   end
   else begin
-    let admitted, swept = Admission.offer_swept ts.ts_queue ~now_us:now r in
-    drop_expired st ts ~ts_us:now swept;
-    if not admitted then begin
-      st.stats.Stats.shed <- st.stats.Stats.shed + 1;
-      trace_terminal st ts ~name:"shed" ~ts_us:now r
-    end
-    else begin
-      ts.ts_inflight <- ts.ts_inflight + 1;
-      if ts.ts_inflight > ts.ts_peak_inflight then ts.ts_peak_inflight <- ts.ts_inflight;
-      (* Same-time launch check, so simultaneous arrivals coalesce into one
-         batch (ties dispatch in scheduling order). *)
-      Event_loop.schedule st.loop ~at:now (fun () -> pass st)
-    end
+    match ts.ts_limiter with
+    | Some lim when not (Limiter.admits lim ~queued:(Admission.length ts.ts_queue)) ->
+      (* The adaptive concurrency limiter gates ahead of the bounded
+         queue, exactly as in the single server. *)
+      st.stats.Stats.limit_shed <- st.stats.Stats.limit_shed + 1;
+      ts.ts_stats.Stats.limit_shed <- ts.ts_stats.Stats.limit_shed + 1;
+      trace_terminal st ts ~name:"shed_limit" ~ts_us:now r
+    | _ ->
+      let admitted, swept = Admission.offer_swept ts.ts_queue ~now_us:now r in
+      drop_expired st ts ~ts_us:now swept;
+      if not admitted then begin
+        st.stats.Stats.shed <- st.stats.Stats.shed + 1;
+        trace_terminal st ts ~name:"shed" ~ts_us:now r
+      end
+      else begin
+        Option.iter Budget.deposit ts.ts_budget;
+        ts.ts_inflight <- ts.ts_inflight + 1;
+        if ts.ts_inflight > ts.ts_peak_inflight then
+          ts.ts_peak_inflight <- ts.ts_inflight;
+        if Option.is_some st.cfg.t_hedge_percentile then begin
+          let e =
+            { he_done = false; he_copies = 1; he_hedged = false; he_hedge_copy = None }
+          in
+          Hashtbl.replace st.entries r.Admission.rq_id e;
+          match hedge_delay_us st with
+          | Some d ->
+            Event_loop.schedule st.loop ~at:(now +. d) (fun () ->
+                maybe_hedge st ts e r)
+          | None -> ()
+        end;
+        (* Same-time launch check, so simultaneous arrivals coalesce into one
+           batch (ties dispatch in scheduling order). *)
+        Event_loop.schedule st.loop ~at:now (fun () -> pass st)
+      end
   end
 
 (* --- Autoscaler control loop --- *)
@@ -561,14 +824,26 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
       tenants =
         Array.map
           (fun t ->
+            let rs = cfg.t_resilience in
             {
               ts_tenant = t;
-              ts_queue = Admission.create ~capacity:cfg.t_server.Server.queue_capacity;
+              ts_queue =
+                Admission.create
+                  ~eager_sweep:(Resilience.active rs)
+                  ~capacity:cfg.t_server.Server.queue_capacity ();
               ts_batcher = Batcher.create ~cost:cfg.t_server.Server.cost cfg.t_server.Server.policy;
               ts_stats = Stats.create ();
               ts_inflight = 0;
               ts_peak_inflight = 0;
               ts_delay_ewma_us = 0.0;
+              ts_budget =
+                Option.map (fun frac -> Budget.create ~frac) rs.Resilience.rs_retry_budget;
+              ts_limiter =
+                Option.map
+                  (fun target_us -> Limiter.create ~target_us ())
+                  rs.Resilience.rs_target_delay_us;
+              ts_breaker = Closed;
+              ts_consec_failures = 0;
             })
           tenants;
       fair = Fairshare.create ~weights:(Array.map (fun t -> t.Tenant.tn_weight) tenants);
@@ -581,6 +856,10 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
       scale_events = [];
       peak_replicas = 0;
       tracer;
+      entries = Hashtbl.create 64;
+      lat_ring = Array.make Cluster.hedge_window 0.0;
+      lat_count = 0;
+      lat_idx = 0;
     }
   in
   if Trace.enabled tracer then begin
@@ -656,10 +935,12 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
       drop_expired st ts ~ts_us:end_us dropped;
       List.iter
         (fun (r : 'a Admission.request) ->
-          st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1;
-          ts.ts_stats.Stats.breaker_shed <- ts.ts_stats.Stats.breaker_shed + 1;
-          ts.ts_inflight <- ts.ts_inflight - 1;
-          trace_terminal st ts ~name:"budget_exhausted" ~ts_us:end_us r)
+          if copy_drop_terminal st r then begin
+            st.stats.Stats.breaker_shed <- st.stats.Stats.breaker_shed + 1;
+            ts.ts_stats.Stats.breaker_shed <- ts.ts_stats.Stats.breaker_shed + 1;
+            ts.ts_inflight <- ts.ts_inflight - 1;
+            trace_terminal st ts ~name:"budget_exhausted" ~ts_us:end_us r
+          end)
         leftovers)
     st.tenants;
   let views =

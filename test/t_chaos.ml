@@ -59,6 +59,7 @@ let clean_scenario () =
     sc_requeue_budget = 2;
     sc_plans = [| Faults.none; Faults.none |];
     sc_tenancy = None;
+    sc_resilience = Resilience.off;
   }
 
 let healthy_input () =
@@ -71,6 +72,9 @@ let healthy_input () =
     in_summary = summary;
     in_events = Trace.events tracer;
     in_tenants = [];
+    in_retry_budget_frac = None;
+    in_brownout = None;
+    in_peak_replicas = sc.Scenario.sc_replicas;
   }
 
 let violated input = Invariants.names (Invariants.check input)
@@ -139,29 +143,133 @@ let test_invariant_goodput_floor () =
 
 let test_invariant_tenants () =
   let input = healthy_input () in
-  let tb name offered completed quota peak =
+  let tb ?(res_shed = 0) name offered completed quota peak =
     {
       Invariants.tb_name = name;
       tb_offered = offered;
       tb_completed = completed;
       tb_quota = quota;
       tb_peak_inflight = peak;
+      tb_resilience_shed = res_shed;
     }
   in
-  let names = violated { input with Invariants.in_tenants = [ tb "a" 10 0 4 2 ] } in
+  (* Quotas are per replica: pin the fleet at one replica so the scaled
+     bound equals the configured quota. *)
+  let one = { input with Invariants.in_peak_replicas = 1 } in
+  let names = violated { one with Invariants.in_tenants = [ tb "a" 10 0 4 2 ] } in
   check_true "starved tenant trips tenant_starvation"
     (List.mem "tenant_starvation" names);
-  let names = violated { input with Invariants.in_tenants = [ tb "a" 10 10 4 5 ] } in
+  let names = violated { one with Invariants.in_tenants = [ tb "a" 10 10 4 5 ] } in
   check_true "over-quota peak trips quota_respected" (List.mem "quota_respected" names);
   (* A tenant with zero offered load may complete nothing, and peak at the
      quota is within bounds. *)
   let names =
     violated
-      { input with Invariants.in_tenants = [ tb "a" 10 3 4 4; tb "b" 0 0 1 0 ] }
+      { one with Invariants.in_tenants = [ tb "a" 10 3 4 4; tb "b" 0 0 1 0 ] }
   in
   check_true "healthy tenant mix passes"
     ((not (List.mem "tenant_starvation" names))
-    && not (List.mem "quota_respected" names))
+    && not (List.mem "quota_respected" names));
+  (* The same peak is lawful once the fleet grew to two replicas. *)
+  let names =
+    violated
+      {
+        one with
+        Invariants.in_tenants = [ tb "a" 10 10 4 5 ];
+        in_peak_replicas = 2;
+      }
+  in
+  check_true "quota scales with the peak replica count"
+    (not (List.mem "quota_respected" names))
+
+let test_invariant_retry_amplification () =
+  let input = healthy_input () in
+  let armed = { input with Invariants.in_retry_budget_frac = Some 0.1 } in
+  (* A 0.1 budget over 30 offered allows 3 re-executions; 4 is a leak. *)
+  let leak =
+    {
+      armed with
+      Invariants.in_summary =
+        { armed.Invariants.in_summary with Stats.s_retried_requests = 4 };
+    }
+  in
+  check_true "over-budget re-execution trips retry_amplification"
+    (List.mem "retry_amplification" (violated leak));
+  let lawful =
+    {
+      armed with
+      Invariants.in_summary =
+        { armed.Invariants.in_summary with Stats.s_retried_requests = 3 };
+    }
+  in
+  check_true "in-budget re-execution passes"
+    (not (List.mem "retry_amplification" (violated lawful)));
+  (* Without an armed budget the oracle must stay quiet no matter the count. *)
+  let unarmed =
+    {
+      input with
+      Invariants.in_summary =
+        { input.Invariants.in_summary with Stats.s_retried_requests = 29 };
+    }
+  in
+  check_true "oracle is silent when no budget is armed"
+    (not (List.mem "retry_amplification" (violated unarmed)))
+
+let test_invariant_brownout_dwell () =
+  let input = healthy_input () in
+  let instant ?(pid = 7) seq name ts =
+    {
+      Trace.ev_seq = 200_000 + seq;
+      ev_ph = 'i';
+      ev_name = name;
+      ev_cat = "resilience";
+      ev_ts_us = ts;
+      ev_dur_us = 0.0;
+      ev_pid = pid;
+      ev_tid = 0;
+      ev_args = [];
+    }
+  in
+  let spec =
+    { Serve.Server.Brownout.bo_high_us = 100.0; bo_dwell_us = 500.0; bo_low_us = 40.0 }
+  in
+  let with_brownout ~degrades ~restores events =
+    {
+      input with
+      Invariants.in_brownout = Some spec;
+      in_events = input.Invariants.in_events @ events;
+      in_summary =
+        {
+          input.Invariants.in_summary with
+          Stats.s_brownouts = degrades;
+          s_brownout_restores = restores;
+        };
+    }
+  in
+  (* A restore only 200us after the degrade violates the 500us dwell. *)
+  let rushed =
+    with_brownout ~degrades:1 ~restores:1
+      [ instant 0 "brownout_degrade" 1000.0; instant 1 "brownout_restore" 1200.0 ]
+  in
+  check_true "sub-dwell transition trips brownout_dwell"
+    (List.mem "brownout_dwell" (violated rushed));
+  (* A restore with no preceding degrade breaks alternation. *)
+  let inverted =
+    with_brownout ~degrades:0 ~restores:1 [ instant 0 "brownout_restore" 1000.0 ]
+  in
+  check_true "out-of-order transition trips brownout_dwell"
+    (List.mem "brownout_dwell" (violated inverted));
+  (* Counters that disagree with the trace are a leak even with no events. *)
+  let phantom = with_brownout ~degrades:2 ~restores:0 [] in
+  check_true "counter/trace mismatch trips brownout_dwell"
+    (List.mem "brownout_dwell" (violated phantom));
+  (* Dwell-respecting alternation with agreeing counters passes. *)
+  let lawful =
+    with_brownout ~degrades:1 ~restores:1
+      [ instant 0 "brownout_degrade" 1000.0; instant 1 "brownout_restore" 1800.0 ]
+  in
+  check_true "lawful brownout timeline passes"
+    (not (List.mem "brownout_dwell" (violated lawful)))
 
 (* --- Tenant-mix scenarios --- *)
 
@@ -240,12 +348,23 @@ let test_shrink_known_bad () =
 
 let test_clean_campaign () =
   (* The ISSUE acceptance criterion: a fully clean fleet reports zero
-     violations across >= 200 scenarios. *)
-  let ca = { Chaos.default_campaign with Chaos.ca_runs = 200; ca_fault_prob = 0.0 } in
+     violations across >= 300 scenarios, with the overload-resilience
+     dimension in the draw. *)
+  let ca = { Chaos.default_campaign with Chaos.ca_runs = 300; ca_fault_prob = 0.0 } in
   let r = Chaos.run_campaign ca in
-  check_int "200 scenarios checked" 200 r.Chaos.rp_scenarios;
+  check_int "300 scenarios checked" 300 r.Chaos.rp_scenarios;
   check_int "clean campaign has zero violations" 0 (List.length r.Chaos.rp_outcomes);
-  check_float "zero per kiloscenario" 0.0 (Chaos.violations_per_kiloscenario r)
+  check_float "zero per kiloscenario" 0.0 (Chaos.violations_per_kiloscenario r);
+  (* Scenarios regenerate from (seed, index): confirm the campaign actually
+     exercised resilience-armed fleets, not just the legacy path. *)
+  let armed = ref 0 in
+  for i = 0 to 299 do
+    let sc = Scenario.generate ~campaign_seed:ca.Chaos.ca_seed ~fault_prob:0.0 i in
+    if Resilience.active sc.Scenario.sc_resilience then incr armed
+  done;
+  check_true
+    (Fmt.str "campaign drew resilience-armed scenarios (got %d)" !armed)
+    (!armed >= 30)
 
 let test_faulty_campaign_holds () =
   (* The serving stack is expected to survive injected faults: recovery
@@ -336,13 +455,17 @@ let suite =
     Alcotest.test_case "invariants: goodput-floor oracle fires" `Quick
       test_invariant_goodput_floor;
     Alcotest.test_case "invariants: tenant oracles fire" `Quick test_invariant_tenants;
+    Alcotest.test_case "invariants: retry-amplification oracle fires" `Quick
+      test_invariant_retry_amplification;
+    Alcotest.test_case "invariants: brownout-dwell oracle fires" `Quick
+      test_invariant_brownout_dwell;
     Alcotest.test_case "scenario: tenant-mix CLI reproducer shape" `Quick
       test_tenancy_scenario_repro;
     Alcotest.test_case "scenario: tenant-mix run holds invariants" `Quick
       test_tenancy_scenario_holds;
     Alcotest.test_case "shrink: known-bad plan minimizes to <= 2 clauses" `Quick
       test_shrink_known_bad;
-    Alcotest.test_case "campaign: clean fleet, zero violations in 200" `Quick
+    Alcotest.test_case "campaign: clean fleet, zero violations in 300" `Quick
       test_clean_campaign;
     Alcotest.test_case "campaign: faulty fleet holds invariants" `Quick
       test_faulty_campaign_holds;

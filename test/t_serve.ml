@@ -74,7 +74,7 @@ let rq ?deadline id at =
   { Admission.rq_id = id; rq_payload = id; rq_arrival_us = at; rq_deadline_us = deadline }
 
 let test_admission_shed () =
-  let q = Admission.create ~capacity:2 in
+  let q = Admission.create ~capacity:2 () in
   check_true "admit 1" (Admission.offer q ~now_us:0.0 (rq 0 0.0));
   check_true "admit 2" (Admission.offer q ~now_us:1.0 (rq 1 1.0));
   check_true "shed at capacity" (not (Admission.offer q ~now_us:2.0 (rq 2 2.0)));
@@ -85,7 +85,7 @@ let test_admission_shed () =
     (List.map (fun r -> r.Admission.rq_id) batch)
 
 let test_admission_deadline () =
-  let q = Admission.create ~capacity:8 in
+  let q = Admission.create ~capacity:8 () in
   ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:100.0 0 0.0));
   ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:9_999.0 1 0.0));
   let batch = Admission.take q ~now_us:500.0 ~limit:10 in
@@ -94,7 +94,7 @@ let test_admission_deadline () =
   check_int "expired counted" 1 (Admission.expired_count q)
 
 let test_admission_sweep_on_offer () =
-  let q = Admission.create ~capacity:2 in
+  let q = Admission.create ~capacity:2 () in
   ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:10.0 0 0.0));
   ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:10.0 1 0.0));
   (* The queue is full, but both residents are already past their deadline
@@ -365,6 +365,197 @@ let test_ft_pressure_degradation () =
   check_true "queue pressure engaged degraded mode" (s.Stats.s_degraded_batches > 0);
   check_true "executor saw the degraded flag" (!degraded_calls > 0)
 
+(* --- Overload resilience: retry budget, limiter, brownout (DESIGN.md
+   §13). Unit tests of the mechanisms, then server-level integration. --- *)
+
+let test_budget_tokens () =
+  let b = Server.Budget.create ~frac:0.5 in
+  check_true "empty bucket denies the first retry" (not (Server.Budget.try_spend b 1));
+  Server.Budget.deposit b;
+  Server.Budget.deposit b;
+  check_true "two deposits cover one request" (Server.Budget.try_spend b 1);
+  check_true "the bucket drained" (not (Server.Budget.try_spend b 1));
+  Server.Budget.deposit b;
+  Server.Budget.deposit b;
+  Server.Budget.deposit b;
+  (* 1.5 tokens: a batch of 2 costs more than the bucket holds. *)
+  check_true "partial cover still denies" (not (Server.Budget.try_spend b 2));
+  check_float "a denied spend leaves the tokens untouched" 1.5 (Server.Budget.tokens b)
+
+let test_limiter_aimd () =
+  let l = Server.Limiter.create ~target_us:1_000.0 () in
+  check_float "initial limit" 8.0 (Server.Limiter.limit l);
+  check_true "admits below the limit" (Server.Limiter.admits l ~queued:7);
+  check_true "refuses at the limit" (not (Server.Limiter.admits l ~queued:8));
+  Server.Limiter.observe l ~delay_us:500.0;
+  check_float "under target: additive increase" 9.0 (Server.Limiter.limit l);
+  Server.Limiter.observe l ~delay_us:2_000.0;
+  check_float ~eps:1e-9 "over target: multiplicative decrease" 6.3
+    (Server.Limiter.limit l);
+  check_int "decreases counted" 1 (Server.Limiter.decreases l);
+  for _ = 1 to 64 do
+    Server.Limiter.observe l ~delay_us:1.0e9
+  done;
+  check_float "backoff never goes below the floor" 1.0 (Server.Limiter.limit l);
+  check_true "the floor still admits one request" (Server.Limiter.admits l ~queued:0)
+
+let test_brownout_dwell_hysteresis () =
+  let spec =
+    { Server.Brownout.bo_high_us = 100.0; bo_dwell_us = 50.0; bo_low_us = 40.0 }
+  in
+  let b = Server.Brownout.create spec in
+  let obs ~at delay = Server.Brownout.observe b ~now_us:at ~delay_us:delay in
+  check_true "first high crossing only starts the dwell clock"
+    (obs ~at:0.0 200.0 = Server.Brownout.Stay);
+  check_true "a dip below high resets the clock" (obs ~at:30.0 50.0 = Server.Brownout.Stay);
+  check_true "re-crossing restarts" (obs ~at:40.0 200.0 = Server.Brownout.Stay);
+  check_true "still inside the dwell window" (obs ~at:80.0 200.0 = Server.Brownout.Stay);
+  check_true "engages after a full dwell above high"
+    (obs ~at:95.0 200.0 = Server.Brownout.Engage);
+  check_true "controller reports engaged" (Server.Brownout.engaged b);
+  (* Hysteresis: between low and high makes no restore progress. *)
+  check_true "mid-band stays engaged" (obs ~at:120.0 60.0 = Server.Brownout.Stay);
+  check_true "below low starts the restore clock" (obs ~at:130.0 10.0 = Server.Brownout.Stay);
+  check_true "a mid-band sample resets the restore clock"
+    (obs ~at:150.0 60.0 = Server.Brownout.Stay);
+  check_true "restore needs its own full dwell" (obs ~at:160.0 10.0 = Server.Brownout.Stay);
+  check_true "restores after a full dwell below low"
+    (obs ~at:215.0 10.0 = Server.Brownout.Restore);
+  check_true "controller reports restored" (not (Server.Brownout.engaged b))
+
+(* Satellite regression: a request swept at offer time and one dropped at
+   pop time are each counted as expired exactly once — never double-counted
+   by the later pop, never missed. *)
+let test_admission_eager_sweep_counts_once () =
+  let q = Admission.create ~eager_sweep:true ~capacity:4 () in
+  ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:10.0 0 0.0));
+  ignore (Admission.offer q ~now_us:0.0 (rq ~deadline:200.0 1 0.0));
+  (* Eager sweep: the offer at t=50 purges request 0 although there is room. *)
+  check_true "offer admits" (Admission.offer q ~now_us:50.0 (rq ~deadline:500.0 2 50.0));
+  check_int "offer-time sweep counted" 1 (Admission.expired_count q);
+  check_int "swept entry left the queue" 2 (Admission.length q);
+  (* Request 1 expires at t=200; the pop at t=300 counts it exactly once. *)
+  let batch, dropped = Admission.take_with_expired q ~now_us:300.0 ~limit:4 in
+  check_int "pop-time drop counted once" 2 (Admission.expired_count q);
+  check_int "one request dropped at pop" 1 (List.length dropped);
+  Alcotest.(check (list int)) "the live request is served" [ 2 ]
+    (List.map (fun r -> r.Admission.rq_id) batch);
+  check_true "queue drained" (Admission.is_empty q);
+  check_int "no double count after drain" 2 (Admission.expired_count q)
+
+let test_retry_budget_sheds () =
+  (* Every attempt faults transiently. Legacy: retry twice, then bisect
+     down to per-request poison. Armed with a zero-fraction budget: the
+     very first retry is denied and the whole batch becomes a counted
+     shed — no re-offered load, no bisection. *)
+  let always_fault ~degraded:_ _batch = fault "storm" in
+  let config budget =
+    {
+      Server.default_config with
+      Server.policy = Batcher.Fixed { max_batch = 4; max_wait_us = 500.0 };
+      resilience = { Resilience.off with Resilience.rs_retry_budget = budget };
+    }
+  in
+  let arrivals = Traffic.arrivals ~rng:(Rng.create 1) (Traffic.Burst { at_us = 0.0 }) ~n:8 in
+  let run budget =
+    Stats.summarize
+      (Server.simulate (config budget) ~arrivals ~payload:(fun i -> i)
+         ~execute:always_fault)
+  in
+  let off = run None in
+  check_int "legacy: everything poisoned after bisection" 8 off.Stats.s_poisoned;
+  check_true "legacy: bisection ran" (off.Stats.s_bisections > 0);
+  check_int "legacy: no retry sheds" 0 off.Stats.s_retry_shed;
+  let armed = run (Some 0.0) in
+  check_int "armed: every faulted batch shed under the budget" 8 armed.Stats.s_retry_shed;
+  check_int "armed: nothing poisoned" 0 armed.Stats.s_poisoned;
+  check_int "armed: no retries ran" 0 armed.Stats.s_retries;
+  check_int "armed: denied retries are not counted as re-executions" 0
+    armed.Stats.s_retried_requests;
+  check_int "armed: offered still accounts every request" 8 armed.Stats.s_offered
+
+let test_limiter_sheds_burst () =
+  let config =
+    {
+      Server.default_config with
+      Server.resilience =
+        { Resilience.off with Resilience.rs_target_delay_us = Some 1_000.0 };
+    }
+  in
+  let arrivals = Traffic.arrivals ~rng:(Rng.create 1) (Traffic.Burst { at_us = 0.0 }) ~n:40 in
+  let s = Stats.summarize (simulate ~config ~arrivals ()) in
+  (* The AIMD limit starts at 8: a simultaneous burst admits 8 and sheds
+     the rest at the door, well before the 256-slot queue would. *)
+  check_int "burst admits up to the initial limit" 8 s.Stats.s_completed;
+  check_int "the excess is limit-shed" 32 s.Stats.s_limit_shed;
+  check_int "nothing reaches the queue-full path" 0 s.Stats.s_shed;
+  check_int "offered counts limit sheds" 40 s.Stats.s_offered
+
+let test_brownout_engage_restore () =
+  let degraded_calls = ref 0 in
+  let execute ~degraded batch =
+    if degraded then incr degraded_calls;
+    let full = 1_000.0 +. (100.0 *. float_of_int (List.length batch)) in
+    Server.Exec_ok
+      { Server.ex_latency_us = (if degraded then full /. 2.0 else full); ex_profiler = None }
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.policy = Batcher.Fixed { max_batch = 8; max_wait_us = 500.0 };
+      resilience =
+        {
+          Resilience.off with
+          Resilience.rs_brownout =
+            Some
+              { Server.Brownout.bo_high_us = 2_000.0;
+                bo_dwell_us = 3_000.0;
+                bo_low_us = 600.0 };
+        };
+    }
+  in
+  (* A 64-request burst drives queue delay past the engage threshold; the
+     2ms trickle afterwards keeps batches launching with ~0.5ms delay, so
+     the controller restores after its dwell below the low watermark. *)
+  let arrivals =
+    Array.init 104 (fun i ->
+        if i < 64 then 0.0 else 20_000.0 +. (2_000.0 *. float_of_int (i - 64)))
+  in
+  let s =
+    Stats.summarize (Server.simulate config ~arrivals ~payload:(fun i -> i) ~execute)
+  in
+  check_int "everything completes" 104 s.Stats.s_completed;
+  check_true "brownout engaged under the burst" (s.Stats.s_brownouts >= 1);
+  check_true "brownout restored on the trickle" (s.Stats.s_brownout_restores >= 1);
+  check_true "transitions alternate" (s.Stats.s_brownouts - s.Stats.s_brownout_restores <= 1
+                                     && s.Stats.s_brownouts >= s.Stats.s_brownout_restores);
+  check_true "degraded batches ran while engaged" (s.Stats.s_degraded_batches > 0);
+  check_true "executor saw the degraded flag" (!degraded_calls > 0)
+
+let test_resilience_idle_matches_legacy () =
+  (* Arm every mechanism at thresholds gentle traffic never crosses: the
+     run must be byte-identical to the legacy server — same RNG stream,
+     same stats, no new JSON fields. *)
+  let arrivals =
+    Traffic.arrivals ~rng:(Rng.create 3) (Traffic.Poisson { rate_per_s = 2_000.0 }) ~n:60
+  in
+  let run resilience =
+    let config = { Server.default_config with Server.resilience } in
+    Json.to_string (Stats.summary_to_json (Stats.summarize (simulate ~config ~arrivals ())))
+  in
+  let off = run Resilience.off in
+  let idle =
+    run
+      {
+        Resilience.rs_retry_budget = Some 0.5;
+        rs_target_delay_us = Some 1.0e9;
+        rs_brownout =
+          Some
+            { Server.Brownout.bo_high_us = infinity; bo_dwell_us = 1.0; bo_low_us = 0.0 };
+      }
+  in
+  Alcotest.(check string) "armed-but-idle run is byte-identical to legacy" off idle
+
 (* --- Admission property test (randomized offer/take/expiry scripts) --- *)
 
 type aop = A_offer of int * int option | A_take of int * int
@@ -382,15 +573,32 @@ let gen_admission_script =
   QCheck2.Gen.(pair (int_range 1 6) (list_size (int_range 1 80) gen_aop))
 
 (* Invariants under any interleaving of offers, takes and deadline expiry:
-   the queue never exceeds its capacity, takes are FIFO among live requests,
-   and every offered request is accounted exactly once as taken, shed or
-   expired. *)
+   the queue never exceeds its capacity, each take pops live requests in
+   earliest-deadline-first order (deadline-free requests sort last; equal
+   deadlines break FIFO by id, so the order is total and stable), no id is
+   popped twice, and every offered request is accounted exactly once as
+   taken, shed or expired. *)
 let admission_prop (cap, ops) =
-  let q = Admission.create ~capacity:cap in
+  let q = Admission.create ~capacity:cap () in
   let now = ref 0.0 in
   let next_id = ref 0 in
   let taken = ref [] in
   let ok = ref true in
+  let edf_key (r : int Admission.request) =
+    Option.value ~default:infinity r.Admission.rq_deadline_us, r.Admission.rq_id
+  in
+  (* Within one batch the pop order must be non-decreasing in
+     (deadline, id); across batches a later arrival may legitimately carry
+     an earlier deadline than requests already taken. *)
+  let rec edf_sorted = function
+    | a :: (b :: _ as t) -> edf_key a <= edf_key b && edf_sorted t
+    | _ -> true
+  in
+  let record_batch batch limit =
+    if List.length batch > limit then ok := false;
+    if not (edf_sorted batch) then ok := false;
+    List.iter (fun r -> taken := r.Admission.rq_id :: !taken) batch
+  in
   List.iter
     (fun op ->
       match op with
@@ -410,20 +618,18 @@ let admission_prop (cap, ops) =
         if Admission.length q > cap then ok := false
       | A_take (dt, limit) ->
         now := !now +. float_of_int dt;
-        let batch = Admission.take q ~now_us:!now ~limit in
-        if List.length batch > limit then ok := false;
-        List.iter (fun r -> taken := r.Admission.rq_id :: !taken) batch)
+        record_batch (Admission.take q ~now_us:!now ~limit) limit)
     ops;
-  let rest = Admission.take q ~now_us:!now ~limit:max_int in
-  List.iter (fun r -> taken := r.Admission.rq_id :: !taken) rest;
+  record_batch (Admission.take q ~now_us:!now ~limit:max_int) max_int;
   let taken = List.rev !taken in
-  (* Ids are assigned in offer order and nothing reorders the queue, so the
-     taken sequence must be strictly ascending. *)
-  let rec ascending = function
-    | a :: (b :: _ as t) -> a < b && ascending t
-    | _ -> true
+  let seen = Hashtbl.create 64 in
+  let unique =
+    List.for_all
+      (fun id ->
+        if Hashtbl.mem seen id then false else (Hashtbl.add seen id (); true))
+      taken
   in
-  !ok && ascending taken
+  !ok && unique
   && Admission.length q = 0
   && !next_id = List.length taken + Admission.shed_count q + Admission.expired_count q
 
@@ -797,6 +1003,7 @@ let replica_health_prop (verdicts : int list) : bool =
       cb_cancelled = (fun ~replica:_ _ -> ());
       cb_expired = (fun ~replica:_ _ -> ());
       cb_poisoned = (fun ~replica:_ _ -> ());
+      cb_retry_shed = (fun ~replica:_ _ -> ());
       cb_down = (fun ~replica:_ _ -> note (`Down (Replica.epoch (the_repl ()))));
       cb_probe_ready =
         (fun ~replica:_ ->
@@ -1047,9 +1254,23 @@ let suite =
     Alcotest.test_case "ft: circuit breaker opens, sheds, probes closed" `Quick
       test_ft_circuit_breaker;
     Alcotest.test_case "ft: OOM shrinks the batch cap" `Quick test_ft_oom_shrinks_batches;
+    Alcotest.test_case "resilience: retry-budget token bucket" `Quick test_budget_tokens;
+    Alcotest.test_case "resilience: AIMD limiter" `Quick test_limiter_aimd;
+    Alcotest.test_case "resilience: brownout dwell + hysteresis" `Quick
+      test_brownout_dwell_hysteresis;
+    Alcotest.test_case "resilience: eager sweep counts expiry once" `Quick
+      test_admission_eager_sweep_counts_once;
+    Alcotest.test_case "resilience: exhausted retry budget sheds" `Quick
+      test_retry_budget_sheds;
+    Alcotest.test_case "resilience: limiter sheds a burst at the door" `Quick
+      test_limiter_sheds_burst;
+    Alcotest.test_case "resilience: brownout engages and restores" `Quick
+      test_brownout_engage_restore;
+    Alcotest.test_case "resilience: armed-but-idle is byte-identical" `Quick
+      test_resilience_idle_matches_legacy;
     Alcotest.test_case "ft: queue pressure degrades service" `Quick
       test_ft_pressure_degradation;
-    qtest ~count:300 "admission: conservation + FIFO under random scripts"
+    qtest ~count:300 "admission: conservation + EDF order under random scripts"
       gen_admission_script admission_prop;
     Alcotest.test_case "cluster: failover keeps goodput >= 99%" `Quick
       test_cluster_failover_goodput;

@@ -306,6 +306,139 @@ let test_autoscaler_beats_fixed () =
   check_true "scale trajectory recorded"
     (List.length auto_report.Dispatcher.tn_scale_events > 0)
 
+(* --- Overload resilience at the tenancy layer (DESIGN.md §13) --- *)
+
+(* Satellite: the configured quota is per replica. Once the autoscaler has
+   grown the fleet, a tenant may hold proportionally more inflight work —
+   but never more than quota x current replicas. *)
+let test_quota_scales_with_replicas () =
+  let tenants =
+    [|
+      mk_tenant ~seed:5 ~index:0 ~rate:20_000.0 ~quota:2 ~requests:2_000 "greedy";
+      mk_tenant ~seed:5 ~index:1 ~rate:14_000.0 ~quota:64 ~requests:600 "heavy";
+    |]
+  in
+  let r =
+    Dispatcher.simulate
+      (base_config ~scaler:(Autoscaler.default ~min_replicas:1 ~max_replicas:3) ())
+      ~tenants ~payload ~execute:uniform_execute ~model_bytes:no_swap_bytes
+  in
+  check_true "the fleet scaled" (r.Dispatcher.tn_peak_replicas >= 2);
+  match r.Dispatcher.tn_tenants with
+  | [ greedy; _heavy ] ->
+    check_true "scaled quota admits more than the per-replica figure"
+      (greedy.Dispatcher.tv_peak_inflight > 2);
+    check_true "peak inflight stays under quota x peak replicas"
+      (greedy.Dispatcher.tv_peak_inflight <= 2 * r.Dispatcher.tn_peak_replicas)
+  | _ -> Alcotest.fail "expected two tenant views"
+
+(* Satellite regression: arming the resilience layer without tripping any
+   of its mechanisms must not perturb the dispatcher's RNG streams or
+   timing — the report stays byte-identical to the legacy run. *)
+let test_tenancy_resilience_idle_matches_legacy () =
+  let run resilience =
+    let cfg = { (base_config ()) with Dispatcher.t_resilience = resilience } in
+    let tenants =
+      [|
+        mk_tenant ~seed:13 ~index:0 ~rate:1_000.0 ~requests:80 "a";
+        mk_tenant ~seed:13 ~index:1 ~model:"birnn" ~rate:600.0 ~requests:50 "b";
+      |]
+    in
+    Json.to_string
+      (Dispatcher.report_json
+         (Dispatcher.simulate cfg ~tenants ~payload ~execute:uniform_execute
+            ~model_bytes:no_swap_bytes))
+  in
+  let off = run Acrobat.Resilience.off in
+  let idle =
+    run
+      {
+        Acrobat.Resilience.rs_retry_budget = Some 0.5;
+        rs_target_delay_us = Some 1.0e9;
+        rs_brownout = None;
+      }
+  in
+  check_true "armed-but-idle dispatcher is byte-identical to legacy"
+    (String.equal off idle)
+
+let test_tenant_breaker_opens_and_recovers () =
+  (* The first 4 batch executions fault; with a zero retry budget each one
+     is a consecutive failure, so the tenant's breaker opens at the default
+     threshold (4), sheds at the door through the cooldown, then a
+     half-open trial on the now-healthy device closes it again. *)
+  let calls = ref 0 in
+  let execute _replica ~model:_ batch =
+    incr calls;
+    if !calls <= 4 then
+      Server.Exec_fault
+        {
+          ef_latency_us = 300.0;
+          ef_reason = "storm";
+          ef_transient = true;
+          ef_oom = false;
+          ef_reset = false;
+        }
+    else uniform_execute 0 ~model:"m" batch
+  in
+  let cfg =
+    {
+      (base_config ()) with
+      Dispatcher.t_resilience =
+        { Acrobat.Resilience.off with Acrobat.Resilience.rs_retry_budget = Some 0.0 };
+    }
+  in
+  let t = mk_tenant ~seed:2 ~index:0 ~rate:2_000.0 ~requests:150 "flaky" in
+  let r =
+    Dispatcher.simulate cfg ~tenants:[| t |] ~payload ~execute
+      ~model_bytes:no_swap_bytes
+  in
+  let s = Stats.summarize r.Dispatcher.tn_stats in
+  check_true "breaker opened" (s.Stats.s_breaker_opens >= 1);
+  check_true "open breaker shed arrivals" (s.Stats.s_breaker_shed > 0);
+  check_true "denied retries were counted as sheds" (s.Stats.s_retry_shed > 0);
+  check_true "the half-open trial closed the breaker: service resumed"
+    (s.Stats.s_completed > 0);
+  check_int "every request is accounted" 150 s.Stats.s_offered
+
+let test_dispatcher_hedging () =
+  (* Every 13th batch straggles at 20x latency. Batch outcomes resolve at
+     launch, so hedging guards against queueing delay: requests stuck
+     behind the straggler on the lone replica outlive their p90 timer and
+     get duplicated. The primary copy is always ahead of its duplicate in
+     EDF order, so every duplicate resolves as wasted work or a
+     cancellation — never an extra completion (a duplicate completing
+     would overflow the conservation check). *)
+  let calls = ref 0 in
+  let execute _replica ~model:_ batch =
+    incr calls;
+    let base = 500.0 +. (50.0 *. float_of_int (List.length batch)) in
+    Server.Exec_ok
+      {
+        Server.ex_latency_us = (if !calls mod 13 = 0 then base *. 20.0 else base);
+        ex_profiler = None;
+      }
+  in
+  let cfg =
+    {
+      (base_config ~scaler:(Autoscaler.fixed 1) ()) with
+      Dispatcher.t_hedge_percentile = Some 90.0;
+    }
+  in
+  let t = mk_tenant ~seed:7 ~index:0 ~rate:3_000.0 ~slo_ms:1_000.0 ~requests:200 "hedged" in
+  let r =
+    Dispatcher.simulate cfg ~tenants:[| t |] ~payload ~execute
+      ~model_bytes:no_swap_bytes
+  in
+  let s = Stats.summarize r.Dispatcher.tn_stats in
+  check_true "hedges fired" (s.Stats.s_hedges > 0);
+  check_int "every logical request completed exactly once" 200 s.Stats.s_completed;
+  check_int "offered is conserved" 200 s.Stats.s_offered;
+  check_true "duplicates resolved as wasted work or cancellations"
+    (s.Stats.s_hedge_wasted + s.Stats.s_hedge_cancels > 0);
+  check_true "hedge outcomes are attributed"
+    (s.Stats.s_hedge_wins + s.Stats.s_hedge_wasted + s.Stats.s_hedge_cancels
+     <= s.Stats.s_hedges)
+
 let suite =
   [
     prop_fairshare_tracks_weights;
@@ -322,4 +455,12 @@ let suite =
     Alcotest.test_case "tenant: spec parse round-trip" `Quick test_spec_roundtrip;
     Alcotest.test_case "autoscaler: rides the flash crowd fixed cannot" `Slow
       test_autoscaler_beats_fixed;
+    Alcotest.test_case "resilience: quota scales with the fleet" `Quick
+      test_quota_scales_with_replicas;
+    Alcotest.test_case "resilience: armed-but-idle is byte-identical" `Quick
+      test_tenancy_resilience_idle_matches_legacy;
+    Alcotest.test_case "resilience: tenant breaker opens and recovers" `Quick
+      test_tenant_breaker_opens_and_recovers;
+    Alcotest.test_case "resilience: dispatcher hedging, no dup completion" `Quick
+      test_dispatcher_hedging;
   ]
