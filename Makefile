@@ -24,7 +24,13 @@ test:
 # BENCH_cluster.json). The multi-tenant smoke serves three tenants with the
 # autoscaler on and one fault-injected replica slot, gated on goodput; the
 # tenants bench runs twice and its JSON (BENCH_tenants.json, a CI artifact)
-# must be byte-identical across runs.
+# must be byte-identical across runs. The integrity smoke serves a
+# replicated cluster with one replica silently corrupting 40% of its
+# batches under full auditing — the CLI exits nonzero if any corrupted
+# result is delivered at --audit 1, and the run is additionally gated on
+# goodput; the integrity bench (delivered corruption and goodput vs audit
+# rate, BENCH_integrity.json, a CI artifact) runs twice and must be
+# byte-identical across runs.
 check: build test
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 2000 --requests 50 --iters 100
@@ -57,6 +63,12 @@ check: build test
 	dune exec bench/main.exe -- overload --json BENCH_overload.json
 	dune exec bench/main.exe -- overload --json BENCH_overload_rerun.json
 	cmp BENCH_overload.json BENCH_overload_rerun.json
+	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
+	  --rate 3000 --requests 80 --iters 100 --replicas 2 \
+	  --faults "seed=21,corrupt=0.4" --audit 1 --min-goodput 0.5
+	dune exec bench/main.exe -- integrity --json BENCH_integrity.json
+	dune exec bench/main.exe -- integrity --json BENCH_integrity_rerun.json
+	cmp BENCH_integrity.json BENCH_integrity_rerun.json
 	$(MAKE) chaos-smoke
 	dune exec bench/main.exe -- chaos --json BENCH_chaos.json
 	dune exec bench/main.exe -- chaos --json BENCH_chaos_rerun.json

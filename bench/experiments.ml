@@ -678,6 +678,76 @@ let serve_cluster_bench ?(requests = 150) ?(rate_per_s = 4000.0) ?(iters = 50) ?
       ~hedge:90.0 ();
   ]
 
+(* --- Integrity: delivered corruption and goodput vs audit sampling
+   rate (DESIGN.md §14) --- *)
+
+type integrity_row = {
+  ig_audit : float;
+  ig_goodput : float;
+  ig_completed : int;
+  ig_corrupted_batches : int;
+  ig_corrupted_delivered : int;
+  ig_audits : int;
+  ig_audit_mismatches : int;
+  ig_quarantines : int;
+  ig_quarantine_restores : int;
+  ig_p50 : float;
+  ig_p99 : float;
+}
+
+(** Sweep the audit sampling rate over the {e same} corrupted cluster:
+    identical seeds, identical arrival trace — the only intended change
+    between rows is how many deliveries the audit gate verifies. Replica 0
+    silently corrupts a fraction of its batch attempts (nothing raises —
+    without auditing the wrong answers are simply delivered); replica 1 is
+    clean. Rate 0.0 is the integrity layer off, 1.0 audits every delivery.
+    Each rate is run over several seeds and the counts summed: quarantine
+    drains perturb batch composition, so the per-seed {e injected}
+    corruption wobbles a little between rates, and aggregating isolates the
+    interception effect we are actually claiming. Expected shape (gated in
+    [bench integrity]): delivered corruption falls monotonically with the
+    sampling rate, reaches exactly zero at 1.0, and costs bounded goodput;
+    the corruption scoreboard quarantines the dirty replica once mismatches
+    accumulate. *)
+let integrity_bench ?(audits = [ 0.0; 0.25; 0.5; 0.75; 1.0 ]) ?(requests = 120)
+    ?(rate_per_s = 4000.0) ?(iters = 50) ?(seeds = [ 9; 10; 11; 12; 13 ]) () :
+    integrity_row list =
+  let model = Models.tiny "treelstm" in
+  let corrupt = Faults.parse "seed=21,corrupt=0.4" in
+  List.map
+    (fun audit ->
+      let runs =
+        List.map
+          (fun seed ->
+            let r =
+              serve_cluster ~iters ~fault_plans:[ corrupt ] ~replicas:2
+                ~deadline_ms:50.0 ~audit
+                ~process:(Serve.Traffic.Poisson { rate_per_s })
+                ~requests ~seed model
+            in
+            r.cr_summary)
+          seeds
+      in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 runs in
+      let mean f =
+        List.fold_left (fun acc s -> acc +. f s) 0.0 runs
+        /. float_of_int (List.length runs)
+      in
+      {
+        ig_audit = audit;
+        ig_goodput = mean Serve.Stats.goodput;
+        ig_completed = sum (fun s -> s.Serve.Stats.s_completed);
+        ig_corrupted_batches = sum (fun s -> s.Serve.Stats.s_corrupted_batches);
+        ig_corrupted_delivered = sum (fun s -> s.Serve.Stats.s_corrupted_delivered);
+        ig_audits = sum (fun s -> s.Serve.Stats.s_audits);
+        ig_audit_mismatches = sum (fun s -> s.Serve.Stats.s_audit_mismatches);
+        ig_quarantines = sum (fun s -> s.Serve.Stats.s_quarantines);
+        ig_quarantine_restores = sum (fun s -> s.Serve.Stats.s_quarantine_restores);
+        ig_p50 = mean (fun s -> s.Serve.Stats.s_p50_ms);
+        ig_p99 = mean (fun s -> s.Serve.Stats.s_p99_ms);
+      })
+    audits
+
 (* --- Observability: the metrics registry over a serve run (DESIGN.md
    §10) --- *)
 
@@ -775,6 +845,8 @@ let tenants_bench ?(seed = 11) () : (string * Tenancy.Dispatcher.report) list =
       {
         Serve.Server.ex_latency_us = 2_000.0 +. (200.0 *. float_of_int n);
         ex_profiler = None;
+        ex_fingerprints = None;
+        ex_corrupted = false;
       }
   in
   let model_bytes = function
@@ -882,7 +954,8 @@ let overload_bench ?(loads = [ 0.5; 0.8; 1.1; 1.4; 1.8 ]) ?(requests = 1200)
             ef_oom = false;
             ef_reset = false;
           }
-      else Serve.Server.Exec_ok { ex_latency_us = cost; ex_profiler = None }
+      else Serve.Server.Exec_ok
+          { ex_latency_us = cost; ex_profiler = None; ex_fingerprints = None; ex_corrupted = false }
     in
     let arrivals =
       Serve.Traffic.arrivals

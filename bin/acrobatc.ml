@@ -243,13 +243,16 @@ let bench_cmd =
 let serve_cmd =
   let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
       burst seed iters faults_specs replicas dispatch hedge requeue_budget retry_budget
-      concurrency_target brownout tenant_specs autoscale min_goodput json_path trace_path =
+      concurrency_target brownout tenant_specs autoscale audit min_goodput json_path
+      trace_path =
     guarded @@ fun () ->
     Option.iter
       (fun f ->
         if not (Float.is_finite f) || f < 0.0 then
           Fmt.invalid_arg "--retry-budget %g: want a finite fraction >= 0" f)
       retry_budget;
+    if not (Float.is_finite audit) || audit < 0.0 || audit > 1.0 then
+      Fmt.invalid_arg "--audit %g: want a sampling rate in [0,1]" audit;
     Option.iter
       (fun ms ->
         if not (Float.is_finite ms) || ms <= 0.0 then
@@ -277,6 +280,22 @@ let serve_cmd =
           resilience.Resilience.rs_brownout;
         Fmt.pr "@."
       end
+    in
+    (* Printed only when armed, like [pp_resilience]. *)
+    let pp_audit () =
+      if audit > 0.0 then
+        Fmt.pr "audit: sampling %g of deliveries against an unbatched reference@." audit
+    in
+    (* The zero-delivered-corruption assertion: at --audit 1 every delivery
+       is fingerprint-checked, so a corrupted result reaching a client is a
+       hard failure, not a statistic. *)
+    let corruption_gate (summary : Serve.Stats.summary) rc =
+      if audit >= 1.0 && summary.Serve.Stats.s_corrupted_delivered > 0 then begin
+        Fmt.epr "error: %d corrupted results delivered despite --audit 1@."
+          summary.Serve.Stats.s_corrupted_delivered;
+        1
+      end
+      else rc
     in
     let resolve id =
       match size with
@@ -328,12 +347,13 @@ let serve_cmd =
             Fmt.pr "fault plan (replica %d): %a@." i Faults.pp_plan p)
         fault_plans;
       pp_resilience ();
+      pp_audit ();
       Fmt.pr "@.";
       let tracer = tracer_of trace_path in
       let report =
         serve_tenants ~policy ~queue_capacity:queue_cap ?iters ~fault_plans ~min_replicas
-          ~max_replicas ~resilience ?hedge_percentile:hedge ?tracer ~models:resolve
-          ~tenants ~seed ()
+          ~max_replicas ~resilience ?hedge_percentile:hedge ~audit ?tracer
+          ~models:resolve ~tenants ~seed ()
       in
       let summary = Serve.Stats.summarize report.Tenancy.Dispatcher.tn_stats in
       Fmt.pr "%a@.@." Serve.Stats.pp_summary summary;
@@ -362,12 +382,13 @@ let serve_cmd =
           Fmt.pr "wrote %s@." path)
         json_path;
       write_trace tracer trace_path;
-      match min_goodput with
-      | Some frac when Serve.Stats.goodput summary < frac ->
-        Fmt.epr "error: goodput %.4f below --min-goodput %.4f@."
-          (Serve.Stats.goodput summary) frac;
-        1
-      | _ -> 0
+      corruption_gate summary
+        (match min_goodput with
+        | Some frac when Serve.Stats.goodput summary < frac ->
+          Fmt.epr "error: goodput %.4f below --min-goodput %.4f@."
+            (Serve.Stats.goodput summary) frac;
+          1
+        | _ -> 0)
     end
     else begin
     let model = resolve model_id in
@@ -397,6 +418,7 @@ let serve_cmd =
       fault_plans;
     if List.exists Faults.enabled fault_plans then Fmt.pr "@.";
     pp_resilience ();
+    pp_audit ();
     let tracer = tracer_of trace_path in
     let summary =
       if replicas = 1 && hedge = None && requeue_budget = None then begin
@@ -404,7 +426,7 @@ let serve_cmd =
         let faults = match fault_plans with [] -> Faults.none | p :: _ -> p in
         let report =
           serve_model ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~faults
-            ~resilience ?tracer ~process ~requests ~seed model
+            ~resilience ~audit ?tracer ~process ~requests ~seed model
         in
         Fmt.pr "%a@.@." Serve.Stats.pp_summary report.sv_summary;
         Fmt.pr "cumulative device activity:@.%a@." Profiler.pp report.sv_profiler;
@@ -418,7 +440,7 @@ let serve_cmd =
       else begin
         let report =
           serve_cluster ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~fault_plans
-            ~dispatch ?hedge_percentile:hedge ?requeue_budget ~resilience ?tracer
+            ~dispatch ?hedge_percentile:hedge ?requeue_budget ~resilience ~audit ?tracer
             ~replicas ~process ~requests ~seed model
         in
         Fmt.pr "cluster of %d replicas   dispatch %s%a@.@." replicas
@@ -442,12 +464,13 @@ let serve_cmd =
       end
     in
     write_trace tracer trace_path;
-    match min_goodput with
-    | Some frac when Serve.Stats.goodput summary < frac ->
-      Fmt.epr "error: goodput %.4f below --min-goodput %.4f@."
-        (Serve.Stats.goodput summary) frac;
-      1
-    | _ -> 0
+    corruption_gate summary
+      (match min_goodput with
+      | Some frac when Serve.Stats.goodput summary < frac ->
+        Fmt.epr "error: goodput %.4f below --min-goodput %.4f@."
+          (Serve.Stats.goodput summary) frac;
+        1
+      | _ -> 0)
     end
   in
   let model_arg =
@@ -589,6 +612,19 @@ let serve_cmd =
              one fixed replica). Scale-up reacts to sustained queue delay; scale-down \
              drains the victim replica before retiring it.")
   in
+  let audit_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "audit" ] ~docv:"RATE"
+          ~doc:
+            "Audit sampled deliveries for silent data corruption: each completed \
+             request is re-executed unbatched on a clean reference engine with \
+             probability RATE and the result fingerprints are compared before delivery. \
+             A mismatch delivers the reference result instead and feeds the replica's \
+             corruption scoreboard, which quarantines repeat offenders (drain, requeue, \
+             probe-based re-admission). At RATE 1 every delivery is verified and the \
+             run exits nonzero if any corrupted result slips through.")
+  in
   let min_goodput_arg =
     Arg.(
       value & opt (some float) None
@@ -609,7 +645,7 @@ let serve_cmd =
       $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
       $ iters_arg $ faults_arg $ replicas_arg $ dispatch_arg $ hedge_arg
       $ requeue_budget_arg $ retry_budget_arg $ concurrency_target_arg $ brownout_arg
-      $ tenant_arg $ autoscale_arg $ min_goodput_arg $ json_arg $ trace_arg)
+      $ tenant_arg $ autoscale_arg $ audit_arg $ min_goodput_arg $ json_arg $ trace_arg)
 
 (* --- chaos (randomized fault search with invariant checking) --- *)
 

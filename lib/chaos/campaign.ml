@@ -37,6 +37,19 @@ module Resilience = Acrobat_resilience.Policy
    "time passes and batches finish". *)
 let elems_per_req = 100
 
+(* Synthetic per-request fingerprint: any injective function of the id
+   works — the audit layer compares fingerprints for equality, never
+   structure. A corrupted attempt perturbs every request's fingerprint,
+   mirroring the real executor's every-output perturbation; the campaign
+   auditor's reference is the unperturbed value. *)
+let synth_fp ~corrupted id =
+  let base = Int64.mul (Int64.of_int (id + 1)) 0x9e3779b97f4a7c15L in
+  if corrupted then Int64.add base 1L else base
+
+(* Audit re-execution latency: a bit over one unbatched request (the
+   reference engine runs without batching). *)
+let audit_latency_us = 110.0
+
 (* One replica's executor: a fresh injector per call of this function (one
    per simulation), consulted once per batch attempt like the real device
    glue. Poison and capacity are deterministic (non-transient, so the
@@ -72,10 +85,14 @@ let executor_of_plan (plan : Faults.plan) : degraded:bool -> int list -> Server.
         Faults.begin_attempt inj;
         match Faults.on_launch inj with
         | mult ->
+          let corrupted = Faults.corrupt_attempt inj in
           Server.Exec_ok
             {
               Server.ex_latency_us = (100.0 +. (10.0 *. float_of_int n)) *. mult;
               ex_profiler = None;
+              ex_fingerprints =
+                Some (Array.of_list (List.map (synth_fp ~corrupted) batch));
+              ex_corrupted = corrupted;
             }
         | exception Faults.Fault { kind; _ } ->
           Server.Exec_fault
@@ -86,6 +103,20 @@ let executor_of_plan (plan : Faults.plan) : degraded:bool -> int list -> Server.
               ef_oom = false;
               ef_reset = kind = Faults.Device_reset;
             }))
+
+(* The campaign's reference engine: the synthetic executor's uncorrupted
+   fingerprint for the request, after one unbatched re-execution's worth of
+   simulated latency. Seeded off the scenario seed on a distinct stream,
+   exactly as [Acrobat.reference_auditor] derives its from [--seed]. *)
+let auditor_of (sc : Scenario.t) : int Server.auditor option =
+  if sc.Scenario.sc_audit <= 0.0 then None
+  else
+    Some
+      {
+        Server.au_rate = sc.Scenario.sc_audit;
+        au_seed = (sc.Scenario.sc_seed * 61) + 29;
+        au_reference = (fun id _payload -> synth_fp ~corrupted:false id, audit_latency_us);
+      }
 
 let cluster_config (sc : Scenario.t) : Cluster.config =
   {
@@ -145,7 +176,7 @@ let run_scenario_full (sc : Scenario.t) :
         (Scenario.process sc) ~n:sc.Scenario.sc_requests
     in
     let report =
-      Cluster.simulate ~tracer (cluster_config sc) ~arrivals
+      Cluster.simulate ~tracer ?auditor:(auditor_of sc) (cluster_config sc) ~arrivals
         ~payload:(fun i -> i)
         ~executors:(Array.map executor_of_plan sc.Scenario.sc_plans)
     in
@@ -165,7 +196,8 @@ let run_scenario_full (sc : Scenario.t) :
       execs.(min i (Array.length execs - 1)) ~degraded:false batch
     in
     let report =
-      Dispatcher.simulate ~tracer (tenancy_config sc tc) ~tenants
+      Dispatcher.simulate ~tracer ?auditor:(auditor_of sc) (tenancy_config sc tc)
+        ~tenants
         ~payload:(fun ~tenant:_ ~index:_ ~id -> id)
         ~execute ~model_bytes
     in
@@ -265,6 +297,7 @@ let check_scenario ?goodput_floor ?(check_replay = true) (sc : Scenario.t) :
             sc.Scenario.sc_resilience.Resilience.rs_retry_budget;
           in_brownout = sc.Scenario.sc_resilience.Resilience.rs_brownout;
           in_peak_replicas = peak_replicas;
+          in_audit_rate = sc.Scenario.sc_audit;
         }
     in
     let violations =

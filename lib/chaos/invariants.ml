@@ -28,7 +28,14 @@
       bound that makes retry storms impossible by construction;
     - {b brownout_dwell}: brownout transitions on every replica alternate
       degrade/restore and consecutive transitions are at least the dwell
-      window apart, and trace transition counts match the summary counters.
+      window apart, and trace transition counts match the summary counters;
+    - {b audit_shield}: with the audit gate at rate 1.0 every delivery is
+      verified, so zero corrupted results may reach a caller — the bound
+      that makes sampled auditing a real defense, not a dashboard — and
+      mismatches never exceed audits;
+    - {b quarantine_flow}: quarantine/restore trace instants agree with the
+      summary counters, and a replica can only be restored after having
+      been quarantined (restores never exceed quarantines).
 
     Replay determinism (same seed, byte-identical summary + trace) needs a
     second run, so it lives in {!Campaign.check_scenario} and reports here
@@ -79,6 +86,7 @@ type input = {
   in_retry_budget_frac : float option;  (** Armed retry-budget fraction. *)
   in_brownout : Brownout.spec option;  (** Armed brownout spec. *)
   in_peak_replicas : int;  (** Peak fleet size; scales per-replica quotas. *)
+  in_audit_rate : float;  (** Armed sampled-audit rate; 0.0 = auditing off. *)
 }
 
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -226,6 +234,38 @@ let check (i : input) : violation list =
           (v "brownout_dwell" "%d restore trace events but %d restores recorded"
              !restores s.Stats.s_brownout_restores))
     i.in_brownout;
+  (* Audit shield: at rate 1.0 every delivery passes through the audit
+     gate, so a corrupted result reaching a caller means the gate leaked.
+     Mismatches are a subset of audits by construction. *)
+  if i.in_audit_rate >= 1.0 && s.Stats.s_corrupted_delivered > 0 then
+    add
+      (v "audit_shield" "%d corrupted results delivered despite audit rate %.2f"
+         s.Stats.s_corrupted_delivered i.in_audit_rate);
+  if s.Stats.s_audit_mismatches > s.Stats.s_audits then
+    add
+      (v "audit_shield" "%d audit mismatches exceed %d audits"
+         s.Stats.s_audit_mismatches s.Stats.s_audits);
+  (* Quarantine flow: trace instants and summary counters must agree, and a
+     replica is only ever restored out of a quarantine it entered. *)
+  let quarantines = ref 0 and restores = ref 0 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      if ev.Trace.ev_ph = 'i' then
+        if ev.Trace.ev_name = "quarantine" then incr quarantines
+        else if ev.Trace.ev_name = "quarantine_restore" then incr restores)
+    i.in_events;
+  if !quarantines <> s.Stats.s_quarantines then
+    add
+      (v "quarantine_flow" "%d quarantine trace events but %d quarantines recorded"
+         !quarantines s.Stats.s_quarantines);
+  if !restores <> s.Stats.s_quarantine_restores then
+    add
+      (v "quarantine_flow" "%d restore trace events but %d restores recorded" !restores
+         s.Stats.s_quarantine_restores);
+  if s.Stats.s_quarantine_restores > s.Stats.s_quarantines then
+    add
+      (v "quarantine_flow" "%d restores exceed %d quarantines"
+         s.Stats.s_quarantine_restores s.Stats.s_quarantines);
   List.rev !out
 
 (** Distinct invariant names violated, sorted — the compact label used in

@@ -53,6 +53,10 @@ type t = {
   sc_tenancy : tenancy option;  (** Tenant mix; [None] = plain cluster run. *)
   sc_resilience : Resilience.config;
       (** Overload-control dimension; [Resilience.off] = PR-6 behavior. *)
+  sc_audit : float;
+      (** Sampled-audit rate for the integrity layer; 0.0 = auditing off.
+          Corruption scenarios pair a [corrupt=]/[flaky=] clause in some
+          replica's plan with a (possibly zero) audit rate. *)
 }
 
 (** The arrival process this scenario drives — the exact shape
@@ -244,6 +248,28 @@ let generate ~(campaign_seed : int) ~(fault_prob : float) (index : int) : t =
       { Resilience.rs_retry_budget; rs_target_delay_us; rs_brownout }
     end
   in
+  (* Silent-corruption dimension, drawn after {e everything} else so every
+     pre-existing field of scenario [(S, i)] keeps its exact value. Scaled
+     by [fault_prob] (a zero-probability campaign stays clean), ~25% of
+     scenarios make one replica silently corrupting — probabilistically
+     ([corrupt=]) or with deterministic flaky onset ([flaky=]) — and arm
+     the audit gate at a sampled rate (0.0 included: undetected corruption
+     must also hold conservation). *)
+  let sc_audit =
+    if not (Rng.bernoulli rng (0.25 *. fault_prob)) then 0.0
+    else begin
+      let victim = Rng.int rng (Array.length sc_plans) in
+      let p = sc_plans.(victim) in
+      let p =
+        if Rng.bernoulli rng 0.3 then
+          { p with Faults.flaky_after = Some (1 + Rng.int rng 3) }
+        else { p with Faults.corrupt_rate = choose rng [ 0.05; 0.2; 0.5; 1.0 ] }
+      in
+      Faults.validate p;
+      sc_plans.(victim) <- p;
+      choose rng [ 0.0; 0.25; 0.5; 1.0 ]
+    end
+  in
   {
     sc_index = index;
     sc_seed;
@@ -260,6 +286,7 @@ let generate ~(campaign_seed : int) ~(fault_prob : float) (index : int) : t =
     sc_plans;
     sc_tenancy;
     sc_resilience;
+    sc_audit;
   }
 
 (** Total requests the scenario's arrival streams generate: one stream per
@@ -276,7 +303,9 @@ let plan_clauses (p : Faults.plan) : int =
   + (if p.Faults.straggler_rate > 0.0 then 1 else 0)
   + (if p.Faults.reset_rate > 0.0 then 1 else 0)
   + (if p.Faults.capacity_elems <> None then 1 else 0)
-  + if p.Faults.poison <> [] then 1 else 0
+  + (if p.Faults.poison <> [] then 1 else 0)
+  + (if p.Faults.corrupt_rate > 0.0 then 1 else 0)
+  + if p.Faults.flaky_after <> None then 1 else 0
 
 (** Enabled fault clauses across every replica's plan — the headline size
     the shrinker drives down (acceptance: a known-bad plan shrinks to <= 2
@@ -333,6 +362,7 @@ let to_cli (sc : t) : string =
     Option.iter (fun p -> add " --hedge %g" p) sc.sc_hedge;
     add " --requeue-budget %d" sc.sc_requeue_budget;
     add_resilience ();
+    if sc.sc_audit > 0.0 then add " --audit %g" sc.sc_audit;
     add_faults ()
   | Some tc ->
     (* Tenant mode: model, rate, SLO and quota live in the tenant specs;
@@ -348,6 +378,7 @@ let to_cli (sc : t) : string =
     add " --autoscale %d:%d" tc.tc_min tc.tc_max;
     Option.iter (fun p -> add " --hedge %g" p) sc.sc_hedge;
     add_resilience ();
+    if sc.sc_audit > 0.0 then add " --audit %g" sc.sc_audit;
     add_faults ());
   Buffer.contents b
 
@@ -364,5 +395,6 @@ let to_json (sc : t) : Acrobat_obs.Json.t =
       J.Int (match sc.sc_tenancy with None -> 0 | Some tc -> Array.length tc.tc_tenants);
       "clauses", J.Int (fault_clause_count sc);
       "resilience", J.Bool (Resilience.active sc.sc_resilience);
+      "audit", J.Float sc.sc_audit;
       "repro", J.Str (to_cli sc);
     ]

@@ -26,6 +26,8 @@ let plan_candidates (p : Faults.plan) : Faults.plan list =
   if p.Faults.reset_rate > 0.0 then add { p with Faults.reset_rate = 0.0 };
   if p.Faults.capacity_elems <> None then add { p with Faults.capacity_elems = None };
   if p.Faults.poison <> [] then add { p with Faults.poison = [] };
+  if p.Faults.corrupt_rate > 0.0 then add { p with Faults.corrupt_rate = 0.0 };
+  if p.Faults.flaky_after <> None then add { p with Faults.flaky_after = None };
   (match p.Faults.poison with
   | _ :: (_ :: _ as rest) -> add { p with Faults.poison = rest }
   | _ -> ());
@@ -35,6 +37,8 @@ let plan_candidates (p : Faults.plan) : Faults.plan list =
     add { p with Faults.straggler_rate = p.Faults.straggler_rate /. 2.0 };
   if p.Faults.reset_rate > 0.02 then
     add { p with Faults.reset_rate = p.Faults.reset_rate /. 2.0 };
+  if p.Faults.corrupt_rate > 0.02 then
+    add { p with Faults.corrupt_rate = p.Faults.corrupt_rate /. 2.0 };
   List.rev !c
 
 (** All one-step simplifications of [sc], in the order the greedy loop
@@ -96,6 +100,9 @@ let candidates (sc : Scenario.t) : Scenario.t list =
   if rs.Resilience.rs_brownout <> None then
     add
       { sc with Scenario.sc_resilience = { rs with Resilience.rs_brownout = None } };
+  (* Auditing shrinks toward off: a violation that survives without the
+     audit gate implicates the base machinery, not the integrity layer. *)
+  if sc.Scenario.sc_audit > 0.0 then add { sc with Scenario.sc_audit = 0.0 };
   if sc.Scenario.sc_requests > 10 then
     add { sc with Scenario.sc_requests = sc.Scenario.sc_requests / 2 };
   if sc.Scenario.sc_queue_cap < 256 then add { sc with Scenario.sc_queue_cap = 256 };

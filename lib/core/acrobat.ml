@@ -129,11 +129,13 @@ let gen_batch (model : Model.t) ~batch ~seed =
   List.init batch (fun _ -> model.Model.gen_instance rng)
 
 (** Execute one mini-batch through {!Driver.run_batch}. Same as {!run} but
-    exposes the per-batch entry point the serving loop shares. *)
-let run_batch ?compute_values ?seed ?device ?tracer (c : compiled)
+    exposes the per-batch entry point the serving loop shares.
+    [instance_keys] re-keys per-instance decision streams by stable request
+    ids (integrity mode; see {!Acrobat_runtime.Runtime.set_decision_keys}). *)
+let run_batch ?compute_values ?seed ?device ?tracer ?instance_keys (c : compiled)
     ~(weights : (string * Tensor.t) list)
     ~(instances : (string * Driver.hval) list list) () : Driver.result =
-  Driver.run_batch ?compute_values ?seed ?device ?tracer
+  Driver.run_batch ?compute_values ?seed ?device ?tracer ?instance_keys
     ~mode:(Frameworks.mode c.framework) ~policy:(Frameworks.policy c.framework)
     ~quality:c.quality ~lprog:c.lprog ~weights ~instances ()
 
@@ -149,6 +151,50 @@ let batch_executor ?(seed = 2024) ?tracer (c : compiled)
   {
     Serve.Server.ex_latency_us = r.Driver.stats.latency_ms *. 1000.0;
     ex_profiler = Some r.Driver.stats.profiler;
+    ex_fingerprints = None;
+    ex_corrupted = false;
+  }
+
+(** Integrity-armed clean executor: like {!batch_executor} but computes
+    real tensor values, keys each request's decision stream by its request
+    id (so its outputs never depend on batch composition) and attaches
+    per-request result fingerprints for the audit layer to compare. *)
+let integrity_batch_executor ?(seed = 2024) ?tracer (c : compiled)
+    ~(weights : (string * Tensor.t) list)
+    (batch : (int * (string * Driver.hval) list) list) : Serve.Server.exec_outcome =
+  let instance_keys = Array.of_list (List.map fst batch) in
+  let r =
+    run_batch ~compute_values:true ~seed ?tracer ~instance_keys c ~weights
+      ~instances:(List.map snd batch) ()
+  in
+  {
+    Serve.Server.ex_latency_us = r.Driver.stats.latency_ms *. 1000.0;
+    ex_profiler = Some r.Driver.stats.profiler;
+    ex_fingerprints = Some (Driver.fingerprints r);
+    ex_corrupted = false;
+  }
+
+(** The audit layer's reference engine: re-execute one request {e unbatched}
+    on a fresh, fault-free device (same compiled program, batch of one,
+    decision stream keyed by the request id) and fingerprint the result.
+    Batched and unbatched execution agree on values — ACROBAT's core
+    equivalence — so any mismatch against the serving replica's fingerprint
+    is corruption on that replica's device. *)
+let reference_auditor ?(seed = 2024) ~rate (c : compiled)
+    ~(weights : (string * Tensor.t) list) :
+    (int * (string * Driver.hval) list) Serve.Server.auditor =
+  {
+    Serve.Server.au_rate = rate;
+    (* Distinct stream: arming the auditor must not perturb payload,
+       arrival, fault or jitter draws. *)
+    au_seed = (seed * 61) + 29;
+    au_reference =
+      (fun id (_, inst) ->
+        let r =
+          run_batch ~compute_values:true ~seed ~instance_keys:[| id |] c ~weights
+            ~instances:[ inst ] ()
+        in
+        (Driver.fingerprints r).(0), r.Driver.stats.latency_ms *. 1000.0);
   }
 
 (** The outcome of a serving run: SLO summary plus the merged device
@@ -175,9 +221,10 @@ let serve_report_json (r : serve_report) : Serve.Json.t =
     still occupies the virtual device. OOM is reported non-transient
     (re-running the same batch would OOM again) with [ef_oom] set so the
     server both bisects into smaller batches and shrinks its batch cap. *)
-let fault_executor ?(seed = 2024) ?tracer ~(injector : Faults.t) ~(primary : compiled)
-    ?degraded_c ~(weights : (string * Tensor.t) list) () ~(degraded : bool)
-    (batch : (int * (string * Driver.hval) list) list) : Serve.Server.exec_result =
+let fault_executor ?(seed = 2024) ?(integrity = false) ?tracer ~(injector : Faults.t)
+    ~(primary : compiled) ?degraded_c ~(weights : (string * Tensor.t) list) ()
+    ~(degraded : bool) (batch : (int * (string * Driver.hval) list) list) :
+    Serve.Server.exec_result =
   let poison = (Faults.plan injector).Faults.poison in
   match List.find_opt (fun (id, _) -> List.mem id poison) batch with
   | Some (id, _) ->
@@ -193,12 +240,24 @@ let fault_executor ?(seed = 2024) ?tracer ~(injector : Faults.t) ~(primary : com
     let c = if degraded then Option.value ~default:primary degraded_c else primary in
     let device = Device.create ~faults:injector ?tracer () in
     let instances = List.map snd batch in
-    (match run_batch ~seed ~device c ~weights ~instances () with
+    (* Integrity mode computes real values (so injected corruption has
+       something to corrupt), keys decision streams by request id and
+       fingerprints the results; legacy mode runs accounting-only with the
+       exact RNG streams it always drew. *)
+    let instance_keys =
+      if integrity then Some (Array.of_list (List.map fst batch)) else None
+    in
+    (match
+       run_batch ~compute_values:integrity ~seed ~device ?instance_keys c ~weights
+         ~instances ()
+     with
     | r ->
       Serve.Server.Exec_ok
         {
           Serve.Server.ex_latency_us = r.Driver.stats.latency_ms *. 1000.0;
           ex_profiler = Some r.Driver.stats.profiler;
+          ex_fingerprints = (if integrity then Some (Driver.fingerprints r) else None);
+          ex_corrupted = integrity && Faults.corrupt_attempt injector;
         }
     | exception Faults.Fault { kind; launch } ->
       Serve.Server.Exec_fault
@@ -238,11 +297,19 @@ let fault_executor ?(seed = 2024) ?tracer ~(injector : Faults.t) ~(primary : com
     tuned too, and swapped in while the server is degraded. [tolerance]
     overrides the recovery knobs. With the default [Faults.none] plan the
     executor, RNG draws and output are bit-identical to the fault-unaware
-    server. *)
+    server.
+
+    [audit] arms the sampled-audit integrity layer at the given rate: each
+    delivered request is, with that probability, re-executed unbatched on a
+    clean reference device and its fingerprint compared before delivery
+    (see {!Serve.Server.auditor}). Corruption in the fault plan
+    ([corrupt=]/[flaky=]) or a positive audit rate switches executors to
+    integrity mode (real values, id-keyed decision streams, fingerprints);
+    both default off, leaving legacy runs byte-identical. *)
 let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
     ?deadline_ms ?arrivals ?(faults = Faults.none) ?tolerance
-    ?(resilience = Resilience.off) ?tracer ?metrics
+    ?(resilience = Resilience.off) ?(audit = 0.0) ?tracer ?metrics
     ~(process : Serve.Traffic.process) ~(requests : int) ~(seed : int) (model : Model.t) :
     serve_report =
   let c, weights = compile_model ~framework ?iters ?tracer model ~batch:8 ~seed in
@@ -278,6 +345,7 @@ let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
      fault-free run: proactive load shedding swaps models under pressure,
      not under faults. *)
   let brownout_mode = Option.is_some resilience.Resilience.rs_brownout in
+  let integrity = Faults.corrupts faults || audit > 0.0 in
   let execute =
     if fault_mode || brownout_mode then begin
       let degraded_c =
@@ -287,20 +355,27 @@ let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
       in
       if fault_mode then begin
         let injector = Faults.create faults in
-        fault_executor ~seed ?tracer ~injector ~primary:c ?degraded_c ~weights ()
+        fault_executor ~seed ~integrity ?tracer ~injector ~primary:c ?degraded_c
+          ~weights ()
       end
       else
         fun ~degraded batch ->
           let c = if degraded then Option.value ~default:c degraded_c else c in
           Serve.Server.Exec_ok
-            (batch_executor ~seed ?tracer c ~weights (List.map snd batch))
+            (if integrity then integrity_batch_executor ~seed ?tracer c ~weights batch
+             else batch_executor ~seed ?tracer c ~weights (List.map snd batch))
     end
+    else if integrity then
+      Serve.Server.infallible (integrity_batch_executor ~seed ?tracer c ~weights)
     else
       Serve.Server.infallible (fun batch ->
           batch_executor ~seed ?tracer c ~weights (List.map snd batch))
   in
+  let auditor =
+    if audit > 0.0 then Some (reference_auditor ~seed ~rate:audit c ~weights) else None
+  in
   let stats =
-    Serve.Server.simulate ?tracer ?metrics config ~arrivals
+    Serve.Server.simulate ?tracer ?metrics ?auditor config ~arrivals
       ~payload:(fun i -> payloads.(i))
       ~execute
   in
@@ -320,12 +395,20 @@ let serve_model ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     single-stream payload derivation), so adding a tenant never perturbs
     another tenant's instances. [fault_plans] is positional per replica
     slot, like {!serve_cluster}; autoscaled replicas beyond the list run
-    fault-free. *)
+    fault-free.
+
+    [audit] arms the sampled-audit integrity layer (see {!serve_model}):
+    sampled requests re-execute unbatched on a clean reference device for
+    {e their own} model before delivery, and a replica accumulating
+    mismatches is quarantined — drained and replaced like-for-like by the
+    pool (see {!Tenancy.Dispatcher}). Corruption in any fault plan or a
+    positive audit rate switches every replica slot to integrity-mode
+    executors; both default off, leaving legacy runs byte-identical. *)
 let serve_tenants ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
     ?(fault_plans = []) ?tolerance ?(min_replicas = 1) ?(max_replicas = 1)
     ?(swap_cost = Cost_model.default) ?(resilience = Resilience.off) ?hedge_percentile
-    ?tracer ?metrics ~(models : string -> Model.t)
+    ?(audit = 0.0) ?tracer ?metrics ~(models : string -> Model.t)
     ~(tenants : Tenancy.Tenant.t array) ~(seed : int) () : Tenancy.Dispatcher.report =
   let distinct =
     List.sort_uniq compare
@@ -371,29 +454,63 @@ let serve_tenants ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     }
   in
   let plan_for i = try List.nth fault_plans i with _ -> Faults.none in
+  let integrity = List.exists Faults.corrupts fault_plans || audit > 0.0 in
   (* One executor closure per replica slot: a fault-injected slot keeps its
      own injector across every model it hosts (the device is flaky, not the
-     model), while clean slots run the plain batch executor. *)
+     model), while clean slots run the plain batch executor. Integrity mode
+     switches every slot — clean ones included — to value-computing,
+     fingerprinting executors, so audits genuinely compare batched against
+     unbatched execution. *)
   let executors =
     Array.init (max 1 max_replicas) (fun i ->
         let plan = plan_for i in
         if Faults.enabled plan then begin
           let injector = Faults.create plan in
           fun (c : compiled) weights batch ->
-            fault_executor ~seed ?tracer ~injector ~primary:c ~weights () ~degraded:false
-              batch
+            fault_executor ~seed ~integrity ?tracer ~injector ~primary:c ~weights ()
+              ~degraded:false batch
         end
+        else if integrity then
+          fun c weights batch ->
+            Serve.Server.infallible
+              (integrity_batch_executor ~seed ?tracer c ~weights)
+              ~degraded:false batch
         else
           fun c weights batch ->
             Serve.Server.infallible
               (fun b -> batch_executor ~seed ?tracer c ~weights (List.map snd b))
               ~degraded:false batch)
   in
+  (* The audit layer needs each sampled request's own model to re-execute
+     it; the dispatcher launches are the only place the (request, model)
+     pairing exists, so integrity-mode launches record it here. Audits run
+     strictly after the batch that produced the result, so the entry is
+     always present by the time the reference engine looks it up. *)
+  let model_of_req : (int, string) Hashtbl.t = Hashtbl.create 64 in
   let execute i ~model batch =
+    if integrity then
+      List.iter (fun (id, _) -> Hashtbl.replace model_of_req id model) batch;
     let _, c, weights = lookup model in
     executors.(min i (Array.length executors - 1)) c weights batch
   in
-  Tenancy.Dispatcher.simulate ?tracer ?metrics cfg ~tenants ~payload ~execute
+  let auditor =
+    if audit > 0.0 then
+      Some
+        {
+          Serve.Server.au_rate = audit;
+          au_seed = (seed * 61) + 29;
+          au_reference =
+            (fun id (_, inst) ->
+              let _, c, weights = lookup (Hashtbl.find model_of_req id) in
+              let r =
+                run_batch ~compute_values:true ~seed ~instance_keys:[| id |] c
+                  ~weights ~instances:[ inst ] ()
+              in
+              (Driver.fingerprints r).(0), r.Driver.stats.latency_ms *. 1000.0);
+        }
+    else None
+  in
+  Tenancy.Dispatcher.simulate ?tracer ?metrics ?auditor cfg ~tenants ~payload ~execute
     ~model_bytes
 
 (* --- Replicated serving (lib/serve/cluster) glue --- *)
@@ -442,13 +559,18 @@ let cluster_report_json (r : cluster_report) : Serve.Json.t =
     healthy). [dispatch] picks the routing policy, [hedge_percentile]
     enables hedged requests, and [requeue_budget] caps failover
     re-dispatches per request. With [replicas = 1], no faults and hedging
-    off, the aggregate summary is identical to {!serve_model}'s. *)
+    off, the aggregate summary is identical to {!serve_model}'s.
+
+    [audit] arms the sampled-audit integrity layer on every replica; a
+    replica whose audited results keep mismatching the clean reference is
+    {e quarantined} (drained and fenced like a failed-over replica, then
+    re-admitted only after clean audited probes — see {!Serve.Replica}). *)
 let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
     ?deadline_ms ?arrivals ?(fault_plans = []) ?tolerance
     ?(dispatch = Serve.Cluster.Join_shortest_queue) ?hedge_percentile
     ?(requeue_budget = Serve.Cluster.default_config.Serve.Cluster.c_requeue_budget)
-    ?(resilience = Resilience.off) ?tracer ?metrics ?(replicas = 1)
+    ?(resilience = Resilience.off) ?(audit = 0.0) ?tracer ?metrics ?(replicas = 1)
     ~(process : Serve.Traffic.process) ~(requests : int)
     ~(seed : int) (model : Model.t) : cluster_report =
   let c, weights = compile_model ~framework ?iters ?tracer model ~batch:8 ~seed in
@@ -490,21 +612,32 @@ let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     else None
   in
   (* One executor (and one injector) per replica: a retried or failed-over
-     batch lands on a device with its own independent fault stream. *)
+     batch lands on a device with its own independent fault stream. When the
+     integrity layer is armed, every replica — clean ones included — runs in
+     integrity mode, so each batch carries fingerprints the audit can check
+     (a clean replica's fingerprints simply always match the reference). *)
+  let integrity = List.exists Faults.corrupts fault_plans || audit > 0.0 in
   let executors =
     Array.init replicas (fun i ->
         let plan = plan_for i in
         if Faults.enabled plan then
           let injector = Faults.create plan in
-          fault_executor ~seed ?tracer ~injector ~primary:c ?degraded_c ~weights ()
+          fault_executor ~seed ~integrity ?tracer ~injector ~primary:c ?degraded_c
+            ~weights ()
         else if brownout_mode then
           fun ~degraded batch ->
             let c = if degraded then Option.value ~default:c degraded_c else c in
             Serve.Server.Exec_ok
-              (batch_executor ~seed ?tracer c ~weights (List.map snd batch))
+              (if integrity then integrity_batch_executor ~seed ?tracer c ~weights batch
+               else batch_executor ~seed ?tracer c ~weights (List.map snd batch))
+        else if integrity then
+          Serve.Server.infallible (integrity_batch_executor ~seed ?tracer c ~weights)
         else
           Serve.Server.infallible (fun batch ->
               batch_executor ~seed ?tracer c ~weights (List.map snd batch)))
+  in
+  let auditor =
+    if audit > 0.0 then Some (reference_auditor ~seed ~rate:audit c ~weights) else None
   in
   let cfg =
     {
@@ -517,7 +650,7 @@ let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     }
   in
   let report =
-    Serve.Cluster.simulate ?tracer ?metrics cfg ~arrivals
+    Serve.Cluster.simulate ?tracer ?metrics ?auditor cfg ~arrivals
       ~payload:(fun i -> payloads.(i))
       ~executors
   in

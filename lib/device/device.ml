@@ -44,6 +44,12 @@ let cost_model t = t.cost
 let memory t = t.memory
 let faults t = t.faults
 
+(** Is this device's current batch attempt silently corrupting its outputs?
+    Consulted by the executor's value path, which perturbs kernel results
+    without raising — detection is the audit layer's job, not the device's. *)
+let corrupting t =
+  match t.faults with None -> false | Some f -> Faults.corrupt_attempt f
+
 let reset t =
   Memory.reset t.memory;
   Profiler.reset t.profiler

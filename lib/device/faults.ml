@@ -33,6 +33,14 @@ type plan = {
   reset_cost_us : float;  (** Simulated time burned by a device reset. *)
   capacity_elems : int option;  (** Device memory bound; [None] = unbounded. *)
   poison : int list;  (** Request ids that deterministically fail. *)
+  corrupt_rate : float;
+      (** P(silent output corruption) per batch attempt: the attempt's
+          kernel outputs are perturbed but {e nothing raises} — the
+          wrong answer is delivered unless an audit catches it. *)
+  flaky_after : int option;
+      (** Flaky-device mode: every attempt after the first [n] silently
+          corrupts (deterministic onset, no draw) — the "device went bad
+          mid-fleet" shape quarantine exists to contain. *)
 }
 
 (** The all-zero plan: no faults, unbounded memory. *)
@@ -46,11 +54,17 @@ let none =
     reset_cost_us = 10_000.0;
     capacity_elems = None;
     poison = [];
+    corrupt_rate = 0.0;
+    flaky_after = None;
   }
 
 let enabled p =
   p.kernel_fault_rate > 0.0 || p.straggler_rate > 0.0 || p.reset_rate > 0.0
   || p.capacity_elems <> None || p.poison <> []
+  || p.corrupt_rate > 0.0 || p.flaky_after <> None
+
+(** Does the plan inject silent corruption (probabilistic or flaky)? *)
+let corrupts p = p.corrupt_rate > 0.0 || p.flaky_after <> None
 
 (** What an injected launch failure was. *)
 type kind = Kernel_fault | Device_reset
@@ -69,7 +83,7 @@ let () =
 
 let pp_plan ppf p =
   if not (enabled p) then Fmt.pf ppf "none"
-  else
+  else begin
     Fmt.pf ppf "seed=%d kernel=%.3f straggler=%.3fx%.1f reset=%.4f%a%a" p.seed
       p.kernel_fault_rate p.straggler_rate p.straggler_mult p.reset_rate
       (fun ppf -> function
@@ -79,7 +93,10 @@ let pp_plan ppf p =
       (fun ppf -> function
         | [] -> ()
         | ids -> Fmt.pf ppf " poison=%a" Fmt.(list ~sep:(any "+") int) ids)
-      p.poison
+      p.poison;
+    if p.corrupt_rate > 0.0 then Fmt.pf ppf " corrupt=%.3f" p.corrupt_rate;
+    Option.iter (fun n -> Fmt.pf ppf " flaky=%d" n) p.flaky_after
+  end
 
 (** Validate a plan's numeric ranges, naming the offending key in the
     error. {!parse} already rejects malformed field syntax, but plans can
@@ -107,6 +124,10 @@ let validate (p : plan) : unit =
   (match p.capacity_elems with
   | Some c when c <= 0 -> fail "capacity=%d is not a positive integer" c
   | _ -> ());
+  prob "corrupt" p.corrupt_rate;
+  (match p.flaky_after with
+  | Some n when n < 0 -> fail "flaky=%d must be a non-negative attempt count" n
+  | _ -> ());
   let total = p.kernel_fault_rate +. p.reset_rate +. p.straggler_rate in
   if total > 1.0 then
     fail
@@ -121,7 +142,10 @@ let validate (p : plan) : unit =
     [kernel], [straggler] and [reset] are per-batch-attempt probabilities;
     [straggler] takes an optional [xMULT] latency-multiplier suffix;
     [capacity] bounds device memory in elements; [poison] is a [+]-separated
-    list of request ids that always fail. Unknown keys are rejected. *)
+    list of request ids that always fail. [corrupt] is the per-batch-attempt
+    probability of {e silent} output corruption (nothing raises), and
+    [flaky=N] is the flaky-device mode: every attempt after the first [N]
+    corrupts deterministically. Unknown keys are rejected. *)
 let parse (spec : string) : plan =
   let fail fmt = Fmt.kstr (fun m -> Fmt.invalid_arg "bad fault plan: %s" m) fmt in
   let prob key s =
@@ -166,8 +190,15 @@ let parse (spec : string) : plan =
             (String.split_on_char '+' v)
         in
         { plan with poison = ids }
+      | "corrupt" -> { plan with corrupt_rate = prob key v }
+      | "flaky" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> { plan with flaky_after = Some n }
+        | _ -> fail "flaky=%s is not a non-negative attempt count" v)
       | other ->
-        fail "unknown key %S (valid keys: seed, kernel, straggler, reset, capacity, poison)"
+        fail
+          "unknown key %S (valid keys: seed, kernel, straggler, reset, capacity, poison, \
+           corrupt, flaky)"
           other)
   in
   let plan =
@@ -201,7 +232,16 @@ let to_spec (p : plan) : string =
     | [] -> ""
     | ids -> Fmt.str ",poison=%a" Fmt.(list ~sep:(any "+") int) ids
   in
-  base ^ capacity ^ poison
+  (* Corruption clauses are omitted at their defaults so legacy plans render
+     byte-identically to what they always did. *)
+  let corrupt =
+    if p.corrupt_rate > 0.0 then Fmt.str ",corrupt=%s" (float_spec p.corrupt_rate)
+    else ""
+  in
+  let flaky =
+    match p.flaky_after with None -> "" | Some n -> Fmt.str ",flaky=%d" n
+  in
+  base ^ capacity ^ poison ^ corrupt ^ flaky
 
 (* --- The stateful injector --- *)
 
@@ -212,11 +252,13 @@ type t = {
   plan : plan;
   rng : Rng.t;
   mutable decision : decision;
+  mutable corrupt_this : bool;  (** Does the current attempt silently corrupt? *)
   mutable attempts : int;
   mutable launches : int;
   mutable kernel_faults : int;
   mutable stragglers : int;
   mutable resets : int;
+  mutable corruptions : int;
 }
 
 let create (plan : plan) : t =
@@ -224,11 +266,13 @@ let create (plan : plan) : t =
     plan;
     rng = Rng.create ((plan.seed * 0x2545F) lxor 0x5eed);
     decision = Clean;
+    corrupt_this = false;
     attempts = 0;
     launches = 0;
     kernel_faults = 0;
     stragglers = 0;
     resets = 0;
+    corruptions = 0;
   }
 
 let plan t = t.plan
@@ -238,6 +282,12 @@ let kernel_faults t = t.kernel_faults
 let stragglers t = t.stragglers
 let resets t = t.resets
 let faults_injected t = t.kernel_faults + t.resets
+let corruptions t = t.corruptions
+
+(** Whether the current attempt's outputs are silently corrupted. Ground
+    truth: only the injector (and the oracles built on it) knows — the
+    serving stack has to find out by auditing. *)
+let corrupt_attempt t = t.corrupt_this
 
 (** Open a new batch attempt: one uniform draw decides the whole attempt's
     fate by partitioning [0, 1) into fault / reset / straggler / clean
@@ -260,7 +310,16 @@ let begin_attempt t =
          t.stragglers <- t.stragglers + 1;
          Straggle
        end
-       else Clean)
+       else Clean);
+  (* Corruption is an independent per-attempt draw, taken after the fault
+     band so plans without a corrupt clause consume exactly the stream they
+     always did. Flaky onset is deterministic and draw-free. *)
+  let flaky =
+    match p.flaky_after with Some n -> t.attempts > n | None -> false
+  in
+  let drawn = p.corrupt_rate > 0.0 && Rng.float t.rng < p.corrupt_rate in
+  t.corrupt_this <- flaky || drawn;
+  if t.corrupt_this then t.corruptions <- t.corruptions + 1
 
 (** Consult the injector for one kernel launch. Returns the latency
     multiplier to apply (1.0 normally, [straggler_mult] for every launch of

@@ -81,11 +81,15 @@ type result = {
     surface as {!Acrobat_device.Faults.Fault} or
     {!Acrobat_device.Memory.Device_oom} exceptions out of this call.
     [tracer] likewise threads a span sink into a freshly created device, so
-    kernel/gather/memcpy spans reach the caller's trace. *)
+    kernel/gather/memcpy spans reach the caller's trace. [instance_keys]
+    names each instance's pseudo-random decision stream (default: batch
+    position); the serving integrity layer passes stable request ids so a
+    request's outputs — and therefore its result fingerprint — do not
+    depend on which peers it was batched with. *)
 let run_batch ?(compute_values = false) ?(seed = 2024) ?device ?faults ?tracer
-    ~(mode : mode) ~(policy : Policy.t) ~(quality : int -> float) ~(lprog : L.t)
-    ~(weights : (string * Tensor.t) list) ~(instances : (string * hval) list list) () :
-    result =
+    ?instance_keys ~(mode : mode) ~(policy : Policy.t) ~(quality : int -> float)
+    ~(lprog : L.t) ~(weights : (string * Tensor.t) list)
+    ~(instances : (string * hval) list list) () : result =
   let device =
     match device with Some d -> d | None -> Device.create ?faults ?tracer ()
   in
@@ -103,6 +107,7 @@ let run_batch ?(compute_values = false) ?(seed = 2024) ?device ?faults ?tracer
     Runtime.create ~device ~scheduler:lprog.L.config.scheduler ~policy:exec_policy ~seed
       ~instances:n_instances
   in
+  Option.iter (Runtime.set_decision_keys rt ~seed) instance_keys;
   List.iter (fun (name, tensor) -> Runtime.set_weight rt name tensor) weights;
   let fibers = lprog.L.has_tdc && lprog.L.config.fibers in
   (* Upload all per-instance inputs (batched into one transfer for ACROBAT,
@@ -179,4 +184,9 @@ let run_batch ?(compute_values = false) ?(seed = 2024) ?device ?faults ?tracer
     device. Alias of {!run_batch}. *)
 let run ?compute_values ?seed ~mode ~policy ~quality ~lprog ~weights ~instances () =
   run_batch ?compute_values ?seed ~mode ~policy ~quality ~lprog ~weights ~instances ()
+
+(** Per-instance result fingerprints, in instance order. Meaningful on
+    [compute_values] runs (accounting-only outputs digest shapes only). *)
+let fingerprints (r : result) : int64 array =
+  Array.of_list (List.map Fingerprint.of_value r.outputs)
 

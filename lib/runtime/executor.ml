@@ -129,7 +129,20 @@ let exec_batch (device : Device.t) (policy : policy) ~(rand_for : int -> Rng.t)
         cursor := !cursor + Shape.numel shape)
       nodes
   done;
-  (* Concrete values, when requested. *)
+  (* Concrete values, when requested. On a silently-corrupting attempt
+     (fault injection, {!Device.corrupting}) every kernel result is
+     deterministically perturbed — no exception, no flag on the result:
+     the wrong values just flow downstream, which is exactly the failure
+     the audit layer exists to catch. *)
+  let corrupting = policy.compute_values && Device.corrupting device in
+  let perturb t =
+    if Tensor.numel t = 0 then t
+    else begin
+      let c = Tensor.copy t in
+      Tensor.set c 0 (Tensor.get c 0 +. 1.0);
+      c
+    end
+  in
   if policy.compute_values then
     Array.iteri
       (fun i (nd : node) ->
@@ -144,6 +157,7 @@ let exec_batch (device : Device.t) (policy : policy) ~(rand_for : int -> Rng.t)
             nd.args
         in
         let results = Kernel.execute ~rand:(rand_for nd.instance) nd.kernel args in
+        let results = if corrupting then Array.map perturb results else results in
         Array.iteri
           (fun slot t ->
             match node_outs.(i).(slot) with

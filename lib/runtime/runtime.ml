@@ -37,6 +37,16 @@ let create ~device ~scheduler ~(policy : Executor.policy) ~seed ~instances =
     flushes = 0;
   }
 
+(** Re-key the per-instance decision streams before execution. By default
+    instance [i] draws from a stream derived from its batch position; the
+    serving integrity layer re-keys streams by stable {e request ids}, so a
+    request draws the same pseudo-random decisions no matter which peers it
+    is batched with — the property that makes its result fingerprint
+    batch-composition-invariant and lets an unbatched audit re-execution
+    reproduce it exactly. [keys.(i)] keys instance [i]'s stream. *)
+let set_decision_keys t ~seed (keys : int array) =
+  t.rngs <- Array.map (fun k -> Rng.create ((seed * 1_000_003) + k)) keys
+
 let device t = t.device
 let profiler t = Device.profiler t.device
 

@@ -351,6 +351,29 @@ let on_down st ~replica (requeue : 'a Admission.request list) =
       end)
     requeue
 
+(* Quarantine drain: the same requeue discipline as failover (budgeted
+   re-dispatch, parked when nowhere is healthy), but the transition itself
+   is counted by the replica's integrity scoreboard, not as a failover. *)
+let on_quarantined st ~replica (requeue : 'a Admission.request list) =
+  List.iter
+    (fun (r : 'a Admission.request) ->
+      let ent = entry st r.Admission.rq_id in
+      if ent.ent_done then copy_cancelled st ent
+      else begin
+        ent.ent_requeues <- ent.ent_requeues + 1;
+        if ent.ent_requeues > st.cfg.c_requeue_budget then
+          copy_lost st ent ~terminal:`Budget
+        else begin
+          st.stats.Stats.requeued <- st.stats.Stats.requeued + 1;
+          Trace.instant st.tracer ~name:"requeue" ~cat:"cluster" ~pid:0
+            ~tid:(Server.req_tid r.Admission.rq_id)
+            ~ts_us:(Event_loop.now st.loop)
+            ~args:[ "id", Json.Int r.Admission.rq_id; "from", Json.Int replica ];
+          dispatch st r
+        end
+      end)
+    requeue
+
 let on_probe_ready st ~replica:_ = drain_pending st
 
 let on_up st ~replica:_ =
@@ -404,8 +427,8 @@ type report = {
     on replica [i]'s device (wrap with a per-replica fault injector to make
     one replica flaky); its length must equal [cfg.c_replicas]. *)
 let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
-    ?(snapshot_every_us = 10_000.0) (cfg : config) ~(arrivals : float array)
-    ~(payload : int -> 'a)
+    ?(snapshot_every_us = 10_000.0) ?auditor (cfg : config)
+    ~(arrivals : float array) ~(payload : int -> 'a)
     ~(executors : (degraded:bool -> 'a list -> Server.exec_result) array) : report =
   if Array.length executors <> cfg.c_replicas then
     Fmt.invalid_arg "Cluster.simulate: %d executors for %d replicas"
@@ -444,13 +467,14 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
       cb_retry_shed = (fun ~replica rs -> on_retry_shed st ~replica rs);
       cb_poisoned = (fun ~replica r -> on_poisoned st ~replica r);
       cb_down = (fun ~replica rs -> on_down st ~replica rs);
+      cb_quarantined = (fun ~replica rs -> on_quarantined st ~replica rs);
       cb_probe_ready = (fun ~replica -> on_probe_ready st ~replica);
       cb_up = (fun ~replica -> on_up st ~replica);
     }
   in
   st.replicas <-
     Array.init cfg.c_replicas (fun i ->
-        Replica.create ~tracer ~id:i ~loop ~config:cfg.c_server
+        Replica.create ~tracer ?auditor ~id:i ~loop ~config:cfg.c_server
           ~reset_threshold:cfg.c_reset_threshold ~execute:executors.(i) ~cb ());
   Array.iteri
     (fun i at ->
@@ -517,6 +541,19 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
            st.stats.Stats.brownouts <- st.stats.Stats.brownouts + rs.Stats.brownouts;
            st.stats.Stats.brownout_restores <-
              st.stats.Stats.brownout_restores + rs.Stats.brownout_restores;
+           (* Integrity counters are replica-owned (audits run where the
+              batch ran); the aggregate is their sum, like batches. *)
+           st.stats.Stats.corrupted_batches <-
+             st.stats.Stats.corrupted_batches + rs.Stats.corrupted_batches;
+           st.stats.Stats.corrupted_delivered <-
+             st.stats.Stats.corrupted_delivered + rs.Stats.corrupted_delivered;
+           st.stats.Stats.audits <- st.stats.Stats.audits + rs.Stats.audits;
+           st.stats.Stats.audit_mismatches <-
+             st.stats.Stats.audit_mismatches + rs.Stats.audit_mismatches;
+           st.stats.Stats.quarantines <-
+             st.stats.Stats.quarantines + rs.Stats.quarantines;
+           st.stats.Stats.quarantine_restores <-
+             st.stats.Stats.quarantine_restores + rs.Stats.quarantine_restores;
            { rv_id = Replica.id rep; rv_stats = rs; rv_health = Replica.health rep })
          st.replicas)
   in

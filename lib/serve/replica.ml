@@ -35,10 +35,19 @@ module Budget = Acrobat_resilience.Budget
 module Limiter = Acrobat_resilience.Limiter
 module Brownout = Acrobat_resilience.Brownout
 
-(** Health as the cluster's dispatcher sees it. *)
-type health = Up | Probing | Down
+(** Health as the cluster's dispatcher sees it. {!Quarantined} is the
+    integrity analogue of {!Down}: the replica is {e functionally} alive —
+    batches complete without faults — but the audit scoreboard has caught it
+    silently corrupting results, so it is fenced off exactly like a dead
+    replica (drain + epoch-fenced requeue) until audited probes prove it
+    clean again. *)
+type health = Up | Probing | Down | Quarantined
 
-let health_name = function Up -> "up" | Probing -> "probing" | Down -> "down"
+let health_name = function
+  | Up -> "up"
+  | Probing -> "probing"
+  | Down -> "down"
+  | Quarantined -> "quarantined"
 
 (** How the replica reports to the cluster. All callbacks fire at the
     virtual instant of the underlying event. *)
@@ -62,6 +71,11 @@ type 'a callbacks = {
   cb_down : replica:int -> 'a Admission.request list -> unit;
       (** The replica failed over; these queued + in-flight requests drain
           back for re-dispatch. *)
+  cb_quarantined : replica:int -> 'a Admission.request list -> unit;
+      (** The corruption scoreboard quarantined the replica; these queued
+          requests drain back for re-dispatch (in-flight results were
+          already delivered — audit-corrected where caught — before
+          containment fired). *)
   cb_retry_shed : replica:int -> 'a Admission.request list -> unit;
       (** The retry budget ran dry mid-resolution; these requests were shed
           instead of retried (never fires unless a budget is armed). *)
@@ -80,6 +94,8 @@ type 'a t = {
   stats : Stats.t;  (** Per-replica view: everything {e this} replica ran. *)
   execute : degraded:bool -> 'a list -> Server.exec_result;
   cb : 'a callbacks;
+  auditor : 'a Server.auditor option;
+  audit_rng : Rng.t;  (** Audit sampling; drawn from only when an auditor is armed. *)
   ft_rng : Rng.t;  (** Backoff jitter; drawn from only on retries. *)
   policy_max_batch : int;
   mutable cur_max_batch : int;  (** Effective cap; shrinks under OOM. *)
@@ -90,6 +106,15 @@ type 'a t = {
   mutable consecutive_failures : int;
   mutable consecutive_resets : int;
   mutable health_score : float;  (** EWMA of batch-attempt success in [0, 1]. *)
+  mutable corrupt_score : float;
+      (** EWMA of audit {e mismatch} in [0, 1]; crossing the threshold
+          quarantines the replica. Fed only by audit verdicts, so with no
+          auditor it stays 0 forever. *)
+  mutable quarantine_probing : bool;
+      (** Probing to exit quarantine (vs failover): probe batches are
+          force-audited and re-admission needs consecutive clean verdicts —
+          a merely-completing probe proves liveness, not integrity. *)
+  mutable clean_probes : int;  (** Consecutive clean audited probes so far. *)
   mutable outstanding : 'a Admission.request list;
       (** The in-flight batch's unresolved requests; requeued on failover. *)
   mutable epoch : int;  (** Bumped on failover; stale continuations no-op. *)
@@ -109,9 +134,18 @@ let trace_pid t = t.id + 1
 
 let score_alpha = 0.2
 
-let create ?(tracer = Trace.null) ~id ~loop ~(config : Server.config) ~reset_threshold
-    ~(execute : degraded:bool -> 'a list -> Server.exec_result) ~(cb : 'a callbacks) () :
-    'a t =
+(* Corruption-scoreboard constants. The EWMA is fed 1.0 per audit mismatch
+   and 0.0 per clean audit; with alpha 0.3 and threshold 0.5, one mismatch
+   (score 0.3) is tolerated as a possible one-off upset while two in a row
+   (0.3 -> 0.51) quarantine the replica. Re-admission needs
+   [quarantine_clean_probes] consecutive clean force-audited probes. *)
+let corrupt_alpha = 0.3
+let corrupt_threshold = 0.5
+let quarantine_clean_probes = 2
+
+let create ?(tracer = Trace.null) ?auditor ~id ~loop ~(config : Server.config)
+    ~reset_threshold ~(execute : degraded:bool -> 'a list -> Server.exec_result)
+    ~(cb : 'a callbacks) () : 'a t =
   let pmax = Server.policy_max_batch config.Server.policy in
   let rs = config.Server.resilience in
   {
@@ -127,6 +161,12 @@ let create ?(tracer = Trace.null) ~id ~loop ~(config : Server.config) ~reset_thr
     stats = Stats.create ();
     execute;
     cb;
+    auditor;
+    audit_rng =
+      Rng.create
+        (match auditor with
+        | Some a -> a.Server.au_seed + (id * 104729)
+        | None -> 0);
     (* Replica 0 draws the exact stream the single server would, which is
        what makes a 1-replica cluster byte-identical to it. *)
     ft_rng = Rng.create (config.Server.tolerance.Server.ft_seed + (id * 7919));
@@ -139,6 +179,9 @@ let create ?(tracer = Trace.null) ~id ~loop ~(config : Server.config) ~reset_thr
     consecutive_failures = 0;
     consecutive_resets = 0;
     health_score = 1.0;
+    corrupt_score = 0.0;
+    quarantine_probing = false;
+    clean_probes = 0;
     outstanding = [];
     epoch = 0;
     tracer;
@@ -153,6 +196,7 @@ let create ?(tracer = Trace.null) ~id ~loop ~(config : Server.config) ~reset_thr
 let id t = t.id
 let health t = t.health
 let health_score t = t.health_score
+let corrupt_score t = t.corrupt_score
 let stats t = t.stats
 let admission t = t.queue
 let queue_length t = Admission.length t.queue
@@ -222,7 +266,10 @@ let note_success t =
   t.consecutive_failures <- 0;
   t.consecutive_resets <- 0;
   note_attempt t ~ok:true;
-  if t.health = Probing then begin
+  (* A quarantine probe proves nothing by merely completing — corruption is
+     silent — so re-admission from quarantine is decided by the audit
+     verdicts (see [note_audit]), never here. *)
+  if t.health = Probing && not t.quarantine_probing then begin
     t.health <- Up;
     t.stats.Stats.readmitted <- t.stats.Stats.readmitted + 1;
     Trace.instant t.tracer ~name:"readmit" ~cat:"cluster" ~pid:(trace_pid t) ~tid:0
@@ -244,13 +291,17 @@ let note_success t =
 
 (* --- The launch / recovery state machine --- *)
 
-(* Mirrors Server.maybe_launch, with health gating: Down replicas never
-   launch; Probing replicas launch a single-request probe. *)
+(* Mirrors Server.maybe_launch, with health gating: Down and Quarantined
+   replicas never launch; Probing replicas launch a single-request probe. *)
 let rec maybe_launch (t : 'a t) =
-  if (not t.device_busy) && t.health <> Down && not (Admission.is_empty t.queue) then begin
+  if
+    (not t.device_busy)
+    && t.health <> Down && t.health <> Quarantined
+    && not (Admission.is_empty t.queue)
+  then begin
     let now_us = Event_loop.now t.loop in
     match t.health with
-    | Down -> ()
+    | Down | Quarantined -> ()
     | Probing -> flush t ~now_us ~limit:1
     | Up -> (
       match
@@ -305,23 +356,45 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
       Stats.note_batch t.stats ~size ~profiler:outcome.Server.ex_profiler;
       if degraded then
         t.stats.Stats.degraded_batches <- t.stats.Stats.degraded_batches + 1;
+      if outcome.Server.ex_corrupted then
+        t.stats.Stats.corrupted_batches <- t.stats.Stats.corrupted_batches + 1;
       Trace.complete t.tracer ~name:"batch" ~cat:"serve" ~pid:(trace_pid t) ~tid:0
         ~ts_us:now_us ~dur_us:outcome.Server.ex_latency_us
         ~args:[ "size", Json.Int size; "degraded", Json.Bool degraded ];
+      (* Sampled (or, on quarantine probes, forced) audits decide each
+         request's delivery: a mismatch swaps in the reference result and
+         adds the re-execution latency. With no auditor this is draw-free
+         and every delivery is the legacy one. *)
+      let forced = t.quarantine_probing in
+      let deliveries =
+        List.mapi
+          (fun i (r : _ Admission.request) ->
+            ( r,
+              Server.audit_request t.auditor ~audit_rng:t.audit_rng ~stats:t.stats
+                ~forced ~outcome ~index:i r ))
+          batch
+      in
       List.iter
-        (fun (r : _ Admission.request) ->
+        (fun ((r : _ Admission.request), (d : Server.audit_delivery)) ->
+          Server.note_delivery t.stats ~outcome d;
+          if d.Server.ad_audited then
+            Trace.instant t.tracer
+              ~name:(if d.Server.ad_clean then "audit_ok" else "audit_mismatch")
+              ~cat:"integrity" ~pid:(trace_pid t)
+              ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:done_us
+              ~args:[ "id", Json.Int r.Admission.rq_id ];
           Stats.record t.stats
             {
               Stats.r_id = r.Admission.rq_id;
               r_arrival_us = r.Admission.rq_arrival_us;
               r_start_us = now_us;
-              r_done_us = done_us;
+              r_done_us = done_us +. d.Server.ad_extra_us;
               r_batch_size = size;
             };
           Trace.complete t.tracer ~name:"queue" ~cat:"request" ~pid:(trace_pid t)
             ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:r.Admission.rq_arrival_us
             ~dur_us:(now_us -. r.Admission.rq_arrival_us))
-        batch;
+        deliveries;
       (* Report the completion at [done_us], not at launch: the cluster
          must consider these requests in flight until the device actually
          finishes, or a hedge could never outrun a straggling batch. *)
@@ -331,8 +404,26 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
                List.filter
                  (fun (r : _ Admission.request) -> not (List.memq r batch))
                  t.outstanding;
-             t.cb.cb_completed ~replica:t.id batch ~size ~start_us:now_us ~done_us;
+             (match t.auditor with
+             | None ->
+               t.cb.cb_completed ~replica:t.id batch ~size ~start_us:now_us ~done_us
+             | Some _ ->
+               (* Audited requests deliver later by their audit latency;
+                  report per request so the cluster records true end-to-end
+                  times. *)
+               List.iter
+                 (fun (r, (d : Server.audit_delivery)) ->
+                   t.cb.cb_completed ~replica:t.id [ r ] ~size ~start_us:now_us
+                     ~done_us:(done_us +. d.Server.ad_extra_us))
+                 deliveries);
              note_success t;
+             (* Feed the verdicts to the corruption scoreboard only after
+                the (audit-corrected) results left the replica: containment
+                fences future work, never a delivery the audit saved. *)
+             List.iter
+               (fun (_, (d : Server.audit_delivery)) ->
+                 if d.Server.ad_audited then note_audit t ~clean:d.Server.ad_clean)
+               deliveries;
              k ()))
     | Server.Exec_fault f ->
       t.stats.Stats.fault_batches <- t.stats.Stats.fault_batches + 1;
@@ -442,6 +533,71 @@ and go_down (t : 'a t) =
           ~ts_us:(Event_loop.now t.loop);
         t.cb.cb_probe_ready ~replica:t.id
       end)
+
+(* --- Corruption containment --- *)
+
+(* One audit verdict lands on the scoreboard. Crossing the mismatch
+   threshold from Up quarantines; during quarantine probing, a mismatch
+   re-quarantines immediately while consecutive clean verdicts re-admit. *)
+and note_audit (t : 'a t) ~clean =
+  t.corrupt_score <-
+    ((1.0 -. corrupt_alpha) *. t.corrupt_score)
+    +. (if clean then 0.0 else corrupt_alpha);
+  match t.health with
+  | Up when (not clean) && t.corrupt_score >= corrupt_threshold -> go_quarantine t
+  | Probing when t.quarantine_probing ->
+    if clean then begin
+      t.clean_probes <- t.clean_probes + 1;
+      if t.clean_probes >= quarantine_clean_probes then quarantine_restore t
+    end
+    else go_quarantine t
+  | _ -> ()
+
+(* Quarantine: structurally a failover (epoch fence, drain, requeue via the
+   cluster, cooldown then probe), but triggered by integrity evidence on a
+   replica that is otherwise completing batches happily — and exited only
+   through force-audited probes, not a merely-successful one. *)
+and go_quarantine (t : 'a t) =
+  let now_us = Event_loop.now t.loop in
+  t.epoch <- t.epoch + 1;
+  t.health <- Quarantined;
+  t.device_busy <- false;
+  t.consecutive_failures <- 0;
+  t.consecutive_resets <- 0;
+  t.quarantine_probing <- false;
+  t.clean_probes <- 0;
+  t.stats.Stats.quarantines <- t.stats.Stats.quarantines + 1;
+  Trace.instant t.tracer ~name:"quarantine" ~cat:"integrity" ~pid:(trace_pid t) ~tid:0
+    ~ts_us:now_us
+    ~args:[ "replica", Json.Int t.id; "score", Json.Float t.corrupt_score ];
+  let queued, expired = Admission.drain t.queue ~now_us in
+  if expired <> [] then t.cb.cb_expired ~replica:t.id expired;
+  let requeue = t.outstanding @ queued in
+  t.outstanding <- [];
+  t.cb.cb_quarantined ~replica:t.id requeue;
+  let at = now_us +. t.config.Server.tolerance.Server.breaker_cooldown_us in
+  Event_loop.schedule t.loop ~at (fun () ->
+      if t.health = Quarantined then begin
+        t.health <- Probing;
+        t.quarantine_probing <- true;
+        t.clean_probes <- 0;
+        Trace.instant t.tracer ~name:"quarantine_probe_ready" ~cat:"integrity"
+          ~pid:(trace_pid t) ~tid:0
+          ~ts_us:(Event_loop.now t.loop);
+        t.cb.cb_probe_ready ~replica:t.id
+      end)
+
+and quarantine_restore (t : 'a t) =
+  t.health <- Up;
+  t.quarantine_probing <- false;
+  t.clean_probes <- 0;
+  t.corrupt_score <- 0.0;
+  t.stats.Stats.quarantine_restores <- t.stats.Stats.quarantine_restores + 1;
+  Trace.instant t.tracer ~name:"quarantine_restore" ~cat:"integrity" ~pid:(trace_pid t)
+    ~tid:0
+    ~ts_us:(Event_loop.now t.loop)
+    ~args:[ "replica", Json.Int t.id ];
+  t.cb.cb_up ~replica:t.id
 
 (** How {!enqueue} disposed of an offered request; the cluster maps the two
     rejection flavours to distinct terminal outcomes. *)

@@ -106,6 +106,16 @@ let default_config =
 type exec_outcome = {
   ex_latency_us : float;  (** Simulated device busy time for the batch. *)
   ex_profiler : Profiler.t option;  (** Merged into the run's profile. *)
+  ex_fingerprints : int64 array option;
+      (** Per-request result fingerprints, in batch order (raw
+          {!Acrobat_runtime.Fingerprint} words — the serve layer stays
+          engine-agnostic). [None] when the executor does not compute
+          values; the audit path then falls back to [ex_corrupted]. *)
+  ex_corrupted : bool;
+      (** Injector ground truth: this attempt's outputs were silently
+          corrupted. Only a fault-injecting executor can set it. Feeds the
+          delivered-corruption accounting the audit-shield oracle checks;
+          detection itself uses fingerprints whenever they are present. *)
 }
 
 (** Verdict of one batch execution attempt. *)
@@ -124,6 +134,61 @@ type exec_result =
               consecutive resets as a stronger down signal. *)
     }
 
+(** Sampled audit re-execution: the detection arm of the silent-data-
+    corruption defense. Each delivered request is, with probability
+    [au_rate], re-executed {e unbatched} on a trusted reference engine and
+    its fingerprint compared before delivery. A mismatch is detected
+    corruption: the reference result is delivered in place of the suspect
+    one (the request survives; its latency grows by the re-execution).
+    Audits run off the serving device, so a sampled request's delivery is
+    delayed but the batch pipeline never stalls. *)
+type 'a auditor = {
+  au_rate : float;  (** Per-request sampling probability in [0, 1]. *)
+  au_seed : int;
+      (** Seeds the sampling RNG — independent of every other stream, so
+          arming the auditor perturbs no legacy RNG draw. *)
+  au_reference : int -> 'a -> int64 * float;
+      (** [au_reference id payload] returns the reference fingerprint and
+          the unbatched re-execution latency (us) charged to the audited
+          request. *)
+}
+
+(** One request's delivery verdict after the (optional) sampled audit. *)
+type audit_delivery = {
+  ad_extra_us : float;  (** Audit latency added before this delivery. *)
+  ad_audited : bool;
+  ad_clean : bool;  (** Audit verdict; [true] when unaudited. *)
+}
+
+let no_audit = { ad_extra_us = 0.0; ad_audited = false; ad_clean = true }
+
+(** Audit one request of a successfully executed batch. [forced] bypasses
+    sampling (quarantine probes must be audited to prove cleanliness).
+    Shared by the single server, the cluster replica and the tenancy
+    dispatcher so all three detect and count identically. With no auditor
+    armed this draws nothing and returns {!no_audit}. *)
+let audit_request (auditor : 'a auditor option) ~audit_rng ~(stats : Stats.t) ~forced
+    ~(outcome : exec_outcome) ~index (r : 'a Admission.request) : audit_delivery =
+  match auditor with
+  | Some a when forced || (a.au_rate > 0.0 && Rng.float audit_rng < a.au_rate) ->
+    stats.Stats.audits <- stats.Stats.audits + 1;
+    let ref_fp, ref_latency_us = a.au_reference r.Admission.rq_id r.Admission.rq_payload in
+    let clean =
+      match outcome.ex_fingerprints with
+      | Some fps -> Int64.equal fps.(index) ref_fp
+      | None -> not outcome.ex_corrupted
+    in
+    if not clean then stats.Stats.audit_mismatches <- stats.Stats.audit_mismatches + 1;
+    { ad_extra_us = Float.max 0.0 ref_latency_us; ad_audited = true; ad_clean = clean }
+  | _ -> no_audit
+
+(** Ground-truth delivered-corruption accounting for one request: corrupted
+    outputs reached a client iff the batch attempt was corrupted and the
+    audit did not intercept this particular request. *)
+let note_delivery (stats : Stats.t) ~(outcome : exec_outcome) (d : audit_delivery) =
+  if outcome.ex_corrupted && not (d.ad_audited && not d.ad_clean) then
+    stats.Stats.corrupted_delivered <- stats.Stats.corrupted_delivered + 1
+
 type breaker_state =
   | Closed
   | Open of { until_us : float }  (** Shedding; probe allowed from [until_us]. *)
@@ -136,6 +201,8 @@ type 'a state = {
   batcher : Batcher.t;
   stats : Stats.t;
   execute : degraded:bool -> 'a list -> exec_result;
+  auditor : 'a auditor option;
+  audit_rng : Rng.t;  (** Audit sampling; drawn from only when an auditor is armed. *)
   mutable device_busy : bool;
   ft_rng : Rng.t;  (** Backoff jitter; drawn from only on retries. *)
   mutable consecutive_failures : int;
@@ -315,23 +382,40 @@ and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> un
       Stats.note_batch st.stats ~size ~profiler:outcome.ex_profiler;
       if degraded then
         st.stats.Stats.degraded_batches <- st.stats.Stats.degraded_batches + 1;
+      if outcome.ex_corrupted then
+        st.stats.Stats.corrupted_batches <- st.stats.Stats.corrupted_batches + 1;
       Trace.complete st.tracer ~name:"batch" ~cat:"serve" ~tid:0 ~ts_us:now_us
         ~dur_us:outcome.ex_latency_us
         ~args:[ "size", Json.Int size; "degraded", Json.Bool degraded ];
-      List.iter
-        (fun (r : _ Admission.request) ->
+      List.iteri
+        (fun i (r : _ Admission.request) ->
+          (* Sampled audit before delivery: a mismatch swaps in the
+             reference result (the request is saved), at the cost of the
+             unbatched re-execution's latency. With no auditor armed this
+             is draw-free and delivery is exactly the legacy path. *)
+          let d =
+            audit_request st.auditor ~audit_rng:st.audit_rng ~stats:st.stats
+              ~forced:false ~outcome ~index:i r
+          in
+          note_delivery st.stats ~outcome d;
+          let r_done_us = done_us +. d.ad_extra_us in
+          if d.ad_audited then
+            Trace.instant st.tracer
+              ~name:(if d.ad_clean then "audit_ok" else "audit_mismatch")
+              ~cat:"integrity" ~tid:(req_tid r.Admission.rq_id) ~ts_us:done_us
+              ~args:[ "id", Json.Int r.Admission.rq_id ];
           Stats.record st.stats
             {
               Stats.r_id = r.Admission.rq_id;
               r_arrival_us = r.Admission.rq_arrival_us;
               r_start_us = now_us;
-              r_done_us = done_us;
+              r_done_us;
               r_batch_size = size;
             };
           Trace.complete st.tracer ~name:"queue" ~cat:"request"
             ~tid:(req_tid r.Admission.rq_id) ~ts_us:r.Admission.rq_arrival_us
             ~dur_us:(now_us -. r.Admission.rq_arrival_us);
-          trace_terminal st ~name:"done" ~ts_us:done_us r)
+          trace_terminal st ~name:"done" ~ts_us:r_done_us r)
         batch;
       Event_loop.schedule st.loop ~at:done_us (fun () ->
           note_success st;
@@ -455,9 +539,9 @@ let on_arrival (st : 'a state) (r : 'a Admission.request) =
     plus the final counters. Both default to disabled sinks with no effect
     on the simulation or its output. *)
 let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
-    ?(snapshot_every_us = 10_000.0) (config : config) ~(arrivals : float array)
-    ~(payload : int -> 'a) ~(execute : degraded:bool -> 'a list -> exec_result) :
-    Stats.t =
+    ?(snapshot_every_us = 10_000.0) ?auditor (config : config)
+    ~(arrivals : float array) ~(payload : int -> 'a)
+    ~(execute : degraded:bool -> 'a list -> exec_result) : Stats.t =
   let loop = Event_loop.create (Clock.create ()) in
   let pmax = policy_max_batch config.policy in
   let rs = config.resilience in
@@ -472,6 +556,8 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
       batcher = Batcher.create ~cost:config.cost config.policy;
       stats = Stats.create ();
       execute;
+      auditor;
+      audit_rng = Rng.create (match auditor with Some a -> a.au_seed | None -> 0);
       device_busy = false;
       ft_rng = Rng.create config.tolerance.ft_seed;
       consecutive_failures = 0;

@@ -58,6 +58,21 @@ type t = {
           retry-amplification bound the chaos invariants check. *)
   mutable brownouts : int;  (** Brownout engage transitions. *)
   mutable brownout_restores : int;  (** Brownout restore transitions. *)
+  (* Result-integrity accounting (silent-data-corruption defense); all zero
+     unless corruption injection or the audit layer is armed. *)
+  mutable corrupted_batches : int;
+      (** Batch attempts whose outputs were silently corrupted (injector
+          ground truth — the serving layer cannot observe this directly). *)
+  mutable corrupted_delivered : int;
+      (** Corrupted results that reached a client undetected — the number
+          the audit layer exists to drive to zero. *)
+  mutable audits : int;  (** Requests re-executed unbatched for verification. *)
+  mutable audit_mismatches : int;
+      (** Audits whose reference fingerprint disagreed with the delivered
+          candidate — detected corruption. *)
+  mutable quarantines : int;  (** Replicas quarantined on corruption evidence. *)
+  mutable quarantine_restores : int;
+      (** Quarantined replicas re-admitted after clean audited probes. *)
 }
 
 let create () =
@@ -93,6 +108,12 @@ let create () =
     retried_requests = 0;
     brownouts = 0;
     brownout_restores = 0;
+    corrupted_batches = 0;
+    corrupted_delivered = 0;
+    audits = 0;
+    audit_mismatches = 0;
+    quarantines = 0;
+    quarantine_restores = 0;
   }
 
 let record t r = t.records <- r :: t.records
@@ -171,6 +192,15 @@ type summary = {
   s_retried_requests : int;  (** Requests re-executed under the budget. *)
   s_brownouts : int;
   s_brownout_restores : int;
+  (* Integrity block; all zero (and omitted from output) unless corruption
+     injection or the audit layer engaged, so legacy output stays
+     byte-stable. *)
+  s_corrupted_batches : int;  (** Corrupted batch attempts (injector ground truth). *)
+  s_corrupted_delivered : int;  (** Corrupted results delivered undetected. *)
+  s_audits : int;  (** Requests re-executed unbatched for verification. *)
+  s_audit_mismatches : int;  (** Audits that caught a corrupted result. *)
+  s_quarantines : int;  (** Replicas quarantined on corruption evidence. *)
+  s_quarantine_restores : int;  (** Quarantined replicas re-admitted. *)
 }
 
 (** Availability: the fraction of offered requests actually answered. *)
@@ -194,6 +224,11 @@ let tenancy_active (s : summary) = s.s_quota_shed > 0 || s.s_swaps > 0 || s.s_sl
 let resilience_active (s : summary) =
   s.s_limit_shed > 0 || s.s_retry_shed > 0 || s.s_retried_requests > 0
   || s.s_brownouts > 0 || s.s_brownout_restores > 0
+
+(** True when corruption injection or the audit layer engaged. *)
+let integrity_active (s : summary) =
+  s.s_corrupted_batches > 0 || s.s_corrupted_delivered > 0 || s.s_audits > 0
+  || s.s_audit_mismatches > 0 || s.s_quarantines > 0 || s.s_quarantine_restores > 0
 
 (** Fraction of completions that met their SLO deadline (1 when nothing
     completed — an empty stream violated nothing). *)
@@ -272,6 +307,12 @@ let summarize (t : t) : summary =
     s_retried_requests = t.retried_requests;
     s_brownouts = t.brownouts;
     s_brownout_restores = t.brownout_restores;
+    s_corrupted_batches = t.corrupted_batches;
+    s_corrupted_delivered = t.corrupted_delivered;
+    s_audits = t.audits;
+    s_audit_mismatches = t.audit_mismatches;
+    s_quarantines = t.quarantines;
+    s_quarantine_restores = t.quarantine_restores;
   }
 
 let drop_rate (s : summary) =
@@ -354,11 +395,23 @@ let summary_to_json (s : summary) : Json.t =
         "brownout_restores", Json.Int s.s_brownout_restores;
       ]
   in
+  let integrity =
+    if not (integrity_active s) then []
+    else
+      [
+        "corrupted_batches", Json.Int s.s_corrupted_batches;
+        "corrupted_delivered", Json.Int s.s_corrupted_delivered;
+        "audits", Json.Int s.s_audits;
+        "audit_mismatches", Json.Int s.s_audit_mismatches;
+        "quarantines", Json.Int s.s_quarantines;
+        "quarantine_restores", Json.Int s.s_quarantine_restores;
+      ]
+  in
   let anomalies =
     if s.s_clamped_schedules = 0 then []
     else [ "clamped_schedules", Json.Int s.s_clamped_schedules ]
   in
-  Json.Obj (base @ faults @ cluster @ tenancy @ resilience @ anomalies)
+  Json.Obj (base @ faults @ cluster @ tenancy @ resilience @ integrity @ anomalies)
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
@@ -396,6 +449,12 @@ let pp_summary ppf (s : summary) =
        brownouts          %8d@,brownout restores  %8d"
       s.s_limit_shed s.s_retry_shed s.s_retried_requests s.s_brownouts
       s.s_brownout_restores;
+  if integrity_active s then
+    Fmt.pf ppf
+      "@,corrupted batches  %8d@,corrupted delivered%8d@,audits             %8d@,\
+       audit mismatches   %8d@,quarantines        %8d@,quarantine restores%8d"
+      s.s_corrupted_batches s.s_corrupted_delivered s.s_audits s.s_audit_mismatches
+      s.s_quarantines s.s_quarantine_restores;
   if s.s_clamped_schedules > 0 then
     Fmt.pf ppf "@,clamped schedules  %8d  (scheduling bug?)" s.s_clamped_schedules;
   Fmt.pf ppf "@]"
@@ -438,6 +497,12 @@ let to_metrics (t : t) (m : Acrobat_obs.Metrics.t) =
       "retried_requests", s.s_retried_requests;
       "brownouts", s.s_brownouts;
       "brownout_restores", s.s_brownout_restores;
+      "corrupted_batches", s.s_corrupted_batches;
+      "corrupted_delivered", s.s_corrupted_delivered;
+      "audits", s.s_audits;
+      "audit_mismatches", s.s_audit_mismatches;
+      "quarantines", s.s_quarantines;
+      "quarantine_restores", s.s_quarantine_restores;
     ];
     Profiler.to_metrics t.profiler m
   end

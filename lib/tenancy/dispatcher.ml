@@ -38,6 +38,16 @@
     completion wins and every duplicate is cancelled, wasted or silently
     dropped — never double-completed.
 
+    With an [auditor] installed ({!Acrobat_serve.Server.auditor}), each
+    completed request is sampled for unbatched re-execution on the
+    reference engine before delivery: a fingerprint mismatch delivers the
+    reference result instead and feeds the serving replica's corruption
+    score. A replica whose score crosses the threshold is {e quarantined}:
+    drained like a scale-down victim and replaced like-for-like outside
+    the autoscaler's envelope — the elastic pool replaces flaky devices
+    rather than probing them back in (the fixed-pool {!Acrobat_serve.Replica}
+    machine does the probing variant).
+
     Trace conventions match the cluster: the dispatcher is pid 0, replica
     [i] is pid [i + 1], request [id] rides tid [id + 1], and every admitted
     request ends in exactly one pid-0 terminal instant — [done], [expired],
@@ -57,6 +67,7 @@ module Trace = Acrobat_obs.Trace
 module Metrics = Acrobat_obs.Metrics
 module Json = Acrobat_obs.Json
 module Cluster = Acrobat_serve.Cluster
+module Replica = Acrobat_serve.Replica
 module Resilience = Acrobat_resilience.Policy
 module Budget = Acrobat_resilience.Budget
 module Limiter = Acrobat_resilience.Limiter
@@ -103,6 +114,8 @@ type replica = {
   mutable rp_busy_us : float;  (** Total device-occupied time (incl. swaps). *)
   mutable rp_epoch : int;  (** Fences continuations across retirement. *)
   rp_rng : Rng.t;  (** Retry-backoff jitter; drawn only on failures. *)
+  rp_audit_rng : Rng.t;  (** Audit sampling; drawn only when an auditor is armed. *)
+  mutable rp_corrupt_score : float;  (** EWMA over audit verdicts (1 = dirty). *)
 }
 
 let rp_pid rp = rp.rp_id + 1
@@ -147,6 +160,9 @@ type 'a state = {
   mutable replicas : replica array;
   stats : Stats.t;  (** Aggregate across tenants, in event order. *)
   execute : int -> model:string -> 'a list -> Server.exec_result;
+  auditor : 'a Server.auditor option;
+      (** Sampled unbatched re-execution gate ahead of delivery; [None]
+          leaves every legacy path untouched. *)
   model_bytes : string -> int;
   pmax : int;  (** The policy's batch-size cap. *)
   mutable scale_events : (float * string * int) list;  (** Reversed. *)
@@ -235,6 +251,12 @@ let new_replica st ~ready_us =
       rp_busy_us = 0.0;
       rp_epoch = 0;
       rp_rng = Rng.create (st.cfg.t_server.Server.tolerance.Server.ft_seed + (id * 7919));
+      rp_audit_rng =
+        Rng.create
+          (match st.auditor with
+          | Some a -> a.Server.au_seed + (id * 104729)
+          | None -> 0);
+      rp_corrupt_score = 0.0;
     }
   in
   st.replicas <- Array.append st.replicas [| rp |];
@@ -318,6 +340,11 @@ let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~
           ~latency_us:outcome.Server.ex_latency_us;
         Stats.note_batch st.stats ~size ~profiler:outcome.Server.ex_profiler;
         Stats.note_batch lead_ts.ts_stats ~size ~profiler:None;
+        if outcome.Server.ex_corrupted then begin
+          st.stats.Stats.corrupted_batches <- st.stats.Stats.corrupted_batches + 1;
+          lead_ts.ts_stats.Stats.corrupted_batches <-
+            lead_ts.ts_stats.Stats.corrupted_batches + 1
+        end;
         rp.rp_batches <- rp.rp_batches + 1;
         Trace.complete st.tracer ~name:"batch" ~cat:"serve" ~pid:(rp_pid rp) ~tid:0
           ~ts_us:now ~dur_us:outcome.Server.ex_latency_us
@@ -337,54 +364,89 @@ let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~
           counts;
         (* Hedge dedup: only the first completing copy of a request is a
            completion; the rest are wasted work. With hedging off the entry
-           table is empty and [fresh] is the whole batch. *)
-        let fresh =
-          List.filter
-            (fun ((_, r) : int * 'a Admission.request) ->
-              match Hashtbl.find_opt st.entries r.Admission.rq_id with
-              | None -> true
-              | Some e when e.he_done ->
-                e.he_copies <- e.he_copies - 1;
-                st.stats.Stats.hedge_wasted <- st.stats.Stats.hedge_wasted + 1;
-                false
-              | Some e ->
-                e.he_done <- true;
-                e.he_copies <- e.he_copies - 1;
-                record_latency st (done_us -. r.Admission.rq_arrival_us);
-                (match e.he_hedge_copy with
-                | Some hc when hc == r ->
-                  st.stats.Stats.hedge_wins <- st.stats.Stats.hedge_wins + 1
-                | _ -> ());
-                true)
-            batch
+           table is empty and [fresh] is the whole batch. Each survivor
+           keeps its batch position so the audit gate can look up its
+           fingerprint. *)
+        let _, fresh_rev =
+          List.fold_left
+            (fun (bi, acc) ((ti, r) : int * 'a Admission.request) ->
+              let keep =
+                match Hashtbl.find_opt st.entries r.Admission.rq_id with
+                | None -> true
+                | Some e when e.he_done ->
+                  e.he_copies <- e.he_copies - 1;
+                  st.stats.Stats.hedge_wasted <- st.stats.Stats.hedge_wasted + 1;
+                  false
+                | Some e ->
+                  e.he_done <- true;
+                  e.he_copies <- e.he_copies - 1;
+                  record_latency st (done_us -. r.Admission.rq_arrival_us);
+                  (match e.he_hedge_copy with
+                  | Some hc when hc == r ->
+                    st.stats.Stats.hedge_wins <- st.stats.Stats.hedge_wins + 1
+                  | _ -> ());
+                  true
+              in
+              bi + 1, if keep then (bi, ti, r) :: acc else acc)
+            (0, []) batch
         in
+        let fresh = List.rev fresh_rev in
         List.iter
-          (fun (ti, (r : 'a Admission.request)) ->
+          (fun ((bi, ti, r) : int * int * 'a Admission.request) ->
             let ts = st.tenants.(ti) in
+            (* Sampled audit gate ahead of delivery; a mismatch delivers
+               the reference result (the request is saved) and feeds the
+               serving replica's corruption score. *)
+            let d =
+              Server.audit_request st.auditor ~audit_rng:rp.rp_audit_rng
+                ~stats:st.stats ~forced:false ~outcome ~index:bi r
+            in
+            if d.Server.ad_audited then begin
+              ts.ts_stats.Stats.audits <- ts.ts_stats.Stats.audits + 1;
+              if not d.Server.ad_clean then
+                ts.ts_stats.Stats.audit_mismatches <-
+                  ts.ts_stats.Stats.audit_mismatches + 1;
+              Trace.instant st.tracer
+                ~name:(if d.Server.ad_clean then "audit_ok" else "audit_mismatch")
+                ~cat:"integrity" ~pid:0 ~tid:(Server.req_tid r.Admission.rq_id)
+                ~ts_us:done_us
+                ~args:[ "replica", Json.Int rp.rp_id ];
+              rp.rp_corrupt_score <-
+                ((1.0 -. Replica.corrupt_alpha) *. rp.rp_corrupt_score)
+                +. (if d.Server.ad_clean then 0.0 else Replica.corrupt_alpha);
+              if
+                (not d.Server.ad_clean)
+                && rp.rp_corrupt_score >= Replica.corrupt_threshold
+                && rp.rp_state = Active
+              then quarantine st rp ~ts_us:done_us
+            end;
+            Server.note_delivery st.stats ~outcome d;
+            Server.note_delivery ts.ts_stats ~outcome d;
+            let r_done_us = done_us +. d.Server.ad_extra_us in
             let rec_ =
               {
                 Stats.r_id = r.Admission.rq_id;
                 r_arrival_us = r.Admission.rq_arrival_us;
                 r_start_us = now;
-                r_done_us = done_us;
+                r_done_us;
                 r_batch_size = size;
               }
             in
             Stats.record st.stats rec_;
             Stats.record ts.ts_stats rec_;
             (match r.Admission.rq_deadline_us with
-            | Some d when done_us > d -> ()
+            | Some d when r_done_us > d -> ()
             | Some _ | None ->
               st.stats.Stats.slo_ok <- st.stats.Stats.slo_ok + 1;
               ts.ts_stats.Stats.slo_ok <- ts.ts_stats.Stats.slo_ok + 1);
             Trace.complete st.tracer ~name:"queue" ~cat:"request" ~pid:0
               ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:r.Admission.rq_arrival_us
               ~dur_us:(now -. r.Admission.rq_arrival_us);
-            trace_terminal st ts ~name:"done" ~ts_us:done_us r)
+            trace_terminal st ts ~name:"done" ~ts_us:r_done_us r)
           fresh;
         Event_loop.schedule st.loop ~at:done_us (fun () ->
             List.iter
-              (fun (ti, _) ->
+              (fun ((_, ti, _) : int * int * 'a Admission.request) ->
                 st.tenants.(ti).ts_inflight <- st.tenants.(ti).ts_inflight - 1)
               fresh;
             k ())
@@ -503,7 +565,7 @@ and bisect st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~k =
    fair-share order; the first whose batcher wants to flush launches. A
    tenant that prefers to wait is skipped (work conservation) but remembered
    as the earliest wake-up if nobody launches. *)
-let rec try_launch st rp =
+and try_launch st rp =
   let now = now_us st in
   let wake = ref infinity in
   let order =
@@ -611,6 +673,30 @@ and pass st =
       if rp.rp_state = Active && (not rp.rp_busy) && now_us st >= rp.rp_ready_us then
         try_launch st rp)
     st.replicas
+
+(* Audit-driven containment: a replica whose corruption score crosses the
+   threshold drains like a scale-down victim — its in-flight batch has
+   already delivered through the audit gate, so nothing is requeued — and
+   is replaced like-for-like (cold-start warmup, outside the autoscaler's
+   min/max envelope) so the pool keeps its capacity while the flaky device
+   leaves the rotation. The elastic pool replaces rather than probes;
+   probe-based re-admission is the fixed-pool {!Replica} machine's job. *)
+and quarantine st rp ~ts_us =
+  rp.rp_state <- Draining;
+  st.stats.Stats.quarantines <- st.stats.Stats.quarantines + 1;
+  Trace.instant st.tracer ~name:"quarantine" ~cat:"integrity" ~pid:(rp_pid rp) ~tid:0
+    ~ts_us
+    ~args:[ "replica", Json.Int rp.rp_id; "score", Json.Float rp.rp_corrupt_score ];
+  let nrp =
+    new_replica st ~ready_us:(ts_us +. st.cfg.t_autoscale.Autoscaler.as_warmup_us)
+  in
+  let active = active_replicas st in
+  if active > st.peak_replicas then st.peak_replicas <- active;
+  st.scale_events <- (ts_us, "quarantine_replace", active) :: st.scale_events;
+  Trace.instant st.tracer ~name:"quarantine_replace" ~cat:"integrity" ~pid:0 ~tid:0
+    ~ts_us
+    ~args:[ "replica", Json.Int nrp.rp_id; "ready_us", Json.Float nrp.rp_ready_us ];
+  Event_loop.schedule st.loop ~at:nrp.rp_ready_us (fun () -> pass st)
 
 (* --- Hedging --- *)
 
@@ -809,7 +895,7 @@ let utilization (r : report) =
     order, so traces, chaos invariants and payload poison lists all speak
     the same id space. *)
 let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
-    ?(snapshot_every_us = 10_000.0) ?arrivals (cfg : config)
+    ?(snapshot_every_us = 10_000.0) ?arrivals ?auditor (cfg : config)
     ~(tenants : Tenant.t array)
     ~(payload : tenant:int -> index:int -> id:int -> 'a)
     ~(execute : int -> model:string -> 'a list -> Server.exec_result)
@@ -851,6 +937,7 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
       replicas = [||];
       stats = Stats.create ();
       execute;
+      auditor;
       model_bytes;
       pmax = Server.policy_max_batch cfg.t_server.Server.policy;
       scale_events = [];

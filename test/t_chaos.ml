@@ -60,6 +60,7 @@ let clean_scenario () =
     sc_plans = [| Faults.none; Faults.none |];
     sc_tenancy = None;
     sc_resilience = Resilience.off;
+    sc_audit = 0.0;
   }
 
 let healthy_input () =
@@ -75,6 +76,7 @@ let healthy_input () =
     in_retry_budget_frac = None;
     in_brownout = None;
     in_peak_replicas = sc.Scenario.sc_replicas;
+    in_audit_rate = sc.Scenario.sc_audit;
   }
 
 let violated input = Invariants.names (Invariants.check input)
@@ -111,6 +113,53 @@ let test_invariant_dup_completion () =
   check_true "duplicated completion trips no_dup_completion"
     (List.mem "no_dup_completion" names);
   check_true "duplicated terminal trips terminal_once" (List.mem "terminal_once" names)
+
+let test_invariant_audit_shield () =
+  let input = healthy_input () in
+  let s = input.Invariants.in_summary in
+  (* Tamper 1: claim the run audited every delivery, then let a corrupted
+     result through — the shield must fire. *)
+  let names =
+    violated
+      { input with
+        Invariants.in_audit_rate = 1.0;
+        in_summary = { s with Stats.s_corrupted_delivered = 1 } }
+  in
+  check_true "delivered corruption under audit 1.0 trips audit_shield"
+    (List.mem "audit_shield" names);
+  (* Tamper 2: more mismatches than audits is impossible accounting. *)
+  let names =
+    violated
+      { input with
+        Invariants.in_summary = { s with Stats.s_audits = 1; s_audit_mismatches = 2 } }
+  in
+  check_true "mismatches > audits trips audit_shield" (List.mem "audit_shield" names);
+  (* Delivered corruption at a partial sampling rate is the expected
+     residual, not a violation. *)
+  check_bool "partial-rate delivery is legitimate" false
+    (List.mem "audit_shield"
+       (violated
+          { input with
+            Invariants.in_audit_rate = 0.5;
+            in_summary = { s with Stats.s_corrupted_delivered = 3 } }))
+
+let test_invariant_quarantine_flow () =
+  let input = healthy_input () in
+  let s = input.Invariants.in_summary in
+  (* A quarantine counted without its trace instant: the counter and the
+     span stream must tell the same story. *)
+  let names =
+    violated { input with Invariants.in_summary = { s with Stats.s_quarantines = 1 } }
+  in
+  check_true "counter without trace instant trips quarantine_flow"
+    (List.mem "quarantine_flow" names);
+  (* More restores than quarantines is impossible. *)
+  let names =
+    violated
+      { input with Invariants.in_summary = { s with Stats.s_quarantine_restores = 1 } }
+  in
+  check_true "restores > quarantines trips quarantine_flow"
+    (List.mem "quarantine_flow" names)
 
 let test_invariant_requeue_budget () =
   let input = healthy_input () in
@@ -375,6 +424,36 @@ let test_faulty_campaign_holds () =
   let r = Chaos.run_campaign ca in
   check_int "faulty campaign has zero violations" 0 (List.length r.Chaos.rp_outcomes)
 
+let test_corruption_campaign_holds () =
+  (* ISSUE acceptance: campaigns whose scenarios arm silent corruption
+     (probabilistic and flaky devices) and sampled auditing must hold every
+     invariant — audit_shield and quarantine_flow included. *)
+  let ca =
+    { Chaos.default_campaign with Chaos.ca_seed = 21; ca_runs = 40; ca_fault_prob = 1.0 }
+  in
+  let armed = ref 0 and audited = ref 0 and flaky = ref 0 in
+  for i = 0 to ca.Chaos.ca_runs - 1 do
+    let sc =
+      Scenario.generate ~campaign_seed:ca.Chaos.ca_seed
+        ~fault_prob:ca.Chaos.ca_fault_prob i
+    in
+    if Array.exists Faults.corrupts sc.Scenario.sc_plans then begin
+      incr armed;
+      if Array.exists (fun p -> p.Faults.flaky_after <> None) sc.Scenario.sc_plans then
+        incr flaky;
+      if sc.Scenario.sc_audit > 0.0 then begin
+        incr audited;
+        check_true "armed scenario repro carries --audit"
+          (contains (Scenario.to_cli sc) "--audit")
+      end
+    end
+  done;
+  check_true (Fmt.str "campaign draws corrupting fleets (got %d)" !armed) (!armed >= 5);
+  check_true "some corrupting fleets are flaky devices" (!flaky >= 1);
+  check_true "some corrupting fleets arm the auditor" (!audited >= 1);
+  let r = Chaos.run_campaign ca in
+  check_int "corruption campaign has zero violations" 0 (List.length r.Chaos.rp_outcomes)
+
 let test_campaign_determinism () =
   let ca =
     { Chaos.default_campaign with Chaos.ca_seed = 9; ca_runs = 30; ca_fault_prob = 0.6 }
@@ -450,6 +529,10 @@ let suite =
       test_invariant_terminal_once;
     Alcotest.test_case "invariants: duplicate-completion oracle fires" `Quick
       test_invariant_dup_completion;
+    Alcotest.test_case "invariants: audit-shield oracle fires" `Quick
+      test_invariant_audit_shield;
+    Alcotest.test_case "invariants: quarantine-flow oracle fires" `Quick
+      test_invariant_quarantine_flow;
     Alcotest.test_case "invariants: requeue-budget oracle fires" `Quick
       test_invariant_requeue_budget;
     Alcotest.test_case "invariants: goodput-floor oracle fires" `Quick
@@ -469,6 +552,8 @@ let suite =
       test_clean_campaign;
     Alcotest.test_case "campaign: faulty fleet holds invariants" `Quick
       test_faulty_campaign_holds;
+    Alcotest.test_case "campaign: corrupting fleet holds invariants" `Quick
+      test_corruption_campaign_holds;
     Alcotest.test_case "campaign: byte-identical reports" `Quick
       test_campaign_determinism;
     Alcotest.test_case "campaign: forced floor shrinks and reproduces" `Quick

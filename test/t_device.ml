@@ -94,10 +94,18 @@ let test_faults_spec_round_trip () =
       "seed=11,straggler=0.15x8";
       "reset=0.1,poison=5";
       "seed=0";
+      "seed=4,corrupt=0.3";
+      "corrupt=0.05,flaky=2";
+      "flaky=0";
     ];
   check_true "to_spec emits the canonical key order"
     (Faults.to_spec (Faults.parse "poison=5,kernel=0.3,seed=2")
-    = "seed=2,kernel=0.3,straggler=0x6,reset=0,poison=5")
+    = "seed=2,kernel=0.3,straggler=0x6,reset=0,poison=5");
+  (* Corruption clauses render only when set, so legacy plans keep their
+     historical spec bytes. *)
+  check_true "corrupt/flaky appended after legacy keys"
+    (Faults.to_spec (Faults.parse "flaky=1,corrupt=0.2")
+    = "seed=0,kernel=0,straggler=0x6,reset=0,corrupt=0.2,flaky=1")
 
 let test_faults_validate () =
   let rejects ?(key = "") plan =
@@ -139,6 +147,32 @@ let test_faults_validate () =
       "kernel=0.9,reset=0.2", "exceeds 1";
     ]
 
+let test_faults_corrupt_parse () =
+  let p = Faults.parse "seed=5,corrupt=0.25,flaky=3" in
+  check_int "seed" 5 p.Faults.seed;
+  check_float "corrupt" 0.25 p.Faults.corrupt_rate;
+  check_true "flaky" (p.Faults.flaky_after = Some 3);
+  check_true "enabled" (Faults.enabled p);
+  check_true "corrupts" (Faults.corrupts p);
+  check_bool "legacy faults do not corrupt" false
+    (Faults.corrupts (Faults.parse "kernel=0.3"));
+  check_true "flaky alone corrupts" (Faults.corrupts (Faults.parse "flaky=0"));
+  check_true "flaky alone enables the plan" (Faults.enabled (Faults.parse "flaky=0"));
+  (match Faults.parse "corrupt=1.5" with
+  | _ -> Alcotest.fail "expected rejection of probability > 1"
+  | exception Invalid_argument msg -> check_true "names corrupt" (contains msg "corrupt"));
+  (match Faults.parse "flaky=-1" with
+  | _ -> Alcotest.fail "expected rejection of a negative onset"
+  | exception Invalid_argument msg -> check_true "names flaky" (contains msg "flaky"));
+  (* Programmatic (parser-bypassing) plans hit the same checks. *)
+  (match Faults.validate { Faults.none with Faults.corrupt_rate = Float.nan } with
+  | () -> Alcotest.fail "expected validate to reject nan corrupt rate"
+  | exception Invalid_argument msg ->
+    check_true "validate names corrupt" (contains msg "corrupt"));
+  match Faults.validate { Faults.none with Faults.flaky_after = Some (-2) } with
+  | () -> Alcotest.fail "expected validate to reject a negative onset"
+  | exception Invalid_argument msg -> check_true "validate names flaky" (contains msg "flaky")
+
 (* Run [attempts] single-launch attempts against a fresh injector, returning
    the per-attempt fate trace. *)
 let fault_trace plan attempts =
@@ -158,6 +192,51 @@ let test_faults_deterministic () =
   check_true "clean attempts too" (List.exists (fun s -> s = "ok") a);
   let c = fault_trace (Faults.parse "seed=4,kernel=0.3,reset=0.1") 200 in
   check_true "seed-sensitive" (c <> a)
+
+let test_faults_corrupt_injection () =
+  (* corrupt=1: every attempt silently corrupts — nothing raises, the
+     launch succeeds, only the injector's ground truth knows. *)
+  let inj = Faults.create (Faults.parse "corrupt=1.0") in
+  let d = Device.create ~faults:inj () in
+  Device.launch_kernel d ~flops:1.0e6;
+  check_true "device reports the corrupting attempt" (Device.corrupting d);
+  check_true "injector ground truth" (Faults.corrupt_attempt inj);
+  check_int "corruption counted" 1 (Faults.corruptions inj);
+  (* flaky=2: deterministic onset — attempts 1..2 clean, all later corrupt. *)
+  let inj = Faults.create (Faults.parse "flaky=2") in
+  let fates =
+    List.init 5 (fun _ -> Device.corrupting (Device.create ~faults:inj ()))
+  in
+  Alcotest.(check (list bool)) "flaky onset after attempt 2"
+    [ false; false; true; true; true ] fates;
+  (* Probabilistic corruption replays byte-for-byte from the plan seed. *)
+  let trace spec =
+    let inj = Faults.create (Faults.parse spec) in
+    List.init 100 (fun _ -> Device.corrupting (Device.create ~faults:inj ()))
+  in
+  let a = trace "seed=5,corrupt=0.3" in
+  Alcotest.(check (list bool)) "same seed, same corruption pattern" a
+    (trace "seed=5,corrupt=0.3");
+  check_true "corruptions actually drawn" (List.mem true a);
+  check_true "clean attempts too" (List.mem false a);
+  check_true "seed-sensitive" (trace "seed=6,corrupt=0.3" <> a)
+
+let test_faults_corrupt_stream_preserved () =
+  (* Flaky onset is deterministic and draw-free, so adding it must not
+     perturb the legacy fault-fate stream of a (seed, plan) pair. (A
+     [corrupt=] clause does draw — one independent uniform per attempt,
+     taken strictly after the fate draw — so it legitimately shifts later
+     fates; the byte-stability claim is about plans without corruption.) *)
+  let base = "seed=3,kernel=0.3,reset=0.1" in
+  Alcotest.(check (list string)) "fault fates unchanged under flaky="
+    (fault_trace (Faults.parse base) 200)
+    (fault_trace (Faults.parse (base ^ ",flaky=50")) 200);
+  (* And the zero-rate corrupt clause is inert by construction: the draw is
+     short-circuited, so the stream stays the legacy one. *)
+  let p = { (Faults.parse base) with Faults.corrupt_rate = 0.0 } in
+  Alcotest.(check (list string)) "corrupt_rate 0 draws nothing"
+    (fault_trace (Faults.parse base) 200)
+    (fault_trace p 200)
 
 let test_faults_straggler_mult () =
   (* straggler rate 1: every attempt straggles by exactly the multiplier. *)
@@ -256,6 +335,12 @@ let suite =
     Alcotest.test_case "faults: plan validation rejects bad rates" `Quick
       test_faults_validate;
     Alcotest.test_case "faults: deterministic injection" `Quick test_faults_deterministic;
+    Alcotest.test_case "faults: corrupt/flaky parsing and validation" `Quick
+      test_faults_corrupt_parse;
+    Alcotest.test_case "faults: silent corruption injection" `Quick
+      test_faults_corrupt_injection;
+    Alcotest.test_case "faults: corrupt clause preserves the legacy stream" `Quick
+      test_faults_corrupt_stream_preserved;
     Alcotest.test_case "faults: straggler multiplier" `Quick test_faults_straggler_mult;
     Alcotest.test_case "faults: failed attempts burn device time" `Quick
       test_faults_burn_time;

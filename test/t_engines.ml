@@ -80,6 +80,71 @@ let stats ?(batch = 8) ~framework id =
   let instances = gen_batch model ~batch ~seed:3 in
   (run compiled ~weights ~instances ()).Driver.stats
 
+(* --- Result fingerprints across engines (the audit layer's detector) --- *)
+
+let int64s = Alcotest.(list int64)
+
+let run_fps ?(batch = 4) ~framework ?mode id =
+  let model = Models.tiny id in
+  let compiled = compile ~framework ~inputs:model.Model.inputs model.Model.source in
+  let weights = model.Model.gen_weights 1 in
+  let instances = gen_batch model ~batch ~seed:3 in
+  let r =
+    match mode with
+    | None -> run ~compute_values:true compiled ~weights ~instances ()
+    | Some mode ->
+      Driver.run ~compute_values:true ~mode ~policy:(Frameworks.policy framework)
+        ~quality:compiled.quality ~lprog:compiled.lprog ~weights ~instances ()
+  in
+  Array.to_list (Driver.fingerprints r)
+
+(* The property the whole audit path rests on: the fingerprint of a request
+   depends only on its output values, so every engine — batching the batch
+   completely differently — digests identical fingerprints. A reference
+   re-execution on any engine is therefore a valid audit oracle. *)
+let test_fingerprints_cross_engine id () =
+  let reference = run_fps ~framework:acrobat_kind id in
+  check_true "fingerprints are non-degenerate"
+    (List.exists (fun fp -> fp <> 0L) reference);
+  Alcotest.check int64s "vm = aot" reference
+    (run_fps ~framework:acrobat_kind ~mode:Driver.Vm_mode id);
+  Alcotest.check int64s "dynet-agenda = acrobat" reference
+    (run_fps ~framework:dynet_kind id);
+  Alcotest.check int64s "dynet-depth = acrobat" reference
+    (run_fps ~framework:dynet_depth_kind id);
+  Alcotest.check int64s "pytorch = acrobat" reference
+    (run_fps ~framework:Frameworks.Pytorch id)
+
+let test_fingerprint_batch_invariant () =
+  (* Batched and unbatched execution of the same request digest the same
+     fingerprint when decision streams are keyed by stable request ids —
+     the equivalence that lets a sampled unbatched re-execution detect
+     batched-path corruption, and ACROBAT's value-preservation claim in
+     checksum form. *)
+  let model = Models.tiny "treelstm" in
+  let compiled = compile ~framework:acrobat_kind ~inputs:model.Model.inputs model.Model.source in
+  let weights = model.Model.gen_weights 1 in
+  let instances = gen_batch model ~batch:4 ~seed:3 in
+  let keys = [| 10; 11; 12; 13 |] in
+  let fps ~instance_keys instances =
+    Driver.fingerprints
+      (run_batch ~compute_values:true ~seed:7 ~instance_keys compiled ~weights ~instances ())
+  in
+  let batched = fps ~instance_keys:keys instances in
+  List.iteri
+    (fun i inst ->
+      Alcotest.(check int64)
+        (Fmt.str "instance %d: unbatched = batched" i)
+        batched.(i)
+        (fps ~instance_keys:[| keys.(i) |] [ inst ]).(0))
+    instances;
+  (* Re-batching a permuted subset leaves each member's fingerprint
+     untouched: the digest never depends on batch composition. *)
+  let sub = fps ~instance_keys:[| keys.(2); keys.(0) |]
+      [ List.nth instances 2; List.nth instances 0 ] in
+  Alcotest.(check int64) "permuted member 2" batched.(2) sub.(0);
+  Alcotest.(check int64) "permuted member 0" batched.(0) sub.(1)
+
 let test_acrobat_batches_better () =
   List.iter
     (fun id ->
@@ -162,9 +227,16 @@ let suite =
     (fun id ->
       Alcotest.test_case ("agreement: " ^ id) `Quick (test_engines_agree id))
     agreement_ids
+  @ List.map
+      (fun id ->
+        Alcotest.test_case ("fingerprints: " ^ id) `Quick
+          (test_fingerprints_cross_engine id))
+      agreement_ids
   @ [
       Alcotest.test_case "agreement: drnn dynet=pytorch" `Quick test_drnn_dynet_matches_pytorch;
       Alcotest.test_case "determinism" `Quick test_run_deterministic;
+      Alcotest.test_case "fingerprint batch invariance" `Quick
+        test_fingerprint_batch_invariant;
       Alcotest.test_case "ablations preserve semantics" `Quick test_ablation_preserves_semantics;
       Alcotest.test_case "acrobat batches better" `Quick test_acrobat_batches_better;
       Alcotest.test_case "dynet mvrnn heuristic" `Quick test_dynet_mvrnn_unbatched_matmuls;

@@ -251,6 +251,49 @@ let test_upload_accounting () =
   ignore (Runtime.upload_inputs rt ~batched:false tensors);
   check_int "per-tensor otherwise" 11 (Device.profiler device).Profiler.memcpy_calls
 
+(* --- Result fingerprints (the integrity layer's detector) --- *)
+
+module Fingerprint = Acrobat_runtime.Fingerprint
+
+let prop_fingerprint_detects_perturbation =
+  qtest "fingerprint: any single-element perturbation changes the digest"
+    QCheck2.Gen.(triple (list_size (int_range 1 3) (int_range 1 5)) int (int_range 0 4095))
+    (fun (shape, seed, salt) ->
+      let x = Tensor.random (Rng.create seed) shape in
+      let data = Tensor.data x in
+      let i = salt mod Array.length data in
+      let before = Fingerprint.of_tensor x in
+      let orig = data.(i) in
+      (* A bit-level flip in one element — the smallest silent corruption. *)
+      data.(i) <- orig +. Float.max 1e-6 (Float.abs orig *. 1e-6);
+      let changed = not (Fingerprint.equal before (Fingerprint.of_tensor x)) in
+      data.(i) <- orig;
+      changed && Fingerprint.equal before (Fingerprint.of_tensor x))
+
+let prop_fingerprint_shape_sensitive =
+  qtest "fingerprint: same data, different shape, different digest"
+    QCheck2.Gen.(pair (int_range 1 4) int)
+    (fun (n, seed) ->
+      let flat = Tensor.random (Rng.create seed) [ 2 * n ] in
+      let boxed = Tensor.reshape flat [ 2; n ] in
+      not (Fingerprint.equal (Fingerprint.of_tensor flat) (Fingerprint.of_tensor boxed)))
+
+let prop_fingerprint_component_order_invariant =
+  qtest "fingerprint: value components combine commutatively"
+    QCheck2.Gen.(list_size (int_range 1 6) (pair (int_range 0 2) int))
+    (fun comps ->
+      let value (tag, n) =
+        match tag with
+        | 0 -> Value.Vint n
+        | 1 -> Value.Vfloat (float_of_int n *. 0.125)
+        | _ -> Value.Vbool (n land 1 = 0)
+      in
+      let vs = List.map value comps in
+      let fp l = Fingerprint.of_value (Value.Vtuple (Array.of_list l)) in
+      (* Materialization order must not matter: a request's digest is the
+         same however the runtime traverses its outputs. *)
+      Fingerprint.equal (fp vs) (fp (List.rev vs)))
+
 let suite =
   [
     Alcotest.test_case "fiber: completion" `Quick test_fiber_run_to_completion;
@@ -268,4 +311,7 @@ let suite =
     Alcotest.test_case "runtime: constant memoization" `Quick test_runtime_constants_memoized;
     Alcotest.test_case "runtime: decision determinism" `Quick test_runtime_decisions_deterministic;
     Alcotest.test_case "runtime: upload accounting" `Quick test_upload_accounting;
+    prop_fingerprint_detects_perturbation;
+    prop_fingerprint_shape_sensitive;
+    prop_fingerprint_component_order_invariant;
   ]

@@ -165,8 +165,12 @@ let test_batcher_adaptive_target () =
 (* --- Server simulation with synthetic executors --- *)
 
 let linear_cost ~fixed ~per_item batch =
-  { Server.ex_latency_us = fixed +. (per_item *. float_of_int (List.length batch));
-    ex_profiler = None }
+  {
+    Server.ex_latency_us = fixed +. (per_item *. float_of_int (List.length batch));
+    ex_profiler = None;
+    ex_fingerprints = None;
+    ex_corrupted = false;
+  }
 
 let simulate ?(config = Server.default_config) ~arrivals () =
   Server.simulate config ~arrivals
@@ -497,7 +501,12 @@ let test_brownout_engage_restore () =
     if degraded then incr degraded_calls;
     let full = 1_000.0 +. (100.0 *. float_of_int (List.length batch)) in
     Server.Exec_ok
-      { Server.ex_latency_us = (if degraded then full /. 2.0 else full); ex_profiler = None }
+      {
+        Server.ex_latency_us = (if degraded then full /. 2.0 else full);
+        ex_profiler = None;
+        ex_fingerprints = None;
+        ex_corrupted = false;
+      }
   in
   let config =
     {
@@ -780,6 +789,151 @@ let test_cluster_single_replica_equivalence () =
   let json s = Json.to_string (Stats.summary_to_json s) in
   Alcotest.(check string) "1-replica cluster == single server" (json sv) (json cl)
 
+(* --- Integrity: sampled audit re-execution and corruption quarantine --- *)
+
+(* A batch executor that silently corrupts every [every]-th batch: the
+   fingerprints it attaches are wrong, nothing raises. Honest results
+   fingerprint as [1000 + id], which is what the reference recomputes. *)
+let corrupt_exec ?(every = 3) () =
+  let n = ref 0 in
+  fun ~degraded:_ batch ->
+    incr n;
+    let corrupted = !n mod every = 0 in
+    let c = linear_cost ~fixed:100.0 ~per_item:10.0 batch in
+    Server.Exec_ok
+      {
+        c with
+        Server.ex_corrupted = corrupted;
+        ex_fingerprints =
+          Some
+            (Array.of_list
+               (List.map
+                  (fun id -> Int64.of_int (if corrupted then -id - 1 else 1000 + id))
+                  batch));
+      }
+
+(* Corrupts its first [bad] batches, then runs clean — the transient flaky
+   device quarantine must contain and then re-admit. *)
+let flaky_then_clean_exec ?(bad = 3) () =
+  let n = ref 0 in
+  fun ~degraded:_ batch ->
+    incr n;
+    let corrupted = !n <= bad in
+    let c = linear_cost ~fixed:100.0 ~per_item:10.0 batch in
+    Server.Exec_ok
+      {
+        c with
+        Server.ex_corrupted = corrupted;
+        ex_fingerprints =
+          Some
+            (Array.of_list
+               (List.map
+                  (fun id -> Int64.of_int (if corrupted then -id - 1 else 1000 + id))
+                  batch));
+      }
+
+let reference_auditor rate =
+  {
+    Server.au_rate = rate;
+    au_seed = 42;
+    au_reference = (fun id _ -> Int64.of_int (1000 + id), 80.0);
+  }
+
+let test_audit_intercepts_corruption () =
+  let arrivals = cluster_arrivals ~n:150 17 in
+  let run auditor =
+    Stats.summarize
+      (Server.simulate ?auditor Server.default_config ~arrivals ~payload:Fun.id
+         ~execute:(corrupt_exec ~every:3 ()))
+  in
+  let off = run None in
+  check_true "corruption injected" (off.Stats.s_corrupted_batches > 0);
+  check_true "unaudited corruption is delivered silently"
+    (off.Stats.s_corrupted_delivered > 0);
+  check_int "nothing audited without an auditor" 0 off.Stats.s_audits;
+  (* The tentpole oracle: at rate 1.0 every delivery is verified, so zero
+     corrupted results reach clients — and no completion is lost doing it. *)
+  let full = run (Some (reference_auditor 1.0)) in
+  check_int "audit 1.0 delivers zero corrupted results" 0
+    full.Stats.s_corrupted_delivered;
+  check_int "every completion audited" full.Stats.s_completed full.Stats.s_audits;
+  check_true "mismatches caught" (full.Stats.s_audit_mismatches > 0);
+  check_int "auditing loses no completions" off.Stats.s_completed
+    full.Stats.s_completed;
+  let half = run (Some (reference_auditor 0.5)) in
+  check_true "sampling reduces delivered corruption"
+    (half.Stats.s_corrupted_delivered < off.Stats.s_corrupted_delivered);
+  check_true "sampling audits a strict fraction"
+    (half.Stats.s_audits > 0 && half.Stats.s_audits < full.Stats.s_audits)
+
+let test_cluster_quarantine_contains_corruption () =
+  (* Replica 0 corrupts every batch; full auditing must shield delivery,
+     the scoreboard must quarantine it, and — the conservation oracle —
+     every offered request still terminates exactly once. *)
+  let n = 160 in
+  let arrivals = cluster_arrivals ~n 19 in
+  let report =
+    Cluster.simulate ~auditor:(reference_auditor 1.0)
+      { Cluster.default_config with Cluster.c_replicas = 3 }
+      ~arrivals ~payload:Fun.id
+      ~executors:[| corrupt_exec ~every:1 (); ok_exec; ok_exec |]
+  in
+  let s = Stats.summarize report.Cluster.cluster_stats in
+  check_int "no corrupted result delivered" 0 s.Stats.s_corrupted_delivered;
+  check_true "the dirty replica was quarantined" (s.Stats.s_quarantines >= 1);
+  let v0 = List.nth report.Cluster.replica_views 0 in
+  check_true "a permanently dirty replica never returns to Up"
+    (v0.Cluster.rv_health <> Replica.Up);
+  check_int "quarantine conserves requests" n
+    (s.Stats.s_completed + s.Stats.s_shed + s.Stats.s_expired + s.Stats.s_poisoned
+   + s.Stats.s_breaker_shed)
+
+let test_cluster_quarantine_readmits_after_clean_probes () =
+  (* A transiently flaky replica: corrupt early batches trip quarantine;
+     once its probes audit clean it must be re-admitted. *)
+  let arrivals = cluster_arrivals ~n:400 ~rate:6000.0 23 in
+  let report =
+    Cluster.simulate ~auditor:(reference_auditor 1.0)
+      { Cluster.default_config with Cluster.c_replicas = 2 }
+      ~arrivals ~payload:Fun.id
+      ~executors:[| flaky_then_clean_exec ~bad:2 (); ok_exec |]
+  in
+  let s = Stats.summarize report.Cluster.cluster_stats in
+  check_true "the flaky replica was quarantined" (s.Stats.s_quarantines >= 1);
+  check_true "clean probes re-admitted it" (s.Stats.s_quarantine_restores >= 1);
+  check_true "probes ran" (s.Stats.s_probes >= 1);
+  check_int "recovered fleet delivers no corruption" 0 s.Stats.s_corrupted_delivered;
+  let v0 = List.nth report.Cluster.replica_views 0 in
+  check_true "the recovered replica ends healthy" (v0.Cluster.rv_health = Replica.Up)
+
+let test_cluster_audit_deterministic () =
+  let run () =
+    let arrivals = cluster_arrivals ~n:150 29 in
+    let report =
+      Cluster.simulate ~auditor:(reference_auditor 0.5)
+        { Cluster.default_config with Cluster.c_replicas = 2 }
+        ~arrivals ~payload:Fun.id
+        ~executors:[| flaky_then_clean_exec ~bad:3 (); ok_exec |]
+    in
+    Json.to_string (Stats.summary_to_json (Stats.summarize report.Cluster.cluster_stats))
+  in
+  Alcotest.(check string) "identical audited cluster JSON across reruns" (run ()) (run ())
+
+let test_integrity_counters_gated () =
+  (* The integrity block is activity-gated: a legacy run's summary JSON,
+     pp and metrics carry not a single new key, so byte-stability holds. *)
+  let arrivals = cluster_arrivals ~n:100 31 in
+  let summary auditor =
+    Stats.summarize
+      (Server.simulate ?auditor Server.default_config ~arrivals ~payload:Fun.id
+         ~execute:ok_exec)
+  in
+  let j s = Json.to_string (Stats.summary_to_json s) in
+  check_bool "legacy summary JSON carries no integrity keys" false
+    (contains (j (summary None)) "audit");
+  check_true "an armed auditor surfaces the integrity block"
+    (contains (j (summary (Some (reference_auditor 1.0)))) "audits")
+
 (* --- End to end on a real compiled model --- *)
 
 let serve_tiny ?faults ~policy () =
@@ -835,6 +989,29 @@ let test_serve_model_faulty_deterministic () =
             ~policy:Server.default_config.Server.policy ()))
   in
   Alcotest.(check string) "identical faulty report JSON" (run ()) (run ())
+
+let test_serve_model_audited_corruption () =
+  (* End to end through the real engine stack: the device silently perturbs
+     half its batch attempts; the auditor re-executes each sampled request
+     unbatched and compares real tensor fingerprints. *)
+  let policy = Batcher.Adaptive { max_batch = 16; max_wait_us = 2000.0 } in
+  let run audit =
+    (serve_model ~iters:50 ~policy
+       ~faults:(Faults.parse "seed=9,corrupt=0.5")
+       ~audit
+       ~process:(Traffic.Poisson { rate_per_s = 8000.0 })
+       ~requests:60 ~seed:3 (Models.tiny "treelstm"))
+      .sv_summary
+  in
+  let off = run 0.0 in
+  check_true "corruption injected" (off.Stats.s_corrupted_batches > 0);
+  check_true "unaudited corruption delivered" (off.Stats.s_corrupted_delivered > 0);
+  let full = run 1.0 in
+  check_int "audit 1.0 delivers zero corrupted results" 0
+    full.Stats.s_corrupted_delivered;
+  check_true "real fingerprint mismatches detected" (full.Stats.s_audit_mismatches > 0);
+  check_int "auditing loses no completions" off.Stats.s_completed
+    full.Stats.s_completed
 
 let test_degraded_variant_wired () =
   (* Early-exit models expose a degraded variant that shares input and
@@ -964,7 +1141,14 @@ let replica_health_prop (verdicts : int list) : bool =
   in
   let execute ~degraded:_ _batch =
     match next_verdict () with
-    | 0 -> Server.Exec_ok { Server.ex_latency_us = 100.0; ex_profiler = None }
+    | 0 ->
+      Server.Exec_ok
+        {
+          Server.ex_latency_us = 100.0;
+          ex_profiler = None;
+          ex_fingerprints = None;
+          ex_corrupted = false;
+        }
     | v ->
       Server.Exec_fault
         {
@@ -1005,6 +1189,7 @@ let replica_health_prop (verdicts : int list) : bool =
       cb_poisoned = (fun ~replica:_ _ -> ());
       cb_retry_shed = (fun ~replica:_ _ -> ());
       cb_down = (fun ~replica:_ _ -> note (`Down (Replica.epoch (the_repl ()))));
+      cb_quarantined = (fun ~replica:_ _ -> ());
       cb_probe_ready =
         (fun ~replica:_ ->
           note `ProbeReady;
@@ -1281,6 +1466,16 @@ let suite =
     Alcotest.test_case "cluster: deterministic replay" `Quick test_cluster_deterministic;
     Alcotest.test_case "cluster: 1 replica == single server" `Quick
       test_cluster_single_replica_equivalence;
+    Alcotest.test_case "integrity: audit intercepts corruption" `Quick
+      test_audit_intercepts_corruption;
+    Alcotest.test_case "integrity: quarantine contains a dirty replica" `Quick
+      test_cluster_quarantine_contains_corruption;
+    Alcotest.test_case "integrity: clean probes re-admit a flaky replica" `Quick
+      test_cluster_quarantine_readmits_after_clean_probes;
+    Alcotest.test_case "integrity: audited cluster deterministic" `Quick
+      test_cluster_audit_deterministic;
+    Alcotest.test_case "integrity: counters gated off legacy output" `Quick
+      test_integrity_counters_gated;
     Alcotest.test_case "serve_model: deterministic report" `Quick
       test_serve_model_deterministic;
     Alcotest.test_case "serve_model: adaptive beats batch1" `Quick test_adaptive_beats_batch1;
@@ -1290,6 +1485,8 @@ let suite =
       test_serve_model_poison_isolated;
     Alcotest.test_case "serve_model: faulty run deterministic" `Quick
       test_serve_model_faulty_deterministic;
+    Alcotest.test_case "serve_model: audited corruption end to end" `Quick
+      test_serve_model_audited_corruption;
     Alcotest.test_case "models: degraded variants wired" `Quick test_degraded_variant_wired;
     Alcotest.test_case "stats: percentile edge cases" `Quick test_percentile_edges;
     Alcotest.test_case "stats: sorted percentiles agree with per-call sort" `Quick

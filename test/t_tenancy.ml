@@ -39,6 +39,8 @@ let uniform_execute _replica ~model:_ batch =
     {
       Server.ex_latency_us = 500.0 +. (50.0 *. float_of_int (List.length batch));
       ex_profiler = None;
+      ex_fingerprints = None;
+      ex_corrupted = false;
     }
 
 let payload ~tenant:_ ~index:_ ~id = id
@@ -289,6 +291,8 @@ let test_autoscaler_beats_fixed () =
     Server.Exec_ok
       {
         Server.ex_latency_us = 2_000.0 +. (200.0 *. float_of_int (List.length batch));
+        ex_fingerprints = None;
+        ex_corrupted = false;
         ex_profiler = None;
       }
   in
@@ -415,6 +419,8 @@ let test_dispatcher_hedging () =
     Server.Exec_ok
       {
         Server.ex_latency_us = (if !calls mod 13 = 0 then base *. 20.0 else base);
+        ex_fingerprints = None;
+        ex_corrupted = false;
         ex_profiler = None;
       }
   in
@@ -438,6 +444,106 @@ let test_dispatcher_hedging () =
   check_true "hedge outcomes are attributed"
     (s.Stats.s_hedge_wins + s.Stats.s_hedge_wasted + s.Stats.s_hedge_cancels
      <= s.Stats.s_hedges)
+
+(* --- Integrity at the tenancy layer (audit + quarantine-replace) --- *)
+
+let test_dispatcher_audit_quarantine_replace () =
+  (* The initial replica (id 0) silently corrupts every batch; replacement
+     replicas are clean. With full auditing the dispatcher must shield
+     every delivery, quarantine the dirty replica, and replace it —
+     the elastic pool retires rather than probes. *)
+  let t = mk_tenant ~seed:7 ~index:0 ~rate:3_000.0 ~requests:300 "audited" in
+  let execute replica ~model:_ batch =
+    let corrupted = replica = 0 in
+    Server.Exec_ok
+      {
+        Server.ex_latency_us = 500.0 +. (50.0 *. float_of_int (List.length batch));
+        ex_profiler = None;
+        ex_corrupted = corrupted;
+        ex_fingerprints =
+          Some
+            (Array.of_list
+               (List.map
+                  (fun id -> Int64.of_int (if corrupted then -id - 1 else 1000 + id))
+                  batch));
+      }
+  in
+  let auditor =
+    {
+      Server.au_rate = 1.0;
+      au_seed = 33;
+      au_reference = (fun id _ -> Int64.of_int (1000 + id), 80.0);
+    }
+  in
+  let r =
+    Dispatcher.simulate ~auditor (base_config ()) ~tenants:[| t |] ~payload ~execute
+      ~model_bytes:no_swap_bytes
+  in
+  let s = Stats.summarize r.Dispatcher.tn_stats in
+  check_true "audits ran" (s.Stats.s_audits > 0);
+  check_true "mismatches detected" (s.Stats.s_audit_mismatches > 0);
+  check_int "audit 1.0 delivers zero corrupted results" 0
+    s.Stats.s_corrupted_delivered;
+  check_true "the dirty replica was quarantined" (s.Stats.s_quarantines >= 1);
+  check_true "a quarantine_replace scale event was logged"
+    (List.exists
+       (fun (_, ev, _) -> ev = "quarantine_replace")
+       r.Dispatcher.tn_scale_events);
+  check_true "the replacement keeps goodput high" (Stats.goodput s >= 0.9);
+  (* Per-tenant stats mirror the aggregate integrity counters. *)
+  let tv = List.hd r.Dispatcher.tn_tenants in
+  let ts = Stats.summarize tv.Dispatcher.tv_stats in
+  check_int "tenant view mirrors audits" s.Stats.s_audits ts.Stats.s_audits;
+  check_int "tenant view mirrors delivered corruption" 0 ts.Stats.s_corrupted_delivered
+
+let test_dispatcher_audit_deterministic () =
+  let t = mk_tenant ~seed:9 ~index:0 ~rate:2_500.0 ~requests:200 "det" in
+  let execute _replica ~model:_ batch =
+    Server.Exec_ok
+      {
+        Server.ex_latency_us = 400.0 +. (40.0 *. float_of_int (List.length batch));
+        ex_profiler = None;
+        ex_corrupted = false;
+        ex_fingerprints =
+          Some (Array.of_list (List.map (fun id -> Int64.of_int (1000 + id)) batch));
+      }
+  in
+  let auditor =
+    {
+      Server.au_rate = 0.5;
+      au_seed = 21;
+      au_reference = (fun id _ -> Int64.of_int (1000 + id), 60.0);
+    }
+  in
+  let run () =
+    Json.to_string
+      (Stats.summary_to_json
+         (Stats.summarize
+            (Dispatcher.simulate ~auditor (base_config ()) ~tenants:[| t |] ~payload
+               ~execute ~model_bytes:no_swap_bytes)
+              .Dispatcher.tn_stats))
+  in
+  Alcotest.(check string) "identical audited dispatcher JSON" (run ()) (run ())
+
+let test_serve_tenants_audited_end_to_end () =
+  (* Through the real engine stack: replica 0's device corrupts half its
+     attempts, the auditor re-executes sampled requests unbatched and
+     compares real tensor fingerprints across the tenancy dispatcher. *)
+  let tenants = [| mk_tenant ~seed:3 ~index:0 ~rate:2_000.0 ~requests:60 "prod" |] in
+  let run audit =
+    Stats.summarize
+      (serve_tenants ~iters:50
+         ~fault_plans:[ Faults.parse "seed=9,corrupt=0.5" ]
+         ~audit ~models:Models.tiny ~tenants ~seed:3 ())
+        .Tenancy.Dispatcher.tn_stats
+  in
+  let off = run 0.0 in
+  check_true "corruption injected" (off.Stats.s_corrupted_batches > 0);
+  check_true "unaudited corruption delivered" (off.Stats.s_corrupted_delivered > 0);
+  let full = run 1.0 in
+  check_int "audit 1.0 delivers zero corrupted results" 0
+    full.Stats.s_corrupted_delivered;
+  check_true "real fingerprint mismatches detected" (full.Stats.s_audit_mismatches > 0)
 
 let suite =
   [
@@ -463,4 +569,10 @@ let suite =
       test_tenant_breaker_opens_and_recovers;
     Alcotest.test_case "resilience: dispatcher hedging, no dup completion" `Quick
       test_dispatcher_hedging;
+    Alcotest.test_case "integrity: audit + quarantine-replace" `Quick
+      test_dispatcher_audit_quarantine_replace;
+    Alcotest.test_case "integrity: audited dispatcher deterministic" `Quick
+      test_dispatcher_audit_deterministic;
+    Alcotest.test_case "integrity: audited tenancy end to end" `Quick
+      test_serve_tenants_audited_end_to_end;
   ]
