@@ -30,7 +30,16 @@ test:
 # result is delivered at --audit 1, and the run is additionally gated on
 # goodput; the integrity bench (delivered corruption and goodput vs audit
 # rate, BENCH_integrity.json, a CI artifact) runs twice and must be
-# byte-identical across runs.
+# byte-identical across runs. The simulator-core scale bench (heap event
+# loop + EDF admission heap vs the retained Map/sorted-list reference at
+# 10^3..10^6 requests, BENCH_scale.json, a CI artifact) runs twice and
+# must be byte-identical — its JSON carries only virtual-time results,
+# never wall time — and its in-process gate demands byte-identical
+# summaries across backends at every size. A seed-equivalence gate
+# additionally requires the regenerated BENCH_cluster.json and
+# BENCH_tenants.json to be byte-identical to the committed pre-refactor
+# outputs (git diff --exit-code), proving the heap rewrite changed
+# nothing but speed on legacy-sized configs.
 check: build test
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 2000 --requests 50 --iters 100
@@ -56,6 +65,7 @@ check: build test
 	dune exec bench/main.exe -- tenants --json BENCH_tenants.json
 	dune exec bench/main.exe -- tenants --json BENCH_tenants_rerun.json
 	cmp BENCH_tenants.json BENCH_tenants_rerun.json
+	git diff --exit-code -- BENCH_cluster.json BENCH_tenants.json
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 6000 --requests 400 --iters 100 \
 	  --faults "seed=7,kernel=0.1" --retry-budget 0.2 \
@@ -73,6 +83,9 @@ check: build test
 	dune exec bench/main.exe -- chaos --json BENCH_chaos.json
 	dune exec bench/main.exe -- chaos --json BENCH_chaos_rerun.json
 	cmp BENCH_chaos.json BENCH_chaos_rerun.json
+	dune exec bench/main.exe -- scale --json BENCH_scale.json
+	dune exec bench/main.exe -- scale --json BENCH_scale_rerun.json
+	cmp BENCH_scale.json BENCH_scale_rerun.json
 
 # Bounded fixed-seed chaos campaign: randomized fault scenarios through the
 # serve cluster, every run checked against the invariant suite (request

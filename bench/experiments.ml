@@ -1011,3 +1011,131 @@ let overload_bench ?(loads = [ 0.5; 0.8; 1.1; 1.4; 1.8 ]) ?(requests = 1200)
     (fun load ->
       List.map (run ~load) [ "off", Resilience.off; "resilience", armed ])
     loads
+
+(* --- simulator-core scale: events/sec at 10^3..10^6 requests --- *)
+
+type scale_row = {
+  sc_requests : int;
+  sc_backend : string;  (** ["heap"] (production) or ["reference"] (Map + sorted list). *)
+  sc_events : int;  (** Event-loop dispatches the campaign performed. *)
+  sc_completed : int;
+  sc_shed : int;
+  sc_expired : int;
+  sc_batches : int;
+  sc_p50 : float;
+  sc_p99 : float;
+  sc_mean : float;
+  sc_wall_s : float;
+      (** Host CPU seconds for the whole simulation. Printed, never
+          serialized: BENCH_scale.json must stay byte-identical across
+          runs. *)
+  sc_equivalent : bool;
+      (** Whether this size's full summary JSON was byte-identical across
+          the two backends — the in-process determinism gate proving the
+          heap rewrite changed nothing but speed. *)
+}
+
+(** Run the same synthetic overload campaign under both simulator-core
+    backends at each size. The executor is pure arithmetic (no model, no
+    faults), so wall time is dominated by the event loop, the admission
+    queue, and stats — exactly the paths the heap rewrite targets. The
+    stream runs at 1.2x device capacity with a deadline, keeping the
+    admission queue pinned near capacity: the regime where the reference
+    backend's O(n) list walks hurt most, and the regime a shedding server
+    actually lives in. *)
+let scale_bench ?(sizes = [ 1_000; 10_000; 100_000; 1_000_000 ]) ?(seed = 29) () :
+    scale_row list =
+  let max_batch = 16 in
+  let setup_us = 200.0 and per_req_us = 20.0 in
+  let capacity_rps =
+    float_of_int max_batch
+    /. ((setup_us +. (per_req_us *. float_of_int max_batch)) /. 1.0e6)
+  in
+  let rate_per_s = 1.2 *. capacity_rps in
+  let execute ~degraded:_ batch =
+    let n = List.length batch in
+    Serve.Server.Exec_ok
+      {
+        ex_latency_us = setup_us +. (per_req_us *. float_of_int n);
+        ex_profiler = None;
+        ex_fingerprints = None;
+        ex_corrupted = false;
+      }
+  in
+  let with_backends ~event ~admission f =
+    let e0 = Serve.Event_loop.current_default_backend () in
+    let a0 = Serve.Admission.current_default_backend () in
+    Serve.Event_loop.set_default_backend event;
+    Serve.Admission.set_default_backend admission;
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Event_loop.set_default_backend e0;
+        Serve.Admission.set_default_backend a0)
+      f
+  in
+  let run ~requests (label, event_backend, admission_backend) =
+    (* A million-request campaign allocates heavily in both backends; the
+       default 256k-word minor heap turns that into minor-GC thrash that
+       drowns the signal. One shared (hence fair) setting for the whole
+       comparison. *)
+    let gc0 = Gc.get () in
+    Gc.set { gc0 with Gc.minor_heap_size = 8 * 1024 * 1024 };
+    Fun.protect ~finally:(fun () -> Gc.set gc0) @@ fun () ->
+    let arrivals =
+      Serve.Traffic.arrivals
+        ~rng:(Rng.create ((seed * 31) + requests))
+        (Serve.Traffic.Poisson { rate_per_s })
+        ~n:requests
+    in
+    let config =
+      {
+        Serve.Server.default_config with
+        Serve.Server.policy = Serve.Batcher.Adaptive { max_batch; max_wait_us = 400.0 };
+        (* Queue depth and deadline sized for the traffic, not for the
+           reference backend's comfort: under 1.2x load the queue pins at
+           capacity and every offer pays the full-queue sweep, which is
+           where the old sorted-list admission's O(n) walks collapse. *)
+        queue_capacity = 3072;
+        deadline_us = Some 100_000.0;
+      }
+    in
+    with_backends ~event:event_backend ~admission:admission_backend (fun () ->
+        let t0 = Sys.time () in
+        let stats =
+          Serve.Server.simulate config ~arrivals ~payload:(fun i -> i) ~execute
+        in
+        let wall = Sys.time () -. t0 in
+        let s = Serve.Stats.summarize stats in
+        ( {
+            sc_requests = requests;
+            sc_backend = label;
+            sc_events = stats.Serve.Stats.loop_events;
+            sc_completed = s.Serve.Stats.s_completed;
+            sc_shed = s.Serve.Stats.s_shed;
+            sc_expired = s.Serve.Stats.s_expired;
+            sc_batches = s.Serve.Stats.s_batches;
+            sc_p50 = s.Serve.Stats.s_p50_ms;
+            sc_p99 = s.Serve.Stats.s_p99_ms;
+            sc_mean = s.Serve.Stats.s_mean_ms;
+            sc_wall_s = wall;
+            sc_equivalent = false;
+          },
+          Serve.Json.to_string (Serve.Stats.summary_to_json s) ))
+  in
+  List.concat_map
+    (fun requests ->
+      let heap, heap_json =
+        run ~requests ("heap", Serve.Event_loop.Heap, Serve.Admission.Edf_heap)
+      in
+      let reference, ref_json =
+        run ~requests
+          ("reference", Serve.Event_loop.Map_reference, Serve.Admission.Sorted_list)
+      in
+      (* The two backends must produce byte-identical summaries: the
+         simulation is deterministic and the heap is a pure speedup. *)
+      let equivalent = String.equal heap_json ref_json in
+      [
+        { heap with sc_equivalent = equivalent };
+        { reference with sc_equivalent = equivalent };
+      ])
+    sizes

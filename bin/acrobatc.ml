@@ -243,9 +243,14 @@ let bench_cmd =
 let serve_cmd =
   let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
       burst seed iters faults_specs replicas dispatch hedge requeue_budget retry_budget
-      concurrency_target brownout tenant_specs autoscale audit min_goodput json_path
-      trace_path =
+      concurrency_target brownout tenant_specs autoscale audit min_goodput exact_stats
+      json_path trace_path =
     guarded @@ fun () ->
+    Option.iter
+      (fun k ->
+        if k < 1 then Fmt.invalid_arg "--exact-stats %d: want a positive record count" k;
+        Serve.Stats.set_streaming_threshold k)
+      exact_stats;
     Option.iter
       (fun f ->
         if not (Float.is_finite f) || f < 0.0 then
@@ -633,6 +638,16 @@ let serve_cmd =
             "Exit nonzero when goodput (completed/offered) falls below FRAC — makes \
              fault-injected smoke runs assert availability.")
   in
+  let exact_stats_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "exact-stats" ] ~docv:"K"
+          ~doc:
+            "Retain up to K latency records exactly before the SLO summary switches to \
+             bounded-memory streaming mode (one-pass means, fixed-seed reservoir \
+             percentiles). Default 100000 — million-request campaigns stream, everything \
+             smaller stays exact.")
+  in
   let json_arg =
     Arg.(
       value & opt (some string) None
@@ -645,7 +660,8 @@ let serve_cmd =
       $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
       $ iters_arg $ faults_arg $ replicas_arg $ dispatch_arg $ hedge_arg
       $ requeue_budget_arg $ retry_budget_arg $ concurrency_target_arg $ brownout_arg
-      $ tenant_arg $ autoscale_arg $ audit_arg $ min_goodput_arg $ json_arg $ trace_arg)
+      $ tenant_arg $ autoscale_arg $ audit_arg $ min_goodput_arg $ exact_stats_arg
+      $ json_arg $ trace_arg)
 
 (* --- chaos (randomized fault search with invariant checking) --- *)
 

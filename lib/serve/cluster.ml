@@ -558,5 +558,6 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
          st.replicas)
   in
   st.stats.Stats.clamped_schedules <- Event_loop.clamped_count loop;
+  st.stats.Stats.loop_events <- Event_loop.dispatched loop;
   Stats.to_metrics st.stats metrics;
   { cluster_stats = st.stats; replica_views = views }

@@ -612,6 +612,7 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
   st.stats.Stats.expired <- Admission.expired_count st.queue;
   st.stats.Stats.end_us <- Event_loop.now loop;
   st.stats.Stats.clamped_schedules <- Event_loop.clamped_count loop;
+  st.stats.Stats.loop_events <- Event_loop.dispatched loop;
   Stats.to_metrics st.stats metrics;
   st.stats
 

@@ -4,6 +4,7 @@
     same activity report as the offline bench tables. *)
 
 module Profiler = Acrobat_device.Profiler
+module Rng = Acrobat_tensor.Rng
 
 (** One completed request's life cycle, all in virtual microseconds. *)
 type record = {
@@ -14,8 +15,55 @@ type record = {
   r_batch_size : int;  (** Size of the batch this request rode in. *)
 }
 
+(* --- bounded-memory streaming mode ---
+
+   A 10⁶-request campaign must not retain 10⁶ latency records just to
+   print three percentiles at the end. Below [streaming_threshold]
+   completions, nothing changes: every record is kept and {!summarize}
+   computes exact percentiles — the exact-until-K contract that keeps all
+   legacy-sized runs byte-identical. The completion that crosses the
+   threshold converts the stream in place: the retained records are
+   replayed (oldest first) into one-pass mean accumulators and a
+   fixed-seed reservoir (Vitter's Algorithm R) over latencies, the record
+   list is dropped, and every later completion is absorbed in O(1) with
+   bounded memory. Means stay exact in streaming mode (running sums in
+   completion order — the same float addition order as the exact path);
+   percentiles become reservoir estimates over [reservoir_capacity]
+   samples. The reservoir RNG is seeded by a constant and consumed only
+   by completion index, so summaries are deterministic and independent of
+   {e when} the conversion happened. *)
+
+let default_streaming_threshold = 100_000
+let streaming_threshold = ref default_streaming_threshold
+
+(** Completions retained exactly before streaming engages (global, like
+    {!Event_loop.set_debug_checks}, so harnesses can arm it without
+    threading a knob through every [create]). *)
+let set_streaming_threshold k =
+  if k < 1 then Fmt.invalid_arg "Stats.set_streaming_threshold: %d < 1" k;
+  streaming_threshold := k
+
+let current_streaming_threshold () = !streaming_threshold
+
+(** Latency samples kept for streaming percentiles. The standard error of
+    a p99 estimate over 8192 uniform samples is ~0.11% of rank — well
+    inside the nearest-rank quantization of the exact path at 10⁶. *)
+let reservoir_capacity = 8192
+
+let reservoir_seed = 0x5eed
+
 type t = {
-  mutable records : record list;  (** Reverse completion order. *)
+  mutable records : record list;  (** Reverse completion order (exact mode). *)
+  mutable n_records : int;  (** Completions recorded, exact + streamed. *)
+  mutable streaming : bool;
+  mutable st_first_arrival_us : float;  (** Arrival of the first completion. *)
+  mutable st_last_done_us : float;
+  mutable st_sum_latency_ms : float;
+  mutable st_sum_queue_ms : float;
+  mutable st_sum_compute_ms : float;
+  mutable reservoir : float array;  (** Latency samples (ms); allocated lazily. *)
+  mutable reservoir_len : int;
+  res_rng : Rng.t;
   mutable batches : int;
   mutable batched_requests : int;
   mutable shed : int;
@@ -45,6 +93,10 @@ type t = {
       (** Event-loop schedules whose requested time was in the past (see
           {!Event_loop.clamped_count}); always zero for a correct
           simulation, so any nonzero value flags a scheduling bug. *)
+  mutable loop_events : int;
+      (** Total event-loop dispatches the simulation performed — the
+          simulator-throughput numerator [bench scale] divides by wall
+          time. Diagnostic only: never serialized or printed. *)
   (* Multi-tenant accounting; all zero outside the tenancy dispatcher. *)
   mutable quota_shed : int;  (** Requests refused at their tenant's inflight quota. *)
   mutable swaps : int;  (** Resident-model swaps this stream's batches paid for. *)
@@ -78,6 +130,16 @@ type t = {
 let create () =
   {
     records = [];
+    n_records = 0;
+    streaming = false;
+    st_first_arrival_us = 0.0;
+    st_last_done_us = 0.0;
+    st_sum_latency_ms = 0.0;
+    st_sum_queue_ms = 0.0;
+    st_sum_compute_ms = 0.0;
+    reservoir = [||];
+    reservoir_len = 0;
+    res_rng = Rng.create reservoir_seed;
     batches = 0;
     batched_requests = 0;
     shed = 0;
@@ -100,6 +162,7 @@ let create () =
     hedge_cancels = 0;
     hedge_wasted = 0;
     clamped_schedules = 0;
+    loop_events = 0;
     quota_shed = 0;
     swaps = 0;
     slo_ok = 0;
@@ -116,7 +179,51 @@ let create () =
     quarantine_restores = 0;
   }
 
-let record t r = t.records <- r :: t.records
+let streaming_active t = t.streaming
+
+(* Absorb one completion into the streaming accumulators. [i] is the
+   0-based completion index — also the Algorithm-R sample count, so the
+   reservoir's RNG consumption depends only on the index sequence, never
+   on when the exact→streaming conversion fired. *)
+let stream_absorb t i (r : record) =
+  if i = 0 then t.st_first_arrival_us <- r.r_arrival_us;
+  if r.r_done_us > t.st_last_done_us then t.st_last_done_us <- r.r_done_us;
+  let lat = (r.r_done_us -. r.r_arrival_us) /. 1000.0 in
+  t.st_sum_latency_ms <- t.st_sum_latency_ms +. lat;
+  t.st_sum_queue_ms <- t.st_sum_queue_ms +. ((r.r_start_us -. r.r_arrival_us) /. 1000.0);
+  t.st_sum_compute_ms <- t.st_sum_compute_ms +. ((r.r_done_us -. r.r_start_us) /. 1000.0);
+  if t.reservoir_len < reservoir_capacity then begin
+    t.reservoir.(t.reservoir_len) <- lat;
+    t.reservoir_len <- t.reservoir_len + 1
+  end
+  else begin
+    let j = Rng.int t.res_rng (i + 1) in
+    if j < reservoir_capacity then t.reservoir.(j) <- lat
+  end
+
+(* One-time exact→streaming conversion: replay the retained records in
+   completion order, then drop them. *)
+let convert_to_streaming t =
+  t.reservoir <- Array.make reservoir_capacity 0.0;
+  let arr = Array.of_list t.records in
+  let n = Array.length arr in
+  (* [t.records] is reverse completion order: replay from the back. *)
+  for k = n - 1 downto 0 do
+    stream_absorb t (n - 1 - k) arr.(k)
+  done;
+  t.records <- [];
+  t.streaming <- true
+
+let record t r =
+  if t.streaming then begin
+    stream_absorb t t.n_records r;
+    t.n_records <- t.n_records + 1
+  end
+  else begin
+    t.records <- r :: t.records;
+    t.n_records <- t.n_records + 1;
+    if t.n_records > !streaming_threshold then convert_to_streaming t
+  end
 
 let note_batch t ~size ~profiler =
   t.batches <- t.batches + 1;
@@ -236,33 +343,64 @@ let slo_attainment (s : summary) =
   if s.s_completed = 0 then 1.0 else float_of_int s.s_slo_ok /. float_of_int s.s_completed
 
 let summarize (t : t) : summary =
-  (* [t.records] is reverse completion order; fill the arrays from the back
-     while walking it once, so completion order is restored without building
-     the reversed list or any per-mean intermediate list. Sums then run in
-     ascending (completion) order — the same float addition order as before,
-     keeping summaries bit-identical across the rewrite. *)
-  let n = List.length t.records in
-  let latencies = Array.make n 0.0 in
-  let queue_waits = Array.make n 0.0 in
-  let computes = Array.make n 0.0 in
-  let first_arrival_us = ref 0.0 in
-  let last_done_us = ref 0.0 in
-  let i = ref (n - 1) in
-  List.iter
-    (fun r ->
-      latencies.(!i) <- (r.r_done_us -. r.r_arrival_us) /. 1000.0;
-      queue_waits.(!i) <- (r.r_start_us -. r.r_arrival_us) /. 1000.0;
-      computes.(!i) <- (r.r_done_us -. r.r_start_us) /. 1000.0;
-      if !i = 0 then first_arrival_us := r.r_arrival_us;
-      if r.r_done_us > !last_done_us then last_done_us := r.r_done_us;
-      decr i)
-    t.records;
-  (* One sort shared by every percentile below; [latencies] itself stays in
-     completion order for the mean. *)
-  let sorted_latencies = Array.copy latencies in
-  Array.sort Float.compare sorted_latencies;
-  let mean xs = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
-  let makespan_us = if n = 0 then 0.0 else !last_done_us -. !first_arrival_us in
+  let n, p50, p95, p99, mean_ms, mean_queue_ms, mean_compute_ms, makespan_us =
+    if t.streaming then begin
+      (* Streaming mode: means from the exact running sums, percentiles
+         from the sorted reservoir sample. *)
+      let n = t.n_records in
+      let sorted = Array.sub t.reservoir 0 t.reservoir_len in
+      Array.sort Float.compare sorted;
+      let fn = float_of_int n in
+      ( n,
+        percentile_sorted sorted 50.0,
+        percentile_sorted sorted 95.0,
+        percentile_sorted sorted 99.0,
+        t.st_sum_latency_ms /. fn,
+        t.st_sum_queue_ms /. fn,
+        t.st_sum_compute_ms /. fn,
+        t.st_last_done_us -. t.st_first_arrival_us )
+    end
+    else begin
+      (* Exact mode. [t.records] is reverse completion order; fill the
+         arrays from the back while walking it once, so completion order is
+         restored without building the reversed list or any per-mean
+         intermediate list. Sums then run in ascending (completion) order —
+         the same float addition order as before, keeping summaries
+         bit-identical across the rewrite. *)
+      let n = t.n_records in
+      let latencies = Array.make n 0.0 in
+      let queue_waits = Array.make n 0.0 in
+      let computes = Array.make n 0.0 in
+      let first_arrival_us = ref 0.0 in
+      let last_done_us = ref 0.0 in
+      let i = ref (n - 1) in
+      List.iter
+        (fun r ->
+          latencies.(!i) <- (r.r_done_us -. r.r_arrival_us) /. 1000.0;
+          queue_waits.(!i) <- (r.r_start_us -. r.r_arrival_us) /. 1000.0;
+          computes.(!i) <- (r.r_done_us -. r.r_start_us) /. 1000.0;
+          if !i = 0 then first_arrival_us := r.r_arrival_us;
+          if r.r_done_us > !last_done_us then last_done_us := r.r_done_us;
+          decr i)
+        t.records;
+      (* One sort shared by every percentile below; [latencies] itself
+         stays in completion order for the mean. *)
+      let sorted_latencies = Array.copy latencies in
+      Array.sort Float.compare sorted_latencies;
+      let mean xs =
+        if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+      in
+      let makespan_us = if n = 0 then 0.0 else !last_done_us -. !first_arrival_us in
+      ( n,
+        percentile_sorted sorted_latencies 50.0,
+        percentile_sorted sorted_latencies 95.0,
+        percentile_sorted sorted_latencies 99.0,
+        mean latencies,
+        mean queue_waits,
+        mean computes,
+        makespan_us )
+    end
+  in
   {
     s_offered =
       n + t.shed + t.expired + t.poisoned + t.breaker_shed + t.quota_shed
@@ -273,12 +411,12 @@ let summarize (t : t) : summary =
     s_makespan_ms = makespan_us /. 1000.0;
     s_throughput_rps =
       (if makespan_us > 0.0 then float_of_int n /. (makespan_us /. 1.0e6) else 0.0);
-    s_p50_ms = percentile_sorted sorted_latencies 50.0;
-    s_p95_ms = percentile_sorted sorted_latencies 95.0;
-    s_p99_ms = percentile_sorted sorted_latencies 99.0;
-    s_mean_ms = mean latencies;
-    s_mean_queue_ms = mean queue_waits;
-    s_mean_compute_ms = mean computes;
+    s_p50_ms = p50;
+    s_p95_ms = p95;
+    s_p99_ms = p99;
+    s_mean_ms = mean_ms;
+    s_mean_queue_ms = mean_queue_ms;
+    s_mean_compute_ms = mean_compute_ms;
     s_batches = t.batches;
     s_mean_batch =
       (if t.batches = 0 then 0.0

@@ -1046,6 +1046,7 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
   in
   st.stats.Stats.end_us <- end_us;
   st.stats.Stats.clamped_schedules <- Event_loop.clamped_count loop;
+  st.stats.Stats.loop_events <- Event_loop.dispatched loop;
   Stats.to_metrics st.stats metrics;
   {
     tn_stats = st.stats;

@@ -642,6 +642,223 @@ let admission_prop (cap, ops) =
   && Admission.length q = 0
   && !next_id = List.length taken + Admission.shed_count q + Admission.expired_count q
 
+(* --- Simulator-core backends: heap vs reference equivalence --- *)
+
+(* The heap event queue and EDF admission heap are pure speedups: on any
+   schedule they must be observationally identical to the Map/sorted-list
+   reference implementations they replaced. These differential properties
+   are the proof obligation. *)
+
+let test_event_loop_nonfinite () =
+  let loop = Event_loop.create (Clock.create ()) in
+  Alcotest.check_raises "NaN time rejected"
+    (Invalid_argument "Event_loop.schedule: non-finite time nan") (fun () ->
+      Event_loop.schedule loop ~at:Float.nan ignore);
+  Alcotest.check_raises "infinite time rejected"
+    (Invalid_argument "Event_loop.schedule: non-finite time inf") (fun () ->
+      Event_loop.schedule loop ~at:Float.infinity ignore);
+  Alcotest.check_raises "NaN delay rejected"
+    (Invalid_argument "Event_loop.schedule_after: non-finite delay nan") (fun () ->
+      Event_loop.schedule_after loop ~delay:Float.nan ignore);
+  (* Nothing was enqueued and nothing was counted as clamped. *)
+  check_int "queue untouched" 0 (Event_loop.pending loop);
+  check_int "no clamps" 0 (Event_loop.clamped_count loop)
+
+let test_event_loop_negative_delay_clamped () =
+  let loop = Event_loop.create (Clock.create ()) in
+  let fired = ref [] in
+  Event_loop.schedule loop ~at:10.0 (fun () ->
+      (* A negative delay is a past-time request: clamped to "now" and
+         counted, exactly like a past [~at]. *)
+      Event_loop.schedule_after loop ~delay:(-5.0) (fun () ->
+          fired := ("neg", Event_loop.now loop) :: !fired);
+      Event_loop.schedule_after loop ~delay:2.0 (fun () ->
+          fired := ("pos", Event_loop.now loop) :: !fired));
+  Event_loop.run loop;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "fire times" [ "neg", 10.0; "pos", 12.0 ] (List.rev !fired);
+  check_int "negative delay counted as clamped" 1 (Event_loop.clamped_count loop)
+
+(* Random schedules over a coarse time grid (forcing plenty of same-time
+   ties), where every third event schedules a nested child: both backends
+   must dispatch the identical sequence. *)
+let gen_event_script =
+  QCheck2.Gen.(list_size (int_range 0 60) (pair (int_range 0 20) (option (int_range 0 8))))
+
+let event_loop_backend_prop script =
+  let run backend =
+    let loop = Event_loop.create ~backend (Clock.create ()) in
+    let log = ref [] in
+    List.iteri
+      (fun i (at, child) ->
+        Event_loop.schedule loop ~at:(float_of_int at) (fun () ->
+            log := i :: !log;
+            match child with
+            | Some d ->
+              Event_loop.schedule loop
+                ~at:(Event_loop.now loop +. float_of_int d)
+                (fun () -> log := (10_000 + i) :: !log)
+            | None -> ()))
+      script;
+    Event_loop.run loop;
+    List.rev !log, Event_loop.dispatched loop, Event_loop.pending loop
+  in
+  run Event_loop.Heap = run Event_loop.Map_reference
+
+(* Same random offer/take scripts as [admission_prop], but run against both
+   backends recording every observable — admit/shed decisions, swept and
+   dropped request ids, pop order, and the per-tick probes ([length],
+   [is_empty], [oldest_arrival_us]) whose O(1) counters the heap backend
+   maintains incrementally. The traces must match exactly, which is also
+   the regression test that offer/take/sweep keep the counters consistent
+   with the reference's ground truth. *)
+let gen_admission_backend_script =
+  QCheck2.Gen.(triple (int_range 1 6) bool (list_size (int_range 1 80) gen_aop))
+
+let admission_backend_prop (cap, eager_sweep, ops) =
+  let ids = List.map (fun (r : int Admission.request) -> r.Admission.rq_id) in
+  let run backend =
+    let q = Admission.create ~backend ~eager_sweep ~capacity:cap () in
+    let now = ref 0.0 in
+    let next_id = ref 0 in
+    let trace = ref [] in
+    let push x = trace := x :: !trace in
+    let probe () =
+      push
+        (`Probe (Admission.length q, Admission.is_empty q, Admission.oldest_arrival_us q))
+    in
+    List.iter
+      (fun op ->
+        match op with
+        | A_offer (dt, dl) ->
+          now := !now +. float_of_int dt;
+          let id = !next_id in
+          incr next_id;
+          let r =
+            {
+              Admission.rq_id = id;
+              rq_payload = id;
+              rq_arrival_us = !now;
+              rq_deadline_us = Option.map (fun d -> !now +. float_of_int d) dl;
+            }
+          in
+          let admitted, swept = Admission.offer_swept q ~now_us:!now r in
+          push (`Offer (admitted, ids swept));
+          probe ()
+        | A_take (dt, limit) ->
+          now := !now +. float_of_int dt;
+          let live, dropped = Admission.take_with_expired q ~now_us:!now ~limit in
+          push (`Take (ids live, ids dropped));
+          probe ())
+      ops;
+    let live, dropped = Admission.drain q ~now_us:!now in
+    push (`Drain (ids live, ids dropped));
+    push (`Counts (Admission.shed_count q, Admission.expired_count q, Admission.length q));
+    List.rev !trace
+  in
+  run Admission.Edf_heap = run Admission.Sorted_list
+
+(* Deterministic spot-check of the O(1) counters across offer, take, a
+   full-queue sweep, and drain (the differential property above is the
+   broad net; this pins the exact values). *)
+let test_admission_counters () =
+  let q = Admission.create ~capacity:3 () in
+  check_int "empty length" 0 (Admission.length q);
+  check_true "empty" (Admission.is_empty q);
+  check_true "no oldest" (Admission.oldest_arrival_us q = None);
+  check_true "admit r0" (Admission.offer q ~now_us:0.0 (rq ~deadline:100.0 0 0.0));
+  check_true "admit r1" (Admission.offer q ~now_us:10.0 (rq ~deadline:50.0 1 10.0));
+  check_true "admit r2" (Admission.offer q ~now_us:20.0 (rq 2 20.0));
+  check_int "length 3" 3 (Admission.length q);
+  check_true "oldest is r0" (Admission.oldest_arrival_us q = Some 0.0);
+  (* EDF pops r1 (deadline 50) first; the min-arrival cache must not move. *)
+  (match Admission.take q ~now_us:20.0 ~limit:1 with
+  | [ r ] -> check_int "EDF pop" 1 r.Admission.rq_id
+  | _ -> Alcotest.fail "expected exactly one pop");
+  check_int "length 2" 2 (Admission.length q);
+  check_true "oldest still r0" (Admission.oldest_arrival_us q = Some 0.0);
+  (match Admission.take q ~now_us:20.0 ~limit:1 with
+  | [ r ] -> check_int "EDF pop r0" 0 r.Admission.rq_id
+  | _ -> Alcotest.fail "expected exactly one pop");
+  check_true "oldest advances to r2" (Admission.oldest_arrival_us q = Some 20.0);
+  (* Refill to capacity, then let r3 expire: the full-queue offer sweeps
+     it, admits r5, and every counter stays consistent. *)
+  check_true "admit r3" (Admission.offer q ~now_us:200.0 (rq ~deadline:210.0 3 200.0));
+  check_true "admit r4" (Admission.offer q ~now_us:220.0 (rq 4 220.0));
+  check_int "full" 3 (Admission.length q);
+  check_true "admit r5 after sweep" (Admission.offer q ~now_us:300.0 (rq 5 300.0));
+  check_int "swept one expired" 1 (Admission.expired_count q);
+  check_int "still full" 3 (Admission.length q);
+  check_int "nothing shed" 0 (Admission.shed_count q);
+  check_true "oldest still r2" (Admission.oldest_arrival_us q = Some 20.0);
+  let live, dropped = Admission.drain q ~now_us:300.0 in
+  Alcotest.(check (list int)) "drain order (EDF = seq for deadline-less)" [ 2; 4; 5 ]
+    (List.map (fun (r : int Admission.request) -> r.Admission.rq_id) live);
+  check_int "no drops in drain" 0 (List.length dropped);
+  check_int "drained empty" 0 (Admission.length q);
+  check_true "oldest gone" (Admission.oldest_arrival_us q = None)
+
+(* --- Streaming stats: exact-until-K, then reservoir percentiles --- *)
+
+let test_stats_reservoir_error () =
+  let saved = Stats.current_streaming_threshold () in
+  Stats.set_streaming_threshold 1_000;
+  Fun.protect ~finally:(fun () -> Stats.set_streaming_threshold saved) @@ fun () ->
+  let t = Stats.create () in
+  let n = 50_000 in
+  let rng = Rng.create 5 in
+  let exact = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    (* Uniform latencies in [0, 100] ms: the distribution with the worst
+       (widest) quantile spread for a fixed-size sample. *)
+    let lat_us = 100_000.0 *. Rng.float rng in
+    exact.(i) <- lat_us /. 1000.0;
+    Stats.record t
+      {
+        Stats.r_id = i;
+        r_arrival_us = float_of_int i;
+        r_start_us = float_of_int i;
+        r_done_us = float_of_int i +. lat_us;
+        r_batch_size = 1;
+      }
+  done;
+  check_true "streaming engaged past the threshold" (Stats.streaming_active t);
+  let s = Stats.summarize t in
+  check_int "count survives the conversion" n s.Stats.s_completed;
+  (* Reservoir percentiles against the exact ones over all 50k latencies.
+     8192 samples bound the quantile standard error at ~0.55% of rank
+     (p50), so a 2.5ms tolerance on a 100ms range is ~4.5 sigma — and the
+     fixed seed makes the draw deterministic anyway. *)
+  let exact_p p = Stats.percentile exact p in
+  check_true "p50 within bound" (Float.abs (s.Stats.s_p50_ms -. exact_p 50.0) < 2.5);
+  check_true "p95 within bound" (Float.abs (s.Stats.s_p95_ms -. exact_p 95.0) < 2.5);
+  check_true "p99 within bound" (Float.abs (s.Stats.s_p99_ms -. exact_p 99.0) < 2.5);
+  (* Means are running sums in completion order — the identical float
+     additions the exact path performs, so they agree exactly. *)
+  let mean_exact = Array.fold_left ( +. ) 0.0 exact /. float_of_int n in
+  check_float "mean stays exact in streaming mode" mean_exact s.Stats.s_mean_ms
+
+let test_stats_exact_below_threshold () =
+  (* Below the threshold nothing changes: records are retained and the
+     summary is the exact one (the exact-until-K contract that keeps all
+     legacy-sized runs byte-identical). *)
+  let t = Stats.create () in
+  for i = 0 to 99 do
+    Stats.record t
+      {
+        Stats.r_id = i;
+        r_arrival_us = float_of_int (i * 10);
+        r_start_us = float_of_int ((i * 10) + 5);
+        r_done_us = float_of_int ((i * 10) + 20);
+        r_batch_size = 1;
+      }
+  done;
+  check_true "still exact" (not (Stats.streaming_active t));
+  let s = Stats.summarize t in
+  check_int "completed" 100 s.Stats.s_completed;
+  check_float "exact p99" 0.02 s.Stats.s_p99_ms;
+  check_float "exact mean" 0.02 s.Stats.s_mean_ms
+
 (* --- Cluster: replicated serving with failover + hedging --- *)
 
 let ok_exec = Server.infallible (linear_cost ~fixed:100.0 ~per_item:10.0)
@@ -1457,6 +1674,20 @@ let suite =
       test_ft_pressure_degradation;
     qtest ~count:300 "admission: conservation + EDF order under random scripts"
       gen_admission_script admission_prop;
+    Alcotest.test_case "event loop: non-finite times rejected" `Quick
+      test_event_loop_nonfinite;
+    Alcotest.test_case "event loop: negative delay counted as clamped" `Quick
+      test_event_loop_negative_delay_clamped;
+    qtest ~count:300 "event loop: heap dispatches identically to Map reference"
+      gen_event_script event_loop_backend_prop;
+    qtest ~count:300 "admission: EDF heap pops identically to sorted-list reference"
+      gen_admission_backend_script admission_backend_prop;
+    Alcotest.test_case "admission: O(1) counters stay consistent" `Quick
+      test_admission_counters;
+    Alcotest.test_case "stats: reservoir percentiles within error bound" `Quick
+      test_stats_reservoir_error;
+    Alcotest.test_case "stats: exact below the streaming threshold" `Quick
+      test_stats_exact_below_threshold;
     Alcotest.test_case "cluster: failover keeps goodput >= 99%" `Quick
       test_cluster_failover_goodput;
     Alcotest.test_case "cluster: hedging cuts straggler p99" `Quick
