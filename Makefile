@@ -39,7 +39,13 @@ test:
 # additionally requires the regenerated BENCH_cluster.json and
 # BENCH_tenants.json to be byte-identical to the committed pre-refactor
 # outputs (git diff --exit-code), proving the heap rewrite changed
-# nothing but speed on legacy-sized configs.
+# nothing but speed on legacy-sized configs. The network smoke routes a
+# 3-replica round-robin cluster through the lossy virtual transport with a
+# mid-run partition of one replica — exactly-once dedup, timeout-driven
+# link-down failover and the forced heal probe all on the hot path, gated
+# on goodput; the partition bench (exactly-once vs naive resend vs direct
+# calls through the same partition, BENCH_partition.json, a CI artifact)
+# runs twice and must be byte-identical across runs.
 check: build test
 	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
 	  --rate 2000 --requests 50 --iters 100
@@ -79,6 +85,13 @@ check: build test
 	dune exec bench/main.exe -- integrity --json BENCH_integrity.json
 	dune exec bench/main.exe -- integrity --json BENCH_integrity_rerun.json
 	cmp BENCH_integrity.json BENCH_integrity_rerun.json
+	dune exec bin/acrobatc.exe -- serve --model treelstm --size tiny \
+	  --rate 2000 --requests 80 --iters 100 --replicas 3 --dispatch rr \
+	  --net "seed=11,delay=150:50,drop=0.05,dup=0.2,partition=10000:25000:2,timeout=5000,resends=3" \
+	  --min-goodput 0.9
+	dune exec bench/main.exe -- partition --json BENCH_partition.json
+	dune exec bench/main.exe -- partition --json BENCH_partition_rerun.json
+	cmp BENCH_partition.json BENCH_partition_rerun.json
 	$(MAKE) chaos-smoke
 	dune exec bench/main.exe -- chaos --json BENCH_chaos.json
 	dune exec bench/main.exe -- chaos --json BENCH_chaos_rerun.json

@@ -1139,3 +1139,78 @@ let scale_bench ?(sizes = [ 1_000; 10_000; 100_000; 1_000_000 ]) ?(seed = 29) ()
         { reference with sc_equivalent = equivalent };
       ])
     sizes
+
+(* --- Net partition: goodput through a partition/heal cycle, naive
+   resend vs exactly-once delivery (DESIGN.md §16) --- *)
+
+type partition_row = {
+  pt_label : string;
+  pt_goodput : float;
+  pt_offered : int;
+  pt_completed : int;
+  pt_shed : int;
+  pt_expired : int;
+  pt_p50 : float;
+  pt_p99 : float;
+  pt_net_sends : int;
+  pt_net_resends : int;
+  pt_net_dups : int;  (** Duplicate copies the transport delivered. *)
+  pt_net_partition_drops : int;
+  pt_net_dedup_hits : int;  (** Duplicates the idempotency window absorbed. *)
+  pt_net_fresh : int;  (** Deliveries that reached the executor. *)
+  pt_net_timeouts : int;
+  pt_link_downs : int;
+  pt_heals : int;
+}
+
+(** The same loaded 3-replica cluster behind three transports: direct
+    calls (no network), the lossy transport with exactly-once delivery
+    (idempotency keys + per-replica dedup window), and the same lossy
+    transport with deduplication switched off — the naive-resend
+    strawman, where every duplicated or re-sent dispatch that reaches a
+    replica executes again. The plan duplicates aggressively and cuts
+    replica 2 off for a mid-run window, so the duplicated executions
+    burn real capacity: under load the naive rows' queues absorb ghost
+    work and goodput drops strictly below the exactly-once row (gated
+    in [bench partition]). Arrivals, seeds and the fault window are
+    identical in all three rows; the only degree of freedom is the
+    delivery protocol. *)
+let partition_bench ?(requests = 2400) ?(rate_per_s = 30000.0) ?(iters = 50) ?(seed = 17) ()
+    : partition_row list =
+  let model = Models.tiny "treelstm" in
+  let plan =
+    Net.parse
+      "seed=11,delay=150:50,drop=0.04,dup=0.3,partition=20000:50000:2,timeout=8000,resends=3"
+  in
+  let run ~label ?net () =
+    let r =
+      serve_cluster ~iters ?net ~replicas:3 ~deadline_ms:15.0
+        ~process:(Serve.Traffic.Poisson { rate_per_s })
+        ~requests ~seed model
+    in
+    let s = r.cr_summary in
+    {
+      pt_label = label;
+      pt_goodput = Serve.Stats.goodput s;
+      pt_offered = s.Serve.Stats.s_offered;
+      pt_completed = s.Serve.Stats.s_completed;
+      pt_shed = s.Serve.Stats.s_shed;
+      pt_expired = s.Serve.Stats.s_expired;
+      pt_p50 = s.Serve.Stats.s_p50_ms;
+      pt_p99 = s.Serve.Stats.s_p99_ms;
+      pt_net_sends = s.Serve.Stats.s_net_sends;
+      pt_net_resends = s.Serve.Stats.s_net_resends;
+      pt_net_dups = s.Serve.Stats.s_net_dups;
+      pt_net_partition_drops = s.Serve.Stats.s_net_partition_drops;
+      pt_net_dedup_hits = s.Serve.Stats.s_net_dedup_hits;
+      pt_net_fresh = s.Serve.Stats.s_net_fresh;
+      pt_net_timeouts = s.Serve.Stats.s_net_timeouts;
+      pt_link_downs = s.Serve.Stats.s_net_link_downs;
+      pt_heals = s.Serve.Stats.s_net_heals;
+    }
+  in
+  [
+    run ~label:"direct calls" ();
+    run ~label:"exactly-once" ~net:plan ();
+    run ~label:"naive resend" ~net:{ plan with Net.np_dedup = false } ();
+  ]

@@ -243,8 +243,8 @@ let bench_cmd =
 let serve_cmd =
   let run model_id size rate policy requests max_batch max_wait_us queue_cap deadline_ms
       burst seed iters faults_specs replicas dispatch hedge requeue_budget retry_budget
-      concurrency_target brownout tenant_specs autoscale audit min_goodput exact_stats
-      json_path trace_path =
+      concurrency_target brownout tenant_specs autoscale audit net_spec min_goodput
+      exact_stats json_path trace_path =
     guarded @@ fun () ->
     Option.iter
       (fun k ->
@@ -290,6 +290,18 @@ let serve_cmd =
     let pp_audit () =
       if audit > 0.0 then
         Fmt.pr "audit: sampling %g of deliveries against an unbatched reference@." audit
+    in
+    let net =
+      Option.map
+        (fun spec ->
+          let plan = Net.parse spec in
+          Net.validate plan;
+          plan)
+        net_spec
+    in
+    (* Printed only when a plan is armed, like [pp_resilience]. *)
+    let pp_net () =
+      Option.iter (fun plan -> Fmt.pr "net: %s@." (Net.to_spec plan)) net
     in
     (* The zero-delivered-corruption assertion: at --audit 1 every delivery
        is fingerprint-checked, so a corrupted result reaching a client is a
@@ -353,11 +365,12 @@ let serve_cmd =
         fault_plans;
       pp_resilience ();
       pp_audit ();
+      pp_net ();
       Fmt.pr "@.";
       let tracer = tracer_of trace_path in
       let report =
         serve_tenants ~policy ~queue_capacity:queue_cap ?iters ~fault_plans ~min_replicas
-          ~max_replicas ~resilience ?hedge_percentile:hedge ~audit ?tracer
+          ~max_replicas ~resilience ?hedge_percentile:hedge ~audit ?net ?tracer
           ~models:resolve ~tenants ~seed ()
       in
       let summary = Serve.Stats.summarize report.Tenancy.Dispatcher.tn_stats in
@@ -424,9 +437,10 @@ let serve_cmd =
     if List.exists Faults.enabled fault_plans then Fmt.pr "@.";
     pp_resilience ();
     pp_audit ();
+    pp_net ();
     let tracer = tracer_of trace_path in
     let summary =
-      if replicas = 1 && hedge = None && requeue_budget = None then begin
+      if replicas = 1 && hedge = None && requeue_budget = None && net = None then begin
         (* Single-server path: byte-stable with previous releases. *)
         let faults = match fault_plans with [] -> Faults.none | p :: _ -> p in
         let report =
@@ -445,8 +459,8 @@ let serve_cmd =
       else begin
         let report =
           serve_cluster ~policy ~queue_capacity:queue_cap ?deadline_ms ?iters ~fault_plans
-            ~dispatch ?hedge_percentile:hedge ?requeue_budget ~resilience ~audit ?tracer
-            ~replicas ~process ~requests ~seed model
+            ~dispatch ?hedge_percentile:hedge ?requeue_budget ~resilience ~audit ?net
+            ?tracer ~replicas ~process ~requests ~seed model
         in
         Fmt.pr "cluster of %d replicas   dispatch %s%a@.@." replicas
           (Serve.Cluster.dispatch_name dispatch)
@@ -630,6 +644,19 @@ let serve_cmd =
              probe-based re-admission). At RATE 1 every delivery is verified and the \
              run exits nonzero if any corrupted result slips through.")
   in
+  let net_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "net" ] ~docv:"PLAN"
+          ~doc:
+            "Lossy virtual transport between dispatcher and replicas, e.g. \
+             'seed=7,delay=120:60,drop=0.05,dup=0.1,reorder=0.2,gray=0.02,\
+             partition=8000:20000,timeout=5000,resends=2'. Dispatches and completions \
+             traverse seeded per-link fault processes; idempotency keys with a \
+             per-replica dedup window keep delivery exactly-once under duplication and \
+             resend, and partitioned replicas fail over until the cut heals. Forces the \
+             cluster engine even with --replicas 1.")
+  in
   let min_goodput_arg =
     Arg.(
       value & opt (some float) None
@@ -660,8 +687,8 @@ let serve_cmd =
       $ max_batch_arg $ max_wait_arg $ queue_cap_arg $ deadline_arg $ burst_arg $ seed_arg
       $ iters_arg $ faults_arg $ replicas_arg $ dispatch_arg $ hedge_arg
       $ requeue_budget_arg $ retry_budget_arg $ concurrency_target_arg $ brownout_arg
-      $ tenant_arg $ autoscale_arg $ audit_arg $ min_goodput_arg $ exact_stats_arg
-      $ json_arg $ trace_arg)
+      $ tenant_arg $ autoscale_arg $ audit_arg $ net_arg $ min_goodput_arg
+      $ exact_stats_arg $ json_arg $ trace_arg)
 
 (* --- chaos (randomized fault search with invariant checking) --- *)
 

@@ -133,6 +133,7 @@ let cluster_config (sc : Scenario.t) : Cluster.config =
     c_dispatch = sc.Scenario.sc_dispatch;
     c_hedge_percentile = sc.Scenario.sc_hedge;
     c_requeue_budget = sc.Scenario.sc_requeue_budget;
+    c_net = sc.Scenario.sc_net;
   }
 
 let tenancy_config (sc : Scenario.t) (tc : Scenario.tenancy) : Dispatcher.config =
@@ -151,6 +152,7 @@ let tenancy_config (sc : Scenario.t) (tc : Scenario.tenancy) : Dispatcher.config
        live in the dispatcher config, not the embedded server one. *)
     t_resilience = sc.Scenario.sc_resilience;
     t_hedge_percentile = sc.Scenario.sc_hedge;
+    t_net = sc.Scenario.sc_net;
   }
 
 (* Synthetic per-model weight footprint for the swap penalty. Any
@@ -242,6 +244,11 @@ let derived_floor (sc : Scenario.t) : float =
     (* The limiter and retry budget shed legitimately under pressure; the
        retry_amplification and brownout_dwell invariants bound them. *)
     0.0
+  else if sc.Scenario.sc_net <> None then
+    (* A lossy transport sheds lawfully at the deadline gate and the requeue
+       budget; the net conservation, exactly-once and partition invariants
+       carry the correctness burden instead. *)
+    0.0
   else if
     clean && sc.Scenario.sc_deadline_ms = None && sc.Scenario.sc_queue_cap >= need
   then 1.0
@@ -298,6 +305,7 @@ let check_scenario ?goodput_floor ?(check_replay = true) (sc : Scenario.t) :
           in_brownout = sc.Scenario.sc_resilience.Resilience.rs_brownout;
           in_peak_replicas = peak_replicas;
           in_audit_rate = sc.Scenario.sc_audit;
+          in_net = sc.Scenario.sc_net;
         }
     in
     let violations =

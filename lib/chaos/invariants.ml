@@ -35,7 +35,19 @@
       mismatches never exceed audits;
     - {b quarantine_flow}: quarantine/restore trace instants agree with the
       summary counters, and a replica can only be restored after having
-      been quarantined (restores never exceed quarantines).
+      been quarantined (restores never exceed quarantines);
+    - {b net_exactly_once}: with the lossy transport's dedup window armed,
+      no (request, replica, epoch) key executes twice no matter how many
+      copies dup + resend put on the wire — the exactly-once guarantee,
+      read directly off [net_exec] trace instants;
+    - {b net_partition}: no request or ack delivery lands on a cut link
+      inside an active partition window (the window is half-open, so a
+      landing exactly at the heal instant is lawful);
+    - {b net_conservation}: every copy put on the wire lands in exactly one
+      bucket — sends + dups = deliveries + drops + partition cuts, live
+      deliveries split into fresh + dedup hits, and acks split into
+      delivered + dropped + gray-eaten. Checked on every run: with the
+      transport off all nine counters are zero and the laws hold trivially.
 
     Replay determinism (same seed, byte-identical summary + trace) needs a
     second run, so it lives in {!Campaign.check_scenario} and reports here
@@ -44,6 +56,8 @@
 module Stats = Acrobat_serve.Stats
 module Trace = Acrobat_obs.Trace
 module Brownout = Acrobat_resilience.Brownout
+module Net = Acrobat_net.Net
+module Json = Acrobat_obs.Json
 
 type violation = {
   vi_name : string;  (** Which invariant broke. *)
@@ -60,7 +74,7 @@ let v name fmt = Fmt.kstr (fun vi_detail -> { vi_name = name; vi_detail }) fmt
     over every serving stack's traces. *)
 let terminal_names =
   [ "done"; "expired"; "shed"; "shed_breaker"; "shed_limit"; "shed_quota";
-    "poisoned"; "budget_exhausted"; "retry_budget" ]
+    "poisoned"; "budget_exhausted"; "retry_budget"; "net_shed" ]
 
 (** What the multi-tenant dispatcher observed for one tenant; empty list on
     single-tenant runs. *)
@@ -87,6 +101,7 @@ type input = {
   in_brownout : Brownout.spec option;  (** Armed brownout spec. *)
   in_peak_replicas : int;  (** Peak fleet size; scales per-replica quotas. *)
   in_audit_rate : float;  (** Armed sampled-audit rate; 0.0 = auditing off. *)
+  in_net : Net.plan option;  (** Armed network fault plan; [None] = direct calls. *)
 }
 
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
@@ -266,6 +281,85 @@ let check (i : input) : violation list =
     add
       (v "quarantine_flow" "%d restores exceed %d quarantines"
          s.Stats.s_quarantine_restores s.Stats.s_quarantines);
+  (* Net conservation: every copy put on the wire lands in exactly one
+     bucket, live deliveries split into fresh + dedup hits, and acks split
+     into delivered + dropped + gray-eaten. With the transport off all
+     counters are zero and the laws hold trivially, so this runs on every
+     scenario for free. *)
+  if
+    s.Stats.s_net_sends + s.Stats.s_net_dups
+    <> s.Stats.s_net_deliveries + s.Stats.s_net_drops + s.Stats.s_net_partition_drops
+  then
+    add
+      (v "net_conservation"
+         "%d sends + %d dups but %d deliveries + %d drops + %d cuts"
+         s.Stats.s_net_sends s.Stats.s_net_dups s.Stats.s_net_deliveries
+         s.Stats.s_net_drops s.Stats.s_net_partition_drops);
+  if s.Stats.s_net_deliveries <> s.Stats.s_net_fresh + s.Stats.s_net_dedup_hits then
+    add
+      (v "net_conservation" "%d deliveries but %d fresh + %d dedup hits"
+         s.Stats.s_net_deliveries s.Stats.s_net_fresh s.Stats.s_net_dedup_hits);
+  if
+    s.Stats.s_net_acks
+    <> s.Stats.s_net_ack_deliveries + s.Stats.s_net_ack_drops + s.Stats.s_net_gray_drops
+  then
+    add
+      (v "net_conservation" "%d acks but %d delivered + %d dropped + %d gray-eaten"
+         s.Stats.s_net_acks s.Stats.s_net_ack_deliveries s.Stats.s_net_ack_drops
+         s.Stats.s_net_gray_drops);
+  Option.iter
+    (fun (plan : Net.plan) ->
+      let n = max 1 i.in_peak_replicas in
+      (* Exactly-once: with the dedup window armed, however many copies
+         dup + resend put on the wire, at most one [net_exec] may fire per
+         (request, replica, epoch) key. Epoch fencing makes re-execution
+         after a replica reset lawful — the reset wiped the first attempt. *)
+      if plan.Net.np_dedup then begin
+        let execs = Hashtbl.create 64 in
+        List.iter
+          (fun (ev : Trace.event) ->
+            if ev.Trace.ev_ph = 'i' && ev.Trace.ev_name = "net_exec" then begin
+              let epoch =
+                match List.assoc_opt "epoch" ev.Trace.ev_args with
+                | Some (Json.Int e) -> e
+                | _ -> -1
+              in
+              bump execs (ev.Trace.ev_tid - 1, ev.Trace.ev_pid - n - 1, epoch)
+            end)
+          i.in_events;
+        List.iter
+          (fun ((id, replica, epoch) as key) ->
+            let c = Hashtbl.find execs key in
+            if c > 1 then
+              add
+                (v "net_exactly_once"
+                   "request %d executed %d times on replica %d epoch %d" id c replica
+                   epoch))
+          (sorted_keys execs)
+      end;
+      (* Partition blackout: no request or ack delivery may land on a cut
+         link inside the active window (half-open: landing exactly at the
+         heal instant is lawful). *)
+      Option.iter
+        (fun (t0, t1) ->
+          List.iter
+            (fun (ev : Trace.event) ->
+              if
+                ev.Trace.ev_ph = 'i'
+                && (ev.Trace.ev_name = "net_deliver" || ev.Trace.ev_name = "net_recv")
+                && ev.Trace.ev_ts_us >= t0
+                && ev.Trace.ev_ts_us < t1
+              then begin
+                let replica = ev.Trace.ev_pid - n - 1 in
+                if replica >= 0 && Net.in_group plan ~replica ~n then
+                  add
+                    (v "net_partition"
+                       "%s on cut link %d at %.0fus inside partition [%.0f, %.0f)"
+                       ev.Trace.ev_name replica ev.Trace.ev_ts_us t0 t1)
+              end)
+            i.in_events)
+        (Net.partition_window plan))
+    i.in_net;
   List.rev !out
 
 (** Distinct invariant names violated, sorted — the compact label used in

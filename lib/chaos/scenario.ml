@@ -23,6 +23,7 @@ module Traffic = Acrobat_serve.Traffic
 module Tenant = Acrobat_tenancy.Tenant
 module Resilience = Acrobat_resilience.Policy
 module Brownout = Acrobat_resilience.Brownout
+module Net = Acrobat_net.Net
 
 (** The tenant-mix dimension: when present, the scenario runs through the
     multi-tenant dispatcher instead of the cluster — several tenants, each
@@ -57,6 +58,10 @@ type t = {
       (** Sampled-audit rate for the integrity layer; 0.0 = auditing off.
           Corruption scenarios pair a [corrupt=]/[flaky=] clause in some
           replica's plan with a (possibly zero) audit rate. *)
+  sc_net : Net.plan option;
+      (** Network-fault dimension: the lossy virtual transport between the
+          dispatcher and its replicas. [None] = direct calls (every pre-net
+          behavior byte-identical). *)
 }
 
 (** The arrival process this scenario drives — the exact shape
@@ -270,6 +275,59 @@ let generate ~(campaign_seed : int) ~(fault_prob : float) (index : int) : t =
       choose rng [ 0.0; 0.25; 0.5; 1.0 ]
     end
   in
+  (* Network-fault dimension, drawn after everything else so every
+     pre-existing field of scenario [(S, i)] keeps its exact value. ~30% of
+     scenarios route dispatch through the lossy virtual transport. Clause
+     rates are gentle enough that conservation must come from the
+     timeout/resend/dedup machinery, not from luck; the timeout sits well
+     above the drawn one-way delays so a delivered message always beats its
+     own resend clock. Partition windows need a second replica to matter,
+     so they are only drawn on multi-replica fleets. *)
+  let sc_net =
+    if not (Rng.bernoulli rng 0.3) then None
+    else begin
+      let np_seed = Rng.int rng 100_000 in
+      let np_delay_us = choose rng [ 20.0; 50.0; 120.0; 200.0 ] in
+      let np_jitter_us = if Rng.bernoulli rng 0.5 then np_delay_us /. 2.0 else 0.0 in
+      let np_drop =
+        if Rng.bernoulli rng 0.5 then choose rng [ 0.02; 0.05; 0.15 ] else 0.0
+      in
+      let np_dup =
+        if Rng.bernoulli rng 0.5 then choose rng [ 0.05; 0.1; 0.25 ] else 0.0
+      in
+      let np_reorder =
+        if Rng.bernoulli rng 0.4 then choose rng [ 0.05; 0.2 ] else 0.0
+      in
+      let np_gray = if Rng.bernoulli rng 0.3 then choose rng [ 0.02; 0.1 ] else 0.0 in
+      let fleet =
+        match sc_tenancy with Some tc -> tc.tc_max | None -> sc_replicas
+      in
+      let np_partition =
+        if fleet > 1 && Rng.bernoulli rng 0.4 then begin
+          let t0 = 2_000.0 +. float_of_int (Rng.int rng 18_001) in
+          let t1 = t0 +. 5_000.0 +. float_of_int (Rng.int rng 25_001) in
+          Some (t0, t1, [])
+        end
+        else None
+      in
+      let plan =
+        {
+          Net.none with
+          Net.np_seed;
+          np_delay_us;
+          np_jitter_us;
+          np_drop;
+          np_dup;
+          np_reorder;
+          np_gray;
+          np_partition;
+          np_timeout_us = 5_000.0;
+        }
+      in
+      Net.validate plan;
+      Some plan
+    end
+  in
   {
     sc_index = index;
     sc_seed;
@@ -287,6 +345,7 @@ let generate ~(campaign_seed : int) ~(fault_prob : float) (index : int) : t =
     sc_tenancy;
     sc_resilience;
     sc_audit;
+    sc_net;
   }
 
 (** Total requests the scenario's arrival streams generate: one stream per
@@ -349,6 +408,9 @@ let to_cli (sc : t) : string =
       add " --faults \"%s\"" (Faults.to_spec sc.sc_plans.(i))
     done
   in
+  let add_net () =
+    Option.iter (fun p -> add " --net \"%s\"" (Net.to_spec p)) sc.sc_net
+  in
   (match sc.sc_tenancy with
   | None ->
     add "acrobatc serve --model treelstm --size tiny --iters 100";
@@ -363,7 +425,8 @@ let to_cli (sc : t) : string =
     add " --requeue-budget %d" sc.sc_requeue_budget;
     add_resilience ();
     if sc.sc_audit > 0.0 then add " --audit %g" sc.sc_audit;
-    add_faults ()
+    add_faults ();
+    add_net ()
   | Some tc ->
     (* Tenant mode: model, rate, SLO and quota live in the tenant specs;
        per-tenant seeds re-derive from --seed the way the harness drew
@@ -379,7 +442,8 @@ let to_cli (sc : t) : string =
     Option.iter (fun p -> add " --hedge %g" p) sc.sc_hedge;
     add_resilience ();
     if sc.sc_audit > 0.0 then add " --audit %g" sc.sc_audit;
-    add_faults ());
+    add_faults ();
+    add_net ());
   Buffer.contents b
 
 (** Compact JSON view for campaign reports (deterministic field order). *)
@@ -396,5 +460,6 @@ let to_json (sc : t) : Acrobat_obs.Json.t =
       "clauses", J.Int (fault_clause_count sc);
       "resilience", J.Bool (Resilience.active sc.sc_resilience);
       "audit", J.Float sc.sc_audit;
+      "net", J.Bool (sc.sc_net <> None);
       "repro", J.Str (to_cli sc);
     ]

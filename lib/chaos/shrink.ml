@@ -12,6 +12,25 @@
 
 module Faults = Acrobat_device.Faults
 module Resilience = Acrobat_resilience.Policy
+module Net = Acrobat_net.Net
+
+(* Net-plan simplifications, most aggressive first: kill the partition,
+   zero one transport clause, then halve rates. Delays shrink toward zero
+   jitter, not zero base — a zero-delay plan with drop still armed keeps
+   the violation's loss character while removing timing noise. *)
+let net_candidates (p : Net.plan) : Net.plan list =
+  let c = ref [] in
+  let add p' = c := p' :: !c in
+  if p.Net.np_partition <> None then add { p with Net.np_partition = None };
+  if p.Net.np_drop > 0.0 then add { p with Net.np_drop = 0.0 };
+  if p.Net.np_dup > 0.0 then add { p with Net.np_dup = 0.0 };
+  if p.Net.np_gray > 0.0 then add { p with Net.np_gray = 0.0 };
+  if p.Net.np_reorder > 0.0 then add { p with Net.np_reorder = 0.0 };
+  if p.Net.np_jitter_us > 0.0 then add { p with Net.np_jitter_us = 0.0 };
+  if p.Net.np_drop > 0.02 then add { p with Net.np_drop = p.Net.np_drop /. 2.0 };
+  if p.Net.np_dup > 0.02 then add { p with Net.np_dup = p.Net.np_dup /. 2.0 };
+  if p.Net.np_gray > 0.02 then add { p with Net.np_gray = p.Net.np_gray /. 2.0 };
+  List.rev !c
 
 (* Plan-level simplifications, most aggressive first. Each candidate must
    strictly shrink some measure (clause count, then rate magnitude) so the
@@ -103,6 +122,16 @@ let candidates (sc : Scenario.t) : Scenario.t list =
   (* Auditing shrinks toward off: a violation that survives without the
      audit gate implicates the base machinery, not the integrity layer. *)
   if sc.Scenario.sc_audit > 0.0 then add { sc with Scenario.sc_audit = 0.0 };
+  (* The transport shrinks toward direct calls first; failing that, one
+     clause at a time so a violation implicating e.g. dup+resend minimizes
+     to exactly those clauses. *)
+  (match sc.Scenario.sc_net with
+  | None -> ()
+  | Some p ->
+    add { sc with Scenario.sc_net = None };
+    List.iter
+      (fun p' -> add { sc with Scenario.sc_net = Some p' })
+      (net_candidates p));
   if sc.Scenario.sc_requests > 10 then
     add { sc with Scenario.sc_requests = sc.Scenario.sc_requests / 2 };
   if sc.Scenario.sc_queue_cap < 256 then add { sc with Scenario.sc_queue_cap = 256 };

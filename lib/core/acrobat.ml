@@ -31,6 +31,7 @@ module Cost_model = Acrobat_device.Cost_model
 module Profiler = Acrobat_device.Profiler
 module Memory = Acrobat_device.Memory
 module Faults = Acrobat_device.Faults
+module Net = Acrobat_net.Net
 module Value = Acrobat_runtime.Value
 module Driver = Acrobat_engines.Driver
 module Policy = Acrobat_engines.Policy
@@ -408,7 +409,7 @@ let serve_tenants ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
     ?(fault_plans = []) ?tolerance ?(min_replicas = 1) ?(max_replicas = 1)
     ?(swap_cost = Cost_model.default) ?(resilience = Resilience.off) ?hedge_percentile
-    ?(audit = 0.0) ?tracer ?metrics ~(models : string -> Model.t)
+    ?(audit = 0.0) ?net ?tracer ?metrics ~(models : string -> Model.t)
     ~(tenants : Tenancy.Tenant.t array) ~(seed : int) () : Tenancy.Dispatcher.report =
   let distinct =
     List.sort_uniq compare
@@ -451,6 +452,7 @@ let serve_tenants ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
       t_swap_cost = swap_cost;
       t_resilience = resilience;
       t_hedge_percentile = hedge_percentile;
+      t_net = net;
     }
   in
   let plan_for i = try List.nth fault_plans i with _ -> Faults.none in
@@ -564,13 +566,19 @@ let cluster_report_json (r : cluster_report) : Serve.Json.t =
     [audit] arms the sampled-audit integrity layer on every replica; a
     replica whose audited results keep mismatching the clean reference is
     {e quarantined} (drained and fenced like a failed-over replica, then
-    re-admitted only after clean audited probes — see {!Serve.Replica}). *)
+    re-admitted only after clean audited probes — see {!Serve.Replica}).
+
+    [net] interposes the lossy virtual transport between dispatcher and
+    replicas (see {!Serve.Cluster} and [Acrobat_net.Net]): per-link delay,
+    drop, duplication, reorder, gray loss and partition windows, with
+    idempotency-keyed exactly-once delivery and timeout-driven resends.
+    [None] keeps the direct-call path byte-identical. *)
 let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
     ?(policy = Serve.Server.default_config.Serve.Server.policy) ?(queue_capacity = 256)
     ?deadline_ms ?arrivals ?(fault_plans = []) ?tolerance
     ?(dispatch = Serve.Cluster.Join_shortest_queue) ?hedge_percentile
     ?(requeue_budget = Serve.Cluster.default_config.Serve.Cluster.c_requeue_budget)
-    ?(resilience = Resilience.off) ?(audit = 0.0) ?tracer ?metrics ?(replicas = 1)
+    ?(resilience = Resilience.off) ?(audit = 0.0) ?net ?tracer ?metrics ?(replicas = 1)
     ~(process : Serve.Traffic.process) ~(requests : int)
     ~(seed : int) (model : Model.t) : cluster_report =
   let c, weights = compile_model ~framework ?iters ?tracer model ~batch:8 ~seed in
@@ -647,6 +655,7 @@ let serve_cluster ?(framework = Frameworks.Acrobat Config.acrobat) ?iters
       c_dispatch = dispatch;
       c_hedge_percentile = hedge_percentile;
       c_requeue_budget = requeue_budget;
+      c_net = net;
     }
   in
   let report =

@@ -1,0 +1,63 @@
+(** Shared clause parsing for comma-separated [key=value] plan specs.
+
+    Two CLI plan languages use the same surface syntax: fault plans
+    ({!Faults.parse}: [kernel=0.05,straggler=0.02x6,...]) and network
+    plans ([Acrobat_net.Net.parse]: [delay=80:20,drop=0.1,...]). This
+    module is the single home of the clause-splitting, key dispatch and
+    numeric-range validation both share, so the two parsers cannot drift
+    on error shape: both reject unknown keys with the full list of valid
+    keys, both name the offending key in range errors, and both use the
+    same shortest-round-trip float rendering when specs are re-emitted. *)
+
+(** Raise [Invalid_argument] with a ["bad <what>: ..."] prefix. *)
+let fail ~what fmt = Fmt.kstr (fun m -> Fmt.invalid_arg "bad %s: %s" what m) fmt
+
+(** Split a spec into [(key, value)] clauses. Clauses are comma-separated;
+    empty clauses (doubled or trailing commas) are ignored; each clause
+    must contain ['=']. *)
+let fields ~what (spec : string) : (string * string) list =
+  List.map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | None -> fail ~what "field %S is not key=value" kv
+      | Some i -> String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+    (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
+
+(** Reject an unknown clause key, listing every valid key. *)
+let unknown_key ~what ~valid key =
+  fail ~what "unknown key %S (valid keys: %s)" key (String.concat ", " valid)
+
+(** Parse a probability in [0, 1], naming the offending key on failure. *)
+let prob ~what key s =
+  match float_of_string_opt s with
+  | Some p when p >= 0.0 && p <= 1.0 -> p
+  | _ -> fail ~what "%s=%s is not a probability in [0, 1]" key s
+
+(** Range-check an already-parsed probability (the programmatic-plan path
+    that bypasses the parser). *)
+let check_prob ~what key v =
+  if not (Float.is_finite v) || v < 0.0 || v > 1.0 then
+    fail ~what "%s=%g is not a probability in [0, 1]" key v
+
+(** Parse a non-negative finite float, naming the offending key. *)
+let nonneg ~what key s =
+  match float_of_string_opt s with
+  | Some v when Float.is_finite v && v >= 0.0 -> v
+  | _ -> fail ~what "%s=%s is not a non-negative number" key s
+
+(** Range-check an already-parsed non-negative float. *)
+let check_nonneg ~what key v =
+  if not (Float.is_finite v) || v < 0.0 then
+    fail ~what "%s=%g is not a non-negative number" key v
+
+(** Parse an integer, naming the offending key. *)
+let int ~what key s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail ~what "%s=%s is not an integer" key s
+
+(** Shortest decimal form that parses back to exactly [f] — keeps
+    re-emitted specs ([to_spec]) round-trippable and byte-stable. *)
+let float_spec (f : float) : string =
+  let s = Fmt.str "%.12g" f in
+  if float_of_string s = f then s else Fmt.str "%.17g" f

@@ -109,11 +109,9 @@ let pp_plan ppf p =
 
     @raise Invalid_argument naming the offending key(s). *)
 let validate (p : plan) : unit =
-  let fail fmt = Fmt.kstr (fun m -> Fmt.invalid_arg "bad fault plan: %s" m) fmt in
-  let prob key v =
-    if not (Float.is_finite v) || v < 0.0 || v > 1.0 then
-      fail "%s=%g is not a probability in [0, 1]" key v
-  in
+  let what = "fault plan" in
+  let fail fmt = Clause.fail ~what fmt in
+  let prob key v = Clause.check_prob ~what key v in
   prob "kernel" p.kernel_fault_rate;
   prob "straggler" p.straggler_rate;
   prob "reset" p.reset_rate;
@@ -146,72 +144,55 @@ let validate (p : plan) : unit =
     probability of {e silent} output corruption (nothing raises), and
     [flaky=N] is the flaky-device mode: every attempt after the first [N]
     corrupts deterministically. Unknown keys are rejected. *)
+let valid_keys =
+  [ "seed"; "kernel"; "straggler"; "reset"; "capacity"; "poison"; "corrupt"; "flaky" ]
+
 let parse (spec : string) : plan =
-  let fail fmt = Fmt.kstr (fun m -> Fmt.invalid_arg "bad fault plan: %s" m) fmt in
-  let prob key s =
-    match float_of_string_opt s with
-    | Some p when p >= 0.0 && p <= 1.0 -> p
-    | _ -> fail "%s=%s is not a probability in [0, 1]" key s
+  let what = "fault plan" in
+  let fail fmt = Clause.fail ~what fmt in
+  let prob key s = Clause.prob ~what key s in
+  let field plan (key, v) =
+    match key with
+    | "seed" -> { plan with seed = Clause.int ~what key v }
+    | "kernel" -> { plan with kernel_fault_rate = prob key v }
+    | "reset" -> { plan with reset_rate = prob key v }
+    | "straggler" -> (
+      match String.index_opt v 'x' with
+      | None -> { plan with straggler_rate = prob key v }
+      | Some j ->
+        let rate = String.sub v 0 j in
+        let mult = String.sub v (j + 1) (String.length v - j - 1) in
+        (match float_of_string_opt mult with
+        | Some m when m >= 1.0 ->
+          { plan with straggler_rate = prob key rate; straggler_mult = m }
+        | _ -> fail "straggler multiplier %S must be a float >= 1" mult))
+    | "capacity" -> (
+      match int_of_string_opt v with
+      | Some c when c > 0 -> { plan with capacity_elems = Some c }
+      | _ -> fail "capacity=%s is not a positive integer" v)
+    | "poison" ->
+      let ids =
+        List.map
+          (fun s ->
+            match int_of_string_opt s with
+            | Some id -> id
+            | None -> fail "poison id %S is not an integer" s)
+          (String.split_on_char '+' v)
+      in
+      { plan with poison = ids }
+    | "corrupt" -> { plan with corrupt_rate = prob key v }
+    | "flaky" -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> { plan with flaky_after = Some n }
+      | _ -> fail "flaky=%s is not a non-negative attempt count" v)
+    | other -> Clause.unknown_key ~what ~valid:valid_keys other
   in
-  let field plan kv =
-    match String.index_opt kv '=' with
-    | None -> fail "field %S is not key=value" kv
-    | Some i ->
-      let key = String.sub kv 0 i in
-      let v = String.sub kv (i + 1) (String.length kv - i - 1) in
-      (match key with
-      | "seed" -> (
-        match int_of_string_opt v with
-        | Some s -> { plan with seed = s }
-        | None -> fail "seed=%s is not an integer" v)
-      | "kernel" -> { plan with kernel_fault_rate = prob key v }
-      | "reset" -> { plan with reset_rate = prob key v }
-      | "straggler" -> (
-        match String.index_opt v 'x' with
-        | None -> { plan with straggler_rate = prob key v }
-        | Some j ->
-          let rate = String.sub v 0 j in
-          let mult = String.sub v (j + 1) (String.length v - j - 1) in
-          (match float_of_string_opt mult with
-          | Some m when m >= 1.0 ->
-            { plan with straggler_rate = prob key rate; straggler_mult = m }
-          | _ -> fail "straggler multiplier %S must be a float >= 1" mult))
-      | "capacity" -> (
-        match int_of_string_opt v with
-        | Some c when c > 0 -> { plan with capacity_elems = Some c }
-        | _ -> fail "capacity=%s is not a positive integer" v)
-      | "poison" ->
-        let ids =
-          List.map
-            (fun s ->
-              match int_of_string_opt s with
-              | Some id -> id
-              | None -> fail "poison id %S is not an integer" s)
-            (String.split_on_char '+' v)
-        in
-        { plan with poison = ids }
-      | "corrupt" -> { plan with corrupt_rate = prob key v }
-      | "flaky" -> (
-        match int_of_string_opt v with
-        | Some n when n >= 0 -> { plan with flaky_after = Some n }
-        | _ -> fail "flaky=%s is not a non-negative attempt count" v)
-      | other ->
-        fail
-          "unknown key %S (valid keys: seed, kernel, straggler, reset, capacity, poison, \
-           corrupt, flaky)"
-          other)
-  in
-  let plan =
-    List.fold_left field none
-      (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
-  in
+  let plan = List.fold_left field none (Clause.fields ~what spec) in
   validate plan;
   plan
 
 (* Shortest decimal form that parses back to exactly [f]. *)
-let float_spec (f : float) : string =
-  let s = Fmt.str "%.12g" f in
-  if float_of_string s = f then s else Fmt.str "%.17g" f
+let float_spec = Clause.float_spec
 
 (** Render [p] in the comma-separated [key=value] form {!parse} accepts;
     [parse (to_spec p) = p] for any plan (round-trip tested). Zero-rate

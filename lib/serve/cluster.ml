@@ -40,6 +40,9 @@
 module Trace = Acrobat_obs.Trace
 module Metrics = Acrobat_obs.Metrics
 module Json = Acrobat_obs.Json
+module Net = Acrobat_net.Net
+module Budget = Acrobat_resilience.Budget
+module Resilience = Acrobat_resilience.Policy
 
 type dispatch = Round_robin | Join_shortest_queue | Least_expected_latency
 
@@ -68,6 +71,10 @@ type config = {
   c_requeue_budget : int;
       (** Re-dispatches per request before it is dropped; bounds work when
           every replica is faulty. *)
+  c_net : Net.plan option;
+      (** Network fault plan for the dispatcher↔replica links; [None] (or a
+          plan with no armed clause) keeps the direct-call path — no RNG
+          draws, no extra events, byte-identical output. *)
 }
 
 let default_config =
@@ -78,7 +85,14 @@ let default_config =
     c_hedge_percentile = None;
     c_reset_threshold = 2;
     c_requeue_budget = 8;
+    c_net = None;
   }
+
+(* Consecutive per-link timeouts before the link is declared unreachable
+   and the dispatcher stops routing new work at it (the link-level analogue
+   of the replica breaker threshold, but tighter: a partitioned-away
+   replica should be indistinguishable from a dead one quickly). *)
+let link_down_threshold = 2
 
 (* Hedge-delay estimation: percentile over a sliding window of recent
    winning completions. Too few observations ⇒ no hedging yet (an early
@@ -99,6 +113,38 @@ type 'a entry = {
       (** Retry-budget tokens credited (once per logical request). *)
 }
 
+(* --- Network fault-domain state (armed only when [c_net] is) --- *)
+
+(** What a replica's idempotency window remembers about a request key. *)
+type dedup_state =
+  | Dd_pending  (** Delivered and queued/executing; result not yet known. *)
+  | Dd_done of { di_size : int; di_start_us : float; di_done_us : float }
+      (** Executed; a duplicate delivery re-acks this result instead of
+          re-executing (exactly-once under dup+resend). *)
+
+(** Sender-side tracking of the one {e tracked} in-flight attempt per
+    logical request (hedge copies ride untracked — the primary's timeout
+    is their recovery). [at_no] counts sends this attempt cycle; a stale
+    timeout (bumped [at_no]) no-ops, which is the sender-side fence. *)
+type attempt = { mutable at_replica : int; mutable at_no : int }
+
+type netstate = {
+  nt : Net.t;  (** The seeded transport (RNG + delay EWMA). *)
+  n_plan : Net.plan;
+  dedups : (int * int, dedup_state) Net.Dedup.t array;
+      (** Per-replica idempotency windows keyed [(request id, replica
+          epoch)] — the epoch fence lets a recovered replica re-execute
+          requeued work without tripping exactly-once. *)
+  attempts : (int, attempt) Hashtbl.t;  (** Live tracked attempts by id. *)
+  unreachable : bool array;  (** Links declared down on consecutive timeouts. *)
+  consec_timeouts : int array;
+  probing : bool array;  (** A link-probe loop is in flight. *)
+  n_budget : Budget.t option;
+      (** Dispatcher-side resend budget (PR 7's token bucket): armed iff
+          the server's retry budget is, so net resends and device retries
+          obey the same retries-per-fresh-admission bound. *)
+}
+
 type 'a t = {
   cfg : config;
   loop : Event_loop.t;
@@ -113,6 +159,7 @@ type 'a t = {
   mutable lat_count : int;
   mutable lat_idx : int;
   tracer : Trace.t;  (** Dispatcher-level emissions land on pid 0. *)
+  mutable net : netstate option;  (** [None] ⇒ the direct-call paths, untouched. *)
 }
 
 let record_latency st lat_us =
@@ -161,6 +208,9 @@ let copy_lost st (ent : 'a entry) ~terminal =
       | `Retry_budget ->
         st.stats.Stats.retry_shed <- st.stats.Stats.retry_shed + 1;
         "retry_budget"
+      | `Net ->
+        st.stats.Stats.net_shed <- st.stats.Stats.net_shed + 1;
+        "net_shed"
     in
     let id = ent.ent_req.Admission.rq_id in
     Trace.instant st.tracer ~name ~cat:"request" ~pid:0 ~tid:(Server.req_tid id)
@@ -174,7 +224,25 @@ let copy_cancelled st (ent : 'a entry) =
   ent.ent_copies <- ent.ent_copies - 1;
   st.stats.Stats.hedge_cancels <- st.stats.Stats.hedge_cancels + 1
 
+(* The tracked (primary) copy reached a terminal on the net path. A hedge
+   copy rides the transport untracked — no timeout of its own — so its ack
+   may already be lost with nothing left to recover it; waiting on it could
+   leave the request with no terminal ever. The primary's terminal is
+   therefore authoritative: any still-unresolved hedge copy is abandoned
+   with it, and a hedge ack that does survive later just settles the copy
+   count like any losing ack on a resolved request. *)
+let primary_lost st (ent : 'a entry) ~terminal =
+  if not ent.ent_done then ent.ent_copies <- 1;
+  copy_lost st ent ~terminal
+
 (* --- Dispatch --- *)
+
+(* Is the link to replica [i] usable? Always true on the direct-call path;
+   with a net plan armed, a link declared unreachable (consecutive
+   timeouts — a partition is indistinguishable from a dead replica) is
+   skipped until a probe round-trip heals it. *)
+let link_up st i =
+  match st.net with None -> true | Some ns -> not ns.unreachable.(i)
 
 (* Pick a healthy replica per the configured policy; [exclude] bars one id
    (the hedge's primary home). Ties break toward the lowest id, which keeps
@@ -184,7 +252,7 @@ let pick_up st ~exclude ~now_us =
   let best = ref None in
   Array.iteri
     (fun i rep ->
-      if i <> exclude && Replica.health rep = Replica.Up then begin
+      if i <> exclude && Replica.health rep = Replica.Up && link_up st i then begin
         let key =
           match st.cfg.c_dispatch with
           | Round_robin -> float_of_int ((i - st.rr_next + n) mod n)
@@ -207,7 +275,7 @@ let pick_up st ~exclude ~now_us =
 let select st ~now_us =
   let probe = ref (-1) in
   Array.iteri
-    (fun i rep -> if !probe < 0 && Replica.wants_probe rep then probe := i)
+    (fun i rep -> if !probe < 0 && Replica.wants_probe rep && link_up st i then probe := i)
     st.replicas;
   if !probe >= 0 then Some (!probe, true)
   else
@@ -215,22 +283,351 @@ let select st ~now_us =
     | Some i -> Some (i, false)
     | None -> None
 
+(* --- The virtual transport (armed only when [c_net] is) --- *)
+
+(* Per-request net event on the link's trace track. *)
+let net_trace st ~name ~replica ?(extra = []) id =
+  Trace.instant st.tracer ~name ~cat:"net"
+    ~pid:(Net.link_pid ~n:(Array.length st.replicas) ~replica)
+    ~tid:(Server.req_tid id)
+    ~ts_us:(Event_loop.now st.loop)
+    ~args:(("id", Json.Int id) :: ("replica", Json.Int replica) :: extra)
+
+(* Link-level net event (no request attached). *)
+let link_trace st ~name i =
+  Trace.instant st.tracer ~name ~cat:"net"
+    ~pid:(Net.link_pid ~n:(Array.length st.replicas) ~replica:i)
+    ~tid:0
+    ~ts_us:(Event_loop.now st.loop)
+    ~args:[ "replica", Json.Int i ]
+
+(* A completion (ack) crossed the return link. The first ack to land
+   resolves the request — [r_done_us] is the ack's arrival, so latency
+   honestly includes the return transit; later acks (re-acks for filtered
+   duplicates, or the losing copy of a hedge pair) only settle accounting.
+   The ack also carries the replica-side completion stamp, which is the
+   sender's only evidence of the one-way delay it feeds the shedding EWMA. *)
+let deliver_ack st ns ~replica (ent : 'a entry) ~di_size ~di_start_us ~di_done_us =
+  let id = ent.ent_req.Admission.rq_id in
+  let now_us = Event_loop.now st.loop in
+  st.stats.Stats.net_ack_deliveries <- st.stats.Stats.net_ack_deliveries + 1;
+  net_trace st ~name:"net_recv" ~replica id;
+  Net.observe_delay ns.nt (now_us -. di_done_us);
+  Hashtbl.remove ns.attempts id;
+  ns.consec_timeouts.(replica) <- 0;
+  if not ent.ent_done then begin
+    ent.ent_done <- true;
+    Stats.record_fields st.stats ~id ~arrival_us:ent.ent_req.Admission.rq_arrival_us
+      ~start_us:di_start_us ~done_us:now_us ~batch_size:di_size;
+    record_latency st (now_us -. ent.ent_req.Admission.rq_arrival_us);
+    Trace.instant st.tracer ~name:"done" ~cat:"request" ~pid:0 ~tid:(Server.req_tid id)
+      ~ts_us:now_us
+      ~args:[ "id", Json.Int id; "replica", Json.Int replica ];
+    if ent.ent_hedged && replica = ent.ent_hedge_replica then
+      st.stats.Stats.hedge_wins <- st.stats.Stats.hedge_wins + 1
+  end;
+  ent.ent_copies <- ent.ent_copies - 1
+
+(* Put one completion on the return link. Loss here — random, gray, or a
+   partition — is exactly what the sender's timeout+resend and the
+   receiver's [Dd_done] re-ack exist to absorb. *)
+let send_ack st ns ~replica (ent : 'a entry) ~di_size ~di_start_us ~di_done_us =
+  let id = ent.ent_req.Admission.rq_id in
+  let now_us = Event_loop.now st.loop in
+  let n = Array.length st.replicas in
+  st.stats.Stats.net_acks <- st.stats.Stats.net_acks + 1;
+  match Net.recv ns.nt ~now_us ~replica ~n with
+  | Net.Recv_partitioned ->
+    st.stats.Stats.net_ack_drops <- st.stats.Stats.net_ack_drops + 1;
+    net_trace st ~name:"net_cut" ~replica id
+  | Net.Recv_dropped ->
+    st.stats.Stats.net_ack_drops <- st.stats.Stats.net_ack_drops + 1;
+    net_trace st ~name:"net_drop" ~replica id
+  | Net.Recv_gray ->
+    st.stats.Stats.net_gray_drops <- st.stats.Stats.net_gray_drops + 1;
+    net_trace st ~name:"net_gray" ~replica id
+  | Net.Recv_deliver d ->
+    Event_loop.schedule_after st.loop ~delay:d (fun () ->
+        deliver_ack st ns ~replica ent ~di_size ~di_start_us ~di_done_us)
+
+(* A replica-side refusal (queue full / limiter) crossing the return link:
+   the authoritative shed, same terminal the direct path applies. A lost
+   nack is recovered by the sender's timeout like any other silence. *)
+let deliver_nack st ns ~replica (ent : 'a entry) ~terminal =
+  let id = ent.ent_req.Admission.rq_id in
+  st.stats.Stats.net_ack_deliveries <- st.stats.Stats.net_ack_deliveries + 1;
+  net_trace st ~name:"net_recv" ~replica id;
+  ns.consec_timeouts.(replica) <- 0;
+  if ent.ent_done then ent.ent_copies <- ent.ent_copies - 1
+  else begin
+    copy_lost st ent ~terminal;
+    if ent.ent_done then Hashtbl.remove ns.attempts id
+  end
+
+let send_nack st ns ~replica (ent : 'a entry) ~terminal =
+  let id = ent.ent_req.Admission.rq_id in
+  let now_us = Event_loop.now st.loop in
+  let n = Array.length st.replicas in
+  st.stats.Stats.net_acks <- st.stats.Stats.net_acks + 1;
+  match Net.recv ns.nt ~now_us ~replica ~n with
+  | Net.Recv_partitioned ->
+    st.stats.Stats.net_ack_drops <- st.stats.Stats.net_ack_drops + 1;
+    net_trace st ~name:"net_cut" ~replica id
+  | Net.Recv_dropped ->
+    st.stats.Stats.net_ack_drops <- st.stats.Stats.net_ack_drops + 1;
+    net_trace st ~name:"net_drop" ~replica id
+  | Net.Recv_gray ->
+    st.stats.Stats.net_gray_drops <- st.stats.Stats.net_gray_drops + 1;
+    net_trace st ~name:"net_gray" ~replica id
+  | Net.Recv_deliver d ->
+    Event_loop.schedule_after st.loop ~delay:d (fun () ->
+        deliver_nack st ns ~replica ent ~terminal)
+
+(* One request copy lands at replica [i]'s ingress. The idempotency window
+   (keyed by request id and the replica's fencing epoch) decides: fresh ⇒
+   execute, pending ⇒ filter, done ⇒ re-ack the remembered result. This is
+   the receiving half of exactly-once: however many copies dup+resend
+   create, at most one executes per (id, epoch). *)
+let net_deliver st ns (ent : 'a entry) (r : 'a Admission.request) i =
+  let rep = st.replicas.(i) in
+  let id = r.Admission.rq_id in
+  match Replica.health rep with
+  | Replica.Down | Replica.Quarantined ->
+    (* Delivered into a dead endpoint: indistinguishable from loss; the
+       sender's timeout recovers. *)
+    st.stats.Stats.net_drops <- st.stats.Stats.net_drops + 1;
+    net_trace st ~name:"net_drop" ~replica:i id
+  | Replica.Up | Replica.Probing -> (
+    st.stats.Stats.net_deliveries <- st.stats.Stats.net_deliveries + 1;
+    net_trace st ~name:"net_deliver" ~replica:i id;
+    let ep = Replica.epoch rep in
+    let key = (id, ep) in
+    let window = ns.dedups.(i) in
+    match (if ns.n_plan.Net.np_dedup then Net.Dedup.find window key else None) with
+    | Some Dd_pending ->
+      st.stats.Stats.net_dedup_hits <- st.stats.Stats.net_dedup_hits + 1;
+      net_trace st ~name:"net_dedup" ~replica:i id
+    | Some (Dd_done { di_size; di_start_us; di_done_us }) ->
+      st.stats.Stats.net_dedup_hits <- st.stats.Stats.net_dedup_hits + 1;
+      net_trace st ~name:"net_dedup" ~replica:i id;
+      (* The result is already known: re-ack it instead of re-executing —
+         how a lost ack is recovered without double execution. *)
+      send_ack st ns ~replica:i ent ~di_size ~di_start_us ~di_done_us
+    | None -> (
+      st.stats.Stats.net_fresh <- st.stats.Stats.net_fresh + 1;
+      if ns.n_plan.Net.np_dedup then Net.Dedup.note window key Dd_pending;
+      match Replica.enqueue rep r with
+      | Replica.Admitted ->
+        net_trace st ~name:"net_exec" ~replica:i ~extra:[ "epoch", Json.Int ep ] id;
+        if not ent.ent_deposited then begin
+          ent.ent_deposited <- true;
+          Replica.deposit_budget rep
+        end
+      | Replica.Shed_queue ->
+        (* Never executed: forget the key so a later retransmission may
+           execute, and nack the sender. *)
+        if ns.n_plan.Net.np_dedup then Net.Dedup.remove window key;
+        send_nack st ns ~replica:i ent ~terminal:`Shed
+      | Replica.Shed_limit ->
+        if ns.n_plan.Net.np_dedup then Net.Dedup.remove window key;
+        send_nack st ns ~replica:i ent ~terminal:`Limit))
+
+(* Put one request copy on the send link: it may be cut by a partition,
+   lost, duplicated, delayed, or reordered — each surviving copy becomes a
+   scheduled delivery at the replica's ingress. *)
+let net_transmit st ns (ent : 'a entry) (r : 'a Admission.request) i ~resend =
+  let id = r.Admission.rq_id in
+  let now_us = Event_loop.now st.loop in
+  let n = Array.length st.replicas in
+  st.stats.Stats.net_sends <- st.stats.Stats.net_sends + 1;
+  if resend then st.stats.Stats.net_resends <- st.stats.Stats.net_resends + 1;
+  net_trace st ~name:"net_send" ~replica:i id;
+  let snt = Net.send ns.nt ~now_us ~replica:i ~n in
+  let copies = List.length snt.Net.sn_delays + snt.Net.sn_dropped + snt.Net.sn_cut in
+  st.stats.Stats.net_dups <- st.stats.Stats.net_dups + copies - 1;
+  st.stats.Stats.net_drops <- st.stats.Stats.net_drops + snt.Net.sn_dropped;
+  st.stats.Stats.net_partition_drops <-
+    st.stats.Stats.net_partition_drops + snt.Net.sn_cut;
+  if snt.Net.sn_dropped > 0 then net_trace st ~name:"net_drop" ~replica:i id;
+  if snt.Net.sn_cut > 0 then net_trace st ~name:"net_cut" ~replica:i id;
+  List.iter
+    (fun d ->
+      Event_loop.schedule_after st.loop ~delay:d (fun () -> net_deliver st ns ent r i))
+    snt.Net.sn_delays
+
 let rec dispatch st (r : 'a Admission.request) =
   let ent = entry st r.Admission.rq_id in
   let now_us = Event_loop.now st.loop in
   match select st ~now_us with
-  | None -> Queue.push r st.pending
+  | None ->
+    Queue.push r st.pending;
+    (* With every usable target gone, parked work needs link probes to
+       ever drain again: rekick the probe loop of each downed link. *)
+    (match st.net with
+    | Some ns ->
+      Array.iteri (fun i down -> if down then net_kick_probe st ns i) ns.unreachable
+    | None -> ())
   | Some (i, is_probe) ->
     if is_probe then st.stats.Stats.probes <- st.stats.Stats.probes + 1;
     ent.ent_home <- i;
-    (match Replica.enqueue st.replicas.(i) r with
-    | Replica.Admitted ->
-      if not ent.ent_deposited then begin
-        ent.ent_deposited <- true;
-        Replica.deposit_budget st.replicas.(i)
-      end
-    | Replica.Shed_queue -> copy_lost st ent ~terminal:`Shed
-    | Replica.Shed_limit -> copy_lost st ent ~terminal:`Limit)
+    (match st.net with
+    | None -> (
+      match Replica.enqueue st.replicas.(i) r with
+      | Replica.Admitted ->
+        if not ent.ent_deposited then begin
+          ent.ent_deposited <- true;
+          Replica.deposit_budget st.replicas.(i)
+        end
+      | Replica.Shed_queue -> copy_lost st ent ~terminal:`Shed
+      | Replica.Shed_limit -> copy_lost st ent ~terminal:`Limit)
+    | Some ns -> net_dispatch st ns ent r i)
+
+(* Net-mode dispatch of the tracked (primary) copy to replica [i]:
+   deadline propagation first, then transmit and arm the per-attempt
+   timeout. Also the resend path — the attempt record persists across
+   sends of one cycle, and each send re-checks the deadline. *)
+and net_dispatch st ns (ent : 'a entry) (r : 'a Admission.request) i =
+  let id = r.Admission.rq_id in
+  let now_us = Event_loop.now st.loop in
+  let ewma = Net.ewma_us ns.nt in
+  match r.Admission.rq_deadline_us with
+  | Some dl when ewma > 0.0 && now_us +. ewma > dl ->
+    (* Sender-side deadline propagation: the remaining budget cannot cover
+       even the observed one-way transit, so shed here instead of burning
+       link and replica capacity on a result nobody can use. *)
+    Hashtbl.remove ns.attempts id;
+    primary_lost st ent ~terminal:`Net
+  | _ ->
+    let at =
+      match Hashtbl.find_opt ns.attempts id with
+      | Some at -> at
+      | None ->
+        let at = { at_replica = i; at_no = 0 } in
+        Hashtbl.replace ns.attempts id at;
+        at
+    in
+    at.at_replica <- i;
+    at.at_no <- at.at_no + 1;
+    net_transmit st ns ent r i ~resend:(at.at_no > 1);
+    if ns.n_plan.Net.np_timeout_us > 0.0 then begin
+      let my_no = at.at_no in
+      Event_loop.schedule_after st.loop ~delay:ns.n_plan.Net.np_timeout_us (fun () ->
+          net_timeout st ns ent r my_no)
+    end
+
+(* One attempt cycle is spent: fall back to the cluster's requeue
+   discipline (budgeted re-dispatch, parked when nowhere is healthy), so
+   termination survives even a fully-lossy link. *)
+and net_requeue st ns (ent : 'a entry) (r : 'a Admission.request) ~from =
+  Hashtbl.remove ns.attempts r.Admission.rq_id;
+  ent.ent_requeues <- ent.ent_requeues + 1;
+  if ent.ent_requeues > st.cfg.c_requeue_budget then
+    primary_lost st ent ~terminal:`Budget
+  else begin
+    st.stats.Stats.requeued <- st.stats.Stats.requeued + 1;
+    Trace.instant st.tracer ~name:"requeue" ~cat:"cluster" ~pid:0
+      ~tid:(Server.req_tid r.Admission.rq_id)
+      ~ts_us:(Event_loop.now st.loop)
+      ~args:[ "id", Json.Int r.Admission.rq_id; "from", Json.Int from ];
+    dispatch st r
+  end
+
+(* The per-attempt timeout fired. Stale if the request resolved or a later
+   send already bumped the attempt number (the sender-side fence); live
+   silence feeds the link-health counter and triggers an epoch-consistent
+   resend — same replica while it looks reachable, else re-selection. *)
+and net_timeout st ns (ent : 'a entry) (r : 'a Admission.request) my_no =
+  match Hashtbl.find_opt ns.attempts r.Admission.rq_id with
+  | None -> ()
+  | Some at when at.at_no <> my_no || ent.ent_done -> ()
+  | Some at ->
+    let i = at.at_replica in
+    st.stats.Stats.net_timeouts <- st.stats.Stats.net_timeouts + 1;
+    net_trace st ~name:"net_timeout" ~replica:i r.Admission.rq_id;
+    ns.consec_timeouts.(i) <- ns.consec_timeouts.(i) + 1;
+    if ns.consec_timeouts.(i) >= link_down_threshold && not ns.unreachable.(i) then
+      net_link_down st ns i;
+    if at.at_no > ns.n_plan.Net.np_resends then net_requeue st ns ent r ~from:i
+    else begin
+      match ns.n_budget with
+      | Some b when not (Budget.try_spend b 1) ->
+        (* Resends compose with the retry budget: when the bucket is dry,
+           the resend converts into a counted shed (DESIGN.md §13). *)
+        Hashtbl.remove ns.attempts r.Admission.rq_id;
+        primary_lost st ent ~terminal:`Retry_budget
+      | _ ->
+        if link_up st i && Replica.health st.replicas.(i) = Replica.Up then
+          net_dispatch st ns ent r i
+        else net_requeue st ns ent r ~from:i
+    end
+
+(* Consecutive timeouts declared the link dead (a partition is
+   indistinguishable from a dead replica). Routing already skips it via
+   [link_up]; a probe loop (ping across the faulty link, pong back) heals
+   it, and a configured partition window gets one forced probe at its heal
+   time so the link re-admits even with no request traffic outstanding. *)
+and net_link_down st ns i =
+  ns.unreachable.(i) <- true;
+  st.stats.Stats.net_link_downs <- st.stats.Stats.net_link_downs + 1;
+  link_trace st ~name:"net_link_down" i;
+  net_kick_probe st ns i;
+  match Net.partition_window ns.n_plan with
+  | Some (_, t1) when t1 > Event_loop.now st.loop ->
+    Event_loop.schedule st.loop ~at:t1 (fun () -> net_force_probe st ns i)
+  | _ -> ()
+
+and net_kick_probe st ns i =
+  if ns.unreachable.(i) && not ns.probing.(i) then begin
+    ns.probing.(i) <- true;
+    net_probe st ns i ~force:false
+  end
+
+and net_force_probe st ns i =
+  if ns.unreachable.(i) then begin
+    ns.probing.(i) <- true;
+    net_probe st ns i ~force:true
+  end
+
+(* One probe round: a ping across the send link, a pong across the return
+   link; both surviving heals the link. The loop parks itself when no
+   request work is outstanding ([dispatch] rekicks it when parked work
+   appears), so the event loop always drains. *)
+and net_probe st ns i ~force =
+  if not ns.unreachable.(i) then ns.probing.(i) <- false
+  else if (not force) && Queue.is_empty st.pending && Hashtbl.length ns.attempts = 0
+  then ns.probing.(i) <- false
+  else begin
+    let now_us = Event_loop.now st.loop in
+    let n = Array.length st.replicas in
+    st.stats.Stats.net_probes <- st.stats.Stats.net_probes + 1;
+    link_trace st ~name:"net_probe" i;
+    let retry () =
+      Event_loop.schedule_after st.loop ~delay:ns.n_plan.Net.np_timeout_us (fun () ->
+          net_probe st ns i ~force:false)
+    in
+    let snt = Net.send ns.nt ~now_us ~replica:i ~n in
+    match snt.Net.sn_delays with
+    | [] -> retry ()
+    | d :: _ ->
+      Event_loop.schedule_after st.loop ~delay:d (fun () ->
+          match Net.recv ns.nt ~now_us:(Event_loop.now st.loop) ~replica:i ~n with
+          | Net.Recv_deliver d' ->
+            Event_loop.schedule_after st.loop ~delay:d' (fun () -> net_heal st ns i)
+          | _ -> retry ())
+  end
+
+(* A probe round-trip survived: the link is usable again. Parked work
+   re-admits through [drain_pending] — the same path replica probes use —
+   so nothing requeued is duplicated. *)
+and net_heal st ns i =
+  if ns.unreachable.(i) then begin
+    ns.unreachable.(i) <- false;
+    ns.consec_timeouts.(i) <- 0;
+    ns.probing.(i) <- false;
+    st.stats.Stats.net_heals <- st.stats.Stats.net_heals + 1;
+    link_trace st ~name:"net_heal" i;
+    drain_pending st
+  end
 
 (* Drain the parked queue once a dispatch target (re)appeared. Taking a
    snapshot first keeps this loop-free: a re-parked request goes back to
@@ -264,12 +661,19 @@ let maybe_hedge st (ent : 'a entry) =
         ~ts_us:now_us
         ~args:
           [ "id", Json.Int ent.ent_req.Admission.rq_id; "replica", Json.Int i ];
-      (match Replica.enqueue st.replicas.(i) ent.ent_req with
-      | Replica.Admitted -> ()
-      (* The hedge target shed it; the primary copy is still live, so
-         this never terminates the request. *)
-      | Replica.Shed_queue -> copy_lost st ent ~terminal:`Shed
-      | Replica.Shed_limit -> copy_lost st ent ~terminal:`Limit)
+      (match st.net with
+      | None -> (
+        match Replica.enqueue st.replicas.(i) ent.ent_req with
+        | Replica.Admitted -> ()
+        (* The hedge target shed it; the primary copy is still live, so
+           this never terminates the request. *)
+        | Replica.Shed_queue -> copy_lost st ent ~terminal:`Shed
+        | Replica.Shed_limit -> copy_lost st ent ~terminal:`Limit)
+      | Some ns ->
+        (* Hedge copies ride the link untracked: the primary's timeout is
+           their recovery path, and the receiver's idempotency window
+           filters if both eventually land on one replica. *)
+        net_transmit st ns ent ent.ent_req i ~resend:false)
   end
 
 (* --- Replica callbacks: every copy-level event funnels through here --- *)
@@ -282,14 +686,8 @@ let on_completed st ~replica (batch : 'a Admission.request list) ~size ~start_us
       let ent = entry st r.Admission.rq_id in
       if not ent.ent_done then begin
         ent.ent_done <- true;
-        Stats.record st.stats
-          {
-            Stats.r_id = r.Admission.rq_id;
-            r_arrival_us = r.Admission.rq_arrival_us;
-            r_start_us = start_us;
-            r_done_us = done_us;
-            r_batch_size = size;
-          };
+        Stats.record_fields st.stats ~id:r.Admission.rq_id
+          ~arrival_us:r.Admission.rq_arrival_us ~start_us ~done_us ~batch_size:size;
         record_latency st (done_us -. r.Admission.rq_arrival_us);
         Trace.instant st.tracer ~name:"done" ~cat:"request" ~pid:0
           ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:done_us
@@ -301,6 +699,26 @@ let on_completed st ~replica (batch : 'a Admission.request list) ~size ~start_us
         (* The other copy already won; this execution was duplicated work. *)
         st.stats.Stats.hedge_wasted <- st.stats.Stats.hedge_wasted + 1;
       ent.ent_copies <- ent.ent_copies - 1)
+    batch
+
+(* Net-mode completion: the replica finished a batch. Each result is
+   remembered in the idempotency window (so duplicate deliveries re-ack it)
+   and put on the return link; the request resolves only when its ack
+   lands at the dispatcher — see [deliver_ack]. *)
+let net_on_completed st ns ~replica (batch : 'a Admission.request list) ~size ~start_us
+    ~done_us =
+  let ep = Replica.epoch st.replicas.(replica) in
+  List.iter
+    (fun (r : 'a Admission.request) ->
+      let ent = entry st r.Admission.rq_id in
+      if ns.n_plan.Net.np_dedup then
+        Net.Dedup.note ns.dedups.(replica)
+          (r.Admission.rq_id, ep)
+          (Dd_done { di_size = size; di_start_us = start_us; di_done_us = done_us });
+      if ent.ent_done && ent.ent_hedged then
+        st.stats.Stats.hedge_wasted <- st.stats.Stats.hedge_wasted + 1;
+      send_ack st ns ~replica ent ~di_size:size ~di_start_us:start_us
+        ~di_done_us:done_us)
     batch
 
 let on_cancelled st ~replica:_ (r : 'a Admission.request) =
@@ -396,6 +814,11 @@ let on_arrival st (r : 'a Admission.request) =
     }
   in
   Hashtbl.replace st.entries r.Admission.rq_id ent;
+  (* Fresh admission credits the dispatcher-side resend budget, mirroring
+     the replica-side deposit discipline (once per logical request). *)
+  (match st.net with
+  | Some { n_budget = Some b; _ } -> Budget.deposit b
+  | _ -> ());
   Trace.instant st.tracer ~name:"admit" ~cat:"request" ~pid:0
     ~tid:(Server.req_tid r.Admission.rq_id)
     ~ts_us:(Event_loop.now st.loop)
@@ -436,12 +859,42 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
   if cfg.c_replicas <= 0 then
     Fmt.invalid_arg "Cluster.simulate: replicas must be positive";
   let loop = Event_loop.create (Clock.create ()) in
+  let net_armed =
+    match cfg.c_net with Some plan -> Net.enabled plan | None -> false
+  in
   if Trace.enabled tracer then begin
     Trace.name_process tracer ~pid:0 ~name:"dispatcher";
     for i = 0 to cfg.c_replicas - 1 do
       Trace.name_process tracer ~pid:(i + 1) ~name:(Fmt.str "replica %d" i)
-    done
+    done;
+    if net_armed then
+      for i = 0 to cfg.c_replicas - 1 do
+        Trace.name_process tracer
+          ~pid:(Net.link_pid ~n:cfg.c_replicas ~replica:i)
+          ~name:(Fmt.str "link %d" i)
+      done
   end;
+  let net =
+    match cfg.c_net with
+    | Some plan when Net.enabled plan ->
+      Some
+        {
+          nt = Net.create plan;
+          n_plan = plan;
+          dedups =
+            Array.init cfg.c_replicas (fun _ ->
+                Net.Dedup.create ~capacity:plan.Net.np_window);
+          attempts = Hashtbl.create 256;
+          unreachable = Array.make cfg.c_replicas false;
+          consec_timeouts = Array.make cfg.c_replicas 0;
+          probing = Array.make cfg.c_replicas false;
+          n_budget =
+            Option.map
+              (fun frac -> Budget.create ~frac)
+              cfg.c_server.Server.resilience.Resilience.rs_retry_budget;
+        }
+    | _ -> None
+  in
   let st =
     {
       cfg;
@@ -455,13 +908,16 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
       lat_count = 0;
       lat_idx = 0;
       tracer;
+      net;
     }
   in
   let cb =
     {
       Replica.cb_live = on_live st;
       cb_completed = (fun ~replica batch ~size ~start_us ~done_us ->
-        on_completed st ~replica batch ~size ~start_us ~done_us);
+        match st.net with
+        | None -> on_completed st ~replica batch ~size ~start_us ~done_us
+        | Some ns -> net_on_completed st ns ~replica batch ~size ~start_us ~done_us);
       cb_cancelled = (fun ~replica r -> on_cancelled st ~replica r);
       cb_expired = (fun ~replica rs -> on_expired st ~replica rs);
       cb_retry_shed = (fun ~replica rs -> on_retry_shed st ~replica rs);
@@ -506,7 +962,9 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
   Queue.iter
     (fun (r : 'a Admission.request) ->
       let ent = entry st r.Admission.rq_id in
-      if ent.ent_done then copy_cancelled st ent else copy_lost st ent ~terminal:`Budget)
+      if ent.ent_done then copy_cancelled st ent
+      else if st.net <> None then primary_lost st ent ~terminal:`Budget
+      else copy_lost st ent ~terminal:`Budget)
     st.pending;
   Queue.clear st.pending;
   let end_us = Event_loop.now loop in

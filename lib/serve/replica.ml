@@ -341,13 +341,16 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
   let tol = t.config.Server.tolerance in
   let epoch = t.epoch in
   let guard f () = if t.epoch = epoch then f () in
+  (* Extract payloads once per resolution, not per retry attempt (the
+     batch is fixed for the whole retry/backoff cycle). *)
+  let payloads = List.map (fun (r : _ Admission.request) -> r.Admission.rq_payload) batch in
   let rec attempt ~retries_left ~backoff_us () =
     let now_us = Event_loop.now t.loop in
     let degraded = t.degraded || browned_out t in
     (* Anchor the executor's fresh per-batch device clock at this attempt's
        launch time, on this replica's pid. *)
     Trace.set_context t.tracer ~pid:(trace_pid t) ~tid:0 ~base_us:now_us;
-    match t.execute ~degraded (List.map (fun r -> r.Admission.rq_payload) batch) with
+    match t.execute ~degraded payloads with
     | Server.Exec_ok outcome ->
       let size = List.length batch in
       let done_us = now_us +. Float.max 0.0 outcome.Server.ex_latency_us in
@@ -383,14 +386,9 @@ and resolve (t : 'a t) (batch : 'a Admission.request list) ~(k : unit -> unit) =
               ~cat:"integrity" ~pid:(trace_pid t)
               ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:done_us
               ~args:[ "id", Json.Int r.Admission.rq_id ];
-          Stats.record t.stats
-            {
-              Stats.r_id = r.Admission.rq_id;
-              r_arrival_us = r.Admission.rq_arrival_us;
-              r_start_us = now_us;
-              r_done_us = done_us +. d.Server.ad_extra_us;
-              r_batch_size = size;
-            };
+          Stats.record_fields t.stats ~id:r.Admission.rq_id
+            ~arrival_us:r.Admission.rq_arrival_us ~start_us:now_us
+            ~done_us:(done_us +. d.Server.ad_extra_us) ~batch_size:size;
           Trace.complete t.tracer ~name:"queue" ~cat:"request" ~pid:(trace_pid t)
             ~tid:(Server.req_tid r.Admission.rq_id) ~ts_us:r.Admission.rq_arrival_us
             ~dur_us:(now_us -. r.Admission.rq_arrival_us))

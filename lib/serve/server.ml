@@ -368,13 +368,17 @@ and flush (st : 'a state) ~now_us ~limit =
 and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> unit) =
   let tol = st.config.tolerance in
   let wake () = maybe_launch st in
+  (* Extract payloads once per resolution, not per retry attempt: the
+     batch is fixed for the whole retry/backoff cycle, so re-mapping it
+     on every attempt only allocated garbage on the failure path. *)
+  let payloads = List.map (fun (r : _ Admission.request) -> r.Admission.rq_payload) batch in
   let rec attempt ~retries_left ~backoff_us () =
     let now_us = Event_loop.now st.loop in
     let degraded = st.degraded || browned_out st in
     (* The executor builds a fresh device whose profiler clock starts at
        zero; anchor its trace spans at this attempt's launch time. *)
     Trace.set_context st.tracer ~tid:0 ~base_us:now_us;
-    match st.execute ~degraded (List.map (fun r -> r.Admission.rq_payload) batch) with
+    match st.execute ~degraded payloads with
     | Exec_ok outcome ->
       let size = List.length batch in
       let done_us = now_us +. Float.max 0.0 outcome.ex_latency_us in
@@ -404,14 +408,9 @@ and resolve (st : 'a state) (batch : 'a Admission.request list) ~(k : unit -> un
               ~name:(if d.ad_clean then "audit_ok" else "audit_mismatch")
               ~cat:"integrity" ~tid:(req_tid r.Admission.rq_id) ~ts_us:done_us
               ~args:[ "id", Json.Int r.Admission.rq_id ];
-          Stats.record st.stats
-            {
-              Stats.r_id = r.Admission.rq_id;
-              r_arrival_us = r.Admission.rq_arrival_us;
-              r_start_us = now_us;
-              r_done_us;
-              r_batch_size = size;
-            };
+          Stats.record_fields st.stats ~id:r.Admission.rq_id
+            ~arrival_us:r.Admission.rq_arrival_us ~start_us:now_us ~done_us:r_done_us
+            ~batch_size:size;
           Trace.complete st.tracer ~name:"queue" ~cat:"request"
             ~tid:(req_tid r.Admission.rq_id) ~ts_us:r.Admission.rq_arrival_us
             ~dur_us:(now_us -. r.Admission.rq_arrival_us);

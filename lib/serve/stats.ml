@@ -125,6 +125,32 @@ type t = {
   mutable quarantines : int;  (** Replicas quarantined on corruption evidence. *)
   mutable quarantine_restores : int;
       (** Quarantined replicas re-admitted after clean audited probes. *)
+  (* Network fault-domain accounting (lib/net); all zero unless a net plan
+     is armed, so direct-call runs stay byte-stable. The counters are laid
+     out so the chaos conservation oracles close from the summary alone:
+     [sends = partition_drops + drops + (deliveries - dups)] on the request
+     link, [deliveries = fresh + dedup_hits] at the replica ingress, and
+     [acks = ack_deliveries + ack_drops + gray_drops] on the return link. *)
+  mutable net_sends : int;  (** Logical request sends entering the link (incl. resends). *)
+  mutable net_resends : int;  (** Timeout-driven retransmissions (subset of sends). *)
+  mutable net_dups : int;  (** Extra delivered copies beyond each send's first. *)
+  mutable net_drops : int;  (** Request sends lost to random loss. *)
+  mutable net_partition_drops : int;  (** Request sends blocked by an active partition. *)
+  mutable net_deliveries : int;  (** Request copies that reached a replica. *)
+  mutable net_fresh : int;  (** Deliveries handed to the replica (not deduped). *)
+  mutable net_dedup_hits : int;  (** Deliveries filtered by the idempotency window. *)
+  mutable net_acks : int;  (** Completions entering the return link. *)
+  mutable net_ack_drops : int;  (** Completions lost (random loss or partition). *)
+  mutable net_gray_drops : int;  (** Completions lost to the gray link. *)
+  mutable net_ack_deliveries : int;  (** Completions that reached the dispatcher. *)
+  mutable net_timeouts : int;  (** Per-attempt timeouts that fired live. *)
+  mutable net_shed : int;
+      (** Requests shed at the sender because the remaining deadline budget
+          could not cover the observed one-way delay EWMA — a terminal
+          (joins offered/drop-rate conservation). *)
+  mutable net_link_downs : int;  (** Links declared unreachable on consecutive timeouts. *)
+  mutable net_heals : int;  (** Unreachable links restored by a probe round-trip. *)
+  mutable net_probes : int;  (** Link-probe messages issued while unreachable. *)
 }
 
 let create () =
@@ -177,6 +203,23 @@ let create () =
     audit_mismatches = 0;
     quarantines = 0;
     quarantine_restores = 0;
+    net_sends = 0;
+    net_resends = 0;
+    net_dups = 0;
+    net_drops = 0;
+    net_partition_drops = 0;
+    net_deliveries = 0;
+    net_fresh = 0;
+    net_dedup_hits = 0;
+    net_acks = 0;
+    net_ack_drops = 0;
+    net_gray_drops = 0;
+    net_ack_deliveries = 0;
+    net_timeouts = 0;
+    net_shed = 0;
+    net_link_downs = 0;
+    net_heals = 0;
+    net_probes = 0;
   }
 
 let streaming_active t = t.streaming
@@ -184,14 +227,16 @@ let streaming_active t = t.streaming
 (* Absorb one completion into the streaming accumulators. [i] is the
    0-based completion index — also the Algorithm-R sample count, so the
    reservoir's RNG consumption depends only on the index sequence, never
-   on when the exact→streaming conversion fired. *)
-let stream_absorb t i (r : record) =
-  if i = 0 then t.st_first_arrival_us <- r.r_arrival_us;
-  if r.r_done_us > t.st_last_done_us then t.st_last_done_us <- r.r_done_us;
-  let lat = (r.r_done_us -. r.r_arrival_us) /. 1000.0 in
+   on when the exact→streaming conversion fired. Takes bare fields so the
+   hot path ({!record_fields}) never allocates a [record] in streaming
+   mode. *)
+let stream_absorb_fields t i ~arrival_us ~start_us ~done_us =
+  if i = 0 then t.st_first_arrival_us <- arrival_us;
+  if done_us > t.st_last_done_us then t.st_last_done_us <- done_us;
+  let lat = (done_us -. arrival_us) /. 1000.0 in
   t.st_sum_latency_ms <- t.st_sum_latency_ms +. lat;
-  t.st_sum_queue_ms <- t.st_sum_queue_ms +. ((r.r_start_us -. r.r_arrival_us) /. 1000.0);
-  t.st_sum_compute_ms <- t.st_sum_compute_ms +. ((r.r_done_us -. r.r_start_us) /. 1000.0);
+  t.st_sum_queue_ms <- t.st_sum_queue_ms +. ((start_us -. arrival_us) /. 1000.0);
+  t.st_sum_compute_ms <- t.st_sum_compute_ms +. ((done_us -. start_us) /. 1000.0);
   if t.reservoir_len < reservoir_capacity then begin
     t.reservoir.(t.reservoir_len) <- lat;
     t.reservoir_len <- t.reservoir_len + 1
@@ -200,6 +245,10 @@ let stream_absorb t i (r : record) =
     let j = Rng.int t.res_rng (i + 1) in
     if j < reservoir_capacity then t.reservoir.(j) <- lat
   end
+
+let stream_absorb t i (r : record) =
+  stream_absorb_fields t i ~arrival_us:r.r_arrival_us ~start_us:r.r_start_us
+    ~done_us:r.r_done_us
 
 (* One-time exact→streaming conversion: replay the retained records in
    completion order, then drop them. *)
@@ -214,16 +263,34 @@ let convert_to_streaming t =
   t.records <- [];
   t.streaming <- true
 
-let record t r =
+(** Record one completion from bare fields — the allocation-free hot
+    path. In streaming mode (the regime million-request runs live in) no
+    [record] is ever built; in exact mode one is, because retention for
+    exact percentiles requires it. Complete paths in [Server], [Cluster]
+    and the tenancy dispatcher call this instead of boxing a [record]
+    per request (ROADMAP §1 hot-path follow-up). *)
+let record_fields t ~id ~arrival_us ~start_us ~done_us ~batch_size =
   if t.streaming then begin
-    stream_absorb t t.n_records r;
+    stream_absorb_fields t t.n_records ~arrival_us ~start_us ~done_us;
     t.n_records <- t.n_records + 1
   end
   else begin
-    t.records <- r :: t.records;
+    t.records <-
+      {
+        r_id = id;
+        r_arrival_us = arrival_us;
+        r_start_us = start_us;
+        r_done_us = done_us;
+        r_batch_size = batch_size;
+      }
+      :: t.records;
     t.n_records <- t.n_records + 1;
     if t.n_records > !streaming_threshold then convert_to_streaming t
   end
+
+let record t (r : record) =
+  record_fields t ~id:r.r_id ~arrival_us:r.r_arrival_us ~start_us:r.r_start_us
+    ~done_us:r.r_done_us ~batch_size:r.r_batch_size
 
 let note_batch t ~size ~profiler =
   t.batches <- t.batches + 1;
@@ -308,6 +375,25 @@ type summary = {
   s_audit_mismatches : int;  (** Audits that caught a corrupted result. *)
   s_quarantines : int;  (** Replicas quarantined on corruption evidence. *)
   s_quarantine_restores : int;  (** Quarantined replicas re-admitted. *)
+  (* Network block; all zero (and omitted from output) unless a net plan
+     is armed, so direct-call output stays byte-stable. *)
+  s_net_sends : int;
+  s_net_resends : int;
+  s_net_dups : int;
+  s_net_drops : int;
+  s_net_partition_drops : int;
+  s_net_deliveries : int;
+  s_net_fresh : int;
+  s_net_dedup_hits : int;
+  s_net_acks : int;
+  s_net_ack_drops : int;
+  s_net_gray_drops : int;
+  s_net_ack_deliveries : int;
+  s_net_timeouts : int;
+  s_net_shed : int;  (** Sender-side deadline sheds (terminal). *)
+  s_net_link_downs : int;
+  s_net_heals : int;
+  s_net_probes : int;
 }
 
 (** Availability: the fraction of offered requests actually answered. *)
@@ -336,6 +422,11 @@ let resilience_active (s : summary) =
 let integrity_active (s : summary) =
   s.s_corrupted_batches > 0 || s.s_corrupted_delivered > 0 || s.s_audits > 0
   || s.s_audit_mismatches > 0 || s.s_quarantines > 0 || s.s_quarantine_restores > 0
+
+(** True when the network fault domain carried any traffic. *)
+let net_active (s : summary) =
+  s.s_net_sends > 0 || s.s_net_acks > 0 || s.s_net_shed > 0 || s.s_net_timeouts > 0
+  || s.s_net_probes > 0
 
 (** Fraction of completions that met their SLO deadline (1 when nothing
     completed — an empty stream violated nothing). *)
@@ -404,7 +495,7 @@ let summarize (t : t) : summary =
   {
     s_offered =
       n + t.shed + t.expired + t.poisoned + t.breaker_shed + t.quota_shed
-      + t.limit_shed + t.retry_shed;
+      + t.limit_shed + t.retry_shed + t.net_shed;
     s_completed = n;
     s_shed = t.shed;
     s_expired = t.expired;
@@ -451,6 +542,23 @@ let summarize (t : t) : summary =
     s_audit_mismatches = t.audit_mismatches;
     s_quarantines = t.quarantines;
     s_quarantine_restores = t.quarantine_restores;
+    s_net_sends = t.net_sends;
+    s_net_resends = t.net_resends;
+    s_net_dups = t.net_dups;
+    s_net_drops = t.net_drops;
+    s_net_partition_drops = t.net_partition_drops;
+    s_net_deliveries = t.net_deliveries;
+    s_net_fresh = t.net_fresh;
+    s_net_dedup_hits = t.net_dedup_hits;
+    s_net_acks = t.net_acks;
+    s_net_ack_drops = t.net_ack_drops;
+    s_net_gray_drops = t.net_gray_drops;
+    s_net_ack_deliveries = t.net_ack_deliveries;
+    s_net_timeouts = t.net_timeouts;
+    s_net_shed = t.net_shed;
+    s_net_link_downs = t.net_link_downs;
+    s_net_heals = t.net_heals;
+    s_net_probes = t.net_probes;
   }
 
 let drop_rate (s : summary) =
@@ -458,7 +566,7 @@ let drop_rate (s : summary) =
   else
     float_of_int
       (s.s_shed + s.s_expired + s.s_poisoned + s.s_breaker_shed + s.s_quota_shed
-      + s.s_limit_shed + s.s_retry_shed)
+      + s.s_limit_shed + s.s_retry_shed + s.s_net_shed)
     /. float_of_int s.s_offered
 
 (* The fault block is emitted only when the machinery engaged: a fault-free
@@ -545,11 +653,34 @@ let summary_to_json (s : summary) : Json.t =
         "quarantine_restores", Json.Int s.s_quarantine_restores;
       ]
   in
+  let net =
+    if not (net_active s) then []
+    else
+      [
+        "net_sends", Json.Int s.s_net_sends;
+        "net_resends", Json.Int s.s_net_resends;
+        "net_dups", Json.Int s.s_net_dups;
+        "net_drops", Json.Int s.s_net_drops;
+        "net_partition_drops", Json.Int s.s_net_partition_drops;
+        "net_deliveries", Json.Int s.s_net_deliveries;
+        "net_fresh", Json.Int s.s_net_fresh;
+        "net_dedup_hits", Json.Int s.s_net_dedup_hits;
+        "net_acks", Json.Int s.s_net_acks;
+        "net_ack_drops", Json.Int s.s_net_ack_drops;
+        "net_gray_drops", Json.Int s.s_net_gray_drops;
+        "net_ack_deliveries", Json.Int s.s_net_ack_deliveries;
+        "net_timeouts", Json.Int s.s_net_timeouts;
+        "net_shed", Json.Int s.s_net_shed;
+        "net_link_downs", Json.Int s.s_net_link_downs;
+        "net_heals", Json.Int s.s_net_heals;
+        "net_probes", Json.Int s.s_net_probes;
+      ]
+  in
   let anomalies =
     if s.s_clamped_schedules = 0 then []
     else [ "clamped_schedules", Json.Int s.s_clamped_schedules ]
   in
-  Json.Obj (base @ faults @ cluster @ tenancy @ resilience @ integrity @ anomalies)
+  Json.Obj (base @ faults @ cluster @ tenancy @ resilience @ integrity @ net @ anomalies)
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
@@ -593,6 +724,16 @@ let pp_summary ppf (s : summary) =
        audit mismatches   %8d@,quarantines        %8d@,quarantine restores%8d"
       s.s_corrupted_batches s.s_corrupted_delivered s.s_audits s.s_audit_mismatches
       s.s_quarantines s.s_quarantine_restores;
+  if net_active s then
+    Fmt.pf ppf
+      "@,net sends          %8d@,net resends        %8d@,net dups delivered %8d@,\
+       net drops          %8d@,net partition drops%8d@,net deliveries     %8d@,\
+       net dedup hits     %8d@,net acks lost      %8d@,net gray losses    %8d@,\
+       net timeouts       %8d@,net deadline shed  %8d@,net link downs     %8d@,\
+       net heals          %8d"
+      s.s_net_sends s.s_net_resends s.s_net_dups s.s_net_drops s.s_net_partition_drops
+      s.s_net_deliveries s.s_net_dedup_hits s.s_net_ack_drops s.s_net_gray_drops
+      s.s_net_timeouts s.s_net_shed s.s_net_link_downs s.s_net_heals;
   if s.s_clamped_schedules > 0 then
     Fmt.pf ppf "@,clamped schedules  %8d  (scheduling bug?)" s.s_clamped_schedules;
   Fmt.pf ppf "@]"
@@ -642,5 +783,28 @@ let to_metrics (t : t) (m : Acrobat_obs.Metrics.t) =
       "quarantines", s.s_quarantines;
       "quarantine_restores", s.s_quarantine_restores;
     ];
+    (* Net counters appear only when the net layer carried traffic, so
+       metrics snapshots from direct-call runs keep their exact key set. *)
+    if net_active s then
+      Acrobat_obs.Metrics.set_counters m "serve."
+        [
+          "net_sends", s.s_net_sends;
+          "net_resends", s.s_net_resends;
+          "net_dups", s.s_net_dups;
+          "net_drops", s.s_net_drops;
+          "net_partition_drops", s.s_net_partition_drops;
+          "net_deliveries", s.s_net_deliveries;
+          "net_fresh", s.s_net_fresh;
+          "net_dedup_hits", s.s_net_dedup_hits;
+          "net_acks", s.s_net_acks;
+          "net_ack_drops", s.s_net_ack_drops;
+          "net_gray_drops", s.s_net_gray_drops;
+          "net_ack_deliveries", s.s_net_ack_deliveries;
+          "net_timeouts", s.s_net_timeouts;
+          "net_shed", s.s_net_shed;
+          "net_link_downs", s.s_net_link_downs;
+          "net_heals", s.s_net_heals;
+          "net_probes", s.s_net_probes;
+        ];
     Profiler.to_metrics t.profiler m
   end

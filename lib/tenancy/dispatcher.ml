@@ -71,6 +71,7 @@ module Replica = Acrobat_serve.Replica
 module Resilience = Acrobat_resilience.Policy
 module Budget = Acrobat_resilience.Budget
 module Limiter = Acrobat_resilience.Limiter
+module Net = Acrobat_net.Net
 
 type config = {
   t_server : Server.config;
@@ -85,6 +86,13 @@ type config = {
   t_hedge_percentile : float option;
       (** Duplicate a still-unresolved request after this percentile of
           recent completion latency; [None] disables hedging. *)
+  t_net : Net.plan option;
+      (** Network fault plan; only the partition window applies here. The
+          elastic dispatcher models a partitioned replica as scheduler-
+          invisible unavailability (no per-message transport, zero RNG
+          draws), so a partitioned device is indistinguishable from a dead
+          one until the cut heals and a scheduled pass re-admits it. The
+          per-message lossy transport lives in {!Acrobat_serve.Cluster}. *)
 }
 
 let default_config =
@@ -94,6 +102,7 @@ let default_config =
     t_swap_cost = Cost_model.default;
     t_resilience = Resilience.off;
     t_hedge_percentile = None;
+    t_net = None;
   }
 
 (* --- Replica pool --- *)
@@ -116,6 +125,9 @@ type replica = {
   rp_rng : Rng.t;  (** Retry-backoff jitter; drawn only on failures. *)
   rp_audit_rng : Rng.t;  (** Audit sampling; drawn only when an auditor is armed. *)
   mutable rp_corrupt_score : float;  (** EWMA over audit verdicts (1 = dirty). *)
+  mutable rp_net_cut : bool;
+      (** Inside the net plan's partition window (edge-tracked so link-down
+          and heal are counted once per window). Always false without a plan. *)
 }
 
 let rp_pid rp = rp.rp_id + 1
@@ -237,6 +249,35 @@ let drop_expired st (ts : 'a tstate) ~ts_us dropped =
 
 (* --- Launch path --- *)
 
+(* Partition-aware reachability. With a net plan armed, a replica inside
+   the plan's partition window is skipped by the scheduler exactly as a
+   dead device would be; the launch pass at the heal instant (scheduled in
+   [simulate]) re-admits it. Edge transitions feed the net counters so a
+   window costs exactly one link-down and one heal per cut replica. No RNG
+   is drawn, so a plan without a partition clause leaves every schedule
+   byte-identical. *)
+let net_reachable st rp ~now =
+  match st.cfg.t_net with
+  | None -> true
+  | Some plan ->
+    let n = Array.length st.replicas in
+    let cut = Net.partitioned plan ~replica:rp.rp_id ~n ~now_us:now in
+    if cut && not rp.rp_net_cut then begin
+      rp.rp_net_cut <- true;
+      st.stats.Stats.net_link_downs <- st.stats.Stats.net_link_downs + 1;
+      Trace.instant st.tracer ~name:"net_link_down" ~cat:"net" ~pid:(rp_pid rp)
+        ~tid:0 ~ts_us:now
+        ~args:[ "replica", Json.Int rp.rp_id ]
+    end
+    else if (not cut) && rp.rp_net_cut then begin
+      rp.rp_net_cut <- false;
+      st.stats.Stats.net_heals <- st.stats.Stats.net_heals + 1;
+      Trace.instant st.tracer ~name:"net_heal" ~cat:"net" ~pid:(rp_pid rp) ~tid:0
+        ~ts_us:now
+        ~args:[ "replica", Json.Int rp.rp_id ]
+    end;
+    not cut
+
 let new_replica st ~ready_us =
   let id = Array.length st.replicas in
   let rp =
@@ -257,6 +298,7 @@ let new_replica st ~ready_us =
           | Some a -> a.Server.au_seed + (id * 104729)
           | None -> 0);
       rp_corrupt_score = 0.0;
+      rp_net_cut = false;
     }
   in
   st.replicas <- Array.append st.replicas [| rp |];
@@ -318,6 +360,11 @@ let fill_batch st ~lead ~model ~room ~now =
 let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~swap_us
     ~(k : unit -> unit) =
   let tol = st.cfg.t_server.Server.tolerance in
+  (* Extract payloads once per resolution, not per retry attempt (the
+     batch is fixed for the whole retry/backoff cycle). *)
+  let payloads =
+    List.map (fun ((_, r) : int * 'a Admission.request) -> r.Admission.rq_payload) batch
+  in
   let rec attempt ~swap_us ~retries_left ~backoff_us () =
     let now = now_us st in
     if swap_us > 0.0 then
@@ -327,7 +374,7 @@ let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~
         (attempt ~swap_us:0.0 ~retries_left ~backoff_us)
     else begin
       Trace.set_context st.tracer ~pid:(rp_pid rp) ~tid:0 ~base_us:now;
-      match st.execute rp.rp_id ~model (List.map (fun (_, r) -> r.Admission.rq_payload) batch) with
+      match st.execute rp.rp_id ~model payloads with
       | Server.Exec_ok outcome ->
         let size = List.length batch in
         let done_us = now +. Float.max 0.0 outcome.Server.ex_latency_us in
@@ -423,17 +470,12 @@ let rec resolve st rp (batch : (int * 'a Admission.request) list) ~lead ~model ~
             Server.note_delivery st.stats ~outcome d;
             Server.note_delivery ts.ts_stats ~outcome d;
             let r_done_us = done_us +. d.Server.ad_extra_us in
-            let rec_ =
-              {
-                Stats.r_id = r.Admission.rq_id;
-                r_arrival_us = r.Admission.rq_arrival_us;
-                r_start_us = now;
-                r_done_us;
-                r_batch_size = size;
-              }
-            in
-            Stats.record st.stats rec_;
-            Stats.record ts.ts_stats rec_;
+            Stats.record_fields st.stats ~id:r.Admission.rq_id
+              ~arrival_us:r.Admission.rq_arrival_us ~start_us:now
+              ~done_us:r_done_us ~batch_size:size;
+            Stats.record_fields ts.ts_stats ~id:r.Admission.rq_id
+              ~arrival_us:r.Admission.rq_arrival_us ~start_us:now
+              ~done_us:r_done_us ~batch_size:size;
             (match r.Admission.rq_deadline_us with
             | Some d when r_done_us > d -> ()
             | Some _ | None ->
@@ -666,12 +708,15 @@ and flush st rp ti ~now ~limit =
         end);
     true
 
-(* Offer every free, warmed-up, active replica to the tenants. *)
+(* Offer every free, warmed-up, active, reachable replica to the tenants. *)
 and pass st =
   Array.iter
     (fun rp ->
-      if rp.rp_state = Active && (not rp.rp_busy) && now_us st >= rp.rp_ready_us then
-        try_launch st rp)
+      if
+        rp.rp_state = Active && (not rp.rp_busy)
+        && now_us st >= rp.rp_ready_us
+        && net_reachable st rp ~now:(now_us st)
+      then try_launch st rp)
     st.replicas
 
 (* Audit-driven containment: a replica whose corruption score crosses the
@@ -1003,6 +1048,15 @@ let simulate ?(tracer = Trace.null) ?(metrics = Metrics.null)
   if cfg.t_autoscale.Autoscaler.as_max > cfg.t_autoscale.Autoscaler.as_min then
     Event_loop.schedule_after loop ~delay:cfg.t_autoscale.Autoscaler.as_interval_us
       (tick st);
+  (* A launch pass at the heal instant re-admits partitioned replicas even
+     when no completion or arrival lands right then. *)
+  (match cfg.t_net with
+  | Some plan -> (
+    Net.validate plan;
+    match Net.partition_window plan with
+    | Some (_, t1) -> Event_loop.schedule loop ~at:t1 (fun () -> pass st)
+    | None -> ())
+  | None -> ());
   if Metrics.enabled metrics then begin
     let rec snap () =
       Stats.to_metrics st.stats metrics;

@@ -9,6 +9,7 @@ module Scenario = Chaos.Scenario
 module Invariants = Chaos.Invariants
 module Shrink = Chaos.Shrink
 module Faults = Acrobat_device.Faults
+module Net = Acrobat_net.Net
 module Stats = Serve.Stats
 module Batcher = Serve.Batcher
 module Cluster = Serve.Cluster
@@ -61,6 +62,7 @@ let clean_scenario () =
     sc_tenancy = None;
     sc_resilience = Resilience.off;
     sc_audit = 0.0;
+    sc_net = None;
   }
 
 let healthy_input () =
@@ -77,6 +79,7 @@ let healthy_input () =
     in_brownout = None;
     in_peak_replicas = sc.Scenario.sc_replicas;
     in_audit_rate = sc.Scenario.sc_audit;
+    in_net = sc.Scenario.sc_net;
   }
 
 let violated input = Invariants.names (Invariants.check input)
@@ -320,6 +323,143 @@ let test_invariant_brownout_dwell () =
   check_true "lawful brownout timeline passes"
     (not (List.mem "brownout_dwell" (violated lawful)))
 
+(* --- Network fault dimension --- *)
+
+let find_net_scenario () =
+  let rec go i =
+    if i > 200 then Alcotest.fail "no net-armed scenario in 200 draws"
+    else
+      let sc = Scenario.generate ~campaign_seed:33 ~fault_prob:0.5 i in
+      if sc.Scenario.sc_net <> None then sc else go (i + 1)
+  in
+  go 0
+
+let test_net_scenario_repro () =
+  let sc = find_net_scenario () in
+  let cli = Scenario.to_cli sc in
+  check_true "net repro carries the transport plan" (contains cli " --net \"");
+  check_true "net repro pins the traffic seed"
+    (contains cli (Fmt.str "--seed %d" sc.Scenario.sc_seed));
+  (match sc.Scenario.sc_net with
+  | Some p ->
+    check_true "the emitted spec parses back to the drawn plan"
+      (Net.parse (Net.to_spec p) = p)
+  | None -> assert false);
+  let again = Scenario.generate ~campaign_seed:33 ~fault_prob:0.5 sc.Scenario.sc_index in
+  check_true "net-armed scenario regenerates identically" (sc = again)
+
+(* Healthy lossy-transport run: the oracle input carries the armed plan so
+   net_conservation / net_exactly_once / net_partition all engage. *)
+let net_input () =
+  let sc =
+    {
+      (clean_scenario ()) with
+      Scenario.sc_net =
+        Some (Net.parse "seed=5,delay=120:40,drop=0.08,dup=0.25,timeout=5000,resends=3");
+    }
+  in
+  let summary, tracer = Chaos.run_scenario sc in
+  {
+    (healthy_input ()) with
+    Invariants.in_summary = summary;
+    in_events = Trace.events tracer;
+    in_goodput_floor = 0.0;
+    in_net = sc.Scenario.sc_net;
+  }
+
+let test_invariant_net_oracles () =
+  let input = net_input () in
+  check_true "lossy run passes the net oracles" (violated input = []);
+  let s = input.Invariants.in_summary in
+  check_true "the transport actually lost and duplicated copies"
+    (s.Stats.s_net_drops > 0 && s.Stats.s_net_dups > 0 && s.Stats.s_net_dedup_hits > 0);
+  (* Tamper 1: a phantom wire copy breaks copy conservation. *)
+  let names =
+    violated
+      { input with Invariants.in_summary = { s with Stats.s_net_sends = s.Stats.s_net_sends + 1 } }
+  in
+  check_true "phantom wire copy trips net_conservation"
+    (List.mem "net_conservation" names);
+  (* Tamper 2: a delivery not accounted as fresh or dedup-absorbed. *)
+  let names =
+    violated
+      { input with
+        Invariants.in_summary =
+          { s with Stats.s_net_deliveries = s.Stats.s_net_deliveries + 1 } }
+  in
+  check_true "unaccounted delivery trips net_conservation"
+    (List.mem "net_conservation" names);
+  (* Tamper 3: replay an execution instant — the dedup window let the same
+     (request, replica, epoch) run twice. *)
+  let execs =
+    List.filter (fun e -> e.Trace.ev_name = "net_exec") input.Invariants.in_events
+  in
+  check_true "lossy run recorded executions" (execs <> []);
+  let names =
+    violated
+      { input with Invariants.in_events = input.Invariants.in_events @ [ List.hd execs ] }
+  in
+  check_true "double execution trips net_exactly_once"
+    (List.mem "net_exactly_once" names)
+
+let test_invariant_net_partition () =
+  let input = net_input () in
+  (* Re-arm the oracle with a plan that cuts replica 1 during [5ms, 20ms),
+     then forge a delivery landing on the cut link mid-window. *)
+  let plan = Net.parse "seed=1,delay=100,partition=5000:20000:1" in
+  let deliver ts =
+    {
+      Trace.ev_seq = 300_000;
+      ev_ph = 'i';
+      ev_name = "net_deliver";
+      ev_cat = "net";
+      ev_ts_us = ts;
+      ev_dur_us = 0.0;
+      ev_pid = input.Invariants.in_peak_replicas + 1 + 1;
+      ev_tid = 1;
+      ev_args = [];
+    }
+  in
+  (* Feed the oracle only the forged event: the base run predates the
+     partition plan, so its lawful deliveries to replica 1 would read as
+     mid-window traffic. Other oracles may complain about the gutted trace;
+     only the net_partition verdict is under test. *)
+  let with_event ts =
+    violated
+      { input with Invariants.in_net = Some plan; in_events = [ deliver ts ] }
+  in
+  check_true "mid-window delivery on the cut link trips net_partition"
+    (List.mem "net_partition" (with_event 10_000.0));
+  (* The window is half-open: landing exactly at the heal instant is lawful. *)
+  check_true "delivery at the heal instant is lawful"
+    (not (List.mem "net_partition" (with_event 20_000.0)))
+
+let test_net_campaign_holds () =
+  (* ISSUE acceptance: the exactly-once and conservation oracles hold over a
+     >= 200-scenario campaign with the network dimension in the draw. *)
+  let ca =
+    { Chaos.default_campaign with Chaos.ca_seed = 33; ca_runs = 200; ca_fault_prob = 0.4 }
+  in
+  let armed = ref 0 and partitioned = ref 0 in
+  for i = 0 to ca.Chaos.ca_runs - 1 do
+    let sc =
+      Scenario.generate ~campaign_seed:ca.Chaos.ca_seed
+        ~fault_prob:ca.Chaos.ca_fault_prob i
+    in
+    match sc.Scenario.sc_net with
+    | Some p ->
+      incr armed;
+      if p.Net.np_partition <> None then incr partitioned
+    | None -> ()
+  done;
+  check_true (Fmt.str "campaign draws lossy transports (got %d)" !armed) (!armed >= 40);
+  check_true
+    (Fmt.str "some lossy transports partition the fleet (got %d)" !partitioned)
+    (!partitioned >= 5);
+  let r = Chaos.run_campaign ca in
+  check_int "200 scenarios checked" 200 r.Chaos.rp_scenarios;
+  check_int "net campaign has zero violations" 0 (List.length r.Chaos.rp_outcomes)
+
 (* --- Tenant-mix scenarios --- *)
 
 let find_tenancy_scenario () =
@@ -392,6 +532,24 @@ let test_shrink_known_bad () =
     (Fmt.str "shrinks to <= 2 fault clauses (got %d)"
        (Scenario.fault_clause_count minimal))
     (Scenario.fault_clause_count minimal <= 2)
+
+let test_shrink_strips_net () =
+  (* The violation in the known-bad fleet is device-side; an irrelevant
+     lossy transport riding along must be shrunk away entirely. *)
+  let violates sc =
+    fst (Chaos.check_scenario ~goodput_floor:0.9 ~check_replay:false sc) <> []
+  in
+  let sc0 =
+    {
+      (known_bad_scenario ()) with
+      Scenario.sc_net =
+        Some (Net.parse "seed=3,delay=80:40,drop=0.05,dup=0.1,timeout=5000");
+    }
+  in
+  check_true "noisy known-bad fleet violates" (violates sc0);
+  let minimal, _ = Shrink.shrink ~violates ~budget:400 sc0 in
+  check_true "minimal scenario still violates" (violates minimal);
+  check_true "irrelevant net plan stripped" (minimal.Scenario.sc_net = None)
 
 (* --- Campaigns --- *)
 
@@ -548,6 +706,16 @@ let suite =
       test_tenancy_scenario_holds;
     Alcotest.test_case "shrink: known-bad plan minimizes to <= 2 clauses" `Quick
       test_shrink_known_bad;
+    Alcotest.test_case "shrink: irrelevant net plan stripped" `Quick
+      test_shrink_strips_net;
+    Alcotest.test_case "scenario: net-armed CLI reproducer shape" `Quick
+      test_net_scenario_repro;
+    Alcotest.test_case "invariants: net oracles pass healthy, fire on tamper" `Quick
+      test_invariant_net_oracles;
+    Alcotest.test_case "invariants: partition-blackout oracle fires" `Quick
+      test_invariant_net_partition;
+    Alcotest.test_case "campaign: lossy transports hold exactly-once in 200" `Quick
+      test_net_campaign_holds;
     Alcotest.test_case "campaign: clean fleet, zero violations in 300" `Quick
       test_clean_campaign;
     Alcotest.test_case "campaign: faulty fleet holds invariants" `Quick

@@ -1630,6 +1630,219 @@ let test_json_parse_roundtrip () =
        false
      with Json.Parse_error _ -> true)
 
+(* --- Net: lossy transport, exactly-once delivery, partition-tolerant
+   failover (DESIGN.md §16) --- *)
+
+(* Terminal sum: [summarize] derives s_offered from exactly these, so
+   equality with the request count is the conservation check. *)
+let net_terminals (s : Stats.summary) =
+  s.Stats.s_completed + s.Stats.s_shed + s.Stats.s_expired + s.Stats.s_poisoned
+  + s.Stats.s_breaker_shed + s.Stats.s_quota_shed + s.Stats.s_limit_shed
+  + s.Stats.s_retry_shed + s.Stats.s_net_shed
+
+(* The three transport conservation laws the chaos oracle enforces,
+   checked directly on a summary. *)
+let check_net_conservation (s : Stats.summary) =
+  check_int "every transmitted copy lands in one bucket"
+    (s.Stats.s_net_sends + s.Stats.s_net_dups)
+    (s.Stats.s_net_deliveries + s.Stats.s_net_drops + s.Stats.s_net_partition_drops);
+  check_int "every delivery is fresh or a dedup hit" s.Stats.s_net_deliveries
+    (s.Stats.s_net_fresh + s.Stats.s_net_dedup_hits);
+  check_int "every ack lands in one bucket" s.Stats.s_net_acks
+    (s.Stats.s_net_ack_deliveries + s.Stats.s_net_ack_drops + s.Stats.s_net_gray_drops)
+
+let test_net_parse_roundtrip () =
+  let spec =
+    "seed=7,delay=80:20,drop=0.1,dup=0.2,reorder=0.05,gray=0.02,partition=4000:9000:2,\
+     timeout=5000,resends=3,dedup=0,window=64"
+  in
+  let p = Net.parse spec in
+  check_true "clauses land in the right fields"
+    (p.Net.np_drop = 0.1 && p.Net.np_dup = 0.2 && p.Net.np_jitter_us = 20.0
+   && p.Net.np_window = 64
+    && (not p.Net.np_dedup)
+    && p.Net.np_partition = Some (4000.0, 9000.0, [ 2 ]));
+  check_true "round-trip through to_spec" (Net.parse (Net.to_spec p) = p);
+  check_true "defaults stay short" (Net.to_spec Net.none = "seed=0,delay=0:0,drop=0,dup=0,reorder=0,gray=0");
+  let msg f = match f () with _ -> "" | exception Invalid_argument m -> m in
+  (* Both plan languages reject unknown keys listing their own full valid
+     set — the shared clause helper at work. *)
+  let nm = msg (fun () -> Net.parse "delai=80") in
+  check_true "net plan names the bad key" (contains nm "delai");
+  check_true "net plan lists its valid keys"
+    (contains nm "partition" && contains nm "window" && contains nm "gray");
+  let fm = msg (fun () -> Faults.parse "kernal=0.1") in
+  check_true "fault plan names the bad key" (contains fm "kernal");
+  check_true "fault plan lists its valid keys"
+    (contains fm "straggler" && contains fm "poison" && contains fm "flaky");
+  (* A lossy plan with no timeout could never terminate lost requests. *)
+  let vm = msg (fun () -> Net.parse "drop=0.1,timeout=0") in
+  check_true "lossy plan requires a timeout" (contains vm "timeout")
+
+let test_net_exactly_once () =
+  let n = 160 in
+  let arrivals = cluster_arrivals ~n 17 in
+  let plan = Net.parse "seed=5,delay=150:60,drop=0.08,dup=0.3,timeout=3000,resends=3" in
+  let report =
+    Cluster.simulate
+      { Cluster.default_config with Cluster.c_replicas = 3; Cluster.c_net = Some plan }
+      ~arrivals ~payload:Fun.id
+      ~executors:[| ok_exec; ok_exec; ok_exec |]
+  in
+  let st = report.Cluster.cluster_stats in
+  let s = Stats.summarize st in
+  check_int "every request terminates exactly once" n (net_terminals s);
+  check_int "offered matches the arrival count" n s.Stats.s_offered;
+  check_true "duplication and loss actually fired"
+    (s.Stats.s_net_dups > 0 && s.Stats.s_net_drops > 0 && s.Stats.s_net_timeouts > 0);
+  check_true "the dedup window absorbed duplicates" (s.Stats.s_net_dedup_hits > 0);
+  check_net_conservation s;
+  let ids = List.map (fun r -> r.Stats.r_id) st.Stats.records in
+  check_int "no request id completed twice" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_net_partition_failover_deterministic () =
+  (* Replica 2 is cut off mid-run; dispatch must fail over to the
+     surviving replicas until the heal, then the whole run must replay
+     byte-identically. *)
+  let run () =
+    let arrivals = cluster_arrivals ~n:160 21 in
+    let plan = Net.parse "seed=9,delay=100,partition=5000:20000:2,timeout=2000,resends=1" in
+    Cluster.simulate
+      { Cluster.default_config with Cluster.c_replicas = 3; Cluster.c_net = Some plan }
+      ~arrivals ~payload:Fun.id
+      ~executors:[| ok_exec; ok_exec; ok_exec |]
+  in
+  let report = run () in
+  let s = Stats.summarize report.Cluster.cluster_stats in
+  check_int "every request terminates exactly once" 160 (net_terminals s);
+  check_true "the cut was detected" (s.Stats.s_net_link_downs >= 1);
+  check_true "the link healed" (s.Stats.s_net_heals >= 1);
+  check_true "work still completes through the partition"
+    (s.Stats.s_completed >= 150);
+  check_net_conservation s;
+  let json r =
+    Json.to_string
+      (Json.Obj
+         (("cluster", Stats.summary_to_json (Stats.summarize r.Cluster.cluster_stats))
+         :: List.map
+              (fun v ->
+                ( Fmt.str "replica%d" v.Cluster.rv_id,
+                  Stats.summary_to_json (Stats.summarize v.Cluster.rv_stats) ))
+              r.Cluster.replica_views))
+  in
+  Alcotest.(check string) "partition/heal run replays byte-identically" (json report)
+    (json (run ()))
+
+let test_net_deadline_shed () =
+  (* Completed requests teach the EWMA the link costs ~800us one way; a
+     dropped request's resend fires after the 3ms timeout, by which point
+     the remaining 500us of budget cannot cover the transit — the sender
+     sheds at the resend instead of wasting the transmit. *)
+  let n = 60 in
+  let arrivals = cluster_arrivals ~n ~rate:2000.0 23 in
+  let plan = Net.parse "seed=3,delay=800,drop=0.3,timeout=3000,resends=3" in
+  let report =
+    Cluster.simulate
+      { Cluster.default_config with
+        Cluster.c_replicas = 2;
+        Cluster.c_net = Some plan;
+        Cluster.c_server =
+          { Server.default_config with Server.deadline_us = Some 3500.0 } }
+      ~arrivals ~payload:Fun.id
+      ~executors:[| ok_exec; ok_exec |]
+  in
+  let s = Stats.summarize report.Cluster.cluster_stats in
+  check_int "every request terminates exactly once" n (net_terminals s);
+  check_true "the sender shed doomed dispatches" (s.Stats.s_net_shed > 0);
+  check_net_conservation s
+
+let test_net_disarmed_identity () =
+  (* c_net = Some Net.none must take the direct-call path: byte-identical
+     to c_net = None (no RNG draws, no schedules, no counters). *)
+  let arrivals = cluster_arrivals ~n:150 27 in
+  let run net =
+    let report =
+      Cluster.simulate
+        { Cluster.default_config with Cluster.c_replicas = 3; Cluster.c_net = net }
+        ~arrivals ~payload:Fun.id
+        ~executors:[| ok_exec; straggler_exec ~every:7 ~mult:20.0 (); ok_exec |]
+    in
+    Json.to_string (Stats.summary_to_json (Stats.summarize report.Cluster.cluster_stats))
+  in
+  Alcotest.(check string) "disarmed plan is byte-identical to no plan" (run None)
+    (run (Some Net.none))
+
+let test_net_naive_reexecutes () =
+  (* Same transport, dedup on vs off: naive resend must re-execute the
+     duplicated deliveries (more fresh executions for the same work),
+     while exactly-once absorbs every one in the idempotency window. *)
+  let arrivals = cluster_arrivals ~n:160 31 in
+  let plan = Net.parse "seed=5,delay=200:80,drop=0.05,dup=0.4,timeout=3000,resends=3" in
+  let run dedup =
+    let report =
+      Cluster.simulate
+        { Cluster.default_config with
+          Cluster.c_replicas = 3;
+          Cluster.c_net = Some { plan with Net.np_dedup = dedup } }
+        ~arrivals ~payload:Fun.id
+        ~executors:[| ok_exec; ok_exec; ok_exec |]
+    in
+    Stats.summarize report.Cluster.cluster_stats
+  in
+  let exact = run true in
+  let naive = run false in
+  check_int "exactly-once terminates every request" 160 (net_terminals exact);
+  check_int "naive resend terminates every request" 160 (net_terminals naive);
+  check_true "exactly-once absorbed duplicates" (exact.Stats.s_net_dedup_hits > 0);
+  check_int "naive never deduplicates" 0 naive.Stats.s_net_dedup_hits;
+  check_true "naive re-executes what the window would have absorbed"
+    (naive.Stats.s_net_fresh > exact.Stats.s_net_fresh);
+  check_net_conservation exact;
+  check_net_conservation naive
+
+(* --- QCheck: the dedup window against an ordered-list model --- *)
+
+(* Scripts over a small key space: note (a delivery executing) or remove
+   (a shed delivery's nack). The model is the insertion-ordered list of
+   live keys, bounded at capacity. *)
+let gen_dedup_script =
+  QCheck2.Gen.(
+    pair (int_range 1 8) (list_size (int_range 1 150) (pair (int_range 0 20) bool)))
+
+let dedup_window_prop (capacity, script) =
+  let w = Net.Dedup.create ~capacity in
+  let model = ref [] in
+  List.iter
+    (fun (k, is_remove) ->
+      if is_remove then begin
+        Net.Dedup.remove w k;
+        model := List.filter (fun k' -> k' <> k) !model
+      end
+      else begin
+        (* Duplicate delivery never double-executes: the window's verdict
+           must agree with the model's liveness before the note. *)
+        let fresh = not (Net.Dedup.mem w k) in
+        let model_fresh = not (List.mem k !model) in
+        if fresh <> model_fresh then
+          QCheck2.Test.fail_reportf "key %d: window fresh=%b, model fresh=%b" k fresh
+            model_fresh;
+        Net.Dedup.note w k k;
+        if model_fresh then begin
+          model := !model @ [ k ];
+          if List.length !model > capacity then model := List.tl !model
+        end
+      end;
+      (* Eviction never forgets a live id: every key the model still holds
+         must still be in the window, and the window holds nothing more. *)
+      if not (List.for_all (Net.Dedup.mem w) !model) then
+        QCheck2.Test.fail_reportf "a live key was evicted early";
+      if Net.Dedup.length w <> List.length !model then
+        QCheck2.Test.fail_reportf "window holds %d keys, model %d" (Net.Dedup.length w)
+          (List.length !model))
+    script;
+  true
+
 let suite =
   [
     Alcotest.test_case "event loop: order + clamp" `Quick test_event_loop_order;
@@ -1739,4 +1952,17 @@ let suite =
     Alcotest.test_case "obs: serve metrics mirror the summary" `Quick
       test_serve_metrics_end_to_end;
     Alcotest.test_case "obs: JSON parse round-trip" `Quick test_json_parse_roundtrip;
+    Alcotest.test_case "net: plan parse round-trip + shared key errors" `Quick
+      test_net_parse_roundtrip;
+    Alcotest.test_case "net: exactly-once under dup+drop+resend" `Quick
+      test_net_exactly_once;
+    Alcotest.test_case "net: partition failover + heal, deterministic" `Quick
+      test_net_partition_failover_deterministic;
+    Alcotest.test_case "net: sender sheds doomed dispatches" `Quick test_net_deadline_shed;
+    Alcotest.test_case "net: disarmed plan byte-identical to none" `Quick
+      test_net_disarmed_identity;
+    Alcotest.test_case "net: naive resend re-executes, exactly-once absorbs" `Quick
+      test_net_naive_reexecutes;
+    qtest ~count:500 "net: dedup window vs ordered-list model" gen_dedup_script
+      dedup_window_prop;
   ]
